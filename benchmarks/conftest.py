@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_fig*.py`` regenerates one figure of the paper through
+pytest-benchmark, so the harness both times the reproduction and
+re-verifies the shape checks (a benchmark run that silently produced
+wrong curves would be useless).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device import FloatingGateTransistor
+from repro.memory import calibrate_kernel
+
+
+@pytest.fixture(scope="session")
+def paper_device():
+    return FloatingGateTransistor()
+
+
+@pytest.fixture(scope="session")
+def cell_kernel(paper_device):
+    return calibrate_kernel(paper_device)
+
+
+def assert_reproduced(result):
+    """Fail the benchmark if any of the paper's shape checks fail."""
+    failing = [c for c in result.checks if not c.passed]
+    assert not failing, "\n".join(
+        f"{c.claim}: {c.detail}" for c in failing
+    )

@@ -1,0 +1,47 @@
+"""Ablation benchmark: FN closed form vs WKB vs transfer matrix.
+
+Times the three tunneling models on the same barrier/bias sweep and
+verifies they agree within a decade (DESIGN.md abl-wkb). The closed
+form should be orders of magnitude faster than the numeric references
+-- the justification for the paper's modelling choice.
+"""
+
+import numpy as np
+from conftest import assert_reproduced
+
+from repro.experiments.ablations import run_model_comparison
+from repro.tunneling import FowlerNordheimModel, TsuEsakiModel, TunnelBarrier
+from repro.units import nm_to_m
+
+BARRIER = TunnelBarrier(3.61, nm_to_m(5.0), 0.42)
+VOLTAGES = np.linspace(6.0, 10.5, 10)
+
+
+def test_ablation_model_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_model_comparison, kwargs={"n_points": 8}, rounds=3, iterations=1
+    )
+    assert_reproduced(result)
+
+
+def test_fn_closed_form_speed(benchmark):
+    model = FowlerNordheimModel(BARRIER)
+
+    def sweep():
+        return [model.current_density_from_voltage(float(v)) for v in VOLTAGES]
+
+    values = benchmark(sweep)
+    assert all(v > 0.0 for v in values)
+
+
+def test_tsu_esaki_transfer_matrix_speed(benchmark):
+    model = TsuEsakiModel(BARRIER, n_energy=60, n_slabs=30)
+
+    def sweep():
+        return [
+            model.current_density_from_voltage(float(v))
+            for v in VOLTAGES[:3]
+        ]
+
+    values = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert all(v > 0.0 for v in values)

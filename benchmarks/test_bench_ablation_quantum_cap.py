@@ -1,0 +1,19 @@
+"""Ablation benchmark: quantum-capacitance GCR correction vs layers.
+
+Sweeps the MLGNR floating-gate layer count and quantifies how far the
+effective coupling falls below the paper's geometric GCR = 0.6
+(DESIGN.md abl-cq).
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments.ablations import run_quantum_capacitance
+
+
+def test_ablation_quantum_capacitance(benchmark):
+    result = benchmark(run_quantum_capacitance, 10)
+    assert_reproduced(result)
+    effective = result.series[0].y
+    # Monolayer penalty is visible; multilayer recovers toward 0.6.
+    assert effective[0] < 0.6
+    assert effective[-1] > effective[0]

@@ -1,0 +1,17 @@
+"""Ablation benchmark: finite-temperature FN correction, 200-400 K.
+
+Verifies (and times) the claim that tunneling is only weakly
+temperature dependent at the paper's programming field (DESIGN.md
+abl-temp).
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments.ablations import run_temperature
+
+
+def test_ablation_temperature(benchmark):
+    result = benchmark(run_temperature, 9)
+    assert_reproduced(result)
+    factors = result.series[0].y
+    assert factors.max() < 1.6

@@ -1,0 +1,27 @@
+"""Benchmarks: baseline comparisons (DESIGN.md cmp-si, cmp-che).
+
+Times the two comparison experiments -- the proposed MLGNR-CNT device
+against the conventional silicon FGT, and FN against channel-hot-
+electron programming -- and re-verifies their claims.
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_silicon_baseline_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("cmp-si",), rounds=2, iterations=1
+    )
+    assert_reproduced(result)
+    gnr, si = result.series
+    # The defining asymmetry: silicon out-conducts graphene at equal bias.
+    assert (si.y > gnr.y).all()
+
+
+def test_che_vs_fn_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("cmp-che",), rounds=2, iterations=1
+    )
+    assert_reproduced(result)

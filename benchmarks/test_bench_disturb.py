@@ -1,0 +1,42 @@
+"""System benchmark: read-disturb accumulation (DESIGN.md sys-nand
+companion).
+
+Workload: hammer one page of a disturb-enabled block with reads and
+measure the threshold drift of the unselected pages; asserts the
+physics-calibrated budget (events to 0.1 V of drift) is consistent
+with the per-event model.
+"""
+
+import numpy as np
+
+from repro.device import FloatingGateTransistor
+from repro.memory import ArrayConfig, DisturbModel, build_array
+
+
+def test_read_disturb_accumulation(benchmark, cell_kernel):
+    device = FloatingGateTransistor()
+    disturb = DisturbModel(
+        device, pass_voltage_v=8.0, event_duration_s=1e-3
+    )
+
+    def setup():
+        array = build_array(
+            cell_kernel,
+            ArrayConfig(n_blocks=1, wordlines_per_block=4, bitlines=32),
+            disturb=disturb,
+            seed=29,
+        )
+        return (array,), {}
+
+    def hammer(array):
+        before = array.page_thresholds(0, 3).copy()
+        for _ in range(50):
+            array.read_page(0, 0)
+        after = array.page_thresholds(0, 3)
+        return float(np.mean(after - before))
+
+    mean_drift = benchmark.pedantic(hammer, setup=setup, rounds=3, iterations=1)
+    # Read disturb is scaled to 1% of the program-disturb drift.
+    expected = 50 * 0.01 * disturb.drift_per_event_v()
+    assert mean_drift >= 0.0
+    assert mean_drift <= expected * 1.5 + 1e-12

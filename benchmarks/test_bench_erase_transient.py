@@ -1,0 +1,16 @@
+"""Benchmark: the erase transient (dynamic mirror of Figure 5).
+
+Workload: full -15 V erase of the saturated programmed cell, including
+the reversed Jin/Jout balance extraction.
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_erase_transient_reproduction(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("erase-transient",), rounds=3, iterations=1
+    )
+    assert_reproduced(result)

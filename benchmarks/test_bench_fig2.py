@@ -1,0 +1,17 @@
+"""Benchmark: regenerate paper Figure 2 (the FN band diagram).
+
+Workload: two Poisson solves of the five-layer stack (unbiased and at
+the programming bias) plus the apparent-thinning extraction.
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_fig2_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig2")
+    assert_reproduced(result)
+    # The triangular-barrier thinning: ~2 nm forbidden region at 15 V.
+    biased = result.series[1]
+    assert biased.y[0] > 3.5  # barrier peak at the channel interface

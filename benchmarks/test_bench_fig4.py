@@ -1,0 +1,16 @@
+"""Benchmark: regenerate paper Figure 4 (Jin vs Jout at t = 0).
+
+Workload: the early programming transient of the reference cell
+(VGS = 15 V, GCR = 0.6, X_TO = 5 nm), sampling Jin and Jout.
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig4")
+    assert_reproduced(result)
+    # The figure's defining feature: decades between Jin(0) and Jout(0).
+    assert result.series[0].y[0] > 1e6 * result.series[1].y[0]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate paper Figure 5 (transient to saturation).
+
+Workload: the full programming transient integrated to Jin/Jout balance,
+including the t_sat and maximum-charge extraction.
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig5")
+    assert_reproduced(result)
+    assert result.parameters["t_sat_s"] is not None

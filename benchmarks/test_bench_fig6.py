@@ -1,0 +1,15 @@
+"""Benchmark: regenerate paper Figure 6 (program J_FN vs V_GS, 4 GCRs).
+
+Workload: eqs. (3) + (7) swept over VGS = 8-17 V for GCR in
+{40%, 50%, 60%, 70%} at X_TO = 5 nm.
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig6")
+    assert_reproduced(result)
+    assert len(result.series) == 4

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate paper Figure 7 (program J_FN vs V_GS, 5 X_TO).
+
+Workload: eqs. (3) + (7) swept over VGS = 10-17 V for X_TO in
+{4..8} nm at GCR = 60%, including the sub-7 nm knee check.
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig7")
+    assert_reproduced(result)
+    assert len(result.series) == 5

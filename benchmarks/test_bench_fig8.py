@@ -1,0 +1,14 @@
+"""Benchmark: regenerate paper Figure 8 (erase J_FN vs V_GS, 4 GCRs).
+
+Workload: the erase-polarity sweep (VGS = -8 to -17 V) for four GCR
+values at X_TO = 5 nm, including the program/erase mirror check.
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig8")
+    assert_reproduced(result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate paper Figure 9 (erase J_FN vs V_GS, 5 X_TO).
+
+Workload: the erase-polarity oxide-thickness family (VGS = -10 to
+-17 V, X_TO in {4..8} nm, GCR = 60%).
+"""
+
+from conftest import assert_reproduced
+
+from repro.experiments import run_experiment
+
+
+def test_fig9_reproduction(benchmark):
+    result = benchmark(run_experiment, "fig9")
+    assert_reproduced(result)

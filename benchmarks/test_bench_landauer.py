@@ -1,0 +1,32 @@
+"""Benchmark: Landauer conductance staircase of the GNR channel.
+
+Workload: a 26-point gate sweep of the band-structure-derived ballistic
+conductance at 30 K; verifies the quantised plateaus (G = M * G0) that
+tie the transport model back to the tight-binding substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import LandauerChannel
+from repro.materials import GrapheneNanoribbon
+
+
+def test_conductance_staircase(benchmark):
+    channel = LandauerChannel(
+        ribbon=GrapheneNanoribbon("armchair", 13),
+        temperature_k=30.0,
+        gate_efficiency=1.0,
+    )
+    sweep = np.linspace(0.0, 2.5, 26)
+
+    staircase = benchmark(channel.conductance_staircase, sweep)
+
+    # Quantisation: away from subband onsets the conductance equals the
+    # integer mode count to within thermal rounding.
+    onsets = np.array(channel.subband_onsets_ev())
+    for v, g in zip(sweep, staircase):
+        if np.min(np.abs(onsets - v)) < 0.1:
+            continue  # skip points on a step edge
+        modes = channel.mode_count(float(v))
+        assert g == pytest.approx(modes, abs=0.2)

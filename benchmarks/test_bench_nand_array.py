@@ -1,0 +1,75 @@
+"""System benchmark: NAND array program/read throughput (DESIGN.md sys-nand).
+
+Workload: a 2-block, 8-page, 64-bit-line array of device-calibrated
+cells; one benchmark programs pages with ISPP + verify, the other reads
+them back through the sense amplifier.
+"""
+
+import numpy as np
+
+from repro.memory import ArrayConfig, build_array
+
+
+def _fresh_array(cell_kernel, seed=21):
+    return build_array(
+        cell_kernel,
+        ArrayConfig(n_blocks=2, wordlines_per_block=8, bitlines=64),
+        seed=seed,
+    )
+
+
+def test_page_program_throughput(benchmark, cell_kernel):
+    rng = np.random.default_rng(5)
+
+    def setup():
+        array = _fresh_array(cell_kernel)
+        bits = rng.integers(0, 2, 64).astype(np.uint8)
+        return (array, bits), {}
+
+    def program(array, bits):
+        for wl in range(8):
+            array.program_page(0, wl, bits)
+        return array
+
+    array = benchmark.pedantic(program, setup=setup, rounds=3, iterations=1)
+    assert len(array.blocks[0].programmed_pages) == 8
+
+
+def test_page_read_throughput(benchmark, cell_kernel):
+    rng = np.random.default_rng(6)
+    array = _fresh_array(cell_kernel)
+    patterns = {}
+    for wl in range(8):
+        bits = rng.integers(0, 2, 64).astype(np.uint8)
+        array.program_page(0, wl, bits)
+        patterns[wl] = bits
+
+    def read_block():
+        return [array.read_page(0, wl) for wl in range(8)]
+
+    pages = benchmark(read_block)
+    for wl, got in enumerate(pages):
+        assert (got == patterns[wl]).all()
+
+
+def test_ftl_random_write_throughput(benchmark, cell_kernel):
+    from repro.memory import PageMappedFtl
+
+    rng = np.random.default_rng(7)
+
+    def setup():
+        array = build_array(
+            cell_kernel,
+            ArrayConfig(n_blocks=4, wordlines_per_block=8, bitlines=64),
+            seed=23,
+        )
+        return (PageMappedFtl(array, overprovision_blocks=1),), {}
+
+    def churn(ftl):
+        for _ in range(48):
+            page = int(rng.integers(0, ftl.logical_capacity_pages))
+            ftl.write(page, rng.integers(0, 2, 64).astype(np.uint8))
+        return ftl
+
+    ftl = benchmark.pedantic(churn, setup=setup, rounds=3, iterations=1)
+    assert ftl.stats.write_amplification >= 1.0

@@ -1,0 +1,35 @@
+"""Future-work benchmark: design-space sweep and Pareto extraction
+(DESIGN.md opt-pareto).
+
+Workload: a 3x3 voltage/thickness grid evaluated with full transients,
+followed by Pareto-front extraction on (program time, endurance) -- the
+optimisation the paper's conclusion calls for.
+"""
+
+from repro.optimization import evaluate_design, grid, pareto_front
+
+
+def test_design_grid_sweep_and_pareto(benchmark):
+    def sweep():
+        points = list(grid([13.0, 15.0, 17.0], [5.0, 6.0, 7.0]))
+        evaluated = [
+            evaluate_design(p, pulse_duration_s=1e-2) for p in points
+        ]
+        front = pareto_front(
+            evaluated,
+            [
+                (lambda m: m.program_time_s, "min"),
+                (lambda m: m.cycles_to_breakdown, "max"),
+            ],
+        )
+        return evaluated, front
+
+    evaluated, front = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert len(evaluated) == 9
+    assert 1 <= len(front) <= 9
+    # The paper's tradeoff must be visible: the fastest design is not
+    # the most durable one.
+    resolved = [m for m in evaluated if m.program_time_s is not None]
+    fastest = min(resolved, key=lambda m: m.program_time_s)
+    toughest = max(evaluated, key=lambda m: m.cycles_to_breakdown)
+    assert fastest.point != toughest.point

@@ -1,0 +1,46 @@
+"""Core-kernel benchmarks: the charge-transient ODE and FN evaluation.
+
+These time the primitives every experiment is built from: a full
+program transient (Figure 5 workload), a single erase, and the raw FN
+current evaluation over a vectorised field sweep.
+"""
+
+import numpy as np
+
+from repro.device import ERASE_BIAS, PROGRAM_BIAS, simulate_transient
+from repro.tunneling import FowlerNordheimModel
+
+
+def test_program_transient_speed(benchmark, paper_device):
+    result = benchmark.pedantic(
+        simulate_transient,
+        args=(paper_device, PROGRAM_BIAS),
+        kwargs={"duration_s": 1e-2, "n_samples": 200},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.saturation_fraction() > 0.99
+
+
+def test_erase_transient_speed(benchmark, paper_device):
+    programmed = simulate_transient(
+        paper_device, PROGRAM_BIAS, duration_s=1e-2
+    ).final_charge_c
+
+    result = benchmark.pedantic(
+        simulate_transient,
+        args=(paper_device, ERASE_BIAS),
+        kwargs={"initial_charge_c": programmed, "duration_s": 1e-2},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.final_charge_c > 0.0
+
+
+def test_vectorised_fn_evaluation_speed(benchmark, paper_device):
+    model = FowlerNordheimModel(paper_device.tunnel_barrier)
+    fields = np.linspace(5e8, 2.5e9, 10_000)
+
+    j = benchmark(model.current_density, fields)
+    assert j.shape == fields.shape
+    assert np.all(np.diff(j) > 0.0)

@@ -1,0 +1,117 @@
+"""Design optimisation: the paper's proposed future work, implemented.
+
+"Our future work will involve optimizing the supply voltage, tunneling
+current density and oxide thickness for optimum performance."
+
+This example sweeps the (programming voltage, tunnel-oxide thickness)
+design space with full device transients, extracts the Pareto front of
+programming speed versus endurance, and then runs the constrained
+optimiser to pick the fastest design meeting flash-grade reliability.
+
+Run with:  python examples/design_optimization.py
+"""
+
+from repro.optimization import (
+    ConstraintSet,
+    evaluate_design,
+    grid,
+    optimise_program_time,
+    pareto_front,
+)
+from repro.reporting import format_table
+
+
+def sweep_and_report():
+    print("Sweeping the design grid (full transients per point)...\n")
+    points = list(
+        grid(
+            program_voltages_v=(13.0, 15.0, 17.0),
+            tunnel_oxides_nm=(4.5, 5.0, 6.0, 7.0),
+            control_oxides_nm=(9.0,),
+        )
+    )
+    evaluated = [evaluate_design(p, pulse_duration_s=1e-1) for p in points]
+    rows = [
+        (
+            m.point.program_voltage_v,
+            m.point.tunnel_oxide_nm,
+            m.initial_current_density_a_m2,
+            m.program_time_s if m.program_time_s else float("nan"),
+            m.peak_tunnel_field_v_per_m,
+            m.cycles_to_breakdown,
+        )
+        for m in evaluated
+    ]
+    print(
+        format_table(
+            (
+                "V_GS [V]",
+                "XTO [nm]",
+                "J0 [A/m^2]",
+                "t_sat [s]",
+                "E_peak [V/m]",
+                "endurance",
+            ),
+            rows,
+            float_format="{:.3g}",
+        )
+    )
+    return evaluated
+
+
+def report_pareto(evaluated):
+    front = pareto_front(
+        evaluated,
+        [
+            (lambda m: m.program_time_s, "min"),
+            (lambda m: m.cycles_to_breakdown, "max"),
+        ],
+    )
+    print("\nPareto front (speed vs endurance):")
+    for m in sorted(
+        front, key=lambda m: m.program_time_s or float("inf")
+    ):
+        t = f"{m.program_time_s:.2e}" if m.program_time_s else "unsaturated"
+        print(
+            f"  V={m.point.program_voltage_v:4.1f} V, "
+            f"XTO={m.point.tunnel_oxide_nm:3.1f} nm : "
+            f"t_sat={t:>12s} s, endurance={m.cycles_to_breakdown:.2e}"
+        )
+
+
+def constrained_optimum():
+    constraints = ConstraintSet(
+        max_tunnel_field_v_per_m=2.6e9,
+        max_program_time_s=1e-2,
+        min_memory_window_v=4.0,
+        min_cycles=3e4,
+    )
+    print("\nConstrained optimum (Nelder-Mead over the continuous box):")
+    print(
+        "  constraints: E <= 2.6e9 V/m, t_sat <= 10 ms, "
+        "window >= 4 V, endurance >= 3e4"
+    )
+    result = optimise_program_time(
+        constraints=constraints, max_evaluations=30
+    )
+    best = result.best
+    print(
+        f"  best design: V = {best.point.program_voltage_v:.2f} V, "
+        f"XTO = {best.point.tunnel_oxide_nm:.2f} nm"
+    )
+    print(
+        f"  t_sat = {best.program_time_s:.2e} s, "
+        f"endurance = {best.cycles_to_breakdown:.2e} cycles, "
+        f"window = {best.memory_window_v:.1f} V"
+    )
+    print(f"  ({result.evaluations} device evaluations)")
+
+
+def main() -> None:
+    evaluated = sweep_and_report()
+    report_pareto(evaluated)
+    constrained_optimum()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment is offline and has no ``wheel`` package, so PEP 517/660
+isolated builds cannot work; a classic ``setup.py`` lets
+``pip install -e .`` use the legacy develop path. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro: MLGNR-CNT floating-gate flash memory simulator.
+
+A from-scratch reproduction of *Hossain, Hossain & Chowdhury,
+"Multilayer Layer Graphene Nanoribbon Flash Memory: Analysis of
+Programming and Erasing Operation", IEEE SOCC 2014*, extended into a
+full device-to-system simulation stack:
+
+* :mod:`repro.solver` -- numerical substrate (Poisson, Schrodinger,
+  transfer matrix, WKB, ODE, root finding)
+* :mod:`repro.materials` / :mod:`repro.bandstructure` -- graphene, GNR,
+  CNT, oxide and silicon models with tight-binding electronic structure
+* :mod:`repro.tunneling` -- Fowler-Nordheim (the paper's core model),
+  direct, Tsu-Esaki, trap-assisted tunneling, FN-plot extraction
+* :mod:`repro.electrostatics` -- the floating-gate capacitive network
+  (paper eqs. (2)-(3)), band diagrams, Poisson-Schrodinger channel
+* :mod:`repro.device` -- the floating-gate transistor, program/erase
+  transients (paper Figures 4-5), thresholds, retention
+* :mod:`repro.reliability` -- oxide stress, breakdown, SILC, endurance
+* :mod:`repro.memory` -- NAND array, ISPP, sensing, disturbs, ECC, FTL
+* :mod:`repro.optimization` -- the paper's future-work design optimisation
+* :mod:`repro.experiments` -- regenerates every figure of the paper
+
+Quickstart::
+
+    from repro.device import FloatingGateTransistor, PROGRAM_BIAS
+    from repro.device import simulate_transient
+
+    cell = FloatingGateTransistor()           # paper's reference design
+    result = simulate_transient(cell, PROGRAM_BIAS, duration_s=1e-2)
+    print(result.t_sat_s, result.stored_electrons)
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    bandstructure,
+    constants,
+    device,
+    electrostatics,
+    errors,
+    experiments,
+    io,
+    materials,
+    memory,
+    optimization,
+    reliability,
+    reporting,
+    solver,
+    tunneling,
+    units,
+)
+
+__all__ = [
+    "__version__",
+    "constants",
+    "units",
+    "errors",
+    "io",
+    "solver",
+    "materials",
+    "bandstructure",
+    "tunneling",
+    "electrostatics",
+    "device",
+    "reliability",
+    "memory",
+    "optimization",
+    "experiments",
+    "reporting",
+]

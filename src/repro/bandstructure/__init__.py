@@ -1,0 +1,40 @@
+"""Electronic structure of graphene nanoribbons and related materials.
+
+Provides the tight-binding band structures, densities of states and
+quantum capacitances that feed the device-level electrostatics. The
+paper's lumped model treats the MLGNR electrodes as ideal; this package
+supplies the physics needed to quantify (and, in the ablations, relax)
+that idealisation.
+"""
+
+from .dispersion import BandStructure, compute_band_structure
+from .dos import DensityOfStates, histogram_dos
+from .kpoints import brillouin_zone_1d
+from .quantum_capacitance import (
+    fermi_derivative_per_ev,
+    quantum_capacitance_per_area,
+    quantum_capacitance_per_length,
+    series_with_quantum,
+)
+from .tightbinding import (
+    RibbonUnitCell,
+    TightBindingModel,
+    build_tight_binding,
+    build_unit_cell,
+)
+
+__all__ = [
+    "BandStructure",
+    "compute_band_structure",
+    "DensityOfStates",
+    "histogram_dos",
+    "brillouin_zone_1d",
+    "RibbonUnitCell",
+    "TightBindingModel",
+    "build_unit_cell",
+    "build_tight_binding",
+    "fermi_derivative_per_ev",
+    "quantum_capacitance_per_length",
+    "quantum_capacitance_per_area",
+    "series_with_quantum",
+]

@@ -1,0 +1,72 @@
+"""Band-structure post-processing: gaps, edges and conduction modes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .kpoints import brillouin_zone_1d
+from .tightbinding import TightBindingModel
+
+
+@dataclass(frozen=True)
+class BandStructure:
+    """Band energies sampled over the 1-D Brillouin zone.
+
+    Attributes
+    ----------
+    k_per_m:
+        Wavevector samples [1/m].
+    bands_ev:
+        Energies, shape ``(len(k), n_bands)``, in eV, sorted per k-point.
+    """
+
+    k_per_m: np.ndarray = field(repr=False)
+    bands_ev: np.ndarray = field(repr=False)
+
+    @property
+    def n_bands(self) -> int:
+        return int(self.bands_ev.shape[1])
+
+    def band_gap_ev(self, fermi_ev: float = 0.0) -> float:
+        """Gap between the lowest band above and highest band below E_F.
+
+        Half-filled nearest-neighbour GNRs are particle-hole symmetric,
+        so ``fermi_ev = 0`` is the charge-neutral default.
+        """
+        above = self.bands_ev[self.bands_ev > fermi_ev]
+        below = self.bands_ev[self.bands_ev <= fermi_ev]
+        if above.size == 0 or below.size == 0:
+            raise ConfigurationError("Fermi level outside the band range")
+        return float(above.min() - below.max())
+
+    def conduction_band_edge_ev(self, fermi_ev: float = 0.0) -> float:
+        """Lowest band energy above the Fermi level [eV]."""
+        above = self.bands_ev[self.bands_ev > fermi_ev]
+        if above.size == 0:
+            raise ConfigurationError("no states above the Fermi level")
+        return float(above.min())
+
+    def mode_count(self, energy_ev: float) -> int:
+        """Number of conduction modes M(E): bands whose range covers E.
+
+        This is the Landauer channel count used by the ballistic-current
+        model of the GNR channel.
+        """
+        band_min = self.bands_ev.min(axis=0)
+        band_max = self.bands_ev.max(axis=0)
+        return int(np.sum((band_min <= energy_ev) & (energy_ev <= band_max)))
+
+    def is_metallic(self, tolerance_ev: float = 1e-3) -> bool:
+        """True when the gap at charge neutrality is below ``tolerance_ev``."""
+        return self.band_gap_ev() < tolerance_ev
+
+
+def compute_band_structure(
+    model: TightBindingModel, n_k: int = 201
+) -> BandStructure:
+    """Sample a TB model over its full Brillouin zone."""
+    k = brillouin_zone_1d(model.cell.period_m, n_k, full=True)
+    return BandStructure(k_per_m=k, bands_ev=model.bands_ev(k))

@@ -1,0 +1,75 @@
+"""Density of states from sampled 1-D band structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .dispersion import BandStructure
+
+
+@dataclass(frozen=True)
+class DensityOfStates:
+    """Tabulated density of states per unit length of ribbon.
+
+    Attributes
+    ----------
+    energies_ev:
+        Bin-centre energies [eV].
+    dos_per_ev_m:
+        States per eV per metre of ribbon length (spin included).
+    """
+
+    energies_ev: np.ndarray = field(repr=False)
+    dos_per_ev_m: np.ndarray = field(repr=False)
+
+    def at(self, energy_ev: float) -> float:
+        """DOS interpolated at one energy [states / (eV m)]."""
+        return float(
+            np.interp(energy_ev, self.energies_ev, self.dos_per_ev_m)
+        )
+
+    def states_between(self, e_lo_ev: float, e_hi_ev: float) -> float:
+        """Integrated states per metre between two energies."""
+        if e_hi_ev <= e_lo_ev:
+            raise ConfigurationError("e_hi must exceed e_lo")
+        mask = (self.energies_ev >= e_lo_ev) & (self.energies_ev <= e_hi_ev)
+        if mask.sum() < 2:
+            return 0.0
+        return float(
+            np.trapezoid(self.dos_per_ev_m[mask], self.energies_ev[mask])
+        )
+
+
+def histogram_dos(
+    band_structure: BandStructure,
+    period_m: float,
+    n_bins: int = 400,
+    e_min_ev: "float | None" = None,
+    e_max_ev: "float | None" = None,
+) -> DensityOfStates:
+    """Histogram estimator of the ribbon DOS per unit length.
+
+    Each of the ``n_k`` uniformly spaced k-samples of each band carries
+    weight ``2 (spin) / (n_k * period)`` states per metre; binning in
+    energy and dividing by the bin width yields states/(eV m).
+    """
+    if period_m <= 0.0:
+        raise ConfigurationError("period must be positive")
+    bands = band_structure.bands_ev
+    n_k = bands.shape[0]
+    e_min = bands.min() if e_min_ev is None else e_min_ev
+    e_max = bands.max() if e_max_ev is None else e_max_ev
+    if e_max <= e_min:
+        raise ConfigurationError("energy window is empty")
+
+    counts, edges = np.histogram(
+        bands.ravel(), bins=n_bins, range=(e_min, e_max)
+    )
+    bin_width = edges[1] - edges[0]
+    weight = 2.0 / (n_k * period_m)
+    dos = counts * weight / bin_width
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    return DensityOfStates(energies_ev=centres, dos_per_ev_m=dos)

@@ -1,0 +1,36 @@
+"""k-point sampling helpers for 1-D band structures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def brillouin_zone_1d(period_m: float, n_k: int, full: bool = True) -> np.ndarray:
+    """Sample the 1-D Brillouin zone of a crystal with period ``period_m``.
+
+    Parameters
+    ----------
+    period_m:
+        Real-space translation period along the ribbon axis [m].
+    n_k:
+        Number of k samples.
+    full:
+        When True, sample ``[-pi/a, pi/a]``; when False, use the
+        irreducible half ``[0, pi/a]`` (sufficient for ribbons with
+        time-reversal symmetry).
+
+    Returns
+    -------
+    numpy.ndarray
+        Wavevectors [1/m].
+    """
+    if period_m <= 0.0:
+        raise ConfigurationError("period must be positive")
+    if n_k < 2:
+        raise ConfigurationError("need at least two k-points")
+    k_max = np.pi / period_m
+    if full:
+        return np.linspace(-k_max, k_max, n_k)
+    return np.linspace(0.0, k_max, n_k)

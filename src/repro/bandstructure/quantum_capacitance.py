@@ -1,0 +1,76 @@
+"""Quantum capacitance of nanoribbon and graphene electrodes.
+
+A floating gate made of a low-DOS material cannot be treated as a
+perfect metal: adding charge moves its Fermi level, which acts as a
+capacitance ``C_Q = q^2 * DOS`` in series with the geometric oxide
+capacitances and therefore reduces the gate coupling ratio (paper
+eq. (3)) below its purely geometric value. The ablation benchmark
+``abl-cq`` quantifies this correction as a function of MLGNR layer count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import BOLTZMANN, ELEMENTARY_CHARGE
+from ..errors import ConfigurationError
+from .dos import DensityOfStates
+
+
+def fermi_derivative_per_ev(
+    energies_ev: np.ndarray, fermi_ev: float, temperature_k: float
+) -> np.ndarray:
+    """Thermal broadening kernel ``-df/dE`` in 1/eV."""
+    if temperature_k <= 0.0:
+        raise ConfigurationError("temperature must be positive")
+    kt_ev = BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+    x = (np.asarray(energies_ev) - fermi_ev) / kt_ev
+    # sech^2 form, computed stably.
+    return 0.25 / (kt_ev * np.cosh(np.clip(x / 2.0, -350.0, 350.0)) ** 2)
+
+
+def quantum_capacitance_per_length(
+    dos: DensityOfStates, fermi_ev: float, temperature_k: float = 300.0
+) -> float:
+    """Quantum capacitance per unit ribbon length [F/m].
+
+    ``C_Q = q^2 * integral DOS(E) (-df/dE) dE``; the DOS table is per eV
+    per metre, so a factor of q converts the energy unit back to joules.
+    """
+    kernel = fermi_derivative_per_ev(dos.energies_ev, fermi_ev, temperature_k)
+    integral_per_ev_m = np.trapezoid(dos.dos_per_ev_m * kernel, dos.energies_ev)
+    return float(ELEMENTARY_CHARGE**2 * integral_per_ev_m / ELEMENTARY_CHARGE)
+
+
+def quantum_capacitance_per_area(
+    dos: DensityOfStates,
+    ribbon_width_m: float,
+    fermi_ev: float,
+    temperature_k: float = 300.0,
+) -> float:
+    """Quantum capacitance per unit *area* [F/m^2] of a ribbon array.
+
+    Divides the per-length value by the ribbon width, i.e. assumes a
+    dense parallel array of ribbons (the MLGNR floating-gate layout).
+    """
+    if ribbon_width_m <= 0.0:
+        raise ConfigurationError("ribbon width must be positive")
+    per_length = quantum_capacitance_per_length(dos, fermi_ev, temperature_k)
+    return per_length / ribbon_width_m
+
+
+def series_with_quantum(
+    geometric_f_per_m2: float, quantum_f_per_m2: float
+) -> float:
+    """Series combination of a geometric and a quantum capacitance.
+
+    Returns the effective capacitance per area; as ``C_Q -> inf`` (metal
+    gate) the geometric value is recovered.
+    """
+    if geometric_f_per_m2 <= 0.0 or quantum_f_per_m2 <= 0.0:
+        raise ConfigurationError("capacitances must be positive")
+    return (
+        geometric_f_per_m2
+        * quantum_f_per_m2
+        / (geometric_f_per_m2 + quantum_f_per_m2)
+    )

@@ -1,0 +1,192 @@
+"""Nearest-neighbour tight-binding model of graphene nanoribbons.
+
+The ribbon unit cell is constructed geometrically from the honeycomb
+lattice and the Bloch Hamiltonian ``H(k) = H0 + H1 e^{ika} + H1^T e^{-ika}``
+is assembled by nearest-neighbour distance matching. This avoids
+hard-coding edge-specific hopping tables and works identically for
+armchair and zigzag ribbons; the construction is validated in the tests
+against the known family behaviour (armchair ribbons are metallic iff
+``N = 3m + 2``; zigzag ribbons carry zero-energy edge bands).
+
+Coordinate convention: carbon-carbon distance ``a_cc``; honeycomb lattice
+vectors ``a1 = (sqrt(3), 0) a_cc`` and ``a2 = (sqrt(3)/2, 3/2) a_cc`` with
+basis atoms at ``(0, 0)`` and ``(sqrt(3)/2, 1/2) a_cc``. With this choice
+the x axis is the zigzag direction (period ``sqrt(3) a_cc``) and the
+y axis is the armchair direction (period ``3 a_cc``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..constants import CARBON_CC_DISTANCE, GRAPHENE_HOPPING_EV
+from ..errors import ConfigurationError
+
+EdgeType = Literal["armchair", "zigzag"]
+
+_SQRT3 = math.sqrt(3.0)
+
+
+@dataclass(frozen=True)
+class RibbonUnitCell:
+    """Geometry of one translational unit cell of a GNR.
+
+    Attributes
+    ----------
+    edge:
+        ``"armchair"`` or ``"zigzag"``.
+    n_lines:
+        Number of dimer lines (armchair) or zigzag chains (zigzag)
+        across the ribbon width.
+    positions:
+        Atom coordinates in units of ``a_cc``, shape ``(n_atoms, 2)``;
+        the ribbon axis is the first coordinate.
+    period_acc:
+        Translation period along the axis, in units of ``a_cc``.
+    """
+
+    edge: EdgeType
+    n_lines: int
+    positions: np.ndarray = field(repr=False)
+    period_acc: float
+
+    @property
+    def n_atoms(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def width_m(self) -> float:
+        """Ribbon width (transverse extent of the atom positions) [m]."""
+        transverse = self.positions[:, 1]
+        return float((transverse.max() - transverse.min()) * CARBON_CC_DISTANCE)
+
+    @property
+    def period_m(self) -> float:
+        """Axis period [m]."""
+        return self.period_acc * CARBON_CC_DISTANCE
+
+
+def build_unit_cell(edge: EdgeType, n_lines: int) -> RibbonUnitCell:
+    """Construct the unit cell of an ``n_lines``-wide GNR.
+
+    Armchair ribbons are indexed by the number of dimer lines ``N`` (the
+    ``N``-aGNR convention); zigzag ribbons by the number of zigzag chains.
+    """
+    if n_lines < 2:
+        raise ConfigurationError("a ribbon needs at least two lines")
+    if edge == "armchair":
+        # Axis along y (armchair direction, period 3 a_cc). Columns
+        # (dimer lines) at x_d = d * sqrt(3)/2; atoms per column at
+        # y in {0, 2} (even d) or {1.5, 0.5} (odd d).
+        atoms = []
+        for d in range(n_lines):
+            x = 0.5 * _SQRT3 * d
+            if d % 2 == 0:
+                atoms.append((0.0, x))
+                atoms.append((2.0, x))
+            else:
+                atoms.append((1.5, x))
+                atoms.append((0.5, x))
+        return RibbonUnitCell(
+            edge="armchair",
+            n_lines=n_lines,
+            positions=np.array(atoms, dtype=float),
+            period_acc=3.0,
+        )
+    if edge == "zigzag":
+        # Axis along x (zigzag direction, period sqrt(3) a_cc). Chain c
+        # holds an A atom at (offset_c, 1.5 c) and a B atom at
+        # (offset_{c+1}, 1.5 c + 0.5) with alternating offsets.
+        atoms = []
+        for c in range(n_lines):
+            offset_a = 0.5 * _SQRT3 * (c % 2)
+            offset_b = 0.5 * _SQRT3 * ((c + 1) % 2)
+            atoms.append((offset_a, 1.5 * c))
+            atoms.append((offset_b, 1.5 * c + 0.5))
+        return RibbonUnitCell(
+            edge="zigzag",
+            n_lines=n_lines,
+            positions=np.array(atoms, dtype=float),
+            period_acc=_SQRT3,
+        )
+    raise ConfigurationError(f"unknown edge type: {edge!r}")
+
+
+@dataclass(frozen=True)
+class TightBindingModel:
+    """Bloch Hamiltonian of a GNR in the nearest-neighbour approximation.
+
+    Attributes
+    ----------
+    cell:
+        Ribbon unit cell geometry.
+    hopping_ev:
+        Nearest-neighbour hopping energy ``t`` [eV].
+    h0, h1:
+        Intra-cell Hamiltonian and the coupling to the +1 neighbouring
+        cell, both in eV. ``H(k) = h0 + h1 e^{ika} + h1^T e^{-ika}``.
+    """
+
+    cell: RibbonUnitCell
+    hopping_ev: float
+    h0: np.ndarray = field(repr=False)
+    h1: np.ndarray = field(repr=False)
+
+    def hamiltonian(self, k_per_m: float) -> np.ndarray:
+        """Hermitian Bloch Hamiltonian at wavevector ``k`` [1/m], in eV."""
+        phase = np.exp(1j * k_per_m * self.cell.period_m)
+        return self.h0 + self.h1 * phase + self.h1.T.conj() * np.conj(phase)
+
+    def bands_ev(self, k_per_m: np.ndarray) -> np.ndarray:
+        """Band energies on a k-grid; shape ``(len(k), n_atoms)``, eV."""
+        k_per_m = np.asarray(k_per_m, dtype=float)
+        energies = np.empty((k_per_m.size, self.cell.n_atoms))
+        for i, k in enumerate(k_per_m):
+            energies[i] = np.linalg.eigvalsh(self.hamiltonian(float(k)))
+        return energies
+
+
+def build_tight_binding(
+    edge: EdgeType,
+    n_lines: int,
+    hopping_ev: float = GRAPHENE_HOPPING_EV,
+) -> TightBindingModel:
+    """Assemble the nearest-neighbour TB model for a GNR.
+
+    Bonds are detected by distance matching ``|r_i - r_j| == a_cc`` within
+    a 1% tolerance, both inside the cell (``h0``) and across the +1 cell
+    boundary (``h1``).
+    """
+    if hopping_ev <= 0.0:
+        raise ConfigurationError("hopping energy must be positive")
+    cell = build_unit_cell(edge, n_lines)
+    pos = cell.positions
+    n = cell.n_atoms
+    h0 = np.zeros((n, n))
+    h1 = np.zeros((n, n))
+    shift = np.array([cell.period_acc, 0.0])
+    tol = 0.01
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                d_intra = np.linalg.norm(pos[i] - pos[j])
+                if abs(d_intra - 1.0) < tol:
+                    h0[i, j] = -hopping_ev
+            d_inter = np.linalg.norm(pos[i] - (pos[j] + shift))
+            if abs(d_inter - 1.0) < tol:
+                # atom j in cell +1 couples to atom i in cell 0
+                h1[j, i] = -hopping_ev
+    # Sanity: every carbon must have between 2 and 3 neighbours.
+    coordination = (h0 != 0).sum(axis=1) + (h1 != 0).sum(axis=1) + (
+        h1 != 0
+    ).sum(axis=0)
+    if coordination.min() < 2 or coordination.max() > 3:
+        raise ConfigurationError(
+            f"ribbon construction produced bad coordination numbers: "
+            f"{sorted(set(int(c) for c in coordination))}"
+        )
+    return TightBindingModel(cell=cell, hopping_ev=hopping_ev, h0=h0, h1=h1)

@@ -1,0 +1,75 @@
+"""Physical constants used throughout the simulator.
+
+All values are CODATA-2018 exact or recommended values, in SI units.
+Keeping them in one module (rather than importing ``scipy.constants``
+everywhere) makes the numerical provenance of every equation explicit and
+keeps the core physics importable without scipy.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Elementary charge [C] (exact, SI 2019 redefinition).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Planck constant [J*s] (exact).
+PLANCK = 6.62607015e-34
+
+#: Reduced Planck constant [J*s].
+HBAR = PLANCK / (2.0 * math.pi)
+
+#: Electron rest mass [kg].
+ELECTRON_MASS = 9.1093837015e-31
+
+#: Vacuum permittivity [F/m].
+VACUUM_PERMITTIVITY = 8.8541878128e-12
+
+#: Boltzmann constant [J/K] (exact).
+BOLTZMANN = 1.380649e-23
+
+#: Speed of light in vacuum [m/s] (exact).
+SPEED_OF_LIGHT = 299792458.0
+
+#: One electron-volt [J].
+ELECTRON_VOLT = ELEMENTARY_CHARGE
+
+#: Thermal voltage k_B*T/q at 300 K [V].
+THERMAL_VOLTAGE_300K = BOLTZMANN * 300.0 / ELEMENTARY_CHARGE
+
+#: Graphene nearest-neighbour carbon-carbon distance [m].
+CARBON_CC_DISTANCE = 0.142e-9
+
+#: Graphene lattice constant a = sqrt(3) * a_cc [m].
+GRAPHENE_LATTICE_CONSTANT = math.sqrt(3.0) * CARBON_CC_DISTANCE
+
+#: Graphene nearest-neighbour hopping energy [eV] (commonly used TB value).
+GRAPHENE_HOPPING_EV = 2.7
+
+#: Graphene Fermi velocity [m/s], v_F = 3*t*a_cc / (2*hbar).
+GRAPHENE_FERMI_VELOCITY = (
+    3.0 * GRAPHENE_HOPPING_EV * ELECTRON_VOLT * CARBON_CC_DISTANCE / (2.0 * HBAR)
+)
+
+#: Interlayer spacing of multilayer graphene / graphite [m].
+GRAPHENE_INTERLAYER_SPACING = 0.335e-9
+
+
+def thermal_voltage(temperature_k: float) -> float:
+    """Return the thermal voltage ``k_B * T / q`` in volts.
+
+    Parameters
+    ----------
+    temperature_k:
+        Absolute temperature in kelvin. Must be positive.
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k!r}")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+def thermal_energy_j(temperature_k: float) -> float:
+    """Return the thermal energy ``k_B * T`` in joules."""
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k!r}")
+    return BOLTZMANN * temperature_k

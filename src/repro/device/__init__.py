@@ -1,0 +1,68 @@
+"""The MLGNR-CNT floating-gate transistor and its dynamics.
+
+The paper's device (Figures 1 and 3): geometry, bias conditions, the
+lumped transistor model with its two FN junctions, program/erase
+transients (Figures 4-5), threshold/readout models, retention, memory
+window and pulse waveforms.
+"""
+
+from .baselines import (
+    barrier_advantage_ev,
+    mlgnr_reference_fgt,
+    silicon_baseline_fgt,
+)
+from .bias import BiasCondition, ERASE_BIAS, PROGRAM_BIAS, READ_BIAS
+from .floating_gate import FloatingGateTransistor, TunnelingState
+from .geometry import DeviceGeometry
+from .iv import G0, ChannelIVModel
+from .landauer import LandauerChannel
+from .memory_window import (
+    MemoryWindow,
+    pulsed_memory_window,
+    saturated_memory_window,
+)
+from .retention import TEN_YEARS_S, RetentionModel, RetentionResult
+from .threshold import ThresholdModel
+from .transient import (
+    TransientResult,
+    equilibrium_charge,
+    equilibrium_floating_gate_voltage,
+    simulate_transient,
+)
+from .waveforms import (
+    PulseStep,
+    PulseTrain,
+    WaveformResult,
+    apply_pulse_train,
+)
+
+__all__ = [
+    "DeviceGeometry",
+    "BiasCondition",
+    "PROGRAM_BIAS",
+    "ERASE_BIAS",
+    "READ_BIAS",
+    "FloatingGateTransistor",
+    "TunnelingState",
+    "silicon_baseline_fgt",
+    "mlgnr_reference_fgt",
+    "barrier_advantage_ev",
+    "TransientResult",
+    "simulate_transient",
+    "equilibrium_charge",
+    "equilibrium_floating_gate_voltage",
+    "ThresholdModel",
+    "ChannelIVModel",
+    "LandauerChannel",
+    "G0",
+    "MemoryWindow",
+    "saturated_memory_window",
+    "pulsed_memory_window",
+    "RetentionModel",
+    "RetentionResult",
+    "TEN_YEARS_S",
+    "PulseStep",
+    "PulseTrain",
+    "WaveformResult",
+    "apply_pulse_train",
+]

@@ -1,0 +1,65 @@
+"""Bias conditions for programming, erasing and reading.
+
+The paper's conditions (Section III): programming applies +15 V at the
+control gate with source and body grounded and a minimal 50 mV drain
+voltage (to raise the electron density in the graphene channel; treated
+as 0 V inside the electrostatic equations). Erase applies a negative
+control-gate voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..electrostatics.gcr import TerminalVoltages
+
+
+@dataclass(frozen=True)
+class BiasCondition:
+    """Named terminal-voltage set.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (``"program"``, ``"erase"``, ``"read"``).
+    voltages:
+        The four terminal voltages.
+    drain_treated_as_ground:
+        True when the small drain bias should be dropped inside the
+        electrostatics (the paper's simplification for its 50 mV).
+    """
+
+    name: str
+    voltages: TerminalVoltages
+    drain_treated_as_ground: bool = True
+
+    @property
+    def effective_voltages(self) -> TerminalVoltages:
+        """Voltages as used by the lumped model."""
+        if self.drain_treated_as_ground:
+            return replace(self.voltages, vds=0.0)
+        return self.voltages
+
+    def with_gate_voltage(self, vgs: float) -> "BiasCondition":
+        """Copy with a different control-gate voltage (for sweeps)."""
+        return replace(self, voltages=replace(self.voltages, vgs=vgs))
+
+
+#: The paper's programming condition: V_GS = +15 V, V_DS = 50 mV.
+PROGRAM_BIAS = BiasCondition(
+    name="program",
+    voltages=TerminalVoltages(vgs=15.0, vds=0.05, vs=0.0, vb=0.0),
+)
+
+#: The paper's erase condition: V_GS = -15 V.
+ERASE_BIAS = BiasCondition(
+    name="erase",
+    voltages=TerminalVoltages(vgs=-15.0, vds=0.0, vs=0.0, vb=0.0),
+)
+
+#: A low-disturb read condition.
+READ_BIAS = BiasCondition(
+    name="read",
+    voltages=TerminalVoltages(vgs=3.0, vds=0.5, vs=0.0, vb=0.0),
+    drain_treated_as_ground=False,
+)

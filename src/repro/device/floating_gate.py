@@ -1,0 +1,217 @@
+"""The MLGNR-CNT floating-gate transistor model (paper Figures 1 and 3).
+
+:class:`FloatingGateTransistor` assembles the full lumped device: the
+MLGNR channel and floating gate, the CNT control gate, the two oxides,
+the capacitive network of eq. (2), the floating-gate potential of
+eq. (3), and the two Fowler-Nordheim junctions whose competition
+(Jin through the tunnel oxide vs Jout through the control oxide) defines
+the programming dynamics of Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..electrostatics.gcr import TerminalVoltages, floating_gate_voltage
+from ..electrostatics.stack import FloatingGateCapacitances, build_capacitances
+from ..errors import ConfigurationError
+from ..materials.base import DielectricMaterial, barrier_height_ev
+from ..materials.cnt import CNT_WORK_FUNCTION_EV
+from ..materials.graphene import GRAPHENE_WORK_FUNCTION_EV
+from ..materials.oxides import SIO2
+from ..tunneling.barriers import TunnelBarrier
+from ..tunneling.fowler_nordheim import FowlerNordheimModel
+from ..tunneling.regimes import RegimeAssessment, classify_regime
+from .bias import BiasCondition
+from .geometry import DeviceGeometry
+
+
+@dataclass(frozen=True)
+class TunnelingState:
+    """Instantaneous tunneling currents of the biased cell.
+
+    Attributes
+    ----------
+    vfg_v:
+        Floating-gate potential (eq. (3)) [V].
+    jin_a_m2:
+        Signed electron current density through the *tunnel* oxide
+        [A/m^2]; positive = electrons flowing channel -> floating gate.
+    jout_a_m2:
+        Signed electron current density through the *control* oxide
+        [A/m^2]; positive = electrons flowing floating gate -> control
+        gate.
+    net_current_a:
+        Net charging current of the floating gate [A]; negative values
+        accumulate electrons (programming).
+    """
+
+    vfg_v: float
+    jin_a_m2: float
+    jout_a_m2: float
+    net_current_a: float
+
+
+@dataclass(frozen=True)
+class FloatingGateTransistor:
+    """Lumped MLGNR-CNT floating-gate transistor.
+
+    Attributes
+    ----------
+    geometry:
+        Stack dimensions.
+    tunnel_dielectric, control_dielectric:
+        Oxide materials (SiO2 by default on both sides).
+    channel_work_function_ev:
+        Work function of the MLGNR channel [eV].
+    floating_gate_work_function_ev:
+        Work function of the MLGNR floating gate [eV].
+    control_gate_work_function_ev:
+        Work function of the CNT control gate [eV].
+    """
+
+    geometry: DeviceGeometry = field(default_factory=DeviceGeometry)
+    tunnel_dielectric: DielectricMaterial = SIO2
+    control_dielectric: DielectricMaterial = SIO2
+    channel_work_function_ev: float = GRAPHENE_WORK_FUNCTION_EV
+    floating_gate_work_function_ev: float = GRAPHENE_WORK_FUNCTION_EV
+    control_gate_work_function_ev: float = CNT_WORK_FUNCTION_EV
+
+    # ----- capacitive network -------------------------------------------
+
+    @property
+    def capacitances(self) -> FloatingGateCapacitances:
+        """The eq. (2) network built from the geometry."""
+        g = self.geometry
+        return build_capacitances(
+            control_dielectric=self.control_dielectric,
+            tunnel_dielectric=self.tunnel_dielectric,
+            control_oxide_thickness_m=g.control_oxide_thickness_m,
+            tunnel_oxide_thickness_m=g.tunnel_oxide_thickness_m,
+            channel_area_m2=g.channel_area_m2,
+            control_gate_area_multiplier=g.control_gate_area_multiplier,
+            source_overlap_fraction=g.source_overlap_fraction,
+            drain_overlap_fraction=g.drain_overlap_fraction,
+        )
+
+    @property
+    def gate_coupling_ratio(self) -> float:
+        """GCR = C_FC / C_T."""
+        return self.capacitances.gate_coupling_ratio
+
+    def with_gate_coupling_ratio(self, gcr: float) -> "FloatingGateTransistor":
+        """Copy of the device with the control-gate wrap resized for a GCR.
+
+        Solves for the ``control_gate_area_multiplier`` that produces the
+        requested coupling with everything else unchanged -- the physical
+        realisation of the paper's GCR sweeps.
+        """
+        if not 0.0 < gcr < 1.0:
+            raise ConfigurationError("GCR must lie strictly inside (0, 1)")
+        base = self.capacitances
+        target = base.scaled_to_gcr(gcr)
+        multiplier = (
+            self.geometry.control_gate_area_multiplier * target.cfc / base.cfc
+        )
+        return replace(
+            self,
+            geometry=replace(
+                self.geometry, control_gate_area_multiplier=multiplier
+            ),
+        )
+
+    # ----- tunnel junctions ---------------------------------------------
+
+    @property
+    def tunnel_barrier(self) -> TunnelBarrier:
+        """Channel / tunnel-oxide junction (carries Jin)."""
+        return TunnelBarrier.from_materials(
+            self.channel_work_function_ev,
+            self.tunnel_dielectric,
+            self.geometry.tunnel_oxide_thickness_m,
+        )
+
+    @property
+    def control_barrier(self) -> TunnelBarrier:
+        """Floating-gate / control-oxide junction (carries Jout)."""
+        return TunnelBarrier.from_materials(
+            self.floating_gate_work_function_ev,
+            self.control_dielectric,
+            self.geometry.control_oxide_thickness_m,
+        )
+
+    @property
+    def tunnel_fn_model(self) -> FowlerNordheimModel:
+        """FN model of the tunnel oxide."""
+        return FowlerNordheimModel(self.tunnel_barrier)
+
+    @property
+    def control_fn_model(self) -> FowlerNordheimModel:
+        """FN model of the control oxide."""
+        return FowlerNordheimModel(self.control_barrier)
+
+    # ----- electrostatics -----------------------------------------------
+
+    def floating_gate_voltage(
+        self, bias: BiasCondition, charge_c: float = 0.0
+    ) -> float:
+        """V_FG from eq. (3) under a bias with stored charge [V]."""
+        return floating_gate_voltage(
+            self.capacitances, bias.effective_voltages, charge_c
+        )
+
+    # ----- tunneling state ----------------------------------------------
+
+    def tunneling_state(
+        self, bias: BiasCondition, charge_c: float = 0.0
+    ) -> TunnelingState:
+        """Instantaneous Jin/Jout/net current at a bias and stored charge.
+
+        Sign conventions match paper Figures 4-5: during programming
+        (positive V_GS) both Jin and Jout are positive, Jin charging the
+        gate and Jout leaking toward the control gate; during erase both
+        reverse sign.
+        """
+        voltages = bias.effective_voltages
+        vfg = self.floating_gate_voltage(bias, charge_c)
+
+        v_tunnel = vfg - voltages.vs
+        jin = self.tunnel_fn_model.current_density_from_voltage(v_tunnel)
+
+        v_control = voltages.vgs - vfg
+        jout = self.control_fn_model.current_density_from_voltage(v_control)
+
+        area = self.geometry.channel_area_m2
+        cg_area = area * self.geometry.control_gate_area_multiplier
+        # Electrons in through the tunnel oxide add -q each; electrons
+        # out through the control oxide remove them.
+        net = -(jin * area - jout * cg_area)
+        return TunnelingState(
+            vfg_v=vfg, jin_a_m2=jin, jout_a_m2=jout, net_current_a=net
+        )
+
+    def charge_derivative(self, bias: BiasCondition, charge_c: float) -> float:
+        """dQ_FG/dt [C/s] -- the right-hand side of the transient ODE."""
+        return self.tunneling_state(bias, charge_c).net_current_a
+
+    def assess_regime(
+        self, bias: BiasCondition, charge_c: float = 0.0
+    ) -> RegimeAssessment:
+        """Conduction-regime classification of the tunnel oxide."""
+        vfg = self.floating_gate_voltage(bias, charge_c)
+        return classify_regime(
+            self.tunnel_barrier, vfg - bias.effective_voltages.vs
+        )
+
+    # ----- derived quantities ---------------------------------------------
+
+    def barrier_heights_ev(self) -> "tuple[float, float]":
+        """(channel/tunnel-oxide, FG/control-oxide) barriers [eV]."""
+        return (
+            barrier_height_ev(
+                self.channel_work_function_ev, self.tunnel_dielectric
+            ),
+            barrier_height_ev(
+                self.floating_gate_work_function_ev, self.control_dielectric
+            ),
+        )

@@ -1,0 +1,78 @@
+"""Physical geometry of the MLGNR-CNT floating-gate transistor.
+
+Default dimensions follow the paper's operating point: a 5 nm tunnel
+oxide (the ITRS 8-14 nm-node value the paper quotes), a thicker 8 nm
+control oxide (Section III requires X_CO > X_TO), and a control-gate
+wrap ratio of 3.0 which, with SiO2 on both sides, yields the paper's
+reference GCR of 0.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+from ..units import nm_to_m
+
+
+@dataclass(frozen=True)
+class DeviceGeometry:
+    """Stack and layout dimensions of one floating-gate transistor.
+
+    Attributes
+    ----------
+    channel_length_m, channel_width_m:
+        Active channel footprint [m]; the product is the tunneling area.
+    tunnel_oxide_thickness_m:
+        X_TO [m].
+    control_oxide_thickness_m:
+        X_CO [m]; must exceed X_TO.
+    floating_gate_thickness_m:
+        MLGNR floating-gate stack thickness [m].
+    control_gate_area_multiplier:
+        Control-gate wrap area over channel area (sets the GCR).
+    source_overlap_fraction, drain_overlap_fraction:
+        FG-source/drain overlap areas as channel-area fractions.
+    """
+
+    channel_length_m: float = nm_to_m(60.0)
+    channel_width_m: float = nm_to_m(45.0)
+    tunnel_oxide_thickness_m: float = nm_to_m(5.0)
+    control_oxide_thickness_m: float = nm_to_m(8.0)
+    floating_gate_thickness_m: float = nm_to_m(2.0)
+    control_gate_area_multiplier: float = 3.0
+    source_overlap_fraction: float = 0.125
+    drain_overlap_fraction: float = 0.125
+
+    def __post_init__(self) -> None:
+        positive = (
+            ("channel_length_m", self.channel_length_m),
+            ("channel_width_m", self.channel_width_m),
+            ("tunnel_oxide_thickness_m", self.tunnel_oxide_thickness_m),
+            ("control_oxide_thickness_m", self.control_oxide_thickness_m),
+            ("floating_gate_thickness_m", self.floating_gate_thickness_m),
+            ("control_gate_area_multiplier", self.control_gate_area_multiplier),
+        )
+        for name, value in positive:
+            if value <= 0.0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.control_oxide_thickness_m <= self.tunnel_oxide_thickness_m:
+            raise ConfigurationError(
+                "control oxide must be thicker than the tunnel oxide "
+                "(paper Section III)"
+            )
+        if self.source_overlap_fraction < 0 or self.drain_overlap_fraction < 0:
+            raise ConfigurationError("overlap fractions cannot be negative")
+
+    @property
+    def channel_area_m2(self) -> float:
+        """Tunneling (FG-to-channel) area [m^2]."""
+        return self.channel_length_m * self.channel_width_m
+
+    def with_tunnel_oxide_nm(self, thickness_nm: float) -> "DeviceGeometry":
+        """Copy with a different tunnel-oxide thickness (X_TO sweeps)."""
+        return replace(self, tunnel_oxide_thickness_m=nm_to_m(thickness_nm))
+
+    def with_control_oxide_nm(self, thickness_nm: float) -> "DeviceGeometry":
+        """Copy with a different control-oxide thickness."""
+        return replace(self, control_oxide_thickness_m=nm_to_m(thickness_nm))

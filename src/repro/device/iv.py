@@ -1,0 +1,110 @@
+"""Drain-current model of the MLGNR-channel transistor (read path).
+
+A ballistic Landauer model: the GNR channel carries
+
+    I_D = (2 q^2 / h) * M(E) * V_DS_eff
+
+per conduction mode, with thermal smearing of the mode count and a
+simple saturation on V_DS. This is deliberately first-order -- the paper
+does not model the channel I-V -- but it closes the loop for the memory
+package: the sense amplifier needs an on-current that depends on the
+overdrive, which depends on the stored charge through the threshold
+model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import ELEMENTARY_CHARGE, PLANCK, thermal_voltage
+from ..errors import ConfigurationError
+from .floating_gate import FloatingGateTransistor
+from .threshold import ThresholdModel
+
+#: Conductance quantum (spin-degenerate) [S].
+G0 = 2.0 * ELEMENTARY_CHARGE**2 / PLANCK
+
+
+@dataclass(frozen=True)
+class ChannelIVModel:
+    """Ballistic read-current model of one cell.
+
+    Attributes
+    ----------
+    threshold:
+        Threshold model providing V_T(Q).
+    modes_per_volt:
+        Conduction modes opened per volt of gate overdrive; a ribbon
+        few nm wide opens its first handful of subbands within ~1 V.
+    transmission:
+        Average mode transmission (1 = fully ballistic).
+    temperature_k:
+        Lattice temperature for subthreshold smearing [K].
+    """
+
+    threshold: ThresholdModel
+    modes_per_volt: float = 2.0
+    transmission: float = 0.8
+    temperature_k: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.modes_per_volt <= 0.0:
+            raise ConfigurationError("modes_per_volt must be positive")
+        if not 0.0 < self.transmission <= 1.0:
+            raise ConfigurationError("transmission must be in (0, 1]")
+
+    @property
+    def device(self) -> FloatingGateTransistor:
+        return self.threshold.device
+
+    def effective_modes(self, vgs: float, charge_c: float) -> float:
+        """Thermally smeared number of open modes at a gate voltage."""
+        vt = self.threshold.threshold_v(charge_c)
+        overdrive = vgs - vt
+        v_therm = thermal_voltage(self.temperature_k)
+        # Softplus turn-on: linear above threshold, exponential below.
+        x = overdrive / v_therm
+        if x > 35.0:
+            smoothed = overdrive
+        else:
+            smoothed = v_therm * math.log1p(math.exp(x))
+        return self.modes_per_volt * smoothed
+
+    def drain_current_a(
+        self, vgs: float, vds: float, charge_c: float = 0.0
+    ) -> float:
+        """Drain current [A] of the cell at (V_GS, V_DS) and charge.
+
+        Linear in V_DS up to the overdrive (charge-control saturation),
+        constant beyond it.
+        """
+        if vds < 0.0:
+            raise ConfigurationError(
+                "model covers forward drain bias only (V_DS >= 0)"
+            )
+        modes = self.effective_modes(vgs, charge_c)
+        vt = self.threshold.threshold_v(charge_c)
+        overdrive = max(vgs - vt, thermal_voltage(self.temperature_k))
+        vds_eff = min(vds, overdrive)
+        return G0 * self.transmission * modes * vds_eff
+
+    def on_off_ratio(
+        self,
+        read_vgs: float,
+        read_vds: float,
+        programmed_charge_c: float,
+        erased_charge_c: float = 0.0,
+    ) -> float:
+        """Read-current ratio between erased ('1') and programmed ('0').
+
+        The sense margin of the memory cell; large ratios make sensing
+        robust to Vt-distribution spread.
+        """
+        i_erased = self.drain_current_a(read_vgs, read_vds, erased_charge_c)
+        i_programmed = self.drain_current_a(
+            read_vgs, read_vds, programmed_charge_c
+        )
+        if i_programmed <= 0.0:
+            return math.inf
+        return i_erased / i_programmed

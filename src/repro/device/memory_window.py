@@ -1,0 +1,97 @@
+"""Memory window analysis: the gap between the two logic states.
+
+The paper's logic states: programmed (electrons on the FG, logic '0',
+high threshold) and erased (electrons depleted, logic '1', low
+threshold). The window is the threshold separation; a cell is usable as
+nonvolatile memory when the window comfortably exceeds the sensing
+resolution plus distribution spread plus retention loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .bias import BiasCondition, ERASE_BIAS, PROGRAM_BIAS
+from .floating_gate import FloatingGateTransistor
+from .threshold import ThresholdModel
+from .transient import equilibrium_charge, simulate_transient
+
+
+@dataclass(frozen=True)
+class MemoryWindow:
+    """Threshold window between the programmed and erased states.
+
+    Attributes
+    ----------
+    programmed_vt_v, erased_vt_v:
+        Thresholds of the two states [V].
+    programmed_charge_c, erased_charge_c:
+        Stored charges of the two states [C].
+    """
+
+    programmed_vt_v: float
+    erased_vt_v: float
+    programmed_charge_c: float
+    erased_charge_c: float
+
+    @property
+    def window_v(self) -> float:
+        """Threshold separation [V]."""
+        return self.programmed_vt_v - self.erased_vt_v
+
+    def is_usable(self, min_window_v: float = 1.0) -> bool:
+        """True when the window exceeds a sensing requirement."""
+        return self.window_v >= min_window_v
+
+
+def saturated_memory_window(
+    threshold: ThresholdModel,
+    program_bias: BiasCondition = PROGRAM_BIAS,
+    erase_bias: BiasCondition = ERASE_BIAS,
+) -> MemoryWindow:
+    """Window when both operations run to their Jin = Jout saturation.
+
+    The paper's maximum-stored-charge argument (Section III) applied to
+    both states: the biggest window the chosen voltages can deliver.
+    """
+    device = threshold.device
+    q_prog = equilibrium_charge(device, program_bias)
+    q_erase = equilibrium_charge(device, erase_bias)
+    return MemoryWindow(
+        programmed_vt_v=threshold.threshold_v(q_prog),
+        erased_vt_v=threshold.threshold_v(q_erase),
+        programmed_charge_c=q_prog,
+        erased_charge_c=q_erase,
+    )
+
+
+def pulsed_memory_window(
+    threshold: ThresholdModel,
+    pulse_duration_s: float,
+    program_bias: BiasCondition = PROGRAM_BIAS,
+    erase_bias: BiasCondition = ERASE_BIAS,
+) -> MemoryWindow:
+    """Window after finite program/erase pulses of a given duration.
+
+    Shorter pulses leave the transients short of saturation; this is the
+    speed-vs-window tradeoff the optimization package explores.
+    """
+    if pulse_duration_s <= 0.0:
+        raise ConfigurationError("pulse duration must be positive")
+    device = threshold.device
+    prog = simulate_transient(
+        device, program_bias, duration_s=pulse_duration_s
+    )
+    erase = simulate_transient(
+        device,
+        erase_bias,
+        initial_charge_c=prog.final_charge_c,
+        duration_s=pulse_duration_s,
+    )
+    return MemoryWindow(
+        programmed_vt_v=threshold.threshold_v(prog.final_charge_c),
+        erased_vt_v=threshold.threshold_v(erase.final_charge_c),
+        programmed_charge_c=prog.final_charge_c,
+        erased_charge_c=erase.final_charge_c,
+    )

@@ -1,0 +1,148 @@
+"""Charge retention of the programmed cell.
+
+With all terminals grounded the stored electrons see only their own
+self-field across the two oxides, far below the FN regime; the residual
+loss channels are direct tunneling and (after cycling) trap-assisted
+tunneling. This module integrates the slow leakage ODE and extrapolates
+the classic 10-year retention figure of merit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..electrostatics.gcr import TerminalVoltages
+from ..errors import ConfigurationError
+from ..solver.ode import integrate_ivp
+from ..tunneling.direct import DirectTunnelingModel
+from ..tunneling.trap_assisted import TrapAssistedModel
+from .bias import BiasCondition
+from .floating_gate import FloatingGateTransistor
+
+#: Ten years in seconds -- the industry retention target.
+TEN_YEARS_S = 10.0 * 365.25 * 24.0 * 3600.0
+
+
+@dataclass(frozen=True)
+class RetentionResult:
+    """Outcome of a retention simulation.
+
+    Attributes
+    ----------
+    t_s:
+        Sample times [s].
+    charge_c:
+        Remaining stored charge [C].
+    charge_after_10y_fraction:
+        Remaining fraction of the initial charge after ten years.
+    time_to_half_s:
+        Extrapolated time for the charge to halve [s] (None if no decay
+        was resolved).
+    """
+
+    t_s: np.ndarray = field(repr=False)
+    charge_c: np.ndarray = field(repr=False)
+    charge_after_10y_fraction: float
+    time_to_half_s: "float | None"
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Leakage model of an idle (grounded) programmed cell.
+
+    Attributes
+    ----------
+    device:
+        The cell.
+    trap_density_m2:
+        Tunnel-oxide trap density [1/m^2]; grows with P/E cycling (the
+        reliability package supplies post-cycling values).
+    """
+
+    device: FloatingGateTransistor
+    trap_density_m2: float = 0.0
+
+    def leakage_current_a(self, charge_c: float) -> float:
+        """Total charge-loss current [A] at a stored charge.
+
+        Self-field only: V_FG = Q/C_T with all terminals grounded.
+        Electrons leak back to the channel through the tunnel oxide
+        (direct tunneling at the low self-field, plus TAT if the oxide
+        is trapped) and toward the control gate through the control
+        oxide.
+        """
+        rest_bias = BiasCondition(name="rest", voltages=TerminalVoltages())
+        vfg = self.device.floating_gate_voltage(rest_bias, charge_c)
+        area = self.device.geometry.channel_area_m2
+        cg_area = area * self.device.geometry.control_gate_area_multiplier
+
+        dt_tunnel = DirectTunnelingModel(self.device.tunnel_barrier)
+        dt_control = DirectTunnelingModel(self.device.control_barrier)
+        # Stored electrons make V_FG negative; the leakage discharges it.
+        j_tunnel = dt_tunnel.current_density_from_voltage(vfg)
+        j_control = dt_control.current_density_from_voltage(vfg)
+        current = abs(j_tunnel) * area + abs(j_control) * cg_area
+
+        if self.trap_density_m2 > 0.0:
+            tat = TrapAssistedModel(
+                self.device.tunnel_barrier,
+                trap_density_m2=self.trap_density_m2,
+            )
+            field_mag = abs(vfg) / self.device.geometry.tunnel_oxide_thickness_m
+            current += tat.current_density(field_mag) * area
+        return current
+
+    def simulate(
+        self,
+        initial_charge_c: float,
+        duration_s: float = TEN_YEARS_S,
+        n_samples: int = 200,
+    ) -> RetentionResult:
+        """Integrate the leakage ODE over ``duration_s``."""
+        if initial_charge_c == 0.0:
+            raise ConfigurationError("retention needs a programmed charge")
+        if duration_s <= 0.0:
+            raise ConfigurationError("duration must be positive")
+        sign = math.copysign(1.0, initial_charge_c)
+
+        def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+            q = float(y[0])
+            if q * sign <= 0.0:
+                return np.array([0.0])
+            # Leakage always reduces the charge magnitude.
+            return np.array([-sign * self.leakage_current_a(q)])
+
+        result = integrate_ivp(
+            rhs,
+            (0.0, duration_s),
+            [initial_charge_c],
+            method="LSODA",
+            rtol=1e-6,
+            atol=abs(initial_charge_c) * 1e-9,
+        )
+        t_out = np.geomspace(1.0, duration_s, n_samples)
+        charge = np.interp(t_out, result.t, result.y[0])
+
+        fraction_10y = float(
+            np.interp(min(TEN_YEARS_S, duration_s), t_out, charge)
+            / initial_charge_c
+        )
+        time_to_half = None
+        ratio = charge / initial_charge_c
+        below = np.nonzero(ratio <= 0.5)[0]
+        if below.size:
+            time_to_half = float(t_out[below[0]])
+        elif ratio[-1] < 1.0 and ratio[-1] > 0.0:
+            # Exponential extrapolation from the resolved decay.
+            decay = -math.log(max(ratio[-1], 1e-12)) / t_out[-1]
+            if decay > 0.0:
+                time_to_half = math.log(2.0) / decay
+        return RetentionResult(
+            t_s=t_out,
+            charge_c=charge,
+            charge_after_10y_fraction=fraction_10y,
+            time_to_half_s=time_to_half,
+        )

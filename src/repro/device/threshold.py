@@ -1,0 +1,77 @@
+"""Threshold voltage of the cell and its charge-induced shift.
+
+The readout mechanism of the flash cell: stored electrons shift the
+threshold seen from the control gate by ``Delta V_T = -Q_FG / C_FC``.
+The neutral threshold of the MLGNR-channel FET is estimated from the
+work-function difference between control gate and channel plus the
+half-gap of the semiconducting nanoribbon, all divided by the coupling
+ratio (the control gate acts on the channel only through the FG stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..electrostatics.gcr import threshold_shift_v
+from ..errors import ConfigurationError
+from .floating_gate import FloatingGateTransistor
+
+
+@dataclass(frozen=True)
+class ThresholdModel:
+    """Threshold-voltage model of one cell.
+
+    Attributes
+    ----------
+    device:
+        The transistor.
+    channel_band_gap_ev:
+        Band gap of the GNR channel [eV]; a ~12-dimer-line armchair
+        ribbon (0.7 eV) by default.
+    neutral_threshold_offset_v:
+        Additive calibration term for interface charge etc.
+    """
+
+    device: FloatingGateTransistor
+    channel_band_gap_ev: float = 0.7
+    neutral_threshold_offset_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.channel_band_gap_ev < 0.0:
+            raise ConfigurationError("band gap cannot be negative")
+
+    @property
+    def neutral_threshold_v(self) -> float:
+        """Threshold with zero stored charge [V].
+
+        ``V_T0 = (phi_gate - phi_channel + Eg/2) / GCR + offset``: the
+        gate must move the channel Fermi level by the half-gap through
+        the capacitive divider before the channel conducts.
+        """
+        wf_diff = (
+            self.device.control_gate_work_function_ev
+            - self.device.channel_work_function_ev
+        )
+        gcr = self.device.gate_coupling_ratio
+        return (
+            wf_diff + 0.5 * self.channel_band_gap_ev
+        ) / gcr + self.neutral_threshold_offset_v
+
+    def threshold_v(self, charge_c: float) -> float:
+        """Threshold at a stored charge [V]: ``V_T0 + (-Q/C_FC)``."""
+        shift = threshold_shift_v(charge_c, self.device.capacitances.cfc)
+        return self.neutral_threshold_v + shift
+
+    def charge_for_threshold(self, target_vt: float) -> float:
+        """Invert: stored charge that produces a target threshold [C]."""
+        shift = target_vt - self.neutral_threshold_v
+        return -shift * self.device.capacitances.cfc
+
+    def state_thresholds(
+        self, programmed_charge_c: float, erased_charge_c: float = 0.0
+    ) -> "tuple[float, float]":
+        """(programmed V_T, erased V_T): logic '0' and '1' of the paper."""
+        return (
+            self.threshold_v(programmed_charge_c),
+            self.threshold_v(erased_charge_c),
+        )

@@ -1,0 +1,208 @@
+"""Programming / erasing transients (paper Section III, Figures 4-5).
+
+Integrates the floating-gate charge ODE
+
+    dQ_FG/dt = -(Jin * A_tunnel - Jout * A_control)
+
+with both current densities re-evaluated from eq. (3) at every step:
+as electrons accumulate, V_FG falls, Jin decays and Jout grows. The two
+densities converge to a common value; the stored charge at that point is
+the maximum programmable charge (the paper's Q at t_sat).
+
+Because Jin and Jout approach each other *asymptotically* (the net
+charging current vanishes smoothly at equilibrium), the implementation
+defines ``t_sat`` operationally as the time at which the stored charge
+reaches a fraction ``1 - saturation_epsilon`` of its equilibrium value;
+the paper's Figure 5 draws the same event schematically as a crossing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..solver.ode import integrate_ivp
+from ..solver.rootfind import bisect
+from .bias import BiasCondition
+from .floating_gate import FloatingGateTransistor
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Sampled trajectory of one program or erase transient.
+
+    Attributes
+    ----------
+    t_s:
+        Sample times [s].
+    charge_c:
+        Stored floating-gate charge [C] (negative = electrons).
+    vfg_v:
+        Floating-gate potential [V].
+    jin_a_m2, jout_a_m2:
+        Signed tunnel- and control-oxide current densities [A/m^2].
+    q_equilibrium_c:
+        Charge at which Jin and Jout balance [C].
+    t_sat_s:
+        Time at which the charge reached ``1 - epsilon`` of equilibrium
+        [s]; None if the integration window was too short.
+    """
+
+    t_s: np.ndarray = field(repr=False)
+    charge_c: np.ndarray = field(repr=False)
+    vfg_v: np.ndarray = field(repr=False)
+    jin_a_m2: np.ndarray = field(repr=False)
+    jout_a_m2: np.ndarray = field(repr=False)
+    q_equilibrium_c: float = 0.0
+    t_sat_s: "float | None" = None
+
+    @property
+    def final_charge_c(self) -> float:
+        return float(self.charge_c[-1])
+
+    @property
+    def stored_electrons(self) -> float:
+        """Magnitude of stored charge in electron counts."""
+        from ..constants import ELEMENTARY_CHARGE
+
+        return abs(self.final_charge_c) / ELEMENTARY_CHARGE
+
+    def saturation_fraction(self) -> float:
+        """How far the transient got toward equilibrium (0..1)."""
+        if self.q_equilibrium_c == 0.0:
+            return 1.0
+        return float(
+            np.clip(self.final_charge_c / self.q_equilibrium_c, 0.0, 1.0)
+        )
+
+
+def equilibrium_floating_gate_voltage(
+    device: FloatingGateTransistor, bias: BiasCondition
+) -> float:
+    """V_FG at which Jin and Jout balance (net charging current zero) [V].
+
+    Jin rises monotonically with V_FG while Jout falls, so the balance
+    point is unique; it is bracketed between the source potential and
+    the control-gate voltage and found by bisection (robust across the
+    ~30 decades the FN characteristics span).
+    """
+    voltages = bias.effective_voltages
+    vgs = voltages.vgs
+    vs = voltages.vs
+    if vgs == vs:
+        raise ConfigurationError(
+            "equilibrium is undefined with no gate-to-source voltage"
+        )
+
+    area = device.geometry.channel_area_m2
+    cg_area = area * device.geometry.control_gate_area_multiplier
+    tunnel = device.tunnel_fn_model
+    control = device.control_fn_model
+
+    def net(vfg: float) -> float:
+        jin = tunnel.current_density_from_voltage(vfg - vs)
+        jout = control.current_density_from_voltage(vgs - vfg)
+        return jin * area - jout * cg_area
+
+    lo, hi = (vs, vgs) if vgs > vs else (vgs, vs)
+    span = hi - lo
+    return bisect(net, lo + 1e-9 * span, hi - 1e-9 * span, tol=1e-12 * span)
+
+
+def equilibrium_charge(
+    device: FloatingGateTransistor, bias: BiasCondition
+) -> float:
+    """Stored charge at the Jin = Jout balance point [C].
+
+    Inverts eq. (3): ``Q = (V_FG* - GCR' V_GS - ...) * C_T`` via the full
+    capacitive divider. During programming this is the paper's maximum
+    accumulable charge (Section III).
+    """
+    from ..electrostatics.gcr import charge_for_floating_gate_voltage
+
+    vfg_star = equilibrium_floating_gate_voltage(device, bias)
+    return charge_for_floating_gate_voltage(
+        device.capacitances, bias.effective_voltages, vfg_star
+    )
+
+
+def simulate_transient(
+    device: FloatingGateTransistor,
+    bias: BiasCondition,
+    initial_charge_c: float = 0.0,
+    duration_s: float = 1e-3,
+    n_samples: int = 400,
+    saturation_epsilon: float = 0.01,
+    t_first_sample_s: float = 1e-12,
+) -> TransientResult:
+    """Integrate one programming or erase transient.
+
+    Parameters
+    ----------
+    device, bias:
+        The cell and the applied bias.
+    initial_charge_c:
+        Stored charge at t = 0 (0 for a fresh program; the programmed
+        charge for an erase).
+    duration_s:
+        Pulse length [s].
+    n_samples:
+        Number of (geometrically spaced) output samples; tunneling
+        transients span many decades in time.
+    saturation_epsilon:
+        Fraction of the equilibrium charge defining ``t_sat``.
+    """
+    if duration_s <= 0.0:
+        raise ConfigurationError("duration must be positive")
+    if n_samples < 8:
+        raise ConfigurationError("need at least 8 samples")
+    if not 0.0 < saturation_epsilon < 1.0:
+        raise ConfigurationError("saturation epsilon must be in (0, 1)")
+
+    def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+        return np.array([device.charge_derivative(bias, float(y[0]))])
+
+    result = integrate_ivp(
+        rhs,
+        (0.0, duration_s),
+        [initial_charge_c],
+        method="LSODA",
+        rtol=1e-8,
+        atol=1e-24,
+    )
+
+    # Resample on a geometric time grid (the solver's own steps are kept
+    # as the interpolation support).
+    t_geo = np.geomspace(t_first_sample_s, duration_s, n_samples - 1)
+    t_out = np.concatenate([[0.0], t_geo])
+    charge = np.interp(t_out, result.t, result.y[0])
+
+    vfg = np.empty_like(t_out)
+    jin = np.empty_like(t_out)
+    jout = np.empty_like(t_out)
+    for i, q in enumerate(charge):
+        state = device.tunneling_state(bias, float(q))
+        vfg[i] = state.vfg_v
+        jin[i] = state.jin_a_m2
+        jout[i] = state.jout_a_m2
+
+    q_eq = equilibrium_charge(device, bias)
+    t_sat = None
+    delta_total = q_eq - initial_charge_c
+    if delta_total != 0.0:
+        progress = (charge - initial_charge_c) / delta_total
+        reached = np.nonzero(progress >= 1.0 - saturation_epsilon)[0]
+        if reached.size:
+            t_sat = float(t_out[reached[0]])
+
+    return TransientResult(
+        t_s=t_out,
+        charge_c=charge,
+        vfg_v=vfg,
+        jin_a_m2=jin,
+        jout_a_m2=jout,
+        q_equilibrium_c=q_eq,
+        t_sat_s=t_sat,
+    )

@@ -1,0 +1,123 @@
+"""Gate-voltage waveforms: single pulses and ISPP staircases.
+
+Array-level programming uses pulse trains rather than one long DC
+stress. A :class:`PulseTrain` applies a sequence of (voltage, duration)
+steps to a device, chaining the transients so each pulse starts from the
+charge the previous one left behind -- exactly how incremental step
+pulse programming (ISPP) walks the threshold to its target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .bias import BiasCondition
+from .floating_gate import FloatingGateTransistor
+from .transient import TransientResult, simulate_transient
+
+
+@dataclass(frozen=True)
+class PulseStep:
+    """One constant-voltage segment of a waveform."""
+
+    gate_voltage_v: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("pulse duration must be positive")
+
+
+@dataclass(frozen=True)
+class PulseTrain:
+    """A sequence of gate pulses applied back-to-back."""
+
+    steps: "tuple[PulseStep, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ConfigurationError("a pulse train needs at least one step")
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(s.duration_s for s in self.steps)
+
+    @staticmethod
+    def square(voltage_v: float, duration_s: float) -> "PulseTrain":
+        """Single square pulse."""
+        return PulseTrain(steps=(PulseStep(voltage_v, duration_s),))
+
+    @staticmethod
+    def ispp(
+        start_v: float,
+        step_v: float,
+        n_pulses: int,
+        pulse_duration_s: float,
+    ) -> "PulseTrain":
+        """Incremental step pulse programming staircase.
+
+        Each pulse is ``step_v`` higher than the last; NAND programming
+        uses this to converge the threshold with tight distribution.
+        """
+        if n_pulses < 1:
+            raise ConfigurationError("need at least one pulse")
+        if step_v <= 0.0:
+            raise ConfigurationError("ISPP step must be positive")
+        return PulseTrain(
+            steps=tuple(
+                PulseStep(start_v + i * step_v, pulse_duration_s)
+                for i in range(n_pulses)
+            )
+        )
+
+
+@dataclass(frozen=True)
+class WaveformResult:
+    """Concatenated transient across all pulses of a train.
+
+    Attributes
+    ----------
+    per_pulse:
+        The individual transients, in order.
+    charge_after_each_c:
+        Stored charge after each pulse [C].
+    """
+
+    per_pulse: "tuple[TransientResult, ...]" = field(repr=False)
+    charge_after_each_c: np.ndarray = field(repr=False)
+
+    @property
+    def final_charge_c(self) -> float:
+        return float(self.charge_after_each_c[-1])
+
+
+def apply_pulse_train(
+    device: FloatingGateTransistor,
+    base_bias: BiasCondition,
+    train: PulseTrain,
+    initial_charge_c: float = 0.0,
+    samples_per_pulse: int = 60,
+) -> WaveformResult:
+    """Run a pulse train, chaining stored charge between pulses."""
+    charge = initial_charge_c
+    transients = []
+    after = []
+    for step in train.steps:
+        bias = base_bias.with_gate_voltage(step.gate_voltage_v)
+        result = simulate_transient(
+            device,
+            bias,
+            initial_charge_c=charge,
+            duration_s=step.duration_s,
+            n_samples=samples_per_pulse,
+        )
+        charge = result.final_charge_c
+        transients.append(result)
+        after.append(charge)
+    return WaveformResult(
+        per_pulse=tuple(transients),
+        charge_after_each_c=np.array(after),
+    )

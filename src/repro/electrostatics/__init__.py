@@ -1,0 +1,60 @@
+"""Floating-gate electrostatics (paper eqs. (2)-(3) and Figure 3).
+
+The capacitive network of the floating gate, the gate coupling ratio,
+the floating-gate potential, band diagrams of the biased stack, and the
+self-consistent Poisson-Schrodinger channel model.
+"""
+
+from .band_diagram import (
+    BandDiagram,
+    build_band_diagram,
+    oxide_fields_v_per_m,
+    stored_charge_sheet_density,
+)
+from .capacitance import (
+    capacitance_per_area,
+    fringe_factor,
+    parallel,
+    parallel_plate_capacitance,
+    series,
+)
+from .gcr import (
+    TerminalVoltages,
+    charge_for_floating_gate_voltage,
+    floating_gate_voltage,
+    floating_gate_voltage_simple,
+    threshold_shift_v,
+)
+from .poisson_schrodinger import (
+    ChannelWellSolution,
+    solve_channel_well,
+    triangular_well_levels_ev,
+)
+from .stack import (
+    FloatingGateCapacitances,
+    build_capacitances,
+    build_capacitances_layered,
+)
+
+__all__ = [
+    "parallel_plate_capacitance",
+    "capacitance_per_area",
+    "series",
+    "parallel",
+    "fringe_factor",
+    "FloatingGateCapacitances",
+    "build_capacitances",
+    "build_capacitances_layered",
+    "TerminalVoltages",
+    "floating_gate_voltage",
+    "floating_gate_voltage_simple",
+    "charge_for_floating_gate_voltage",
+    "threshold_shift_v",
+    "BandDiagram",
+    "build_band_diagram",
+    "oxide_fields_v_per_m",
+    "stored_charge_sheet_density",
+    "ChannelWellSolution",
+    "solve_channel_well",
+    "triangular_well_levels_ev",
+]

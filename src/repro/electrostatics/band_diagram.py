@@ -1,0 +1,177 @@
+"""Band diagrams of the CG / control-oxide / FG / tunnel-oxide / channel stack.
+
+Reproduces the physics of paper Figure 2 (the triangular FN barrier) for
+the full five-layer stack: given the terminal voltages and the stored
+charge, the conduction-band edge across both oxides is assembled from
+the Poisson solution of the layered dielectric, with the floating gate
+pinned at the potential given by eq. (3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import ELEMENTARY_CHARGE
+from ..errors import ConfigurationError
+from ..materials.base import DielectricMaterial
+from ..solver.grid import nonuniform_grid
+from ..solver.poisson import PoissonProblem1D, solve_poisson_1d
+
+
+@dataclass(frozen=True)
+class BandDiagram:
+    """Conduction-band profile across the gate stack.
+
+    Positions run from the channel surface (x = 0) through the tunnel
+    oxide, the floating gate, and the control oxide to the control gate.
+
+    Attributes
+    ----------
+    x_m:
+        Node positions [m].
+    conduction_band_ev:
+        Conduction-band edge relative to the channel Fermi level [eV].
+    region_labels:
+        One label per node: ``"tunnel_oxide"``, ``"floating_gate"`` or
+        ``"control_oxide"``.
+    """
+
+    x_m: np.ndarray = field(repr=False)
+    conduction_band_ev: np.ndarray = field(repr=False)
+    region_labels: "tuple[str, ...]" = field(repr=False, default=())
+
+    def barrier_peak_ev(self) -> float:
+        """Highest conduction-band energy in the stack [eV]."""
+        return float(self.conduction_band_ev.max())
+
+    def tunnel_distance_at_fermi_m(self) -> float:
+        """Length of the classically forbidden region at E = 0 [m].
+
+        The 'apparent thinning' of the barrier the paper describes: the
+        distance an electron at the channel Fermi level must tunnel.
+        """
+        forbidden = self.conduction_band_ev > 0.0
+        if not forbidden.any():
+            return 0.0
+        dx = np.diff(self.x_m)
+        mid_forbidden = forbidden[:-1] & forbidden[1:]
+        return float(np.sum(dx[mid_forbidden]))
+
+
+def build_band_diagram(
+    tunnel_dielectric: DielectricMaterial,
+    control_dielectric: DielectricMaterial,
+    tunnel_thickness_m: float,
+    control_thickness_m: float,
+    floating_gate_thickness_m: float,
+    channel_barrier_ev: float,
+    gate_barrier_ev: float,
+    floating_gate_voltage_v: float,
+    control_gate_voltage_v: float,
+    nodes_per_layer: int = 120,
+) -> BandDiagram:
+    """Assemble the band diagram of the biased stack.
+
+    Parameters
+    ----------
+    channel_barrier_ev:
+        Barrier height at the channel / tunnel-oxide interface [eV].
+    gate_barrier_ev:
+        Barrier height at the FG / control-oxide interface [eV].
+    floating_gate_voltage_v:
+        Electrostatic potential of the floating gate (paper eq. (3)).
+    control_gate_voltage_v:
+        Applied control-gate voltage V_GS.
+
+    Notes
+    -----
+    Each oxide is solved as a charge-free Poisson problem with Dirichlet
+    potentials at its two faces, so the band edge is exactly linear in
+    each oxide (Figure 2's triangular barrier when biased), and the
+    floating-gate region is flat at ``-q V_FG`` (a conductor).
+    """
+    if tunnel_thickness_m <= 0 or control_thickness_m <= 0:
+        raise ConfigurationError("oxide thicknesses must be positive")
+    if floating_gate_thickness_m <= 0:
+        raise ConfigurationError("floating-gate thickness must be positive")
+
+    # Region boundaries.
+    x0 = 0.0
+    x1 = tunnel_thickness_m
+    x2 = x1 + floating_gate_thickness_m
+    x3 = x2 + control_thickness_m
+
+    # Tunnel oxide potential: channel (0 V) -> floating gate (V_FG).
+    grid_to = nonuniform_grid([x0, x1], [nodes_per_layer])
+    eps_to = np.full(
+        grid_to.n - 1, tunnel_dielectric.permittivity_f_per_m
+    )
+    sol_to = solve_poisson_1d(
+        PoissonProblem1D(
+            grid_to, eps_to, np.zeros(grid_to.n), 0.0, floating_gate_voltage_v
+        )
+    )
+    # Control oxide: floating gate (V_FG) -> control gate (V_GS).
+    grid_co = nonuniform_grid([x2, x3], [nodes_per_layer])
+    eps_co = np.full(grid_co.n - 1, control_dielectric.permittivity_f_per_m)
+    sol_co = solve_poisson_1d(
+        PoissonProblem1D(
+            grid_co,
+            eps_co,
+            np.zeros(grid_co.n),
+            floating_gate_voltage_v,
+            control_gate_voltage_v,
+        )
+    )
+
+    # Conduction band edge: barrier offset minus local potential.
+    band_to = channel_barrier_ev - sol_to.potential
+    n_fg = max(nodes_per_layer // 4, 8)
+    x_fg = np.linspace(x1, x2, n_fg)
+    band_fg = np.full(n_fg, -floating_gate_voltage_v)
+    band_co = gate_barrier_ev - floating_gate_voltage_v + (
+        sol_co.potential[0] - sol_co.potential
+    )
+
+    x_all = np.concatenate([grid_to.points, x_fg, grid_co.points])
+    band_all = np.concatenate([band_to, band_fg, band_co])
+    labels = (
+        ("tunnel_oxide",) * grid_to.n
+        + ("floating_gate",) * n_fg
+        + ("control_oxide",) * grid_co.n
+    )
+    return BandDiagram(
+        x_m=x_all, conduction_band_ev=band_all, region_labels=labels
+    )
+
+
+def oxide_fields_v_per_m(
+    tunnel_thickness_m: float,
+    control_thickness_m: float,
+    floating_gate_voltage_v: float,
+    control_gate_voltage_v: float,
+    source_voltage_v: float = 0.0,
+) -> "tuple[float, float]":
+    """Fields across the two oxides (paper eq. (5) applied twice) [V/m].
+
+    Returns ``(E_tunnel, E_control)`` with signs: positive tunnel field
+    pushes channel electrons toward the floating gate; positive control
+    field pushes floating-gate electrons toward the control gate.
+    """
+    e_to = (floating_gate_voltage_v - source_voltage_v) / tunnel_thickness_m
+    e_co = (
+        control_gate_voltage_v - floating_gate_voltage_v
+    ) / control_thickness_m
+    return e_to, e_co
+
+
+def stored_charge_sheet_density(
+    charge_c: float, area_m2: float
+) -> float:
+    """Convert a stored charge to electrons per cm^2 (reporting helper)."""
+    if area_m2 <= 0.0:
+        raise ConfigurationError("area must be positive")
+    electrons_per_m2 = abs(charge_c) / (ELEMENTARY_CHARGE * area_m2)
+    return electrons_per_m2 * 1e-4

@@ -1,0 +1,69 @@
+"""Elementary capacitance formulas for the lumped device network."""
+
+from __future__ import annotations
+
+from ..constants import VACUUM_PERMITTIVITY
+from ..errors import ConfigurationError
+
+
+def parallel_plate_capacitance(
+    relative_permittivity: float, area_m2: float, thickness_m: float
+) -> float:
+    """Parallel-plate capacitance ``C = eps A / d`` [F]."""
+    if relative_permittivity <= 0.0:
+        raise ConfigurationError("permittivity must be positive")
+    if area_m2 <= 0.0:
+        raise ConfigurationError("area must be positive")
+    if thickness_m <= 0.0:
+        raise ConfigurationError("thickness must be positive")
+    return relative_permittivity * VACUUM_PERMITTIVITY * area_m2 / thickness_m
+
+
+def capacitance_per_area(
+    relative_permittivity: float, thickness_m: float
+) -> float:
+    """Capacitance per unit area ``eps / d`` [F/m^2]."""
+    if relative_permittivity <= 0.0:
+        raise ConfigurationError("permittivity must be positive")
+    if thickness_m <= 0.0:
+        raise ConfigurationError("thickness must be positive")
+    return relative_permittivity * VACUUM_PERMITTIVITY / thickness_m
+
+
+def series(*capacitances_f: float) -> float:
+    """Series combination of capacitances [F]."""
+    if not capacitances_f:
+        raise ConfigurationError("need at least one capacitance")
+    inverse = 0.0
+    for c in capacitances_f:
+        if c <= 0.0:
+            raise ConfigurationError("capacitances must be positive")
+        inverse += 1.0 / c
+    return 1.0 / inverse
+
+
+def parallel(*capacitances_f: float) -> float:
+    """Parallel combination (sum) of capacitances [F]."""
+    if not capacitances_f:
+        raise ConfigurationError("need at least one capacitance")
+    total = 0.0
+    for c in capacitances_f:
+        if c < 0.0:
+            raise ConfigurationError("capacitances cannot be negative")
+        total += c
+    return total
+
+
+def fringe_factor(thickness_m: float, lateral_extent_m: float) -> float:
+    """First-order fringing-field enhancement for a finite plate.
+
+    A thin-plate empirical correction ``1 + (d / (pi L)) * ln(2 pi L / d)``
+    (Palmer's formula, leading term); tends to 1 for plates much wider
+    than the dielectric is thick.
+    """
+    if thickness_m <= 0.0 or lateral_extent_m <= 0.0:
+        raise ConfigurationError("dimensions must be positive")
+    import math
+
+    ratio = thickness_m / (math.pi * lateral_extent_m)
+    return 1.0 + ratio * math.log(2.0 * math.pi * lateral_extent_m / thickness_m)

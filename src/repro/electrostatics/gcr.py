@@ -1,0 +1,94 @@
+"""Floating-gate potential and gate coupling ratio (paper eq. (3)).
+
+The paper's eq. (3):
+
+    V_FG = GCR * V_GS + Q_FG / C_T
+
+extended here with the drain/source coupling terms that the paper drops
+(it grounds source and body and treats the 50 mV drain bias as zero):
+
+    V_FG = (C_FC V_GS + C_FD V_DS + C_FS V_S + C_FB V_B + Q_FG) / C_T
+
+Setting V_DS = V_S = V_B = 0 recovers eq. (3) exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .stack import FloatingGateCapacitances
+
+
+@dataclass(frozen=True)
+class TerminalVoltages:
+    """Voltages applied to the four device terminals [V].
+
+    ``vgs`` is the control-gate voltage; ``vds`` the drain voltage;
+    ``vs`` the source; ``vb`` the body. All referenced to ground.
+    """
+
+    vgs: float = 0.0
+    vds: float = 0.0
+    vs: float = 0.0
+    vb: float = 0.0
+
+
+def floating_gate_voltage(
+    capacitances: FloatingGateCapacitances,
+    voltages: TerminalVoltages,
+    charge_c: float = 0.0,
+) -> float:
+    """Floating-gate potential from the full capacitive divider [V].
+
+    With all non-gate terminals grounded this is exactly paper eq. (3):
+    ``V_FG = GCR * V_GS + Q_FG / C_T``.
+    """
+    numerator = (
+        capacitances.cfc * voltages.vgs
+        + capacitances.cfd * voltages.vds
+        + capacitances.cfs * voltages.vs
+        + capacitances.cfb * voltages.vb
+        + charge_c
+    )
+    return numerator / capacitances.total
+
+
+def floating_gate_voltage_simple(
+    gcr: float, vgs: float, charge_c: float = 0.0, c_total_f: "float | None" = None
+) -> float:
+    """Paper eq. (3) in its literal two-term form.
+
+    ``V_FG = GCR * V_GS + Q_FG / C_T``; when no charge is stored the
+    ``C_T`` argument may be omitted.
+    """
+    if not 0.0 < gcr < 1.0:
+        raise ConfigurationError("GCR must lie strictly inside (0, 1)")
+    if charge_c == 0.0:
+        return gcr * vgs
+    if c_total_f is None or c_total_f <= 0.0:
+        raise ConfigurationError(
+            "a positive total capacitance is required when charge is stored"
+        )
+    return gcr * vgs + charge_c / c_total_f
+
+
+def charge_for_floating_gate_voltage(
+    capacitances: FloatingGateCapacitances,
+    voltages: TerminalVoltages,
+    target_vfg: float,
+) -> float:
+    """Invert eq. (3): the stored charge that yields a target V_FG [C]."""
+    zero_charge_vfg = floating_gate_voltage(capacitances, voltages, 0.0)
+    return (target_vfg - zero_charge_vfg) * capacitances.total
+
+
+def threshold_shift_v(charge_c: float, cfc_f: float) -> float:
+    """Threshold-voltage shift seen from the control gate [V].
+
+    ``Delta V_T = -Q_FG / C_FC``: stored electrons (negative charge)
+    raise the threshold, which is the readout mechanism of the cell.
+    """
+    if cfc_f <= 0.0:
+        raise ConfigurationError("C_FC must be positive")
+    return -charge_c / cfc_f

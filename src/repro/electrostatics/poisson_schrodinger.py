@@ -1,0 +1,215 @@
+"""Self-consistent 1-D Poisson-Schrodinger solver for the channel well.
+
+During programming the vertical field confines channel electrons in a
+narrow potential well against the tunnel oxide. The subband structure of
+that well sets the energy from which electrons attack the barrier -- the
+quantum-mechanical refinement behind the emitter Fermi level used by the
+Tsu-Esaki model. The solver iterates:
+
+1. Schrodinger: bound states of the current potential well,
+2. populate subbands with a 2-D density of states at fixed sheet density,
+3. Poisson: recompute the electrostatic potential from the charge,
+4. mix and repeat until the potential stops moving.
+
+This is the standard MOS inversion-layer treatment (Stern's method)
+specialised to an effective-mass channel; it doubles as an independently
+testable substrate (triangular-well Airy levels, charge neutrality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import (
+    BOLTZMANN,
+    ELECTRON_MASS,
+    ELEMENTARY_CHARGE,
+    HBAR,
+)
+from ..errors import ConfigurationError, ConvergenceError
+from ..solver.grid import Grid1D, uniform_grid
+from ..solver.poisson import PoissonProblem1D, solve_poisson_1d
+from ..solver.schrodinger import solve_schrodinger_1d
+from ..units import ev_to_j, j_to_ev
+
+
+@dataclass(frozen=True)
+class ChannelWellSolution:
+    """Converged state of the channel quantum well.
+
+    Attributes
+    ----------
+    grid:
+        Spatial grid through the channel depth [m].
+    potential_ev:
+        Conduction-band profile [eV] (0 at the oxide interface field
+        reference).
+    subband_energies_ev:
+        Bound-state energies [eV].
+    subband_densities_m2:
+        Sheet density in each subband [1/m^2].
+    iterations:
+        Self-consistency iterations used.
+    """
+
+    grid: Grid1D
+    potential_ev: np.ndarray = field(repr=False)
+    subband_energies_ev: np.ndarray = field(repr=False)
+    subband_densities_m2: np.ndarray = field(repr=False)
+    iterations: int = 0
+
+    @property
+    def total_sheet_density_m2(self) -> float:
+        return float(np.sum(self.subband_densities_m2))
+
+    @property
+    def ground_state_ev(self) -> float:
+        return float(self.subband_energies_ev[0])
+
+
+def _subband_density_2d(
+    fermi_j: float, level_j: float, mass_kg: float, temperature_k: float
+) -> float:
+    """Sheet density of one 2-D subband [1/m^2] (closed-form integral)."""
+    kt = BOLTZMANN * temperature_k
+    dos_2d = mass_kg / (np.pi * HBAR**2)
+    x = (fermi_j - level_j) / kt
+    return float(dos_2d * kt * np.logaddexp(0.0, x))
+
+
+def solve_channel_well(
+    surface_field_v_per_m: float,
+    sheet_density_m2: float,
+    effective_mass_ratio: float = 0.26,
+    relative_permittivity: float = 11.7,
+    depth_m: float = 15e-9,
+    n_nodes: int = 301,
+    n_subbands: int = 4,
+    temperature_k: float = 300.0,
+    max_iterations: int = 120,
+    mixing: float = 0.25,
+    tolerance_ev: float = 1e-5,
+) -> ChannelWellSolution:
+    """Solve the self-consistent quantum well under a surface field.
+
+    Parameters
+    ----------
+    surface_field_v_per_m:
+        Vertical confining field at the oxide interface [V/m].
+    sheet_density_m2:
+        Total electron sheet density to accommodate [1/m^2]; the Fermi
+        level is adjusted each iteration to hold this density.
+    effective_mass_ratio, relative_permittivity:
+        Channel material parameters (silicon defaults).
+    depth_m:
+        Simulated depth into the channel body [m].
+
+    Raises
+    ------
+    ConvergenceError
+        If the potential has not settled within ``max_iterations``.
+    """
+    if surface_field_v_per_m <= 0.0:
+        raise ConfigurationError("surface field must be positive")
+    if sheet_density_m2 <= 0.0:
+        raise ConfigurationError("sheet density must be positive")
+
+    grid = uniform_grid(0.0, depth_m, n_nodes)
+    mass = effective_mass_ratio * ELECTRON_MASS
+    eps = relative_permittivity * 8.8541878128e-12
+    x = grid.points
+
+    # Initial guess: bare triangular well from the surface field.
+    potential_ev = surface_field_v_per_m * x
+    kt_j = BOLTZMANN * temperature_k
+
+    last_levels = None
+    for iteration in range(1, max_iterations + 1):
+        states = solve_schrodinger_1d(
+            grid, ev_to_j(potential_ev), mass, n_states=n_subbands
+        )
+        levels_j = states.energies
+
+        # Fermi level that places sheet_density_m2 electrons in the well:
+        # bisection on the monotonic total-density function.
+        lo = float(levels_j[0] - 40.0 * kt_j)
+        hi = float(levels_j[0] + 40.0 * kt_j)
+
+        def total_density(fermi_j: float) -> float:
+            return sum(
+                _subband_density_2d(fermi_j, float(lj), mass, temperature_k)
+                for lj in levels_j
+            )
+
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if total_density(mid) < sheet_density_m2:
+                lo = mid
+            else:
+                hi = mid
+        fermi_j = 0.5 * (lo + hi)
+        densities = np.array(
+            [
+                _subband_density_2d(fermi_j, float(lj), mass, temperature_k)
+                for lj in levels_j
+            ]
+        )
+
+        # Volume charge density from the wavefunctions (electrons).
+        occupancy = states.density(densities)  # 1/m^2 per node weight
+        rho = np.zeros(grid.n)
+        rho[1:-1] = -ELEMENTARY_CHARGE * occupancy
+        poisson = solve_poisson_1d(
+            PoissonProblem1D(
+                grid,
+                np.full(grid.n - 1, eps),
+                rho,
+                phi_left=0.0,
+                phi_right=-surface_field_v_per_m * depth_m,
+            )
+        )
+        # Hartree potential energy for electrons is -q * phi.
+        new_potential_ev = -poisson.potential
+        new_potential_ev -= new_potential_ev[0]
+
+        mixed = (1.0 - mixing) * potential_ev + mixing * new_potential_ev
+        if last_levels is not None:
+            shift = float(
+                np.max(np.abs(j_to_ev(levels_j - last_levels[: len(levels_j)])))
+            )
+            if shift < tolerance_ev:
+                return ChannelWellSolution(
+                    grid=grid,
+                    potential_ev=mixed,
+                    subband_energies_ev=j_to_ev(1.0) * levels_j,
+                    subband_densities_m2=densities,
+                    iterations=iteration,
+                )
+        last_levels = levels_j
+        potential_ev = mixed
+
+    raise ConvergenceError(
+        f"Poisson-Schrodinger loop did not settle in {max_iterations} iterations"
+    )
+
+
+def triangular_well_levels_ev(
+    field_v_per_m: float, effective_mass_ratio: float, n_levels: int = 4
+) -> np.ndarray:
+    """Airy-function energy levels of an ideal triangular well [eV].
+
+    ``E_n = a_n * (hbar^2 / 2m)^{1/3} * (q E)^{2/3}`` with the Airy zeros
+    ``a_n``; the standard analytic benchmark for the numeric solver.
+    """
+    if field_v_per_m <= 0.0:
+        raise ConfigurationError("field must be positive")
+    airy_zeros = np.array([2.33811, 4.08795, 5.52056, 6.78671, 7.94413])
+    if n_levels > airy_zeros.size:
+        raise ConfigurationError(f"at most {airy_zeros.size} levels supported")
+    mass = effective_mass_ratio * ELECTRON_MASS
+    scale_j = (HBAR**2 / (2.0 * mass)) ** (1.0 / 3.0) * (
+        ELEMENTARY_CHARGE * field_v_per_m
+    ) ** (2.0 / 3.0)
+    return j_to_ev(1.0) * scale_j * airy_zeros[:n_levels]

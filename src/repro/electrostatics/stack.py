@@ -1,0 +1,185 @@
+"""The floating-gate capacitive network (paper eq. (2) and Figure 3).
+
+The floating gate couples to four terminals: the control gate (C_FC,
+through the control oxide), the source (C_FS), the body/channel (C_FB,
+through the tunnel oxide) and the drain (C_FD). The total
+
+    C_T = C_FC + C_FS + C_FB + C_FD
+
+together with the stored charge determines the floating-gate potential
+(eq. (3), implemented in :mod:`repro.electrostatics.gcr`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..materials.base import DielectricMaterial
+from ..materials.stacks import LayeredDielectric
+from .capacitance import parallel_plate_capacitance
+
+
+@dataclass(frozen=True)
+class FloatingGateCapacitances:
+    """The four lumped capacitances of the floating-gate network [F]."""
+
+    cfc: float
+    cfs: float
+    cfb: float
+    cfd: float
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("cfc", self.cfc),
+            ("cfs", self.cfs),
+            ("cfb", self.cfb),
+            ("cfd", self.cfd),
+        ):
+            if value <= 0.0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+
+    @property
+    def total(self) -> float:
+        """``C_T = C_FC + C_FS + C_FB + C_FD`` (paper eq. (2)) [F]."""
+        return self.cfc + self.cfs + self.cfb + self.cfd
+
+    @property
+    def gate_coupling_ratio(self) -> float:
+        """``GCR = C_FC / C_T``; the paper's central coupling parameter."""
+        return self.cfc / self.total
+
+    @property
+    def drain_coupling_ratio(self) -> float:
+        """``DCR = C_FD / C_T`` (used when V_DS is not negligible)."""
+        return self.cfd / self.total
+
+    @property
+    def source_coupling_ratio(self) -> float:
+        """``C_FS / C_T``."""
+        return self.cfs / self.total
+
+    def scaled_to_gcr(self, target_gcr: float) -> "FloatingGateCapacitances":
+        """Return a network with C_FC rescaled to hit a target GCR.
+
+        Keeps C_FS, C_FB, C_FD fixed and solves
+        ``C_FC = GCR * (C_FS + C_FB + C_FD) / (1 - GCR)``. This is how
+        the paper's GCR sweeps (Figures 6 and 8) are realised physically:
+        by resizing the control-gate wrap area.
+        """
+        if not 0.0 < target_gcr < 1.0:
+            raise ConfigurationError("GCR must lie strictly inside (0, 1)")
+        rest = self.cfs + self.cfb + self.cfd
+        cfc = target_gcr * rest / (1.0 - target_gcr)
+        return FloatingGateCapacitances(
+            cfc=cfc, cfs=self.cfs, cfb=self.cfb, cfd=self.cfd
+        )
+
+
+def build_capacitances(
+    control_dielectric: DielectricMaterial,
+    tunnel_dielectric: DielectricMaterial,
+    control_oxide_thickness_m: float,
+    tunnel_oxide_thickness_m: float,
+    channel_area_m2: float,
+    control_gate_area_multiplier: float = 3.0,
+    source_overlap_fraction: float = 0.125,
+    drain_overlap_fraction: float = 0.125,
+) -> FloatingGateCapacitances:
+    """Build the network from stack geometry.
+
+    Parameters
+    ----------
+    control_dielectric, tunnel_dielectric:
+        Materials of the two oxides.
+    control_oxide_thickness_m, tunnel_oxide_thickness_m:
+        Layer thicknesses [m]; the control oxide is conventionally the
+        thicker of the two (the paper relies on this for Jin >> Jout).
+    channel_area_m2:
+        Floating-gate-to-channel facing area [m^2].
+    control_gate_area_multiplier:
+        Ratio of control-gate wrap area to channel area. Flash cells wrap
+        the control gate around the floating gate to raise the GCR; the
+        default of 3.0 yields GCR = 0.6 with the paper's 5 nm / 8 nm
+        SiO2 stack.
+    source_overlap_fraction, drain_overlap_fraction:
+        FG-to-source/drain overlap areas as fractions of the channel
+        area (tunnel-oxide spacing is used for these parasitics).
+    """
+    if control_gate_area_multiplier <= 0.0:
+        raise ConfigurationError("area multiplier must be positive")
+    if source_overlap_fraction < 0.0 or drain_overlap_fraction < 0.0:
+        raise ConfigurationError("overlap fractions cannot be negative")
+    if control_oxide_thickness_m <= tunnel_oxide_thickness_m:
+        raise ConfigurationError(
+            "the control oxide must be thicker than the tunnel oxide "
+            "(paper Section III: X_CO > X_TO keeps Jout << Jin)"
+        )
+    cfc = parallel_plate_capacitance(
+        control_dielectric.relative_permittivity,
+        channel_area_m2 * control_gate_area_multiplier,
+        control_oxide_thickness_m,
+    )
+    cfb = parallel_plate_capacitance(
+        tunnel_dielectric.relative_permittivity,
+        channel_area_m2,
+        tunnel_oxide_thickness_m,
+    )
+    eps_t = tunnel_dielectric.relative_permittivity
+    cfs = parallel_plate_capacitance(
+        eps_t,
+        max(channel_area_m2 * source_overlap_fraction, 1e-30),
+        tunnel_oxide_thickness_m,
+    )
+    cfd = parallel_plate_capacitance(
+        eps_t,
+        max(channel_area_m2 * drain_overlap_fraction, 1e-30),
+        tunnel_oxide_thickness_m,
+    )
+    return FloatingGateCapacitances(cfc=cfc, cfs=cfs, cfb=cfb, cfd=cfd)
+
+
+def build_capacitances_layered(
+    control_stack: LayeredDielectric,
+    tunnel_dielectric: DielectricMaterial,
+    tunnel_oxide_thickness_m: float,
+    channel_area_m2: float,
+    control_gate_area_multiplier: float = 3.0,
+    source_overlap_fraction: float = 0.125,
+    drain_overlap_fraction: float = 0.125,
+) -> FloatingGateCapacitances:
+    """Eq. (2) network with a layered (e.g. ONO) control dielectric.
+
+    The inter-poly ONO sandwich is how real flash raises the GCR without
+    thinning the control dielectric: the stack's series capacitance
+    replaces the single-oxide C_FC while the tunnel side is unchanged.
+    """
+    if control_stack.total_thickness_m <= tunnel_oxide_thickness_m:
+        raise ConfigurationError(
+            "the control stack must be physically thicker than the "
+            "tunnel oxide (paper Section III)"
+        )
+    if control_gate_area_multiplier <= 0.0:
+        raise ConfigurationError("area multiplier must be positive")
+    cfc = (
+        control_stack.capacitance_per_area
+        * channel_area_m2
+        * control_gate_area_multiplier
+    )
+    cfb = parallel_plate_capacitance(
+        tunnel_dielectric.relative_permittivity,
+        channel_area_m2,
+        tunnel_oxide_thickness_m,
+    )
+    eps_t = tunnel_dielectric.relative_permittivity
+    cfs = parallel_plate_capacitance(
+        eps_t,
+        max(channel_area_m2 * source_overlap_fraction, 1e-30),
+        tunnel_oxide_thickness_m,
+    )
+    cfd = parallel_plate_capacitance(
+        eps_t,
+        max(channel_area_m2 * drain_overlap_fraction, 1e-30),
+        tunnel_oxide_thickness_m,
+    )
+    return FloatingGateCapacitances(cfc=cfc, cfs=cfs, cfb=cfb, cfd=cfd)

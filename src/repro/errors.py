@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class. Narrow subclasses exist for the major failure
+modes (bad configuration, solver non-convergence, out-of-range physics).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model or device was constructed with physically invalid parameters."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class RegimeError(ReproError, ValueError):
+    """A model was evaluated outside its domain of validity.
+
+    Example: asking the Fowler-Nordheim closed form for the current of a
+    barrier that the applied field does not tilt into the triangular regime.
+    """
+
+
+class MaterialNotFoundError(ReproError, KeyError):
+    """A material name was not present in the material registry."""
+
+
+class MemoryOperationError(ReproError, RuntimeError):
+    """An array-level memory operation (program/erase/read) failed."""

@@ -1,0 +1,35 @@
+"""Reproduction harness for every figure of the paper plus ablations.
+
+``run_experiment("fig6")`` (etc.) regenerates a figure's series and
+checks the paper's qualitative claims; the ``repro-experiments`` CLI
+(see :mod:`repro.experiments.runner`) prints them all.
+"""
+
+from .base import ExperimentResult, ShapeCheck
+from .registry import (
+    PAPER_FIGURES,
+    available_experiments,
+    get_experiment,
+    run_all,
+    run_experiment,
+)
+from .sweeps import (
+    SweepSettings,
+    fn_density_vs_gate_voltage,
+    gcr_family,
+    oxide_family,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ShapeCheck",
+    "SweepSettings",
+    "fn_density_vs_gate_voltage",
+    "gcr_family",
+    "oxide_family",
+    "PAPER_FIGURES",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+    "run_all",
+]

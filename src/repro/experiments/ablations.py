@@ -1,0 +1,185 @@
+"""Ablation experiments on the modelling choices (DESIGN.md abl-*).
+
+The paper adopts the closed-form FN expression with ideal (metallic)
+electrodes at zero temperature. Each ablation relaxes one of those
+choices and quantifies the effect:
+
+* ``abl-wkb``  -- FN closed form vs numerical WKB vs exact transfer
+  matrix for the same triangular barrier.
+* ``abl-cq``   -- gate coupling ratio with the MLGNR floating gate's
+  finite quantum capacitance, vs layer count.
+* ``abl-temp`` -- finite-temperature FN correction over 200-400 K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..electrostatics.capacitance import capacitance_per_area
+from ..materials.graphene import MultilayerGraphene
+from ..materials.oxides import SIO2
+from ..reporting.ascii_plot import PlotSeries
+from ..tunneling.barriers import TunnelBarrier
+from ..tunneling.fowler_nordheim import FowlerNordheimModel
+from ..tunneling.temperature import temperature_correction_factor
+from ..tunneling.tsu_esaki import TsuEsakiModel
+from ..units import nm_to_m
+from .base import ExperimentResult, ShapeCheck
+
+
+def run_model_comparison(n_points: int = 10) -> ExperimentResult:
+    """abl-wkb: the FN closed form against the numerical references."""
+    barrier = TunnelBarrier(
+        barrier_height_ev=3.61, thickness_m=nm_to_m(5.0), mass_ratio=0.42
+    )
+    fn = FowlerNordheimModel(barrier)
+    te_tm = TsuEsakiModel(barrier, method="transfer_matrix")
+    te_wkb = TsuEsakiModel(barrier, method="wkb")
+
+    voltages = np.linspace(6.0, 10.5, n_points)
+    j_fn = np.array(
+        [fn.current_density_from_voltage(float(v)) for v in voltages]
+    )
+    j_tm = np.array(
+        [te_tm.current_density_from_voltage(float(v)) for v in voltages]
+    )
+    j_wkb = np.array(
+        [te_wkb.current_density_from_voltage(float(v)) for v in voltages]
+    )
+    series = (
+        PlotSeries(label="FN closed form (paper)", x=voltages, y=j_fn),
+        PlotSeries(label="Tsu-Esaki + transfer matrix", x=voltages, y=j_tm),
+        PlotSeries(label="Tsu-Esaki + WKB", x=voltages, y=j_wkb),
+    )
+    worst_tm = float(np.max(np.abs(np.log10(j_fn / j_tm))))
+    worst_wkb = float(np.max(np.abs(np.log10(j_fn / j_wkb))))
+    checks = (
+        ShapeCheck(
+            claim="FN closed form tracks the exact transfer-matrix current "
+            "within one decade across the programming window",
+            passed=worst_tm < 1.0,
+            detail=f"max |log10(J_FN/J_TM)| = {worst_tm:.2f}",
+        ),
+        ShapeCheck(
+            claim="WKB and FN agree closely (same barrier approximation)",
+            passed=worst_wkb < 1.0,
+            detail=f"max |log10(J_FN/J_WKB)| = {worst_wkb:.2f}",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="abl-wkb",
+        title="FN closed form vs WKB vs transfer matrix (5 nm SiO2)",
+        x_label="V_ox [V]",
+        y_label="J [A/m^2]",
+        series=series,
+        parameters={"barrier_ev": 3.61, "xto_nm": 5.0, "mass_ratio": 0.42},
+        checks=checks,
+    )
+
+
+def run_quantum_capacitance(max_layers: int = 10) -> ExperimentResult:
+    """abl-cq: GCR degradation from the MLGNR quantum capacitance."""
+    geometric_gcr = 0.6
+    c_co = capacitance_per_area(
+        SIO2.relative_permittivity, nm_to_m(8.0)
+    )
+    c_to = capacitance_per_area(SIO2.relative_permittivity, nm_to_m(5.0))
+    # Geometric network normalised to GCR = 0.6 (paper reference point):
+    # scale C_FC so that CFC/(CFC + rest) = 0.6 with rest = C_TO * 1.25.
+    rest = c_to * 1.25
+    c_fc = geometric_gcr * rest / (1.0 - geometric_gcr)
+
+    layers = np.arange(1, max_layers + 1)
+    effective_gcr = np.empty(layers.size)
+    for i, n in enumerate(layers):
+        mlg = MultilayerGraphene(int(n))
+        cq = mlg.quantum_capacitance_f_m2(channel_potential_v=0.2)
+        # The FG's finite DOS appears in series with *every* geometric
+        # capacitance touching the floating gate.
+        c_fc_eff = c_fc * cq / (c_fc + cq)
+        rest_eff = rest * cq / (rest + cq)
+        effective_gcr[i] = c_fc_eff / (c_fc_eff + rest_eff)
+
+    series = (
+        PlotSeries(
+            label="effective GCR with C_Q", x=layers.astype(float), y=effective_gcr
+        ),
+        PlotSeries(
+            label="geometric GCR (paper)",
+            x=layers.astype(float),
+            y=np.full(layers.size, geometric_gcr),
+        ),
+    )
+    checks = (
+        ShapeCheck(
+            claim="quantum capacitance lowers the effective coupling for "
+            "few-layer floating gates",
+            passed=bool(effective_gcr[0] < geometric_gcr),
+            detail=f"1 layer: GCR_eff = {effective_gcr[0]:.3f} vs 0.600",
+        ),
+        ShapeCheck(
+            claim="multilayer stacks recover near-metallic coupling "
+            "(justifying the paper's MLGNR choice)",
+            passed=bool(
+                abs(effective_gcr[-1] - geometric_gcr)
+                < abs(effective_gcr[0] - geometric_gcr) * 0.8
+            ),
+            detail=(
+                f"{max_layers} layers: GCR_eff = {effective_gcr[-1]:.3f} "
+                f"(1 layer: {effective_gcr[0]:.3f})"
+            ),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="abl-cq",
+        title="Effective GCR vs MLGNR layer count (quantum capacitance)",
+        x_label="floating-gate layers",
+        y_label="GCR",
+        series=series,
+        parameters={"geometric_gcr": geometric_gcr, "max_layers": max_layers},
+        checks=checks,
+        log_y=False,
+    )
+
+
+def run_temperature(n_points: int = 9) -> ExperimentResult:
+    """abl-temp: finite-temperature enhancement of the FN current."""
+    barrier = TunnelBarrier(
+        barrier_height_ev=3.61, thickness_m=nm_to_m(5.0), mass_ratio=0.42
+    )
+    field = 9.0 * 0.6 / nm_to_m(5.0) * (1.0 / 0.6)  # 9 V across 5 nm
+    temperatures = np.linspace(200.0, 400.0, n_points)
+    factors = np.array(
+        [
+            temperature_correction_factor(barrier, field, float(t))
+            for t in temperatures
+        ]
+    )
+    series = (
+        PlotSeries(
+            label="J(T)/J(0) at E = 1.8e9 V/m", x=temperatures, y=factors
+        ),
+    )
+    checks = (
+        ShapeCheck(
+            claim="FN current is only weakly temperature dependent "
+            "(tunneling is 'a pure electrical phenomenon')",
+            passed=bool(factors[-1] < 1.6),
+            detail=f"J(400K)/J(0K) = {factors[-1]:.3f}",
+        ),
+        ShapeCheck(
+            claim="the correction grows monotonically with temperature",
+            passed=bool(np.all(np.diff(factors) > 0.0)),
+            detail=f"{factors[0]:.3f} at 200 K -> {factors[-1]:.3f} at 400 K",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="abl-temp",
+        title="Finite-temperature correction to J_FN (200-400 K)",
+        x_label="temperature [K]",
+        y_label="J(T)/J(0)",
+        series=series,
+        parameters={"field_v_per_m": field, "barrier_ev": 3.61},
+        checks=checks,
+        log_y=False,
+    )

@@ -1,0 +1,131 @@
+"""Experiment framework: results, shape checks and reporting hooks.
+
+Every paper figure is reproduced by a module exposing ``run()`` which
+returns an :class:`ExperimentResult`. Since the paper's absolute
+numbers depend on unstated parameters (phi_B, m_ox), reproduction is
+verified through *shape checks* -- monotonicity, curve ordering,
+decade-scale separations -- each recorded as a :class:`ShapeCheck` so
+the harness can report which qualitative claims of the paper hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..reporting.ascii_plot import PlotSeries, ascii_plot
+from ..reporting.table import format_table
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim of the paper, checked numerically.
+
+    Attributes
+    ----------
+    claim:
+        The paper's statement being tested.
+    passed:
+        Whether the reproduced data satisfies it.
+    detail:
+        Numbers supporting the verdict.
+    """
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one reproduced figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        e.g. ``"fig6"``.
+    title:
+        Paper caption summary.
+    x_label, y_label:
+        Axis labels for reporting.
+    series:
+        The reproduced curves.
+    parameters:
+        The sweep parameters used (for EXPERIMENTS.md records).
+    checks:
+        Shape checks against the paper's claims.
+    log_y:
+        Whether the y axis is meaningful only on a log scale.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: "tuple[PlotSeries, ...]"
+    parameters: "Mapping[str, object]" = field(default_factory=dict)
+    checks: "tuple[ShapeCheck, ...]" = ()
+    log_y: bool = True
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render_plot(self, width: int = 72, height: int = 18) -> str:
+        """ASCII rendering of the reproduced figure."""
+        return ascii_plot(
+            self.series,
+            width=width,
+            height=height,
+            log_y=self.log_y,
+            title=f"[{self.experiment_id}] {self.title}",
+            x_label=self.x_label,
+            y_label=self.y_label,
+        )
+
+    def render_checks(self) -> str:
+        """Tabular rendering of the shape checks."""
+        rows = [
+            ("PASS" if c.passed else "FAIL", c.claim, c.detail)
+            for c in self.checks
+        ]
+        return format_table(("status", "paper claim", "measured"), rows)
+
+
+def monotonic_increasing(y: np.ndarray, strict: bool = True) -> bool:
+    """Whether a series rises along its x axis."""
+    d = np.diff(np.asarray(y, dtype=float))
+    return bool(np.all(d > 0.0) if strict else np.all(d >= 0.0))
+
+
+def series_ordering_check(
+    series: Sequence[PlotSeries],
+    claim: str,
+    at_index: int = -1,
+) -> ShapeCheck:
+    """Check that series are ordered bottom-to-top as listed.
+
+    Used for "higher GCR gives higher J" (Figures 6/8) and "thinner
+    oxide gives higher J" (Figures 7/9): the first listed series must
+    have the lowest value at the probe index, and so on upward.
+    """
+    if len(series) < 2:
+        raise ConfigurationError("ordering needs at least two series")
+    values = [float(np.asarray(s.y)[at_index]) for s in series]
+    ordered = all(a < b for a, b in zip(values, values[1:]))
+    detail = ", ".join(
+        f"{s.label}={v:.3g}" for s, v in zip(series, values)
+    )
+    return ShapeCheck(claim=claim, passed=ordered, detail=detail)
+
+
+def decades_between(
+    low: float, high: float
+) -> float:
+    """log10 ratio helper for separation checks."""
+    if low <= 0.0 or high <= 0.0:
+        return float("nan")
+    return float(np.log10(high / low))

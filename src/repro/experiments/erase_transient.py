@@ -1,0 +1,97 @@
+"""Erase transient: the dynamic mirror of Figure 5.
+
+The paper states "the same set of ... analysis is done for erasing
+operation" but only shows the static sweeps (Figures 8-9). This
+experiment completes the symmetry: starting from the programmed state,
+a -15 V gate pulse depletes the floating gate, with the tunnel-oxide
+current now flowing outward and the saturation bounded by the reversed
+Jin = Jout balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.bias import ERASE_BIAS, PROGRAM_BIAS
+from ..device.floating_gate import FloatingGateTransistor
+from ..device.transient import equilibrium_charge, simulate_transient
+from ..reporting.ascii_plot import PlotSeries
+from .base import ExperimentResult, ShapeCheck
+
+EXPERIMENT_ID = "erase-transient"
+TITLE = "Erase transient from the programmed state (VGS = -15 V)"
+
+
+def run(duration_s: float = 1e-2, n_samples: int = 300) -> ExperimentResult:
+    """Simulate a full erase of the saturated programmed cell."""
+    device = FloatingGateTransistor()
+    programmed_charge = equilibrium_charge(device, PROGRAM_BIAS)
+    result = simulate_transient(
+        device,
+        ERASE_BIAS,
+        initial_charge_c=programmed_charge,
+        duration_s=duration_s,
+        n_samples=n_samples,
+    )
+    jin = np.abs(result.jin_a_m2)
+    jout = np.abs(result.jout_a_m2)
+    series = (
+        PlotSeries(label="|Jin| (tunnel oxide)", x=result.t_s, y=jin),
+        PlotSeries(label="|Jout| (control oxide)", x=result.t_s, y=jout),
+        PlotSeries(
+            label="|Q_FG|", x=result.t_s, y=np.abs(result.charge_c)
+        ),
+    )
+
+    q_erase_eq = equilibrium_charge(device, ERASE_BIAS)
+    crossed_zero = bool(
+        (result.charge_c[0] < 0.0) and (result.charge_c[-1] > 0.0)
+    )
+    checks = (
+        ShapeCheck(
+            claim="electrons deplete from the floating gate under negative "
+            "V_GS (logic '1')",
+            passed=result.final_charge_c > programmed_charge,
+            detail=f"Q: {programmed_charge:.2e} -> "
+            f"{result.final_charge_c:.2e} C",
+        ),
+        ShapeCheck(
+            claim="the erase overshoots neutrality into depletion",
+            passed=crossed_zero,
+            detail=f"final Q = {result.final_charge_c:.2e} C > 0",
+        ),
+        ShapeCheck(
+            claim="erase saturates at the reversed Jin = Jout balance",
+            passed=result.t_sat_s is not None
+            and abs(result.final_charge_c / q_erase_eq - 1.0) < 0.02,
+            detail=f"t_sat = {result.t_sat_s!r} s, "
+            f"Q_final/Q_eq = {result.final_charge_c / q_erase_eq:.4f}",
+        ),
+        ShapeCheck(
+            claim="erase and program windows are symmetric for symmetric "
+            "bias (+/-15 V)",
+            passed=abs(q_erase_eq / programmed_charge + 1.0) < 1e-3,
+            detail=f"Q_erase_eq = {q_erase_eq:.3e} C vs "
+            f"-Q_program_eq = {-programmed_charge:.3e} C",
+        ),
+        ShapeCheck(
+            claim="the initial erase current magnitude mirrors the "
+            "programming Figure 4 value",
+            passed=jin[0] > 1e4,
+            detail=f"|Jin(0)| = {jin[0]:.2e} A/m^2",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="time [s]",
+        y_label="|J| [A/m^2], |Q| [C]",
+        series=series,
+        parameters={
+            "vgs_v": -15.0,
+            "initial_charge_c": programmed_charge,
+            "t_sat_s": result.t_sat_s,
+            "q_equilibrium_c": q_erase_eq,
+        },
+        checks=checks,
+    )

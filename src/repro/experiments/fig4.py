@@ -1,0 +1,78 @@
+"""Figure 4: tunneling currents at the start of programming.
+
+Paper claim: with V_GS = 15 V, GCR = 0.6 and no stored charge, V_FG is
+9 V; the inward tunnel-oxide current Jin is much larger than the
+outward control-oxide leakage Jout (only 15 - 9 = 6 V across the
+thicker control oxide). The figure shows the two current magnitudes
+over the early transient with the t = 0 mechanism in the insert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.bias import PROGRAM_BIAS
+from ..device.floating_gate import FloatingGateTransistor
+from ..device.transient import simulate_transient
+from ..reporting.ascii_plot import PlotSeries
+from .base import ExperimentResult, ShapeCheck, decades_between
+
+EXPERIMENT_ID = "fig4"
+TITLE = "Jin vs Jout at the start of programming (VGS=15V, GCR=0.6)"
+
+
+def run(duration_s: float = 1e-5, n_samples: int = 120) -> ExperimentResult:
+    """Reproduce Figure 4: the early programming transient."""
+    device = FloatingGateTransistor()
+    result = simulate_transient(
+        device,
+        PROGRAM_BIAS,
+        duration_s=duration_s,
+        n_samples=n_samples,
+    )
+    jin = np.abs(result.jin_a_m2)
+    jout = np.abs(result.jout_a_m2)
+    series = (
+        PlotSeries(label="Jin (tunnel oxide)", x=result.t_s, y=jin),
+        PlotSeries(label="Jout (control oxide)", x=result.t_s, y=jout),
+    )
+
+    vfg0 = float(result.vfg_v[0])
+    separation = decades_between(float(jout[0]), float(jin[0]))
+    checks = (
+        ShapeCheck(
+            claim="V_FG = 9 V at t = 0 for V_GS = 15 V and GCR = 0.6 (eq. 3)",
+            passed=abs(vfg0 - 9.0) < 1e-6,
+            detail=f"V_FG(0) = {vfg0:.6f} V",
+        ),
+        ShapeCheck(
+            claim="Jin >> Jout at t = 0 (lower voltage, thicker control oxide)",
+            passed=jin[0] > 1e3 * jout[0],
+            detail=f"Jin/Jout = 10^{separation:.1f}",
+        ),
+        ShapeCheck(
+            claim="Jin decreases as electrons accumulate",
+            passed=bool(jin[-1] < jin[0]),
+            detail=f"Jin: {jin[0]:.3e} -> {jin[-1]:.3e} A/m^2",
+        ),
+        ShapeCheck(
+            claim="Jout increases as V_FG falls",
+            passed=bool(jout[-1] > jout[0]),
+            detail=f"Jout: {jout[0]:.3e} -> {jout[-1]:.3e} A/m^2",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="time [s]",
+        y_label="|J| [A/m^2]",
+        series=series,
+        parameters={
+            "vgs_v": 15.0,
+            "gcr": device.gate_coupling_ratio,
+            "xto_nm": device.geometry.tunnel_oxide_thickness_m * 1e9,
+            "xco_nm": device.geometry.control_oxide_thickness_m * 1e9,
+            "duration_s": duration_s,
+        },
+        checks=checks,
+    )

@@ -1,0 +1,96 @@
+"""Figure 5: the full programming transient and its saturation point.
+
+Paper claim: Jin decays and Jout grows as negative charge accumulates;
+at t = t_sat they meet, and the charge accumulated by then is the
+maximum the floating gate can store -- beyond it the cell stops being
+programmable (the Jin < Jout region is unusable).
+
+The paper draws the meeting as a crossing; physically the two densities
+converge asymptotically, so t_sat is defined operationally as the time
+to reach 99% of the equilibrium charge (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device.bias import PROGRAM_BIAS
+from ..device.floating_gate import FloatingGateTransistor
+from ..device.transient import simulate_transient
+from ..reporting.ascii_plot import PlotSeries
+from .base import ExperimentResult, ShapeCheck
+
+EXPERIMENT_ID = "fig5"
+TITLE = "Programming transient to saturation (Jin -> Jout, t_sat)"
+
+
+def run(duration_s: float = 1e-2, n_samples: int = 300) -> ExperimentResult:
+    """Reproduce Figure 5: transient until Jin meets Jout."""
+    device = FloatingGateTransistor()
+    result = simulate_transient(
+        device,
+        PROGRAM_BIAS,
+        duration_s=duration_s,
+        n_samples=n_samples,
+    )
+    jin = np.abs(result.jin_a_m2)
+    jout = np.abs(result.jout_a_m2)
+    series = (
+        PlotSeries(label="Jin (tunnel oxide)", x=result.t_s, y=jin),
+        PlotSeries(label="Jout (control oxide)", x=result.t_s, y=jout),
+    )
+
+    # Area-weighted balance at the end of the pulse: Jin*A = Jout*A_cg.
+    mult = device.geometry.control_gate_area_multiplier
+    final_ratio = float(jin[-1] / (jout[-1] * mult))
+    q_eq = result.q_equilibrium_c
+
+    checks = (
+        ShapeCheck(
+            claim="Jin decreases monotonically toward saturation",
+            passed=bool(np.all(np.diff(jin) <= jin[:-1] * 1e-9 + 1e-30)),
+            detail=f"Jin: {jin[0]:.3e} -> {jin[-1]:.3e} A/m^2",
+        ),
+        ShapeCheck(
+            claim="Jout increases monotonically toward saturation",
+            passed=bool(np.all(np.diff(jout) >= -(jout[:-1] * 1e-9 + 1e-30))),
+            detail=f"Jout: {jout[0]:.3e} -> {jout[-1]:.3e} A/m^2",
+        ),
+        ShapeCheck(
+            claim="Jin and Jout meet (charge flux balance) at t_sat",
+            passed=result.t_sat_s is not None and 0.5 < final_ratio < 2.0,
+            detail=(
+                f"t_sat = {result.t_sat_s!r} s, "
+                f"flux ratio at end = {final_ratio:.3f}"
+            ),
+        ),
+        ShapeCheck(
+            claim="accumulated charge saturates at the maximum storable value",
+            passed=result.saturation_fraction() > 0.98,
+            detail=(
+                f"Q(final)/Q_eq = {result.saturation_fraction():.4f}, "
+                f"Q_eq = {q_eq:.3e} C"
+            ),
+        ),
+        ShapeCheck(
+            claim="stored charge is negative (electron accumulation, logic '0')",
+            passed=result.final_charge_c < 0.0,
+            detail=f"Q = {result.final_charge_c:.3e} C "
+            f"({result.stored_electrons:.0f} electrons)",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="time [s]",
+        y_label="|J| [A/m^2]",
+        series=series,
+        parameters={
+            "vgs_v": 15.0,
+            "gcr": device.gate_coupling_ratio,
+            "duration_s": duration_s,
+            "t_sat_s": result.t_sat_s,
+            "q_equilibrium_c": q_eq,
+        },
+        checks=checks,
+    )

@@ -1,0 +1,74 @@
+"""Figure 6: programming J_FN vs V_GS for four gate coupling ratios.
+
+Paper caption: "[Program] Fowler Nordheim (FN) tunneling current density
+(JFN) versus Control gate voltage (VGS) for four different GCR.
+VGS = 8-17 V." Generated from equations (3) and (7). Claims: J_FN
+increases with both the control-gate voltage and the GCR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ExperimentResult,
+    ShapeCheck,
+    monotonic_increasing,
+    series_ordering_check,
+)
+from .sweeps import SweepSettings, gcr_family
+
+EXPERIMENT_ID = "fig6"
+TITLE = "[Program] J_FN vs V_GS for four GCR values (VGS = 8-17 V)"
+
+GCRS = (0.4, 0.5, 0.6, 0.7)
+VGS_RANGE_V = (8.0, 17.0)
+TUNNEL_OXIDE_NM = 5.0
+
+
+def run(
+    n_points: int = 46, settings: "SweepSettings | None" = None
+) -> ExperimentResult:
+    """Reproduce Figure 6."""
+    vgs = np.linspace(*VGS_RANGE_V, n_points)
+    series = gcr_family(vgs, GCRS, TUNNEL_OXIDE_NM, settings)
+
+    checks = [
+        ShapeCheck(
+            claim=f"J_FN rises with V_GS at {s.label}",
+            passed=monotonic_increasing(s.y),
+            detail=f"J({vgs[0]:.0f}V) = {s.y[0]:.3e}, "
+            f"J({vgs[-1]:.0f}V) = {s.y[-1]:.3e} A/m^2",
+        )
+        for s in series
+    ]
+    checks.append(
+        series_ordering_check(
+            series,
+            claim="higher GCR gives higher J_FN at fixed V_GS",
+            at_index=-1,
+        )
+    )
+    # The separation at low V_GS should span decades (exponential regime).
+    low_spread = float(np.log10(series[-1].y[0] / series[0].y[0]))
+    checks.append(
+        ShapeCheck(
+            claim="GCR families separate by orders of magnitude at low V_GS",
+            passed=low_spread > 3.0,
+            detail=f"10^{low_spread:.1f} between GCR=40% and GCR=70% at 8 V",
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="V_GS [V]",
+        y_label="J_FN [A/m^2]",
+        series=series,
+        parameters={
+            "gcrs": GCRS,
+            "vgs_range_v": VGS_RANGE_V,
+            "xto_nm": TUNNEL_OXIDE_NM,
+            "n_points": n_points,
+        },
+        checks=tuple(checks),
+    )

@@ -1,0 +1,85 @@
+"""Figure 7: programming J_FN vs V_GS for five tunnel-oxide thicknesses.
+
+Paper caption: "[Program] FN tunneling current density (JFN) versus
+Control gate voltage (VGS) for five different tunnel oxide thickness
+(XTO). GCR = 60%, VGS = 10-17 V." Claims: for a given X_TO, J_FN rises
+with V_GS; J_FN increases significantly when X_TO drops below 7 nm (the
+ITRS sub-20 nm-node reliability concern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import (
+    ExperimentResult,
+    ShapeCheck,
+    monotonic_increasing,
+    series_ordering_check,
+)
+from .sweeps import SweepSettings, oxide_family
+
+EXPERIMENT_ID = "fig7"
+TITLE = "[Program] J_FN vs V_GS for five X_TO values (GCR = 60%)"
+
+TUNNEL_OXIDES_NM = (4.0, 5.0, 6.0, 7.0, 8.0)
+VGS_RANGE_V = (10.0, 17.0)
+GCR = 0.6
+
+
+def run(
+    n_points: int = 36, settings: "SweepSettings | None" = None
+) -> ExperimentResult:
+    """Reproduce Figure 7."""
+    vgs = np.linspace(*VGS_RANGE_V, n_points)
+    series = oxide_family(vgs, TUNNEL_OXIDES_NM, GCR, settings)
+
+    checks = [
+        ShapeCheck(
+            claim=f"J_FN rises with V_GS at {s.label}",
+            passed=monotonic_increasing(s.y),
+            detail=f"J spans {s.y[0]:.2e} -> {s.y[-1]:.2e} A/m^2",
+        )
+        for s in series
+    ]
+    checks.append(
+        series_ordering_check(
+            series,
+            claim="thinner tunnel oxide gives higher J_FN at fixed V_GS",
+            at_index=-1,
+        )
+    )
+    # "JFN increases significantly when XTO < 7 nm": compare the jump
+    # from 8->7 nm against the jump from 5->4 nm at mid sweep.
+    by_label = {s.label: s for s in series}
+    mid = n_points // 2
+    jump_thick = float(
+        np.log10(by_label["XTO=7nm"].y[mid] / by_label["XTO=8nm"].y[mid])
+    )
+    jump_thin = float(
+        np.log10(by_label["XTO=4nm"].y[mid] / by_label["XTO=5nm"].y[mid])
+    )
+    checks.append(
+        ShapeCheck(
+            claim="current gain per removed nm grows as X_TO shrinks below 7 nm",
+            passed=jump_thin > jump_thick > 0.0,
+            detail=(
+                f"8->7 nm: 10^{jump_thick:.2f}; 5->4 nm: 10^{jump_thin:.2f} "
+                f"at V_GS = {vgs[mid]:.1f} V"
+            ),
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="V_GS [V]",
+        y_label="J_FN [A/m^2]",
+        series=series,
+        parameters={
+            "tunnel_oxides_nm": TUNNEL_OXIDES_NM,
+            "vgs_range_v": VGS_RANGE_V,
+            "gcr": GCR,
+            "n_points": n_points,
+        },
+        checks=tuple(checks),
+    )

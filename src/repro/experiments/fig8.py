@@ -1,0 +1,77 @@
+"""Figure 8: erase J_FN vs V_GS for four gate coupling ratios.
+
+Paper caption: "[Erasing] FN tunneling current density (JFN) versus
+Control gate voltage (VGS) for four different GCR (%). XTO = 5,
+VGS < 0 V." Claims: J_FN increases as V_GS becomes more negative;
+higher GCR gives higher J_FN (larger coupling raises the electron
+depletion rate from the floating gate to the MLGNR channel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ExperimentResult, ShapeCheck, series_ordering_check
+from .sweeps import SweepSettings, gcr_family
+
+EXPERIMENT_ID = "fig8"
+TITLE = "[Erase] J_FN vs V_GS for four GCR values (X_TO = 5 nm, VGS < 0)"
+
+GCRS = (0.4, 0.5, 0.6, 0.7)
+VGS_RANGE_V = (-8.0, -17.0)
+TUNNEL_OXIDE_NM = 5.0
+
+
+def run(
+    n_points: int = 46, settings: "SweepSettings | None" = None
+) -> ExperimentResult:
+    """Reproduce Figure 8 (x axis runs from -8 V to -17 V)."""
+    vgs = np.linspace(*VGS_RANGE_V, n_points)
+    series = gcr_family(vgs, GCRS, TUNNEL_OXIDE_NM, settings)
+
+    checks = [
+        ShapeCheck(
+            claim=f"|J_FN| rises as V_GS goes more negative at {s.label}",
+            passed=bool(np.all(np.diff(s.y) > 0.0)),
+            detail=f"J({vgs[0]:.0f}V) = {s.y[0]:.3e}, "
+            f"J({vgs[-1]:.0f}V) = {s.y[-1]:.3e} A/m^2",
+        )
+        for s in series
+    ]
+    checks.append(
+        series_ordering_check(
+            series,
+            claim="higher GCR raises the erase (depletion) current",
+            at_index=-1,
+        )
+    )
+    # Erase symmetry with programming: |J(-V)| == |J(+V)| for Q = 0.
+    from .sweeps import fn_density_vs_gate_voltage
+
+    j_erase = fn_density_vs_gate_voltage(
+        np.array([-15.0]), 0.6, TUNNEL_OXIDE_NM, settings
+    )[0]
+    j_prog = fn_density_vs_gate_voltage(
+        np.array([15.0]), 0.6, TUNNEL_OXIDE_NM, settings
+    )[0]
+    checks.append(
+        ShapeCheck(
+            claim="erase magnitude mirrors programming at +/-V_GS (Q=0)",
+            passed=abs(j_erase / j_prog - 1.0) < 1e-9,
+            detail=f"|J(-15V)|/|J(+15V)| = {j_erase / j_prog:.6f}",
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="V_GS [V] (negative)",
+        y_label="|J_FN| [A/m^2]",
+        series=series,
+        parameters={
+            "gcrs": GCRS,
+            "vgs_range_v": VGS_RANGE_V,
+            "xto_nm": TUNNEL_OXIDE_NM,
+            "n_points": n_points,
+        },
+        checks=tuple(checks),
+    )

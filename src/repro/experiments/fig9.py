@@ -1,0 +1,76 @@
+"""Figure 9: erase J_FN vs V_GS for five tunnel-oxide thicknesses.
+
+Paper caption: "[Erase] FN tunneling current density (JFN) versus
+Control gate voltage (VGS) for five different tunnel oxide thickness
+(XTO). GCR = 60%, VGS < 0 V." Claims: |J_FN| grows as V_GS goes more
+negative for a given X_TO, and increases significantly when X_TO is
+below 7 nm, "similar to the programming operation".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ExperimentResult, ShapeCheck, series_ordering_check
+from .sweeps import SweepSettings, oxide_family
+
+EXPERIMENT_ID = "fig9"
+TITLE = "[Erase] J_FN vs V_GS for five X_TO values (GCR = 60%, VGS < 0)"
+
+TUNNEL_OXIDES_NM = (4.0, 5.0, 6.0, 7.0, 8.0)
+VGS_RANGE_V = (-10.0, -17.0)
+GCR = 0.6
+
+
+def run(
+    n_points: int = 36, settings: "SweepSettings | None" = None
+) -> ExperimentResult:
+    """Reproduce Figure 9."""
+    vgs = np.linspace(*VGS_RANGE_V, n_points)
+    series = oxide_family(vgs, TUNNEL_OXIDES_NM, GCR, settings)
+
+    checks = [
+        ShapeCheck(
+            claim=f"|J_FN| rises toward more negative V_GS at {s.label}",
+            passed=bool(np.all(np.diff(s.y) > 0.0)),
+            detail=f"J spans {s.y[0]:.2e} -> {s.y[-1]:.2e} A/m^2",
+        )
+        for s in series
+    ]
+    checks.append(
+        series_ordering_check(
+            series,
+            claim="thinner tunnel oxide gives higher erase current",
+            at_index=-1,
+        )
+    )
+    by_label = {s.label: s for s in series}
+    mid = n_points // 2
+    jump_thick = float(
+        np.log10(by_label["XTO=7nm"].y[mid] / by_label["XTO=8nm"].y[mid])
+    )
+    jump_thin = float(
+        np.log10(by_label["XTO=4nm"].y[mid] / by_label["XTO=5nm"].y[mid])
+    )
+    checks.append(
+        ShapeCheck(
+            claim="sub-7 nm oxides show the same sharp current increase "
+            "as in programming",
+            passed=jump_thin > jump_thick > 0.0,
+            detail=f"8->7 nm: 10^{jump_thick:.2f}; 5->4 nm: 10^{jump_thin:.2f}",
+        )
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="V_GS [V] (negative)",
+        y_label="|J_FN| [A/m^2]",
+        series=series,
+        parameters={
+            "tunnel_oxides_nm": TUNNEL_OXIDES_NM,
+            "vgs_range_v": VGS_RANGE_V,
+            "gcr": GCR,
+            "n_points": n_points,
+        },
+        checks=tuple(checks),
+    )

@@ -1,0 +1,72 @@
+"""Registry mapping experiment ids to their run() callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..errors import ConfigurationError
+from . import (
+    ablations,
+    comparisons,
+    erase_transient,
+    fig2,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    summary,
+)
+from .base import ExperimentResult
+
+Runner = Callable[[], ExperimentResult]
+
+_REGISTRY: "dict[str, Runner]" = {
+    "fig2": fig2.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "abl-wkb": ablations.run_model_comparison,
+    "abl-cq": ablations.run_quantum_capacitance,
+    "abl-temp": ablations.run_temperature,
+    "cmp-si": comparisons.run_silicon_comparison,
+    "cmp-che": comparisons.run_che_comparison,
+    "device-summary": summary.run,
+    "erase-transient": erase_transient.run,
+}
+
+#: Ids of the experiments reproducing actual paper figures. Figure 2
+#: (the FN band diagram) is included; Figures 1 and 3 are conceptual
+#: layout/schematic drawings with no quantitative content to reproduce.
+PAPER_FIGURES = ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9")
+
+
+def available_experiments() -> "Mapping[str, Runner]":
+    """Immutable view of the registered experiments."""
+    return dict(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Look up one experiment runner by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)()
+
+
+def run_all(paper_only: bool = False) -> "list[ExperimentResult]":
+    """Run every registered experiment (or only the paper figures)."""
+    ids = PAPER_FIGURES if paper_only else tuple(sorted(_REGISTRY))
+    return [run_experiment(i) for i in ids]

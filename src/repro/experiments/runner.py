@@ -1,0 +1,100 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage (installed as ``repro-experiments``)::
+
+    repro-experiments                 # run all paper figures + ablations
+    repro-experiments fig6 fig7       # selected experiments
+    repro-experiments --paper-only    # only the six paper figures
+    repro-experiments --csv-dir out/  # also export series as CSV
+
+Prints, for each experiment, the ASCII rendering of the figure and the
+table of shape checks against the paper's claims; exits nonzero if any
+check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..reporting.export import export_series_csv
+from .base import ExperimentResult
+from .registry import available_experiments, run_all, run_experiment
+
+
+def _print_result(result: ExperimentResult, plot: bool = True) -> None:
+    print("=" * 78)
+    print(f"{result.experiment_id}: {result.title}")
+    print("-" * 78)
+    if result.parameters:
+        params = ", ".join(f"{k}={v}" for k, v in result.parameters.items())
+        print(f"parameters: {params}")
+    if plot:
+        print(result.render_plot())
+    print(result.render_checks())
+    print()
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Run experiments and report; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Hossain et al., SOCC 2014.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--paper-only",
+        action="store_true",
+        help="run only the six paper figures",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--no-plot", action="store_true", help="suppress ASCII figures"
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="directory to export each experiment's series as CSV",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(available_experiments()):
+            print(experiment_id)
+        return 0
+
+    if args.experiments:
+        results = [run_experiment(e) for e in args.experiments]
+    else:
+        results = run_all(paper_only=args.paper_only)
+
+    failures = 0
+    for result in results:
+        _print_result(result, plot=not args.no_plot)
+        if args.csv_dir:
+            path = export_series_csv(
+                f"{args.csv_dir}/{result.experiment_id}.csv",
+                result.series,
+                x_label=result.x_label,
+                y_label=result.y_label,
+            )
+            print(f"wrote {path}")
+        failures += sum(1 for c in result.checks if not c.passed)
+
+    total_checks = sum(len(r.checks) for r in results)
+    print(
+        f"{len(results)} experiments, {total_checks} shape checks, "
+        f"{failures} failures"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

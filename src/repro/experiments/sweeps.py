@@ -1,0 +1,106 @@
+"""Shared sweep machinery for the paper's Figures 6-9.
+
+All four figures evaluate the same composition of paper equations:
+eq. (3) with zero stored charge (``V_FG = GCR * V_GS``) feeding eq. (7)
+(``J_FN = A (V_FG / X_TO)^2 exp(-B X_TO / V_FG)``), swept over the
+control-gate voltage for families of GCR or tunnel-oxide thickness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..electrostatics.gcr import floating_gate_voltage_simple
+from ..errors import ConfigurationError
+from ..materials.graphene import GRAPHENE_WORK_FUNCTION_EV
+from ..materials.oxides import SIO2
+from ..reporting.ascii_plot import PlotSeries
+from ..tunneling.barriers import TunnelBarrier
+from ..tunneling.fowler_nordheim import FowlerNordheimModel
+from ..units import nm_to_m
+
+
+@dataclass(frozen=True)
+class SweepSettings:
+    """Barrier parameters shared by every figure sweep.
+
+    Defaults: graphene channel on SiO2 (phi_B = W_graphene - chi_SiO2 =
+    3.61 eV, m_ox = 0.42 m0). The paper leaves these unstated; see
+    DESIGN.md for the substitution record.
+    """
+
+    barrier_height_ev: float = GRAPHENE_WORK_FUNCTION_EV - SIO2.electron_affinity_ev
+    mass_ratio: float = SIO2.tunneling_mass_ratio
+
+    def __post_init__(self) -> None:
+        if self.barrier_height_ev <= 0.0:
+            raise ConfigurationError("barrier height must be positive")
+
+
+def fn_density_vs_gate_voltage(
+    vgs_v: np.ndarray,
+    gcr: float,
+    tunnel_oxide_nm: float,
+    settings: "SweepSettings | None" = None,
+) -> np.ndarray:
+    """|J_FN| over a V_GS sweep via eqs. (3) + (7) [A/m^2].
+
+    Works for both polarities: erase sweeps pass negative V_GS and the
+    magnitude of the current is returned, matching how Figures 8-9 plot
+    the erase current.
+    """
+    settings = settings or SweepSettings()
+    vgs_v = np.asarray(vgs_v, dtype=float)
+    barrier = TunnelBarrier(
+        barrier_height_ev=settings.barrier_height_ev,
+        thickness_m=nm_to_m(tunnel_oxide_nm),
+        mass_ratio=settings.mass_ratio,
+    )
+    model = FowlerNordheimModel(barrier)
+    vfg = np.array(
+        [floating_gate_voltage_simple(gcr, float(v)) for v in vgs_v]
+    )
+    return np.abs(model.current_density_from_voltage(vfg))
+
+
+def gcr_family(
+    vgs_v: np.ndarray,
+    gcrs: "tuple[float, ...]",
+    tunnel_oxide_nm: float,
+    settings: "SweepSettings | None" = None,
+) -> "tuple[PlotSeries, ...]":
+    """One series per GCR (Figures 6 and 8)."""
+    return tuple(
+        PlotSeries(
+            label=f"GCR={int(round(g * 100))}%",
+            x=np.asarray(vgs_v, dtype=float),
+            y=fn_density_vs_gate_voltage(
+                vgs_v, g, tunnel_oxide_nm, settings
+            ),
+        )
+        for g in gcrs
+    )
+
+
+def oxide_family(
+    vgs_v: np.ndarray,
+    tunnel_oxides_nm: "tuple[float, ...]",
+    gcr: float,
+    settings: "SweepSettings | None" = None,
+) -> "tuple[PlotSeries, ...]":
+    """One series per tunnel-oxide thickness (Figures 7 and 9).
+
+    Ordered thickest first so the series run bottom-to-top in current,
+    matching the ordering-check convention.
+    """
+    ordered = tuple(sorted(tunnel_oxides_nm, reverse=True))
+    return tuple(
+        PlotSeries(
+            label=f"XTO={x:g}nm",
+            x=np.asarray(vgs_v, dtype=float),
+            y=fn_density_vs_gate_voltage(vgs_v, gcr, x, settings),
+        )
+        for x in ordered
+    )

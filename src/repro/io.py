@@ -1,0 +1,158 @@
+"""Configuration serialization: reproducible experiment records.
+
+Devices, design points and experiment results serialise to plain JSON
+so a published run can be re-instantiated exactly. Only configuration
+travels through JSON -- materials are referenced by registry name, not
+embedded -- keeping the files small and human-diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .device.floating_gate import FloatingGateTransistor
+from .device.geometry import DeviceGeometry
+from .errors import ConfigurationError
+from .experiments.base import ExperimentResult
+from .materials.registry import get_dielectric
+from .optimization.design_space import DesignPoint
+
+
+def geometry_to_dict(geometry: DeviceGeometry) -> "dict[str, float]":
+    """DeviceGeometry -> plain dict (SI units)."""
+    return {
+        "channel_length_m": geometry.channel_length_m,
+        "channel_width_m": geometry.channel_width_m,
+        "tunnel_oxide_thickness_m": geometry.tunnel_oxide_thickness_m,
+        "control_oxide_thickness_m": geometry.control_oxide_thickness_m,
+        "floating_gate_thickness_m": geometry.floating_gate_thickness_m,
+        "control_gate_area_multiplier": geometry.control_gate_area_multiplier,
+        "source_overlap_fraction": geometry.source_overlap_fraction,
+        "drain_overlap_fraction": geometry.drain_overlap_fraction,
+    }
+
+
+def geometry_from_dict(data: Mapping[str, Any]) -> DeviceGeometry:
+    """Plain dict -> DeviceGeometry (validation re-applied)."""
+    try:
+        return DeviceGeometry(**{k: float(v) for k, v in data.items()})
+    except TypeError as exc:
+        raise ConfigurationError(f"bad geometry record: {exc}") from exc
+
+
+def device_to_dict(device: FloatingGateTransistor) -> "dict[str, Any]":
+    """FloatingGateTransistor -> plain dict (materials by name)."""
+    return {
+        "geometry": geometry_to_dict(device.geometry),
+        "tunnel_dielectric": device.tunnel_dielectric.name,
+        "control_dielectric": device.control_dielectric.name,
+        "channel_work_function_ev": device.channel_work_function_ev,
+        "floating_gate_work_function_ev": (
+            device.floating_gate_work_function_ev
+        ),
+        "control_gate_work_function_ev": (
+            device.control_gate_work_function_ev
+        ),
+    }
+
+
+def device_from_dict(data: Mapping[str, Any]) -> FloatingGateTransistor:
+    """Plain dict -> FloatingGateTransistor.
+
+    Dielectrics are resolved through the material registry, so custom
+    materials must be registered before loading.
+    """
+    required = {
+        "geometry",
+        "tunnel_dielectric",
+        "control_dielectric",
+        "channel_work_function_ev",
+        "floating_gate_work_function_ev",
+        "control_gate_work_function_ev",
+    }
+    missing = required - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"device record missing fields: {sorted(missing)}"
+        )
+    return FloatingGateTransistor(
+        geometry=geometry_from_dict(data["geometry"]),
+        tunnel_dielectric=get_dielectric(data["tunnel_dielectric"]),
+        control_dielectric=get_dielectric(data["control_dielectric"]),
+        channel_work_function_ev=float(data["channel_work_function_ev"]),
+        floating_gate_work_function_ev=float(
+            data["floating_gate_work_function_ev"]
+        ),
+        control_gate_work_function_ev=float(
+            data["control_gate_work_function_ev"]
+        ),
+    )
+
+
+def design_point_to_dict(point: DesignPoint) -> "dict[str, float]":
+    """DesignPoint -> plain dict."""
+    return {
+        "program_voltage_v": point.program_voltage_v,
+        "tunnel_oxide_nm": point.tunnel_oxide_nm,
+        "control_oxide_nm": point.control_oxide_nm,
+        "gate_coupling_ratio": point.gate_coupling_ratio,
+    }
+
+
+def design_point_from_dict(data: Mapping[str, Any]) -> DesignPoint:
+    """Plain dict -> DesignPoint."""
+    try:
+        return DesignPoint(**{k: float(v) for k, v in data.items()})
+    except TypeError as exc:
+        raise ConfigurationError(f"bad design-point record: {exc}") from exc
+
+
+def experiment_result_to_dict(result: ExperimentResult) -> "dict[str, Any]":
+    """ExperimentResult -> JSON-safe dict (series included)."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "y_label": result.y_label,
+        "parameters": {k: _jsonable(v) for k, v in result.parameters.items()},
+        "series": [
+            {
+                "label": s.label,
+                "x": [float(v) for v in s.x],
+                "y": [float(v) for v in s.y],
+            }
+            for s in result.series
+        ],
+        "checks": [
+            {"claim": c.claim, "passed": c.passed, "detail": c.detail}
+            for c in result.checks
+        ],
+    }
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def save_json(data: Mapping[str, Any], path: "str | Path") -> Path:
+    """Write a record to disk with stable formatting; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_json(path: "str | Path") -> "dict[str, Any]":
+    """Read a record back."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no such record: {path}")
+    return json.loads(path.read_text())

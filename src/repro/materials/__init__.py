@@ -1,0 +1,85 @@
+"""Material database for the MLGNR-CNT floating-gate device.
+
+Dielectrics (tunnel/control oxides), graphene and multilayer graphene,
+graphene nanoribbons, carbon nanotubes, silicon and metal gates, plus a
+name-keyed registry. Barrier heights follow the electron-affinity rule
+(:func:`repro.materials.base.barrier_height_ev`).
+"""
+
+from .base import (
+    ConductorMaterial,
+    DielectricMaterial,
+    SemiconductorMaterial,
+    barrier_height_ev,
+)
+from .cnt import CNT_WORK_FUNCTION_EV, CarbonNanotube, good_gate_chiralities
+from .gnr import GrapheneNanoribbon, semiconducting_ribbon
+from .graphene import (
+    GRAPHENE_WORK_FUNCTION_EV,
+    MultilayerGraphene,
+    graphene_dos_per_j_m2,
+    graphene_quantum_capacitance_f_m2,
+    graphene_sheet_density_m2,
+)
+from .metals import (
+    ALL_METALS,
+    ALUMINIUM,
+    COPPER,
+    GOLD,
+    POLYSILICON_N,
+    TITANIUM_NITRIDE,
+    TUNGSTEN,
+)
+from .oxides import AL2O3, ALL_OXIDES, HBN, HFO2, SI3N4, SIO2
+from .registry import (
+    get_dielectric,
+    get_material,
+    list_materials,
+    register_material,
+)
+from .silicon import SI_SIO2_BARRIER_EV, SILICON, DopedSilicon
+from .stacks import (
+    DielectricLayer,
+    LayeredDielectric,
+    compare_control_dielectrics,
+)
+
+__all__ = [
+    "DielectricMaterial",
+    "ConductorMaterial",
+    "SemiconductorMaterial",
+    "barrier_height_ev",
+    "SIO2",
+    "HFO2",
+    "AL2O3",
+    "SI3N4",
+    "HBN",
+    "ALL_OXIDES",
+    "MultilayerGraphene",
+    "GRAPHENE_WORK_FUNCTION_EV",
+    "graphene_dos_per_j_m2",
+    "graphene_sheet_density_m2",
+    "graphene_quantum_capacitance_f_m2",
+    "GrapheneNanoribbon",
+    "semiconducting_ribbon",
+    "CarbonNanotube",
+    "CNT_WORK_FUNCTION_EV",
+    "good_gate_chiralities",
+    "SILICON",
+    "SI_SIO2_BARRIER_EV",
+    "DopedSilicon",
+    "ALUMINIUM",
+    "COPPER",
+    "GOLD",
+    "TUNGSTEN",
+    "TITANIUM_NITRIDE",
+    "POLYSILICON_N",
+    "ALL_METALS",
+    "DielectricLayer",
+    "LayeredDielectric",
+    "compare_control_dielectrics",
+    "register_material",
+    "get_material",
+    "get_dielectric",
+    "list_materials",
+]

@@ -1,0 +1,143 @@
+"""Material description dataclasses.
+
+Three families cover everything the device stack needs:
+
+* :class:`DielectricMaterial` -- tunnel/control oxides; carries the
+  permittivity, the electron affinity (which sets tunneling barrier
+  heights) and the effective tunneling mass.
+* :class:`ConductorMaterial` -- gate electrodes and floating gates; the
+  work function is the only electronic property the lumped model needs.
+* :class:`SemiconductorMaterial` -- channel materials.
+
+Barrier heights between an emitter and a dielectric follow the usual
+electron-affinity rule ``phi_B = W_emitter - chi_dielectric``
+(:func:`barrier_height_ev`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import ELECTRON_MASS
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DielectricMaterial:
+    """An insulating layer material.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"SiO2"``.
+    relative_permittivity:
+        Static dielectric constant (kappa).
+    band_gap_ev:
+        Band gap [eV]; used for sanity checks and regime classification.
+    electron_affinity_ev:
+        Electron affinity chi [eV], measured from vacuum.
+    tunneling_mass_ratio:
+        Effective electron tunneling mass as a fraction of the free
+        electron mass (``m_ox / m_0``). SiO2 is conventionally 0.42.
+    breakdown_field_v_per_m:
+        Intrinsic breakdown field [V/m]; used by the reliability model.
+    """
+
+    name: str
+    relative_permittivity: float
+    band_gap_ev: float
+    electron_affinity_ev: float
+    tunneling_mass_ratio: float
+    breakdown_field_v_per_m: float
+
+    def __post_init__(self) -> None:
+        if self.relative_permittivity <= 0.0:
+            raise ConfigurationError("relative permittivity must be positive")
+        if self.band_gap_ev <= 0.0:
+            raise ConfigurationError("band gap must be positive")
+        if self.tunneling_mass_ratio <= 0.0:
+            raise ConfigurationError("tunneling mass ratio must be positive")
+        if self.breakdown_field_v_per_m <= 0.0:
+            raise ConfigurationError("breakdown field must be positive")
+
+    @property
+    def tunneling_mass_kg(self) -> float:
+        """Effective tunneling mass [kg]."""
+        return self.tunneling_mass_ratio * ELECTRON_MASS
+
+    @property
+    def permittivity_f_per_m(self) -> float:
+        """Absolute permittivity [F/m]."""
+        from ..constants import VACUUM_PERMITTIVITY
+
+        return self.relative_permittivity * VACUUM_PERMITTIVITY
+
+
+@dataclass(frozen=True)
+class ConductorMaterial:
+    """A gate/electrode material characterised by its work function."""
+
+    name: str
+    work_function_ev: float
+
+    def __post_init__(self) -> None:
+        if self.work_function_ev <= 0.0:
+            raise ConfigurationError("work function must be positive")
+
+
+@dataclass(frozen=True)
+class SemiconductorMaterial:
+    """A channel material.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    band_gap_ev:
+        Band gap [eV]. Zero is allowed (pristine graphene).
+    electron_affinity_ev:
+        Electron affinity [eV].
+    effective_mass_ratio:
+        Conduction-band effective mass over the free electron mass. For
+        linear-dispersion materials (graphene) this is a fitted transport
+        parameter rather than a band curvature.
+    relative_permittivity:
+        Static dielectric constant of the channel body.
+    """
+
+    name: str
+    band_gap_ev: float
+    electron_affinity_ev: float
+    effective_mass_ratio: float
+    relative_permittivity: float
+
+    def __post_init__(self) -> None:
+        if self.band_gap_ev < 0.0:
+            raise ConfigurationError("band gap cannot be negative")
+        if self.effective_mass_ratio <= 0.0:
+            raise ConfigurationError("effective mass ratio must be positive")
+        if self.relative_permittivity <= 0.0:
+            raise ConfigurationError("relative permittivity must be positive")
+
+    @property
+    def work_function_ev(self) -> float:
+        """Mid-gap work function estimate: chi + Eg/2 [eV]."""
+        return self.electron_affinity_ev + 0.5 * self.band_gap_ev
+
+
+def barrier_height_ev(
+    emitter_work_function_ev: float, dielectric: DielectricMaterial
+) -> float:
+    """Electron tunneling barrier at an emitter/dielectric interface [eV].
+
+    Uses the electron-affinity rule ``phi_B = W - chi``. Raises if the
+    result is non-positive, which would mean the interface presents no
+    barrier and Fowler-Nordheim analysis does not apply.
+    """
+    phi_b = emitter_work_function_ev - dielectric.electron_affinity_ev
+    if phi_b <= 0.0:
+        raise ConfigurationError(
+            f"no tunneling barrier: work function {emitter_work_function_ev} eV "
+            f"<= affinity {dielectric.electron_affinity_ev} eV of {dielectric.name}"
+        )
+    return phi_b

@@ -1,0 +1,96 @@
+"""Carbon nanotube control-gate material model.
+
+The proposed FGT uses CNTs as the control gate. For the lumped device
+model the CNT enters through its work function and metallicity; the
+zone-folding relations included here (diameter, chiral angle, band gap)
+let the examples and tests reason about which chiralities make good gate
+electrodes (metallic tubes) versus which would add a series resistance
+(semiconducting tubes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import CARBON_CC_DISTANCE, GRAPHENE_HOPPING_EV
+from ..errors import ConfigurationError
+
+#: Work function of a typical CNT bundle [eV].
+CNT_WORK_FUNCTION_EV = 4.8
+
+
+@dataclass(frozen=True)
+class CarbonNanotube:
+    """A single-walled carbon nanotube identified by its chirality (n, m)."""
+
+    n: int
+    m: int
+    work_function_ev: float = CNT_WORK_FUNCTION_EV
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.m < 0:
+            raise ConfigurationError("chirality requires n >= 1 and m >= 0")
+        if self.m > self.n:
+            raise ConfigurationError(
+                "chirality convention requires m <= n (swap the indices)"
+            )
+
+    @property
+    def diameter_m(self) -> float:
+        """Tube diameter ``d = a sqrt(n^2 + n m + m^2) / pi`` [m]."""
+        a = math.sqrt(3.0) * CARBON_CC_DISTANCE
+        return a * math.sqrt(self.n**2 + self.n * self.m + self.m**2) / math.pi
+
+    @property
+    def chiral_angle_rad(self) -> float:
+        """Chiral angle in radians (0 = zigzag, pi/6 = armchair)."""
+        return math.atan2(
+            math.sqrt(3.0) * self.m, 2.0 * self.n + self.m
+        )
+
+    @property
+    def is_metallic(self) -> bool:
+        """Zone-folding metallicity rule: metallic iff ``(n - m) % 3 == 0``."""
+        return (self.n - self.m) % 3 == 0
+
+    @property
+    def band_gap_ev(self) -> float:
+        """Zone-folding band gap [eV]; zero for metallic tubes.
+
+        Semiconducting tubes: ``E_g = 2 gamma_0 a_cc / d``.
+        """
+        if self.is_metallic:
+            return 0.0
+        return (
+            2.0
+            * GRAPHENE_HOPPING_EV
+            * CARBON_CC_DISTANCE
+            / self.diameter_m
+        )
+
+    def subband_gap_ev(self, index: int) -> float:
+        """Energy of the ``index``-th van Hove subband pair [eV].
+
+        Zone folding gives subband onsets at multiples of
+        ``2 gamma_0 a_cc / (3 d)``; for semiconducting tubes the allowed
+        indices skip multiples of 3 (those lines pass through K).
+        """
+        if index < 1:
+            raise ConfigurationError("subband index starts at 1")
+        base = 2.0 * GRAPHENE_HOPPING_EV * CARBON_CC_DISTANCE / (3.0 * self.diameter_m)
+        if self.is_metallic:
+            return 3.0 * base * index
+        effective = index + (index - 1) // 2  # skip every third line
+        return base * effective
+
+
+def good_gate_chiralities(max_n: int = 12) -> "list[CarbonNanotube]":
+    """Enumerate metallic chiralities up to ``max_n`` (gate candidates)."""
+    tubes = []
+    for n in range(1, max_n + 1):
+        for m in range(0, n + 1):
+            tube = CarbonNanotube(n, m)
+            if tube.is_metallic:
+                tubes.append(tube)
+    return tubes

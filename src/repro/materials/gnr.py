@@ -1,0 +1,119 @@
+"""Graphene nanoribbon (GNR) channel/gate material model.
+
+Bridges the atomistic band-structure package and the lumped device
+model: a :class:`GrapheneNanoribbon` owns its tight-binding model and
+exposes the device-relevant quantities (width, band gap, work function,
+number of conduction modes, quantum capacitance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..bandstructure import (
+    BandStructure,
+    DensityOfStates,
+    compute_band_structure,
+    histogram_dos,
+    quantum_capacitance_per_area,
+)
+from ..bandstructure.tightbinding import (
+    EdgeType,
+    TightBindingModel,
+    build_tight_binding,
+)
+from ..constants import GRAPHENE_HOPPING_EV
+from ..errors import ConfigurationError
+from .graphene import GRAPHENE_WORK_FUNCTION_EV
+
+
+@dataclass(frozen=True)
+class GrapheneNanoribbon:
+    """A single GNR described by edge type and line count.
+
+    Attributes
+    ----------
+    edge:
+        ``"armchair"`` or ``"zigzag"``.
+    n_lines:
+        Dimer lines (armchair) or zigzag chains (zigzag) across the width.
+    hopping_ev:
+        Tight-binding hopping parameter [eV].
+    work_function_ev:
+        Charge-neutral work function [eV]; graphene's value by default.
+    """
+
+    edge: EdgeType = "armchair"
+    n_lines: int = 12
+    hopping_ev: float = GRAPHENE_HOPPING_EV
+    work_function_ev: float = GRAPHENE_WORK_FUNCTION_EV
+
+    def __post_init__(self) -> None:
+        if self.n_lines < 2:
+            raise ConfigurationError("a ribbon needs at least two lines")
+
+    @cached_property
+    def tight_binding(self) -> TightBindingModel:
+        """The nearest-neighbour TB model of this ribbon."""
+        return build_tight_binding(self.edge, self.n_lines, self.hopping_ev)
+
+    @cached_property
+    def band_structure(self) -> BandStructure:
+        """Band structure sampled on a 301-point Brillouin zone grid."""
+        return compute_band_structure(self.tight_binding, n_k=301)
+
+    @cached_property
+    def density_of_states(self) -> DensityOfStates:
+        """Histogram DOS per unit ribbon length."""
+        return histogram_dos(
+            self.band_structure, self.tight_binding.cell.period_m
+        )
+
+    @property
+    def width_m(self) -> float:
+        """Ribbon width [m]."""
+        return self.tight_binding.cell.width_m
+
+    @property
+    def band_gap_ev(self) -> float:
+        """Band gap at charge neutrality [eV]."""
+        return self.band_structure.band_gap_ev()
+
+    @property
+    def is_semiconducting(self) -> bool:
+        """True when the gap exceeds a transport-relevant 0.1 eV."""
+        return self.band_gap_ev > 0.1
+
+    def mode_count(self, energy_ev: float) -> int:
+        """Landauer conduction-mode count at an energy [eV vs midgap]."""
+        return self.band_structure.mode_count(energy_ev)
+
+    def quantum_capacitance_f_m2(
+        self, fermi_ev: float = 0.05, temperature_k: float = 300.0
+    ) -> float:
+        """Quantum capacitance per area of a dense ribbon array [F/m^2]."""
+        return quantum_capacitance_per_area(
+            self.density_of_states, self.width_m, fermi_ev, temperature_k
+        )
+
+
+def semiconducting_ribbon(approx_width_nm: float) -> GrapheneNanoribbon:
+    """Pick the semiconducting armchair ribbon nearest a target width.
+
+    Armchair ribbons with ``N = 3m`` or ``N = 3m + 1`` dimer lines are
+    semiconducting; this helper selects the closest such N for a target
+    width, which is how a designer would choose a channel ribbon.
+    """
+    if approx_width_nm <= 0.0:
+        raise ConfigurationError("width must be positive")
+    # Width of an N-aGNR is (N - 1) * sqrt(3)/2 * a_cc.
+    import math
+
+    from ..constants import CARBON_CC_DISTANCE
+
+    step_m = math.sqrt(3.0) / 2.0 * CARBON_CC_DISTANCE
+    n_est = int(round(approx_width_nm * 1e-9 / step_m)) + 1
+    candidates = [n for n in range(max(3, n_est - 3), n_est + 4) if n % 3 != 2]
+    best = min(candidates, key=lambda n: abs(n - n_est))
+    return GrapheneNanoribbon(edge="armchair", n_lines=best)

@@ -1,0 +1,151 @@
+"""Monolayer and multilayer graphene models.
+
+The proposed device uses multilayer graphene nanoribbon (MLGNR) stacks
+for both the channel and the floating gate. The floating gate's ability
+to store charge depends on its density of states: unlike a metal, a
+graphene layer's Fermi level moves appreciably when charge is added,
+which appears electrically as a *quantum capacitance* in series with the
+geometric oxide capacitances. Multilayer stacks recover a more
+metal-like behaviour because interlayer screening multiplies the
+available states.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    BOLTZMANN,
+    ELEMENTARY_CHARGE,
+    GRAPHENE_FERMI_VELOCITY,
+    GRAPHENE_INTERLAYER_SPACING,
+    HBAR,
+)
+from ..errors import ConfigurationError
+
+#: Work function of undoped graphene [eV] (Kelvin-probe consensus value).
+GRAPHENE_WORK_FUNCTION_EV = 4.56
+
+
+def graphene_dos_per_j_m2(energy_j: float) -> float:
+    """Density of states of monolayer graphene [states / (J m^2)].
+
+    ``DOS(E) = 2 |E| / (pi (hbar v_F)^2)``, measured from the Dirac point,
+    including spin and valley degeneracy.
+    """
+    return 2.0 * abs(energy_j) / (math.pi * (HBAR * GRAPHENE_FERMI_VELOCITY) ** 2)
+
+
+def graphene_sheet_density_m2(fermi_level_j: float) -> float:
+    """Carrier sheet density at T = 0 for a Fermi level E_F [J].
+
+    ``n = E_F^2 / (pi (hbar v_F)^2)``; sign follows the Fermi level
+    (positive = electrons, negative = holes).
+    """
+    magnitude = fermi_level_j**2 / (math.pi * (HBAR * GRAPHENE_FERMI_VELOCITY) ** 2)
+    return math.copysign(magnitude, fermi_level_j)
+
+
+def graphene_quantum_capacitance_f_m2(
+    channel_potential_v: float, temperature_k: float = 300.0
+) -> float:
+    """Quantum capacitance of a graphene sheet [F/m^2].
+
+    Finite-temperature expression (Fang et al., APL 91, 092109 (2007)):
+
+    ``C_Q = (2 q^2 kT / (pi (hbar v_F)^2)) * ln(2 (1 + cosh(q V_ch / kT)))``
+
+    where ``V_ch`` is the local channel potential (Fermi level over q).
+    """
+    if temperature_k <= 0.0:
+        raise ConfigurationError("temperature must be positive")
+    kt = BOLTZMANN * temperature_k
+    x = ELEMENTARY_CHARGE * channel_potential_v / kt
+    # log(2(1+cosh x)) == 2*log(2*cosh(x/2)); the second form avoids overflow.
+    log_term = 2.0 * (np.logaddexp(x / 2.0, -x / 2.0))
+    prefactor = (
+        2.0
+        * ELEMENTARY_CHARGE**2
+        * kt
+        / (math.pi * (HBAR * GRAPHENE_FERMI_VELOCITY) ** 2)
+    )
+    return float(prefactor * log_term)
+
+
+@dataclass(frozen=True)
+class MultilayerGraphene:
+    """A stack of ``n_layers`` graphene sheets used as gate or channel.
+
+    Attributes
+    ----------
+    n_layers:
+        Number of layers; 1 is monolayer graphene.
+    work_function_ev:
+        Work function of the stack [eV].
+    interlayer_spacing_m:
+        Layer-to-layer distance [m]; graphite spacing by default.
+    screening_length_layers:
+        Interlayer screening length in units of layers (~1.2 for
+        graphite); controls how quickly added layers stop contributing
+        states at the surface.
+    """
+
+    n_layers: int
+    work_function_ev: float = GRAPHENE_WORK_FUNCTION_EV
+    interlayer_spacing_m: float = GRAPHENE_INTERLAYER_SPACING
+    screening_length_layers: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1:
+            raise ConfigurationError("need at least one graphene layer")
+        if self.interlayer_spacing_m <= 0.0:
+            raise ConfigurationError("interlayer spacing must be positive")
+        if self.screening_length_layers <= 0.0:
+            raise ConfigurationError("screening length must be positive")
+
+    @property
+    def thickness_m(self) -> float:
+        """Physical thickness of the stack [m]."""
+        return self.n_layers * self.interlayer_spacing_m
+
+    @property
+    def effective_layer_count(self) -> float:
+        """Number of layers that effectively contribute surface states.
+
+        Interlayer screening makes layer ``i`` (0-indexed from the
+        surface) contribute with weight ``exp(-i / lambda)``; the sum
+        saturates for thick stacks, capturing why MLGNR floating gates
+        behave nearly metallically beyond a few layers.
+        """
+        lam = self.screening_length_layers
+        weights = np.exp(-np.arange(self.n_layers) / lam)
+        return float(np.sum(weights))
+
+    def quantum_capacitance_f_m2(
+        self, channel_potential_v: float, temperature_k: float = 300.0
+    ) -> float:
+        """Quantum capacitance of the stack [F/m^2].
+
+        Modelled as the monolayer quantum capacitance scaled by the
+        effective (screening-weighted) layer count.
+        """
+        mono = graphene_quantum_capacitance_f_m2(
+            channel_potential_v, temperature_k
+        )
+        return mono * self.effective_layer_count
+
+    def storable_charge_per_area(
+        self, fermi_shift_v: float
+    ) -> float:
+        """Sheet charge [C/m^2] stored when the Fermi level shifts [V].
+
+        T = 0 estimate based on the layer-weighted graphene DOS; used by
+        the floating-gate model to sanity-check that the gate can hold
+        the charge the transient delivers.
+        """
+        energy_j = ELEMENTARY_CHARGE * abs(fermi_shift_v)
+        density = graphene_sheet_density_m2(energy_j) * self.effective_layer_count
+        return ELEMENTARY_CHARGE * density

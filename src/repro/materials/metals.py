@@ -1,0 +1,21 @@
+"""Metal gate electrode materials."""
+
+from __future__ import annotations
+
+from .base import ConductorMaterial
+
+ALUMINIUM = ConductorMaterial(name="Al", work_function_ev=4.1)
+COPPER = ConductorMaterial(name="Cu", work_function_ev=4.65)
+TITANIUM_NITRIDE = ConductorMaterial(name="TiN", work_function_ev=4.5)
+TUNGSTEN = ConductorMaterial(name="W", work_function_ev=4.55)
+GOLD = ConductorMaterial(name="Au", work_function_ev=5.1)
+POLYSILICON_N = ConductorMaterial(name="n+ poly-Si", work_function_ev=4.05)
+
+ALL_METALS = (
+    ALUMINIUM,
+    COPPER,
+    TITANIUM_NITRIDE,
+    TUNGSTEN,
+    GOLD,
+    POLYSILICON_N,
+)

@@ -1,0 +1,65 @@
+"""Dielectric material database.
+
+Parameter sources are the standard gate-stack literature values: SiO2
+tunneling mass 0.42 m0 and affinity ~0.95 eV (Lenzlinger-Snow tradition,
+paper refs [6], [9]); high-k values from the usual ITRS-era tables. The
+paper itself leaves the oxide unspecified; SiO2 is the default because
+the paper's ITRS discussion (6 nm tunnel oxide at 18-22 nm nodes) is an
+SiO2 roadmap.
+"""
+
+from __future__ import annotations
+
+from .base import DielectricMaterial
+
+#: Thermal silicon dioxide -- the default tunnel and control oxide.
+SIO2 = DielectricMaterial(
+    name="SiO2",
+    relative_permittivity=3.9,
+    band_gap_ev=9.0,
+    electron_affinity_ev=0.95,
+    tunneling_mass_ratio=0.42,
+    breakdown_field_v_per_m=1.0e9,  # ~10 MV/cm intrinsic
+)
+
+#: Hafnium dioxide (high-k control-oxide option).
+HFO2 = DielectricMaterial(
+    name="HfO2",
+    relative_permittivity=25.0,
+    band_gap_ev=5.8,
+    electron_affinity_ev=2.4,
+    tunneling_mass_ratio=0.11,
+    breakdown_field_v_per_m=4.0e8,
+)
+
+#: Aluminium oxide (inter-poly dielectric option).
+AL2O3 = DielectricMaterial(
+    name="Al2O3",
+    relative_permittivity=9.0,
+    band_gap_ev=6.8,
+    electron_affinity_ev=1.4,
+    tunneling_mass_ratio=0.23,
+    breakdown_field_v_per_m=7.0e8,
+)
+
+#: Silicon nitride (charge-trap layer / ONO component).
+SI3N4 = DielectricMaterial(
+    name="Si3N4",
+    relative_permittivity=7.5,
+    band_gap_ev=5.3,
+    electron_affinity_ev=2.1,
+    tunneling_mass_ratio=0.26,
+    breakdown_field_v_per_m=6.0e8,
+)
+
+#: Hexagonal boron nitride (2-D insulator; natural partner for graphene).
+HBN = DielectricMaterial(
+    name="hBN",
+    relative_permittivity=4.0,
+    band_gap_ev=5.97,
+    electron_affinity_ev=2.0,
+    tunneling_mass_ratio=0.5,
+    breakdown_field_v_per_m=8.0e8,
+)
+
+ALL_OXIDES = (SIO2, HFO2, AL2O3, SI3N4, HBN)

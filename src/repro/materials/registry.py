@@ -1,0 +1,67 @@
+"""Name-keyed registry of built-in and user-registered materials."""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from ..errors import ConfigurationError, MaterialNotFoundError
+from .base import ConductorMaterial, DielectricMaterial, SemiconductorMaterial
+from .metals import ALL_METALS
+from .oxides import ALL_OXIDES
+from .silicon import SILICON
+
+Material = Union[DielectricMaterial, ConductorMaterial, SemiconductorMaterial]
+
+_REGISTRY: "Dict[str, Material]" = {}
+
+
+def register_material(material: Material, overwrite: bool = False) -> None:
+    """Add a material to the global registry.
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is already taken and ``overwrite`` is False.
+    """
+    key = material.name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"material {material.name!r} already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[key] = material
+
+
+def get_material(name: str) -> Material:
+    """Look up a material by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(m.name for m in _REGISTRY.values()))
+        raise MaterialNotFoundError(
+            f"unknown material {name!r}; known materials: {known}"
+        ) from None
+
+
+def get_dielectric(name: str) -> DielectricMaterial:
+    """Look up a material and require it to be a dielectric."""
+    material = get_material(name)
+    if not isinstance(material, DielectricMaterial):
+        raise ConfigurationError(f"{name!r} is not a dielectric")
+    return material
+
+
+def list_materials() -> "list[str]":
+    """Sorted names of every registered material."""
+    return sorted(m.name for m in _REGISTRY.values())
+
+
+def _register_builtins() -> None:
+    for oxide in ALL_OXIDES:
+        register_material(oxide, overwrite=True)
+    for metal in ALL_METALS:
+        register_material(metal, overwrite=True)
+    register_material(SILICON, overwrite=True)
+
+
+_register_builtins()

@@ -1,0 +1,70 @@
+"""Silicon reference material (the conventional-FGT baseline).
+
+The paper contrasts its MLGNR-CNT device against conventional silicon
+floating-gate transistors (Section II quotes CMOS FGT programming
+voltages and currents). This module provides the silicon parameters used
+by the baseline device in the comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .base import SemiconductorMaterial
+from ..constants import thermal_voltage
+from ..errors import ConfigurationError
+
+#: Intrinsic carrier concentration of silicon at 300 K [1/m^3].
+SILICON_NI_300K_M3 = 1.0e16
+
+SILICON = SemiconductorMaterial(
+    name="Si",
+    band_gap_ev=1.12,
+    electron_affinity_ev=4.05,
+    effective_mass_ratio=0.26,
+    relative_permittivity=11.7,
+)
+
+#: n+ poly-silicon (conventional floating-gate material).
+POLYSILICON_N_WORK_FUNCTION_EV = 4.05
+
+#: The Si/SiO2 electron barrier used throughout the silicon literature [eV].
+SI_SIO2_BARRIER_EV = 3.15
+
+
+@dataclass(frozen=True)
+class DopedSilicon:
+    """Uniformly doped silicon body.
+
+    Attributes
+    ----------
+    doping_m3:
+        Net doping concentration [1/m^3]; positive = donors (n-type),
+        negative = acceptors (p-type).
+    """
+
+    doping_m3: float
+
+    def __post_init__(self) -> None:
+        if self.doping_m3 == 0.0:
+            raise ConfigurationError("use a nonzero doping level")
+
+    @property
+    def is_n_type(self) -> bool:
+        return self.doping_m3 > 0.0
+
+    def fermi_potential_v(self, temperature_k: float = 300.0) -> float:
+        """Bulk Fermi potential ``phi_F = Vt ln(N / n_i)`` [V].
+
+        Positive for p-type (with the usual sign convention that the
+        Fermi level sits below midgap), negative for n-type.
+        """
+        vt = thermal_voltage(temperature_k)
+        magnitude = vt * math.log(abs(self.doping_m3) / SILICON_NI_300K_M3)
+        return -magnitude if self.is_n_type else magnitude
+
+    def work_function_ev(self, temperature_k: float = 300.0) -> float:
+        """Work function including the doping-dependent Fermi shift [eV]."""
+        midgap = SILICON.electron_affinity_ev + 0.5 * SILICON.band_gap_ev
+        return midgap + self.fermi_potential_v(temperature_k)

@@ -1,0 +1,160 @@
+"""Layered dielectric stacks (ONO-style control dielectrics).
+
+Production floating-gate flash rarely uses a single control oxide: the
+classic inter-poly dielectric is an oxide/nitride/oxide (ONO) sandwich
+that combines the SiO2 barrier with the nitride's higher permittivity.
+A :class:`LayeredDielectric` computes the quantities the device model
+needs from an arbitrary layer sequence -- series capacitance, equivalent
+oxide thickness (EOT), the weakest barrier, and the field in each layer
+under bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import VACUUM_PERMITTIVITY
+from ..errors import ConfigurationError
+from .base import DielectricMaterial
+from .oxides import SI3N4, SIO2
+
+
+@dataclass(frozen=True)
+class DielectricLayer:
+    """One layer of a stack: a material and its thickness."""
+
+    material: DielectricMaterial
+    thickness_m: float
+
+    def __post_init__(self) -> None:
+        if self.thickness_m <= 0.0:
+            raise ConfigurationError("layer thickness must be positive")
+
+
+@dataclass(frozen=True)
+class LayeredDielectric:
+    """A stack of dielectric layers treated as one series capacitor."""
+
+    layers: "tuple[DielectricLayer, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigurationError("a stack needs at least one layer")
+
+    @staticmethod
+    def single(
+        material: DielectricMaterial, thickness_m: float
+    ) -> "LayeredDielectric":
+        """One-layer stack (degenerate case used by the default device)."""
+        return LayeredDielectric(
+            layers=(DielectricLayer(material, thickness_m),)
+        )
+
+    @staticmethod
+    def ono(
+        bottom_oxide_m: float, nitride_m: float, top_oxide_m: float
+    ) -> "LayeredDielectric":
+        """The classic SiO2 / Si3N4 / SiO2 inter-poly dielectric."""
+        return LayeredDielectric(
+            layers=(
+                DielectricLayer(SIO2, bottom_oxide_m),
+                DielectricLayer(SI3N4, nitride_m),
+                DielectricLayer(SIO2, top_oxide_m),
+            )
+        )
+
+    @property
+    def total_thickness_m(self) -> float:
+        """Physical thickness [m]."""
+        return sum(layer.thickness_m for layer in self.layers)
+
+    @property
+    def capacitance_per_area(self) -> float:
+        """Series capacitance per unit area [F/m^2]."""
+        inverse = 0.0
+        for layer in self.layers:
+            eps = (
+                layer.material.relative_permittivity * VACUUM_PERMITTIVITY
+            )
+            inverse += layer.thickness_m / eps
+        return 1.0 / inverse
+
+    @property
+    def equivalent_oxide_thickness_m(self) -> float:
+        """EOT: the SiO2 thickness with the same capacitance [m]."""
+        eps_sio2 = SIO2.relative_permittivity * VACUUM_PERMITTIVITY
+        return eps_sio2 / self.capacitance_per_area
+
+    def minimum_barrier_ev(self, emitter_work_function_ev: float) -> float:
+        """The weakest electron barrier any layer presents [eV].
+
+        Leakage through a stack is gated by its lowest-barrier layer
+        (the nitride in ONO); the affinity rule per layer.
+        """
+        barriers = [
+            emitter_work_function_ev - layer.material.electron_affinity_ev
+            for layer in self.layers
+        ]
+        weakest = min(barriers)
+        if weakest <= 0.0:
+            raise ConfigurationError(
+                "a stack layer presents no barrier to the emitter"
+            )
+        return weakest
+
+    def layer_fields_v_per_m(self, voltage_v: float) -> "list[float]":
+        """Field in each layer under a total voltage drop [V/m].
+
+        The displacement field is continuous, so
+        ``E_i = D / eps_i`` with ``D = C * V`` per unit area.
+        """
+        d_field = self.capacitance_per_area * voltage_v
+        return [
+            d_field
+            / (layer.material.relative_permittivity * VACUUM_PERMITTIVITY)
+            for layer in self.layers
+        ]
+
+    def worst_layer_stress(
+        self, voltage_v: float
+    ) -> "tuple[DielectricLayer, float]":
+        """(layer, field/breakdown ratio) of the most stressed layer."""
+        fields = self.layer_fields_v_per_m(abs(voltage_v))
+        stressed = max(
+            zip(self.layers, fields),
+            key=lambda pair: pair[1] / pair[0].material.breakdown_field_v_per_m,
+        )
+        layer, field = stressed
+        return layer, field / layer.material.breakdown_field_v_per_m
+
+
+def compare_control_dielectrics(
+    single_oxide_m: float,
+    ono: "LayeredDielectric | None" = None,
+) -> "dict[str, float]":
+    """Contrast a plain SiO2 control oxide with an ONO stack of equal EOT.
+
+    Returns both structures' physical thickness, capacitance gain of the
+    ONO at equal physical thickness, and the barrier penalty (the
+    nitride's weaker barrier).
+    """
+    if single_oxide_m <= 0.0:
+        raise ConfigurationError("oxide thickness must be positive")
+    plain = LayeredDielectric.single(SIO2, single_oxide_m)
+    stack = ono or LayeredDielectric.ono(
+        0.25 * single_oxide_m, 0.5 * single_oxide_m, 0.25 * single_oxide_m
+    )
+    from .graphene import GRAPHENE_WORK_FUNCTION_EV
+
+    return {
+        "plain_eot_m": plain.equivalent_oxide_thickness_m,
+        "ono_eot_m": stack.equivalent_oxide_thickness_m,
+        "capacitance_gain": stack.capacitance_per_area
+        / plain.capacitance_per_area,
+        "plain_barrier_ev": plain.minimum_barrier_ev(
+            GRAPHENE_WORK_FUNCTION_EV
+        ),
+        "ono_barrier_ev": stack.minimum_barrier_ev(
+            GRAPHENE_WORK_FUNCTION_EV
+        ),
+    }

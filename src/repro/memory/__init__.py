@@ -1,0 +1,92 @@
+"""NAND flash array built on the MLGNR-CNT cell physics.
+
+The system layer the paper motivates: device-calibrated cells organised
+into NAND strings, pages and blocks, programmed with ISPP, sensed
+against references, disturbed by pass-voltage stress, protected by
+Hamming ECC and managed by a page-mapped FTL with greedy garbage
+collection.
+"""
+
+from .array import ArrayConfig, Block, MemoryArray, build_array
+from .cell import (
+    CellKernel,
+    CellState,
+    MemoryCell,
+    calibrate_kernel,
+    fresh_cells,
+)
+from .controller import ControllerStats, MemoryController
+from .disturb import DisturbModel
+from .ecc import (
+    HammingCode,
+    interleave_decode,
+    interleave_encode,
+)
+from .ftl import FtlStats, PageMappedFtl
+from .mlc import (
+    GRAY_BITS,
+    MlcLevels,
+    bits_to_level,
+    level_to_bits,
+    program_mlc_page,
+    read_mlc_page,
+)
+from .ispp import IsppOutcome, IsppPolicy, program_cells
+from .nand_string import NandString, StringOperations, build_string
+from .rtn import RtnTrap, read_instability_probability
+from .sense import SenseAmplifier
+from .vt_distribution import (
+    VtDistribution,
+    optimal_read_reference,
+    raw_bit_error_rate,
+)
+from .workload import (
+    WriteRequest,
+    random_payload,
+    sequential_workload,
+    uniform_random_workload,
+    zipf_workload,
+)
+
+__all__ = [
+    "CellState",
+    "CellKernel",
+    "MemoryCell",
+    "calibrate_kernel",
+    "fresh_cells",
+    "VtDistribution",
+    "raw_bit_error_rate",
+    "optimal_read_reference",
+    "IsppPolicy",
+    "IsppOutcome",
+    "program_cells",
+    "SenseAmplifier",
+    "RtnTrap",
+    "read_instability_probability",
+    "DisturbModel",
+    "NandString",
+    "StringOperations",
+    "build_string",
+    "ArrayConfig",
+    "Block",
+    "MemoryArray",
+    "build_array",
+    "HammingCode",
+    "interleave_encode",
+    "interleave_decode",
+    "FtlStats",
+    "PageMappedFtl",
+    "MlcLevels",
+    "GRAY_BITS",
+    "bits_to_level",
+    "level_to_bits",
+    "program_mlc_page",
+    "read_mlc_page",
+    "ControllerStats",
+    "MemoryController",
+    "WriteRequest",
+    "random_payload",
+    "sequential_workload",
+    "uniform_random_workload",
+    "zipf_workload",
+]

@@ -1,0 +1,81 @@
+"""Program-disturb and read-disturb models.
+
+Unselected cells in a NAND block still see voltage stress:
+
+* **Program disturb**: cells on the selected word line but inhibited
+  bit lines, and cells on unselected word lines seeing the pass
+  voltage, experience weak FN/direct tunneling that slowly gains charge.
+* **Read disturb**: every read applies the (small) pass voltage to all
+  other pages of the string; over many reads erased cells drift upward.
+
+Both are computed *from the device physics*: the disturb voltage is run
+through the same capacitive divider and tunneling models as a real
+program, then converted to a per-event threshold drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.bias import BiasCondition
+from ..device.floating_gate import FloatingGateTransistor
+from ..electrostatics.gcr import TerminalVoltages
+from ..errors import ConfigurationError
+from ..tunneling.direct import DirectTunnelingModel
+
+
+@dataclass(frozen=True)
+class DisturbModel:
+    """Per-event threshold drift caused by non-selected bias stress.
+
+    Attributes
+    ----------
+    device:
+        The calibration transistor.
+    pass_voltage_v:
+        Gate voltage seen by unselected word lines during program (or
+        read) [V].
+    event_duration_s:
+        Duration of one disturb event [s].
+    """
+
+    device: FloatingGateTransistor
+    pass_voltage_v: float = 6.0
+    event_duration_s: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.pass_voltage_v < 0.0:
+            raise ConfigurationError("pass voltage cannot be negative")
+        if self.event_duration_s <= 0.0:
+            raise ConfigurationError("event duration must be positive")
+
+    def drift_per_event_v(self, stored_charge_c: float = 0.0) -> float:
+        """Threshold gain of one disturb event [V].
+
+        Evaluates the tunnel-oxide leakage (direct + FN, whichever the
+        voltage selects via the continuous direct-tunneling expression)
+        at the pass-voltage bias and converts the gained charge through
+        C_FC into a threshold shift.
+        """
+        bias = BiasCondition(
+            name="disturb",
+            voltages=TerminalVoltages(vgs=self.pass_voltage_v),
+        )
+        vfg = self.device.floating_gate_voltage(bias, stored_charge_c)
+        model = DirectTunnelingModel(self.device.tunnel_barrier)
+        j = model.current_density_from_voltage(vfg)
+        if j <= 0.0:
+            return 0.0
+        area = self.device.geometry.channel_area_m2
+        gained_charge = -j * area * self.event_duration_s  # electrons in
+        cfc = self.device.capacitances.cfc
+        return -gained_charge / cfc
+
+    def events_to_drift(self, budget_v: float) -> float:
+        """Number of disturb events that consume a drift budget."""
+        if budget_v <= 0.0:
+            raise ConfigurationError("budget must be positive")
+        per_event = self.drift_per_event_v()
+        if per_event <= 0.0:
+            return float("inf")
+        return budget_v / per_event

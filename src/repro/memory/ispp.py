@@ -1,0 +1,121 @@
+"""Incremental step pulse programming (ISPP) with program-verify.
+
+NAND programming alternates short pulses with verify reads: cells that
+have crossed the verify level are inhibited from further pulses, which
+squeezes the programmed distribution to roughly the ISPP step size
+regardless of cell-to-cell speed variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, MemoryOperationError
+from .cell import CellState, MemoryCell
+
+
+@dataclass(frozen=True)
+class IsppPolicy:
+    """ISPP controller settings.
+
+    Attributes
+    ----------
+    verify_level_v:
+        Threshold a cell must exceed to count as programmed [V].
+    step_v:
+        Staircase voltage increment per pulse; maps one-to-one to the
+        per-pulse threshold gain in the steady ISPP regime [V].
+    max_pulses:
+        Abort limit (program-status failure beyond this).
+    first_pulse_shift_v:
+        Threshold gain of the first (lowest-voltage) pulse [V].
+    noise_sigma_v:
+        Per-pulse stochastic spread of the threshold gain [V].
+    """
+
+    verify_level_v: float
+    step_v: float = 0.3
+    max_pulses: int = 24
+    first_pulse_shift_v: float = 0.4
+    noise_sigma_v: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.step_v <= 0.0:
+            raise ConfigurationError("ISPP step must be positive")
+        if self.max_pulses < 1:
+            raise ConfigurationError("need at least one pulse")
+        if self.noise_sigma_v < 0.0:
+            raise ConfigurationError("noise sigma cannot be negative")
+
+
+@dataclass(frozen=True)
+class IsppOutcome:
+    """Result of programming one page worth of cells.
+
+    Attributes
+    ----------
+    pulses_used:
+        Pulses issued before every selected cell verified.
+    failed_cells:
+        Indices of cells that never reached the verify level.
+    final_vt_v:
+        Threshold of every selected cell after the operation.
+    """
+
+    pulses_used: int
+    failed_cells: "tuple[int, ...]"
+    final_vt_v: np.ndarray
+
+    @property
+    def success(self) -> bool:
+        return not self.failed_cells
+
+
+def program_cells(
+    cells: "list[MemoryCell]",
+    select_mask: "list[bool]",
+    policy: IsppPolicy,
+    rng: "np.random.Generator | None" = None,
+) -> IsppOutcome:
+    """Program the selected cells to the verify level with ISPP.
+
+    Cells with ``select_mask[i]`` False are inhibited (stay erased).
+
+    Raises
+    ------
+    MemoryOperationError
+        If the mask length does not match the cell list.
+    """
+    if len(select_mask) != len(cells):
+        raise MemoryOperationError("mask length must match cell count")
+    rng = rng or np.random.default_rng(1)
+
+    pending = [
+        i for i, (cell, sel) in enumerate(zip(cells, select_mask)) if sel
+    ]
+    pulses = 0
+    while pending and pulses < policy.max_pulses:
+        shift_base = (
+            policy.first_pulse_shift_v if pulses == 0 else policy.step_v
+        )
+        still_pending = []
+        for i in pending:
+            noise = float(rng.normal(0.0, policy.noise_sigma_v))
+            cells[i].apply_program_pulse(max(shift_base + noise, 0.0))
+            if cells[i].vt_v >= policy.verify_level_v:
+                cells[i].mark_programmed()
+            else:
+                still_pending.append(i)
+        pending = still_pending
+        pulses += 1
+
+    final = np.array(
+        [cells[i].vt_v for i in range(len(cells))], dtype=float
+    )
+    return IsppOutcome(
+        pulses_used=pulses,
+        failed_cells=tuple(pending),
+        final_vt_v=final,
+    )

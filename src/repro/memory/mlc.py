@@ -1,0 +1,142 @@
+"""Multi-level cell (MLC) support: two bits per floating gate.
+
+The memory window of the MLGNR-CNT cell (~8-10 V saturated) is wide
+enough to hold four threshold levels. This module partitions the
+window into four target states with Gray-coded bit assignments,
+programs cells level-by-level with the same ISPP machinery, and reads
+them back with three references -- the standard MLC flow, driven
+entirely by the device-calibrated kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, MemoryOperationError
+from .cell import CellKernel, MemoryCell
+from .ispp import IsppPolicy, program_cells
+
+#: Gray code for the four levels, lowest threshold first. L0 (erased)
+#: holds '11'; each step changes one bit.
+GRAY_BITS = ((1, 1), (1, 0), (0, 0), (0, 1))
+
+
+@dataclass(frozen=True)
+class MlcLevels:
+    """The four MLC target states derived from a calibrated kernel.
+
+    Attributes
+    ----------
+    targets_v:
+        Verify thresholds of levels L0..L3 [V]; L0 is the erased state.
+    references_v:
+        The three read references separating adjacent levels [V].
+    """
+
+    targets_v: "tuple[float, float, float, float]"
+    references_v: "tuple[float, float, float]"
+
+    @staticmethod
+    def from_kernel(
+        kernel: CellKernel, guard_fraction: float = 0.1
+    ) -> "MlcLevels":
+        """Partition the kernel's window into four evenly spaced levels.
+
+        ``guard_fraction`` reserves margin at both window edges so L0
+        keeps distance from the deepest-erased cells and L3 from the
+        programming ceiling.
+        """
+        if not 0.0 <= guard_fraction < 0.5:
+            raise ConfigurationError("guard fraction must be in [0, 0.5)")
+        lo = kernel.erased_vt_v + guard_fraction * kernel.window_v
+        hi = kernel.programmed_vt_v - guard_fraction * kernel.window_v
+        targets = tuple(np.linspace(lo, hi, 4))
+        references = tuple(
+            0.5 * (a + b) for a, b in zip(targets, targets[1:])
+        )
+        return MlcLevels(targets_v=targets, references_v=references)
+
+    def level_of(self, vt_v: float) -> int:
+        """Level index (0-3) a threshold reads as."""
+        level = 0
+        for ref in self.references_v:
+            if vt_v > ref:
+                level += 1
+        return level
+
+
+def bits_to_level(msb: int, lsb: int) -> int:
+    """Gray-coded (msb, lsb) pair -> level index."""
+    try:
+        return GRAY_BITS.index((int(msb), int(lsb)))
+    except ValueError:
+        raise MemoryOperationError(f"bits must be 0/1, got ({msb}, {lsb})")
+
+
+def level_to_bits(level: int) -> "tuple[int, int]":
+    """Level index -> Gray-coded (msb, lsb) pair."""
+    if not 0 <= level < 4:
+        raise MemoryOperationError(f"level must be 0-3, got {level}")
+    return GRAY_BITS[level]
+
+
+def program_mlc_page(
+    cells: "list[MemoryCell]",
+    levels: MlcLevels,
+    target_levels: "list[int]",
+    ispp_step_v: float = 0.15,
+    noise_sigma_v: float = 0.02,
+    rng: "np.random.Generator | None" = None,
+) -> int:
+    """Program a page of erased cells to per-cell MLC levels.
+
+    Levels are programmed lowest-first (L1, then L2, then L3), each
+    pass ISPP-verifying only the cells targeting that level -- the
+    standard staircase that keeps already-placed levels undisturbed.
+    Returns the total pulse count.
+
+    Raises
+    ------
+    MemoryOperationError
+        If any cell fails verify, or targets are malformed.
+    """
+    if len(target_levels) != len(cells):
+        raise MemoryOperationError("one target level per cell required")
+    if any(not 0 <= lv < 4 for lv in target_levels):
+        raise MemoryOperationError("levels must be 0-3")
+    rng = rng or np.random.default_rng(31)
+
+    total_pulses = 0
+    for level in (1, 2, 3):
+        mask = [lv == level for lv in target_levels]
+        if not any(mask):
+            continue
+        policy = IsppPolicy(
+            verify_level_v=levels.targets_v[level],
+            step_v=ispp_step_v,
+            first_pulse_shift_v=ispp_step_v,
+            noise_sigma_v=noise_sigma_v,
+            max_pulses=200,
+        )
+        outcome = program_cells(cells, mask, policy, rng)
+        if not outcome.success:
+            raise MemoryOperationError(
+                f"MLC level {level} failed verify on "
+                f"{len(outcome.failed_cells)} cells"
+            )
+        total_pulses += outcome.pulses_used
+    return total_pulses
+
+
+def read_mlc_page(
+    cells: "list[MemoryCell]", levels: MlcLevels
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Read a page back as (msb_bits, lsb_bits) arrays."""
+    msb = np.empty(len(cells), dtype=np.uint8)
+    lsb = np.empty(len(cells), dtype=np.uint8)
+    for i, cell in enumerate(cells):
+        m, l = level_to_bits(levels.level_of(cell.vt_v))
+        msb[i], lsb[i] = m, l
+    return msb, lsb

@@ -1,0 +1,175 @@
+"""NAND string: serially connected cells sharing one bit line.
+
+The paper targets NAND flash ("FN tunneling is adopted in NAND flash
+memory, which is the most popular, dense and cost effective"). In a
+NAND string every cell sits in series, so reading one page requires
+driving all *other* word lines with a pass voltage -- the structural
+source of read disturb -- and programming applies the pass voltage to
+the unselected pages of selected bit lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, MemoryOperationError
+from .cell import CellKernel, CellState, MemoryCell, fresh_cells
+from .disturb import DisturbModel
+from .ispp import IsppOutcome, IsppPolicy, program_cells
+from .sense import SenseAmplifier
+
+
+@dataclass
+class NandString:
+    """One bit line's serial chain of cells.
+
+    Attributes
+    ----------
+    cells:
+        Word-line-ordered cells (index 0 nearest the source select).
+    """
+
+    cells: "list[MemoryCell]" = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ConfigurationError("a NAND string needs at least one cell")
+
+    @property
+    def n_wordlines(self) -> int:
+        return len(self.cells)
+
+    def cell(self, wordline: int) -> MemoryCell:
+        if not 0 <= wordline < self.n_wordlines:
+            raise MemoryOperationError(
+                f"wordline {wordline} outside string of {self.n_wordlines}"
+            )
+        return self.cells[wordline]
+
+    def is_conducting(self, selected_wordline: int, reference_v: float) -> bool:
+        """Whether the string conducts with one word line at the reference.
+
+        All unselected cells see the pass voltage (assumed to exceed any
+        programmed threshold, so they conduct); the selected cell
+        conducts only if its threshold is below the reference.
+        """
+        return self.cell(selected_wordline).vt_v <= reference_v
+
+
+def build_string(
+    kernel: CellKernel,
+    n_wordlines: int = 64,
+    process_sigma_v: float = 0.08,
+    rng: "np.random.Generator | None" = None,
+) -> NandString:
+    """Manufacture a fresh (erased) NAND string."""
+    if n_wordlines < 1:
+        raise ConfigurationError("need at least one wordline")
+    return NandString(
+        cells=fresh_cells(kernel, n_wordlines, process_sigma_v, rng)
+    )
+
+
+@dataclass
+class StringOperations:
+    """Program/read operations on a group of strings (one block slice).
+
+    Attributes
+    ----------
+    strings:
+        The bit lines, each a :class:`NandString` of equal length.
+    ispp:
+        Programming policy.
+    sense:
+        Read comparator.
+    disturb:
+        Physics-calibrated disturb model; None disables disturbs.
+    """
+
+    strings: "list[NandString]"
+    ispp: IsppPolicy
+    sense: SenseAmplifier
+    disturb: "DisturbModel | None" = None
+    read_count: "dict[int, int]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.strings:
+            raise ConfigurationError("need at least one string")
+        lengths = {s.n_wordlines for s in self.strings}
+        if len(lengths) != 1:
+            raise ConfigurationError("all strings must share a length")
+
+    @property
+    def n_wordlines(self) -> int:
+        return self.strings[0].n_wordlines
+
+    @property
+    def n_bitlines(self) -> int:
+        return len(self.strings)
+
+    def page_cells(self, wordline: int) -> "list[MemoryCell]":
+        """Cells of one page (same word line across all bit lines)."""
+        return [s.cell(wordline) for s in self.strings]
+
+    def program_page(
+        self,
+        wordline: int,
+        bits: np.ndarray,
+        rng: "np.random.Generator | None" = None,
+    ) -> IsppOutcome:
+        """Program a page: bit 0 -> programmed cell, bit 1 -> inhibited.
+
+        Applies pass-voltage program disturb to every other page of the
+        participating strings when a disturb model is attached.
+        """
+        bits = np.asarray(bits)
+        if bits.size != self.n_bitlines:
+            raise MemoryOperationError(
+                f"need {self.n_bitlines} bits, got {bits.size}"
+            )
+        cells = self.page_cells(wordline)
+        mask = [int(b) == 0 for b in bits]
+        outcome = program_cells(cells, mask, self.ispp, rng)
+
+        if self.disturb is not None:
+            drift = self.disturb.drift_per_event_v()
+            for string, selected in zip(self.strings, mask):
+                if not selected:
+                    continue
+                for wl in range(self.n_wordlines):
+                    if wl != wordline:
+                        string.cell(wl).disturb(drift)
+        return outcome
+
+    def read_page(
+        self,
+        wordline: int,
+        rng: "np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Read a page into bits, applying read disturb to other pages."""
+        cells = self.page_cells(wordline)
+        bits = self.sense.sense_page(cells, rng)
+        self.read_count[wordline] = self.read_count.get(wordline, 0) + 1
+        if self.disturb is not None:
+            drift = self.disturb.drift_per_event_v()
+            # Read pass voltage is lower than program pass; scale by the
+            # ratio of the squared fields (FN-like superlinearity).
+            read_scale = 0.01
+            for string in self.strings:
+                for wl in range(self.n_wordlines):
+                    if wl != wordline:
+                        string.cell(wl).disturb(drift * read_scale)
+        return bits
+
+    def erase_all(self, rng: "np.random.Generator | None" = None) -> None:
+        """Block erase: every cell returns to the erased distribution."""
+        rng = rng or np.random.default_rng(2)
+        for string in self.strings:
+            for cell in string.cells:
+                cell.erase(rng=rng)
+
+    def page_states(self, wordline: int) -> "list[CellState]":
+        """Nominal logic states of one page (for verification in tests)."""
+        return [c.state for c in self.page_cells(wordline)]

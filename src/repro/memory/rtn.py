@@ -1,0 +1,123 @@
+"""Random telegraph noise (RTN) on cell thresholds.
+
+A single oxide trap near the channel captures and emits an electron at
+random, toggling the cell threshold between two levels -- the dominant
+read-instability mechanism of deeply scaled cells, where one electron's
+worth of charge is a measurable fraction of C_FC. The model is a
+two-state Markov process with capture/emission time constants; its
+amplitude is derived from the device capacitance, and its occupancy
+statistics follow the detailed-balance ratio the tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import ELEMENTARY_CHARGE
+from ..device.floating_gate import FloatingGateTransistor
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RtnTrap:
+    """One two-state oxide trap.
+
+    Attributes
+    ----------
+    amplitude_v:
+        Threshold shift when the trap holds an electron [V].
+    capture_time_s:
+        Mean time to capture when empty [s].
+    emission_time_s:
+        Mean time to emit when occupied [s].
+    """
+
+    amplitude_v: float
+    capture_time_s: float
+    emission_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.amplitude_v <= 0.0:
+            raise ConfigurationError("RTN amplitude must be positive")
+        if self.capture_time_s <= 0.0 or self.emission_time_s <= 0.0:
+            raise ConfigurationError("time constants must be positive")
+
+    @property
+    def occupancy(self) -> float:
+        """Stationary probability the trap holds an electron.
+
+        Detailed balance of the two-state process:
+        ``p = tau_e / (tau_c + tau_e)``.
+        """
+        return self.emission_time_s / (
+            self.capture_time_s + self.emission_time_s
+        )
+
+    @staticmethod
+    def single_electron_for_device(
+        device: FloatingGateTransistor,
+        capture_time_s: float = 1e-3,
+        emission_time_s: float = 1e-3,
+    ) -> "RtnTrap":
+        """Trap whose amplitude is one electron through C_FC.
+
+        The natural RTN magnitude of the cell: how much one trapped
+        electron moves the threshold seen from the control gate.
+        """
+        amplitude = ELEMENTARY_CHARGE / device.capacitances.cfc
+        return RtnTrap(
+            amplitude_v=amplitude,
+            capture_time_s=capture_time_s,
+            emission_time_s=emission_time_s,
+        )
+
+    def sample_trajectory(
+        self,
+        duration_s: float,
+        dt_s: float,
+        rng: np.random.Generator,
+        initially_occupied: bool = False,
+    ) -> np.ndarray:
+        """Simulate the threshold-shift waveform on a fixed time grid.
+
+        Returns the shift at each step (0 or ``amplitude_v``). Uses the
+        exact per-step transition probabilities ``1 - exp(-dt/tau)``.
+        """
+        if duration_s <= 0.0 or dt_s <= 0.0:
+            raise ConfigurationError("duration and dt must be positive")
+        if dt_s > duration_s:
+            raise ConfigurationError("dt cannot exceed the duration")
+        n = int(duration_s / dt_s)
+        p_capture = 1.0 - math.exp(-dt_s / self.capture_time_s)
+        p_emit = 1.0 - math.exp(-dt_s / self.emission_time_s)
+        occupied = initially_occupied
+        shifts = np.empty(n)
+        uniforms = rng.random(n)
+        for i in range(n):
+            if occupied:
+                if uniforms[i] < p_emit:
+                    occupied = False
+            else:
+                if uniforms[i] < p_capture:
+                    occupied = True
+            shifts[i] = self.amplitude_v if occupied else 0.0
+        return shifts
+
+
+def read_instability_probability(
+    trap: RtnTrap, margin_v: float
+) -> float:
+    """Probability a single read lands on the wrong side of the margin.
+
+    If the cell's nominal margin to the read reference is smaller than
+    the RTN amplitude, the trap's occupancy statistics directly set the
+    misread probability; otherwise RTN cannot flip the read.
+    """
+    if margin_v < 0.0:
+        raise ConfigurationError("margin cannot be negative")
+    if margin_v >= trap.amplitude_v:
+        return 0.0
+    return trap.occupancy

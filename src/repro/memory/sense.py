@@ -1,0 +1,67 @@
+"""Sense amplifier: converting cell current into bits.
+
+Reads a cell by comparing its drain current at the read bias against a
+reference current (equivalently, its threshold against a reference
+voltage). Comparator offset and current noise are modelled as a Gaussian
+equivalent threshold noise, which is how sensing margin budgets are
+specified in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .cell import CellState, MemoryCell
+
+
+@dataclass(frozen=True)
+class SenseAmplifier:
+    """Threshold comparator with Gaussian input-referred noise.
+
+    Attributes
+    ----------
+    reference_v:
+        Read reference threshold [V].
+    noise_sigma_v:
+        Input-referred comparator noise [V].
+    """
+
+    reference_v: float
+    noise_sigma_v: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma_v < 0.0:
+            raise ConfigurationError("noise sigma cannot be negative")
+
+    def sense(
+        self, cell: MemoryCell, rng: "np.random.Generator | None" = None
+    ) -> int:
+        """Read one cell; returns the stored *bit* (1 = erased).
+
+        Follows the paper's state convention: erased = logic '1',
+        programmed = logic '0'.
+        """
+        noise = 0.0
+        if rng is not None and self.noise_sigma_v > 0.0:
+            noise = float(rng.normal(0.0, self.noise_sigma_v))
+        state = cell.read_state(self.reference_v + noise)
+        return 1 if state is CellState.ERASED else 0
+
+    def sense_page(
+        self,
+        cells: "list[MemoryCell]",
+        rng: "np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Read a page of cells into a bit array."""
+        return np.array([self.sense(c, rng) for c in cells], dtype=np.uint8)
+
+    def margin_v(self, cell: MemoryCell) -> float:
+        """Distance of a cell's threshold from the reference [V].
+
+        Positive margins are robust reads; the sign says which side of
+        the reference the cell sits on.
+        """
+        return abs(cell.vt_v - self.reference_v)

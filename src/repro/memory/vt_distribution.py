@@ -1,0 +1,124 @@
+"""Threshold-voltage distributions of cell populations.
+
+Real arrays never hold a single threshold: process variation, program
+noise and disturb accumulation spread each logic state into a
+distribution. Sensing works as long as the distributions of '0' and '1'
+do not overlap at the read reference; this module supplies the Gaussian
+bookkeeping (sampling, percentiles, overlap-derived bit-error rates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class VtDistribution:
+    """A Gaussian threshold distribution of one logic state.
+
+    Attributes
+    ----------
+    mean_v:
+        Mean threshold [V].
+    sigma_v:
+        Standard deviation [V].
+    """
+
+    mean_v: float
+    sigma_v: float
+
+    def __post_init__(self) -> None:
+        if self.sigma_v <= 0.0:
+            raise ConfigurationError("sigma must be positive")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` cell thresholds."""
+        if n < 1:
+            raise ConfigurationError("need at least one sample")
+        return rng.normal(self.mean_v, self.sigma_v, size=n)
+
+    def cdf(self, vt: float) -> float:
+        """Probability a cell of this state reads below ``vt``."""
+        z = (vt - self.mean_v) / (self.sigma_v * math.sqrt(2.0))
+        return 0.5 * (1.0 + math.erf(z))
+
+    def percentile(self, p: float) -> float:
+        """Threshold below which a fraction ``p`` of cells fall."""
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError("p must be in (0, 1)")
+        # Inverse error function via Newton on the CDF.
+        x = self.mean_v
+        for _ in range(60):
+            f = self.cdf(x) - p
+            pdf = math.exp(
+                -0.5 * ((x - self.mean_v) / self.sigma_v) ** 2
+            ) / (self.sigma_v * math.sqrt(2.0 * math.pi))
+            if pdf == 0.0:
+                break
+            step = f / pdf
+            x -= step
+            if abs(step) < 1e-12:
+                break
+        return x
+
+    def shifted(self, delta_v: float) -> "VtDistribution":
+        """Distribution rigidly shifted by ``delta_v`` (disturb drift)."""
+        return VtDistribution(self.mean_v + delta_v, self.sigma_v)
+
+    def broadened(self, extra_sigma_v: float) -> "VtDistribution":
+        """Distribution with additional independent spread."""
+        if extra_sigma_v < 0.0:
+            raise ConfigurationError("extra sigma cannot be negative")
+        return VtDistribution(
+            self.mean_v, math.hypot(self.sigma_v, extra_sigma_v)
+        )
+
+
+def raw_bit_error_rate(
+    erased: VtDistribution, programmed: VtDistribution, read_reference_v: float
+) -> float:
+    """Probability of misreading a cell at a reference voltage.
+
+    Average of the two tail probabilities: erased cells above the
+    reference (read as '0') and programmed cells below it (read as '1'),
+    assuming equally likely states.
+    """
+    if programmed.mean_v <= erased.mean_v:
+        raise ConfigurationError(
+            "programmed state must sit above the erased state"
+        )
+    p_erased_high = 1.0 - erased.cdf(read_reference_v)
+    p_programmed_low = programmed.cdf(read_reference_v)
+    return 0.5 * (p_erased_high + p_programmed_low)
+
+
+def optimal_read_reference(
+    erased: VtDistribution, programmed: VtDistribution
+) -> float:
+    """Balanced-margin read reference between the two states.
+
+    Places the reference where both states sit the same number of
+    standard deviations away (equal z-scores), which minimises the worse
+    of the two tail error probabilities:
+
+    ``v = (mu_e * sigma_p + mu_p * sigma_e) / (sigma_e + sigma_p)``
+
+    For equal sigmas this is the midpoint; a tighter state pulls the
+    reference toward itself (its tail shrinks faster). The closed form
+    is used rather than a numerical BER minimisation because for
+    well-separated states the BER underflows to exactly zero over a wide
+    plateau, leaving a search objective with no gradient.
+    """
+    if programmed.mean_v <= erased.mean_v:
+        raise ConfigurationError(
+            "programmed state must sit above the erased state"
+        )
+    return (
+        erased.mean_v * programmed.sigma_v
+        + programmed.mean_v * erased.sigma_v
+    ) / (erased.sigma_v + programmed.sigma_v)

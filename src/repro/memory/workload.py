@@ -1,0 +1,90 @@
+"""Synthetic host workloads for array/FTL benchmarks.
+
+Three canonical access patterns: sequential streaming, uniform random,
+and Zipf-skewed hot/cold traffic (the pattern that separates good from
+bad garbage-collection policies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """One host write: a logical page and its payload bits."""
+
+    logical_page: int
+    bits: np.ndarray
+
+
+def random_payload(
+    n_bits: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random page payload."""
+    return rng.integers(0, 2, size=n_bits).astype(np.uint8)
+
+
+def sequential_workload(
+    n_requests: int,
+    capacity_pages: int,
+    page_bits: int,
+    seed: int = 11,
+) -> "Iterator[WriteRequest]":
+    """Streaming writes wrapping around the logical space."""
+    if n_requests < 1 or capacity_pages < 1:
+        raise ConfigurationError("requests and capacity must be positive")
+    rng = np.random.default_rng(seed)
+    for i in range(n_requests):
+        yield WriteRequest(
+            logical_page=i % capacity_pages,
+            bits=random_payload(page_bits, rng),
+        )
+
+
+def uniform_random_workload(
+    n_requests: int,
+    capacity_pages: int,
+    page_bits: int,
+    seed: int = 13,
+) -> "Iterator[WriteRequest]":
+    """Uniformly random page updates."""
+    if n_requests < 1 or capacity_pages < 1:
+        raise ConfigurationError("requests and capacity must be positive")
+    rng = np.random.default_rng(seed)
+    for _ in range(n_requests):
+        yield WriteRequest(
+            logical_page=int(rng.integers(0, capacity_pages)),
+            bits=random_payload(page_bits, rng),
+        )
+
+
+def zipf_workload(
+    n_requests: int,
+    capacity_pages: int,
+    page_bits: int,
+    skew: float = 1.2,
+    seed: int = 17,
+) -> "Iterator[WriteRequest]":
+    """Zipf-skewed updates: a few hot pages absorb most writes.
+
+    ``skew`` > 1 controls the hot-set concentration; pages are ranked by
+    a random permutation so the hot set is not the low page numbers.
+    """
+    if skew <= 1.0:
+        raise ConfigurationError("zipf skew must exceed 1.0")
+    if n_requests < 1 or capacity_pages < 1:
+        raise ConfigurationError("requests and capacity must be positive")
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(capacity_pages)
+    for _ in range(n_requests):
+        rank = int(rng.zipf(skew))
+        page = permutation[(rank - 1) % capacity_pages]
+        yield WriteRequest(
+            logical_page=int(page), bits=random_payload(page_bits, rng)
+        )

@@ -1,0 +1,23 @@
+"""Design-space exploration and optimisation (paper's future work).
+
+Sweeps and optimises the parameters the paper's conclusion highlights:
+programming voltage, tunneling current density and oxide thicknesses,
+under reliability constraints.
+"""
+
+from .constraints import ConstraintSet
+from .design_space import DesignPoint, grid
+from .objectives import DesignMetrics, evaluate_design
+from .optimizer import OptimizationResult, optimise_program_time
+from .pareto import pareto_front
+
+__all__ = [
+    "DesignPoint",
+    "grid",
+    "DesignMetrics",
+    "evaluate_design",
+    "ConstraintSet",
+    "pareto_front",
+    "OptimizationResult",
+    "optimise_program_time",
+]

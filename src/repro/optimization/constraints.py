@@ -1,0 +1,72 @@
+"""Feasibility constraints on cell designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .objectives import DesignMetrics
+
+
+@dataclass(frozen=True)
+class ConstraintSet:
+    """Hard requirements a usable design must meet.
+
+    Attributes
+    ----------
+    max_tunnel_field_v_per_m:
+        Reliability ceiling on the programming field.
+    max_program_time_s:
+        Speed floor (t_sat must fit the write budget).
+    min_memory_window_v:
+        Sensing requirement on the saturated window.
+    min_cycles:
+        Endurance requirement.
+    """
+
+    max_tunnel_field_v_per_m: float = 2.5e9
+    max_program_time_s: float = 1e-3
+    min_memory_window_v: float = 2.0
+    min_cycles: float = 1e4
+
+    def __post_init__(self) -> None:
+        if self.max_tunnel_field_v_per_m <= 0.0:
+            raise ConfigurationError("field ceiling must be positive")
+        if self.max_program_time_s <= 0.0:
+            raise ConfigurationError("time budget must be positive")
+
+    def violations(self, metrics: DesignMetrics) -> "list[str]":
+        """Human-readable list of violated constraints (empty = feasible)."""
+        problems = []
+        if metrics.peak_tunnel_field_v_per_m > self.max_tunnel_field_v_per_m:
+            problems.append(
+                f"field {metrics.peak_tunnel_field_v_per_m:.2e} V/m exceeds "
+                f"{self.max_tunnel_field_v_per_m:.2e}"
+            )
+        if (
+            metrics.program_time_s is None
+            or metrics.program_time_s > self.max_program_time_s
+        ):
+            actual = (
+                "unsaturated"
+                if metrics.program_time_s is None
+                else f"{metrics.program_time_s:.2e} s"
+            )
+            problems.append(
+                f"program time {actual} exceeds {self.max_program_time_s:.1e} s"
+            )
+        if metrics.memory_window_v < self.min_memory_window_v:
+            problems.append(
+                f"window {metrics.memory_window_v:.2f} V below "
+                f"{self.min_memory_window_v:.2f} V"
+            )
+        if metrics.cycles_to_breakdown < self.min_cycles:
+            problems.append(
+                f"endurance {metrics.cycles_to_breakdown:.0f} cycles below "
+                f"{self.min_cycles:.0f}"
+            )
+        return problems
+
+    def is_feasible(self, metrics: DesignMetrics) -> bool:
+        """True when every constraint is satisfied."""
+        return not self.violations(metrics)

@@ -1,0 +1,79 @@
+"""Design space of the floating-gate cell.
+
+The paper's conclusion calls for "an optimization among these crucial
+parameters" -- programming voltage, tunneling current density and oxide
+thicknesses. A :class:`DesignPoint` captures one candidate cell design
+in exactly those coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..device.floating_gate import FloatingGateTransistor
+from ..device.geometry import DeviceGeometry
+from ..errors import ConfigurationError
+from ..units import nm_to_m
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate design.
+
+    Attributes
+    ----------
+    program_voltage_v:
+        Control-gate programming voltage (erase uses the negative).
+    tunnel_oxide_nm:
+        X_TO [nm].
+    control_oxide_nm:
+        X_CO [nm]; must exceed X_TO.
+    gate_coupling_ratio:
+        Target GCR.
+    """
+
+    program_voltage_v: float = 15.0
+    tunnel_oxide_nm: float = 5.0
+    control_oxide_nm: float = 8.0
+    gate_coupling_ratio: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.program_voltage_v <= 0.0:
+            raise ConfigurationError("program voltage must be positive")
+        if self.tunnel_oxide_nm <= 0.0:
+            raise ConfigurationError("tunnel oxide must be positive")
+        if self.control_oxide_nm <= self.tunnel_oxide_nm:
+            raise ConfigurationError("control oxide must exceed tunnel oxide")
+        if not 0.0 < self.gate_coupling_ratio < 1.0:
+            raise ConfigurationError("GCR must be in (0, 1)")
+
+    def build_device(self) -> FloatingGateTransistor:
+        """Instantiate the transistor this point describes."""
+        geometry = DeviceGeometry(
+            tunnel_oxide_thickness_m=nm_to_m(self.tunnel_oxide_nm),
+            control_oxide_thickness_m=nm_to_m(self.control_oxide_nm),
+        )
+        device = FloatingGateTransistor(geometry=geometry)
+        return device.with_gate_coupling_ratio(self.gate_coupling_ratio)
+
+
+def grid(
+    program_voltages_v: Sequence[float],
+    tunnel_oxides_nm: Sequence[float],
+    control_oxides_nm: Sequence[float] = (8.0,),
+    gcrs: Sequence[float] = (0.6,),
+) -> "Iterator[DesignPoint]":
+    """Cartesian-product design grid, skipping invalid combinations."""
+    for vgs, xto, xco, gcr in itertools.product(
+        program_voltages_v, tunnel_oxides_nm, control_oxides_nm, gcrs
+    ):
+        if xco <= xto:
+            continue
+        yield DesignPoint(
+            program_voltage_v=vgs,
+            tunnel_oxide_nm=xto,
+            control_oxide_nm=xco,
+            gate_coupling_ratio=gcr,
+        )

@@ -1,0 +1,90 @@
+"""Evaluation of one cell design: the speed/stress/window metrics.
+
+For every :class:`DesignPoint` the evaluator runs the actual device
+models and reports the figures of merit the paper's conclusion names:
+tunneling current density (speed), oxide field (reliability), plus the
+derived program time, memory window and endurance estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..device.bias import PROGRAM_BIAS
+from ..device.threshold import ThresholdModel
+from ..device.transient import simulate_transient
+from ..reliability.breakdown import BreakdownModel
+from .design_space import DesignPoint
+
+
+@dataclass(frozen=True)
+class DesignMetrics:
+    """Figures of merit of one evaluated design.
+
+    Attributes
+    ----------
+    point:
+        The design evaluated.
+    initial_current_density_a_m2:
+        J_FN at t = 0 of programming (the paper's Figures 6-7 quantity).
+    peak_tunnel_field_v_per_m:
+        Maximum field across the tunnel oxide during programming.
+    program_time_s:
+        Time to 99% of the equilibrium charge (t_sat); None when the
+        window was not reached within the simulated pulse.
+    memory_window_v:
+        Saturated threshold window of the design.
+    cycles_to_breakdown:
+        Endurance estimate from the Q_BD budget.
+    """
+
+    point: DesignPoint
+    initial_current_density_a_m2: float
+    peak_tunnel_field_v_per_m: float
+    program_time_s: "float | None"
+    memory_window_v: float
+    cycles_to_breakdown: float
+
+
+def evaluate_design(
+    point: DesignPoint,
+    pulse_duration_s: float = 1e-2,
+    breakdown: "BreakdownModel | None" = None,
+) -> DesignMetrics:
+    """Run the device models for one design point."""
+    import numpy as np
+
+    device = point.build_device()
+    bias = PROGRAM_BIAS.with_gate_voltage(point.program_voltage_v)
+
+    transient = simulate_transient(
+        device, bias, duration_s=pulse_duration_s, n_samples=200
+    )
+    j0 = abs(float(transient.jin_a_m2[0]))
+    x_to = device.geometry.tunnel_oxide_thickness_m
+    peak_field = float(np.max(np.abs(transient.vfg_v)) / x_to)
+
+    threshold = ThresholdModel(device)
+    from ..device.memory_window import saturated_memory_window
+    from ..device.bias import ERASE_BIAS
+
+    erase_bias = ERASE_BIAS.with_gate_voltage(-point.program_voltage_v)
+    window = saturated_memory_window(threshold, bias, erase_bias).window_v
+
+    model = breakdown or BreakdownModel()
+    fluence = float(
+        np.trapezoid(np.abs(transient.jin_a_m2), transient.t_s)
+    )
+    cycles = (
+        model.cycles_to_breakdown(2.0 * fluence, peak_field)
+        if fluence > 0.0
+        else float("inf")
+    )
+    return DesignMetrics(
+        point=point,
+        initial_current_density_a_m2=j0,
+        peak_tunnel_field_v_per_m=peak_field,
+        program_time_s=transient.t_sat_s,
+        memory_window_v=window,
+        cycles_to_breakdown=cycles,
+    )

@@ -1,0 +1,74 @@
+"""Pareto-front extraction over evaluated designs."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import ConfigurationError
+from .objectives import DesignMetrics
+
+#: An objective: (extractor, direction) with direction "min" or "max".
+Objective = "tuple[Callable[[DesignMetrics], float], str]"
+
+
+def _dominates(
+    a: "tuple[float, ...]", b: "tuple[float, ...]", senses: "tuple[int, ...]"
+) -> bool:
+    """True when point a dominates b (better-or-equal everywhere, better
+    somewhere); senses hold +1 for maximise, -1 for minimise."""
+    at_least_as_good = all(
+        s * (x - y) >= 0.0 for x, y, s in zip(a, b, senses)
+    )
+    strictly_better = any(s * (x - y) > 0.0 for x, y, s in zip(a, b, senses))
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    evaluated: Sequence[DesignMetrics],
+    objectives: Sequence[Objective],
+) -> "list[DesignMetrics]":
+    """Non-dominated subset of the evaluated designs.
+
+    Parameters
+    ----------
+    evaluated:
+        Candidate designs with metrics attached.
+    objectives:
+        ``(extractor, "min"|"max")`` pairs, e.g.
+        ``[(lambda m: m.program_time_s, "min"),
+        (lambda m: m.cycles_to_breakdown, "max")]``.
+    """
+    if not objectives:
+        raise ConfigurationError("need at least one objective")
+    senses = []
+    for _, direction in objectives:
+        if direction == "min":
+            senses.append(-1)
+        elif direction == "max":
+            senses.append(+1)
+        else:
+            raise ConfigurationError(
+                f"direction must be 'min' or 'max', got {direction!r}"
+            )
+    senses = tuple(senses)
+
+    vectors = []
+    for metrics in evaluated:
+        values = []
+        for extractor, _ in objectives:
+            value = extractor(metrics)
+            if value is None:
+                value = float("inf") if senses[len(values)] < 0 else -float("inf")
+            values.append(float(value))
+        vectors.append(tuple(values))
+
+    front = []
+    for i, metrics in enumerate(evaluated):
+        dominated = any(
+            _dominates(vectors[j], vectors[i], senses)
+            for j in range(len(evaluated))
+            if j != i
+        )
+        if not dominated:
+            front.append(metrics)
+    return front

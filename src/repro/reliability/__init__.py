@@ -1,0 +1,24 @@
+"""Oxide reliability: stress, breakdown, SILC and endurance.
+
+Quantifies the paper's concluding warning -- "higher tunneling current
+will severely damage the oxide's reliability" -- with the standard
+empirical wear-out models of the flash literature.
+"""
+
+from .bake import ArrheniusAcceleration
+from .breakdown import BreakdownModel
+from .endurance import EnduranceModel, EnduranceResult
+from .silc import TrapGenerationModel, silc_current_density
+from .stress import StressAccumulator, StressRecord, stress_of_pulse
+
+__all__ = [
+    "StressRecord",
+    "StressAccumulator",
+    "stress_of_pulse",
+    "BreakdownModel",
+    "ArrheniusAcceleration",
+    "TrapGenerationModel",
+    "silc_current_density",
+    "EnduranceModel",
+    "EnduranceResult",
+]

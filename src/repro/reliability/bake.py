@@ -1,0 +1,85 @@
+"""Temperature-accelerated retention (bake testing).
+
+Retention qualification never waits ten years: parts are baked at
+125-250 C and the loss is extrapolated to operating temperature with an
+Arrhenius acceleration factor
+
+.. math::
+
+    AF = \\exp\\!\\left[\\frac{E_a}{k_B}
+         \\left(\\frac{1}{T_{use}} - \\frac{1}{T_{bake}}\\right)\\right]
+
+with activation energies around 1.1 eV for charge-loss mechanisms in
+floating-gate flash (JEDEC JESD22-A117 tradition). The module converts
+between bake time and equivalent use time and derives pass/fail bake
+durations for a ten-year retention target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import BOLTZMANN, ELEMENTARY_CHARGE
+from ..errors import ConfigurationError
+
+#: Ten years in seconds (retention qualification target).
+TEN_YEARS_S = 10.0 * 365.25 * 24.0 * 3600.0
+
+
+@dataclass(frozen=True)
+class ArrheniusAcceleration:
+    """Arrhenius time-acceleration model for retention loss.
+
+    Attributes
+    ----------
+    activation_energy_ev:
+        Activation energy of the dominant charge-loss mechanism [eV].
+    use_temperature_k:
+        Operating temperature the extrapolation targets [K].
+    """
+
+    activation_energy_ev: float = 1.1
+    use_temperature_k: float = 328.15  # 55 C, the JEDEC use condition
+
+    def __post_init__(self) -> None:
+        if self.activation_energy_ev <= 0.0:
+            raise ConfigurationError("activation energy must be positive")
+        if self.use_temperature_k <= 0.0:
+            raise ConfigurationError("use temperature must be positive")
+
+    def acceleration_factor(self, bake_temperature_k: float) -> float:
+        """AF between the bake and use temperatures (> 1 for hot bakes)."""
+        if bake_temperature_k <= 0.0:
+            raise ConfigurationError("bake temperature must be positive")
+        ea_j = self.activation_energy_ev * ELEMENTARY_CHARGE
+        return math.exp(
+            ea_j
+            / BOLTZMANN
+            * (1.0 / self.use_temperature_k - 1.0 / bake_temperature_k)
+        )
+
+    def equivalent_use_time_s(
+        self, bake_time_s: float, bake_temperature_k: float
+    ) -> float:
+        """Use-condition time simulated by a bake [s]."""
+        if bake_time_s < 0.0:
+            raise ConfigurationError("bake time cannot be negative")
+        return bake_time_s * self.acceleration_factor(bake_temperature_k)
+
+    def bake_time_for_target_s(
+        self, target_use_time_s: float, bake_temperature_k: float
+    ) -> float:
+        """Bake duration that emulates a target use time [s]."""
+        if target_use_time_s <= 0.0:
+            raise ConfigurationError("target time must be positive")
+        return target_use_time_s / self.acceleration_factor(
+            bake_temperature_k
+        )
+
+    def ten_year_bake_hours(self, bake_temperature_k: float) -> float:
+        """Hours of bake equivalent to ten years at use temperature."""
+        return (
+            self.bake_time_for_target_s(TEN_YEARS_S, bake_temperature_k)
+            / 3600.0
+        )

@@ -1,0 +1,13 @@
+"""Terminal reporting: ASCII plots, tables and CSV export."""
+
+from .ascii_plot import PlotSeries, ascii_plot, decades_spanned
+from .export import export_series_csv
+from .table import format_table
+
+__all__ = [
+    "PlotSeries",
+    "ascii_plot",
+    "decades_spanned",
+    "format_table",
+    "export_series_csv",
+]

@@ -1,0 +1,113 @@
+"""Terminal line plots for experiment series (no plotting dependency)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class PlotSeries:
+    """One labelled (x, y) series."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+
+def ascii_plot(
+    series: Sequence[PlotSeries],
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series on a character canvas.
+
+    ``log_y`` plots ``log10(|y|)`` -- tunneling currents span ~30 decades
+    and are unreadable on a linear axis. Non-positive values are dropped
+    in log mode.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 16 or height < 6:
+        raise ConfigurationError("canvas too small")
+
+    xs, ys = [], []
+    for s in series:
+        x = np.asarray(s.x, dtype=float)
+        y = np.asarray(s.y, dtype=float)
+        if x.size != y.size or x.size == 0:
+            raise ConfigurationError(f"series {s.label!r} is malformed")
+        if log_y:
+            mask = np.abs(y) > 0.0
+            x, y = x[mask], np.log10(np.abs(y[mask]))
+        xs.append(x)
+        ys.append(y)
+
+    if all(x.size == 0 for x in xs):
+        return f"{title}\n(no positive data to plot)"
+    x_min = min(float(x.min()) for x in xs if x.size)
+    x_max = max(float(x.max()) for x in xs if x.size)
+    y_min = min(float(y.min()) for y in ys if y.size)
+    y_max = max(float(y.max()) for y in ys if y.size)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (x, y) in enumerate(zip(xs, ys)):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for xv, yv in zip(x, y):
+            col = int((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    y_top = f"{y_max:.3g}"
+    y_bot = f"{y_min:.3g}"
+    gutter = max(len(y_top), len(y_bot)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        axis = f"{y_label}" + (" [log10]" if log_y else "")
+        lines.append(axis)
+    for i, row_chars in enumerate(canvas):
+        if i == 0:
+            prefix = y_top.rjust(gutter)
+        elif i == height - 1:
+            prefix = y_bot.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(prefix + "|" + "".join(row_chars))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width // 2) + f"{x_max:.3g}".rjust(
+        width - width // 2
+    )
+    lines.append(" " * (gutter + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (gutter + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def decades_spanned(values: np.ndarray) -> float:
+    """Number of decades between the smallest and largest |value| > 0."""
+    magnitudes = np.abs(np.asarray(values, dtype=float))
+    magnitudes = magnitudes[magnitudes > 0.0]
+    if magnitudes.size < 2:
+        return 0.0
+    return float(math.log10(magnitudes.max() / magnitudes.min()))

@@ -1,0 +1,37 @@
+"""CSV export of experiment series."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .ascii_plot import PlotSeries
+
+
+def export_series_csv(
+    path: "str | Path",
+    series: Sequence[PlotSeries],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> Path:
+    """Write series to a long-format CSV: series,x,y.
+
+    Returns the written path.
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", x_label, y_label])
+        for s in series:
+            x = np.asarray(s.x, dtype=float)
+            y = np.asarray(s.y, dtype=float)
+            for xv, yv in zip(x, y):
+                writer.writerow([s.label, repr(float(xv)), repr(float(yv))])
+    return path

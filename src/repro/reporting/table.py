@@ -1,0 +1,48 @@
+"""Fixed-width text tables for experiment output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``. Column widths auto-fit the content.
+    """
+    if not headers:
+        raise ConfigurationError("need at least one column")
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    text_rows = [[render(v) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width "
+                f"{len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in text_rows:
+        lines.append(
+            " | ".join(v.rjust(w) for v, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Numerical substrate shared by the physics packages.
+
+Everything here is deliberately generic: 1-D grids, tridiagonal linear
+algebra, a Poisson solver, a finite-difference Schrodinger eigensolver, a
+piecewise-constant transfer-matrix transmission solver, WKB action
+integrals, ODE integration wrappers and bracketing root finders. The
+device and tunneling packages are written on top of these primitives so
+that the physics code contains no hand-rolled numerics.
+"""
+
+from .grid import Grid1D, nonuniform_grid, uniform_grid
+from .linalg import solve_tridiagonal, tridiagonal_matrix
+from .ode import IntegrationResult, integrate_ivp
+from .poisson import PoissonProblem1D, solve_poisson_1d
+from .rootfind import bisect, brentq_checked, find_crossing
+from .schrodinger import BoundStates, solve_schrodinger_1d
+from .transfer_matrix import (
+    BarrierSegment,
+    PiecewiseBarrier,
+    transmission_probability,
+)
+from .wkb import wkb_action, wkb_transmission
+
+__all__ = [
+    "Grid1D",
+    "uniform_grid",
+    "nonuniform_grid",
+    "tridiagonal_matrix",
+    "solve_tridiagonal",
+    "PoissonProblem1D",
+    "solve_poisson_1d",
+    "BoundStates",
+    "solve_schrodinger_1d",
+    "BarrierSegment",
+    "PiecewiseBarrier",
+    "transmission_probability",
+    "wkb_action",
+    "wkb_transmission",
+    "IntegrationResult",
+    "integrate_ivp",
+    "bisect",
+    "brentq_checked",
+    "find_crossing",
+]

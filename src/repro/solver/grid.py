@@ -1,0 +1,102 @@
+"""One-dimensional spatial grids for the field solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Grid1D:
+    """A strictly increasing 1-D grid of node positions.
+
+    Attributes
+    ----------
+    points:
+        Node coordinates in metres, strictly increasing.
+    """
+
+    points: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        points = np.asarray(self.points, dtype=float)
+        if points.ndim != 1 or points.size < 2:
+            raise ConfigurationError("grid needs at least two points in 1-D")
+        if not np.all(np.diff(points) > 0.0):
+            raise ConfigurationError("grid points must be strictly increasing")
+        object.__setattr__(self, "points", points)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self.points.size)
+
+    @property
+    def spacing(self) -> np.ndarray:
+        """Array of the ``n - 1`` cell widths."""
+        return np.diff(self.points)
+
+    @property
+    def length(self) -> float:
+        """Total domain length in metres."""
+        return float(self.points[-1] - self.points[0])
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when all cell widths agree to within a relative 1e-12."""
+        h = self.spacing
+        return bool(np.allclose(h, h[0], rtol=1e-12, atol=0.0))
+
+    def midpoints(self) -> np.ndarray:
+        """Coordinates of the cell centres."""
+        return 0.5 * (self.points[:-1] + self.points[1:])
+
+    def locate(self, x: float) -> int:
+        """Index of the cell containing ``x`` (clamped to the domain)."""
+        idx = int(np.searchsorted(self.points, x, side="right")) - 1
+        return min(max(idx, 0), self.n - 2)
+
+
+def uniform_grid(start: float, stop: float, n: int) -> Grid1D:
+    """Build a uniform grid of ``n`` nodes on ``[start, stop]``."""
+    if stop <= start:
+        raise ConfigurationError(f"stop ({stop}) must exceed start ({start})")
+    if n < 2:
+        raise ConfigurationError("a grid needs at least two nodes")
+    return Grid1D(np.linspace(start, stop, n))
+
+
+def nonuniform_grid(
+    breakpoints: "list[float]", nodes_per_region: "list[int]"
+) -> Grid1D:
+    """Build a piecewise-uniform grid with region-dependent resolution.
+
+    Parameters
+    ----------
+    breakpoints:
+        Region boundaries, strictly increasing, length ``R + 1``.
+    nodes_per_region:
+        Number of cells in each of the ``R`` regions.
+
+    Notes
+    -----
+    Interior breakpoints appear exactly once (shared between regions), so
+    material interfaces in layered stacks always fall on a node.
+    """
+    if len(breakpoints) < 2:
+        raise ConfigurationError("need at least two breakpoints")
+    if len(nodes_per_region) != len(breakpoints) - 1:
+        raise ConfigurationError(
+            "nodes_per_region must have one entry per region "
+            f"({len(breakpoints) - 1}), got {len(nodes_per_region)}"
+        )
+    segments = []
+    for i, cells in enumerate(nodes_per_region):
+        if cells < 1:
+            raise ConfigurationError("each region needs at least one cell")
+        seg = np.linspace(breakpoints[i], breakpoints[i + 1], cells + 1)
+        segments.append(seg if i == 0 else seg[1:])
+    return Grid1D(np.concatenate(segments))

@@ -1,0 +1,82 @@
+"""Tridiagonal linear algebra (Thomas algorithm) used by the 1-D solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ConvergenceError
+
+
+def tridiagonal_matrix(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray
+) -> np.ndarray:
+    """Assemble a dense matrix from its three diagonals (for tests/debug).
+
+    ``lower`` and ``upper`` have length ``n - 1``; ``diag`` has length ``n``.
+    """
+    diag = np.asarray(diag, dtype=float)
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    n = diag.size
+    if lower.size != n - 1 or upper.size != n - 1:
+        raise ConfigurationError("off-diagonals must have length n - 1")
+    matrix = np.zeros((n, n))
+    matrix[np.arange(n), np.arange(n)] = diag
+    matrix[np.arange(1, n), np.arange(n - 1)] = lower
+    matrix[np.arange(n - 1), np.arange(1, n)] = upper
+    return matrix
+
+
+def solve_tridiagonal(
+    lower: np.ndarray,
+    diag: np.ndarray,
+    upper: np.ndarray,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Solve ``A x = rhs`` for tridiagonal ``A`` via the Thomas algorithm.
+
+    Parameters
+    ----------
+    lower, diag, upper:
+        The sub-, main- and super-diagonal of ``A``. ``lower[i]`` couples
+        row ``i + 1`` to column ``i``.
+    rhs:
+        Right-hand side of length ``n``.
+
+    Raises
+    ------
+    ConvergenceError
+        If a pivot underflows (matrix numerically singular).
+    """
+    diag = np.asarray(diag, dtype=float)
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    n = diag.size
+    if rhs.size != n:
+        raise ConfigurationError("rhs length must match diagonal length")
+    if lower.size != n - 1 or upper.size != n - 1:
+        raise ConfigurationError("off-diagonals must have length n - 1")
+
+    c_prime = np.empty(n - 1)
+    d_prime = np.empty(n)
+    pivot = diag[0]
+    if pivot == 0.0:
+        raise ConvergenceError("zero pivot in tridiagonal solve (row 0)")
+    c_prime_prev = upper[0] / pivot if n > 1 else 0.0
+    if n > 1:
+        c_prime[0] = c_prime_prev
+    d_prime[0] = rhs[0] / pivot
+    for i in range(1, n):
+        pivot = diag[i] - lower[i - 1] * c_prime[i - 1]
+        if pivot == 0.0:
+            raise ConvergenceError(f"zero pivot in tridiagonal solve (row {i})")
+        if i < n - 1:
+            c_prime[i] = upper[i] / pivot
+        d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / pivot
+
+    x = np.empty(n)
+    x[-1] = d_prime[-1]
+    for i in range(n - 2, -1, -1):
+        x[i] = d_prime[i] - c_prime[i] * x[i + 1]
+    return x

@@ -1,0 +1,116 @@
+"""Initial-value-problem integration wrappers.
+
+Thin, typed wrapper over :func:`scipy.integrate.solve_ivp` tuned for the
+stiff charge-transient ODEs that arise when integrating
+``dQ_FG/dt = -(Jin - Jout) * Area`` (paper Figures 4-5): the tunneling
+currents vary over many decades, so the default method is implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from ..errors import ConvergenceError
+
+
+@dataclass(frozen=True)
+class IntegrationResult:
+    """Solution of an initial value problem.
+
+    Attributes
+    ----------
+    t:
+        Time samples [s].
+    y:
+        State trajectory, shape ``(n_states, len(t))``.
+    event_times:
+        For each registered event, the times at which it fired.
+    terminated_by_event:
+        True when integration stopped at a terminal event rather than at
+        ``t_final``.
+    """
+
+    t: np.ndarray = field(repr=False)
+    y: np.ndarray = field(repr=False)
+    event_times: "tuple[np.ndarray, ...]" = ()
+    terminated_by_event: bool = False
+
+    @property
+    def final_state(self) -> np.ndarray:
+        return self.y[:, -1]
+
+    @property
+    def final_time(self) -> float:
+        return float(self.t[-1])
+
+
+def integrate_ivp(
+    rhs: Callable[[float, np.ndarray], np.ndarray],
+    t_span: "tuple[float, float]",
+    y0: Sequence[float],
+    method: str = "LSODA",
+    rtol: float = 1e-8,
+    atol: float = 1e-12,
+    max_step: Optional[float] = None,
+    events: Optional[Sequence[Callable[[float, np.ndarray], float]]] = None,
+    dense_samples: int = 0,
+) -> IntegrationResult:
+    """Integrate ``dy/dt = rhs(t, y)`` from ``t_span[0]`` to ``t_span[1]``.
+
+    Parameters
+    ----------
+    rhs:
+        Right-hand side of the ODE system.
+    t_span:
+        ``(t_initial, t_final)`` in seconds.
+    y0:
+        Initial state.
+    method:
+        Any solve_ivp method; defaults to LSODA which switches between
+        stiff/non-stiff automatically.
+    events:
+        Optional event functions; mark one terminal by setting
+        ``fn.terminal = True`` (scipy convention).
+    dense_samples:
+        When positive, evaluate the solution on that many uniformly spaced
+        time points instead of the solver's internal steps.
+
+    Raises
+    ------
+    ConvergenceError
+        If the underlying solver reports failure.
+    """
+    t_eval = None
+    if dense_samples > 0:
+        t_eval = np.linspace(t_span[0], t_span[1], dense_samples)
+
+    kwargs = {}
+    if max_step is not None:
+        kwargs["max_step"] = max_step
+    solution = solve_ivp(
+        rhs,
+        t_span,
+        np.asarray(y0, dtype=float),
+        method=method,
+        rtol=rtol,
+        atol=atol,
+        t_eval=t_eval,
+        events=list(events) if events else None,
+        **kwargs,
+    )
+    if not solution.success:
+        raise ConvergenceError(f"ODE integration failed: {solution.message}")
+
+    event_times: "tuple[np.ndarray, ...]" = ()
+    if events:
+        event_times = tuple(np.asarray(te) for te in solution.t_events)
+    return IntegrationResult(
+        t=solution.t,
+        y=solution.y,
+        event_times=event_times,
+        terminated_by_event=(solution.status == 1),
+    )

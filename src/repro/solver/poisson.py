@@ -1,0 +1,121 @@
+"""1-D Poisson solver for layered dielectric stacks.
+
+Solves  d/dx ( eps(x) d(phi)/dx ) = -rho(x)  on a :class:`Grid1D` with
+Dirichlet boundary conditions at both ends, using a conservative
+finite-volume discretisation that keeps the displacement field
+``D = -eps * dphi/dx`` continuous across permittivity jumps -- exactly the
+property needed for oxide stacks where the permittivity is discontinuous
+at material interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .grid import Grid1D
+from .linalg import solve_tridiagonal
+
+
+@dataclass(frozen=True)
+class PoissonProblem1D:
+    """Specification of a 1-D electrostatic boundary-value problem.
+
+    Attributes
+    ----------
+    grid:
+        Node positions [m].
+    permittivity:
+        Absolute permittivity on each *cell* (length ``n - 1``) [F/m].
+    charge_density:
+        Volume charge density at each *node* (length ``n``) [C/m^3].
+    phi_left, phi_right:
+        Dirichlet potentials at the two boundaries [V].
+    """
+
+    grid: Grid1D
+    permittivity: np.ndarray = field(repr=False)
+    charge_density: np.ndarray = field(repr=False)
+    phi_left: float = 0.0
+    phi_right: float = 0.0
+
+    def __post_init__(self) -> None:
+        eps = np.asarray(self.permittivity, dtype=float)
+        rho = np.asarray(self.charge_density, dtype=float)
+        if eps.size != self.grid.n - 1:
+            raise ConfigurationError(
+                f"permittivity must be per-cell (length {self.grid.n - 1}), "
+                f"got {eps.size}"
+            )
+        if np.any(eps <= 0.0):
+            raise ConfigurationError("permittivity must be positive everywhere")
+        if rho.size != self.grid.n:
+            raise ConfigurationError(
+                f"charge_density must be per-node (length {self.grid.n}), "
+                f"got {rho.size}"
+            )
+        object.__setattr__(self, "permittivity", eps)
+        object.__setattr__(self, "charge_density", rho)
+
+
+@dataclass(frozen=True)
+class PoissonSolution1D:
+    """Potential and derived fields returned by :func:`solve_poisson_1d`."""
+
+    grid: Grid1D
+    potential: np.ndarray = field(repr=False)
+    #: Electric field at cell midpoints, E = -dphi/dx [V/m].
+    field_midpoints: np.ndarray = field(repr=False)
+    #: Displacement field at cell midpoints, D = eps * E [C/m^2].
+    displacement_midpoints: np.ndarray = field(repr=False)
+
+    def field_at(self, x: float) -> float:
+        """Electric field of the cell containing ``x`` [V/m]."""
+        return float(self.field_midpoints[self.grid.locate(x)])
+
+
+def solve_poisson_1d(problem: PoissonProblem1D) -> PoissonSolution1D:
+    """Solve the layered-stack Poisson problem.
+
+    Returns the node potentials together with the per-cell electric and
+    displacement fields. For zero charge density the solution is the exact
+    piecewise-linear capacitive-divider potential, which is what the
+    floating-gate electrostatics package validates against.
+    """
+    grid = problem.grid
+    h = grid.spacing
+    eps = problem.permittivity
+    n = grid.n
+
+    # Interface conductances g_i = eps_i / h_i for each cell i.
+    g = eps / h
+
+    n_int = n - 2
+    if n_int == 0:
+        # Two-node problem: linear potential between the boundaries.
+        potential = np.array([problem.phi_left, problem.phi_right])
+    else:
+        diag = g[:-1] + g[1:]
+        lower = -g[1:-1]
+        upper = -g[1:-1]
+        # Finite-volume charge: integrate rho over the dual cell of node i.
+        rho = problem.charge_density
+        dual = 0.5 * (h[:-1] + h[1:])
+        rhs = rho[1:-1] * dual
+        rhs[0] += g[0] * problem.phi_left
+        rhs[-1] += g[-1] * problem.phi_right
+        interior = solve_tridiagonal(lower, diag, upper, rhs)
+        potential = np.concatenate(
+            ([problem.phi_left], interior, [problem.phi_right])
+        )
+
+    e_field = -np.diff(potential) / h
+    displacement = eps * e_field
+    return PoissonSolution1D(
+        grid=grid,
+        potential=potential,
+        field_midpoints=e_field,
+        displacement_midpoints=displacement,
+    )

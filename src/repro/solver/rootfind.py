@@ -1,0 +1,100 @@
+"""Bracketing root finders and series crossing detection.
+
+Used for locating ``t_sat`` (the Jin = Jout crossing of paper Figure 5)
+and for inverting monotonic device characteristics such as the threshold
+voltage as a function of stored charge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..errors import ConfigurationError, ConvergenceError
+
+
+def bisect(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Classic bisection on a sign-changing bracket.
+
+    Kept alongside :func:`brentq_checked` because bisection tolerates
+    functions that are discontinuous or extremely flat near the root,
+    which occurs when bracketing tunneling currents spanning ~30 decades.
+    """
+    f_lo = fn(lo)
+    f_hi = fn(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if f_lo * f_hi > 0.0:
+        raise ConfigurationError(
+            f"bisect bracket does not change sign: f({lo})={f_lo}, f({hi})={f_hi}"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = fn(mid)
+        if f_mid == 0.0 or (hi - lo) < tol:
+            return mid
+        if f_lo * f_mid < 0.0:
+            hi = mid
+        else:
+            lo, f_lo = mid, f_mid
+    raise ConvergenceError(f"bisection did not converge in {max_iter} iterations")
+
+
+def brentq_checked(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-12,
+) -> float:
+    """Brent's method with an explicit bracket check and library errors."""
+    f_lo = fn(lo)
+    f_hi = fn(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if f_lo * f_hi > 0.0:
+        raise ConfigurationError(
+            f"brentq bracket does not change sign: f({lo})={f_lo}, f({hi})={f_hi}"
+        )
+    try:
+        return float(brentq(fn, lo, hi, xtol=tol))
+    except RuntimeError as exc:  # pragma: no cover - scipy rarely fails here
+        raise ConvergenceError(str(exc)) from exc
+
+
+def find_crossing(
+    t: np.ndarray, series_a: np.ndarray, series_b: np.ndarray
+) -> "float | None":
+    """First crossing time of two sampled series, or None if they never cross.
+
+    Finds the first index where ``sign(a - b)`` changes and linearly
+    interpolates the crossing time. Exact ties at a sample point return
+    that sample's time.
+    """
+    t = np.asarray(t, dtype=float)
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    if not (t.size == a.size == b.size):
+        raise ConfigurationError("t, series_a, series_b must share a length")
+    if t.size < 2:
+        raise ConfigurationError("need at least two samples")
+
+    diff = a - b
+    for i in range(diff.size):
+        if diff[i] == 0.0:
+            return float(t[i])
+        if i > 0 and diff[i - 1] * diff[i] < 0.0:
+            frac = diff[i - 1] / (diff[i - 1] - diff[i])
+            return float(t[i - 1] + frac * (t[i] - t[i - 1]))
+    return None

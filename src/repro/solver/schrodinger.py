@@ -1,0 +1,108 @@
+"""Finite-difference 1-D Schrodinger eigensolver.
+
+Used by the self-consistent Poisson-Schrodinger channel model to find
+bound subband energies in the potential well formed at the
+channel/tunnel-oxide interface, and by tests as an independent check of
+the transfer-matrix solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg import eigh_tridiagonal
+
+from ..constants import HBAR
+from ..errors import ConfigurationError
+from .grid import Grid1D
+
+
+@dataclass(frozen=True)
+class BoundStates:
+    """Eigenpairs returned by :func:`solve_schrodinger_1d`.
+
+    Attributes
+    ----------
+    energies:
+        Eigenenergies in joules, ascending.
+    wavefunctions:
+        Normalised eigenfunctions, one per column; ``wavefunctions[:, k]``
+        is the k-th state sampled on the interior grid nodes.
+    grid:
+        The grid the states were computed on.
+    """
+
+    energies: np.ndarray = field(repr=False)
+    wavefunctions: np.ndarray = field(repr=False)
+    grid: Grid1D
+
+    @property
+    def n_states(self) -> int:
+        return int(self.energies.size)
+
+    def density(self, occupations: np.ndarray) -> np.ndarray:
+        """Probability density summed over states weighted by occupation.
+
+        ``occupations`` has one entry per state (e.g. subband sheet
+        densities); the result has one entry per interior node and
+        integrates to ``sum(occupations)``.
+        """
+        occ = np.asarray(occupations, dtype=float)
+        if occ.size != self.n_states:
+            raise ConfigurationError(
+                f"need one occupation per state ({self.n_states}), got {occ.size}"
+            )
+        return (np.abs(self.wavefunctions) ** 2) @ occ
+
+
+def solve_schrodinger_1d(
+    grid: Grid1D,
+    potential_j: np.ndarray,
+    effective_mass_kg: float,
+    n_states: int = 4,
+) -> BoundStates:
+    """Solve ``-hbar^2/(2m) psi'' + V psi = E psi`` with hard walls.
+
+    Parameters
+    ----------
+    grid:
+        Uniform 1-D grid (hard-wall boundary conditions at both ends).
+    potential_j:
+        Potential energy at each node [J], length ``grid.n``.
+    effective_mass_kg:
+        Effective mass of the particle [kg].
+    n_states:
+        Number of lowest eigenstates to return.
+
+    Notes
+    -----
+    The discretisation is the standard 3-point Laplacian; wavefunctions are
+    normalised so that ``sum(|psi|^2) * h == 1``.
+    """
+    if not grid.is_uniform:
+        raise ConfigurationError("Schrodinger solver requires a uniform grid")
+    if effective_mass_kg <= 0.0:
+        raise ConfigurationError("effective mass must be positive")
+    potential = np.asarray(potential_j, dtype=float)
+    if potential.size != grid.n:
+        raise ConfigurationError(
+            f"potential must be per-node (length {grid.n}), got {potential.size}"
+        )
+    n_interior = grid.n - 2
+    if n_interior < 1:
+        raise ConfigurationError("grid too small for interior eigenproblem")
+    n_states = min(n_states, n_interior)
+
+    h = float(grid.spacing[0])
+    kinetic = HBAR**2 / (2.0 * effective_mass_kg * h * h)
+    diag = 2.0 * kinetic + potential[1:-1]
+    offdiag = np.full(n_interior - 1, -kinetic)
+
+    energies, vectors = eigh_tridiagonal(
+        diag, offdiag, select="i", select_range=(0, n_states - 1)
+    )
+    # Normalise: integral of |psi|^2 dx = 1.
+    norms = np.sqrt(np.sum(np.abs(vectors) ** 2, axis=0) * h)
+    vectors = vectors / norms
+    return BoundStates(energies=energies, wavefunctions=vectors, grid=grid)

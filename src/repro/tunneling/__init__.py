@@ -1,0 +1,69 @@
+"""Tunneling current models (the physics core of the paper).
+
+The paper's programming/erase analysis rests on the Fowler-Nordheim
+closed form (:class:`FowlerNordheimModel`, eqs. (1), (4)-(7)). Around it
+this package provides the direct-tunneling closed form for sub-barrier
+bias, the Tsu-Esaki numerical reference (with WKB or transfer-matrix
+transmission), trap-assisted tunneling for degraded oxides, image-force
+corrections, FN-plot parameter extraction, regime classification and the
+finite-temperature correction.
+"""
+
+from .barriers import TunnelBarrier
+from .channel_hot_electron import (
+    CheOperatingPoint,
+    LuckyElectronModel,
+    compare_che_to_fn,
+)
+from .direct import DirectTunnelingModel
+from .fn_plot import FnPlotFit, fit_fn_plot, fn_plot_coordinates
+from .fowler_nordheim import (
+    FowlerNordheimModel,
+    fn_coefficient_a,
+    fn_coefficient_b,
+)
+from .image_force import (
+    effective_barrier_ev,
+    image_rounded_profile,
+    schottky_lowering_ev,
+)
+from .regimes import (
+    RegimeAssessment,
+    TunnelingRegime,
+    classify_regime,
+    programming_voltage_window,
+)
+from .temperature import (
+    current_density_at_temperature,
+    temperature_correction_factor,
+    temperature_sensitivity_c,
+)
+from .trap_assisted import TrapAssistedModel
+from .tsu_esaki import TsuEsakiModel, transmission_model
+
+__all__ = [
+    "TunnelBarrier",
+    "FowlerNordheimModel",
+    "fn_coefficient_a",
+    "fn_coefficient_b",
+    "LuckyElectronModel",
+    "CheOperatingPoint",
+    "compare_che_to_fn",
+    "DirectTunnelingModel",
+    "TsuEsakiModel",
+    "transmission_model",
+    "TrapAssistedModel",
+    "schottky_lowering_ev",
+    "effective_barrier_ev",
+    "image_rounded_profile",
+    "FnPlotFit",
+    "fit_fn_plot",
+    "fn_plot_coordinates",
+    "TunnelingRegime",
+    "RegimeAssessment",
+    "classify_regime",
+    "programming_voltage_window",
+    "temperature_correction_factor",
+    "temperature_sensitivity_c",
+    "current_density_at_temperature",
+]

@@ -1,0 +1,121 @@
+"""Tunnel barrier descriptions shared by every tunneling model.
+
+A :class:`TunnelBarrier` couples an emitter (characterised by its work
+function) to a dielectric layer of a given thickness. Under bias the
+conduction-band profile inside the dielectric tilts linearly; the
+profile helpers here build the exact shapes used by the WKB and
+transfer-matrix reference models, so that the closed-form
+Fowler-Nordheim expression of the paper can be validated against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..constants import ELECTRON_MASS, ELEMENTARY_CHARGE
+from ..errors import ConfigurationError
+from ..materials.base import DielectricMaterial, barrier_height_ev
+from ..units import ev_to_j
+
+
+@dataclass(frozen=True)
+class TunnelBarrier:
+    """An emitter/dielectric tunnel junction.
+
+    Attributes
+    ----------
+    barrier_height_ev:
+        Conduction-band offset between emitter Fermi level and dielectric
+        conduction band, ``phi_B`` [eV].
+    thickness_m:
+        Dielectric thickness [m].
+    mass_ratio:
+        Effective tunneling mass over the free-electron mass.
+    relative_permittivity:
+        Dielectric constant of the barrier (for image-force corrections).
+    """
+
+    barrier_height_ev: float
+    thickness_m: float
+    mass_ratio: float = 0.42
+    relative_permittivity: float = 3.9
+
+    def __post_init__(self) -> None:
+        if self.barrier_height_ev <= 0.0:
+            raise ConfigurationError("barrier height must be positive")
+        if self.thickness_m <= 0.0:
+            raise ConfigurationError("barrier thickness must be positive")
+        if self.mass_ratio <= 0.0:
+            raise ConfigurationError("mass ratio must be positive")
+        if self.relative_permittivity <= 0.0:
+            raise ConfigurationError("permittivity must be positive")
+
+    @property
+    def barrier_height_j(self) -> float:
+        """Barrier height in joules."""
+        return ev_to_j(self.barrier_height_ev)
+
+    @property
+    def mass_kg(self) -> float:
+        """Tunneling effective mass [kg]."""
+        return self.mass_ratio * ELECTRON_MASS
+
+    @staticmethod
+    def from_materials(
+        emitter_work_function_ev: float,
+        dielectric: DielectricMaterial,
+        thickness_m: float,
+    ) -> "TunnelBarrier":
+        """Build the barrier of an emitter/dielectric interface."""
+        return TunnelBarrier(
+            barrier_height_ev=barrier_height_ev(
+                emitter_work_function_ev, dielectric
+            ),
+            thickness_m=thickness_m,
+            mass_ratio=dielectric.tunneling_mass_ratio,
+            relative_permittivity=dielectric.relative_permittivity,
+        )
+
+    def voltage_drop_for_field(self, field_v_per_m: float) -> float:
+        """Oxide voltage ``V_ox = E * thickness`` [V]."""
+        return field_v_per_m * self.thickness_m
+
+    def field_for_voltage(self, voltage_v: float) -> float:
+        """Oxide field ``E = V_ox / thickness`` [V/m] (paper eq. (5))."""
+        return voltage_v / self.thickness_m
+
+    def profile_under_bias(
+        self, field_v_per_m: float
+    ) -> Callable[[float], float]:
+        """Conduction-band profile V(x) [J] inside the biased dielectric.
+
+        ``V(x) = phi_B - q E x`` measured from the emitter Fermi level;
+        the triangular shape of paper Figure 2.
+        """
+        if field_v_per_m < 0.0:
+            raise ConfigurationError("field must be non-negative")
+        phi_j = self.barrier_height_j
+        slope = ELEMENTARY_CHARGE * field_v_per_m
+
+        def profile(x_m: float) -> float:
+            return phi_j - slope * x_m
+
+        return profile
+
+    def exit_thickness_m(self, field_v_per_m: float) -> float:
+        """Distance at which the tilted barrier crosses the Fermi level.
+
+        In the Fowler-Nordheim regime (``V_ox > phi_B``) this is shorter
+        than the physical thickness -- the "apparent thinning" of the
+        barrier the paper describes; otherwise electrons must traverse
+        the full dielectric (direct-tunneling regime).
+        """
+        if field_v_per_m <= 0.0:
+            return self.thickness_m
+        x_exit = self.barrier_height_ev / field_v_per_m
+        return min(x_exit, self.thickness_m)
+
+    def is_fowler_nordheim(self, voltage_v: float) -> bool:
+        """True when ``V_ox > phi_B`` (triangular-barrier condition)."""
+        return abs(voltage_v) > self.barrier_height_ev

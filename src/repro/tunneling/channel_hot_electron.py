@@ -1,0 +1,167 @@
+"""Channel-hot-electron (CHE) injection (paper Section II, NOR flash).
+
+The paper reviews CHE as the alternative programming mechanism:
+"applying a relatively high voltage (4~6 V ...) at the drain and a
+higher voltage (8~11 V ...) at the control gate while source and body
+are grounded. With this biasing condition a fairly large current (0.3
+to 1 mA ...) flows in the cell and the hot electrons generated in the
+channel acquire sufficient energy to jump the gate oxide barrier".
+
+Implemented here with the classic *lucky-electron model* (Tam, Ko & Hu,
+IEEE TED 31, 1116 (1984)): the probability that a channel electron
+gains the barrier energy from the lateral field and is redirected into
+the gate is
+
+.. math::
+
+    P_{inj} \\approx C \\exp\\!\\left(
+        -\\frac{\\phi_B}{q \\lambda E_{lat}} \\right)
+
+with the energy-relaxation mean free path ``lambda`` (~9 nm in silicon
+at 300 K) and the peak lateral channel field ``E_lat``. The gate
+current is ``I_g = P_inj * I_d``. This quantifies the paper's implicit
+comparison: CHE needs large channel currents (mA) for modest gate
+currents, while FN programs with < 1 nA per cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import ELEMENTARY_CHARGE
+from ..errors import ConfigurationError
+from ..units import ev_to_j
+
+
+@dataclass(frozen=True)
+class LuckyElectronModel:
+    """Lucky-electron CHE injection model.
+
+    Attributes
+    ----------
+    barrier_height_ev:
+        Channel / tunnel-oxide barrier the hot electron must clear [eV];
+        includes any image-force lowering the caller applies.
+    mean_free_path_m:
+        Hot-electron energy-relaxation mean free path [m].
+    injection_prefactor:
+        The lumped prefactor ``C`` collecting the redirection and
+        oxide-collection probabilities (0.01-0.1 in the literature).
+    """
+
+    barrier_height_ev: float
+    mean_free_path_m: float = 9.0e-9
+    injection_prefactor: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.barrier_height_ev <= 0.0:
+            raise ConfigurationError("barrier height must be positive")
+        if self.mean_free_path_m <= 0.0:
+            raise ConfigurationError("mean free path must be positive")
+        if not 0.0 < self.injection_prefactor <= 1.0:
+            raise ConfigurationError("prefactor must be in (0, 1]")
+
+    def injection_probability(self, lateral_field_v_per_m: float) -> float:
+        """Probability a channel electron is injected into the gate."""
+        if lateral_field_v_per_m <= 0.0:
+            return 0.0
+        phi_j = ev_to_j(self.barrier_height_ev)
+        exponent = phi_j / (
+            ELEMENTARY_CHARGE
+            * self.mean_free_path_m
+            * lateral_field_v_per_m
+        )
+        return self.injection_prefactor * math.exp(-exponent)
+
+    def gate_current_a(
+        self, drain_current_a: float, lateral_field_v_per_m: float
+    ) -> float:
+        """Injected gate current ``I_g = P_inj * I_d`` [A]."""
+        if drain_current_a < 0.0:
+            raise ConfigurationError("drain current cannot be negative")
+        return drain_current_a * self.injection_probability(
+            lateral_field_v_per_m
+        )
+
+    def required_field_for_probability(self, probability: float) -> float:
+        """Invert P_inj for the lateral field that achieves it [V/m]."""
+        if not 0.0 < probability < self.injection_prefactor:
+            raise ConfigurationError(
+                "target probability must be in (0, prefactor)"
+            )
+        phi_j = ev_to_j(self.barrier_height_ev)
+        return phi_j / (
+            ELEMENTARY_CHARGE
+            * self.mean_free_path_m
+            * math.log(self.injection_prefactor / probability)
+        )
+
+
+@dataclass(frozen=True)
+class CheOperatingPoint:
+    """One CHE programming condition (the paper's NOR numbers).
+
+    Attributes
+    ----------
+    drain_voltage_v:
+        Drain bias (paper: 4-6 V).
+    gate_voltage_v:
+        Control-gate bias (paper: 8-11 V).
+    drain_current_a:
+        Channel current during programming (paper: 0.3-1 mA).
+    effective_channel_length_m:
+        Pinch-off region length setting the peak lateral field.
+    """
+
+    drain_voltage_v: float = 5.0
+    gate_voltage_v: float = 9.0
+    drain_current_a: float = 5e-4
+    effective_channel_length_m: float = 40e-9
+
+    def __post_init__(self) -> None:
+        if self.drain_voltage_v <= 0.0 or self.gate_voltage_v <= 0.0:
+            raise ConfigurationError("bias voltages must be positive")
+        if self.drain_current_a <= 0.0:
+            raise ConfigurationError("drain current must be positive")
+        if self.effective_channel_length_m <= 0.0:
+            raise ConfigurationError("channel length must be positive")
+
+    @property
+    def lateral_field_v_per_m(self) -> float:
+        """Peak lateral field ~ V_DS over the pinch-off length [V/m]."""
+        return self.drain_voltage_v / self.effective_channel_length_m
+
+
+def compare_che_to_fn(
+    che_model: LuckyElectronModel,
+    operating_point: CheOperatingPoint,
+    fn_cell_current_a: float,
+) -> "dict[str, float]":
+    """Contrast CHE and FN programming efficiency (paper Section II).
+
+    Returns the CHE gate current, the supply current it costs, the
+    injection efficiency, and the ratio of supply currents between the
+    two mechanisms (FN programs from the gate with essentially no
+    channel current, which is why it "allow[s] many cells to be
+    programmed at a time").
+    """
+    if fn_cell_current_a <= 0.0:
+        raise ConfigurationError("FN cell current must be positive")
+    gate_current = che_model.gate_current_a(
+        operating_point.drain_current_a,
+        operating_point.lateral_field_v_per_m,
+    )
+    efficiency = (
+        gate_current / operating_point.drain_current_a
+        if operating_point.drain_current_a
+        else 0.0
+    )
+    return {
+        "che_gate_current_a": gate_current,
+        "che_supply_current_a": operating_point.drain_current_a,
+        "che_injection_efficiency": efficiency,
+        "fn_supply_current_a": fn_cell_current_a,
+        "supply_current_ratio": operating_point.drain_current_a
+        / fn_cell_current_a,
+    }

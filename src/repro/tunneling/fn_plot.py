@@ -1,0 +1,107 @@
+"""Fowler-Nordheim plot construction and parameter extraction.
+
+Experimentalists determine the FN coefficients from the linearised
+characteristic ``ln(J/E^2) = ln A - B / E`` (the "FN plot"; paper
+Section IV and refs [1]-[3], [9]). This module builds the plot from
+(field, current) samples, fits the line, and inverts the fitted (A, B)
+back into physical barrier parameters:
+
+* from ``A = q^3/(16 pi^2 hbar phi_B)``: the barrier height,
+* from ``B = (4/3) sqrt(2 m) phi_B^{3/2} / (q hbar)`` with that barrier
+  height: the effective tunneling mass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import ELECTRON_MASS, ELEMENTARY_CHARGE, HBAR
+from ..errors import ConfigurationError
+from ..units import j_to_ev
+
+
+@dataclass(frozen=True)
+class FnPlotFit:
+    """Result of a linear fit to the FN plot.
+
+    Attributes
+    ----------
+    coefficient_a:
+        Fitted pre-exponential ``A`` [A/V^2].
+    coefficient_b:
+        Fitted slope magnitude ``B`` [V/m].
+    r_squared:
+        Coefficient of determination of the linear fit.
+    barrier_height_ev:
+        Barrier height recovered from ``A``.
+    mass_ratio:
+        Effective mass ratio recovered from ``B`` given that barrier.
+    """
+
+    coefficient_a: float
+    coefficient_b: float
+    r_squared: float
+    barrier_height_ev: float
+    mass_ratio: float
+
+
+def fn_plot_coordinates(
+    field_v_per_m: np.ndarray, current_a_m2: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Transform (E, J) samples into FN-plot coordinates (1/E, ln(J/E^2))."""
+    field = np.asarray(field_v_per_m, dtype=float)
+    current = np.asarray(current_a_m2, dtype=float)
+    if field.shape != current.shape:
+        raise ConfigurationError("field and current arrays must match")
+    if np.any(field <= 0.0) or np.any(current <= 0.0):
+        raise ConfigurationError(
+            "FN plot needs strictly positive fields and currents"
+        )
+    return 1.0 / field, np.log(current / field**2)
+
+
+def fit_fn_plot(
+    field_v_per_m: np.ndarray, current_a_m2: np.ndarray
+) -> FnPlotFit:
+    """Least-squares fit of the FN plot; recovers (A, B, phi_B, m_ratio).
+
+    Raises
+    ------
+    ConfigurationError
+        If fewer than three samples are supplied or the fitted slope is
+        non-negative (data not in the FN regime).
+    """
+    x, y = fn_plot_coordinates(field_v_per_m, current_a_m2)
+    if x.size < 3:
+        raise ConfigurationError("need at least three samples to fit")
+    slope, intercept = np.polyfit(x, y, 1)
+    if slope >= 0.0:
+        raise ConfigurationError(
+            "FN plot slope is non-negative; data are not in the FN regime"
+        )
+    prediction = slope * x + intercept
+    ss_res = float(np.sum((y - prediction) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+
+    coefficient_a = math.exp(intercept)
+    coefficient_b = -slope
+
+    # Invert A for phi_B, then B for the mass.
+    phi_j = ELEMENTARY_CHARGE**3 / (
+        16.0 * math.pi**2 * HBAR * coefficient_a
+    )
+    phi_b_ev = j_to_ev(phi_j)
+    mass = (
+        coefficient_b * 3.0 * ELEMENTARY_CHARGE * HBAR / (4.0 * phi_j**1.5)
+    ) ** 2 / 2.0
+    return FnPlotFit(
+        coefficient_a=coefficient_a,
+        coefficient_b=coefficient_b,
+        r_squared=r_squared,
+        barrier_height_ev=phi_b_ev,
+        mass_ratio=mass / ELECTRON_MASS,
+    )

@@ -1,0 +1,161 @@
+"""Fowler-Nordheim tunneling current density (paper eqs. (1), (4)-(7)).
+
+The paper's central model:
+
+.. math::
+
+    J_{FN} = A E^2 \\exp(-B / E)
+
+with
+
+.. math::
+
+    A = \\frac{q^3}{16 \\pi^2 \\hbar \\Phi_B}, \\qquad
+    B = \\frac{4}{3} \\frac{\\sqrt{2 m_{ox}}}{q \\hbar} \\Phi_B^{3/2}
+
+(``Phi_B`` in joules inside the formulas). The paper's typography writes
+``h``; the standard Lenzlinger-Snow coefficients use the reduced
+constant, which reproduces the accepted experimental
+``B ~ 2.4e10 V/m`` for the Si/SiO2 system, so that is what is
+implemented (see DESIGN.md, "Physics notes").
+
+Field-to-voltage mapping (paper eqs. (5)-(7)): ``E = (V_FG - V_S)/X_TO``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import ELEMENTARY_CHARGE, HBAR
+from ..errors import ConfigurationError
+from ..units import ev_to_j
+from .barriers import TunnelBarrier
+
+
+def fn_coefficient_a(barrier_height_ev: float) -> float:
+    """Pre-exponential coefficient ``A = q^3 / (16 pi^2 hbar phi_B)``.
+
+    Units: A/V^2 (current density per squared field).
+    """
+    if barrier_height_ev <= 0.0:
+        raise ConfigurationError("barrier height must be positive")
+    phi_j = ev_to_j(barrier_height_ev)
+    return ELEMENTARY_CHARGE**3 / (16.0 * math.pi**2 * HBAR * phi_j)
+
+
+def fn_coefficient_b(barrier_height_ev: float, mass_ratio: float) -> float:
+    """Exponential slope ``B = (4/3) sqrt(2 m_ox) phi_B^{3/2} / (q hbar)``.
+
+    Units: V/m.
+    """
+    if barrier_height_ev <= 0.0:
+        raise ConfigurationError("barrier height must be positive")
+    if mass_ratio <= 0.0:
+        raise ConfigurationError("mass ratio must be positive")
+    from ..constants import ELECTRON_MASS
+
+    phi_j = ev_to_j(barrier_height_ev)
+    m_ox = mass_ratio * ELECTRON_MASS
+    return (
+        4.0
+        / 3.0
+        * math.sqrt(2.0 * m_ox)
+        * phi_j**1.5
+        / (ELEMENTARY_CHARGE * HBAR)
+    )
+
+
+@dataclass(frozen=True)
+class FowlerNordheimModel:
+    """Closed-form FN current model for one tunnel barrier.
+
+    Attributes
+    ----------
+    barrier:
+        The emitter/dielectric junction the current flows through.
+
+    Examples
+    --------
+    >>> from repro.tunneling import TunnelBarrier, FowlerNordheimModel
+    >>> barrier = TunnelBarrier(barrier_height_ev=3.2, thickness_m=5e-9)
+    >>> model = FowlerNordheimModel(barrier)
+    >>> j = model.current_density(1.0e9)  # field of 10 MV/cm
+    """
+
+    barrier: TunnelBarrier
+
+    @property
+    def coefficient_a(self) -> float:
+        """``A`` [A/V^2]."""
+        return fn_coefficient_a(self.barrier.barrier_height_ev)
+
+    @property
+    def coefficient_b(self) -> float:
+        """``B`` [V/m]."""
+        return fn_coefficient_b(
+            self.barrier.barrier_height_ev, self.barrier.mass_ratio
+        )
+
+    def current_density(self, field_v_per_m):
+        """FN current density ``J = A E^2 exp(-B/E)`` [A/m^2].
+
+        Accepts a scalar or array field magnitude [V/m]; negative values
+        are rejected (callers decide current direction from the sign of
+        the oxide voltage, as the transient model does).
+        """
+        field = np.asarray(field_v_per_m, dtype=float)
+        if np.any(field < 0.0):
+            raise ConfigurationError(
+                "field magnitude must be non-negative; sign the current "
+                "at the call site"
+            )
+        a = self.coefficient_a
+        b = self.coefficient_b
+        with np.errstate(divide="ignore", invalid="ignore"):
+            exponent = np.where(field > 0.0, -b / np.where(field > 0, field, 1.0), -np.inf)
+            j = a * field**2 * np.exp(exponent)
+        j = np.where(field > 0.0, j, 0.0)
+        if np.isscalar(field_v_per_m):
+            return float(j)
+        return j
+
+    def current_density_from_voltage(self, oxide_voltage_v):
+        """FN current from the oxide voltage drop (paper eqs. (6)-(7)).
+
+        ``E = V_ox / X_TO``; the returned density is *signed*: positive
+        for positive oxide voltage (electrons flowing against the field
+        into the collector), negative for negative voltage.
+        """
+        voltage = np.asarray(oxide_voltage_v, dtype=float)
+        field = np.abs(voltage) / self.barrier.thickness_m
+        j = self.current_density(field)
+        signed = np.sign(voltage) * j
+        if np.isscalar(oxide_voltage_v):
+            return float(signed)
+        return signed
+
+    def field_for_target_current(
+        self, target_j_a_m2: float, field_lo: float = 1e7, field_hi: float = 2e10
+    ) -> float:
+        """Invert J(E) for the field that produces a target density.
+
+        The FN characteristic is strictly increasing in field, so a
+        bracketing solve on the log of the ratio is robust across the
+        ~30 decades the characteristic spans.
+        """
+        if target_j_a_m2 <= 0.0:
+            raise ConfigurationError("target current density must be positive")
+        from ..solver.rootfind import brentq_checked
+
+        def objective(log_field: float) -> float:
+            j = self.current_density(math.exp(log_field))
+            if j <= 0.0:
+                return -float("inf")
+            return math.log(j) - math.log(target_j_a_m2)
+
+        return math.exp(
+            brentq_checked(objective, math.log(field_lo), math.log(field_hi))
+        )

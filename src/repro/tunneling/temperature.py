@@ -1,0 +1,75 @@
+"""Finite-temperature correction to Fowler-Nordheim emission.
+
+The FN closed form is a zero-temperature result. At finite temperature
+the thermally broadened supply of electrons above the Fermi level
+increases the current by the classic Good-Mueller factor
+
+.. math::
+
+    \\frac{J(T)}{J(0)} = \\frac{\\pi c k T}{\\sin(\\pi c k T)},
+    \\qquad c = \\frac{2 \\sqrt{2 m_{ox} \\Phi_B}}{\\hbar q E}
+
+valid while ``pi c k T < 1`` (far from the thermionic crossover). The
+ablation benchmark ``abl-temp`` sweeps this correction over 200-400 K.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import BOLTZMANN, ELEMENTARY_CHARGE, HBAR
+from ..errors import ConfigurationError, RegimeError
+from .barriers import TunnelBarrier
+from .fowler_nordheim import FowlerNordheimModel
+
+
+def temperature_sensitivity_c(
+    barrier: TunnelBarrier, field_v_per_m: float
+) -> float:
+    """The ``c`` parameter [1/J]: energy-sensitivity of the WKB action."""
+    if field_v_per_m <= 0.0:
+        raise ConfigurationError("field must be positive")
+    return (
+        2.0
+        * math.sqrt(2.0 * barrier.mass_kg * barrier.barrier_height_j)
+        / (HBAR * ELEMENTARY_CHARGE * field_v_per_m)
+    )
+
+
+def temperature_correction_factor(
+    barrier: TunnelBarrier, field_v_per_m: float, temperature_k: float
+) -> float:
+    """Multiplicative correction ``pi c kT / sin(pi c kT)`` (>= 1).
+
+    Raises
+    ------
+    RegimeError
+        When ``c kT >= 1`` (i.e. ``pi c kT`` reaches the sine's zero):
+        emission is no longer field-dominated and the expansion diverges.
+    """
+    if temperature_k < 0.0:
+        raise ConfigurationError("temperature cannot be negative")
+    if temperature_k == 0.0:
+        return 1.0
+    c = temperature_sensitivity_c(barrier, field_v_per_m)
+    x = math.pi * c * BOLTZMANN * temperature_k
+    if x >= math.pi:
+        raise RegimeError(
+            f"c*kT = {x / math.pi:.2f} >= 1 at E = {field_v_per_m:.2e} V/m, "
+            f"T = {temperature_k} K: thermionic emission dominates and the "
+            "FN temperature expansion diverges (sin(pi*c*kT) -> 0)"
+        )
+    return x / math.sin(x)
+
+
+def current_density_at_temperature(
+    model: FowlerNordheimModel,
+    field_v_per_m: float,
+    temperature_k: float,
+) -> float:
+    """FN current density including the finite-temperature factor [A/m^2]."""
+    base = model.current_density(field_v_per_m)
+    factor = temperature_correction_factor(
+        model.barrier, field_v_per_m, temperature_k
+    )
+    return base * factor

@@ -1,0 +1,157 @@
+"""Tsu-Esaki current integral with pluggable transmission models.
+
+The closed-form Fowler-Nordheim expression is a zero-temperature,
+triangular-barrier approximation of the general current integral
+
+.. math::
+
+    J = \\frac{q m_e k T}{2 \\pi^2 \\hbar^3}
+        \\int T(E_x) \\,
+        \\ln\\!\\frac{1 + e^{(E_F - E_x)/kT}}{1 + e^{(E_F - E_x - qV)/kT}}
+        \\; dE_x
+
+(Tsu & Esaki, APL 22, 562 (1973)). This module evaluates the integral
+with either the exact transfer-matrix transmission or the WKB
+transmission, giving the reference curves the ablation benchmark
+compares the paper's closed form against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+import numpy as np
+
+from ..constants import (
+    BOLTZMANN,
+    ELECTRON_MASS,
+    ELEMENTARY_CHARGE,
+    HBAR,
+)
+from ..errors import ConfigurationError
+from ..solver.transfer_matrix import PiecewiseBarrier, transmission_probability
+from ..solver.wkb import wkb_transmission
+from ..units import ev_to_j
+from .barriers import TunnelBarrier
+
+TransmissionMethod = Literal["transfer_matrix", "wkb"]
+
+
+@dataclass(frozen=True)
+class TsuEsakiModel:
+    """Numerical tunneling-current model for a biased barrier.
+
+    Attributes
+    ----------
+    barrier:
+        The tunnel junction.
+    method:
+        ``"transfer_matrix"`` (exact, slabbed) or ``"wkb"``.
+    emitter_fermi_ev:
+        Fermi energy of the emitter above its band bottom [eV]; sets the
+        supply of tunneling electrons.
+    temperature_k:
+        Emitter temperature [K].
+    n_energy:
+        Number of energy samples for the current integral.
+    n_slabs:
+        Barrier discretisation used by the transfer-matrix method.
+    """
+
+    barrier: TunnelBarrier
+    method: TransmissionMethod = "transfer_matrix"
+    emitter_fermi_ev: float = 0.2
+    temperature_k: float = 300.0
+    n_energy: int = 160
+    n_slabs: int = 60
+
+    def __post_init__(self) -> None:
+        if self.emitter_fermi_ev <= 0.0:
+            raise ConfigurationError("emitter Fermi energy must be positive")
+        if self.temperature_k <= 0.0:
+            raise ConfigurationError("temperature must be positive")
+        if self.n_energy < 8:
+            raise ConfigurationError("need at least 8 energy samples")
+
+    def transmission(self, energy_ev: float, oxide_voltage_v: float) -> float:
+        """Transmission probability at longitudinal energy ``E_x`` [eV].
+
+        Energies are measured from the emitter band bottom; the barrier
+        top sits at ``E_F + phi_B``.
+        """
+        if oxide_voltage_v < 0.0:
+            raise ConfigurationError("use the voltage magnitude")
+        energy_j = ev_to_j(energy_ev)
+        barrier_top_j = ev_to_j(self.emitter_fermi_ev + self.barrier.barrier_height_ev)
+        thickness = self.barrier.thickness_m
+        drop_j = ev_to_j(oxide_voltage_v)
+        mass = self.barrier.mass_kg
+
+        def profile(x_m: float) -> float:
+            return barrier_top_j - drop_j * (x_m / thickness)
+
+        if self.method == "wkb":
+            return wkb_transmission(
+                profile, energy_j, mass, 0.0, thickness, n_points=501
+            )
+        piecewise = PiecewiseBarrier.from_profile(
+            profile,
+            thickness,
+            mass,
+            n_slabs=self.n_slabs,
+            lead_potential_left_j=0.0,
+            lead_potential_right_j=-drop_j,
+            lead_mass_kg=ELECTRON_MASS,
+        )
+        return transmission_probability(piecewise, energy_j)
+
+    def supply_function(self, energy_ev: float, oxide_voltage_v: float) -> float:
+        """Log-occupancy difference between the two electrodes [unitless]."""
+        kt_j = BOLTZMANN * self.temperature_k
+        ef_j = ev_to_j(self.emitter_fermi_ev)
+        e_j = ev_to_j(energy_ev)
+        qv_j = ev_to_j(oxide_voltage_v)
+        up = np.logaddexp(0.0, (ef_j - e_j) / kt_j)
+        down = np.logaddexp(0.0, (ef_j - e_j - qv_j) / kt_j)
+        return float(up - down)
+
+    def current_density_from_voltage(self, oxide_voltage_v: float) -> float:
+        """Tunneling current density [A/m^2] at an oxide voltage.
+
+        The returned value is signed like the FN model: positive for
+        positive oxide voltage.
+        """
+        v_abs = abs(oxide_voltage_v)
+        if v_abs == 0.0:
+            return 0.0
+        kt_j = BOLTZMANN * self.temperature_k
+        prefactor = (
+            ELEMENTARY_CHARGE
+            * ELECTRON_MASS
+            * kt_j
+            / (2.0 * math.pi**2 * HBAR**3)
+        )
+        # Integrate up to a few kT above the Fermi level; transmission at
+        # higher energies is larger but occupancy dies exponentially.
+        e_max_ev = self.emitter_fermi_ev + 10.0 * kt_j / ELEMENTARY_CHARGE
+        energies = np.linspace(1e-4, e_max_ev, self.n_energy)
+        integrand = np.array(
+            [
+                self.transmission(float(e), v_abs)
+                * self.supply_function(float(e), v_abs)
+                for e in energies
+            ]
+        )
+        integral_j = np.trapezoid(integrand, energies * ELEMENTARY_CHARGE)
+        j = prefactor * integral_j
+        return math.copysign(j, oxide_voltage_v)
+
+
+def transmission_model(
+    barrier: TunnelBarrier, method: TransmissionMethod = "transfer_matrix"
+) -> Callable[[float, float], float]:
+    """Convenience factory returning ``T(E_ev, V_ox)`` for a barrier."""
+    model = TsuEsakiModel(barrier=barrier, method=method)
+    return model.transmission

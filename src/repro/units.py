@@ -1,0 +1,86 @@
+"""Unit conversion helpers.
+
+The simulator works internally in SI units (metres, volts, amperes,
+joules). The flash-memory literature mixes units freely -- oxide
+thicknesses in nanometres, fields in MV/cm, current densities in A/cm^2,
+energies in eV. These helpers make every conversion explicit and named, so
+call sites read like the paper's equations.
+"""
+
+from __future__ import annotations
+
+from .constants import ELECTRON_VOLT
+
+# Length ---------------------------------------------------------------
+
+NM = 1e-9
+UM = 1e-6
+CM = 1e-2
+ANGSTROM = 1e-10
+
+
+def nm_to_m(value_nm: float) -> float:
+    """Convert nanometres to metres."""
+    return value_nm * NM
+
+
+def m_to_nm(value_m: float) -> float:
+    """Convert metres to nanometres."""
+    return value_m / NM
+
+
+def um_to_m(value_um: float) -> float:
+    """Convert micrometres to metres."""
+    return value_um * UM
+
+
+# Energy ---------------------------------------------------------------
+
+
+def ev_to_j(value_ev: float) -> float:
+    """Convert electron-volts to joules."""
+    return value_ev * ELECTRON_VOLT
+
+
+def j_to_ev(value_j: float) -> float:
+    """Convert joules to electron-volts."""
+    return value_j / ELECTRON_VOLT
+
+
+# Electric field -------------------------------------------------------
+
+
+def mv_per_cm_to_v_per_m(value_mv_cm: float) -> float:
+    """Convert MV/cm to V/m (1 MV/cm = 1e8 V/m)."""
+    return value_mv_cm * 1e8
+
+
+def v_per_m_to_mv_per_cm(value_v_m: float) -> float:
+    """Convert V/m to MV/cm."""
+    return value_v_m / 1e8
+
+
+# Current density ------------------------------------------------------
+
+
+def a_per_cm2_to_a_per_m2(value_a_cm2: float) -> float:
+    """Convert A/cm^2 to A/m^2 (1 A/cm^2 = 1e4 A/m^2)."""
+    return value_a_cm2 * 1e4
+
+
+def a_per_m2_to_a_per_cm2(value_a_m2: float) -> float:
+    """Convert A/m^2 to A/cm^2."""
+    return value_a_m2 / 1e4
+
+
+# Capacitance per area -------------------------------------------------
+
+
+def f_per_cm2_to_f_per_m2(value_f_cm2: float) -> float:
+    """Convert F/cm^2 to F/m^2."""
+    return value_f_cm2 * 1e4
+
+
+def f_per_m2_to_f_per_cm2(value_f_m2: float) -> float:
+    """Convert F/m^2 to F/cm^2."""
+    return value_f_m2 / 1e4

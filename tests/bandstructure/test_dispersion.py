@@ -1,0 +1,71 @@
+"""Band structure post-processing: gaps, metallicity, mode counting."""
+
+import pytest
+
+from repro.bandstructure import build_tight_binding, compute_band_structure
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def agnr12():
+    return compute_band_structure(
+        build_tight_binding("armchair", 12), n_k=201
+    )
+
+
+class TestFamilyRule:
+    """Armchair GNRs: metallic iff N = 3m + 2 (nearest-neighbour TB)."""
+
+    @pytest.mark.parametrize("n", [5, 8, 11, 14])
+    def test_metallic_family(self, n):
+        bs = compute_band_structure(
+            build_tight_binding("armchair", n), n_k=301
+        )
+        assert bs.band_gap_ev() < 0.1
+
+    @pytest.mark.parametrize("n", [6, 7, 9, 10, 12, 13])
+    def test_semiconducting_family(self, n):
+        bs = compute_band_structure(
+            build_tight_binding("armchair", n), n_k=201
+        )
+        assert bs.band_gap_ev() > 0.3
+
+    def test_gap_decreases_with_width_within_family(self):
+        gaps = [
+            compute_band_structure(
+                build_tight_binding("armchair", n), n_k=201
+            ).band_gap_ev()
+            for n in (7, 10, 13, 16)
+        ]
+        assert all(a > b for a, b in zip(gaps, gaps[1:]))
+
+    def test_zigzag_always_gapless(self):
+        for n in (4, 6, 8):
+            bs = compute_band_structure(
+                build_tight_binding("zigzag", n), n_k=201
+            )
+            assert bs.band_gap_ev() < 1e-6
+
+
+class TestQueries:
+    def test_conduction_edge_is_half_gap(self, agnr12):
+        assert agnr12.conduction_band_edge_ev() == pytest.approx(
+            agnr12.band_gap_ev() / 2.0, rel=1e-6
+        )
+
+    def test_mode_count_zero_in_gap(self, agnr12):
+        assert agnr12.mode_count(0.0) == 0
+
+    def test_mode_count_increases_with_energy(self, agnr12):
+        e1 = agnr12.conduction_band_edge_ev() + 0.1
+        m1 = agnr12.mode_count(e1)
+        m2 = agnr12.mode_count(e1 + 2.0)
+        assert m2 >= m1 >= 1
+
+    def test_is_metallic_uses_tolerance(self, agnr12):
+        assert not agnr12.is_metallic()
+        assert agnr12.is_metallic(tolerance_ev=10.0)
+
+    def test_fermi_level_outside_bands_raises(self, agnr12):
+        with pytest.raises(ConfigurationError):
+            agnr12.band_gap_ev(fermi_ev=100.0)

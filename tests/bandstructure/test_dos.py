@@ -1,0 +1,63 @@
+"""DOS histogram estimator."""
+
+import numpy as np
+import pytest
+
+from repro.bandstructure import (
+    build_tight_binding,
+    compute_band_structure,
+    histogram_dos,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def dos12():
+    model = build_tight_binding("armchair", 12)
+    bs = compute_band_structure(model, n_k=401)
+    return histogram_dos(bs, model.cell.period_m), bs
+
+
+class TestNormalisation:
+    def test_total_states_match_band_count(self, dos12):
+        """Integrating the DOS over all energies recovers
+        2 (spin) * n_bands states per unit cell."""
+        dos, bs = dos12
+        model = build_tight_binding("armchair", 12)
+        total_per_m = np.trapezoid(dos.dos_per_ev_m, dos.energies_ev)
+        states_per_cell = total_per_m * model.cell.period_m
+        assert states_per_cell == pytest.approx(2.0 * bs.n_bands, rel=0.02)
+
+    def test_dos_zero_inside_gap(self, dos12):
+        dos, bs = dos12
+        gap = bs.band_gap_ev()
+        assert dos.at(0.0) == pytest.approx(0.0, abs=1e-6)
+        assert dos.at(gap / 4.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_dos_positive_in_bands(self, dos12):
+        dos, bs = dos12
+        edge = bs.conduction_band_edge_ev()
+        assert dos.at(edge + 0.5) > 0.0
+
+    def test_symmetric_about_zero(self, dos12):
+        dos, _ = dos12
+        states_above = dos.states_between(0.0, 10.0)
+        states_below = dos.states_between(-10.0, 0.0)
+        assert states_above == pytest.approx(states_below, rel=0.02)
+
+
+class TestInterface:
+    def test_states_between_rejects_bad_window(self, dos12):
+        dos, _ = dos12
+        with pytest.raises(ConfigurationError):
+            dos.states_between(1.0, 0.5)
+
+    def test_states_between_empty_window_is_zero(self, dos12):
+        dos, _ = dos12
+        assert dos.states_between(100.0, 101.0) == 0.0
+
+    def test_rejects_nonpositive_period(self):
+        model = build_tight_binding("armchair", 7)
+        bs = compute_band_structure(model, n_k=51)
+        with pytest.raises(ConfigurationError):
+            histogram_dos(bs, 0.0)

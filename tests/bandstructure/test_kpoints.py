@@ -1,0 +1,42 @@
+"""Brillouin-zone sampling."""
+
+import numpy as np
+import pytest
+
+from repro.bandstructure import brillouin_zone_1d
+from repro.errors import ConfigurationError
+
+
+class TestFullZone:
+    def test_spans_plus_minus_pi_over_a(self):
+        a = 3e-10
+        k = brillouin_zone_1d(a, 11)
+        assert k[0] == pytest.approx(-np.pi / a)
+        assert k[-1] == pytest.approx(np.pi / a)
+
+    def test_symmetric_about_gamma(self):
+        k = brillouin_zone_1d(1e-9, 21)
+        assert np.allclose(k, -k[::-1])
+
+    def test_contains_gamma_for_odd_count(self):
+        k = brillouin_zone_1d(1e-9, 21)
+        assert 0.0 in k
+
+
+class TestHalfZone:
+    def test_irreducible_half(self):
+        a = 5e-10
+        k = brillouin_zone_1d(a, 11, full=False)
+        assert k[0] == 0.0
+        assert k[-1] == pytest.approx(np.pi / a)
+        assert np.all(k >= 0.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ConfigurationError):
+            brillouin_zone_1d(0.0, 10)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            brillouin_zone_1d(1e-9, 1)

@@ -1,0 +1,86 @@
+"""Quantum capacitance from tabulated DOS."""
+
+import numpy as np
+import pytest
+
+from repro.bandstructure import (
+    build_tight_binding,
+    compute_band_structure,
+    fermi_derivative_per_ev,
+    histogram_dos,
+    quantum_capacitance_per_area,
+    quantum_capacitance_per_length,
+    series_with_quantum,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def ribbon_dos():
+    model = build_tight_binding("armchair", 12)
+    bs = compute_band_structure(model, n_k=301)
+    return histogram_dos(bs, model.cell.period_m), bs, model
+
+
+class TestFermiKernel:
+    def test_kernel_integrates_to_one(self):
+        e = np.linspace(-2.0, 2.0, 4001)
+        kernel = fermi_derivative_per_ev(e, 0.0, 300.0)
+        assert np.trapezoid(kernel, e) == pytest.approx(1.0, rel=1e-6)
+
+    def test_kernel_peaks_at_fermi_level(self):
+        e = np.linspace(-1.0, 1.0, 2001)
+        kernel = fermi_derivative_per_ev(e, 0.3, 300.0)
+        assert e[np.argmax(kernel)] == pytest.approx(0.3, abs=1e-3)
+
+    def test_kernel_narrows_when_cold(self):
+        e = np.linspace(-1.0, 1.0, 2001)
+        hot = fermi_derivative_per_ev(e, 0.0, 400.0)
+        cold = fermi_derivative_per_ev(e, 0.0, 100.0)
+        assert cold.max() > hot.max()
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ConfigurationError):
+            fermi_derivative_per_ev(np.array([0.0]), 0.0, -1.0)
+
+
+class TestQuantumCapacitance:
+    def test_negligible_inside_gap(self, ribbon_dos):
+        dos, bs, _ = ribbon_dos
+        cq_gap = quantum_capacitance_per_length(dos, 0.0)
+        edge = bs.conduction_band_edge_ev()
+        cq_band = quantum_capacitance_per_length(dos, edge + 0.5)
+        assert cq_band > 10.0 * cq_gap
+
+    def test_per_area_scales_inverse_width(self, ribbon_dos):
+        dos, bs, model = ribbon_dos
+        edge = bs.conduction_band_edge_ev()
+        w = model.cell.width_m
+        per_area = quantum_capacitance_per_area(dos, w, edge + 0.5)
+        per_length = quantum_capacitance_per_length(dos, edge + 0.5)
+        assert per_area == pytest.approx(per_length / w)
+
+    def test_per_area_rejects_bad_width(self, ribbon_dos):
+        dos, _, _ = ribbon_dos
+        with pytest.raises(ConfigurationError):
+            quantum_capacitance_per_area(dos, 0.0, 0.5)
+
+
+class TestSeriesCombination:
+    def test_metallic_limit_recovers_geometric(self):
+        assert series_with_quantum(1e-3, 1e6) == pytest.approx(
+            1e-3, rel=1e-6
+        )
+
+    def test_small_cq_dominates(self):
+        assert series_with_quantum(1.0, 1e-6) == pytest.approx(
+            1e-6, rel=1e-3
+        )
+
+    def test_series_below_both(self):
+        c = series_with_quantum(2e-3, 3e-3)
+        assert c < 2e-3 and c < 3e-3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            series_with_quantum(0.0, 1.0)

@@ -1,0 +1,75 @@
+"""Ribbon geometry construction and Bloch Hamiltonians."""
+
+import numpy as np
+import pytest
+
+from repro.bandstructure import build_tight_binding, build_unit_cell
+from repro.errors import ConfigurationError
+
+
+class TestUnitCells:
+    def test_armchair_atom_count(self):
+        cell = build_unit_cell("armchair", 9)
+        assert cell.n_atoms == 18
+
+    def test_zigzag_atom_count(self):
+        cell = build_unit_cell("zigzag", 6)
+        assert cell.n_atoms == 12
+
+    def test_armchair_period_three_acc(self):
+        cell = build_unit_cell("armchair", 8)
+        assert cell.period_acc == pytest.approx(3.0)
+
+    def test_zigzag_period_sqrt3_acc(self):
+        cell = build_unit_cell("zigzag", 6)
+        assert cell.period_acc == pytest.approx(np.sqrt(3.0))
+
+    def test_armchair_width_scales_with_lines(self):
+        w8 = build_unit_cell("armchair", 8).width_m
+        w16 = build_unit_cell("armchair", 16).width_m
+        assert w16 / w8 == pytest.approx(15.0 / 7.0, rel=1e-9)
+
+    def test_rejects_unknown_edge(self):
+        with pytest.raises(ConfigurationError):
+            build_unit_cell("chiral", 5)  # type: ignore[arg-type]
+
+    def test_rejects_too_few_lines(self):
+        with pytest.raises(ConfigurationError):
+            build_unit_cell("armchair", 1)
+
+
+class TestHamiltonians:
+    def test_hamiltonian_is_hermitian(self):
+        model = build_tight_binding("armchair", 7)
+        for k in (0.0, 1e8, 5e8):
+            h = model.hamiltonian(k)
+            assert np.allclose(h, h.T.conj())
+
+    def test_coordination_at_most_three(self):
+        """Every carbon has 2 (edge) or 3 (bulk) nearest neighbours."""
+        for edge, n in (("armchair", 9), ("zigzag", 5)):
+            model = build_tight_binding(edge, n)
+            coordination = (
+                (model.h0 != 0).sum(axis=1)
+                + (model.h1 != 0).sum(axis=1)
+                + (model.h1 != 0).sum(axis=0)
+            )
+            assert coordination.min() >= 2
+            assert coordination.max() == 3
+
+    def test_bands_particle_hole_symmetric(self):
+        """Bipartite NN hopping: spectrum symmetric about zero."""
+        model = build_tight_binding("armchair", 10)
+        bands = model.bands_ev(np.linspace(0, 1e9, 7))
+        assert np.allclose(bands, -bands[:, ::-1], atol=1e-9)
+
+    def test_band_width_scales_with_hopping(self):
+        weak = build_tight_binding("armchair", 7, hopping_ev=1.0)
+        strong = build_tight_binding("armchair", 7, hopping_ev=3.0)
+        bw_weak = weak.bands_ev(np.array([0.0])).max()
+        bw_strong = strong.bands_ev(np.array([0.0])).max()
+        assert bw_strong == pytest.approx(3.0 * bw_weak, rel=1e-9)
+
+    def test_rejects_nonpositive_hopping(self):
+        with pytest.raises(ConfigurationError):
+            build_tight_binding("armchair", 7, hopping_ev=0.0)

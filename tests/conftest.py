@@ -1,0 +1,41 @@
+"""Shared fixtures: reference device, barriers and calibrated kernels.
+
+Session-scoped where construction is expensive (kernel calibration runs
+real transients) so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.device import FloatingGateTransistor
+from repro.memory import CellKernel, calibrate_kernel
+from repro.tunneling import TunnelBarrier
+from repro.units import nm_to_m
+
+
+@pytest.fixture(scope="session")
+def paper_device() -> FloatingGateTransistor:
+    """The paper's reference design: GCR 0.6, 5 nm / 8 nm SiO2 stack."""
+    return FloatingGateTransistor()
+
+
+@pytest.fixture(scope="session")
+def sio2_barrier() -> TunnelBarrier:
+    """Graphene/SiO2 5 nm tunnel barrier."""
+    return TunnelBarrier(
+        barrier_height_ev=3.61, thickness_m=nm_to_m(5.0), mass_ratio=0.42
+    )
+
+
+@pytest.fixture(scope="session")
+def cell_kernel(paper_device: FloatingGateTransistor) -> CellKernel:
+    """Device-calibrated array cell kernel (expensive; share it)."""
+    return calibrate_kernel(paper_device)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for stochastic components."""
+    return np.random.default_rng(12345)

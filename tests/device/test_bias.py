@@ -1,0 +1,39 @@
+"""Bias conditions."""
+
+import pytest
+
+from repro.device import ERASE_BIAS, PROGRAM_BIAS, READ_BIAS
+
+
+class TestPaperConditions:
+    def test_program_is_plus_15(self):
+        assert PROGRAM_BIAS.voltages.vgs == 15.0
+
+    def test_program_drain_is_50mv_but_treated_as_ground(self):
+        """Paper Section III: 50 mV drain raises channel electron
+        density but is dropped from the electrostatic equations."""
+        assert PROGRAM_BIAS.voltages.vds == pytest.approx(0.05)
+        assert PROGRAM_BIAS.effective_voltages.vds == 0.0
+
+    def test_erase_is_minus_15(self):
+        assert ERASE_BIAS.voltages.vgs == -15.0
+
+    def test_source_and_body_grounded(self):
+        for bias in (PROGRAM_BIAS, ERASE_BIAS):
+            assert bias.voltages.vs == 0.0
+            assert bias.voltages.vb == 0.0
+
+    def test_read_keeps_drain_bias(self):
+        assert READ_BIAS.effective_voltages.vds == pytest.approx(0.5)
+
+
+class TestSweepHelper:
+    def test_with_gate_voltage_changes_only_vgs(self):
+        swept = PROGRAM_BIAS.with_gate_voltage(12.0)
+        assert swept.voltages.vgs == 12.0
+        assert swept.voltages.vds == PROGRAM_BIAS.voltages.vds
+        assert swept.name == PROGRAM_BIAS.name
+
+    def test_original_unmodified(self):
+        PROGRAM_BIAS.with_gate_voltage(10.0)
+        assert PROGRAM_BIAS.voltages.vgs == 15.0

@@ -1,0 +1,96 @@
+"""The lumped floating-gate transistor."""
+
+import pytest
+
+from repro.device import ERASE_BIAS, PROGRAM_BIAS, FloatingGateTransistor
+from repro.errors import ConfigurationError
+from repro.tunneling import TunnelingRegime
+
+
+class TestConstruction:
+    def test_default_gcr_is_paper_value(self, paper_device):
+        assert paper_device.gate_coupling_ratio == pytest.approx(0.6)
+
+    def test_barrier_heights_from_materials(self, paper_device):
+        tunnel, control = paper_device.barrier_heights_ev()
+        assert tunnel == pytest.approx(3.61)  # graphene on SiO2
+        assert control == pytest.approx(3.61)
+
+    def test_with_gcr_retunes_wrap_area(self, paper_device):
+        for target in (0.4, 0.55, 0.7):
+            retuned = paper_device.with_gate_coupling_ratio(target)
+            assert retuned.gate_coupling_ratio == pytest.approx(target)
+
+    def test_with_gcr_rejects_out_of_range(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            paper_device.with_gate_coupling_ratio(1.0)
+
+
+class TestFloatingGateVoltage:
+    def test_paper_operating_point(self, paper_device):
+        assert paper_device.floating_gate_voltage(
+            PROGRAM_BIAS
+        ) == pytest.approx(9.0, abs=1e-9)
+
+    def test_erase_mirrors_program(self, paper_device):
+        assert paper_device.floating_gate_voltage(
+            ERASE_BIAS
+        ) == pytest.approx(-9.0, abs=1e-9)
+
+    def test_stored_charge_shifts_vfg(self, paper_device):
+        v0 = paper_device.floating_gate_voltage(PROGRAM_BIAS, 0.0)
+        v1 = paper_device.floating_gate_voltage(PROGRAM_BIAS, -1e-16)
+        assert v1 < v0
+
+
+class TestTunnelingState:
+    def test_programming_jin_dominates_at_t0(self, paper_device):
+        state = paper_device.tunneling_state(PROGRAM_BIAS, 0.0)
+        assert state.jin_a_m2 > 1e6 * state.jout_a_m2
+        assert state.net_current_a < 0.0  # charging with electrons
+
+    def test_erase_reverses_current_directions(self, paper_device):
+        state = paper_device.tunneling_state(ERASE_BIAS, 0.0)
+        assert state.jin_a_m2 < 0.0  # electrons leave via tunnel oxide
+        assert state.net_current_a > 0.0
+
+    def test_stored_charge_reduces_net_programming_current(
+        self, paper_device
+    ):
+        fresh = paper_device.tunneling_state(PROGRAM_BIAS, 0.0)
+        charged = paper_device.tunneling_state(PROGRAM_BIAS, -1.2e-16)
+        assert abs(charged.net_current_a) < abs(fresh.net_current_a)
+
+    def test_charge_derivative_is_net_current(self, paper_device):
+        state = paper_device.tunneling_state(PROGRAM_BIAS, -5e-17)
+        assert paper_device.charge_derivative(
+            PROGRAM_BIAS, -5e-17
+        ) == pytest.approx(state.net_current_a)
+
+
+class TestRegime:
+    def test_paper_point_is_triangular(self, paper_device):
+        assessment = paper_device.assess_regime(PROGRAM_BIAS)
+        assert assessment.triangular
+        # 5 nm oxide: the paper's contested FN/direct boundary zone.
+        assert assessment.regime in (
+            TunnelingRegime.FOWLER_NORDHEIM,
+            TunnelingRegime.TRANSITIONAL,
+        )
+
+    def test_low_bias_not_triangular(self, paper_device):
+        low = PROGRAM_BIAS.with_gate_voltage(3.0)
+        assert not paper_device.assess_regime(low).triangular
+
+
+class TestOxideThicknessEffect:
+    def test_thinner_tunnel_oxide_programs_faster(self, paper_device):
+        from dataclasses import replace
+
+        thin = replace(
+            paper_device,
+            geometry=paper_device.geometry.with_tunnel_oxide_nm(4.0),
+        ).with_gate_coupling_ratio(0.6)  # hold coupling fixed (Figure 7)
+        j_thin = thin.tunneling_state(PROGRAM_BIAS).jin_a_m2
+        j_ref = paper_device.tunneling_state(PROGRAM_BIAS).jin_a_m2
+        assert j_thin > 10.0 * j_ref

@@ -1,0 +1,54 @@
+"""Device geometry."""
+
+import pytest
+
+from repro.device import DeviceGeometry
+from repro.errors import ConfigurationError
+from repro.units import nm_to_m
+
+
+class TestDefaults:
+    def test_paper_reference_stack(self):
+        g = DeviceGeometry()
+        assert g.tunnel_oxide_thickness_m == pytest.approx(nm_to_m(5.0))
+        assert g.control_oxide_thickness_m == pytest.approx(nm_to_m(8.0))
+        assert g.control_oxide_thickness_m > g.tunnel_oxide_thickness_m
+
+    def test_channel_area(self):
+        g = DeviceGeometry()
+        assert g.channel_area_m2 == pytest.approx(
+            g.channel_length_m * g.channel_width_m
+        )
+
+
+class TestCopies:
+    def test_with_tunnel_oxide(self):
+        g = DeviceGeometry().with_tunnel_oxide_nm(6.0)
+        assert g.tunnel_oxide_thickness_m == pytest.approx(nm_to_m(6.0))
+        # Everything else preserved.
+        assert g.control_oxide_thickness_m == pytest.approx(nm_to_m(8.0))
+
+    def test_with_control_oxide(self):
+        g = DeviceGeometry().with_control_oxide_nm(10.0)
+        assert g.control_oxide_thickness_m == pytest.approx(nm_to_m(10.0))
+
+    def test_copy_validation_still_applies(self):
+        with pytest.raises(ConfigurationError):
+            DeviceGeometry().with_tunnel_oxide_nm(9.0)  # > control oxide
+
+
+class TestValidation:
+    def test_rejects_control_thinner_than_tunnel(self):
+        with pytest.raises(ConfigurationError):
+            DeviceGeometry(
+                tunnel_oxide_thickness_m=nm_to_m(8.0),
+                control_oxide_thickness_m=nm_to_m(5.0),
+            )
+
+    def test_rejects_nonpositive_dimension(self):
+        with pytest.raises(ConfigurationError):
+            DeviceGeometry(channel_length_m=0.0)
+
+    def test_rejects_negative_overlap(self):
+        with pytest.raises(ConfigurationError):
+            DeviceGeometry(source_overlap_fraction=-0.1)

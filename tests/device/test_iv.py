@@ -1,0 +1,83 @@
+"""Ballistic channel I-V model."""
+
+import math
+
+import pytest
+
+from repro.device import ChannelIVModel, ThresholdModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def iv(paper_device):
+    return ChannelIVModel(ThresholdModel(paper_device))
+
+
+class TestModeOpening:
+    def test_modes_grow_with_overdrive(self, iv):
+        vt = iv.threshold.neutral_threshold_v
+        assert iv.effective_modes(vt + 2.0, 0.0) > iv.effective_modes(
+            vt + 0.5, 0.0
+        )
+
+    def test_subthreshold_modes_exponentially_small(self, iv):
+        vt = iv.threshold.neutral_threshold_v
+        below = iv.effective_modes(vt - 0.5, 0.0)
+        above = iv.effective_modes(vt + 0.5, 0.0)
+        assert below < 1e-4 * above
+
+    def test_stored_charge_closes_modes(self, iv):
+        vgs = iv.threshold.neutral_threshold_v + 1.0
+        open_modes = iv.effective_modes(vgs, 0.0)
+        closed_modes = iv.effective_modes(vgs, -3e-16)
+        assert closed_modes < open_modes
+
+
+class TestDrainCurrent:
+    def test_linear_region_proportional_to_vds(self, iv):
+        vgs = iv.threshold.neutral_threshold_v + 2.0
+        i1 = iv.drain_current_a(vgs, 0.05)
+        i2 = iv.drain_current_a(vgs, 0.10)
+        assert i2 == pytest.approx(2.0 * i1, rel=1e-6)
+
+    def test_saturates_beyond_overdrive(self, iv):
+        vgs = iv.threshold.neutral_threshold_v + 0.5
+        i_sat1 = iv.drain_current_a(vgs, 1.0)
+        i_sat2 = iv.drain_current_a(vgs, 3.0)
+        assert i_sat2 == pytest.approx(i_sat1, rel=1e-9)
+
+    def test_magnitude_is_conductance_quantum_scale(self, iv):
+        """A few modes at ~0.5 V: microamp-scale ballistic currents."""
+        vgs = iv.threshold.neutral_threshold_v + 1.0
+        i = iv.drain_current_a(vgs, 0.5)
+        assert 1e-7 < i < 1e-3
+
+    def test_rejects_negative_vds(self, iv):
+        with pytest.raises(ConfigurationError):
+            iv.drain_current_a(2.0, -0.1)
+
+
+class TestOnOffRatio:
+    def test_programmed_cell_reads_off(self, iv, paper_device):
+        from repro.device import PROGRAM_BIAS, equilibrium_charge
+
+        q_prog = equilibrium_charge(paper_device, PROGRAM_BIAS)
+        read_v = iv.threshold.neutral_threshold_v + 1.0
+        ratio = iv.on_off_ratio(read_v, 0.5, q_prog, 0.0)
+        assert ratio > 1e3
+
+    def test_infinite_ratio_handled(self, iv):
+        ratio = iv.on_off_ratio(
+            iv.threshold.neutral_threshold_v + 1.0, 0.5, -1e-12, 0.0
+        )
+        assert ratio > 0.0 or math.isinf(ratio)
+
+
+class TestValidation:
+    def test_rejects_bad_transmission(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            ChannelIVModel(ThresholdModel(paper_device), transmission=1.5)
+
+    def test_rejects_bad_modes_per_volt(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            ChannelIVModel(ThresholdModel(paper_device), modes_per_volt=0.0)

@@ -1,0 +1,122 @@
+"""Landauer transport through the GNR band structure."""
+
+import numpy as np
+import pytest
+
+from repro.device import G0, LandauerChannel
+from repro.errors import ConfigurationError
+from repro.materials import GrapheneNanoribbon
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return LandauerChannel(
+        ribbon=GrapheneNanoribbon("armchair", 13),
+        temperature_k=300.0,
+        gate_efficiency=0.5,
+    )
+
+
+@pytest.fixture(scope="module")
+def cold_channel():
+    """Low temperature sharpens the conductance steps."""
+    return LandauerChannel(
+        ribbon=GrapheneNanoribbon("armchair", 13),
+        temperature_k=30.0,
+        gate_efficiency=1.0,
+    )
+
+
+class TestBasics:
+    def test_zero_bias_zero_current(self, channel):
+        assert channel.drain_current_a(2.0, 0.0) == 0.0
+
+    def test_off_state_in_gap(self, channel):
+        """No overdrive: the Fermi level sits midgap, current tiny."""
+        i_off = channel.drain_current_a(0.0, 0.1)
+        i_on = channel.drain_current_a(3.0, 0.1)
+        assert i_on > 1e3 * i_off
+
+    def test_current_monotonic_in_gate(self, channel):
+        currents = [
+            channel.drain_current_a(v, 0.1) for v in (0.5, 1.5, 2.5, 3.5)
+        ]
+        assert all(a < b for a, b in zip(currents, currents[1:]))
+
+    def test_current_monotonic_in_drain_bias(self, channel):
+        assert channel.drain_current_a(2.0, 0.2) > channel.drain_current_a(
+            2.0, 0.1
+        )
+
+    def test_rejects_negative_drain(self, channel):
+        with pytest.raises(ConfigurationError):
+            channel.drain_current_a(1.0, -0.1)
+
+
+class TestQuantisedConductance:
+    def test_first_plateau_at_g0(self, cold_channel):
+        """Once the first subband pair conducts, G ~= 1 G0 (per the
+        band-structure mode count) before the next subband opens."""
+        onsets = cold_channel.subband_onsets_ev()
+        assert len(onsets) >= 2
+        mid_plateau = 0.5 * (onsets[0] + onsets[1])
+        g = cold_channel.conductance_s(mid_plateau) / G0
+        modes = cold_channel.mode_count(mid_plateau)
+        assert g == pytest.approx(modes, rel=0.1)
+
+    def test_staircase_monotonic(self, cold_channel):
+        sweep = np.linspace(0.0, 2.5, 26)
+        staircase = cold_channel.conductance_staircase(sweep)
+        assert np.all(np.diff(staircase) >= -1e-6)
+
+    def test_staircase_reaches_higher_plateaus(self, cold_channel):
+        sweep = np.linspace(0.0, 3.0, 31)
+        staircase = cold_channel.conductance_staircase(sweep)
+        assert staircase[-1] > 1.5  # beyond the first plateau
+
+    def test_warm_staircase_smoother(self, channel, cold_channel):
+        """Thermal smearing rounds the steps: at the first onset the
+        warm channel already conducts appreciably."""
+        onset = cold_channel.subband_onsets_ev()[0]
+        g_cold = cold_channel.conductance_s(onset - 0.15) / G0
+        warm = LandauerChannel(
+            ribbon=channel.ribbon,
+            temperature_k=300.0,
+            gate_efficiency=1.0,
+        )
+        g_warm = warm.conductance_s(onset - 0.15) / G0
+        assert g_warm > g_cold
+
+
+class TestBandStructureConsistency:
+    def test_onsets_match_half_gap(self, channel):
+        """The first subband onset is the conduction band edge."""
+        onsets = channel.subband_onsets_ev()
+        half_gap = channel.ribbon.band_gap_ev / 2.0
+        assert onsets[0] == pytest.approx(half_gap, abs=0.05)
+
+    def test_transmission_scales_current(self):
+        ribbon = GrapheneNanoribbon("armchair", 13)
+        full = LandauerChannel(ribbon=ribbon, transmission=1.0)
+        half = LandauerChannel(ribbon=ribbon, transmission=0.5)
+        assert half.drain_current_a(2.0, 0.1) == pytest.approx(
+            0.5 * full.drain_current_a(2.0, 0.1), rel=1e-9
+        )
+
+    def test_rejects_bad_parameters(self):
+        ribbon = GrapheneNanoribbon("armchair", 13)
+        with pytest.raises(ConfigurationError):
+            LandauerChannel(ribbon=ribbon, transmission=0.0)
+        with pytest.raises(ConfigurationError):
+            LandauerChannel(ribbon=ribbon, gate_efficiency=1.5)
+
+    def test_vectorised_modes_match_band_structure(self, channel):
+        """The channel's internal vectorised M(E) must agree with the
+        band-structure package's scalar mode_count everywhere."""
+        energies = np.linspace(-2.5, 2.5, 41)
+        vec = channel._modes_at(energies)
+        scalar = [
+            channel.ribbon.band_structure.mode_count(float(e))
+            for e in energies
+        ]
+        assert np.array_equal(vec, np.array(scalar, dtype=float))

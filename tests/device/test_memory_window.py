@@ -1,0 +1,60 @@
+"""Memory window between logic states."""
+
+import pytest
+
+from repro.device import (
+    ThresholdModel,
+    pulsed_memory_window,
+    saturated_memory_window,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def threshold(paper_device):
+    return ThresholdModel(paper_device)
+
+
+@pytest.fixture(scope="module")
+def saturated(threshold):
+    return saturated_memory_window(threshold)
+
+
+class TestSaturatedWindow:
+    def test_programmed_above_erased(self, saturated):
+        assert saturated.programmed_vt_v > saturated.erased_vt_v
+
+    def test_window_is_difference(self, saturated):
+        assert saturated.window_v == pytest.approx(
+            saturated.programmed_vt_v - saturated.erased_vt_v
+        )
+
+    def test_window_usable_at_paper_voltages(self, saturated):
+        """+/-15 V with GCR 0.6: a multi-volt window."""
+        assert saturated.is_usable(min_window_v=2.0)
+        assert saturated.window_v > 5.0
+
+    def test_charges_signed_correctly(self, saturated):
+        assert saturated.programmed_charge_c < 0.0  # electrons stored
+        assert saturated.erased_charge_c > 0.0  # electrons depleted
+
+
+class TestPulsedWindow:
+    def test_short_pulse_smaller_window(self, threshold, saturated):
+        short = pulsed_memory_window(threshold, pulse_duration_s=1e-6)
+        assert short.window_v < saturated.window_v
+
+    def test_long_pulse_approaches_saturation(self, threshold, saturated):
+        long = pulsed_memory_window(threshold, pulse_duration_s=1e-1)
+        assert long.window_v == pytest.approx(
+            saturated.window_v, rel=0.05
+        )
+
+    def test_window_grows_with_pulse_length(self, threshold):
+        w1 = pulsed_memory_window(threshold, 1e-6).window_v
+        w2 = pulsed_memory_window(threshold, 1e-4).window_v
+        assert w2 > w1
+
+    def test_rejects_nonpositive_duration(self, threshold):
+        with pytest.raises(ConfigurationError):
+            pulsed_memory_window(threshold, 0.0)

@@ -1,0 +1,95 @@
+"""Retention: charge loss of the idle programmed cell."""
+
+import pytest
+
+from repro.device import (
+    PROGRAM_BIAS,
+    RetentionModel,
+    TEN_YEARS_S,
+    equilibrium_charge,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def programmed_charge(paper_device):
+    return equilibrium_charge(paper_device, PROGRAM_BIAS)
+
+
+class TestLeakage:
+    def test_leakage_positive_for_stored_charge(
+        self, paper_device, programmed_charge
+    ):
+        model = RetentionModel(paper_device)
+        assert model.leakage_current_a(programmed_charge) > 0.0
+
+    def test_leakage_grows_with_stored_charge(self, paper_device):
+        model = RetentionModel(paper_device)
+        assert model.leakage_current_a(-2e-16) > model.leakage_current_a(
+            -1e-16
+        )
+
+    def test_traps_increase_leakage(self, paper_device, programmed_charge):
+        clean = RetentionModel(paper_device, trap_density_m2=0.0)
+        stressed = RetentionModel(paper_device, trap_density_m2=1e16)
+        assert stressed.leakage_current_a(
+            programmed_charge
+        ) > clean.leakage_current_a(programmed_charge)
+
+
+class TestRetentionSimulation:
+    @pytest.fixture(scope="class")
+    def result(self, paper_device, programmed_charge):
+        return RetentionModel(paper_device).simulate(
+            programmed_charge, duration_s=TEN_YEARS_S
+        )
+
+    def test_charge_decays_monotonically(self, result):
+        import numpy as np
+
+        magnitudes = np.abs(result.charge_c)
+        assert np.all(np.diff(magnitudes) <= 1e-30)
+
+    def test_charge_never_reverses_sign(self, result):
+        import numpy as np
+
+        assert np.all(result.charge_c <= 0.0)
+
+    def test_ten_year_fraction_between_zero_and_one(self, result):
+        assert 0.0 <= result.charge_after_10y_fraction <= 1.0
+
+    def test_nonvolatile_for_thick_fresh_oxide(self, result):
+        """A fresh 5 nm SiO2 stack retains most charge for 10 years --
+        the nonvolatility premise of the paper's device."""
+        assert result.charge_after_10y_fraction > 0.5
+
+    def test_half_life_extrapolated(self, result):
+        assert result.time_to_half_s is None or result.time_to_half_s > 0.0
+
+
+class TestTrappedOxideRetention:
+    def test_cycled_oxide_retains_less(self, paper_device, programmed_charge):
+        fresh = RetentionModel(paper_device).simulate(
+            programmed_charge, duration_s=TEN_YEARS_S, n_samples=80
+        )
+        worn = RetentionModel(
+            paper_device, trap_density_m2=3e16
+        ).simulate(programmed_charge, duration_s=TEN_YEARS_S, n_samples=80)
+        assert (
+            worn.charge_after_10y_fraction
+            < fresh.charge_after_10y_fraction
+        )
+
+
+class TestValidation:
+    def test_rejects_zero_charge(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            RetentionModel(paper_device).simulate(0.0)
+
+    def test_rejects_nonpositive_duration(
+        self, paper_device, programmed_charge
+    ):
+        with pytest.raises(ConfigurationError):
+            RetentionModel(paper_device).simulate(
+                programmed_charge, duration_s=-1.0
+            )

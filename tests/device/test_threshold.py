@@ -1,0 +1,59 @@
+"""Threshold model and charge-to-Vt mapping."""
+
+import pytest
+
+from repro.device import PROGRAM_BIAS, ThresholdModel, equilibrium_charge
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def threshold(paper_device):
+    return ThresholdModel(paper_device)
+
+
+class TestNeutralThreshold:
+    def test_positive_for_cnt_gate_on_gnr_channel(self, threshold):
+        """CNT work function (4.8) above graphene (4.56) plus half-gap
+        over GCR: a positive neutral threshold."""
+        assert threshold.neutral_threshold_v > 0.0
+
+    def test_offset_adds_linearly(self, paper_device):
+        base = ThresholdModel(paper_device).neutral_threshold_v
+        shifted = ThresholdModel(
+            paper_device, neutral_threshold_offset_v=0.5
+        ).neutral_threshold_v
+        assert shifted == pytest.approx(base + 0.5)
+
+    def test_bigger_gap_raises_threshold(self, paper_device):
+        small = ThresholdModel(paper_device, channel_band_gap_ev=0.3)
+        large = ThresholdModel(paper_device, channel_band_gap_ev=1.0)
+        assert large.neutral_threshold_v > small.neutral_threshold_v
+
+    def test_rejects_negative_gap(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            ThresholdModel(paper_device, channel_band_gap_ev=-0.1)
+
+
+class TestChargeShift:
+    def test_stored_electrons_raise_vt(self, threshold):
+        assert threshold.threshold_v(-1e-16) > threshold.neutral_threshold_v
+
+    def test_depletion_lowers_vt(self, threshold):
+        assert threshold.threshold_v(+1e-16) < threshold.neutral_threshold_v
+
+    def test_shift_is_q_over_cfc(self, threshold, paper_device):
+        q = -2e-16
+        shift = threshold.threshold_v(q) - threshold.neutral_threshold_v
+        assert shift == pytest.approx(-q / paper_device.capacitances.cfc)
+
+    def test_charge_for_threshold_round_trip(self, threshold):
+        target = threshold.neutral_threshold_v + 2.0
+        q = threshold.charge_for_threshold(target)
+        assert threshold.threshold_v(q) == pytest.approx(target)
+
+
+class TestLogicStates:
+    def test_programmed_state_above_erased(self, threshold, paper_device):
+        q_prog = equilibrium_charge(paper_device, PROGRAM_BIAS)
+        vt_prog, vt_erased = threshold.state_thresholds(q_prog, 0.0)
+        assert vt_prog > vt_erased

@@ -1,0 +1,135 @@
+"""Program/erase transients (paper Figures 4-5 dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    ERASE_BIAS,
+    PROGRAM_BIAS,
+    equilibrium_charge,
+    equilibrium_floating_gate_voltage,
+    simulate_transient,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def program_result(paper_device):
+    return simulate_transient(
+        paper_device, PROGRAM_BIAS, duration_s=1e-2, n_samples=200
+    )
+
+
+class TestEquilibrium:
+    def test_balance_point_between_zero_and_gcr_vgs(self, paper_device):
+        vfg_star = equilibrium_floating_gate_voltage(
+            paper_device, PROGRAM_BIAS
+        )
+        assert 0.0 < vfg_star < 9.0
+
+    def test_balance_currents_match_with_areas(self, paper_device):
+        vfg_star = equilibrium_floating_gate_voltage(
+            paper_device, PROGRAM_BIAS
+        )
+        area = paper_device.geometry.channel_area_m2
+        mult = paper_device.geometry.control_gate_area_multiplier
+        jin = paper_device.tunnel_fn_model.current_density_from_voltage(
+            vfg_star
+        )
+        jout = paper_device.control_fn_model.current_density_from_voltage(
+            15.0 - vfg_star
+        )
+        assert jin * area == pytest.approx(jout * area * mult, rel=1e-5)
+
+    def test_equilibrium_charge_negative_for_programming(self, paper_device):
+        assert equilibrium_charge(paper_device, PROGRAM_BIAS) < 0.0
+
+    def test_equilibrium_charge_positive_for_erase(self, paper_device):
+        assert equilibrium_charge(paper_device, ERASE_BIAS) > 0.0
+
+    def test_zero_gate_voltage_rejected(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            equilibrium_floating_gate_voltage(
+                paper_device, PROGRAM_BIAS.with_gate_voltage(0.0)
+            )
+
+
+class TestProgrammingTransient:
+    def test_charge_accumulates_monotonically(self, program_result):
+        assert np.all(np.diff(program_result.charge_c) <= 1e-30)
+
+    def test_vfg_decays_from_nine_volts(self, program_result):
+        assert program_result.vfg_v[0] == pytest.approx(9.0, abs=1e-6)
+        assert program_result.vfg_v[-1] < 9.0
+
+    def test_jin_starts_many_decades_above_jout(self, program_result):
+        ratio = program_result.jin_a_m2[0] / program_result.jout_a_m2[0]
+        assert ratio > 1e6
+
+    def test_reaches_saturation(self, program_result):
+        assert program_result.saturation_fraction() > 0.99
+        assert program_result.t_sat_s is not None
+
+    def test_final_charge_matches_equilibrium(
+        self, program_result, paper_device
+    ):
+        q_eq = equilibrium_charge(paper_device, PROGRAM_BIAS)
+        assert program_result.final_charge_c == pytest.approx(
+            q_eq, rel=1e-3
+        )
+
+    def test_stored_electron_count_reasonable(self, program_result):
+        """A ~60x45 nm cell stores hundreds-to-thousands of electrons."""
+        assert 100 < program_result.stored_electrons < 1e5
+
+
+class TestEraseTransient:
+    def test_erase_removes_programmed_charge(
+        self, paper_device, program_result
+    ):
+        erase = simulate_transient(
+            paper_device,
+            ERASE_BIAS,
+            initial_charge_c=program_result.final_charge_c,
+            duration_s=1e-2,
+        )
+        # Ends at the positive (depleted) equilibrium, past zero.
+        assert erase.final_charge_c > 0.0
+        assert erase.t_sat_s is not None
+
+    def test_program_erase_window_symmetric_for_symmetric_bias(
+        self, paper_device
+    ):
+        q_prog = equilibrium_charge(paper_device, PROGRAM_BIAS)
+        q_erase = equilibrium_charge(paper_device, ERASE_BIAS)
+        assert q_prog == pytest.approx(-q_erase, rel=1e-6)
+
+
+class TestHigherVoltageFasterProgramming:
+    def test_tsat_shrinks_with_voltage(self, paper_device):
+        slow = simulate_transient(
+            paper_device,
+            PROGRAM_BIAS.with_gate_voltage(13.0),
+            duration_s=1.0,
+        )
+        fast = simulate_transient(
+            paper_device,
+            PROGRAM_BIAS.with_gate_voltage(17.0),
+            duration_s=1.0,
+        )
+        assert fast.t_sat_s < slow.t_sat_s
+
+
+class TestValidation:
+    def test_rejects_nonpositive_duration(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            simulate_transient(paper_device, PROGRAM_BIAS, duration_s=0.0)
+
+    def test_rejects_bad_epsilon(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            simulate_transient(
+                paper_device,
+                PROGRAM_BIAS,
+                duration_s=1e-3,
+                saturation_epsilon=1.5,
+            )

@@ -1,0 +1,78 @@
+"""Pulse trains and ISPP waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    PROGRAM_BIAS,
+    PulseStep,
+    PulseTrain,
+    apply_pulse_train,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTrainConstruction:
+    def test_square_single_step(self):
+        train = PulseTrain.square(15.0, 1e-5)
+        assert len(train.steps) == 1
+        assert train.total_duration_s == pytest.approx(1e-5)
+
+    def test_ispp_staircase_voltages(self):
+        train = PulseTrain.ispp(12.0, 0.5, 4, 1e-5)
+        voltages = [s.gate_voltage_v for s in train.steps]
+        assert voltages == [12.0, 12.5, 13.0, 13.5]
+
+    def test_rejects_empty_train(self):
+        with pytest.raises(ConfigurationError):
+            PulseTrain(steps=())
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            PulseStep(15.0, 0.0)
+
+    def test_rejects_nonpositive_ispp_step(self):
+        with pytest.raises(ConfigurationError):
+            PulseTrain.ispp(12.0, 0.0, 4, 1e-5)
+
+
+class TestApplication:
+    def test_charge_accumulates_across_pulses(self, paper_device):
+        train = PulseTrain.ispp(12.0, 1.0, 4, 1e-5)
+        result = apply_pulse_train(paper_device, PROGRAM_BIAS, train)
+        charges = result.charge_after_each_c
+        assert np.all(np.diff(charges) < 0.0)  # more electrons each pulse
+
+    def test_final_charge_matches_last_pulse(self, paper_device):
+        train = PulseTrain.ispp(12.0, 1.0, 3, 1e-5)
+        result = apply_pulse_train(paper_device, PROGRAM_BIAS, train)
+        assert result.final_charge_c == pytest.approx(
+            result.charge_after_each_c[-1]
+        )
+        assert result.final_charge_c == pytest.approx(
+            result.per_pulse[-1].final_charge_c
+        )
+
+    def test_chaining_preserves_continuity(self, paper_device):
+        """Each pulse starts from the previous pulse's end charge."""
+        train = PulseTrain.ispp(13.0, 0.5, 3, 1e-5)
+        result = apply_pulse_train(paper_device, PROGRAM_BIAS, train)
+        for previous, current in zip(result.per_pulse, result.per_pulse[1:]):
+            assert current.charge_c[0] == pytest.approx(
+                previous.final_charge_c, rel=1e-9
+            )
+
+    def test_two_short_pulses_beat_one(self, paper_device):
+        """Two pulses at the same voltage store more than one of the
+        same length (monotone approach to equilibrium)."""
+        one = apply_pulse_train(
+            paper_device, PROGRAM_BIAS, PulseTrain.square(15.0, 1e-5)
+        )
+        two = apply_pulse_train(
+            paper_device,
+            PROGRAM_BIAS,
+            PulseTrain(
+                steps=(PulseStep(15.0, 1e-5), PulseStep(15.0, 1e-5))
+            ),
+        )
+        assert abs(two.final_charge_c) > abs(one.final_charge_c)

@@ -1,0 +1,109 @@
+"""Band diagrams of the biased gate stack (paper Figure 2 physics)."""
+
+import numpy as np
+import pytest
+
+from repro.electrostatics import (
+    build_band_diagram,
+    oxide_fields_v_per_m,
+    stored_charge_sheet_density,
+)
+from repro.errors import ConfigurationError
+from repro.materials import SIO2
+from repro.units import nm_to_m
+
+
+def paper_diagram(vfg=9.0, vgs=15.0):
+    return build_band_diagram(
+        tunnel_dielectric=SIO2,
+        control_dielectric=SIO2,
+        tunnel_thickness_m=nm_to_m(5.0),
+        control_thickness_m=nm_to_m(8.0),
+        floating_gate_thickness_m=nm_to_m(2.0),
+        channel_barrier_ev=3.61,
+        gate_barrier_ev=3.61,
+        floating_gate_voltage_v=vfg,
+        control_gate_voltage_v=vgs,
+    )
+
+
+class TestTriangularBarrier:
+    def test_band_starts_at_barrier_height(self):
+        d = paper_diagram()
+        assert d.conduction_band_ev[0] == pytest.approx(3.61)
+
+    def test_band_linear_in_tunnel_oxide(self):
+        d = paper_diagram()
+        mask = [lbl == "tunnel_oxide" for lbl in d.region_labels]
+        x = d.x_m[mask]
+        y = d.conduction_band_ev[mask]
+        slope = np.diff(y) / np.diff(x)
+        assert np.allclose(slope, slope[0], rtol=1e-9)
+        # Slope = -E = -(9 V / 5 nm) per metre (in eV/m, sign down).
+        assert slope[0] == pytest.approx(-9.0 / nm_to_m(5.0), rel=1e-9)
+
+    def test_apparent_thinning_at_high_field(self):
+        """Paper: band bending results in 'apparent thinning' -- the
+        forbidden distance at E=0 is phi_B/E_ox < X_TO."""
+        d = paper_diagram()
+        expected = 3.61 / (9.0 / nm_to_m(5.0))
+        assert d.tunnel_distance_at_fermi_m() == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_no_bias_keeps_full_thickness(self):
+        d = paper_diagram(vfg=0.0, vgs=0.0)
+        assert d.tunnel_distance_at_fermi_m() >= nm_to_m(5.0)
+
+    def test_floating_gate_region_flat(self):
+        d = paper_diagram()
+        mask = [lbl == "floating_gate" for lbl in d.region_labels]
+        y = d.conduction_band_ev[mask]
+        assert np.allclose(y, y[0])
+
+    def test_barrier_peak_at_channel_interface(self):
+        d = paper_diagram()
+        assert d.barrier_peak_ev() == pytest.approx(3.61)
+
+
+class TestOxideFields:
+    def test_paper_fields(self):
+        e_to, e_co = oxide_fields_v_per_m(
+            nm_to_m(5.0), nm_to_m(8.0), 9.0, 15.0
+        )
+        assert e_to == pytest.approx(1.8e9)
+        assert e_co == pytest.approx(0.75e9)
+
+    def test_tunnel_field_dominates_for_paper_geometry(self):
+        """Jin >> Jout requires E_TO > E_CO; guaranteed by X_CO > X_TO
+        and V_FG > V_GS - V_FG at the paper's operating point."""
+        e_to, e_co = oxide_fields_v_per_m(
+            nm_to_m(5.0), nm_to_m(8.0), 9.0, 15.0
+        )
+        assert e_to > 2.0 * e_co
+
+    def test_erase_reverses_both_fields(self):
+        e_to, e_co = oxide_fields_v_per_m(
+            nm_to_m(5.0), nm_to_m(8.0), -9.0, -15.0
+        )
+        assert e_to < 0.0 and e_co < 0.0
+
+
+class TestReporting:
+    def test_sheet_density_conversion(self):
+        from repro.constants import ELEMENTARY_CHARGE
+
+        q = -1000 * ELEMENTARY_CHARGE
+        density = stored_charge_sheet_density(q, 1e-14)  # 1000 e over 1e-14 m^2
+        assert density == pytest.approx(1000 / 1e-14 * 1e-4)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ConfigurationError):
+            stored_charge_sheet_density(1e-16, 0.0)
+
+    def test_rejects_bad_thicknesses(self):
+        with pytest.raises(ConfigurationError):
+            build_band_diagram(
+                SIO2, SIO2, 0.0, nm_to_m(8.0), nm_to_m(2.0),
+                3.6, 3.6, 9.0, 15.0,
+            )

@@ -1,0 +1,72 @@
+"""Elementary capacitance formulas."""
+
+import pytest
+
+from repro.constants import VACUUM_PERMITTIVITY
+from repro.electrostatics import (
+    capacitance_per_area,
+    fringe_factor,
+    parallel,
+    parallel_plate_capacitance,
+    series,
+)
+from repro.errors import ConfigurationError
+from repro.units import nm_to_m
+
+
+class TestParallelPlate:
+    def test_textbook_value(self):
+        c = parallel_plate_capacitance(3.9, 1e-12, nm_to_m(5.0))
+        assert c == pytest.approx(
+            3.9 * VACUUM_PERMITTIVITY * 1e-12 / 5e-9
+        )
+
+    def test_inverse_in_thickness(self):
+        c5 = parallel_plate_capacitance(3.9, 1e-12, nm_to_m(5.0))
+        c10 = parallel_plate_capacitance(3.9, 1e-12, nm_to_m(10.0))
+        assert c5 == pytest.approx(2.0 * c10)
+
+    def test_per_area_consistent(self):
+        area = 2e-14
+        assert capacitance_per_area(3.9, nm_to_m(8.0)) * area == pytest.approx(
+            parallel_plate_capacitance(3.9, area, nm_to_m(8.0))
+        )
+
+    @pytest.mark.parametrize("bad", [(-1.0, 1.0, 1.0), (1.0, 0.0, 1.0), (1.0, 1.0, 0.0)])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ConfigurationError):
+            parallel_plate_capacitance(*bad)
+
+
+class TestCombinations:
+    def test_series_of_equal_halves(self):
+        assert series(2.0, 2.0) == pytest.approx(1.0)
+
+    def test_series_dominated_by_smallest(self):
+        assert series(1e-15, 1e-9) == pytest.approx(1e-15, rel=1e-5)
+
+    def test_parallel_sums(self):
+        assert parallel(1.0, 2.0, 3.0) == pytest.approx(6.0)
+
+    def test_series_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            series(1.0, 0.0)
+
+    def test_empty_combinations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            series()
+        with pytest.raises(ConfigurationError):
+            parallel()
+
+
+class TestFringe:
+    def test_factor_exceeds_one(self):
+        assert fringe_factor(nm_to_m(8.0), nm_to_m(60.0)) > 1.0
+
+    def test_wide_plate_limit(self):
+        near_ideal = fringe_factor(nm_to_m(1.0), 1e-3)
+        assert near_ideal == pytest.approx(1.0, abs=1e-3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            fringe_factor(0.0, 1.0)

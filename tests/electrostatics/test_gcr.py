@@ -1,0 +1,94 @@
+"""Floating-gate potential (paper eq. (3))."""
+
+import pytest
+
+from repro.electrostatics import (
+    TerminalVoltages,
+    build_capacitances,
+    charge_for_floating_gate_voltage,
+    floating_gate_voltage,
+    floating_gate_voltage_simple,
+    threshold_shift_v,
+)
+from repro.errors import ConfigurationError
+from repro.materials import SIO2
+from repro.units import nm_to_m
+
+
+@pytest.fixture()
+def network():
+    return build_capacitances(
+        SIO2, SIO2, nm_to_m(8.0), nm_to_m(5.0), (100e-9) ** 2
+    )
+
+
+class TestEquationThree:
+    def test_paper_headline_number(self, network):
+        """VGS = 15 V, GCR = 0.6, Q = 0 -> V_FG = 9 V (paper Section III)."""
+        vfg = floating_gate_voltage(
+            network, TerminalVoltages(vgs=15.0), charge_c=0.0
+        )
+        assert vfg == pytest.approx(9.0, abs=1e-9)
+
+    def test_simple_form_matches_full_form_when_grounded(self, network):
+        gcr = network.gate_coupling_ratio
+        for vgs in (-15.0, 8.0, 17.0):
+            assert floating_gate_voltage(
+                network, TerminalVoltages(vgs=vgs)
+            ) == pytest.approx(floating_gate_voltage_simple(gcr, vgs))
+
+    def test_stored_electrons_lower_vfg(self, network):
+        q = -1e-16  # electrons
+        with_charge = floating_gate_voltage(
+            network, TerminalVoltages(vgs=15.0), q
+        )
+        without = floating_gate_voltage(network, TerminalVoltages(vgs=15.0))
+        assert with_charge < without
+        assert without - with_charge == pytest.approx(
+            -q / network.total
+        )
+
+    def test_drain_coupling_term(self, network):
+        """Nonzero V_DS adds C_FD * V_DS / C_T."""
+        base = floating_gate_voltage(network, TerminalVoltages(vgs=10.0))
+        with_vds = floating_gate_voltage(
+            network, TerminalVoltages(vgs=10.0, vds=1.0)
+        )
+        assert with_vds - base == pytest.approx(
+            network.cfd / network.total
+        )
+
+    def test_charge_inversion_round_trip(self, network):
+        voltages = TerminalVoltages(vgs=15.0)
+        q = charge_for_floating_gate_voltage(network, voltages, 7.5)
+        assert floating_gate_voltage(network, voltages, q) == pytest.approx(
+            7.5
+        )
+
+
+class TestSimpleForm:
+    def test_charge_term(self):
+        vfg = floating_gate_voltage_simple(
+            0.6, 15.0, charge_c=-1e-16, c_total_f=1e-16
+        )
+        assert vfg == pytest.approx(9.0 - 1.0)
+
+    def test_requires_ct_with_charge(self):
+        with pytest.raises(ConfigurationError):
+            floating_gate_voltage_simple(0.6, 15.0, charge_c=1e-16)
+
+    def test_rejects_bad_gcr(self):
+        with pytest.raises(ConfigurationError):
+            floating_gate_voltage_simple(1.2, 15.0)
+
+
+class TestThresholdShift:
+    def test_electrons_raise_threshold(self):
+        assert threshold_shift_v(-1e-16, 1e-16) == pytest.approx(1.0)
+
+    def test_depletion_lowers_threshold(self):
+        assert threshold_shift_v(+1e-16, 1e-16) == pytest.approx(-1.0)
+
+    def test_rejects_nonpositive_cfc(self):
+        with pytest.raises(ConfigurationError):
+            threshold_shift_v(1e-16, 0.0)

@@ -1,0 +1,76 @@
+"""Self-consistent Poisson-Schrodinger channel solver."""
+
+import numpy as np
+import pytest
+
+from repro.electrostatics import (
+    solve_channel_well,
+    triangular_well_levels_ev,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTriangularWellReference:
+    def test_airy_scaling_two_thirds_power(self):
+        e1 = triangular_well_levels_ev(1e8, 0.26, 1)[0]
+        e2 = triangular_well_levels_ev(8e8, 0.26, 1)[0]
+        assert e2 / e1 == pytest.approx(8.0 ** (2.0 / 3.0), rel=1e-9)
+
+    def test_level_ordering(self):
+        levels = triangular_well_levels_ev(5e8, 0.26, 4)
+        assert np.all(np.diff(levels) > 0.0)
+
+    def test_rejects_too_many_levels(self):
+        with pytest.raises(ConfigurationError):
+            triangular_well_levels_ev(5e8, 0.26, 9)
+
+    def test_rejects_nonpositive_field(self):
+        with pytest.raises(ConfigurationError):
+            triangular_well_levels_ev(0.0, 0.26)
+
+
+class TestSelfConsistentSolver:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        return solve_channel_well(
+            surface_field_v_per_m=5e8,
+            sheet_density_m2=1e16,
+            n_nodes=201,
+            max_iterations=200,
+        )
+
+    def test_converges(self, solution):
+        assert solution.iterations < 200
+
+    def test_holds_requested_sheet_density(self, solution):
+        assert solution.total_sheet_density_m2 == pytest.approx(
+            1e16, rel=1e-3
+        )
+
+    def test_subbands_ordered(self, solution):
+        assert np.all(np.diff(solution.subband_energies_ev) > 0.0)
+
+    def test_ground_state_near_bare_triangular_level(self, solution):
+        """With a light sheet charge the ground state stays within ~20%
+        of the bare triangular-well Airy level."""
+        bare = triangular_well_levels_ev(5e8, 0.26, 1)[0]
+        assert solution.ground_state_ev == pytest.approx(bare, rel=0.2)
+
+    def test_ground_subband_most_occupied(self, solution):
+        densities = solution.subband_densities_m2
+        assert densities[0] == max(densities)
+
+    def test_screening_raises_levels(self):
+        """More channel charge screens the field and shifts subbands up
+        relative to the lightly loaded well."""
+        light = solve_channel_well(5e8, 1e15, n_nodes=151)
+        heavy = solve_channel_well(5e8, 3e16, n_nodes=151)
+        assert (
+            heavy.subband_energies_ev[0] > light.subband_energies_ev[0]
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            solve_channel_well(0.0, 1e16)
+        with pytest.raises(ConfigurationError):
+            solve_channel_well(5e8, -1.0)

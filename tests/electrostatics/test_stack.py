@@ -1,0 +1,126 @@
+"""The eq. (2) capacitive network."""
+
+import pytest
+
+from repro.electrostatics import FloatingGateCapacitances, build_capacitances
+from repro.errors import ConfigurationError
+from repro.materials import HFO2, SIO2
+from repro.units import nm_to_m
+
+
+@pytest.fixture()
+def network():
+    return build_capacitances(
+        SIO2, SIO2, nm_to_m(8.0), nm_to_m(5.0), (100e-9) ** 2
+    )
+
+
+class TestEquationTwo:
+    def test_total_is_sum_of_four(self, network):
+        assert network.total == pytest.approx(
+            network.cfc + network.cfs + network.cfb + network.cfd
+        )
+
+    def test_coupling_ratios_sum_below_one(self, network):
+        total_ratio = (
+            network.gate_coupling_ratio
+            + network.drain_coupling_ratio
+            + network.source_coupling_ratio
+            + network.cfb / network.total
+        )
+        assert total_ratio == pytest.approx(1.0)
+
+    def test_paper_default_gcr(self, network):
+        """The default stack realises the paper's GCR = 0.6."""
+        assert network.gate_coupling_ratio == pytest.approx(0.6, abs=1e-9)
+
+
+class TestScaling:
+    def test_scaled_to_gcr_hits_target(self, network):
+        for target in (0.4, 0.5, 0.7):
+            scaled = network.scaled_to_gcr(target)
+            assert scaled.gate_coupling_ratio == pytest.approx(target)
+
+    def test_scaling_preserves_other_caps(self, network):
+        scaled = network.scaled_to_gcr(0.45)
+        assert scaled.cfb == network.cfb
+        assert scaled.cfs == network.cfs
+        assert scaled.cfd == network.cfd
+
+    def test_rejects_degenerate_gcr(self, network):
+        with pytest.raises(ConfigurationError):
+            network.scaled_to_gcr(0.0)
+        with pytest.raises(ConfigurationError):
+            network.scaled_to_gcr(1.0)
+
+
+class TestLayeredBuilder:
+    def test_ono_control_raises_gcr_at_same_thickness(self, network):
+        from repro.electrostatics import build_capacitances_layered
+        from repro.materials import LayeredDielectric
+
+        ono = LayeredDielectric.ono(nm_to_m(2.0), nm_to_m(4.0), nm_to_m(2.0))
+        layered = build_capacitances_layered(
+            ono, SIO2, nm_to_m(5.0), (100e-9) ** 2
+        )
+        assert (
+            layered.gate_coupling_ratio > network.gate_coupling_ratio
+        )
+
+    def test_single_layer_stack_matches_plain_builder(self, network):
+        from repro.electrostatics import build_capacitances_layered
+        from repro.materials import LayeredDielectric
+
+        stack = LayeredDielectric.single(SIO2, nm_to_m(8.0))
+        layered = build_capacitances_layered(
+            stack, SIO2, nm_to_m(5.0), (100e-9) ** 2
+        )
+        assert layered.cfc == pytest.approx(network.cfc, rel=1e-12)
+        assert layered.gate_coupling_ratio == pytest.approx(
+            network.gate_coupling_ratio
+        )
+
+    def test_rejects_thin_control_stack(self):
+        from repro.electrostatics import build_capacitances_layered
+        from repro.materials import LayeredDielectric
+
+        thin = LayeredDielectric.single(SIO2, nm_to_m(4.0))
+        with pytest.raises(ConfigurationError):
+            build_capacitances_layered(
+                thin, SIO2, nm_to_m(5.0), 1e-14
+            )
+
+
+class TestBuilder:
+    def test_high_k_control_oxide_raises_gcr(self):
+        sio2_stack = build_capacitances(
+            SIO2, SIO2, nm_to_m(8.0), nm_to_m(5.0), 1e-14
+        )
+        hfo2_stack = build_capacitances(
+            HFO2, SIO2, nm_to_m(8.0), nm_to_m(5.0), 1e-14
+        )
+        assert (
+            hfo2_stack.gate_coupling_ratio > sio2_stack.gate_coupling_ratio
+        )
+
+    def test_bigger_wrap_area_raises_gcr(self):
+        small = build_capacitances(
+            SIO2, SIO2, nm_to_m(8.0), nm_to_m(5.0), 1e-14,
+            control_gate_area_multiplier=1.0,
+        )
+        big = build_capacitances(
+            SIO2, SIO2, nm_to_m(8.0), nm_to_m(5.0), 1e-14,
+            control_gate_area_multiplier=5.0,
+        )
+        assert big.gate_coupling_ratio > small.gate_coupling_ratio
+
+    def test_rejects_control_thinner_than_tunnel(self):
+        """Paper Section III: the control oxide is always thicker."""
+        with pytest.raises(ConfigurationError):
+            build_capacitances(
+                SIO2, SIO2, nm_to_m(4.0), nm_to_m(5.0), 1e-14
+            )
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ConfigurationError):
+            FloatingGateCapacitances(cfc=0.0, cfs=1.0, cfb=1.0, cfd=1.0)

@@ -1,0 +1,60 @@
+"""Ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_model_comparison,
+    run_quantum_capacitance,
+    run_temperature,
+)
+
+
+class TestModelComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_model_comparison(n_points=6)
+
+    def test_checks_pass(self, result):
+        assert result.all_checks_pass, result.render_checks()
+
+    def test_three_models_compared(self, result):
+        assert len(result.series) == 3
+
+    def test_fn_within_decade_of_exact(self, result):
+        import numpy as np
+
+        j_fn = result.series[0].y
+        j_tm = result.series[1].y
+        assert np.max(np.abs(np.log10(j_fn / j_tm))) < 1.0
+
+
+class TestQuantumCapacitance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_quantum_capacitance(max_layers=8)
+
+    def test_checks_pass(self, result):
+        assert result.all_checks_pass, result.render_checks()
+
+    def test_effective_gcr_below_geometric(self, result):
+        effective = result.series[0].y
+        geometric = result.series[1].y
+        assert (effective <= geometric + 1e-12).all()
+
+    def test_monotonic_recovery_with_layers(self, result):
+        import numpy as np
+
+        effective = result.series[0].y
+        assert np.all(np.diff(effective) >= -1e-12)
+
+
+class TestTemperature:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_temperature(n_points=7)
+
+    def test_checks_pass(self, result):
+        assert result.all_checks_pass, result.render_checks()
+
+    def test_factor_above_unity(self, result):
+        assert (result.series[0].y > 1.0).all()

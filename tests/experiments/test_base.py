@@ -1,0 +1,81 @@
+"""Experiment framework primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import (
+    ExperimentResult,
+    ShapeCheck,
+    decades_between,
+    monotonic_increasing,
+    series_ordering_check,
+)
+from repro.reporting import PlotSeries
+
+
+def series(label, scale):
+    x = np.linspace(1.0, 10.0, 10)
+    return PlotSeries(label=label, x=x, y=scale * x)
+
+
+class TestHelpers:
+    def test_monotonic_increasing_strict(self):
+        assert monotonic_increasing(np.array([1.0, 2.0, 3.0]))
+        assert not monotonic_increasing(np.array([1.0, 1.0, 3.0]))
+        assert monotonic_increasing(
+            np.array([1.0, 1.0, 3.0]), strict=False
+        )
+
+    def test_series_ordering_check_passes_when_sorted(self):
+        check = series_ordering_check(
+            [series("low", 1.0), series("high", 10.0)],
+            claim="ordered",
+        )
+        assert check.passed
+        assert "low" in check.detail and "high" in check.detail
+
+    def test_series_ordering_check_fails_when_inverted(self):
+        check = series_ordering_check(
+            [series("high", 10.0), series("low", 1.0)],
+            claim="ordered",
+        )
+        assert not check.passed
+
+    def test_series_ordering_needs_two(self):
+        with pytest.raises(ConfigurationError):
+            series_ordering_check([series("only", 1.0)], claim="x")
+
+    def test_decades_between(self):
+        assert decades_between(1.0, 1000.0) == pytest.approx(3.0)
+        assert np.isnan(decades_between(0.0, 10.0))
+
+
+class TestExperimentResult:
+    @pytest.fixture()
+    def result(self):
+        return ExperimentResult(
+            experiment_id="unit",
+            title="unit-test figure",
+            x_label="x",
+            y_label="y",
+            series=(series("a", 1.0), series("b", 2.0)),
+            parameters={"p": 1},
+            checks=(
+                ShapeCheck(claim="good", passed=True, detail="yes"),
+                ShapeCheck(claim="bad", passed=False, detail="no"),
+            ),
+        )
+
+    def test_all_checks_pass_reflects_failures(self, result):
+        assert not result.all_checks_pass
+
+    def test_render_plot_contains_id_and_labels(self, result):
+        out = result.render_plot()
+        assert "unit" in out
+        assert "a" in out and "b" in out
+
+    def test_render_checks_shows_both_verdicts(self, result):
+        table = result.render_checks()
+        assert "PASS" in table and "FAIL" in table
+        assert "good" in table and "bad" in table

@@ -1,0 +1,41 @@
+"""Baseline-comparison experiments (cmp-si, cmp-che)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.comparisons import (
+    run_che_comparison,
+    run_silicon_comparison,
+)
+
+
+class TestSiliconComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_silicon_comparison(n_points=15)
+
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_pass, result.render_checks()
+
+    def test_two_devices_compared(self, result):
+        labels = [s.label for s in result.series]
+        assert any("MLGNR" in lbl for lbl in labels)
+        assert any("Si" in lbl for lbl in labels)
+
+    def test_barriers_recorded(self, result):
+        gnr_phi, si_phi = result.parameters["barriers_ev"]
+        assert gnr_phi == pytest.approx(3.61, abs=0.01)
+        assert si_phi == pytest.approx(3.10, abs=0.01)
+
+
+class TestCheComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_che_comparison(n_points=15)
+
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_pass, result.render_checks()
+
+    def test_registered_in_runner(self):
+        result = run_experiment("cmp-che")
+        assert result.experiment_id == "cmp-che"

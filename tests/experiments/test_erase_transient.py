@@ -1,0 +1,34 @@
+"""Erase-transient experiment (dynamic mirror of Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("erase-transient")
+
+
+class TestEraseTransient:
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_pass, result.render_checks()
+
+    def test_depletion_endpoints_signed_correctly(self, result):
+        """Starts negative (programmed), ends positive (depleted)."""
+        assert result.parameters["initial_charge_c"] < 0.0
+        assert result.parameters["q_equilibrium_c"] > 0.0
+
+    def test_charge_magnitude_dips_through_neutrality(self, result):
+        q_abs = result.series[2].y
+        assert q_abs.min() < 0.05 * q_abs[0]
+
+    def test_tsat_recorded(self, result):
+        assert result.parameters["t_sat_s"] is not None
+        assert 0.0 < result.parameters["t_sat_s"] < 1.0
+
+    def test_symmetry_with_program(self, result):
+        q_prog = result.parameters["initial_charge_c"]
+        q_erase = result.parameters["q_equilibrium_c"]
+        assert q_erase == pytest.approx(-q_prog, rel=1e-3)

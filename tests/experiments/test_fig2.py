@@ -1,0 +1,36 @@
+"""Figure 2 band-diagram reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("fig2")
+
+
+class TestFig2:
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_pass, result.render_checks()
+
+    def test_unbiased_diagram_flat_in_oxides(self, result):
+        flat = result.series[0]
+        # Unbiased: barrier height everywhere inside the tunnel oxide.
+        first_nm = flat.y[flat.x < 5.0]
+        assert np.allclose(first_nm, first_nm[0])
+
+    def test_biased_band_falls_across_tunnel_oxide(self, result):
+        biased = result.series[1]
+        in_tunnel = biased.x < 5.0
+        y = biased.y[in_tunnel]
+        assert y[0] > y[-1]
+        # Total drop = V_FG = 9 V.
+        assert y[0] - y[-1] == pytest.approx(9.0, rel=0.02)
+
+    def test_vfg_parameter_recorded(self, result):
+        assert result.parameters["vfg_v"] == pytest.approx(9.0, abs=1e-6)
+
+    def test_linear_scale_flagged(self, result):
+        assert not result.log_y

@@ -1,0 +1,85 @@
+"""Every paper figure reproduces with all shape checks passing.
+
+These are the headline reproduction tests: each asserts that the
+regenerated figure satisfies the qualitative claims the paper makes
+about it (monotonicity, curve ordering, decade-scale separations,
+saturation behaviour).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PAPER_FIGURES, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {fid: run_experiment(fid) for fid in PAPER_FIGURES}
+
+
+class TestAllFigures:
+    @pytest.mark.parametrize("figure_id", PAPER_FIGURES)
+    def test_every_shape_check_passes(self, results, figure_id):
+        result = results[figure_id]
+        failing = [c for c in result.checks if not c.passed]
+        assert not failing, "\n".join(
+            f"{c.claim}: {c.detail}" for c in failing
+        )
+
+    @pytest.mark.parametrize("figure_id", PAPER_FIGURES)
+    def test_result_is_renderable(self, results, figure_id):
+        result = results[figure_id]
+        plot = result.render_plot()
+        assert result.experiment_id in plot
+        table = result.render_checks()
+        assert "PASS" in table
+
+
+class TestFig4Specifics:
+    def test_initial_vfg_is_nine_volts(self, results):
+        fig4 = results["fig4"]
+        vfg_check = fig4.checks[0]
+        assert "9" in vfg_check.detail
+
+    def test_jin_jout_separation_is_decades(self, results):
+        fig4 = results["fig4"]
+        jin = fig4.series[0].y
+        jout = fig4.series[1].y
+        assert jin[0] / jout[0] > 1e6
+
+
+class TestFig5Specifics:
+    def test_tsat_recorded_in_parameters(self, results):
+        params = results["fig5"].parameters
+        assert params["t_sat_s"] is not None
+        assert 0.0 < params["t_sat_s"] < 1.0
+
+    def test_equilibrium_charge_negative(self, results):
+        assert results["fig5"].parameters["q_equilibrium_c"] < 0.0
+
+
+class TestFig6Fig8Symmetry:
+    def test_program_and_erase_sweeps_mirror(self, results):
+        """Same GCR family, mirrored voltages, zero charge: identical
+        magnitudes (the paper runs 'the same set of analysis')."""
+        fig6 = {s.label: s for s in results["fig6"].series}
+        fig8 = {s.label: s for s in results["fig8"].series}
+        for label in fig6:
+            assert np.allclose(
+                fig6[label].y, fig8[label].y, rtol=1e-9
+            ), f"asymmetry in {label}"
+
+
+class TestFig7Fig9OxideFamilies:
+    @pytest.mark.parametrize("figure_id", ["fig7", "fig9"])
+    def test_five_thickness_series(self, results, figure_id):
+        assert len(results[figure_id].series) == 5
+
+    def test_sub7nm_knee_quantified(self, results):
+        """The 'significant increase below 7 nm' check carries numbers."""
+        knee_checks = [
+            c
+            for c in results["fig7"].checks
+            if "7 nm" in c.claim or "removed nm" in c.claim
+        ]
+        assert knee_checks and all(c.passed for c in knee_checks)

@@ -1,0 +1,70 @@
+"""Experiment registry and CLI runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    PAPER_FIGURES,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runner import main
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        available = available_experiments()
+        for fid in PAPER_FIGURES:
+            assert fid in available
+
+    def test_ablations_registered(self):
+        available = available_experiments()
+        for aid in ("abl-wkb", "abl-cq", "abl-temp"):
+            assert aid in available
+
+    def test_unknown_id_raises_with_listing(self):
+        with pytest.raises(ConfigurationError) as err:
+            get_experiment("fig99")
+        assert "fig6" in str(err.value)
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("fig6")
+        assert result.experiment_id == "fig6"
+
+
+class TestRunnerCli:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "abl-temp" in out
+
+    def test_single_experiment_run(self, capsys):
+        code = main(["fig6", "--no-plot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failures" in out
+        assert "fig6" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        code = main(["fig6", "--no-plot", "--csv-dir", str(tmp_path)])
+        assert code == 0
+        csv_file = tmp_path / "fig6.csv"
+        assert csv_file.exists()
+        header = csv_file.read_text().splitlines()[0]
+        assert header == "series,V_GS [V],J_FN [A/m^2]"
+
+    def test_plot_mode_renders_axes(self, capsys):
+        code = main(["fig7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "XTO=4nm" in out
+
+    def test_paper_only_runs_exactly_the_figures(self, capsys):
+        code = main(["--paper-only", "--no-plot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for fid in PAPER_FIGURES:
+            assert f"{fid}:" in out
+        assert "abl-wkb" not in out
+        assert "cmp-si" not in out

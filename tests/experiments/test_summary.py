@@ -1,0 +1,40 @@
+"""Device figure-of-merit summary experiment."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("device-summary")
+
+
+class TestSummary:
+    def test_all_checks_pass(self, result):
+        assert result.all_checks_pass, result.render_checks()
+
+    def test_metrics_complete(self, result):
+        expected_keys = {
+            "gcr",
+            "tunnel_barrier_ev",
+            "vfg_at_program_v",
+            "jin_t0_a_m2",
+            "t_sat_s",
+            "stored_electrons",
+            "memory_window_v",
+            "retention_10y_fraction",
+            "cycles_to_breakdown",
+        }
+        assert expected_keys <= set(result.parameters)
+
+    def test_headline_numbers_consistent_with_paper(self, result):
+        p = result.parameters
+        assert p["vfg_at_program_v"] == pytest.approx(9.0, abs=1e-6)
+        assert p["gcr"] == pytest.approx(0.6, abs=1e-6)
+
+    def test_charge_trajectory_monotonic(self, result):
+        import numpy as np
+
+        q = result.series[0].y
+        assert np.all(np.diff(q) >= -1e-30)

@@ -1,0 +1,70 @@
+"""Shared figure-sweep machinery (eqs. (3) + (7) composition)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SweepSettings,
+    fn_density_vs_gate_voltage,
+    gcr_family,
+    oxide_family,
+)
+
+
+class TestEquationComposition:
+    def test_matches_manual_composition(self):
+        """Sweep output must equal FN(GCR * VGS / XTO) computed by hand."""
+        from repro.tunneling import TunnelBarrier, FowlerNordheimModel
+        from repro.units import nm_to_m
+
+        settings = SweepSettings()
+        vgs = np.array([12.0])
+        got = fn_density_vs_gate_voltage(vgs, 0.6, 5.0, settings)[0]
+        model = FowlerNordheimModel(
+            TunnelBarrier(
+                settings.barrier_height_ev,
+                nm_to_m(5.0),
+                settings.mass_ratio,
+            )
+        )
+        expected = model.current_density_from_voltage(0.6 * 12.0)
+        assert got == pytest.approx(expected)
+
+    def test_erase_polarity_magnitude(self):
+        j_neg = fn_density_vs_gate_voltage(np.array([-15.0]), 0.6, 5.0)
+        j_pos = fn_density_vs_gate_voltage(np.array([15.0]), 0.6, 5.0)
+        assert j_neg[0] == pytest.approx(j_pos[0])
+        assert j_neg[0] > 0.0  # magnitudes for plotting
+
+    def test_default_settings_are_graphene_sio2(self):
+        s = SweepSettings()
+        assert s.barrier_height_ev == pytest.approx(3.61)
+        assert s.mass_ratio == pytest.approx(0.42)
+
+
+class TestFamilies:
+    def test_gcr_family_labels_and_order(self):
+        series = gcr_family(
+            np.linspace(8, 17, 5), (0.4, 0.5, 0.6, 0.7), 5.0
+        )
+        assert [s.label for s in series] == [
+            "GCR=40%",
+            "GCR=50%",
+            "GCR=60%",
+            "GCR=70%",
+        ]
+
+    def test_oxide_family_sorted_thickest_first(self):
+        series = oxide_family(
+            np.linspace(10, 17, 5), (5.0, 8.0, 4.0), 0.6
+        )
+        assert [s.label for s in series] == [
+            "XTO=8nm",
+            "XTO=5nm",
+            "XTO=4nm",
+        ]
+
+    def test_family_members_share_x(self):
+        vgs = np.linspace(8, 17, 7)
+        for s in gcr_family(vgs, (0.4, 0.6), 5.0):
+            assert np.array_equal(s.x, vgs)

@@ -1,0 +1,88 @@
+"""Full program/erase/read cycles through the device stack."""
+
+import pytest
+
+from repro.device import (
+    ChannelIVModel,
+    ERASE_BIAS,
+    PROGRAM_BIAS,
+    RetentionModel,
+    ThresholdModel,
+    simulate_transient,
+)
+
+
+class TestFullCycle:
+    @pytest.fixture(scope="class")
+    def cycle(self, paper_device):
+        program = simulate_transient(
+            paper_device, PROGRAM_BIAS, duration_s=1e-2
+        )
+        erase = simulate_transient(
+            paper_device,
+            ERASE_BIAS,
+            initial_charge_c=program.final_charge_c,
+            duration_s=1e-2,
+        )
+        reprogram = simulate_transient(
+            paper_device,
+            PROGRAM_BIAS,
+            initial_charge_c=erase.final_charge_c,
+            duration_s=1e-2,
+        )
+        return program, erase, reprogram
+
+    def test_cycle_returns_to_programmed_state(self, cycle):
+        program, _erase, reprogram = cycle
+        assert reprogram.final_charge_c == pytest.approx(
+            program.final_charge_c, rel=1e-3
+        )
+
+    def test_states_distinguishable_by_threshold(self, cycle, paper_device):
+        program, erase, _ = cycle
+        tm = ThresholdModel(paper_device)
+        vt_prog = tm.threshold_v(program.final_charge_c)
+        vt_erased = tm.threshold_v(erase.final_charge_c)
+        assert vt_prog - vt_erased > 2.0
+
+    def test_states_distinguishable_by_read_current(
+        self, cycle, paper_device
+    ):
+        program, erase, _ = cycle
+        tm = ThresholdModel(paper_device)
+        iv = ChannelIVModel(tm)
+        read_v = 0.5 * (
+            tm.threshold_v(program.final_charge_c)
+            + tm.threshold_v(erase.final_charge_c)
+        )
+        i_erased = iv.drain_current_a(read_v, 0.5, erase.final_charge_c)
+        i_prog = iv.drain_current_a(read_v, 0.5, program.final_charge_c)
+        assert i_erased > 1e3 * i_prog
+
+    def test_programmed_state_retained(self, cycle, paper_device):
+        program, _, _ = cycle
+        retention = RetentionModel(paper_device).simulate(
+            program.final_charge_c, duration_s=3.15e7, n_samples=50
+        )  # one year
+        assert retention.charge_c[-1] / program.final_charge_c > 0.8
+
+
+class TestAsymmetricOperation:
+    def test_shallow_erase_leaves_residual_charge(self, paper_device):
+        """A weaker erase voltage cannot fully deplete the gate."""
+        program = simulate_transient(
+            paper_device, PROGRAM_BIAS, duration_s=1e-2
+        )
+        weak_erase = simulate_transient(
+            paper_device,
+            ERASE_BIAS.with_gate_voltage(-10.0),
+            initial_charge_c=program.final_charge_c,
+            duration_s=1e-2,
+        )
+        strong_erase = simulate_transient(
+            paper_device,
+            ERASE_BIAS,
+            initial_charge_c=program.final_charge_c,
+            duration_s=1e-2,
+        )
+        assert weak_erase.final_charge_c < strong_erase.final_charge_c

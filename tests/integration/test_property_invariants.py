@@ -1,0 +1,223 @@
+"""Hypothesis property tests on the core invariants.
+
+These sweep randomised parameters through the numerically sensitive
+paths: tunneling positivity/monotonicity, FN-plot inversion, ECC
+correction, electrostatic linearity, the tridiagonal solver, and the
+Pareto front definition.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.electrostatics import (
+    TerminalVoltages,
+    build_capacitances,
+    floating_gate_voltage,
+)
+from repro.materials import SIO2
+from repro.memory import HammingCode
+from repro.solver import find_crossing, solve_tridiagonal
+from repro.tunneling import (
+    FowlerNordheimModel,
+    TunnelBarrier,
+    fit_fn_plot,
+    fn_coefficient_a,
+    fn_coefficient_b,
+)
+from repro.units import nm_to_m
+
+barrier_heights = st.floats(min_value=1.5, max_value=5.0)
+mass_ratios = st.floats(min_value=0.1, max_value=1.0)
+thicknesses_nm = st.floats(min_value=3.0, max_value=10.0)
+fields = st.floats(min_value=2e8, max_value=3e9)
+
+
+class TestFowlerNordheimProperties:
+    @given(phi=barrier_heights, mass=mass_ratios, field=fields)
+    @settings(max_examples=80, deadline=None)
+    def test_current_positive_and_finite(self, phi, mass, field):
+        model = FowlerNordheimModel(TunnelBarrier(phi, nm_to_m(5.0), mass))
+        j = model.current_density(field)
+        assert j >= 0.0
+        assert math.isfinite(j)
+
+    @given(
+        phi=barrier_heights,
+        mass=mass_ratios,
+        field=fields,
+        factor=st.floats(min_value=1.01, max_value=3.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_strictly_increasing_in_field(self, phi, mass, field, factor):
+        model = FowlerNordheimModel(TunnelBarrier(phi, nm_to_m(5.0), mass))
+        assert model.current_density(field * factor) > model.current_density(
+            field
+        )
+
+    @given(phi=barrier_heights, mass=mass_ratios)
+    @settings(max_examples=40, deadline=None)
+    def test_fn_plot_inversion_is_exact(self, phi, mass):
+        """fit_fn_plot must invert (A, B) -> (phi, m) for clean data."""
+        model = FowlerNordheimModel(TunnelBarrier(phi, nm_to_m(5.0), mass))
+        e = np.linspace(8e8, 2.5e9, 12)
+        j = model.current_density(e)
+        assume(np.all(j > 1e-250))
+        fit = fit_fn_plot(e, j)
+        assert fit.barrier_height_ev == pytest.approx(phi, rel=1e-4)
+        assert fit.mass_ratio == pytest.approx(mass, rel=1e-4)
+
+    @given(phi=barrier_heights, mass=mass_ratios)
+    @settings(max_examples=60, deadline=None)
+    def test_coefficients_positive(self, phi, mass):
+        assert fn_coefficient_a(phi) > 0.0
+        assert fn_coefficient_b(phi, mass) > 0.0
+
+
+class TestElectrostaticsProperties:
+    @given(
+        vgs=st.floats(min_value=-20.0, max_value=20.0),
+        charge_fc=st.floats(min_value=-5.0, max_value=5.0),
+        multiplier=st.floats(min_value=0.5, max_value=8.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_vfg_linear_in_vgs_and_charge(self, vgs, charge_fc, multiplier):
+        caps = build_capacitances(
+            SIO2,
+            SIO2,
+            nm_to_m(8.0),
+            nm_to_m(5.0),
+            1e-14,
+            control_gate_area_multiplier=multiplier,
+        )
+        charge = charge_fc * 1e-16
+        v1 = floating_gate_voltage(caps, TerminalVoltages(vgs=vgs), charge)
+        # Superposition: f(vgs, q) = f(vgs, 0) + f(0, q)
+        va = floating_gate_voltage(caps, TerminalVoltages(vgs=vgs), 0.0)
+        vb = floating_gate_voltage(caps, TerminalVoltages(), charge)
+        assert v1 == pytest.approx(va + vb, abs=1e-12)
+
+    @given(multiplier=st.floats(min_value=0.2, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_gcr_strictly_inside_unit_interval(self, multiplier):
+        caps = build_capacitances(
+            SIO2,
+            SIO2,
+            nm_to_m(8.0),
+            nm_to_m(5.0),
+            1e-14,
+            control_gate_area_multiplier=multiplier,
+        )
+        assert 0.0 < caps.gate_coupling_ratio < 1.0
+
+    @given(target=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_to_gcr_exact(self, target):
+        caps = build_capacitances(
+            SIO2, SIO2, nm_to_m(8.0), nm_to_m(5.0), 1e-14
+        )
+        assert caps.scaled_to_gcr(
+            target
+        ).gate_coupling_ratio == pytest.approx(target, rel=1e-9)
+
+
+class TestEccProperties:
+    @given(data=st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_payload(self, data):
+        code = HammingCode(16)
+        bits = np.array(data, dtype=np.uint8)
+        decoded, corrected = code.decode(code.encode(bits))
+        assert (decoded == bits).all()
+        assert corrected == 0
+
+    @given(
+        data=st.lists(st.integers(0, 1), min_size=16, max_size=16),
+        error_bit=st.integers(min_value=0, max_value=21),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_any_single_error_corrected(self, data, error_bit):
+        code = HammingCode(16)  # codeword = 16 + 5 + 1 = 22 bits
+        bits = np.array(data, dtype=np.uint8)
+        word = code.encode(bits)
+        word[error_bit] ^= 1
+        decoded, corrected = code.decode(word)
+        assert (decoded == bits).all()
+        assert corrected == 1
+
+
+class TestSolverProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tridiagonal_residual_small(self, n, seed):
+        rng = np.random.default_rng(seed)
+        lower = rng.normal(size=n - 1)
+        upper = rng.normal(size=n - 1)
+        diag = rng.normal(size=n) + 8.0
+        rhs = rng.normal(size=n)
+        x = solve_tridiagonal(lower, diag, upper, rhs)
+        from repro.solver import tridiagonal_matrix
+
+        residual = tridiagonal_matrix(lower, diag, upper) @ x - rhs
+        assert np.max(np.abs(residual)) < 1e-8
+
+    @given(
+        crossing_at=st.floats(min_value=0.05, max_value=0.95),
+        slope=st.floats(min_value=0.2, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_find_crossing_locates_linear_intersection(
+        self, crossing_at, slope
+    ):
+        t = np.linspace(0.0, 1.0, 201)
+        a = slope * (t - crossing_at)
+        b = -slope * (t - crossing_at)
+        got = find_crossing(t, a, b)
+        assert got == pytest.approx(crossing_at, abs=1e-2)
+
+
+class TestParetoProperties:
+    @given(
+        values=st.lists(
+            st.tuples(
+                st.floats(min_value=1e-6, max_value=1.0),
+                st.floats(min_value=1e3, max_value=1e9),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_front_nonempty_and_mutually_nondominating(self, values):
+        from repro.optimization import DesignMetrics, DesignPoint, pareto_front
+
+        designs = [
+            DesignMetrics(
+                point=DesignPoint(),
+                initial_current_density_a_m2=1.0,
+                peak_tunnel_field_v_per_m=1e9,
+                program_time_s=t,
+                memory_window_v=5.0,
+                cycles_to_breakdown=c,
+            )
+            for t, c in values
+        ]
+        objectives = [
+            (lambda m: m.program_time_s, "min"),
+            (lambda m: m.cycles_to_breakdown, "max"),
+        ]
+        front = pareto_front(designs, objectives)
+        assert front
+        for a in front:
+            for b in front:
+                strictly_better = (
+                    a.program_time_s < b.program_time_s
+                    and a.cycles_to_breakdown > b.cycles_to_breakdown
+                )
+                assert not strictly_better

@@ -1,0 +1,85 @@
+"""Material dataclasses and the barrier-height rule."""
+
+import pytest
+
+from repro.constants import ELECTRON_MASS
+from repro.errors import ConfigurationError
+from repro.materials import (
+    ConductorMaterial,
+    DielectricMaterial,
+    SemiconductorMaterial,
+    SIO2,
+    barrier_height_ev,
+)
+
+
+class TestDielectric:
+    def test_tunneling_mass_from_ratio(self):
+        assert SIO2.tunneling_mass_kg == pytest.approx(
+            0.42 * ELECTRON_MASS
+        )
+
+    def test_absolute_permittivity(self):
+        assert SIO2.permittivity_f_per_m == pytest.approx(
+            3.9 * 8.8541878128e-12
+        )
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "relative_permittivity",
+            "band_gap_ev",
+            "tunneling_mass_ratio",
+            "breakdown_field_v_per_m",
+        ],
+    )
+    def test_rejects_nonpositive_parameters(self, field):
+        kwargs = dict(
+            name="bad",
+            relative_permittivity=3.9,
+            band_gap_ev=9.0,
+            electron_affinity_ev=0.9,
+            tunneling_mass_ratio=0.4,
+            breakdown_field_v_per_m=1e9,
+        )
+        kwargs[field] = 0.0
+        with pytest.raises(ConfigurationError):
+            DielectricMaterial(**kwargs)
+
+
+class TestConductor:
+    def test_holds_work_function(self):
+        m = ConductorMaterial("X", 4.5)
+        assert m.work_function_ev == 4.5
+
+    def test_rejects_nonpositive_work_function(self):
+        with pytest.raises(ConfigurationError):
+            ConductorMaterial("X", -1.0)
+
+
+class TestSemiconductor:
+    def test_midgap_work_function(self):
+        s = SemiconductorMaterial("S", 1.0, 4.0, 0.2, 10.0)
+        assert s.work_function_ev == pytest.approx(4.5)
+
+    def test_zero_gap_allowed_for_graphene(self):
+        s = SemiconductorMaterial("g", 0.0, 4.56, 0.01, 1.0)
+        assert s.work_function_ev == pytest.approx(4.56)
+
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ConfigurationError):
+            SemiconductorMaterial("S", -0.5, 4.0, 0.2, 10.0)
+
+
+class TestBarrierHeight:
+    def test_graphene_on_sio2(self):
+        # 4.56 - 0.95 = 3.61 eV
+        assert barrier_height_ev(4.56, SIO2) == pytest.approx(3.61)
+
+    def test_silicon_on_sio2_matches_literature(self):
+        # 4.05 - 0.95 = 3.10 eV, close to the canonical 3.1-3.2 eV.
+        assert barrier_height_ev(4.05, SIO2) == pytest.approx(3.10)
+
+    def test_rejects_negative_barrier(self):
+        with pytest.raises(ConfigurationError):
+            barrier_height_ev(0.5, SIO2)

@@ -1,0 +1,79 @@
+"""Carbon nanotube zone-folding relations."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials import CarbonNanotube, good_gate_chiralities
+
+
+class TestGeometry:
+    def test_armchair_diameter(self):
+        """(10,10): d = a*sqrt(300)/pi with a = 0.246 nm => ~1.356 nm."""
+        t = CarbonNanotube(10, 10)
+        assert t.diameter_m * 1e9 == pytest.approx(1.356, rel=1e-2)
+
+    def test_chiral_angle_limits(self):
+        assert CarbonNanotube(10, 0).chiral_angle_rad == pytest.approx(0.0)
+        assert CarbonNanotube(10, 10).chiral_angle_rad == pytest.approx(
+            math.pi / 6.0, rel=1e-9
+        )
+
+
+class TestMetallicity:
+    @pytest.mark.parametrize("n,m", [(10, 10), (9, 0), (12, 6), (7, 4)])
+    def test_metallic_rule(self, n, m):
+        assert CarbonNanotube(n, m).is_metallic == ((n - m) % 3 == 0)
+
+    def test_armchair_always_metallic(self):
+        for n in range(2, 12):
+            assert CarbonNanotube(n, n).is_metallic
+
+    def test_metallic_gap_zero(self):
+        assert CarbonNanotube(9, 0).band_gap_ev == 0.0
+
+
+class TestBandGap:
+    def test_semiconducting_gap_inverse_diameter(self):
+        """E_g ~ 0.7/d[nm] eV for semiconducting tubes."""
+        small = CarbonNanotube(7, 0)
+        large = CarbonNanotube(13, 0)
+        assert small.band_gap_ev > large.band_gap_ev
+        # E_g * d roughly constant:
+        k_small = small.band_gap_ev * small.diameter_m * 1e9
+        k_large = large.band_gap_ev * large.diameter_m * 1e9
+        assert k_small == pytest.approx(k_large, rel=1e-9)
+
+    def test_gap_magnitude_reasonable(self):
+        """(10,0), d~0.78 nm: gap ~1 eV."""
+        t = CarbonNanotube(10, 0)
+        assert 0.7 < t.band_gap_ev < 1.4
+
+    def test_subband_ordering(self):
+        t = CarbonNanotube(10, 0)
+        assert t.subband_gap_ev(1) < t.subband_gap_ev(2)
+
+    def test_subband_rejects_zero_index(self):
+        with pytest.raises(ConfigurationError):
+            CarbonNanotube(10, 0).subband_gap_ev(0)
+
+
+class TestGateCandidates:
+    def test_all_returned_tubes_are_metallic(self):
+        for tube in good_gate_chiralities(8):
+            assert tube.is_metallic
+
+    def test_includes_armchair_family(self):
+        tubes = {(t.n, t.m) for t in good_gate_chiralities(6)}
+        assert (4, 4) in tubes and (6, 6) in tubes
+
+
+class TestValidation:
+    def test_rejects_m_greater_than_n(self):
+        with pytest.raises(ConfigurationError):
+            CarbonNanotube(3, 5)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ConfigurationError):
+            CarbonNanotube(0, 0)

@@ -1,0 +1,72 @@
+"""GNR material model over the tight-binding substrate."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials import GrapheneNanoribbon, semiconducting_ribbon
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("n", [6, 7, 9, 10, 12, 13])
+    def test_semiconducting_families_have_gaps(self, n):
+        ribbon = GrapheneNanoribbon("armchair", n)
+        assert ribbon.band_gap_ev > 0.3
+
+    @pytest.mark.parametrize("n", [8, 11])
+    def test_metallic_family_has_tiny_gap(self, n):
+        ribbon = GrapheneNanoribbon("armchair", n)
+        assert ribbon.band_gap_ev < 0.1
+
+    def test_gap_shrinks_with_width(self):
+        narrow = GrapheneNanoribbon("armchair", 7)
+        wide = GrapheneNanoribbon("armchair", 13)
+        assert wide.band_gap_ev < narrow.band_gap_ev
+
+    def test_zigzag_edge_states_close_gap(self):
+        ribbon = GrapheneNanoribbon("zigzag", 6)
+        assert ribbon.band_gap_ev < 0.05
+
+
+class TestDerivedQuantities:
+    def test_width_formula(self):
+        """N-aGNR width = (N-1) * sqrt(3)/2 * a_cc."""
+        import math
+
+        ribbon = GrapheneNanoribbon("armchair", 12)
+        expected = 11 * math.sqrt(3.0) / 2.0 * 0.142e-9
+        assert ribbon.width_m == pytest.approx(expected, rel=1e-9)
+
+    def test_mode_count_zero_inside_gap(self):
+        ribbon = GrapheneNanoribbon("armchair", 12)
+        assert ribbon.mode_count(0.0) == 0
+
+    def test_mode_count_positive_above_gap(self):
+        ribbon = GrapheneNanoribbon("armchair", 12)
+        edge = ribbon.band_gap_ev / 2.0
+        assert ribbon.mode_count(edge + 0.3) >= 1
+
+    def test_quantum_capacitance_nonnegative(self):
+        ribbon = GrapheneNanoribbon("armchair", 9)
+        assert ribbon.quantum_capacitance_f_m2(fermi_ev=0.6) >= 0.0
+
+    def test_is_semiconducting_flag(self):
+        assert GrapheneNanoribbon("armchair", 7).is_semiconducting
+        assert not GrapheneNanoribbon("armchair", 8).is_semiconducting
+
+
+class TestSelection:
+    def test_selected_ribbon_is_semiconducting_family(self):
+        ribbon = semiconducting_ribbon(1.5)
+        assert ribbon.n_lines % 3 != 2
+
+    def test_selected_width_near_target(self):
+        ribbon = semiconducting_ribbon(2.0)
+        assert ribbon.width_m * 1e9 == pytest.approx(2.0, abs=0.4)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigurationError):
+            semiconducting_ribbon(0.0)
+
+    def test_rejects_too_narrow_ribbon(self):
+        with pytest.raises(ConfigurationError):
+            GrapheneNanoribbon("armchair", 1)

@@ -1,0 +1,95 @@
+"""Graphene sheet and multilayer models."""
+
+import math
+
+import pytest
+
+from repro.constants import GRAPHENE_FERMI_VELOCITY, HBAR
+from repro.errors import ConfigurationError
+from repro.materials import (
+    MultilayerGraphene,
+    graphene_dos_per_j_m2,
+    graphene_quantum_capacitance_f_m2,
+    graphene_sheet_density_m2,
+)
+from repro.units import ev_to_j
+
+
+class TestSheetDos:
+    def test_dos_vanishes_at_dirac_point(self):
+        assert graphene_dos_per_j_m2(0.0) == 0.0
+
+    def test_dos_linear_in_energy(self):
+        e = ev_to_j(0.1)
+        assert graphene_dos_per_j_m2(2 * e) == pytest.approx(
+            2.0 * graphene_dos_per_j_m2(e)
+        )
+
+    def test_dos_symmetric_electron_hole(self):
+        e = ev_to_j(0.3)
+        assert graphene_dos_per_j_m2(-e) == graphene_dos_per_j_m2(e)
+
+    def test_sheet_density_at_known_fermi_level(self):
+        """n = E_F^2 / (pi (hbar vF)^2); check against direct evaluation."""
+        ef = ev_to_j(0.2)
+        expected = ef**2 / (math.pi * (HBAR * GRAPHENE_FERMI_VELOCITY) ** 2)
+        assert graphene_sheet_density_m2(ef) == pytest.approx(expected)
+
+    def test_sheet_density_signed(self):
+        assert graphene_sheet_density_m2(-ev_to_j(0.1)) < 0.0
+
+
+class TestQuantumCapacitance:
+    def test_minimum_at_neutrality(self):
+        c0 = graphene_quantum_capacitance_f_m2(0.0)
+        c1 = graphene_quantum_capacitance_f_m2(0.3)
+        assert c0 < c1
+
+    def test_symmetric_in_potential(self):
+        assert graphene_quantum_capacitance_f_m2(
+            0.25
+        ) == pytest.approx(graphene_quantum_capacitance_f_m2(-0.25))
+
+    def test_magnitude_near_literature_value(self):
+        """C_Q(0) at 300 K is ~0.8 uF/cm^2 (Fang et al. 2007)."""
+        c0 = graphene_quantum_capacitance_f_m2(0.0, 300.0)
+        assert 0.3e-2 < c0 < 2.0e-2  # F/m^2 (1 uF/cm^2 = 1e-2 F/m^2)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ConfigurationError):
+            graphene_quantum_capacitance_f_m2(0.1, 0.0)
+
+    def test_large_bias_linear_regime(self):
+        """Far from neutrality C_Q grows linearly with |V| (T->0 shape)."""
+        c1 = graphene_quantum_capacitance_f_m2(0.5)
+        c2 = graphene_quantum_capacitance_f_m2(1.0)
+        assert c2 / c1 == pytest.approx(2.0, rel=0.05)
+
+
+class TestMultilayer:
+    def test_thickness_scales_with_layers(self):
+        assert MultilayerGraphene(4).thickness_m == pytest.approx(
+            4 * 0.335e-9
+        )
+
+    def test_effective_layers_saturate(self):
+        few = MultilayerGraphene(2).effective_layer_count
+        many = MultilayerGraphene(30).effective_layer_count
+        more = MultilayerGraphene(60).effective_layer_count
+        assert few < many
+        assert more == pytest.approx(many, rel=1e-6)
+
+    def test_quantum_capacitance_grows_with_layers(self):
+        c1 = MultilayerGraphene(1).quantum_capacitance_f_m2(0.2)
+        c5 = MultilayerGraphene(5).quantum_capacitance_f_m2(0.2)
+        assert c5 > c1
+
+    def test_storable_charge_positive_and_growing(self):
+        m = MultilayerGraphene(3)
+        q1 = m.storable_charge_per_area(0.5)
+        q2 = m.storable_charge_per_area(1.0)
+        assert 0.0 < q1 < q2
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ConfigurationError):
+            MultilayerGraphene(0)

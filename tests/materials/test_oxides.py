@@ -1,0 +1,48 @@
+"""Oxide database sanity checks."""
+
+import pytest
+
+from repro.materials import ALL_OXIDES, AL2O3, HBN, HFO2, SI3N4, SIO2
+
+
+def test_all_oxides_have_unique_names():
+    names = [o.name for o in ALL_OXIDES]
+    assert len(names) == len(set(names))
+
+
+def test_sio2_canonical_parameters():
+    assert SIO2.relative_permittivity == pytest.approx(3.9)
+    assert SIO2.tunneling_mass_ratio == pytest.approx(0.42)
+    assert SIO2.band_gap_ev == pytest.approx(9.0)
+
+
+def test_high_k_ordering():
+    """HfO2 has the highest kappa; SiO2 the lowest of the set."""
+    kappas = {o.name: o.relative_permittivity for o in ALL_OXIDES}
+    assert kappas["HfO2"] == max(kappas.values())
+    assert kappas["SiO2"] == min(kappas.values())
+
+
+def test_high_k_trades_barrier_for_permittivity():
+    """The universal high-k tradeoff: higher kappa, lower barrier
+    (higher affinity) and smaller gap."""
+    assert HFO2.electron_affinity_ev > SIO2.electron_affinity_ev
+    assert HFO2.band_gap_ev < SIO2.band_gap_ev
+
+
+def test_breakdown_fields_physically_ordered():
+    """SiO2 sustains the largest field of the common gate oxides."""
+    assert SIO2.breakdown_field_v_per_m >= AL2O3.breakdown_field_v_per_m
+    assert SIO2.breakdown_field_v_per_m >= HFO2.breakdown_field_v_per_m
+
+
+@pytest.mark.parametrize("oxide", ALL_OXIDES, ids=lambda o: o.name)
+def test_every_oxide_presents_a_barrier_to_graphene(oxide):
+    from repro.materials import GRAPHENE_WORK_FUNCTION_EV, barrier_height_ev
+
+    assert barrier_height_ev(GRAPHENE_WORK_FUNCTION_EV, oxide) > 0.0
+
+
+def test_si3n4_and_hbn_present():
+    assert SI3N4 in ALL_OXIDES
+    assert HBN in ALL_OXIDES

@@ -1,0 +1,53 @@
+"""Material registry lookups."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MaterialNotFoundError
+from repro.materials import (
+    ConductorMaterial,
+    SIO2,
+    get_dielectric,
+    get_material,
+    list_materials,
+    register_material,
+)
+
+
+def test_builtin_oxides_registered():
+    assert get_material("SiO2") is SIO2
+
+
+def test_lookup_case_insensitive():
+    assert get_material("sio2") is SIO2
+    assert get_material("SIO2") is SIO2
+
+
+def test_unknown_material_raises_with_suggestions():
+    with pytest.raises(MaterialNotFoundError) as err:
+        get_material("unobtainium")
+    assert "SiO2" in str(err.value)
+
+
+def test_get_dielectric_type_checked():
+    with pytest.raises(ConfigurationError):
+        get_dielectric("Al")  # Al is a conductor
+
+
+def test_list_materials_sorted_and_nonempty():
+    names = list_materials()
+    assert names == sorted(names)
+    assert "SiO2" in names and "Al" in names and "Si" in names
+
+
+def test_register_rejects_duplicate_without_overwrite():
+    custom = ConductorMaterial("test-metal-xyz", 4.2)
+    register_material(custom)
+    try:
+        with pytest.raises(ConfigurationError):
+            register_material(custom)
+        register_material(custom, overwrite=True)  # allowed
+    finally:
+        # Clean up the global registry for other tests.
+        from repro.materials import registry
+
+        registry._REGISTRY.pop("test-metal-xyz", None)

@@ -1,0 +1,41 @@
+"""Silicon baseline material."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials import SI_SIO2_BARRIER_EV, SILICON, DopedSilicon
+
+
+def test_silicon_parameters():
+    assert SILICON.band_gap_ev == pytest.approx(1.12)
+    assert SILICON.relative_permittivity == pytest.approx(11.7)
+
+
+def test_si_sio2_barrier_literature_value():
+    assert 3.0 < SI_SIO2_BARRIER_EV < 3.3
+
+
+class TestDopedSilicon:
+    def test_n_type_fermi_potential_negative(self):
+        n = DopedSilicon(1e23)  # 1e17 cm^-3 donors
+        assert n.fermi_potential_v() < 0.0
+
+    def test_p_type_fermi_potential_positive(self):
+        p = DopedSilicon(-1e23)
+        assert p.fermi_potential_v() > 0.0
+
+    def test_heavier_doping_moves_fermi_further(self):
+        light = DopedSilicon(1e21)
+        heavy = DopedSilicon(1e24)
+        assert abs(heavy.fermi_potential_v()) > abs(
+            light.fermi_potential_v()
+        )
+
+    def test_n_type_work_function_below_midgap(self):
+        n = DopedSilicon(1e24)
+        midgap = SILICON.electron_affinity_ev + 0.5 * SILICON.band_gap_ev
+        assert n.work_function_ev() < midgap
+
+    def test_rejects_zero_doping(self):
+        with pytest.raises(ConfigurationError):
+            DopedSilicon(0.0)

@@ -1,0 +1,135 @@
+"""Layered (ONO) dielectric stacks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials import (
+    DielectricLayer,
+    LayeredDielectric,
+    SI3N4,
+    SIO2,
+    compare_control_dielectrics,
+)
+from repro.units import nm_to_m
+
+
+@pytest.fixture()
+def ono():
+    return LayeredDielectric.ono(nm_to_m(2.0), nm_to_m(4.0), nm_to_m(2.0))
+
+
+class TestSeriesCapacitance:
+    def test_single_layer_matches_parallel_plate(self):
+        from repro.electrostatics import capacitance_per_area
+
+        stack = LayeredDielectric.single(SIO2, nm_to_m(8.0))
+        assert stack.capacitance_per_area == pytest.approx(
+            capacitance_per_area(3.9, nm_to_m(8.0))
+        )
+
+    def test_ono_beats_pure_oxide_of_same_thickness(self, ono):
+        """Replacing mid-oxide with nitride raises the capacitance."""
+        plain = LayeredDielectric.single(SIO2, ono.total_thickness_m)
+        assert ono.capacitance_per_area > plain.capacitance_per_area
+
+    def test_eot_below_physical_thickness_for_ono(self, ono):
+        assert ono.equivalent_oxide_thickness_m < ono.total_thickness_m
+
+    def test_eot_equals_thickness_for_pure_oxide(self):
+        stack = LayeredDielectric.single(SIO2, nm_to_m(8.0))
+        assert stack.equivalent_oxide_thickness_m == pytest.approx(
+            nm_to_m(8.0)
+        )
+
+    def test_series_order_irrelevant(self):
+        a = LayeredDielectric(
+            layers=(
+                DielectricLayer(SIO2, nm_to_m(3.0)),
+                DielectricLayer(SI3N4, nm_to_m(3.0)),
+            )
+        )
+        b = LayeredDielectric(
+            layers=(
+                DielectricLayer(SI3N4, nm_to_m(3.0)),
+                DielectricLayer(SIO2, nm_to_m(3.0)),
+            )
+        )
+        assert a.capacitance_per_area == pytest.approx(
+            b.capacitance_per_area
+        )
+
+
+class TestBarriers:
+    def test_nitride_is_the_weak_barrier(self, ono):
+        barrier = ono.minimum_barrier_ev(4.56)
+        assert barrier == pytest.approx(4.56 - SI3N4.electron_affinity_ev)
+
+    def test_raises_when_no_barrier(self, ono):
+        with pytest.raises(ConfigurationError):
+            ono.minimum_barrier_ev(1.0)
+
+
+class TestFields:
+    def test_displacement_continuity(self, ono):
+        """eps_i * E_i identical in every layer."""
+        from repro.constants import VACUUM_PERMITTIVITY
+
+        fields = ono.layer_fields_v_per_m(5.0)
+        d_values = [
+            layer.material.relative_permittivity
+            * VACUUM_PERMITTIVITY
+            * field
+            for layer, field in zip(ono.layers, fields)
+        ]
+        assert all(
+            d == pytest.approx(d_values[0], rel=1e-12) for d in d_values
+        )
+
+    def test_fields_sum_to_voltage(self, ono):
+        fields = ono.layer_fields_v_per_m(5.0)
+        drop = sum(
+            field * layer.thickness_m
+            for layer, field in zip(ono.layers, fields)
+        )
+        assert drop == pytest.approx(5.0, rel=1e-12)
+
+    def test_low_k_layer_carries_highest_field(self, ono):
+        fields = ono.layer_fields_v_per_m(5.0)
+        oxide_field = fields[0]
+        nitride_field = fields[1]
+        assert oxide_field > nitride_field
+
+    def test_worst_layer_stress_identified(self, ono):
+        layer, ratio = ono.worst_layer_stress(8.0)
+        assert ratio > 0.0
+        # The oxide carries the larger field but also has the higher
+        # breakdown strength; the ratio picks the true weakest link.
+        fields = ono.layer_fields_v_per_m(8.0)
+        ratios = [
+            f / lay.material.breakdown_field_v_per_m
+            for lay, f in zip(ono.layers, fields)
+        ]
+        assert ratio == pytest.approx(max(ratios))
+
+
+class TestComparison:
+    def test_ono_trades_barrier_for_capacitance(self):
+        comparison = compare_control_dielectrics(nm_to_m(8.0))
+        assert comparison["capacitance_gain"] > 1.0
+        assert (
+            comparison["ono_barrier_ev"] < comparison["plain_barrier_ev"]
+        )
+
+    def test_rejects_bad_thickness(self):
+        with pytest.raises(ConfigurationError):
+            compare_control_dielectrics(0.0)
+
+
+class TestValidation:
+    def test_rejects_empty_stack(self):
+        with pytest.raises(ConfigurationError):
+            LayeredDielectric(layers=())
+
+    def test_rejects_nonpositive_layer(self):
+        with pytest.raises(ConfigurationError):
+            DielectricLayer(SIO2, 0.0)

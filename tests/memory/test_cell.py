@@ -1,0 +1,92 @@
+"""Device-calibrated array cell kernel and cell state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryOperationError
+from repro.memory import CellKernel, CellState, MemoryCell, fresh_cells
+
+
+class TestKernelCalibration:
+    def test_window_positive(self, cell_kernel):
+        assert cell_kernel.window_v > 1.0
+
+    def test_erased_below_programmed(self, cell_kernel):
+        assert cell_kernel.erased_vt_v < cell_kernel.programmed_vt_v
+
+    def test_pulse_shift_smaller_than_window(self, cell_kernel):
+        assert (
+            0.0
+            < cell_kernel.program_pulse_shift_v
+            <= cell_kernel.window_v
+        )
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            CellKernel(
+                erased_vt_v=2.0,
+                programmed_vt_v=1.0,
+                program_pulse_shift_v=0.5,
+                ispp_step_v=0.3,
+                pulse_duration_s=1e-4,
+            )
+
+
+class TestCellLifecycle:
+    def test_fresh_cell_starts_erased(self, cell_kernel):
+        cell = MemoryCell(kernel=cell_kernel)
+        assert cell.state is CellState.ERASED
+        assert cell.vt_v == pytest.approx(cell_kernel.erased_vt_v)
+
+    def test_program_pulses_raise_vt(self, cell_kernel):
+        cell = MemoryCell(kernel=cell_kernel)
+        before = cell.vt_v
+        cell.apply_program_pulse(0.5)
+        assert cell.vt_v == pytest.approx(before + 0.5)
+
+    def test_vt_capped_at_programmed_ceiling(self, cell_kernel):
+        cell = MemoryCell(kernel=cell_kernel)
+        for _ in range(100):
+            cell.apply_program_pulse(2.0)
+        assert cell.vt_v <= cell_kernel.programmed_vt_v + 1e-9
+
+    def test_erase_resets_and_counts_cycles(self, cell_kernel, rng):
+        cell = MemoryCell(kernel=cell_kernel)
+        cell.apply_program_pulse(3.0)
+        cell.mark_programmed()
+        cell.erase(rng=rng)
+        assert cell.state is CellState.ERASED
+        assert cell.pe_cycles == 1
+        assert cell.vt_v == pytest.approx(
+            cell_kernel.erased_vt_v, abs=0.5
+        )
+
+    def test_negative_pulse_rejected(self, cell_kernel):
+        cell = MemoryCell(kernel=cell_kernel)
+        with pytest.raises(MemoryOperationError):
+            cell.apply_program_pulse(-0.5)
+
+    def test_read_state_against_reference(self, cell_kernel):
+        cell = MemoryCell(kernel=cell_kernel)
+        mid = cell_kernel.erased_vt_v + 0.5 * cell_kernel.window_v
+        assert cell.read_state(mid) is CellState.ERASED
+        cell.apply_program_pulse(cell_kernel.window_v)
+        assert cell.read_state(mid) is CellState.PROGRAMMED
+
+    def test_disturb_shifts_threshold(self, cell_kernel):
+        cell = MemoryCell(kernel=cell_kernel)
+        before = cell.vt_v
+        cell.disturb(0.01)
+        assert cell.vt_v == pytest.approx(before + 0.01)
+
+
+class TestManufacture:
+    def test_fresh_cells_have_process_variation(self, cell_kernel, rng):
+        cells = fresh_cells(cell_kernel, 500, process_sigma_v=0.1, rng=rng)
+        import numpy as np
+
+        thresholds = np.array([c.vt_v for c in cells])
+        assert thresholds.std() == pytest.approx(0.1, abs=0.02)
+
+    def test_rejects_zero_cells(self, cell_kernel):
+        with pytest.raises(ConfigurationError):
+            fresh_cells(cell_kernel, 0)

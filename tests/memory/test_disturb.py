@@ -1,0 +1,63 @@
+"""Physics-calibrated disturb model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import DisturbModel
+
+
+class TestDriftPerEvent:
+    def test_drift_positive_but_tiny(self, paper_device):
+        """Pass-voltage stress gains charge slowly: far below 1 mV per
+        event for a 6 V pass bias on a 5 nm oxide."""
+        model = DisturbModel(paper_device, pass_voltage_v=6.0)
+        drift = model.drift_per_event_v()
+        assert 0.0 <= drift < 1e-3
+
+    def test_higher_pass_voltage_more_disturb(self, paper_device):
+        low = DisturbModel(paper_device, pass_voltage_v=4.0)
+        high = DisturbModel(paper_device, pass_voltage_v=8.0)
+        assert high.drift_per_event_v() > low.drift_per_event_v()
+
+    def test_drift_scales_with_event_duration(self, paper_device):
+        short = DisturbModel(
+            paper_device, pass_voltage_v=7.0, event_duration_s=1e-5
+        )
+        long = DisturbModel(
+            paper_device, pass_voltage_v=7.0, event_duration_s=1e-4
+        )
+        assert long.drift_per_event_v() == pytest.approx(
+            10.0 * short.drift_per_event_v(), rel=1e-6
+        )
+
+    def test_zero_pass_voltage_no_disturb(self, paper_device):
+        model = DisturbModel(paper_device, pass_voltage_v=0.0)
+        assert model.drift_per_event_v() == 0.0
+
+
+class TestBudget:
+    def test_events_to_drift_inverse_of_per_event(self, paper_device):
+        model = DisturbModel(paper_device, pass_voltage_v=8.0)
+        per_event = model.drift_per_event_v()
+        if per_event > 0.0:
+            assert model.events_to_drift(1.0) == pytest.approx(
+                1.0 / per_event, rel=1e-9
+            )
+
+    def test_infinite_budget_when_no_disturb(self, paper_device):
+        model = DisturbModel(paper_device, pass_voltage_v=0.0)
+        assert model.events_to_drift(0.5) == float("inf")
+
+    def test_rejects_nonpositive_budget(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            DisturbModel(paper_device).events_to_drift(0.0)
+
+
+class TestValidation:
+    def test_rejects_negative_pass_voltage(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            DisturbModel(paper_device, pass_voltage_v=-1.0)
+
+    def test_rejects_nonpositive_duration(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            DisturbModel(paper_device, event_duration_s=0.0)

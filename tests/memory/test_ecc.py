@@ -1,0 +1,125 @@
+"""Hamming SEC / SECDED code."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MemoryOperationError
+from repro.memory import HammingCode, interleave_decode, interleave_encode
+
+
+@pytest.fixture()
+def code():
+    return HammingCode(data_bits=32, extended=True)
+
+
+def random_bits(n, rng):
+    return rng.integers(0, 2, size=n).astype(np.uint8)
+
+
+class TestRoundTrip:
+    def test_clean_round_trip(self, code, rng):
+        data = random_bits(32, rng)
+        decoded, corrected = code.decode(code.encode(data))
+        assert (decoded == data).all()
+        assert corrected == 0
+
+    @pytest.mark.parametrize("data_bits", [4, 8, 11, 26, 57, 64])
+    def test_various_payload_sizes(self, data_bits, rng):
+        code = HammingCode(data_bits)
+        data = random_bits(data_bits, rng)
+        decoded, _ = code.decode(code.encode(data))
+        assert (decoded == data).all()
+
+    def test_all_zeros_and_ones(self, code):
+        for value in (0, 1):
+            data = np.full(32, value, dtype=np.uint8)
+            decoded, _ = code.decode(code.encode(data))
+            assert (decoded == data).all()
+
+
+class TestSingleErrorCorrection:
+    def test_every_single_bit_error_corrected(self, code, rng):
+        data = random_bits(32, rng)
+        word = code.encode(data)
+        for position in range(code.codeword_bits):
+            corrupted = word.copy()
+            corrupted[position] ^= 1
+            decoded, corrected = code.decode(corrupted)
+            assert (decoded == data).all(), f"failed at bit {position}"
+            assert corrected == 1
+
+
+class TestDoubleErrorDetection:
+    def test_double_error_raises(self, code, rng):
+        data = random_bits(32, rng)
+        word = code.encode(data)
+        corrupted = word.copy()
+        corrupted[3] ^= 1
+        corrupted[17] ^= 1
+        with pytest.raises(MemoryOperationError):
+            code.decode(corrupted)
+
+    def test_non_extended_code_has_no_dec(self, rng):
+        """Plain Hamming miscorrects double errors instead of raising --
+        documents why the extended bit matters."""
+        code = HammingCode(8, extended=False)
+        data = random_bits(8, rng)
+        word = code.encode(data)
+        word[0] ^= 1
+        word[5] ^= 1
+        decoded, _ = code.decode(word)
+        assert not (decoded == data).all()
+
+
+class TestGeometry:
+    def test_parity_bit_count(self):
+        # 32 data bits need r=6 (2^6 = 64 >= 32 + 6 + 1).
+        assert HammingCode(32).parity_bits == 6
+        # 64 data bits need r=7.
+        assert HammingCode(64).parity_bits == 7
+
+    def test_codeword_length(self, code):
+        assert code.codeword_bits == 32 + 6 + 1
+
+    def test_overhead_fraction(self, code):
+        assert code.overhead_fraction() == pytest.approx(
+            1.0 - 32 / 39
+        )
+
+    def test_rejects_zero_data_bits(self):
+        with pytest.raises(ConfigurationError):
+            HammingCode(0)
+
+    def test_rejects_wrong_payload_length(self, code, rng):
+        with pytest.raises(MemoryOperationError):
+            code.encode(random_bits(31, rng))
+
+    def test_rejects_wrong_codeword_length(self, code, rng):
+        with pytest.raises(MemoryOperationError):
+            code.decode(random_bits(38, rng))
+
+
+class TestInterleaving:
+    def test_long_page_round_trip(self, rng):
+        code = HammingCode(16)
+        page = random_bits(100, rng)
+        encoded = interleave_encode(code, page)
+        decoded, corrected = interleave_decode(code, encoded, 100)
+        assert (decoded == page).all()
+        assert corrected == 0
+
+    def test_one_error_per_block_all_corrected(self, rng):
+        code = HammingCode(16)
+        page = random_bits(64, rng)  # 4 blocks
+        encoded = interleave_encode(code, page)
+        n = code.codeword_bits
+        for block in range(4):
+            encoded[block * n + 2] ^= 1
+        decoded, corrected = interleave_decode(code, encoded, 64)
+        assert (decoded == page).all()
+        assert corrected == 4
+
+    def test_rejects_misaligned_stream(self, rng):
+        code = HammingCode(16)
+        with pytest.raises(MemoryOperationError):
+            interleave_decode(code, random_bits(10, rng), 8)

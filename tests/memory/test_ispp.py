@@ -1,0 +1,91 @@
+"""ISPP program-verify loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MemoryOperationError
+from repro.memory import CellState, IsppPolicy, fresh_cells, program_cells
+
+
+@pytest.fixture()
+def policy(cell_kernel):
+    return IsppPolicy(
+        verify_level_v=cell_kernel.erased_vt_v + 0.6 * cell_kernel.window_v,
+        step_v=0.3,
+        first_pulse_shift_v=0.5,
+        noise_sigma_v=0.03,
+    )
+
+
+class TestProgramming:
+    def test_all_selected_cells_verify(self, cell_kernel, policy, rng):
+        cells = fresh_cells(cell_kernel, 32, rng=rng)
+        outcome = program_cells(cells, [True] * 32, policy, rng)
+        assert outcome.success
+        for cell in cells:
+            assert cell.state is CellState.PROGRAMMED
+            assert cell.vt_v >= policy.verify_level_v
+
+    def test_inhibited_cells_untouched(self, cell_kernel, policy, rng):
+        cells = fresh_cells(cell_kernel, 16, rng=rng)
+        before = [c.vt_v for c in cells]
+        mask = [i % 2 == 0 for i in range(16)]
+        program_cells(cells, mask, policy, rng)
+        for i, (cell, b) in enumerate(zip(cells, before)):
+            if not mask[i]:
+                assert cell.vt_v == pytest.approx(b)
+                assert cell.state is CellState.ERASED
+
+    def test_verify_tightens_distribution(self, cell_kernel, policy, rng):
+        """Post-ISPP spread is set by the step size, not by the (larger)
+        process variation."""
+        cells = fresh_cells(
+            cell_kernel, 200, process_sigma_v=0.3, rng=rng
+        )
+        before_spread = np.std([c.vt_v for c in cells])
+        program_cells(cells, [True] * 200, policy, rng)
+        after_spread = np.std([c.vt_v for c in cells])
+        assert after_spread < before_spread
+
+    def test_slow_cells_get_more_pulses(self, cell_kernel, rng):
+        """A higher verify level costs extra pulses."""
+        low = IsppPolicy(
+            verify_level_v=cell_kernel.erased_vt_v
+            + 0.3 * cell_kernel.window_v,
+            first_pulse_shift_v=0.4,
+            step_v=0.3,
+        )
+        high = IsppPolicy(
+            verify_level_v=cell_kernel.erased_vt_v
+            + 0.8 * cell_kernel.window_v,
+            first_pulse_shift_v=0.4,
+            step_v=0.3,
+        )
+        cells_a = fresh_cells(cell_kernel, 16, rng=np.random.default_rng(3))
+        cells_b = fresh_cells(cell_kernel, 16, rng=np.random.default_rng(3))
+        p_low = program_cells(cells_a, [True] * 16, low, rng)
+        p_high = program_cells(cells_b, [True] * 16, high, rng)
+        assert p_high.pulses_used > p_low.pulses_used
+
+    def test_unreachable_verify_reports_failures(self, cell_kernel, rng):
+        policy = IsppPolicy(
+            verify_level_v=cell_kernel.programmed_vt_v + 50.0,
+            max_pulses=4,
+        )
+        cells = fresh_cells(cell_kernel, 8, rng=rng)
+        outcome = program_cells(cells, [True] * 8, policy, rng)
+        assert not outcome.success
+        assert len(outcome.failed_cells) == 8
+
+
+class TestValidation:
+    def test_mask_length_mismatch(self, cell_kernel, policy, rng):
+        cells = fresh_cells(cell_kernel, 4, rng=rng)
+        with pytest.raises(MemoryOperationError):
+            program_cells(cells, [True] * 3, policy, rng)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            IsppPolicy(verify_level_v=1.0, step_v=0.0)
+        with pytest.raises(ConfigurationError):
+            IsppPolicy(verify_level_v=1.0, max_pulses=0)

@@ -1,0 +1,108 @@
+"""NAND strings and page operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MemoryOperationError
+from repro.memory import (
+    CellState,
+    IsppPolicy,
+    SenseAmplifier,
+    StringOperations,
+    build_string,
+)
+
+
+@pytest.fixture()
+def operations(cell_kernel, rng):
+    strings = [
+        build_string(cell_kernel, n_wordlines=8, rng=rng) for _ in range(16)
+    ]
+    window = cell_kernel.window_v
+    return StringOperations(
+        strings=strings,
+        ispp=IsppPolicy(
+            verify_level_v=cell_kernel.erased_vt_v + 0.67 * window,
+            step_v=max(0.05 * window, 0.1),
+            first_pulse_shift_v=max(0.1 * window, 0.2),
+        ),
+        sense=SenseAmplifier(
+            reference_v=cell_kernel.erased_vt_v + 0.5 * window
+        ),
+    )
+
+
+class TestStringStructure:
+    def test_build_string_dimensions(self, cell_kernel, rng):
+        s = build_string(cell_kernel, n_wordlines=64, rng=rng)
+        assert s.n_wordlines == 64
+
+    def test_wordline_bounds_checked(self, cell_kernel, rng):
+        s = build_string(cell_kernel, n_wordlines=8, rng=rng)
+        with pytest.raises(MemoryOperationError):
+            s.cell(8)
+
+    def test_conduction_rule(self, cell_kernel, rng):
+        s = build_string(cell_kernel, n_wordlines=4, rng=rng)
+        mid = cell_kernel.erased_vt_v + 0.5 * cell_kernel.window_v
+        assert s.is_conducting(0, mid)  # erased cell conducts
+        s.cell(0).apply_program_pulse(cell_kernel.window_v)
+        assert not s.is_conducting(0, mid)
+
+    def test_rejects_empty_string(self):
+        from repro.memory import NandString
+
+        with pytest.raises(ConfigurationError):
+            NandString(cells=[])
+
+
+class TestPageOperations:
+    def test_program_read_round_trip(self, operations, rng):
+        bits = rng.integers(0, 2, operations.n_bitlines).astype(np.uint8)
+        operations.program_page(3, bits, rng)
+        back = operations.read_page(3, rng)
+        assert (back == bits).all()
+
+    def test_program_marks_states(self, operations, rng):
+        bits = np.zeros(operations.n_bitlines, dtype=np.uint8)  # program all
+        operations.program_page(1, bits, rng)
+        assert all(
+            s is CellState.PROGRAMMED for s in operations.page_states(1)
+        )
+
+    def test_other_pages_unaffected_without_disturb(self, operations, rng):
+        before = [c.vt_v for c in operations.page_cells(5)]
+        operations.program_page(
+            2, np.zeros(operations.n_bitlines, dtype=np.uint8), rng
+        )
+        after = [c.vt_v for c in operations.page_cells(5)]
+        assert before == after
+
+    def test_erase_all_resets_everything(self, operations, rng):
+        operations.program_page(
+            0, np.zeros(operations.n_bitlines, dtype=np.uint8), rng
+        )
+        operations.erase_all(rng)
+        bits = operations.read_page(0, rng)
+        assert (bits == 1).all()
+
+    def test_read_count_tracked(self, operations, rng):
+        operations.read_page(4, rng)
+        operations.read_page(4, rng)
+        assert operations.read_count[4] == 2
+
+    def test_wrong_bit_width_rejected(self, operations, rng):
+        with pytest.raises(MemoryOperationError):
+            operations.program_page(0, np.zeros(3, dtype=np.uint8), rng)
+
+
+class TestStructuralValidation:
+    def test_rejects_mixed_string_lengths(self, cell_kernel, rng):
+        s1 = build_string(cell_kernel, n_wordlines=8, rng=rng)
+        s2 = build_string(cell_kernel, n_wordlines=4, rng=rng)
+        with pytest.raises(ConfigurationError):
+            StringOperations(
+                strings=[s1, s2],
+                ispp=IsppPolicy(verify_level_v=0.0),
+                sense=SenseAmplifier(reference_v=0.0),
+            )

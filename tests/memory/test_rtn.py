@@ -1,0 +1,85 @@
+"""Random telegraph noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import RtnTrap, read_instability_probability
+
+
+@pytest.fixture()
+def symmetric_trap():
+    return RtnTrap(
+        amplitude_v=0.05, capture_time_s=1e-3, emission_time_s=1e-3
+    )
+
+
+class TestOccupancy:
+    def test_symmetric_trap_half_occupied(self, symmetric_trap):
+        assert symmetric_trap.occupancy == pytest.approx(0.5)
+
+    def test_fast_emission_rarely_occupied(self):
+        trap = RtnTrap(0.05, capture_time_s=1e-2, emission_time_s=1e-4)
+        assert trap.occupancy == pytest.approx(1e-4 / (1e-2 + 1e-4))
+
+    def test_single_electron_amplitude_from_device(self, paper_device):
+        from repro.constants import ELEMENTARY_CHARGE
+
+        trap = RtnTrap.single_electron_for_device(paper_device)
+        expected = ELEMENTARY_CHARGE / paper_device.capacitances.cfc
+        assert trap.amplitude_v == pytest.approx(expected)
+        # One electron on a ~nm-scale cell is millivolts of Vt.
+        assert 1e-4 < trap.amplitude_v < 1.0
+
+
+class TestTrajectory:
+    def test_two_level_waveform(self, symmetric_trap, rng):
+        shifts = symmetric_trap.sample_trajectory(1.0, 1e-4, rng)
+        assert set(np.unique(shifts)) <= {0.0, 0.05}
+
+    def test_time_average_matches_occupancy(self, symmetric_trap, rng):
+        shifts = symmetric_trap.sample_trajectory(5.0, 1e-4, rng)
+        fraction_high = float(np.mean(shifts > 0.0))
+        assert fraction_high == pytest.approx(
+            symmetric_trap.occupancy, abs=0.05
+        )
+
+    def test_asymmetric_occupancy_statistics(self, rng):
+        trap = RtnTrap(0.05, capture_time_s=1e-4, emission_time_s=1e-3)
+        shifts = trap.sample_trajectory(2.0, 1e-5, rng)
+        fraction_high = float(np.mean(shifts > 0.0))
+        assert fraction_high == pytest.approx(trap.occupancy, abs=0.05)
+
+    def test_switching_events_present(self, symmetric_trap, rng):
+        shifts = symmetric_trap.sample_trajectory(1.0, 1e-4, rng)
+        transitions = int(np.sum(np.abs(np.diff(shifts)) > 0.0))
+        # ~1 ms time constants over 1 s: hundreds of transitions.
+        assert transitions > 50
+
+    def test_rejects_bad_grid(self, symmetric_trap, rng):
+        with pytest.raises(ConfigurationError):
+            symmetric_trap.sample_trajectory(0.0, 1e-4, rng)
+        with pytest.raises(ConfigurationError):
+            symmetric_trap.sample_trajectory(1e-5, 1e-4, rng)
+
+
+class TestReadInstability:
+    def test_wide_margin_immune(self, symmetric_trap):
+        assert read_instability_probability(symmetric_trap, 0.1) == 0.0
+
+    def test_narrow_margin_exposed_at_occupancy(self, symmetric_trap):
+        assert read_instability_probability(
+            symmetric_trap, 0.01
+        ) == pytest.approx(symmetric_trap.occupancy)
+
+    def test_rejects_negative_margin(self, symmetric_trap):
+        with pytest.raises(ConfigurationError):
+            read_instability_probability(symmetric_trap, -0.1)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RtnTrap(0.0, 1e-3, 1e-3)
+        with pytest.raises(ConfigurationError):
+            RtnTrap(0.05, 0.0, 1e-3)

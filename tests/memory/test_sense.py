@@ -1,0 +1,58 @@
+"""Sense amplifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import MemoryCell, SenseAmplifier, fresh_cells
+
+
+@pytest.fixture()
+def sense(cell_kernel):
+    mid = cell_kernel.erased_vt_v + 0.5 * cell_kernel.window_v
+    return SenseAmplifier(reference_v=mid, noise_sigma_v=0.0)
+
+
+class TestSensing:
+    def test_erased_reads_one(self, cell_kernel, sense):
+        cell = MemoryCell(kernel=cell_kernel)
+        assert sense.sense(cell) == 1
+
+    def test_programmed_reads_zero(self, cell_kernel, sense):
+        cell = MemoryCell(kernel=cell_kernel)
+        cell.apply_program_pulse(cell_kernel.window_v)
+        assert sense.sense(cell) == 0
+
+    def test_page_read_returns_bit_array(self, cell_kernel, sense, rng):
+        cells = fresh_cells(cell_kernel, 16, rng=rng)
+        for c in cells[:8]:
+            c.apply_program_pulse(cell_kernel.window_v)
+        bits = sense.sense_page(cells)
+        assert bits.dtype == np.uint8
+        assert list(bits[:8]) == [0] * 8
+        assert list(bits[8:]) == [1] * 8
+
+    def test_margin_distance_from_reference(self, cell_kernel, sense):
+        cell = MemoryCell(kernel=cell_kernel)
+        assert sense.margin_v(cell) == pytest.approx(
+            abs(cell.vt_v - sense.reference_v)
+        )
+
+
+class TestNoise:
+    def test_marginal_cell_flips_with_noise(self, cell_kernel, rng):
+        noisy = SenseAmplifier(
+            reference_v=cell_kernel.erased_vt_v, noise_sigma_v=0.2
+        )
+        cell = MemoryCell(kernel=cell_kernel)  # sits exactly at reference
+        reads = [noisy.sense(cell, rng) for _ in range(200)]
+        assert 0 < sum(reads) < 200  # both outcomes observed
+
+    def test_noiseless_read_deterministic(self, cell_kernel, sense, rng):
+        cell = MemoryCell(kernel=cell_kernel)
+        reads = {sense.sense(cell, rng) for _ in range(20)}
+        assert reads == {1}
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            SenseAmplifier(reference_v=0.0, noise_sigma_v=-0.1)

@@ -1,0 +1,97 @@
+"""Threshold distributions and error-rate estimates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import (
+    VtDistribution,
+    optimal_read_reference,
+    raw_bit_error_rate,
+)
+
+
+@pytest.fixture()
+def erased():
+    return VtDistribution(mean_v=-2.0, sigma_v=0.3)
+
+
+@pytest.fixture()
+def programmed():
+    return VtDistribution(mean_v=4.0, sigma_v=0.3)
+
+
+class TestDistribution:
+    def test_cdf_half_at_mean(self, erased):
+        assert erased.cdf(-2.0) == pytest.approx(0.5)
+
+    def test_cdf_monotonic(self, erased):
+        assert erased.cdf(-1.0) > erased.cdf(-3.0)
+
+    def test_percentile_inverts_cdf(self, erased):
+        for p in (0.01, 0.5, 0.99):
+            vt = erased.percentile(p)
+            assert erased.cdf(vt) == pytest.approx(p, abs=1e-9)
+
+    def test_sampling_statistics(self, erased, rng):
+        samples = erased.sample(20000, rng)
+        assert np.mean(samples) == pytest.approx(-2.0, abs=0.02)
+        assert np.std(samples) == pytest.approx(0.3, abs=0.02)
+
+    def test_shifted_moves_mean_only(self, erased):
+        s = erased.shifted(0.7)
+        assert s.mean_v == pytest.approx(-1.3)
+        assert s.sigma_v == erased.sigma_v
+
+    def test_broadened_adds_in_quadrature(self, erased):
+        b = erased.broadened(0.4)
+        assert b.sigma_v == pytest.approx(np.hypot(0.3, 0.4))
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ConfigurationError):
+            VtDistribution(0.0, 0.0)
+
+
+class TestBitErrorRate:
+    def test_ber_tiny_for_wide_window(self, erased, programmed):
+        ber = raw_bit_error_rate(erased, programmed, 1.0)
+        assert ber < 1e-12
+
+    def test_ber_half_for_reference_far_outside(self, erased, programmed):
+        """Reference above both distributions: every programmed cell
+        misreads; average error 0.5."""
+        ber = raw_bit_error_rate(erased, programmed, 20.0)
+        assert ber == pytest.approx(0.5)
+
+    def test_ber_grows_as_distributions_close(self, erased):
+        near = VtDistribution(mean_v=-1.0, sigma_v=0.3)
+        far = VtDistribution(mean_v=4.0, sigma_v=0.3)
+        ref_near = optimal_read_reference(erased, near)
+        ref_far = optimal_read_reference(erased, far)
+        assert raw_bit_error_rate(
+            erased, near, ref_near
+        ) > raw_bit_error_rate(erased, far, ref_far)
+
+    def test_rejects_inverted_states(self, erased):
+        lower = VtDistribution(mean_v=-5.0, sigma_v=0.3)
+        with pytest.raises(ConfigurationError):
+            raw_bit_error_rate(erased, lower, 0.0)
+
+
+class TestOptimalReference:
+    def test_midpoint_for_equal_sigmas(self, erased, programmed):
+        ref = optimal_read_reference(erased, programmed)
+        assert ref == pytest.approx(1.0, abs=0.05)
+
+    def test_skews_toward_tighter_distribution(self, erased):
+        tight_prog = VtDistribution(mean_v=4.0, sigma_v=0.05)
+        ref = optimal_read_reference(erased, tight_prog)
+        assert ref > 1.0  # pushed toward the tight programmed state
+
+    def test_reference_beats_naive_choices(self, erased, programmed):
+        ref = optimal_read_reference(erased, programmed)
+        best = raw_bit_error_rate(erased, programmed, ref)
+        for naive in (-1.0, 0.0, 2.5):
+            assert best <= raw_bit_error_rate(
+                erased, programmed, naive
+            ) * (1.0 + 1e-9)

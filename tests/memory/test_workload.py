@@ -1,0 +1,69 @@
+"""Workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory import (
+    sequential_workload,
+    uniform_random_workload,
+    zipf_workload,
+)
+
+
+class TestSequential:
+    def test_wraps_around_capacity(self):
+        pages = [
+            r.logical_page for r in sequential_workload(10, 4, 8)
+        ]
+        assert pages == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_payload_width(self):
+        for r in sequential_workload(3, 4, 12):
+            assert r.bits.size == 12
+            assert set(np.unique(r.bits)).issubset({0, 1})
+
+
+class TestUniform:
+    def test_pages_within_capacity(self):
+        for r in uniform_random_workload(50, 7, 8):
+            assert 0 <= r.logical_page < 7
+
+    def test_covers_most_pages(self):
+        pages = {
+            r.logical_page for r in uniform_random_workload(300, 8, 8)
+        }
+        assert len(pages) == 8
+
+    def test_deterministic_for_seed(self):
+        a = [r.logical_page for r in uniform_random_workload(20, 8, 8, seed=5)]
+        b = [r.logical_page for r in uniform_random_workload(20, 8, 8, seed=5)]
+        assert a == b
+
+
+class TestZipf:
+    def test_skew_concentrates_traffic(self):
+        pages = [r.logical_page for r in zipf_workload(2000, 64, 8)]
+        counts = np.bincount(pages, minlength=64)
+        top_share = np.sort(counts)[::-1][:6].sum() / len(pages)
+        uniform_share = 6.0 / 64.0
+        assert top_share > 3.0 * uniform_share  # far hotter than uniform
+
+    def test_pages_within_capacity(self):
+        for r in zipf_workload(100, 16, 8):
+            assert 0 <= r.logical_page < 16
+
+    def test_rejects_skew_at_or_below_one(self):
+        with pytest.raises(ConfigurationError):
+            list(zipf_workload(10, 16, 8, skew=1.0))
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "factory", [sequential_workload, uniform_random_workload]
+    )
+    def test_rejects_nonpositive_sizes(self, factory):
+        with pytest.raises(ConfigurationError):
+            list(factory(0, 4, 8))
+        with pytest.raises(ConfigurationError):
+            list(factory(4, 0, 8))

@@ -1,0 +1,61 @@
+"""Constraint evaluation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optimization import ConstraintSet, DesignMetrics, DesignPoint
+
+
+def metrics(
+    field=1.8e9, t_prog=1e-4, window=8.0, cycles=1e6
+) -> DesignMetrics:
+    return DesignMetrics(
+        point=DesignPoint(),
+        initial_current_density_a_m2=1e5,
+        peak_tunnel_field_v_per_m=field,
+        program_time_s=t_prog,
+        memory_window_v=window,
+        cycles_to_breakdown=cycles,
+    )
+
+
+class TestFeasibility:
+    def test_good_design_feasible(self):
+        assert ConstraintSet().is_feasible(metrics())
+
+    def test_field_violation_detected(self):
+        c = ConstraintSet(max_tunnel_field_v_per_m=1e9)
+        violations = c.violations(metrics(field=1.8e9))
+        assert len(violations) == 1
+        assert "field" in violations[0]
+
+    def test_slow_design_rejected(self):
+        c = ConstraintSet(max_program_time_s=1e-5)
+        assert not c.is_feasible(metrics(t_prog=1e-3))
+
+    def test_unsaturated_counts_as_slow(self):
+        assert not ConstraintSet().is_feasible(metrics(t_prog=None))
+
+    def test_small_window_rejected(self):
+        c = ConstraintSet(min_memory_window_v=10.0)
+        assert not c.is_feasible(metrics(window=8.0))
+
+    def test_low_endurance_rejected(self):
+        c = ConstraintSet(min_cycles=1e7)
+        assert not c.is_feasible(metrics(cycles=1e6))
+
+    def test_multiple_violations_all_reported(self):
+        c = ConstraintSet(
+            max_tunnel_field_v_per_m=1e9,
+            min_memory_window_v=10.0,
+            min_cycles=1e7,
+        )
+        assert len(c.violations(metrics())) == 3
+
+
+class TestValidation:
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ConfigurationError):
+            ConstraintSet(max_tunnel_field_v_per_m=0.0)
+        with pytest.raises(ConfigurationError):
+            ConstraintSet(max_program_time_s=-1.0)

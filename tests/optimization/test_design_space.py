@@ -1,0 +1,54 @@
+"""Design points and grids."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optimization import DesignPoint, grid
+
+
+class TestDesignPoint:
+    def test_default_is_paper_operating_point(self):
+        p = DesignPoint()
+        assert p.program_voltage_v == 15.0
+        assert p.tunnel_oxide_nm == 5.0
+        assert p.gate_coupling_ratio == 0.6
+
+    def test_build_device_honours_parameters(self):
+        p = DesignPoint(
+            program_voltage_v=13.0,
+            tunnel_oxide_nm=6.0,
+            control_oxide_nm=9.0,
+            gate_coupling_ratio=0.5,
+        )
+        device = p.build_device()
+        assert device.geometry.tunnel_oxide_thickness_m == pytest.approx(
+            6e-9
+        )
+        assert device.gate_coupling_ratio == pytest.approx(0.5)
+
+    def test_rejects_control_thinner_than_tunnel(self):
+        with pytest.raises(ConfigurationError):
+            DesignPoint(tunnel_oxide_nm=8.0, control_oxide_nm=6.0)
+
+    def test_rejects_bad_gcr(self):
+        with pytest.raises(ConfigurationError):
+            DesignPoint(gate_coupling_ratio=0.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            DesignPoint(program_voltage_v=-15.0)
+
+
+class TestGrid:
+    def test_cartesian_product_size(self):
+        points = list(grid([13.0, 15.0], [5.0, 6.0], [9.0], [0.5, 0.6]))
+        assert len(points) == 8
+
+    def test_invalid_combinations_skipped(self):
+        """XCO <= XTO combinations silently dropped."""
+        points = list(grid([15.0], [5.0, 8.0, 10.0], [9.0]))
+        oxides = {p.tunnel_oxide_nm for p in points}
+        assert oxides == {5.0, 8.0}
+
+    def test_empty_grid_for_all_invalid(self):
+        assert list(grid([15.0], [10.0], [9.0])) == []

@@ -1,0 +1,48 @@
+"""Design evaluation metrics."""
+
+import pytest
+
+from repro.optimization import DesignPoint, evaluate_design
+
+
+@pytest.fixture(scope="module")
+def paper_metrics():
+    return evaluate_design(DesignPoint(), pulse_duration_s=1e-2)
+
+
+class TestPaperPoint:
+    def test_initial_field_is_18_mv_per_cm(self, paper_metrics):
+        assert paper_metrics.peak_tunnel_field_v_per_m == pytest.approx(
+            1.8e9, rel=1e-3
+        )
+
+    def test_program_time_resolved(self, paper_metrics):
+        assert paper_metrics.program_time_s is not None
+        assert 1e-6 < paper_metrics.program_time_s < 1e-1
+
+    def test_window_multivolt(self, paper_metrics):
+        assert paper_metrics.memory_window_v > 5.0
+
+    def test_endurance_positive(self, paper_metrics):
+        assert paper_metrics.cycles_to_breakdown > 1e3
+
+
+class TestTradeoffs:
+    def test_higher_voltage_faster_but_shorter_lived(self, paper_metrics):
+        hot = evaluate_design(
+            DesignPoint(program_voltage_v=17.0), pulse_duration_s=1e-2
+        )
+        assert hot.program_time_s < paper_metrics.program_time_s
+        assert hot.cycles_to_breakdown < paper_metrics.cycles_to_breakdown
+
+    def test_thicker_oxide_slower_but_tougher(self, paper_metrics):
+        thick = evaluate_design(
+            DesignPoint(tunnel_oxide_nm=6.0), pulse_duration_s=1e-1
+        )
+        assert (
+            thick.initial_current_density_a_m2
+            < paper_metrics.initial_current_density_a_m2
+        )
+        assert (
+            thick.cycles_to_breakdown > paper_metrics.cycles_to_breakdown
+        )

@@ -1,0 +1,51 @@
+"""Constrained design search."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.optimization import ConstraintSet, optimise_program_time
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return optimise_program_time(
+            constraints=ConstraintSet(
+                max_tunnel_field_v_per_m=2.6e9,
+                max_program_time_s=1e-2,
+                min_memory_window_v=2.0,
+                min_cycles=1e4,
+            ),
+            max_evaluations=25,
+        )
+
+    def test_finds_feasible_design(self, result):
+        assert result.best.program_time_s is not None
+        assert result.best.program_time_s < 1e-2
+
+    def test_respects_field_ceiling(self, result):
+        assert result.best.peak_tunnel_field_v_per_m <= 2.6e9
+
+    def test_respects_endurance_floor(self, result):
+        assert result.best.cycles_to_breakdown >= 1e4
+
+    def test_evaluation_budget_respected(self, result):
+        assert result.evaluations <= 30  # small Nelder-Mead overshoot ok
+
+
+class TestFailureModes:
+    def test_impossible_constraints_raise(self):
+        with pytest.raises(ConvergenceError):
+            optimise_program_time(
+                constraints=ConstraintSet(
+                    max_tunnel_field_v_per_m=1e8,  # nothing can pass
+                    max_program_time_s=1e-9,
+                ),
+                max_evaluations=6,
+            )
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            optimise_program_time(voltage_bounds_v=(20.0, 10.0))
+        with pytest.raises(ConfigurationError):
+            optimise_program_time(tunnel_oxide_bounds_nm=(8.0, 4.0))

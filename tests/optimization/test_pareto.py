@@ -1,0 +1,68 @@
+"""Pareto-front extraction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optimization import DesignMetrics, DesignPoint, pareto_front
+
+
+def design(t_prog, cycles):
+    return DesignMetrics(
+        point=DesignPoint(),
+        initial_current_density_a_m2=1.0,
+        peak_tunnel_field_v_per_m=1e9,
+        program_time_s=t_prog,
+        memory_window_v=8.0,
+        cycles_to_breakdown=cycles,
+    )
+
+
+OBJECTIVES = [
+    (lambda m: m.program_time_s, "min"),
+    (lambda m: m.cycles_to_breakdown, "max"),
+]
+
+
+class TestDominance:
+    def test_dominated_point_removed(self):
+        better = design(1e-5, 1e7)
+        worse = design(1e-4, 1e6)  # slower AND shorter-lived
+        front = pareto_front([better, worse], OBJECTIVES)
+        assert front == [better]
+
+    def test_tradeoff_points_both_kept(self):
+        fast_fragile = design(1e-5, 1e4)
+        slow_tough = design(1e-3, 1e8)
+        front = pareto_front([fast_fragile, slow_tough], OBJECTIVES)
+        assert len(front) == 2
+
+    def test_duplicate_points_both_survive(self):
+        a = design(1e-4, 1e6)
+        b = design(1e-4, 1e6)
+        front = pareto_front([a, b], OBJECTIVES)
+        assert len(front) == 2  # equal points do not dominate each other
+
+    def test_none_objective_treated_as_worst(self):
+        saturated = design(1e-4, 1e6)
+        never = design(None, 1e9)
+        front = pareto_front([saturated, never], OBJECTIVES)
+        # 'never' survives on endurance; 'saturated' on speed.
+        assert len(front) == 2
+
+    def test_chain_of_dominated_points(self):
+        designs = [design(10.0**-k, 1e6) for k in range(3, 7)]
+        front = pareto_front(designs, OBJECTIVES)
+        assert front == [designs[-1]]
+
+
+class TestValidation:
+    def test_rejects_no_objectives(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front([design(1e-4, 1e6)], [])
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ConfigurationError):
+            pareto_front(
+                [design(1e-4, 1e6)],
+                [(lambda m: m.memory_window_v, "sideways")],
+            )

@@ -1,0 +1,86 @@
+"""Arrhenius-accelerated retention (bake) model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import ArrheniusAcceleration
+from repro.reliability.bake import TEN_YEARS_S
+
+
+@pytest.fixture()
+def model():
+    return ArrheniusAcceleration()  # Ea = 1.1 eV, use at 55 C
+
+
+class TestAccelerationFactor:
+    def test_unity_at_use_temperature(self, model):
+        assert model.acceleration_factor(
+            model.use_temperature_k
+        ) == pytest.approx(1.0)
+
+    def test_hot_bake_accelerates(self, model):
+        assert model.acceleration_factor(398.15) > 100.0  # 125 C
+
+    def test_cold_storage_decelerates(self, model):
+        assert model.acceleration_factor(300.0) < 1.0
+
+    def test_higher_ea_stronger_acceleration(self):
+        weak = ArrheniusAcceleration(activation_energy_ev=0.6)
+        strong = ArrheniusAcceleration(activation_energy_ev=1.1)
+        assert strong.acceleration_factor(
+            398.15
+        ) > weak.acceleration_factor(398.15)
+
+    def test_arrhenius_functional_form(self, model):
+        """log AF linear in 1/T."""
+        import math
+
+        t1, t2 = 398.15, 448.15
+        af1 = model.acceleration_factor(t1)
+        af2 = model.acceleration_factor(t2)
+        from repro.constants import BOLTZMANN, ELEMENTARY_CHARGE
+
+        expected = (
+            1.1
+            * ELEMENTARY_CHARGE
+            / BOLTZMANN
+            * (1.0 / t1 - 1.0 / t2)
+        )
+        assert math.log(af2 / af1) == pytest.approx(expected, rel=1e-9)
+
+
+class TestTimeConversion:
+    def test_round_trip(self, model):
+        bake_t = 448.15  # 175 C
+        use_time = model.equivalent_use_time_s(3600.0, bake_t)
+        assert model.bake_time_for_target_s(
+            use_time, bake_t
+        ) == pytest.approx(3600.0)
+
+    def test_ten_year_bake_practical_at_250c(self, model):
+        """At 250 C the ten-year bake must be qualification-practical
+        (hours to weeks, not years)."""
+        hours = model.ten_year_bake_hours(523.15)
+        assert 0.01 < hours < 2000.0
+
+    def test_ten_year_equivalence_consistent(self, model):
+        bake_t = 523.15
+        hours = model.ten_year_bake_hours(bake_t)
+        recovered = model.equivalent_use_time_s(hours * 3600.0, bake_t)
+        assert recovered == pytest.approx(TEN_YEARS_S, rel=1e-9)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ArrheniusAcceleration(activation_energy_ev=0.0)
+        with pytest.raises(ConfigurationError):
+            ArrheniusAcceleration(use_temperature_k=-1.0)
+
+    def test_rejects_bad_arguments(self, model):
+        with pytest.raises(ConfigurationError):
+            model.acceleration_factor(0.0)
+        with pytest.raises(ConfigurationError):
+            model.equivalent_use_time_s(-1.0, 400.0)
+        with pytest.raises(ConfigurationError):
+            model.bake_time_for_target_s(0.0, 400.0)

@@ -1,0 +1,75 @@
+"""Breakdown laws."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import BreakdownModel
+
+
+@pytest.fixture()
+def model():
+    return BreakdownModel()
+
+
+class TestChargeToBreakdown:
+    def test_reference_point(self, model):
+        qbd = model.charge_to_breakdown_c_per_m2(
+            model.qbd_reference_field_v_per_m
+        )
+        assert qbd == pytest.approx(model.qbd_reference_c_per_m2)
+
+    def test_higher_field_lower_budget(self, model):
+        assert model.charge_to_breakdown_c_per_m2(
+            1.5e9
+        ) < model.charge_to_breakdown_c_per_m2(8e8)
+
+    def test_exponential_field_acceleration(self, model):
+        """One decade lost per 1/slope of field increase."""
+        delta = 1.0 / model.qbd_field_slope_decades_per_v_per_m
+        ref = model.qbd_reference_field_v_per_m
+        ratio = model.charge_to_breakdown_c_per_m2(
+            ref
+        ) / model.charge_to_breakdown_c_per_m2(ref + delta)
+        assert ratio == pytest.approx(10.0, rel=1e-9)
+
+    def test_rejects_nonpositive_field(self, model):
+        with pytest.raises(ConfigurationError):
+            model.charge_to_breakdown_c_per_m2(0.0)
+
+
+class TestTimeToBreakdown:
+    def test_one_over_e_model_monotonic(self, model):
+        assert model.time_to_breakdown_s(1.5e9) < model.time_to_breakdown_s(
+            1.0e9
+        )
+
+    def test_long_life_at_operating_field(self, model):
+        """At a 5 MV/cm retention-scale field the oxide outlives 10 years."""
+        ten_years = 3.2e8
+        assert model.time_to_breakdown_s(5e8) > ten_years
+
+
+class TestBudgets:
+    def test_life_consumed_linear_in_fluence(self, model):
+        f = 1.2e9
+        assert model.life_consumed_fraction(10.0, f) == pytest.approx(
+            2.0 * model.life_consumed_fraction(5.0, f)
+        )
+
+    def test_cycles_to_breakdown_inverse_in_per_cycle_fluence(self, model):
+        f = 1.2e9
+        assert model.cycles_to_breakdown(1.0, f) == pytest.approx(
+            2.0 * model.cycles_to_breakdown(2.0, f)
+        )
+
+    def test_flashlike_endurance_at_program_field(self, model):
+        """At the paper's 1.8e9 V/m programming field with ~1 mC/m^2 per
+        cycle, endurance lands in the classic 1e4-1e7 window."""
+        cycles = model.cycles_to_breakdown(1e-3, 1.8e9)
+        assert 1e4 < cycles < 1e9
+
+    def test_rejects_bad_inputs(self, model):
+        with pytest.raises(ConfigurationError):
+            model.life_consumed_fraction(-1.0, 1e9)
+        with pytest.raises(ConfigurationError):
+            model.cycles_to_breakdown(0.0, 1e9)

@@ -1,0 +1,64 @@
+"""Endurance cycling model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import EnduranceModel
+
+
+@pytest.fixture(scope="module")
+def result(paper_device):
+    return EnduranceModel(paper_device, pulse_duration_s=1e-4).simulate(
+        100_000, n_samples=25
+    )
+
+
+class TestWearTrajectory:
+    def test_trap_density_monotonic(self, result):
+        assert np.all(np.diff(result.trap_density_m2) > 0.0)
+
+    def test_life_consumed_monotonic(self, result):
+        assert np.all(np.diff(result.life_consumed) > 0.0)
+
+    def test_window_closure_monotonic_nonnegative(self, result):
+        assert np.all(result.window_closure_v >= 0.0)
+        assert np.all(np.diff(result.window_closure_v) >= 0.0)
+
+    def test_life_consumed_linear_in_cycles(self, result):
+        ratio = result.life_consumed[-1] / result.life_consumed[0]
+        cycles_ratio = result.cycle_counts[-1] / result.cycle_counts[0]
+        assert ratio == pytest.approx(cycles_ratio, rel=1e-6)
+
+    def test_cycles_to_breakdown_flashlike(self, result):
+        assert 1e3 < result.cycles_to_breakdown < 1e10
+
+
+class TestQueries:
+    def test_cycles_until_budget(self, result):
+        tiny_budget = result.window_closure_v[2]
+        cycles = result.cycles_until(tiny_budget)
+        assert cycles is not None
+        assert cycles <= result.cycle_counts[2]
+
+    def test_cycles_until_never_reached(self, result):
+        assert result.cycles_until(1e6) is None
+
+
+class TestConfiguration:
+    def test_longer_pulses_wear_faster(self, paper_device):
+        short = EnduranceModel(
+            paper_device, pulse_duration_s=1e-6
+        ).simulate(1000, n_samples=5)
+        long = EnduranceModel(
+            paper_device, pulse_duration_s=1e-4
+        ).simulate(1000, n_samples=5)
+        assert long.life_consumed[-1] > short.life_consumed[-1]
+
+    def test_rejects_bad_trapped_fraction(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel(paper_device, trapped_charge_fraction=1.5)
+
+    def test_rejects_zero_cycles(self, paper_device):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel(paper_device).simulate(0)

@@ -1,0 +1,63 @@
+"""SILC trap generation and leakage."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import TrapGenerationModel, silc_current_density
+from repro.tunneling import TunnelBarrier
+from repro.units import nm_to_m
+
+
+@pytest.fixture()
+def barrier():
+    return TunnelBarrier(3.61, nm_to_m(5.0), 0.42)
+
+
+class TestTrapGeneration:
+    def test_fresh_oxide_has_preexisting_traps(self):
+        model = TrapGenerationModel(pre_existing_density_m2=5e11)
+        assert model.trap_density_m2(0.0) == pytest.approx(5e11)
+
+    def test_density_grows_with_fluence(self):
+        model = TrapGenerationModel()
+        assert model.trap_density_m2(10.0) > model.trap_density_m2(1.0)
+
+    def test_power_law_exponent(self):
+        model = TrapGenerationModel(
+            exponent_alpha=0.5, pre_existing_density_m2=0.0
+        )
+        assert model.trap_density_m2(4.0) == pytest.approx(
+            2.0 * model.trap_density_m2(1.0)
+        )
+
+    def test_sublinear_generation(self):
+        """alpha < 1: doubling the stress less than doubles the traps."""
+        model = TrapGenerationModel(pre_existing_density_m2=0.0)
+        assert model.trap_density_m2(2.0) < 2.0 * model.trap_density_m2(1.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            TrapGenerationModel(exponent_alpha=1.5)
+
+    def test_rejects_negative_fluence(self):
+        with pytest.raises(ConfigurationError):
+            TrapGenerationModel().trap_density_m2(-1.0)
+
+
+class TestSilcCurrent:
+    def test_stressed_oxide_leaks_more(self, barrier):
+        fresh = silc_current_density(barrier, 4e8, 0.0)
+        stressed = silc_current_density(barrier, 4e8, 100.0)
+        assert stressed > fresh
+
+    def test_grows_with_field(self, barrier):
+        assert silc_current_density(barrier, 6e8, 10.0) > silc_current_density(
+            barrier, 3e8, 10.0
+        )
+
+    def test_custom_generation_model_used(self, barrier):
+        aggressive = TrapGenerationModel(generation_coefficient=1e15)
+        mild = TrapGenerationModel(generation_coefficient=1e12)
+        assert silc_current_density(
+            barrier, 4e8, 10.0, aggressive
+        ) > silc_current_density(barrier, 4e8, 10.0, mild)

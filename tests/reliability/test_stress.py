@@ -1,0 +1,75 @@
+"""Oxide stress bookkeeping."""
+
+import pytest
+
+from repro.device import PROGRAM_BIAS
+from repro.errors import ConfigurationError
+from repro.reliability import StressAccumulator, StressRecord, stress_of_pulse
+
+
+class TestStressOfPulse:
+    @pytest.fixture(scope="class")
+    def record(self, paper_device):
+        return stress_of_pulse(paper_device, PROGRAM_BIAS, 1e-4)
+
+    def test_fluence_positive(self, record):
+        assert record.injected_charge_c_per_m2 > 0.0
+
+    def test_peak_field_is_initial_field(self, record):
+        """The field is largest at t = 0 (V_FG = 9 V over 5 nm)."""
+        assert record.peak_field_v_per_m == pytest.approx(1.8e9, rel=1e-3)
+
+    def test_longer_pulse_more_fluence(self, paper_device):
+        short = stress_of_pulse(paper_device, PROGRAM_BIAS, 1e-6)
+        long = stress_of_pulse(paper_device, PROGRAM_BIAS, 1e-4)
+        assert (
+            long.injected_charge_c_per_m2
+            > short.injected_charge_c_per_m2
+        )
+
+    def test_higher_voltage_more_stress(self, paper_device):
+        mild = stress_of_pulse(
+            paper_device, PROGRAM_BIAS.with_gate_voltage(13.0), 1e-5
+        )
+        harsh = stress_of_pulse(
+            paper_device, PROGRAM_BIAS.with_gate_voltage(17.0), 1e-5
+        )
+        # The gain is sub-exponential because the 17 V transient
+        # saturates within the pulse (charge feedback self-limits J).
+        assert (
+            harsh.injected_charge_c_per_m2
+            > 2.0 * mild.injected_charge_c_per_m2
+        )
+        assert harsh.peak_field_v_per_m > mild.peak_field_v_per_m
+
+
+class TestAccumulator:
+    def test_accumulates_records(self):
+        acc = StressAccumulator()
+        acc.add(StressRecord(1.0, 1e9, 1e-4))
+        acc.add(StressRecord(2.5, 8e8, 1e-4))
+        assert acc.total_fluence_c_per_m2 == pytest.approx(3.5)
+        assert acc.worst_field_v_per_m == pytest.approx(1e9)
+        assert acc.n_pulses == 2
+
+    def test_analytic_cycle_fast_path(self):
+        acc = StressAccumulator()
+        acc.add_analytic_cycle(1e4, 1e-4)
+        assert acc.total_fluence_c_per_m2 == pytest.approx(1.0)
+
+    def test_analytic_rejects_bad_inputs(self):
+        acc = StressAccumulator()
+        with pytest.raises(ConfigurationError):
+            acc.add_analytic_cycle(-1.0, 1e-4)
+        with pytest.raises(ConfigurationError):
+            acc.add_analytic_cycle(1.0, 0.0)
+
+
+class TestRecordValidation:
+    def test_rejects_negative_fluence(self):
+        with pytest.raises(ConfigurationError):
+            StressRecord(-1.0, 1e9, 1e-4)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            StressRecord(1.0, 1e9, 0.0)

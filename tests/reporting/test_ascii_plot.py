@@ -1,0 +1,77 @@
+"""ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import PlotSeries, ascii_plot, decades_spanned
+
+
+def series(label="s", n=20):
+    x = np.linspace(0.0, 1.0, n)
+    return PlotSeries(label=label, x=x, y=np.exp(5.0 * x))
+
+
+class TestRendering:
+    def test_contains_title_labels_and_legend(self):
+        out = ascii_plot(
+            [series("growth")],
+            title="my plot",
+            x_label="time",
+            y_label="J",
+        )
+        assert "my plot" in out
+        assert "time" in out
+        assert "growth" in out
+
+    def test_log_mode_annotated(self):
+        out = ascii_plot([series()], log_y=True, y_label="J")
+        assert "log10" in out
+
+    def test_multiple_series_distinct_markers(self):
+        a = series("a")
+        b = PlotSeries(label="b", x=a.x, y=a.y * 2.0)
+        out = ascii_plot([a, b])
+        assert "o a" in out and "x b" in out
+
+    def test_log_mode_drops_nonpositive(self):
+        s = PlotSeries(
+            label="mixed",
+            x=np.array([0.0, 1.0, 2.0]),
+            y=np.array([0.0, 10.0, 100.0]),
+        )
+        out = ascii_plot([s], log_y=True)
+        assert "mixed" in out  # renders without error
+
+    def test_constant_series_handled(self):
+        s = PlotSeries(label="flat", x=np.arange(5.0), y=np.ones(5))
+        out = ascii_plot([s])
+        assert "flat" in out
+
+
+class TestValidation:
+    def test_rejects_empty_series_list(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([])
+
+    def test_rejects_mismatched_xy(self):
+        bad = PlotSeries(label="bad", x=np.arange(3.0), y=np.arange(4.0))
+        with pytest.raises(ConfigurationError):
+            ascii_plot([bad])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([series()], width=4, height=2)
+
+
+class TestDecades:
+    def test_known_span(self):
+        assert decades_spanned(np.array([1.0, 1000.0])) == pytest.approx(3.0)
+
+    def test_zeros_ignored(self):
+        assert decades_spanned(np.array([0.0, 10.0, 100.0])) == pytest.approx(
+            1.0
+        )
+
+    def test_single_value_spans_zero(self):
+        assert decades_spanned(np.array([5.0])) == 0.0

@@ -1,0 +1,50 @@
+"""CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import PlotSeries, export_series_csv
+
+
+class TestExport:
+    def test_round_trip_values(self, tmp_path):
+        s = PlotSeries(
+            label="a", x=np.array([1.0, 2.0]), y=np.array([10.0, 20.0])
+        )
+        path = export_series_csv(tmp_path / "out.csv", [s], "x", "y")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["series", "x", "y"]
+        assert rows[1] == ["a", "1.0", "10.0"]
+        assert len(rows) == 3
+
+    def test_multiple_series_long_format(self, tmp_path):
+        a = PlotSeries(label="a", x=np.arange(2.0), y=np.arange(2.0))
+        b = PlotSeries(label="b", x=np.arange(3.0), y=np.arange(3.0))
+        path = export_series_csv(tmp_path / "multi.csv", [a, b])
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        labels = [r[0] for r in rows[1:]]
+        assert labels == ["a", "a", "b", "b", "b"]
+
+    def test_full_precision_preserved(self, tmp_path):
+        value = 1.2345678901234567e-30
+        s = PlotSeries(
+            label="tiny", x=np.array([0.0]), y=np.array([value])
+        )
+        path = export_series_csv(tmp_path / "tiny.csv", [s])
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert float(rows[1][2]) == value
+
+    def test_creates_parent_directories(self, tmp_path):
+        s = PlotSeries(label="a", x=np.arange(2.0), y=np.arange(2.0))
+        path = export_series_csv(tmp_path / "deep" / "dir" / "f.csv", [s])
+        assert path.exists()
+
+    def test_rejects_empty_series(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_series_csv(tmp_path / "x.csv", [])

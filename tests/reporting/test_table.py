@@ -1,0 +1,43 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import format_table
+
+
+class TestFormatting:
+    def test_columns_aligned(self):
+        out = format_table(
+            ("name", "value"), [("a", 1.0), ("long-name", 123.456)]
+        )
+        lines = out.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_header_and_separator_present(self):
+        out = format_table(("x", "y"), [(1.0, 2.0)])
+        lines = out.splitlines()
+        assert "x" in lines[0] and "y" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_float_formatting_applied(self):
+        out = format_table(("v",), [(1.23456789,)])
+        assert "1.235" in out
+
+    def test_non_floats_stringified(self):
+        out = format_table(("s", "n"), [("hello", 42)])
+        assert "hello" in out and "42" in out
+
+    def test_empty_rows_allowed(self):
+        out = format_table(("a", "b"), [])
+        assert "a" in out
+
+
+class TestValidation:
+    def test_rejects_no_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table((), [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(("a", "b"), [(1.0,)])

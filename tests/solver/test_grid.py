@@ -1,0 +1,70 @@
+"""Grid construction and queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solver import Grid1D, nonuniform_grid, uniform_grid
+
+
+class TestUniformGrid:
+    def test_endpoints_and_count(self):
+        g = uniform_grid(0.0, 1.0, 11)
+        assert g.n == 11
+        assert g.points[0] == 0.0
+        assert g.points[-1] == 1.0
+
+    def test_is_uniform(self):
+        assert uniform_grid(0.0, 1.0, 7).is_uniform
+
+    def test_length(self):
+        assert uniform_grid(2.0, 5.0, 4).length == pytest.approx(3.0)
+
+    def test_rejects_reversed_bounds(self):
+        with pytest.raises(ConfigurationError):
+            uniform_grid(1.0, 0.0, 5)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ConfigurationError):
+            uniform_grid(0.0, 1.0, 1)
+
+
+class TestNonuniformGrid:
+    def test_interfaces_fall_on_nodes(self):
+        g = nonuniform_grid([0.0, 5e-9, 13e-9], [5, 8])
+        assert 5e-9 in g.points
+        assert g.n == 5 + 8 + 1
+
+    def test_region_resolutions_differ(self):
+        g = nonuniform_grid([0.0, 1.0, 2.0], [2, 10])
+        h = g.spacing
+        assert h[0] == pytest.approx(0.5)
+        assert h[-1] == pytest.approx(0.1)
+        assert not g.is_uniform
+
+    def test_rejects_mismatched_region_count(self):
+        with pytest.raises(ConfigurationError):
+            nonuniform_grid([0.0, 1.0, 2.0], [5])
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(ConfigurationError):
+            nonuniform_grid([0.0, 1.0], [0])
+
+
+class TestGridQueries:
+    def test_midpoints_between_nodes(self):
+        g = uniform_grid(0.0, 1.0, 3)
+        assert np.allclose(g.midpoints(), [0.25, 0.75])
+
+    def test_locate_interior_point(self):
+        g = uniform_grid(0.0, 1.0, 5)  # cells of width 0.25
+        assert g.locate(0.3) == 1
+
+    def test_locate_clamps_to_domain(self):
+        g = uniform_grid(0.0, 1.0, 5)
+        assert g.locate(-1.0) == 0
+        assert g.locate(2.0) == g.n - 2
+
+    def test_rejects_non_monotonic_points(self):
+        with pytest.raises(ConfigurationError):
+            Grid1D(np.array([0.0, 2.0, 1.0]))

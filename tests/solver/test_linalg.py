@@ -1,0 +1,59 @@
+"""Tridiagonal solver against dense numpy reference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solver import solve_tridiagonal, tridiagonal_matrix
+
+
+def test_matches_dense_solver_random_system(rng):
+    n = 50
+    lower = rng.normal(size=n - 1)
+    upper = rng.normal(size=n - 1)
+    diag = rng.normal(size=n) + 10.0  # diagonally dominant
+    rhs = rng.normal(size=n)
+    dense = tridiagonal_matrix(lower, diag, upper)
+    expected = np.linalg.solve(dense, rhs)
+    got = solve_tridiagonal(lower, diag, upper, rhs)
+    assert np.allclose(got, expected, rtol=1e-10)
+
+
+def test_identity_system():
+    n = 5
+    x = solve_tridiagonal(
+        np.zeros(n - 1), np.ones(n), np.zeros(n - 1), np.arange(n, dtype=float)
+    )
+    assert np.allclose(x, np.arange(n))
+
+
+def test_two_by_two_system():
+    # [[2, 1], [1, 3]] x = [3, 5] -> x = [4/5, 7/5]
+    x = solve_tridiagonal([1.0], [2.0, 3.0], [1.0], [3.0, 5.0])
+    assert np.allclose(x, [0.8, 1.4])
+
+
+def test_dense_assembly_layout():
+    m = tridiagonal_matrix([7.0], [1.0, 2.0], [5.0])
+    assert m[0, 0] == 1.0 and m[1, 1] == 2.0
+    assert m[0, 1] == 5.0  # upper
+    assert m[1, 0] == 7.0  # lower
+
+
+def test_rejects_bad_lengths():
+    with pytest.raises(ConfigurationError):
+        solve_tridiagonal([1.0], [1.0, 1.0, 1.0], [1.0], [1.0, 1.0, 1.0])
+    with pytest.raises(ConfigurationError):
+        solve_tridiagonal([1.0], [1.0, 1.0], [1.0], [1.0, 1.0, 1.0])
+
+
+def test_laplacian_solve_is_linear_profile():
+    """Discrete Laplacian with Dirichlet data reproduces a line."""
+    n = 20
+    diag = np.full(n, 2.0)
+    off = np.full(n - 1, -1.0)
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0  # boundary value folded into rhs
+    x = solve_tridiagonal(off, diag, off, rhs)
+    expected = np.arange(1, n + 1) / (n + 1)
+    assert np.allclose(x, expected, atol=1e-12)

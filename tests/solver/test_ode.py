@@ -1,0 +1,86 @@
+"""ODE wrapper: analytic decays, events, failure handling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.solver import integrate_ivp
+
+
+class TestExponentialDecay:
+    def test_matches_analytic_solution(self):
+        result = integrate_ivp(
+            lambda t, y: -2.0 * y, (0.0, 3.0), [1.0], dense_samples=50
+        )
+        expected = np.exp(-2.0 * result.t)
+        assert np.allclose(result.y[0], expected, rtol=1e-6)
+
+    def test_final_state_and_time(self):
+        result = integrate_ivp(lambda t, y: -y, (0.0, 1.0), [5.0])
+        assert result.final_time == pytest.approx(1.0)
+        assert result.final_state[0] == pytest.approx(5.0 / math.e, rel=1e-6)
+
+
+class TestSystems:
+    def test_harmonic_oscillator_conserves_energy(self):
+        def rhs(_t, y):
+            return np.array([y[1], -y[0]])
+
+        result = integrate_ivp(
+            rhs, (0.0, 20.0), [1.0, 0.0], rtol=1e-10, atol=1e-12,
+            dense_samples=100,
+        )
+        energy = result.y[0] ** 2 + result.y[1] ** 2
+        assert np.allclose(energy, 1.0, rtol=1e-6)
+
+
+class TestEvents:
+    def test_terminal_event_stops_integration(self):
+        def crossing(_t, y):
+            return y[0] - 0.5
+
+        crossing.terminal = True
+        result = integrate_ivp(
+            lambda t, y: -y, (0.0, 10.0), [1.0], events=[crossing]
+        )
+        assert result.terminated_by_event
+        assert result.final_time == pytest.approx(math.log(2.0), rel=1e-6)
+        assert result.event_times[0][0] == pytest.approx(
+            math.log(2.0), rel=1e-6
+        )
+
+    def test_non_terminal_event_recorded_but_continues(self):
+        def crossing(_t, y):
+            return y[0] - 0.5
+
+        result = integrate_ivp(
+            lambda t, y: -y, (0.0, 5.0), [1.0], events=[crossing]
+        )
+        assert not result.terminated_by_event
+        assert result.event_times[0].size == 1
+
+
+class TestStiffProblem:
+    def test_stiff_decay_integrates(self):
+        """A classically stiff system (rate 1e6 vs 1): LSODA handles it."""
+
+        def rhs(_t, y):
+            return np.array([-1e6 * (y[0] - math.cos(_t))])
+
+        result = integrate_ivp(rhs, (0.0, 1.0), [0.0])
+        assert result.final_state[0] == pytest.approx(
+            math.cos(1.0), rel=1e-4
+        )
+
+
+class TestFailure:
+    def test_explosive_growth_raises(self):
+        with pytest.raises(ConvergenceError):
+            integrate_ivp(
+                lambda t, y: y * y,
+                (0.0, 10.0),
+                [1.0],
+                method="RK45",
+            )

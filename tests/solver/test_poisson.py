@@ -1,0 +1,116 @@
+"""1-D Poisson solver: analytic cases and interface conditions."""
+
+import numpy as np
+import pytest
+
+from repro.constants import VACUUM_PERMITTIVITY
+from repro.errors import ConfigurationError
+from repro.solver import (
+    PoissonProblem1D,
+    nonuniform_grid,
+    solve_poisson_1d,
+    uniform_grid,
+)
+
+
+def _uniform_problem(n=101, phi_l=0.0, phi_r=1.0, rho=None, eps_r=1.0):
+    grid = uniform_grid(0.0, 1e-8, n)
+    eps = np.full(grid.n - 1, eps_r * VACUUM_PERMITTIVITY)
+    charge = np.zeros(grid.n) if rho is None else rho
+    return PoissonProblem1D(grid, eps, charge, phi_l, phi_r)
+
+
+class TestLaplaceSolutions:
+    def test_zero_charge_gives_linear_potential(self):
+        sol = solve_poisson_1d(_uniform_problem())
+        x = sol.grid.points
+        expected = x / x[-1]
+        assert np.allclose(sol.potential, expected, atol=1e-12)
+
+    def test_constant_field_everywhere(self):
+        sol = solve_poisson_1d(_uniform_problem(phi_r=5.0))
+        assert np.allclose(
+            sol.field_midpoints, sol.field_midpoints[0], rtol=1e-10
+        )
+        # E = -dphi/dx = -5 V / 10 nm.
+        assert sol.field_midpoints[0] == pytest.approx(-5.0 / 1e-8)
+
+    def test_equal_boundaries_give_flat_potential(self):
+        sol = solve_poisson_1d(_uniform_problem(phi_l=2.0, phi_r=2.0))
+        assert np.allclose(sol.potential, 2.0)
+
+
+class TestDielectricInterface:
+    def test_displacement_continuous_across_interface(self):
+        grid = nonuniform_grid([0.0, 5e-9, 13e-9], [40, 60])
+        eps = np.where(
+            grid.midpoints() < 5e-9, 3.9, 25.0
+        ) * VACUUM_PERMITTIVITY
+        problem = PoissonProblem1D(grid, eps, np.zeros(grid.n), 0.0, 3.0)
+        sol = solve_poisson_1d(problem)
+        d = sol.displacement_midpoints
+        assert np.allclose(d, d[0], rtol=1e-9)
+
+    def test_field_ratio_is_inverse_permittivity_ratio(self):
+        grid = nonuniform_grid([0.0, 5e-9, 10e-9], [50, 50])
+        eps = np.where(grid.midpoints() < 5e-9, 2.0, 8.0) * VACUUM_PERMITTIVITY
+        sol = solve_poisson_1d(
+            PoissonProblem1D(grid, eps, np.zeros(grid.n), 0.0, 1.0)
+        )
+        e_low = sol.field_at(2.5e-9)
+        e_high = sol.field_at(7.5e-9)
+        assert e_low / e_high == pytest.approx(4.0, rel=1e-9)
+
+
+class TestChargedSolutions:
+    def test_uniform_charge_parabolic_potential(self):
+        """phi'' = -rho/eps with phi(0)=phi(L)=0 has the parabola
+        phi = rho/(2 eps) x (L - x)."""
+        n = 201
+        grid = uniform_grid(0.0, 1e-8, n)
+        rho_value = 1e6  # C/m^3
+        eps = np.full(grid.n - 1, VACUUM_PERMITTIVITY)
+        sol = solve_poisson_1d(
+            PoissonProblem1D(
+                grid, eps, np.full(grid.n, rho_value), 0.0, 0.0
+            )
+        )
+        x = grid.points
+        expected = rho_value / (2.0 * VACUUM_PERMITTIVITY) * x * (x[-1] - x)
+        assert np.allclose(sol.potential, expected, rtol=1e-3, atol=1e-9)
+
+    def test_sign_convention_positive_charge_positive_potential(self):
+        sol = solve_poisson_1d(
+            _uniform_problem(rho=np.full(101, 1e5), phi_r=0.0)
+        )
+        assert sol.potential[50] > 0.0
+
+
+class TestValidation:
+    def test_rejects_wrong_permittivity_length(self):
+        grid = uniform_grid(0.0, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            PoissonProblem1D(
+                grid, np.ones(10), np.zeros(10), 0.0, 1.0
+            )
+
+    def test_rejects_negative_permittivity(self):
+        grid = uniform_grid(0.0, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            PoissonProblem1D(
+                grid, -np.ones(9), np.zeros(10), 0.0, 1.0
+            )
+
+    def test_rejects_wrong_charge_length(self):
+        grid = uniform_grid(0.0, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            PoissonProblem1D(grid, np.ones(9), np.zeros(9), 0.0, 1.0)
+
+    def test_two_node_problem_is_linear(self):
+        grid = uniform_grid(0.0, 1.0, 2)
+        sol = solve_poisson_1d(
+            PoissonProblem1D(
+                grid, np.array([VACUUM_PERMITTIVITY]), np.zeros(2), 1.0, 3.0
+            )
+        )
+        assert np.allclose(sol.potential, [1.0, 3.0])

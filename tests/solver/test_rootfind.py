@@ -1,0 +1,73 @@
+"""Root finding and series crossing detection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solver import bisect, brentq_checked, find_crossing
+
+
+class TestBisect:
+    def test_finds_simple_root(self):
+        root = bisect(lambda x: x * x - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(math.sqrt(2.0), abs=1e-10)
+
+    def test_endpoint_root_returned_immediately(self):
+        assert bisect(lambda x: x, 0.0, 1.0) == 0.0
+        assert bisect(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_non_bracketing(self):
+        with pytest.raises(ConfigurationError):
+            bisect(lambda x: x * x + 1.0, -1.0, 1.0)
+
+    def test_handles_decades_spanning_function(self):
+        """Crossing between two exponentials 20 decades apart at the ends."""
+
+        def f(x):
+            return math.exp(20.0 * x) - math.exp(10.0 * (1.0 - x))
+
+        root = bisect(f, 0.0, 1.0, tol=1e-14)
+        assert 20.0 * root == pytest.approx(10.0 * (1.0 - root), rel=1e-9)
+
+
+class TestBrentq:
+    def test_matches_bisect(self):
+        f = lambda x: math.cos(x) - x
+        assert brentq_checked(f, 0.0, 1.0) == pytest.approx(
+            bisect(f, 0.0, 1.0), abs=1e-9
+        )
+
+    def test_rejects_non_bracketing(self):
+        with pytest.raises(ConfigurationError):
+            brentq_checked(lambda x: 1.0 + x * x, -1.0, 1.0)
+
+
+class TestFindCrossing:
+    def test_linear_crossing_interpolated(self):
+        t = np.linspace(0.0, 1.0, 11)
+        assert find_crossing(t, 1.0 - t, t) == pytest.approx(0.5)
+
+    def test_exact_tie_at_sample_returned(self):
+        t = np.array([0.0, 1.0, 2.0])
+        a = np.array([2.0, 1.0, 0.0])
+        b = np.array([0.0, 1.0, 2.0])
+        assert find_crossing(t, a, b) == pytest.approx(1.0)
+
+    def test_no_crossing_returns_none(self):
+        t = np.linspace(0.0, 1.0, 5)
+        assert find_crossing(t, t + 1.0, t) is None
+
+    def test_first_of_multiple_crossings(self):
+        t = np.linspace(0.0, 2.0 * math.pi, 400)
+        got = find_crossing(t, np.sin(t), np.zeros_like(t) + 0.5)
+        assert got == pytest.approx(math.asin(0.5), abs=1e-3)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            find_crossing(np.arange(3.0), np.arange(3.0), np.arange(4.0))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            find_crossing(np.array([0.0]), np.array([1.0]), np.array([2.0]))

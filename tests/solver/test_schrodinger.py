@@ -1,0 +1,123 @@
+"""Schrodinger eigensolver against analytic spectra."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import ELECTRON_MASS, HBAR
+from repro.errors import ConfigurationError
+from repro.solver import solve_schrodinger_1d, uniform_grid
+from repro.units import ev_to_j
+
+
+def infinite_well_levels(length_m, mass_kg, n_levels):
+    return [
+        (n * math.pi / length_m) ** 2 * HBAR**2 / (2.0 * mass_kg)
+        for n in range(1, n_levels + 1)
+    ]
+
+
+class TestInfiniteWell:
+    def test_energies_match_analytic(self):
+        L = 10e-9
+        grid = uniform_grid(0.0, L, 1501)
+        states = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), ELECTRON_MASS, n_states=4
+        )
+        exact = infinite_well_levels(L, ELECTRON_MASS, 4)
+        for got, ref in zip(states.energies, exact):
+            assert got == pytest.approx(ref, rel=1e-4)
+
+    def test_wavefunctions_normalised(self):
+        grid = uniform_grid(0.0, 5e-9, 501)
+        states = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), ELECTRON_MASS, n_states=3
+        )
+        h = grid.spacing[0]
+        norms = np.sum(np.abs(states.wavefunctions) ** 2, axis=0) * h
+        assert np.allclose(norms, 1.0, rtol=1e-10)
+
+    def test_ground_state_has_no_node(self):
+        grid = uniform_grid(0.0, 5e-9, 501)
+        states = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), ELECTRON_MASS, n_states=2
+        )
+        psi0 = states.wavefunctions[:, 0]
+        assert np.all(psi0 > 0) or np.all(psi0 < 0)
+
+    def test_first_excited_has_one_node(self):
+        grid = uniform_grid(0.0, 5e-9, 501)
+        states = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), ELECTRON_MASS, n_states=2
+        )
+        psi1 = states.wavefunctions[:, 1]
+        sign_changes = int(np.sum(np.abs(np.diff(np.sign(psi1))) > 1))
+        assert sign_changes == 1
+
+
+class TestHarmonicOscillator:
+    def test_evenly_spaced_levels(self):
+        """V = (1/2) m w^2 x^2 has levels hbar*w*(n + 1/2)."""
+        omega = 2.0e14
+        L = 40e-9
+        grid = uniform_grid(-L / 2, L / 2, 3001)
+        v = 0.5 * ELECTRON_MASS * omega**2 * grid.points**2
+        states = solve_schrodinger_1d(grid, v, ELECTRON_MASS, n_states=3)
+        expected = [HBAR * omega * (n + 0.5) for n in range(3)]
+        for got, ref in zip(states.energies, expected):
+            assert got == pytest.approx(ref, rel=1e-3)
+
+
+class TestEffectiveMass:
+    def test_lighter_mass_raises_energies(self):
+        grid = uniform_grid(0.0, 5e-9, 801)
+        heavy = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), ELECTRON_MASS, n_states=1
+        )
+        light = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), 0.2 * ELECTRON_MASS, n_states=1
+        )
+        assert light.energies[0] == pytest.approx(
+            5.0 * heavy.energies[0], rel=1e-6
+        )
+
+
+class TestDensityAndValidation:
+    def test_density_integrates_to_total_occupation(self):
+        grid = uniform_grid(0.0, 5e-9, 401)
+        states = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), ELECTRON_MASS, n_states=2
+        )
+        occ = np.array([3.0, 1.5])
+        density = states.density(occ)
+        total = np.sum(density) * grid.spacing[0]
+        assert total == pytest.approx(4.5, rel=1e-10)
+
+    def test_rejects_nonuniform_grid(self):
+        from repro.solver import nonuniform_grid
+
+        grid = nonuniform_grid([0.0, 1e-9, 5e-9], [5, 5])
+        with pytest.raises(ConfigurationError):
+            solve_schrodinger_1d(grid, np.zeros(grid.n), ELECTRON_MASS)
+
+    def test_rejects_bad_occupation_length(self):
+        grid = uniform_grid(0.0, 5e-9, 101)
+        states = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), ELECTRON_MASS, n_states=2
+        )
+        with pytest.raises(ConfigurationError):
+            states.density(np.ones(3))
+
+    def test_barrier_raises_energy_vs_free_well(self):
+        grid = uniform_grid(0.0, 10e-9, 801)
+        barrier = np.where(
+            np.abs(grid.points - 5e-9) < 1e-9, ev_to_j(0.3), 0.0
+        )
+        free = solve_schrodinger_1d(
+            grid, np.zeros(grid.n), ELECTRON_MASS, n_states=1
+        )
+        blocked = solve_schrodinger_1d(
+            grid, barrier, ELECTRON_MASS, n_states=1
+        )
+        assert blocked.energies[0] > free.energies[0]

@@ -1,0 +1,172 @@
+"""Transfer-matrix transmission against analytic results."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.constants import ELECTRON_MASS, HBAR
+from repro.errors import ConfigurationError
+from repro.solver import (
+    BarrierSegment,
+    PiecewiseBarrier,
+    transmission_probability,
+)
+from repro.units import ev_to_j, nm_to_m
+
+
+def analytic_rectangular_transmission(energy_j, height_j, width_m, mass_kg):
+    """Exact T(E) for a rectangular barrier (standard textbook result)."""
+    k = math.sqrt(2.0 * mass_kg * energy_j) / HBAR
+    if energy_j < height_j:
+        kappa = math.sqrt(2.0 * mass_kg * (height_j - energy_j)) / HBAR
+        s = math.sinh(kappa * width_m)
+        return 1.0 / (
+            1.0
+            + (k**2 + kappa**2) ** 2 / (4.0 * k**2 * kappa**2) * s**2
+        )
+    q = math.sqrt(2.0 * mass_kg * (energy_j - height_j)) / HBAR
+    s = math.sin(q * width_m)
+    return 1.0 / (
+        1.0 + (k**2 - q**2) ** 2 / (4.0 * k**2 * q**2) * s**2
+    )
+
+
+class TestRectangularBarrier:
+    @pytest.mark.parametrize("energy_ev", [0.5, 1.0, 2.0, 2.9])
+    def test_subbarrier_matches_analytic(self, energy_ev):
+        height = ev_to_j(3.0)
+        width = nm_to_m(1.0)
+        barrier = PiecewiseBarrier(
+            [BarrierSegment(width, height, ELECTRON_MASS)]
+        )
+        got = transmission_probability(barrier, ev_to_j(energy_ev))
+        ref = analytic_rectangular_transmission(
+            ev_to_j(energy_ev), height, width, ELECTRON_MASS
+        )
+        assert got == pytest.approx(ref, rel=1e-9)
+
+    @pytest.mark.parametrize("energy_ev", [3.5, 5.0, 8.0])
+    def test_above_barrier_matches_analytic(self, energy_ev):
+        height = ev_to_j(3.0)
+        width = nm_to_m(1.0)
+        barrier = PiecewiseBarrier(
+            [BarrierSegment(width, height, ELECTRON_MASS)]
+        )
+        got = transmission_probability(barrier, ev_to_j(energy_ev))
+        ref = analytic_rectangular_transmission(
+            ev_to_j(energy_ev), height, width, ELECTRON_MASS
+        )
+        assert got == pytest.approx(ref, rel=1e-9)
+
+    def test_no_barrier_transmits_fully(self):
+        barrier = PiecewiseBarrier(
+            [BarrierSegment(nm_to_m(2.0), 0.0, ELECTRON_MASS)]
+        )
+        assert transmission_probability(barrier, ev_to_j(1.0)) == pytest.approx(
+            1.0, rel=1e-12
+        )
+
+    def test_transmission_bounded(self):
+        barrier = PiecewiseBarrier(
+            [BarrierSegment(nm_to_m(3.0), ev_to_j(4.0), 0.42 * ELECTRON_MASS)]
+        )
+        for e_ev in (0.1, 1.0, 3.0, 5.0, 10.0):
+            t = transmission_probability(barrier, ev_to_j(e_ev))
+            assert 0.0 <= t <= 1.0
+
+    def test_thicker_barrier_transmits_less(self):
+        thin = PiecewiseBarrier(
+            [BarrierSegment(nm_to_m(1.0), ev_to_j(3.0), ELECTRON_MASS)]
+        )
+        thick = PiecewiseBarrier(
+            [BarrierSegment(nm_to_m(2.0), ev_to_j(3.0), ELECTRON_MASS)]
+        )
+        e = ev_to_j(1.0)
+        assert transmission_probability(thick, e) < transmission_probability(
+            thin, e
+        )
+
+
+class TestResonantStructures:
+    def test_double_barrier_has_resonance(self):
+        """A symmetric double barrier shows a transmission peak between
+        the off-resonance floors (resonant tunneling diode physics)."""
+        m = ELECTRON_MASS
+        seg = lambda w, v: BarrierSegment(nm_to_m(w), ev_to_j(v), m)
+        barrier = PiecewiseBarrier(
+            [seg(1.0, 0.4), seg(4.0, 0.0), seg(1.0, 0.4)]
+        )
+        energies = [0.01 + 0.002 * i for i in range(150)]
+        ts = [
+            transmission_probability(barrier, ev_to_j(e)) for e in energies
+        ]
+        peak = max(ts)
+        assert peak > 0.5  # sharp resonance well above the floor
+        assert peak > 50.0 * min(ts)
+
+    def test_split_slab_equals_single_slab(self):
+        """Slicing one rectangular barrier into segments must not change T."""
+        m = 0.5 * ELECTRON_MASS
+        height = ev_to_j(2.0)
+        single = PiecewiseBarrier([BarrierSegment(nm_to_m(2.0), height, m)])
+        split = PiecewiseBarrier(
+            [
+                BarrierSegment(nm_to_m(0.5), height, m),
+                BarrierSegment(nm_to_m(1.0), height, m),
+                BarrierSegment(nm_to_m(0.5), height, m),
+            ]
+        )
+        e = ev_to_j(0.8)
+        assert transmission_probability(split, e) == pytest.approx(
+            transmission_probability(single, e), rel=1e-10
+        )
+
+
+class TestProfileDiscretisation:
+    def test_from_profile_converges_to_analytic_rectangular(self):
+        height = ev_to_j(3.0)
+        width = nm_to_m(1.5)
+        barrier = PiecewiseBarrier.from_profile(
+            lambda x: height, width, ELECTRON_MASS, n_slabs=80
+        )
+        got = transmission_probability(barrier, ev_to_j(1.2))
+        ref = analytic_rectangular_transmission(
+            ev_to_j(1.2), height, width, ELECTRON_MASS
+        )
+        assert got == pytest.approx(ref, rel=1e-6)
+
+    def test_energy_exactly_at_band_edge_regularised(self):
+        """Regression: E == V inside a segment used to divide by zero
+        (k = 0 in the interface matching); it must now return a finite
+        probability continuous with neighbouring energies."""
+        height = ev_to_j(1.0)
+        barrier = PiecewiseBarrier(
+            [BarrierSegment(nm_to_m(1.0), height, ELECTRON_MASS)]
+        )
+        t_at = transmission_probability(barrier, height)
+        t_below = transmission_probability(barrier, height * (1 - 1e-9))
+        t_above = transmission_probability(barrier, height * (1 + 1e-9))
+        assert 0.0 <= t_at <= 1.0
+        assert t_below <= t_at <= t_above or abs(t_above - t_below) < 1e-6
+
+    def test_below_lead_energy_returns_zero(self):
+        barrier = PiecewiseBarrier(
+            [BarrierSegment(nm_to_m(1.0), ev_to_j(3.0), ELECTRON_MASS)],
+            lead_potential_left_j=ev_to_j(0.5),
+        )
+        assert transmission_probability(barrier, ev_to_j(0.2)) == 0.0
+
+
+class TestValidation:
+    def test_rejects_empty_segments(self):
+        with pytest.raises(ConfigurationError):
+            PiecewiseBarrier([])
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ConfigurationError):
+            BarrierSegment(0.0, ev_to_j(1.0), ELECTRON_MASS)
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ConfigurationError):
+            BarrierSegment(nm_to_m(1.0), ev_to_j(1.0), 0.0)

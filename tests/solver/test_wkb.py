@@ -1,0 +1,91 @@
+"""WKB action integrals against closed forms."""
+
+import math
+
+import pytest
+
+from repro.constants import ELECTRON_MASS, ELEMENTARY_CHARGE, HBAR
+from repro.errors import ConfigurationError
+from repro.solver import wkb_action, wkb_transmission
+from repro.solver.wkb import triangular_action_exact
+from repro.units import ev_to_j, nm_to_m
+
+
+class TestRectangularBarrier:
+    def test_action_matches_closed_form(self):
+        """Constant barrier: S = kappa * width."""
+        height = ev_to_j(3.0)
+        energy = ev_to_j(1.0)
+        width = nm_to_m(2.0)
+        mass = 0.42 * ELECTRON_MASS
+        kappa = math.sqrt(2.0 * mass * (height - energy)) / HBAR
+        got = wkb_action(lambda x: height, energy, mass, 0.0, width)
+        assert got == pytest.approx(kappa * width, rel=1e-6)
+
+    def test_transmission_is_exp_minus_two_s(self):
+        height = ev_to_j(2.0)
+        energy = ev_to_j(0.5)
+        width = nm_to_m(1.0)
+        s = wkb_action(lambda x: height, energy, ELECTRON_MASS, 0.0, width)
+        t = wkb_transmission(
+            lambda x: height, energy, ELECTRON_MASS, 0.0, width
+        )
+        assert t == pytest.approx(math.exp(-2.0 * s), rel=1e-12)
+
+    def test_allowed_region_contributes_nothing(self):
+        """Energy above the barrier everywhere: zero action."""
+        got = wkb_action(
+            lambda x: ev_to_j(1.0), ev_to_j(2.0), ELECTRON_MASS, 0.0, 1e-9
+        )
+        assert got == 0.0
+
+
+class TestTriangularBarrier:
+    def test_numeric_matches_exact_triangular_action(self):
+        phi = ev_to_j(3.2)
+        mass = 0.42 * ELECTRON_MASS
+        field = 1.0e9
+
+        def profile(x):
+            return phi - ELEMENTARY_CHARGE * field * x
+
+        width = phi / (ELEMENTARY_CHARGE * field)  # exit point
+        numeric = wkb_action(profile, 0.0, mass, 0.0, width, n_points=20001)
+        exact = triangular_action_exact(phi, field, mass)
+        assert numeric == pytest.approx(exact, rel=1e-4)
+
+    def test_triangular_action_equals_fn_exponent(self):
+        """exp(-2S) of the triangular barrier equals exp(-B/E) of eq. (4)."""
+        from repro.tunneling import fn_coefficient_b
+
+        phi_ev = 3.2
+        mass_ratio = 0.42
+        field = 9.0e8
+        b = fn_coefficient_b(phi_ev, mass_ratio)
+        s = triangular_action_exact(
+            ev_to_j(phi_ev), field, mass_ratio * ELECTRON_MASS
+        )
+        assert 2.0 * s == pytest.approx(b / field, rel=1e-12)
+
+    def test_higher_field_lowers_action(self):
+        phi = ev_to_j(3.0)
+        mass = ELECTRON_MASS
+        s1 = triangular_action_exact(phi, 5e8, mass)
+        s2 = triangular_action_exact(phi, 1e9, mass)
+        assert s2 < s1
+
+
+class TestValidation:
+    def test_rejects_reversed_limits(self):
+        with pytest.raises(ConfigurationError):
+            wkb_action(lambda x: 1.0, 0.0, ELECTRON_MASS, 1.0, 0.0)
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ConfigurationError):
+            wkb_action(lambda x: 1.0, 0.0, 0.0, 0.0, 1.0)
+
+    def test_triangular_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            triangular_action_exact(-1.0, 1e9, ELECTRON_MASS)
+        with pytest.raises(ConfigurationError):
+            triangular_action_exact(1e-19, 0.0, ELECTRON_MASS)

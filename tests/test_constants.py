@@ -1,0 +1,48 @@
+"""Constants and derived values."""
+
+import math
+
+import pytest
+
+from repro import constants
+
+
+def test_elementary_charge_exact_si_value():
+    assert constants.ELEMENTARY_CHARGE == 1.602176634e-19
+
+
+def test_hbar_is_h_over_two_pi():
+    assert constants.HBAR == pytest.approx(
+        constants.PLANCK / (2.0 * math.pi), rel=1e-15
+    )
+
+
+def test_thermal_voltage_at_300k_is_about_26mv():
+    assert constants.thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+
+def test_thermal_voltage_rejects_nonpositive_temperature():
+    with pytest.raises(ValueError):
+        constants.thermal_voltage(0.0)
+    with pytest.raises(ValueError):
+        constants.thermal_voltage(-10.0)
+
+
+def test_thermal_energy_scales_linearly():
+    assert constants.thermal_energy_j(600.0) == pytest.approx(
+        2.0 * constants.thermal_energy_j(300.0)
+    )
+
+
+def test_graphene_fermi_velocity_is_about_1e6():
+    assert constants.GRAPHENE_FERMI_VELOCITY == pytest.approx(8.8e5, rel=0.1)
+
+
+def test_graphene_lattice_constant_from_cc_distance():
+    assert constants.GRAPHENE_LATTICE_CONSTANT == pytest.approx(
+        math.sqrt(3.0) * 0.142e-9, rel=1e-12
+    )
+
+
+def test_ev_equals_charge_in_joules():
+    assert constants.ELECTRON_VOLT == constants.ELEMENTARY_CHARGE

@@ -1,0 +1,104 @@
+"""JSON configuration serialization."""
+
+import pytest
+
+from repro.device import FloatingGateTransistor, PROGRAM_BIAS
+from repro.device.geometry import DeviceGeometry
+from repro.errors import ConfigurationError
+from repro.io import (
+    design_point_from_dict,
+    design_point_to_dict,
+    device_from_dict,
+    device_to_dict,
+    experiment_result_to_dict,
+    geometry_from_dict,
+    geometry_to_dict,
+    load_json,
+    save_json,
+)
+from repro.optimization import DesignPoint
+from repro.units import nm_to_m
+
+
+class TestGeometryRoundTrip:
+    def test_default_round_trip(self):
+        g = DeviceGeometry()
+        assert geometry_from_dict(geometry_to_dict(g)) == g
+
+    def test_custom_round_trip(self):
+        g = DeviceGeometry(
+            tunnel_oxide_thickness_m=nm_to_m(6.0),
+            control_oxide_thickness_m=nm_to_m(10.0),
+            control_gate_area_multiplier=2.5,
+        )
+        assert geometry_from_dict(geometry_to_dict(g)) == g
+
+    def test_validation_reapplied_on_load(self):
+        record = geometry_to_dict(DeviceGeometry())
+        record["tunnel_oxide_thickness_m"] = 1e-8  # > control oxide
+        with pytest.raises(ConfigurationError):
+            geometry_from_dict(record)
+
+
+class TestDeviceRoundTrip:
+    def test_default_device(self):
+        device = FloatingGateTransistor()
+        restored = device_from_dict(device_to_dict(device))
+        assert restored == device
+
+    def test_restored_device_behaves_identically(self):
+        device = FloatingGateTransistor()
+        restored = device_from_dict(device_to_dict(device))
+        assert restored.floating_gate_voltage(
+            PROGRAM_BIAS
+        ) == pytest.approx(device.floating_gate_voltage(PROGRAM_BIAS))
+        assert restored.gate_coupling_ratio == pytest.approx(
+            device.gate_coupling_ratio
+        )
+
+    def test_materials_resolved_by_name(self):
+        record = device_to_dict(FloatingGateTransistor())
+        assert record["tunnel_dielectric"] == "SiO2"
+        restored = device_from_dict(record)
+        assert restored.tunnel_dielectric.name == "SiO2"
+
+    def test_missing_field_rejected(self):
+        record = device_to_dict(FloatingGateTransistor())
+        del record["geometry"]
+        with pytest.raises(ConfigurationError):
+            device_from_dict(record)
+
+
+class TestDesignPointRoundTrip:
+    def test_round_trip(self):
+        point = DesignPoint(program_voltage_v=16.0, tunnel_oxide_nm=6.0)
+        assert design_point_from_dict(design_point_to_dict(point)) == point
+
+
+class TestExperimentExport:
+    def test_result_is_json_safe(self, tmp_path):
+        import json
+
+        from repro.experiments import run_experiment
+
+        result = run_experiment("fig6")
+        record = experiment_result_to_dict(result)
+        text = json.dumps(record)  # must not raise
+        assert "fig6" in text
+        assert len(record["series"]) == 4
+        assert all(c["passed"] for c in record["checks"])
+
+
+class TestFileIo:
+    def test_save_load_round_trip(self, tmp_path):
+        record = device_to_dict(FloatingGateTransistor())
+        path = save_json(record, tmp_path / "device.json")
+        assert load_json(path) == record
+
+    def test_load_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_json(tmp_path / "absent.json")
+
+    def test_save_creates_directories(self, tmp_path):
+        path = save_json({"a": 1}, tmp_path / "deep" / "cfg.json")
+        assert path.exists()

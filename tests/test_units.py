@@ -1,0 +1,43 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro import units
+from repro.constants import ELEMENTARY_CHARGE
+
+
+def test_nm_round_trip():
+    assert units.m_to_nm(units.nm_to_m(5.0)) == pytest.approx(5.0)
+
+
+def test_nm_to_m_scale():
+    assert units.nm_to_m(1.0) == 1e-9
+
+
+def test_um_to_m_scale():
+    assert units.um_to_m(2.0) == pytest.approx(2e-6)
+
+
+def test_ev_round_trip():
+    assert units.j_to_ev(units.ev_to_j(3.2)) == pytest.approx(3.2)
+
+
+def test_ev_to_j_uses_elementary_charge():
+    assert units.ev_to_j(1.0) == ELEMENTARY_CHARGE
+
+
+def test_field_conversion_mv_per_cm():
+    # 10 MV/cm is the canonical SiO2 breakdown: 1e9 V/m.
+    assert units.mv_per_cm_to_v_per_m(10.0) == pytest.approx(1e9)
+    assert units.v_per_m_to_mv_per_cm(1e9) == pytest.approx(10.0)
+
+
+def test_current_density_conversion():
+    assert units.a_per_cm2_to_a_per_m2(1.0) == pytest.approx(1e4)
+    assert units.a_per_m2_to_a_per_cm2(1e4) == pytest.approx(1.0)
+
+
+def test_capacitance_density_conversion_round_trip():
+    assert units.f_per_m2_to_f_per_cm2(
+        units.f_per_cm2_to_f_per_m2(3.45e-7)
+    ) == pytest.approx(3.45e-7)

@@ -1,0 +1,85 @@
+"""Tunnel barrier descriptions."""
+
+import pytest
+
+from repro.constants import ELECTRON_MASS, ELEMENTARY_CHARGE
+from repro.errors import ConfigurationError
+from repro.materials import SIO2
+from repro.tunneling import TunnelBarrier
+from repro.units import ev_to_j, nm_to_m
+
+
+@pytest.fixture()
+def barrier():
+    return TunnelBarrier(
+        barrier_height_ev=3.2, thickness_m=nm_to_m(5.0), mass_ratio=0.42
+    )
+
+
+class TestConstruction:
+    def test_derived_quantities(self, barrier):
+        assert barrier.barrier_height_j == pytest.approx(ev_to_j(3.2))
+        assert barrier.mass_kg == pytest.approx(0.42 * ELECTRON_MASS)
+
+    def test_from_materials_uses_affinity_rule(self):
+        b = TunnelBarrier.from_materials(4.56, SIO2, nm_to_m(5.0))
+        assert b.barrier_height_ev == pytest.approx(3.61)
+        assert b.mass_ratio == SIO2.tunneling_mass_ratio
+        assert b.relative_permittivity == SIO2.relative_permittivity
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(barrier_height_ev=0.0, thickness_m=1e-9),
+            dict(barrier_height_ev=3.0, thickness_m=0.0),
+            dict(barrier_height_ev=3.0, thickness_m=1e-9, mass_ratio=0.0),
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TunnelBarrier(**kwargs)
+
+
+class TestFieldVoltage:
+    def test_field_voltage_round_trip(self, barrier):
+        v = 9.0
+        e = barrier.field_for_voltage(v)
+        assert barrier.voltage_drop_for_field(e) == pytest.approx(v)
+
+    def test_paper_operating_point_field(self, barrier):
+        """9 V across 5 nm = 1.8e9 V/m (paper Section III numbers)."""
+        assert barrier.field_for_voltage(9.0) == pytest.approx(1.8e9)
+
+
+class TestProfile:
+    def test_profile_is_triangular(self, barrier):
+        field = 1e9
+        profile = barrier.profile_under_bias(field)
+        assert profile(0.0) == pytest.approx(barrier.barrier_height_j)
+        drop = profile(0.0) - profile(nm_to_m(1.0))
+        assert drop == pytest.approx(
+            ELEMENTARY_CHARGE * field * nm_to_m(1.0)
+        )
+
+    def test_profile_rejects_negative_field(self, barrier):
+        with pytest.raises(ConfigurationError):
+            barrier.profile_under_bias(-1.0)
+
+
+class TestApparentThinning:
+    def test_exit_thickness_shorter_at_high_field(self, barrier):
+        """V_ox > phi_B: electrons exit before the far interface."""
+        field = barrier.field_for_voltage(9.0)
+        exit_at = barrier.exit_thickness_m(field)
+        assert exit_at < barrier.thickness_m
+        # phi_B / E = 3.2 / 1.8e9 m
+        assert exit_at == pytest.approx(3.2 / 1.8e9, rel=1e-9)
+
+    def test_exit_thickness_full_at_low_field(self, barrier):
+        field = barrier.field_for_voltage(1.0)
+        assert barrier.exit_thickness_m(field) == barrier.thickness_m
+
+    def test_fn_condition(self, barrier):
+        assert barrier.is_fowler_nordheim(9.0)
+        assert barrier.is_fowler_nordheim(-9.0)
+        assert not barrier.is_fowler_nordheim(2.0)

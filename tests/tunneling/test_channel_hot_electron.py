@@ -1,0 +1,118 @@
+"""Channel-hot-electron injection (lucky-electron model)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tunneling import (
+    CheOperatingPoint,
+    LuckyElectronModel,
+    compare_che_to_fn,
+)
+
+
+@pytest.fixture()
+def model():
+    return LuckyElectronModel(barrier_height_ev=3.1)
+
+
+class TestInjectionProbability:
+    def test_zero_at_zero_field(self, model):
+        assert model.injection_probability(0.0) == 0.0
+
+    def test_monotonic_in_field(self, model):
+        assert model.injection_probability(
+            2e8
+        ) > model.injection_probability(1e8)
+
+    def test_bounded_by_prefactor(self, model):
+        assert (
+            model.injection_probability(1e12)
+            <= model.injection_prefactor
+        )
+
+    def test_lucky_electron_exponent(self, model):
+        """P(E) must follow exp(-phi/(q lambda E)) exactly."""
+        e1, e2 = 1.0e8, 2.0e8
+        p1 = model.injection_probability(e1)
+        p2 = model.injection_probability(e2)
+        phi_over_ql = 3.1 / model.mean_free_path_m  # in V/m units
+        expected_log_ratio = phi_over_ql * (1.0 / e1 - 1.0 / e2)
+        assert math.log(p2 / p1) == pytest.approx(
+            expected_log_ratio, rel=1e-9
+        )
+
+    def test_higher_barrier_suppresses_injection(self):
+        """At the paper's NOR field (5 V / 40 nm = 1.25e8 V/m) the hot
+        electrons carry ~1.1 eV per mean free path, so 0.5 eV of extra
+        barrier costs a factor exp(0.5/1.125) ~ 1.6; at weaker fields
+        the suppression grows exponentially."""
+        low = LuckyElectronModel(barrier_height_ev=3.1)
+        high = LuckyElectronModel(barrier_height_ev=3.6)
+        nor_field = 1.25e8
+        assert low.injection_probability(
+            nor_field
+        ) > 1.5 * high.injection_probability(nor_field)
+        weak_field = 2.0e7
+        assert low.injection_probability(
+            weak_field
+        ) > 10.0 * high.injection_probability(weak_field)
+
+    def test_field_inversion_round_trip(self, model):
+        target = 1e-6
+        field = model.required_field_for_probability(target)
+        assert model.injection_probability(field) == pytest.approx(
+            target, rel=1e-9
+        )
+
+
+class TestGateCurrent:
+    def test_proportional_to_drain_current(self, model):
+        field = 1.25e8
+        assert model.gate_current_a(1e-3, field) == pytest.approx(
+            2.0 * model.gate_current_a(5e-4, field)
+        )
+
+    def test_rejects_negative_drain_current(self, model):
+        with pytest.raises(ConfigurationError):
+            model.gate_current_a(-1.0, 1e8)
+
+
+class TestPaperComparison:
+    def test_paper_operating_point_field(self):
+        """5 V over a 40 nm pinch-off region: 1.25e8 V/m."""
+        op = CheOperatingPoint()
+        assert op.lateral_field_v_per_m == pytest.approx(1.25e8)
+
+    def test_che_needs_far_more_supply_current_than_fn(self, model):
+        """Paper: CHE drives 0.3-1 mA through the cell; FN programs with
+        < 1 nA. The supply-current ratio is therefore > 1e5."""
+        comparison = compare_che_to_fn(
+            model, CheOperatingPoint(), fn_cell_current_a=1e-9
+        )
+        assert comparison["supply_current_ratio"] > 1e5
+
+    def test_injection_efficiency_far_below_one(self, model):
+        comparison = compare_che_to_fn(
+            model, CheOperatingPoint(), fn_cell_current_a=1e-9
+        )
+        assert comparison["che_injection_efficiency"] < 1e-2
+
+    def test_rejects_nonpositive_fn_current(self, model):
+        with pytest.raises(ConfigurationError):
+            compare_che_to_fn(model, CheOperatingPoint(), 0.0)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LuckyElectronModel(barrier_height_ev=0.0)
+        with pytest.raises(ConfigurationError):
+            LuckyElectronModel(3.1, mean_free_path_m=0.0)
+        with pytest.raises(ConfigurationError):
+            LuckyElectronModel(3.1, injection_prefactor=2.0)
+
+    def test_probability_inversion_range_checked(self, model):
+        with pytest.raises(ConfigurationError):
+            model.required_field_for_probability(1.0)

@@ -1,0 +1,98 @@
+"""Direct (trapezoidal-barrier) tunneling model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tunneling import (
+    DirectTunnelingModel,
+    FowlerNordheimModel,
+    TunnelBarrier,
+)
+from repro.units import nm_to_m
+
+
+@pytest.fixture()
+def thin_barrier():
+    return TunnelBarrier(
+        barrier_height_ev=3.2, thickness_m=nm_to_m(3.0), mass_ratio=0.42
+    )
+
+
+class TestContinuityWithFn:
+    def test_equals_fn_at_barrier_voltage(self, thin_barrier):
+        """At V_ox = phi_B the trapezoid degenerates to the triangle."""
+        dt = DirectTunnelingModel(thin_barrier)
+        fn = FowlerNordheimModel(thin_barrier)
+        v = thin_barrier.barrier_height_ev
+        assert dt.current_density_from_voltage(v) == pytest.approx(
+            fn.current_density_from_voltage(v), rel=1e-12
+        )
+
+    def test_equals_fn_above_barrier_voltage(self, thin_barrier):
+        dt = DirectTunnelingModel(thin_barrier)
+        fn = FowlerNordheimModel(thin_barrier)
+        assert dt.current_density_from_voltage(6.0) == pytest.approx(
+            fn.current_density_from_voltage(6.0), rel=1e-12
+        )
+
+    def test_below_barrier_trapezoid_exceeds_fn_extrapolation(
+        self, thin_barrier
+    ):
+        """For V < phi_B the real barrier ends at the far oxide face, so
+        its WKB action is smaller than the full (fictitious) triangle the
+        FN formula integrates; the trapezoid passes *more* current than
+        the naive FN extrapolation."""
+        dt = DirectTunnelingModel(thin_barrier)
+        fn = FowlerNordheimModel(thin_barrier)
+        v = 1.5
+        assert dt.current_density_from_voltage(
+            v
+        ) > fn.current_density_from_voltage(v)
+
+
+class TestShape:
+    def test_monotonic_in_voltage(self, thin_barrier):
+        dt = DirectTunnelingModel(thin_barrier)
+        v = np.linspace(0.2, 5.0, 60)
+        j = dt.current_density_from_voltage(v)
+        assert np.all(np.diff(j) > 0.0)
+
+    def test_odd_in_voltage(self, thin_barrier):
+        dt = DirectTunnelingModel(thin_barrier)
+        assert dt.current_density_from_voltage(
+            -2.0
+        ) == pytest.approx(-dt.current_density_from_voltage(2.0))
+
+    def test_zero_at_zero_bias(self, thin_barrier):
+        dt = DirectTunnelingModel(thin_barrier)
+        assert dt.current_density_from_voltage(0.0) == 0.0
+
+    def test_thinner_oxide_conducts_more(self):
+        thick = DirectTunnelingModel(TunnelBarrier(3.2, nm_to_m(5.0)))
+        thin = DirectTunnelingModel(TunnelBarrier(3.2, nm_to_m(2.0)))
+        assert thin.current_density_from_voltage(
+            1.0
+        ) > 1e3 * thick.current_density_from_voltage(1.0)
+
+
+class TestSuppressionFactor:
+    def test_zero_at_zero_bias(self, thin_barrier):
+        dt = DirectTunnelingModel(thin_barrier)
+        assert dt.suppression_vs_fn(0.0) == pytest.approx(0.0)
+
+    def test_one_at_barrier_voltage(self, thin_barrier):
+        dt = DirectTunnelingModel(thin_barrier)
+        assert dt.suppression_vs_fn(
+            thin_barrier.barrier_height_ev
+        ) == pytest.approx(1.0)
+
+    def test_monotonic(self, thin_barrier):
+        dt = DirectTunnelingModel(thin_barrier)
+        values = [dt.suppression_vs_fn(v) for v in (0.5, 1.0, 2.0, 3.0)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_voltage(self, thin_barrier):
+        dt = DirectTunnelingModel(thin_barrier)
+        with pytest.raises(ConfigurationError):
+            dt.suppression_vs_fn(-1.0)

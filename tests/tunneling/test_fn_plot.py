@@ -1,0 +1,76 @@
+"""FN-plot construction and parameter extraction (paper refs [1]-[3], [9])."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tunneling import (
+    FowlerNordheimModel,
+    TunnelBarrier,
+    fit_fn_plot,
+    fn_plot_coordinates,
+)
+from repro.units import nm_to_m
+
+
+def synthetic_fn_data(phi_ev=3.2, mass=0.42, noise=0.0, rng=None):
+    barrier = TunnelBarrier(phi_ev, nm_to_m(5.0), mass)
+    model = FowlerNordheimModel(barrier)
+    fields = np.linspace(8e8, 2e9, 25)
+    current = model.current_density(fields)
+    if noise > 0.0 and rng is not None:
+        current = current * np.exp(rng.normal(0.0, noise, size=fields.size))
+    return fields, current
+
+
+class TestCoordinates:
+    def test_fn_plot_is_linear_for_ideal_data(self):
+        fields, current = synthetic_fn_data()
+        x, y = fn_plot_coordinates(fields, current)
+        slope, intercept = np.polyfit(x, y, 1)
+        residual = y - (slope * x + intercept)
+        assert np.max(np.abs(residual)) < 1e-10
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ConfigurationError):
+            fn_plot_coordinates(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            fn_plot_coordinates(np.array([1.0, 1.0]), np.array([0.0, 1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            fn_plot_coordinates(np.ones(3), np.ones(4))
+
+
+class TestExtraction:
+    def test_round_trip_recovers_barrier(self):
+        fields, current = synthetic_fn_data(phi_ev=3.2, mass=0.42)
+        fit = fit_fn_plot(fields, current)
+        assert fit.barrier_height_ev == pytest.approx(3.2, rel=1e-6)
+        assert fit.mass_ratio == pytest.approx(0.42, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("phi,mass", [(2.8, 0.3), (3.6, 0.5), (4.2, 0.42)])
+    def test_round_trip_other_parameters(self, phi, mass):
+        fields, current = synthetic_fn_data(phi_ev=phi, mass=mass)
+        fit = fit_fn_plot(fields, current)
+        assert fit.barrier_height_ev == pytest.approx(phi, rel=1e-6)
+        assert fit.mass_ratio == pytest.approx(mass, rel=1e-6)
+
+    def test_noisy_data_recovers_approximately(self, rng):
+        fields, current = synthetic_fn_data(noise=0.05, rng=rng)
+        fit = fit_fn_plot(fields, current)
+        assert fit.barrier_height_ev == pytest.approx(3.2, rel=0.15)
+        assert fit.r_squared > 0.99
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_fn_plot(np.array([1e9, 2e9]), np.array([1.0, 2.0]))
+
+    def test_rejects_non_fn_data(self):
+        """Current growing slower than E^2 gives a positive FN-plot
+        slope -> not Fowler-Nordheim conduction."""
+        fields = np.linspace(8e8, 2e9, 10)
+        current = fields.copy()  # J ~ E (ohmic)
+        with pytest.raises(ConfigurationError):
+            fit_fn_plot(fields, current)

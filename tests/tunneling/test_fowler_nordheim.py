@@ -1,0 +1,133 @@
+"""Fowler-Nordheim model: coefficients, shape and inversion.
+
+The paper's core equations (1), (4)-(7).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tunneling import (
+    FowlerNordheimModel,
+    TunnelBarrier,
+    fn_coefficient_a,
+    fn_coefficient_b,
+)
+from repro.units import nm_to_m
+
+
+@pytest.fixture()
+def model(sio2_barrier):
+    return FowlerNordheimModel(sio2_barrier)
+
+
+class TestCoefficients:
+    def test_b_matches_sio2_literature(self):
+        """B for Si/SiO2 (phi_B 3.15 eV, m 0.42 m0) is ~2.3-2.6e10 V/m
+        (~240 MV/cm), the Lenzlinger-Snow experimental range."""
+        b = fn_coefficient_b(3.15, 0.42)
+        assert 2.2e10 < b < 2.7e10
+
+    def test_a_inverse_in_barrier_height(self):
+        assert fn_coefficient_a(2.0) == pytest.approx(
+            2.0 * fn_coefficient_a(4.0), rel=1e-12
+        )
+
+    def test_b_scales_as_phi_to_three_halves(self):
+        ratio = fn_coefficient_b(4.0, 0.42) / fn_coefficient_b(1.0, 0.42)
+        assert ratio == pytest.approx(8.0, rel=1e-12)
+
+    def test_b_scales_as_sqrt_mass(self):
+        ratio = fn_coefficient_b(3.0, 0.84) / fn_coefficient_b(3.0, 0.42)
+        assert ratio == pytest.approx(math.sqrt(2.0), rel=1e-12)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            fn_coefficient_a(0.0)
+        with pytest.raises(ConfigurationError):
+            fn_coefficient_b(3.0, -0.1)
+
+
+class TestCurrentShape:
+    def test_zero_field_zero_current(self, model):
+        assert model.current_density(0.0) == 0.0
+
+    def test_monotonic_in_field(self, model):
+        fields = np.linspace(5e8, 2e9, 40)
+        j = model.current_density(fields)
+        assert np.all(np.diff(j) > 0.0)
+
+    def test_exponential_dominates(self, model):
+        """Doubling the field gains far more than the quadratic factor."""
+        j1 = model.current_density(6e8)
+        j2 = model.current_density(1.2e9)
+        assert j2 / j1 > 100.0
+
+    def test_exact_formula_value(self, model):
+        field = 1.0e9
+        a, b = model.coefficient_a, model.coefficient_b
+        expected = a * field**2 * math.exp(-b / field)
+        assert model.current_density(field) == pytest.approx(expected)
+
+    def test_array_and_scalar_agree(self, model):
+        fields = np.array([7e8, 1.1e9])
+        j_arr = model.current_density(fields)
+        assert j_arr[0] == pytest.approx(model.current_density(7e8))
+        assert j_arr[1] == pytest.approx(model.current_density(1.1e9))
+
+    def test_rejects_negative_field(self, model):
+        with pytest.raises(ConfigurationError):
+            model.current_density(-1e9)
+
+
+class TestVoltageForm:
+    def test_signed_current_follows_voltage_sign(self, model):
+        assert model.current_density_from_voltage(9.0) > 0.0
+        assert model.current_density_from_voltage(-9.0) < 0.0
+
+    def test_odd_symmetry(self, model):
+        j_pos = model.current_density_from_voltage(9.0)
+        j_neg = model.current_density_from_voltage(-9.0)
+        assert j_pos == pytest.approx(-j_neg)
+
+    def test_equation7_field_mapping(self, model):
+        """J(V) must equal J(E = V / X_TO) (paper eqs. (5)-(7))."""
+        v = 8.0
+        e = v / model.barrier.thickness_m
+        assert model.current_density_from_voltage(v) == pytest.approx(
+            model.current_density(e)
+        )
+
+    def test_thinner_oxide_higher_current_at_same_voltage(self):
+        thick = FowlerNordheimModel(
+            TunnelBarrier(3.61, nm_to_m(7.0), 0.42)
+        )
+        thin = FowlerNordheimModel(TunnelBarrier(3.61, nm_to_m(4.0), 0.42))
+        v = 9.0
+        assert thin.current_density_from_voltage(
+            v
+        ) > 1e3 * thick.current_density_from_voltage(v)
+
+
+class TestBarrierDependence:
+    def test_higher_barrier_lower_current(self):
+        """Paper: 'higher phi_B leads to significantly lower J_FN'."""
+        low = FowlerNordheimModel(TunnelBarrier(2.5, nm_to_m(5.0), 0.42))
+        high = FowlerNordheimModel(TunnelBarrier(4.0, nm_to_m(5.0), 0.42))
+        e = 1e9
+        assert low.current_density(e) > 100.0 * high.current_density(e)
+
+
+class TestInversion:
+    def test_field_for_target_current_round_trip(self, model):
+        target = 1e4
+        field = model.field_for_target_current(target)
+        assert model.current_density(field) == pytest.approx(
+            target, rel=1e-6
+        )
+
+    def test_rejects_nonpositive_target(self, model):
+        with pytest.raises(ConfigurationError):
+            model.field_for_target_current(0.0)

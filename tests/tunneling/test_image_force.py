@@ -1,0 +1,74 @@
+"""Image-force barrier lowering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tunneling import (
+    TunnelBarrier,
+    effective_barrier_ev,
+    image_rounded_profile,
+    schottky_lowering_ev,
+)
+from repro.units import ev_to_j, nm_to_m
+
+
+@pytest.fixture()
+def barrier():
+    return TunnelBarrier(3.61, nm_to_m(5.0), 0.42, relative_permittivity=3.9)
+
+
+class TestSchottkyLowering:
+    def test_square_root_field_dependence(self):
+        d1 = schottky_lowering_ev(1e9, 3.9)
+        d2 = schottky_lowering_ev(4e9, 3.9)
+        assert d2 == pytest.approx(2.0 * d1, rel=1e-9)
+
+    def test_magnitude_at_programming_field(self):
+        """Sub-eV at the paper's 1.8e9 V/m programming field in SiO2:
+        a real but secondary correction to the 3.6 eV barrier."""
+        delta = schottky_lowering_ev(1.8e9, 3.9)
+        assert 0.2 < delta < 1.0
+
+    def test_zero_field_no_lowering(self):
+        assert schottky_lowering_ev(0.0, 3.9) == 0.0
+
+    def test_higher_permittivity_lowers_less(self):
+        assert schottky_lowering_ev(1e9, 25.0) < schottky_lowering_ev(
+            1e9, 3.9
+        )
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            schottky_lowering_ev(-1.0, 3.9)
+        with pytest.raises(ConfigurationError):
+            schottky_lowering_ev(1e9, 0.0)
+
+
+class TestEffectiveBarrier:
+    def test_lowered_but_positive(self, barrier):
+        eff = effective_barrier_ev(barrier, 1.5e9)
+        assert 0.0 < eff < barrier.barrier_height_ev
+
+    def test_raises_when_barrier_collapses(self, barrier):
+        with pytest.raises(ConfigurationError):
+            effective_barrier_ev(barrier, 1e13)
+
+
+class TestRoundedProfile:
+    def test_profile_below_triangular(self, barrier):
+        field = 1e9
+        rounded = image_rounded_profile(barrier, field)
+        triangular = barrier.profile_under_bias(field)
+        for x_nm in (0.5, 1.0, 2.0):
+            x = nm_to_m(x_nm)
+            assert rounded(x) < triangular(x)
+
+    def test_peak_below_nominal_barrier(self, barrier):
+        rounded = image_rounded_profile(barrier, 1e9)
+        peak = max(rounded(nm_to_m(x)) for x in
+                   [0.05 * i for i in range(1, 60)])
+        assert peak < ev_to_j(barrier.barrier_height_ev)
+
+    def test_rejects_negative_field(self, barrier):
+        with pytest.raises(ConfigurationError):
+            image_rounded_profile(barrier, -1e8)

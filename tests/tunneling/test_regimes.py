@@ -1,0 +1,76 @@
+"""Conduction-regime classification (paper Section II)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tunneling import (
+    TunnelBarrier,
+    TunnelingRegime,
+    classify_regime,
+    programming_voltage_window,
+)
+from repro.units import nm_to_m
+
+
+def barrier(thickness_nm=7.0, phi=3.2):
+    return TunnelBarrier(phi, nm_to_m(thickness_nm), 0.42)
+
+
+class TestClassification:
+    def test_fn_regime_thick_oxide_high_bias(self):
+        a = classify_regime(barrier(7.0), 9.0)
+        assert a.regime is TunnelingRegime.FOWLER_NORDHEIM
+        assert a.triangular
+
+    def test_transitional_regime_thin_oxide_high_bias(self):
+        """The paper's 4-6 nm debate zone."""
+        a = classify_regime(barrier(5.0), 9.0)
+        assert a.regime is TunnelingRegime.TRANSITIONAL
+
+    def test_direct_regime_thin_oxide_low_bias(self):
+        a = classify_regime(barrier(3.0), 1.0)
+        assert a.regime is TunnelingRegime.DIRECT
+        assert not a.triangular
+
+    def test_negligible_at_tiny_field(self):
+        a = classify_regime(barrier(7.0), 0.05)
+        assert a.regime is TunnelingRegime.NEGLIGIBLE
+
+    def test_negligible_subbarrier_thick_oxide(self):
+        a = classify_regime(barrier(8.0), 2.0)
+        assert a.regime is TunnelingRegime.NEGLIGIBLE
+
+    def test_negative_voltage_treated_by_magnitude(self):
+        a = classify_regime(barrier(7.0), -9.0)
+        assert a.regime is TunnelingRegime.FOWLER_NORDHEIM
+
+    def test_assessment_carries_rationale(self):
+        a = classify_regime(barrier(7.0), 9.0)
+        assert "phi_B" in a.rationale or "V_ox" in a.rationale
+        assert a.field_v_per_m == pytest.approx(9.0 / 7e-9)
+
+
+class TestProgrammingWindow:
+    def test_paper_point_inside_window(self):
+        """VGS = 15 V with GCR 0.6 and 5 nm oxide is a valid FN point."""
+        lo, hi = programming_voltage_window(barrier(5.0), 0.6)
+        assert lo < 15.0 < hi
+
+    def test_onset_is_barrier_over_gcr(self):
+        lo, _ = programming_voltage_window(barrier(5.0, phi=3.0), 0.5)
+        assert lo == pytest.approx(6.0)
+
+    def test_higher_gcr_widens_low_end(self):
+        lo_low, _ = programming_voltage_window(barrier(5.0), 0.4)
+        lo_high, _ = programming_voltage_window(barrier(5.0), 0.7)
+        assert lo_high < lo_low
+
+    def test_rejects_bad_gcr(self):
+        with pytest.raises(ConfigurationError):
+            programming_voltage_window(barrier(5.0), 1.5)
+
+    def test_no_window_when_guard_too_strict(self):
+        with pytest.raises(ConfigurationError):
+            programming_voltage_window(
+                barrier(5.0), 0.6, max_field_v_per_m=1e8
+            )

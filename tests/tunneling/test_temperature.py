@@ -1,0 +1,64 @@
+"""Finite-temperature FN correction."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RegimeError
+from repro.tunneling import (
+    FowlerNordheimModel,
+    TunnelBarrier,
+    current_density_at_temperature,
+    temperature_correction_factor,
+    temperature_sensitivity_c,
+)
+from repro.units import nm_to_m
+
+
+@pytest.fixture()
+def barrier():
+    return TunnelBarrier(3.61, nm_to_m(5.0), 0.42)
+
+
+class TestSensitivity:
+    def test_c_inverse_in_field(self, barrier):
+        c1 = temperature_sensitivity_c(barrier, 1e9)
+        c2 = temperature_sensitivity_c(barrier, 2e9)
+        assert c1 == pytest.approx(2.0 * c2, rel=1e-12)
+
+    def test_rejects_nonpositive_field(self, barrier):
+        with pytest.raises(ConfigurationError):
+            temperature_sensitivity_c(barrier, 0.0)
+
+
+class TestCorrectionFactor:
+    def test_unity_at_zero_temperature(self, barrier):
+        assert temperature_correction_factor(barrier, 1e9, 0.0) == 1.0
+
+    def test_grows_with_temperature(self, barrier):
+        f300 = temperature_correction_factor(barrier, 1e9, 300.0)
+        f400 = temperature_correction_factor(barrier, 1e9, 400.0)
+        assert 1.0 < f300 < f400
+
+    def test_modest_at_room_temperature(self, barrier):
+        """Tunneling is 'a pure electrical phenomenon' (paper): the 300 K
+        correction is tens of percent, not orders of magnitude."""
+        f = temperature_correction_factor(barrier, 1.8e9, 300.0)
+        assert 1.0 < f < 1.3
+
+    def test_raises_in_thermionic_regime(self, barrier):
+        """Low field + high temperature exits the FN validity window."""
+        with pytest.raises(RegimeError):
+            temperature_correction_factor(barrier, 5e7, 900.0)
+
+    def test_rejects_negative_temperature(self, barrier):
+        with pytest.raises(ConfigurationError):
+            temperature_correction_factor(barrier, 1e9, -10.0)
+
+
+class TestCorrectedCurrent:
+    def test_correction_multiplies_base(self, barrier):
+        model = FowlerNordheimModel(barrier)
+        field = 1.5e9
+        base = model.current_density(field)
+        corrected = current_density_at_temperature(model, field, 300.0)
+        factor = temperature_correction_factor(barrier, field, 300.0)
+        assert corrected == pytest.approx(base * factor, rel=1e-12)

@@ -1,0 +1,65 @@
+"""Trap-assisted tunneling model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tunneling import TrapAssistedModel, TunnelBarrier
+from repro.units import nm_to_m
+
+
+@pytest.fixture()
+def barrier():
+    return TunnelBarrier(3.61, nm_to_m(5.0), 0.42)
+
+
+class TestScaling:
+    def test_linear_in_trap_density(self, barrier):
+        j1 = TrapAssistedModel(barrier, trap_density_m2=1e13).current_density(
+            5e8
+        )
+        j2 = TrapAssistedModel(barrier, trap_density_m2=2e13).current_density(
+            5e8
+        )
+        assert j2 == pytest.approx(2.0 * j1, rel=1e-9)
+
+    def test_zero_traps_zero_current(self, barrier):
+        model = TrapAssistedModel(barrier, trap_density_m2=0.0)
+        assert model.current_density(5e8) == 0.0
+
+    def test_increases_with_field(self, barrier):
+        model = TrapAssistedModel(barrier)
+        assert model.current_density(8e8) > model.current_density(3e8)
+
+    def test_shallower_traps_conduct_more(self, barrier):
+        """trap_depth_ev measures how far *below* the oxide conduction
+        band the trap sits: deeper traps leave a taller residual barrier
+        for both hops."""
+        shallow = TrapAssistedModel(barrier, trap_depth_ev=0.8)
+        deep = TrapAssistedModel(barrier, trap_depth_ev=2.0)
+        assert shallow.current_density(5e8) > deep.current_density(5e8)
+
+    def test_trap_position_changes_rate(self, barrier):
+        """In a tilted barrier a trap near the emitter splits the
+        forbidden region while the field opens the exit side, so the
+        near-emitter trap out-conducts the mid-oxide one."""
+        mid = TrapAssistedModel(
+            barrier, trap_position_fraction=0.5
+        ).current_density(5e8)
+        near = TrapAssistedModel(
+            barrier, trap_position_fraction=0.1
+        ).current_density(5e8)
+        assert near > mid > 0.0
+
+
+class TestValidation:
+    def test_rejects_trap_outside_oxide(self, barrier):
+        with pytest.raises(ConfigurationError):
+            TrapAssistedModel(barrier, trap_position_fraction=1.5)
+
+    def test_rejects_negative_density(self, barrier):
+        with pytest.raises(ConfigurationError):
+            TrapAssistedModel(barrier, trap_density_m2=-1.0)
+
+    def test_rejects_negative_field(self, barrier):
+        with pytest.raises(ConfigurationError):
+            TrapAssistedModel(barrier).current_density(-1e8)

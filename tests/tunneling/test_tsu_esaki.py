@@ -1,0 +1,84 @@
+"""Tsu-Esaki numerical current vs the FN closed form."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tunneling import (
+    FowlerNordheimModel,
+    TsuEsakiModel,
+    TunnelBarrier,
+    transmission_model,
+)
+from repro.units import nm_to_m
+
+
+@pytest.fixture(scope="module")
+def barrier():
+    return TunnelBarrier(
+        barrier_height_ev=3.2, thickness_m=nm_to_m(5.0), mass_ratio=0.42
+    )
+
+
+class TestTransmission:
+    def test_transmission_increases_with_energy(self, barrier):
+        te = TsuEsakiModel(barrier)
+        t_low = te.transmission(0.05, 9.0)
+        t_high = te.transmission(0.25, 9.0)
+        assert 0.0 <= t_low < t_high <= 1.0
+
+    def test_transmission_increases_with_bias(self, barrier):
+        te = TsuEsakiModel(barrier)
+        assert te.transmission(0.2, 10.0) > te.transmission(0.2, 7.0)
+
+    def test_wkb_and_tm_within_an_order(self, barrier):
+        tm = TsuEsakiModel(barrier, method="transfer_matrix")
+        wkb = TsuEsakiModel(barrier, method="wkb")
+        t1 = tm.transmission(0.2, 9.0)
+        t2 = wkb.transmission(0.2, 9.0)
+        assert t1 / t2 < 10.0 and t2 / t1 < 10.0
+
+    def test_factory_returns_callable(self, barrier):
+        t = transmission_model(barrier, "wkb")
+        assert 0.0 <= t(0.2, 9.0) <= 1.0
+
+    def test_rejects_negative_bias(self, barrier):
+        te = TsuEsakiModel(barrier)
+        with pytest.raises(ConfigurationError):
+            te.transmission(0.2, -1.0)
+
+
+class TestCurrent:
+    @pytest.mark.parametrize("v_ox", [7.0, 9.0])
+    def test_tracks_fn_within_a_decade(self, barrier, v_ox):
+        """The paper's closed form should agree with the full integral
+        to within an order of magnitude in the programming window."""
+        fn = FowlerNordheimModel(barrier)
+        te = TsuEsakiModel(barrier, n_energy=120, n_slabs=40)
+        j_fn = fn.current_density_from_voltage(v_ox)
+        j_te = te.current_density_from_voltage(v_ox)
+        assert j_te > 0.0
+        assert 0.1 < j_fn / j_te < 10.0
+
+    def test_current_signed_with_voltage(self, barrier):
+        te = TsuEsakiModel(barrier, n_energy=60, n_slabs=30)
+        assert te.current_density_from_voltage(-8.0) < 0.0
+
+    def test_zero_bias_zero_current(self, barrier):
+        te = TsuEsakiModel(barrier)
+        assert te.current_density_from_voltage(0.0) == 0.0
+
+    def test_monotonic_in_voltage(self, barrier):
+        te = TsuEsakiModel(barrier, n_energy=80, n_slabs=30)
+        j1 = te.current_density_from_voltage(7.0)
+        j2 = te.current_density_from_voltage(9.0)
+        assert j2 > j1
+
+
+class TestValidation:
+    def test_rejects_bad_settings(self, barrier):
+        with pytest.raises(ConfigurationError):
+            TsuEsakiModel(barrier, emitter_fermi_ev=0.0)
+        with pytest.raises(ConfigurationError):
+            TsuEsakiModel(barrier, temperature_k=-5.0)
+        with pytest.raises(ConfigurationError):
+            TsuEsakiModel(barrier, n_energy=2)
