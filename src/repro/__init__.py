@@ -15,6 +15,8 @@ full device-to-system simulation stack:
   (paper eqs. (2)-(3)), band diagrams, Poisson-Schrodinger channel
 * :mod:`repro.device` -- the floating-gate transistor, program/erase
   transients (paper Figures 4-5), thresholds, retention
+* :mod:`repro.engine` -- NumPy-vectorized batch evaluation of the hot
+  path with memoized barrier/coupling intermediates
 * :mod:`repro.reliability` -- oxide stress, breakdown, SILC, endurance
 * :mod:`repro.memory` -- NAND array, ISPP, sensing, disturbs, ECC, FTL
 * :mod:`repro.optimization` -- the paper's future-work design optimisation
@@ -37,6 +39,7 @@ from . import (
     constants,
     device,
     electrostatics,
+    engine,
     errors,
     experiments,
     io,
@@ -62,6 +65,7 @@ __all__ = [
     "tunneling",
     "electrostatics",
     "device",
+    "engine",
     "reliability",
     "memory",
     "optimization",

@@ -12,7 +12,12 @@ from .baselines import (
     silicon_baseline_fgt,
 )
 from .bias import BiasCondition, ERASE_BIAS, PROGRAM_BIAS, READ_BIAS
-from .floating_gate import FloatingGateTransistor, TunnelingState
+from .floating_gate import (
+    BatchTunnelingState,
+    CompiledCell,
+    FloatingGateTransistor,
+    TunnelingState,
+)
 from .geometry import DeviceGeometry
 from .iv import G0, ChannelIVModel
 from .landauer import LandauerChannel
@@ -44,6 +49,8 @@ __all__ = [
     "READ_BIAS",
     "FloatingGateTransistor",
     "TunnelingState",
+    "BatchTunnelingState",
+    "CompiledCell",
     "silicon_baseline_fgt",
     "mlgnr_reference_fgt",
     "barrier_advantage_ev",

@@ -10,7 +10,10 @@ the programming dynamics of Section III.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from ..electrostatics.gcr import TerminalVoltages, floating_gate_voltage
 from ..electrostatics.stack import FloatingGateCapacitances, build_capacitances
@@ -50,6 +53,126 @@ class TunnelingState:
     jin_a_m2: float
     jout_a_m2: float
     net_current_a: float
+
+
+@dataclass(frozen=True)
+class BatchTunnelingState:
+    """Vectorized :class:`TunnelingState`: one entry per batch lane.
+
+    Every attribute is an ndarray with the (broadcast) shape of the
+    charge array the batch was evaluated at; lane ``i`` holds exactly
+    what ``tunneling_state`` would return for ``charges[i]``.
+    """
+
+    vfg_v: np.ndarray
+    jin_a_m2: np.ndarray
+    jout_a_m2: np.ndarray
+    net_current_a: np.ndarray
+
+
+@dataclass(frozen=True)
+class CompiledCell:
+    """Precomputed (device, bias) invariants of the transient hot path.
+
+    Building :class:`FloatingGateTransistor` state lazily is convenient
+    but expensive inside an ODE right-hand side: every call re-derives
+    the eq. (2) network and both FN coefficient pairs from scratch. A
+    compiled cell hoists all of that out once, leaving the per-step work
+    as a handful of scalar flops (or one fused NumPy expression on the
+    batch path). Produced by :meth:`FloatingGateTransistor.compiled`.
+
+    Attributes
+    ----------
+    bias_term_vf:
+        ``C_FC V_GS + C_FD V_DS + C_FS V_S + C_FB V_B`` [V*F] -- the
+        charge-independent numerator of eq. (3).
+    c_total_f:
+        ``C_T`` [F].
+    vgs_v, vs_v:
+        Effective control-gate and source potentials [V].
+    a_in, b_in, x_in_m:
+        FN coefficients and thickness of the tunnel oxide.
+    a_out, b_out, x_out_m:
+        FN coefficients and thickness of the control oxide.
+    area_m2, cg_area_m2:
+        Channel and control-gate wrap areas [m^2].
+    """
+
+    bias_term_vf: float
+    c_total_f: float
+    vgs_v: float
+    vs_v: float
+    a_in: float
+    b_in: float
+    x_in_m: float
+    a_out: float
+    b_out: float
+    x_out_m: float
+    area_m2: float
+    cg_area_m2: float
+
+    def floating_gate_voltage(self, charge_c):
+        """Eq. (3) potential for a scalar or ndarray of charges [V]."""
+        return (self.bias_term_vf + charge_c) / self.c_total_f
+
+    def _signed_fn_scalar(self, voltage_v: float, a: float, b: float, x: float) -> float:
+        if voltage_v == 0.0:
+            return 0.0
+        field = abs(voltage_v) / x
+        j = a * field * field * math.exp(-b / field)
+        return j if voltage_v > 0.0 else -j
+
+    def charge_derivative(self, charge_c: float) -> float:
+        """dQ_FG/dt [C/s] with zero per-step allocation (ODE hot path)."""
+        vfg = (self.bias_term_vf + charge_c) / self.c_total_f
+        jin = self._signed_fn_scalar(
+            vfg - self.vs_v, self.a_in, self.b_in, self.x_in_m
+        )
+        jout = self._signed_fn_scalar(
+            self.vgs_v - vfg, self.a_out, self.b_out, self.x_out_m
+        )
+        return -(jin * self.area_m2 - jout * self.cg_area_m2)
+
+    def net_current_at_vfg(self, vfg_v: float) -> float:
+        """``Jin * A - Jout * A_CG`` at a floating-gate potential [A].
+
+        The bisection objective of the equilibrium solve.
+        """
+        jin = self._signed_fn_scalar(
+            vfg_v - self.vs_v, self.a_in, self.b_in, self.x_in_m
+        )
+        jout = self._signed_fn_scalar(
+            self.vgs_v - vfg_v, self.a_out, self.b_out, self.x_out_m
+        )
+        return jin * self.area_m2 - jout * self.cg_area_m2
+
+    def tunneling_state_batch(self, charges_c) -> BatchTunnelingState:
+        """Vectorized Jin/Jout/net for an ndarray of stored charges.
+
+        One fused NumPy evaluation replaces a Python loop of
+        ``tunneling_state`` calls; element ``i`` matches the scalar path
+        for ``charges_c[i]`` to floating-point round-off.
+        """
+        charges = np.asarray(charges_c, dtype=float)
+        vfg = (self.bias_term_vf + charges) / self.c_total_f
+        jin = _signed_fn_array(
+            vfg - self.vs_v, self.a_in, self.b_in, self.x_in_m
+        )
+        jout = _signed_fn_array(
+            self.vgs_v - vfg, self.a_out, self.b_out, self.x_out_m
+        )
+        net = -(jin * self.area_m2 - jout * self.cg_area_m2)
+        return BatchTunnelingState(
+            vfg_v=vfg, jin_a_m2=jin, jout_a_m2=jout, net_current_a=net
+        )
+
+
+def _signed_fn_array(voltage_v: np.ndarray, a: float, b: float, x: float) -> np.ndarray:
+    """Signed FN density ``sign(V) * J(|V|/x)`` for an ndarray of voltages."""
+    from ..tunneling.fowler_nordheim import fn_current_density
+
+    field = np.abs(voltage_v) / x
+    return np.sign(voltage_v) * fn_current_density(field, a, b)
 
 
 @dataclass(frozen=True)
@@ -193,6 +316,50 @@ class FloatingGateTransistor:
     def charge_derivative(self, bias: BiasCondition, charge_c: float) -> float:
         """dQ_FG/dt [C/s] -- the right-hand side of the transient ODE."""
         return self.tunneling_state(bias, charge_c).net_current_a
+
+    def compiled(self, bias: BiasCondition) -> CompiledCell:
+        """Hoist every (device, bias) invariant into a :class:`CompiledCell`.
+
+        The compiled form evaluates the same eq. (3) + FN arithmetic as
+        :meth:`tunneling_state` but with the capacitive network, FN
+        coefficients and areas computed once instead of per call -- the
+        fast path used by the transient integrator and the batch engine.
+        """
+        voltages = bias.effective_voltages
+        caps = self.capacitances
+        tunnel = self.tunnel_fn_model
+        control = self.control_fn_model
+        area = self.geometry.channel_area_m2
+        return CompiledCell(
+            bias_term_vf=(
+                caps.cfc * voltages.vgs
+                + caps.cfd * voltages.vds
+                + caps.cfs * voltages.vs
+                + caps.cfb * voltages.vb
+            ),
+            c_total_f=caps.total,
+            vgs_v=voltages.vgs,
+            vs_v=voltages.vs,
+            a_in=tunnel.coefficient_a,
+            b_in=tunnel.coefficient_b,
+            x_in_m=tunnel.barrier.thickness_m,
+            a_out=control.coefficient_a,
+            b_out=control.coefficient_b,
+            x_out_m=control.barrier.thickness_m,
+            area_m2=area,
+            cg_area_m2=area * self.geometry.control_gate_area_multiplier,
+        )
+
+    def tunneling_state_batch(
+        self, bias: BiasCondition, charges_c
+    ) -> BatchTunnelingState:
+        """Vectorized :meth:`tunneling_state` over an array of charges.
+
+        Compiles the cell once and evaluates every lane with fused NumPy
+        arithmetic; lane ``i`` matches ``tunneling_state(bias,
+        charges_c[i])`` to floating-point round-off.
+        """
+        return self.compiled(bias).tunneling_state_batch(charges_c)
 
     def assess_regime(
         self, bias: BiasCondition, charge_c: float = 0.0

@@ -96,19 +96,15 @@ def equilibrium_floating_gate_voltage(
             "equilibrium is undefined with no gate-to-source voltage"
         )
 
-    area = device.geometry.channel_area_m2
-    cg_area = area * device.geometry.control_gate_area_multiplier
-    tunnel = device.tunnel_fn_model
-    control = device.control_fn_model
+    from ..engine.cache import compiled_cell
 
-    def net(vfg: float) -> float:
-        jin = tunnel.current_density_from_voltage(vfg - vs)
-        jout = control.current_density_from_voltage(vgs - vfg)
-        return jin * area - jout * cg_area
-
+    cell = compiled_cell(device, bias)
     lo, hi = (vs, vgs) if vgs > vs else (vgs, vs)
     span = hi - lo
-    return bisect(net, lo + 1e-9 * span, hi - 1e-9 * span, tol=1e-12 * span)
+    return bisect(
+        cell.net_current_at_vfg, lo + 1e-9 * span, hi - 1e-9 * span,
+        tol=1e-12 * span,
+    )
 
 
 def equilibrium_charge(
@@ -161,8 +157,15 @@ def simulate_transient(
     if not 0.0 < saturation_epsilon < 1.0:
         raise ConfigurationError("saturation epsilon must be in (0, 1)")
 
+    # The engine cache shares one compiled cell between this ODE, the
+    # equilibrium solve below, and any surrounding sweep (imported
+    # lazily: the engine layers above the device package).
+    from ..engine.cache import compiled_cell
+
+    cell = compiled_cell(device, bias)
+
     def rhs(_t: float, y: np.ndarray) -> np.ndarray:
-        return np.array([device.charge_derivative(bias, float(y[0]))])
+        return np.array([cell.charge_derivative(float(y[0]))])
 
     result = integrate_ivp(
         rhs,
@@ -179,14 +182,13 @@ def simulate_transient(
     t_out = np.concatenate([[0.0], t_geo])
     charge = np.interp(t_out, result.t, result.y[0])
 
-    vfg = np.empty_like(t_out)
-    jin = np.empty_like(t_out)
-    jout = np.empty_like(t_out)
-    for i, q in enumerate(charge):
-        state = device.tunneling_state(bias, float(q))
-        vfg[i] = state.vfg_v
-        jin[i] = state.jin_a_m2
-        jout[i] = state.jout_a_m2
+    # One fused batch evaluation replaces the former per-sample loop of
+    # scalar tunneling_state calls (the n_samples x dataclass-rebuild
+    # cost dominated the whole simulation for long sample grids).
+    states = cell.tunneling_state_batch(charge)
+    vfg = states.vfg_v
+    jin = states.jin_a_m2
+    jout = states.jout_a_m2
 
     q_eq = equilibrium_charge(device, bias)
     t_sat = None

@@ -22,6 +22,7 @@ from .gcr import (
     TerminalVoltages,
     charge_for_floating_gate_voltage,
     floating_gate_voltage,
+    floating_gate_voltage_batch,
     floating_gate_voltage_simple,
     threshold_shift_v,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "build_capacitances_layered",
     "TerminalVoltages",
     "floating_gate_voltage",
+    "floating_gate_voltage_batch",
     "floating_gate_voltage_simple",
     "charge_for_floating_gate_voltage",
     "threshold_shift_v",

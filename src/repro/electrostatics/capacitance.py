@@ -1,69 +1,99 @@
-"""Elementary capacitance formulas for the lumped device network."""
+"""Elementary capacitance formulas for the lumped device network.
+
+Every formula accepts scalars or ndarrays (broadcast together): the
+batch engine (:mod:`repro.engine`) evaluates whole geometry sweeps
+through these same functions, so the scalar experiment path and the
+vectorized path share one implementation.
+"""
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..constants import VACUUM_PERMITTIVITY
 from ..errors import ConfigurationError
 
 
-def parallel_plate_capacitance(
-    relative_permittivity: float, area_m2: float, thickness_m: float
-) -> float:
-    """Parallel-plate capacitance ``C = eps A / d`` [F]."""
-    if relative_permittivity <= 0.0:
+def _as_scalar_or_array(value, *inputs):
+    """Return ``value`` as float when every input was a scalar."""
+    if all(np.isscalar(x) for x in inputs):
+        return float(value)
+    return value
+
+
+def parallel_plate_capacitance(relative_permittivity, area_m2, thickness_m):
+    """Parallel-plate capacitance ``C = eps A / d`` [F].
+
+    Scalars or ndarrays; array inputs broadcast to an array result.
+    """
+    eps = np.asarray(relative_permittivity, dtype=float)
+    area = np.asarray(area_m2, dtype=float)
+    thickness = np.asarray(thickness_m, dtype=float)
+    if np.any(eps <= 0.0):
         raise ConfigurationError("permittivity must be positive")
-    if area_m2 <= 0.0:
+    if np.any(area <= 0.0):
         raise ConfigurationError("area must be positive")
-    if thickness_m <= 0.0:
+    if np.any(thickness <= 0.0):
         raise ConfigurationError("thickness must be positive")
-    return relative_permittivity * VACUUM_PERMITTIVITY * area_m2 / thickness_m
+    c = eps * VACUUM_PERMITTIVITY * area / thickness
+    return _as_scalar_or_array(
+        c, relative_permittivity, area_m2, thickness_m
+    )
 
 
-def capacitance_per_area(
-    relative_permittivity: float, thickness_m: float
-) -> float:
-    """Capacitance per unit area ``eps / d`` [F/m^2]."""
-    if relative_permittivity <= 0.0:
+def capacitance_per_area(relative_permittivity, thickness_m):
+    """Capacitance per unit area ``eps / d`` [F/m^2] (scalar or ndarray)."""
+    eps = np.asarray(relative_permittivity, dtype=float)
+    thickness = np.asarray(thickness_m, dtype=float)
+    if np.any(eps <= 0.0):
         raise ConfigurationError("permittivity must be positive")
-    if thickness_m <= 0.0:
+    if np.any(thickness <= 0.0):
         raise ConfigurationError("thickness must be positive")
-    return relative_permittivity * VACUUM_PERMITTIVITY / thickness_m
+    c = eps * VACUUM_PERMITTIVITY / thickness
+    return _as_scalar_or_array(c, relative_permittivity, thickness_m)
 
 
-def series(*capacitances_f: float) -> float:
-    """Series combination of capacitances [F]."""
+def series(*capacitances_f):
+    """Series combination of capacitances [F].
+
+    Each argument may be a scalar or an ndarray; arrays combine
+    element-wise (one series stack per batch lane).
+    """
     if not capacitances_f:
         raise ConfigurationError("need at least one capacitance")
     inverse = 0.0
     for c in capacitances_f:
-        if c <= 0.0:
+        arr = np.asarray(c, dtype=float)
+        if np.any(arr <= 0.0):
             raise ConfigurationError("capacitances must be positive")
-        inverse += 1.0 / c
-    return 1.0 / inverse
+        inverse = inverse + 1.0 / arr
+    return _as_scalar_or_array(1.0 / inverse, *capacitances_f)
 
 
-def parallel(*capacitances_f: float) -> float:
-    """Parallel combination (sum) of capacitances [F]."""
+def parallel(*capacitances_f):
+    """Parallel combination (sum) of capacitances [F] (scalar or ndarray)."""
     if not capacitances_f:
         raise ConfigurationError("need at least one capacitance")
     total = 0.0
     for c in capacitances_f:
-        if c < 0.0:
+        arr = np.asarray(c, dtype=float)
+        if np.any(arr < 0.0):
             raise ConfigurationError("capacitances cannot be negative")
-        total += c
-    return total
+        total = total + arr
+    return _as_scalar_or_array(total, *capacitances_f)
 
 
-def fringe_factor(thickness_m: float, lateral_extent_m: float) -> float:
+def fringe_factor(thickness_m, lateral_extent_m):
     """First-order fringing-field enhancement for a finite plate.
 
     A thin-plate empirical correction ``1 + (d / (pi L)) * ln(2 pi L / d)``
     (Palmer's formula, leading term); tends to 1 for plates much wider
-    than the dielectric is thick.
+    than the dielectric is thick. Scalars or ndarrays.
     """
-    if thickness_m <= 0.0 or lateral_extent_m <= 0.0:
+    thickness = np.asarray(thickness_m, dtype=float)
+    extent = np.asarray(lateral_extent_m, dtype=float)
+    if np.any(thickness <= 0.0) or np.any(extent <= 0.0):
         raise ConfigurationError("dimensions must be positive")
-    import math
-
-    ratio = thickness_m / (math.pi * lateral_extent_m)
-    return 1.0 + ratio * math.log(2.0 * math.pi * lateral_extent_m / thickness_m)
+    ratio = thickness / (np.pi * extent)
+    factor = 1.0 + ratio * np.log(2.0 * np.pi * extent / thickness)
+    return _as_scalar_or_array(factor, thickness_m, lateral_extent_m)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import ConfigurationError
 from .stack import FloatingGateCapacitances
 
@@ -37,12 +39,14 @@ class TerminalVoltages:
 def floating_gate_voltage(
     capacitances: FloatingGateCapacitances,
     voltages: TerminalVoltages,
-    charge_c: float = 0.0,
-) -> float:
+    charge_c=0.0,
+):
     """Floating-gate potential from the full capacitive divider [V].
 
     With all non-gate terminals grounded this is exactly paper eq. (3):
-    ``V_FG = GCR * V_GS + Q_FG / C_T``.
+    ``V_FG = GCR * V_GS + Q_FG / C_T``. ``charge_c`` may be a scalar or
+    an ndarray of stored charges (the batch engine's transient path);
+    the result has the same shape.
     """
     numerator = (
         capacitances.cfc * voltages.vgs
@@ -52,6 +56,27 @@ def floating_gate_voltage(
         + charge_c
     )
     return numerator / capacitances.total
+
+
+def floating_gate_voltage_batch(
+    gcr,
+    vgs,
+    charge_over_ct=0.0,
+):
+    """Vectorized paper eq. (3): ``V_FG = GCR * V_GS + Q_FG / C_T`` [V].
+
+    All three arguments may be scalars or ndarrays and broadcast
+    together; ``charge_over_ct`` is the pre-divided ``Q_FG / C_T`` term
+    so callers with no stored charge pay nothing for it. This is the
+    batch engine's electrostatics kernel.
+    """
+    g = np.asarray(gcr, dtype=float)
+    if np.any(g <= 0.0) or np.any(g >= 1.0):
+        raise ConfigurationError("GCR must lie strictly inside (0, 1)")
+    vfg = g * np.asarray(vgs, dtype=float) + charge_over_ct
+    if np.isscalar(gcr) and np.isscalar(vgs) and np.isscalar(charge_over_ct):
+        return float(vfg)
+    return vfg
 
 
 def floating_gate_voltage_simple(

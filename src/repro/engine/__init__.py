@@ -1,0 +1,42 @@
+"""Vectorized batch simulation engine.
+
+The per-cell Python loops of the seed simulator are replaced here by
+NumPy array programs: :mod:`repro.engine.batch` evaluates whole
+(voltage, GCR, oxide, charge) batches of the paper's eq. (3) + (7) hot
+path in fused expressions, and :mod:`repro.engine.cache` memoizes the
+barrier and coupling-ratio intermediates (FN coefficient pairs, eq. (2)
+networks, compiled cells) that those batches share.
+
+The engine is the routing layer for everything throughput-sensitive:
+figure sweeps (:mod:`repro.experiments.sweeps`), transient sampling
+(:mod:`repro.device.transient`) and the optimizer's design screen
+(:mod:`repro.optimization.optimizer`) all run through it. Batch lanes
+reproduce the scalar device-layer results to floating-point round-off;
+see ``benchmarks/test_bench_engine.py`` for the measured speedups.
+"""
+
+from .batch import (
+    BatchResult,
+    BatchSpec,
+    DesignScreen,
+    TransientSweepResult,
+    design_screen,
+    fn_batch,
+    transient_sweep,
+    tunneling_states,
+)
+from .cache import CacheStats, cache_stats, clear_caches
+
+__all__ = [
+    "BatchSpec",
+    "BatchResult",
+    "fn_batch",
+    "tunneling_states",
+    "TransientSweepResult",
+    "transient_sweep",
+    "DesignScreen",
+    "design_screen",
+    "CacheStats",
+    "cache_stats",
+    "clear_caches",
+]

@@ -1,0 +1,109 @@
+"""Memoization of barrier and coupling-ratio intermediates.
+
+The quantities the batch engine needs per sweep point -- FN coefficient
+pairs and compiled (device, bias) cells -- depend only on a handful of
+hashable inputs and are reused across thousands of lanes. This module
+centralises their memoization so every caller (sweeps, transients, the
+optimizer screen) shares one cache, and exposes the hit/miss counters
+for the experiment runner's ``--cache-stats`` report.
+
+All cached inputs are frozen dataclasses (devices, biases), so
+``functools.lru_cache`` keys them directly; ``clear_caches`` resets
+everything (used by tests and long-running sweep services).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..device.bias import BiasCondition
+from ..device.floating_gate import CompiledCell, FloatingGateTransistor
+from ..tunneling.fowler_nordheim import fn_coefficient_a, fn_coefficient_b
+
+
+@lru_cache(maxsize=512)
+def fn_coefficients(
+    barrier_height_ev: float, mass_ratio: float
+) -> "tuple[float, float]":
+    """Memoized ``(A, B)`` FN coefficient pair for one barrier.
+
+    ``A`` [A/V^2] and ``B`` [V/m] depend only on the barrier height and
+    tunneling mass; a GCR or oxide-thickness sweep reuses one pair for
+    every lane.
+    """
+    return (
+        fn_coefficient_a(barrier_height_ev),
+        fn_coefficient_b(barrier_height_ev, mass_ratio),
+    )
+
+
+@lru_cache(maxsize=512)
+def compiled_cell(
+    device: FloatingGateTransistor, bias: BiasCondition
+) -> CompiledCell:
+    """Memoized :meth:`FloatingGateTransistor.compiled` form.
+
+    The compiled cell is the engine's unit of work: one cache entry per
+    (device, bias) pair serves every ODE step, batch lane, equilibrium
+    bisection and transient resampling performed under that bias --
+    ``simulate_transient`` and its equilibrium solve both resolve their
+    cell here, so one programming simulation compiles the device once.
+    """
+    return device.compiled(bias)
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregated hit/miss counters of every engine cache.
+
+    Attributes
+    ----------
+    hits, misses:
+        Totals across all engine caches.
+    currsize:
+        Number of entries currently held.
+    per_cache:
+        ``{cache_name: (hits, misses, currsize)}`` breakdown.
+    """
+
+    hits: int
+    misses: int
+    currsize: int
+    per_cache: "tuple[tuple[str, tuple[int, int, int]], ...]"
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+_CACHES = {
+    "fn_coefficients": fn_coefficients,
+    "compiled_cell": compiled_cell,
+}
+
+
+def cache_stats() -> CacheStats:
+    """Snapshot the hit/miss counters of every engine cache."""
+    per_cache = []
+    hits = misses = currsize = 0
+    for name, cache in _CACHES.items():
+        info = cache.cache_info()
+        per_cache.append((name, (info.hits, info.misses, info.currsize)))
+        hits += info.hits
+        misses += info.misses
+        currsize += info.currsize
+    return CacheStats(
+        hits=hits,
+        misses=misses,
+        currsize=currsize,
+        per_cache=tuple(per_cache),
+    )
+
+
+def clear_caches() -> None:
+    """Drop every memoized intermediate (tests, long-running services)."""
+    for cache in _CACHES.values():
+        cache.cache_clear()

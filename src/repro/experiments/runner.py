@@ -9,7 +9,9 @@ Usage (installed as ``repro-experiments``)::
 
 Prints, for each experiment, the ASCII rendering of the figure and the
 table of shape checks against the paper's claims; exits nonzero if any
-check fails.
+check fails. The figure sweeps run through the batch engine
+(:mod:`repro.engine`); ``--cache-stats`` reports how much of the run
+was served from the engine's memoized intermediates.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from ..engine import cache_stats, clear_caches
 from ..reporting.export import export_series_csv
 from .base import ExperimentResult
 from .registry import available_experiments, run_all, run_experiment
@@ -63,12 +66,20 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         default=None,
         help="directory to export each experiment's series as CSV",
     )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="report batch-engine cache hit rates after the run",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for experiment_id in sorted(available_experiments()):
             print(experiment_id)
         return 0
+
+    if args.cache_stats:
+        clear_caches()  # attribute the report to this run only
 
     if args.experiments:
         results = [run_experiment(e) for e in args.experiments]
@@ -93,6 +104,14 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         f"{len(results)} experiments, {total_checks} shape checks, "
         f"{failures} failures"
     )
+    if args.cache_stats:
+        stats = cache_stats()
+        print(
+            f"engine caches: {stats.hits} hits / {stats.misses} misses "
+            f"({stats.hit_rate:.0%} hit rate, {stats.currsize} entries)"
+        )
+        for name, (hits, misses, size) in stats.per_cache:
+            print(f"  {name:22s} {hits:6d} hits {misses:6d} misses {size:4d} entries")
     return 1 if failures else 0
 
 

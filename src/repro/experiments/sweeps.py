@@ -4,6 +4,13 @@ All four figures evaluate the same composition of paper equations:
 eq. (3) with zero stored charge (``V_FG = GCR * V_GS``) feeding eq. (7)
 (``J_FN = A (V_FG / X_TO)^2 exp(-B X_TO / V_FG)``), swept over the
 control-gate voltage for families of GCR or tunnel-oxide thickness.
+
+Since PR 1 the sweeps are routed through the batch engine
+(:mod:`repro.engine.batch`): a whole figure family is one
+:class:`~repro.engine.batch.BatchSpec` evaluated in a single fused
+NumPy call, instead of one scalar eq. (3) + (7) evaluation per point.
+The numbers are identical to the seed's looped path -- the engine runs
+the same formulas, vectorized.
 """
 
 from __future__ import annotations
@@ -12,14 +19,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..electrostatics.gcr import floating_gate_voltage_simple
+from ..engine.batch import BatchSpec, fn_batch
 from ..errors import ConfigurationError
 from ..materials.graphene import GRAPHENE_WORK_FUNCTION_EV
 from ..materials.oxides import SIO2
 from ..reporting.ascii_plot import PlotSeries
-from ..tunneling.barriers import TunnelBarrier
-from ..tunneling.fowler_nordheim import FowlerNordheimModel
-from ..units import nm_to_m
 
 
 @dataclass(frozen=True)
@@ -49,20 +53,32 @@ def fn_density_vs_gate_voltage(
 
     Works for both polarities: erase sweeps pass negative V_GS and the
     magnitude of the current is returned, matching how Figures 8-9 plot
-    the erase current.
+    the erase current. One vectorized engine batch per call.
     """
     settings = settings or SweepSettings()
-    vgs_v = np.asarray(vgs_v, dtype=float)
-    barrier = TunnelBarrier(
+    spec = BatchSpec(
+        gate_voltages_v=np.asarray(vgs_v, dtype=float),
+        gcrs=np.asarray(gcr, dtype=float),
+        tunnel_oxides_nm=np.asarray(tunnel_oxide_nm, dtype=float),
         barrier_height_ev=settings.barrier_height_ev,
-        thickness_m=nm_to_m(tunnel_oxide_nm),
         mass_ratio=settings.mass_ratio,
     )
-    model = FowlerNordheimModel(barrier)
-    vfg = np.array(
-        [floating_gate_voltage_simple(gcr, float(v)) for v in vgs_v]
+    return fn_batch(spec).j_magnitude_a_m2
+
+
+def _family_series(
+    vgs_v: np.ndarray,
+    family_values: "tuple[float, ...]",
+    labels: "tuple[str, ...]",
+    spec: BatchSpec,
+) -> "tuple[PlotSeries, ...]":
+    """Evaluate one engine batch and slice it into per-family series."""
+    magnitudes = fn_batch(spec).j_magnitude_a_m2
+    x = np.asarray(vgs_v, dtype=float)
+    return tuple(
+        PlotSeries(label=labels[i], x=x, y=magnitudes[i])
+        for i in range(len(family_values))
     )
-    return np.abs(model.current_density_from_voltage(vfg))
 
 
 def gcr_family(
@@ -71,17 +87,17 @@ def gcr_family(
     tunnel_oxide_nm: float,
     settings: "SweepSettings | None" = None,
 ) -> "tuple[PlotSeries, ...]":
-    """One series per GCR (Figures 6 and 8)."""
-    return tuple(
-        PlotSeries(
-            label=f"GCR={int(round(g * 100))}%",
-            x=np.asarray(vgs_v, dtype=float),
-            y=fn_density_vs_gate_voltage(
-                vgs_v, g, tunnel_oxide_nm, settings
-            ),
-        )
-        for g in gcrs
+    """One series per GCR (Figures 6 and 8), one engine batch total."""
+    settings = settings or SweepSettings()
+    spec = BatchSpec(
+        gate_voltages_v=np.asarray(vgs_v, dtype=float).reshape(1, -1),
+        gcrs=np.asarray(gcrs, dtype=float).reshape(-1, 1),
+        tunnel_oxides_nm=np.asarray(tunnel_oxide_nm, dtype=float),
+        barrier_height_ev=settings.barrier_height_ev,
+        mass_ratio=settings.mass_ratio,
     )
+    labels = tuple(f"GCR={int(round(g * 100))}%" for g in gcrs)
+    return _family_series(vgs_v, tuple(gcrs), labels, spec)
 
 
 def oxide_family(
@@ -93,14 +109,16 @@ def oxide_family(
     """One series per tunnel-oxide thickness (Figures 7 and 9).
 
     Ordered thickest first so the series run bottom-to-top in current,
-    matching the ordering-check convention.
+    matching the ordering-check convention. One engine batch total.
     """
+    settings = settings or SweepSettings()
     ordered = tuple(sorted(tunnel_oxides_nm, reverse=True))
-    return tuple(
-        PlotSeries(
-            label=f"XTO={x:g}nm",
-            x=np.asarray(vgs_v, dtype=float),
-            y=fn_density_vs_gate_voltage(vgs_v, gcr, x, settings),
-        )
-        for x in ordered
+    spec = BatchSpec(
+        gate_voltages_v=np.asarray(vgs_v, dtype=float).reshape(1, -1),
+        gcrs=np.asarray(gcr, dtype=float),
+        tunnel_oxides_nm=np.asarray(ordered, dtype=float).reshape(-1, 1),
+        barrier_height_ev=settings.barrier_height_ev,
+        mass_ratio=settings.mass_ratio,
     )
+    labels = tuple(f"XTO={x:g}nm" for x in ordered)
+    return _family_series(vgs_v, ordered, labels, spec)

@@ -1,10 +1,18 @@
-"""Scalar design optimisation (the paper's proposed future work).
+"""Design optimisation (the paper's proposed future work).
 
 Finds the programming voltage and tunnel-oxide thickness that minimise
-programming time subject to the reliability constraints, using a
-constrained Nelder-Mead search over the continuous design coordinates
-with penalty handling (the objective surface is smooth but spans many
-decades, so derivative-free is the robust choice).
+programming time subject to the reliability constraints. Two stages
+since PR 1:
+
+1. a **vectorized screen** through the batch engine
+   (:func:`repro.engine.batch.design_screen`): the zero-charge current
+   density and oxide field of a coarse design grid, evaluated in one
+   NumPy shot without building a device or running a transient, seed
+   the search inside the admissible region;
+2. a constrained Nelder-Mead refinement over the continuous design
+   coordinates with penalty handling (the objective surface is smooth
+   but spans many decades, so derivative-free is the robust choice).
+   Only this stage spends full device evaluations.
 """
 
 from __future__ import annotations
@@ -15,10 +23,19 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
+from ..engine.batch import design_screen
 from ..errors import ConfigurationError, ConvergenceError
 from .constraints import ConstraintSet
 from .design_space import DesignPoint
 from .objectives import DesignMetrics, evaluate_design
+
+
+#: Fraction of the field ceiling the vectorized screen may seed up to.
+#: The screen sees only the oxide-field constraint; endurance and
+#: window feasibility shrink near the ceiling, so seeding on the
+#: boundary strands the simplex in infeasible territory. A 20% guard
+#: band keeps the seed fast *and* inside the feasible set.
+SCREEN_FIELD_DERATING = 0.8
 
 
 @dataclass(frozen=True)
@@ -94,17 +111,30 @@ def optimise_program_time(
                 best = metrics
         return score
 
-    # Start in the fast corner of the box (high voltage, thin oxide):
-    # the feasible set is reached by backing off from speed, which the
-    # penalty gradient handles better than approaching from the slow
-    # (unsaturated, flat-objective) corner.
-    x0 = np.array(
-        [
-            voltage_bounds_v[0] + 0.75 * (voltage_bounds_v[1] - voltage_bounds_v[0]),
-            tunnel_oxide_bounds_nm[0]
-            + 0.25 * (tunnel_oxide_bounds_nm[1] - tunnel_oxide_bounds_nm[0]),
-        ]
+    # Seed the simplex from the engine's vectorized design screen: the
+    # fastest grid point whose zero-charge field respects the derated
+    # ceiling (closed-form, no device evaluations spent). When the
+    # whole grid violates the ceiling, fall back to the fast corner of
+    # the box and let the penalty gradient do the walking.
+    screen = design_screen(
+        np.linspace(*voltage_bounds_v, 9),
+        np.linspace(*tunnel_oxide_bounds_nm, 9),
+        gcr=gcr,
     )
+    seeded = screen.best_point(
+        SCREEN_FIELD_DERATING * constraints.max_tunnel_field_v_per_m
+    )
+    if seeded is not None:
+        x0 = np.array(seeded)
+    else:
+        x0 = np.array(
+            [
+                voltage_bounds_v[0]
+                + 0.75 * (voltage_bounds_v[1] - voltage_bounds_v[0]),
+                tunnel_oxide_bounds_nm[0]
+                + 0.25 * (tunnel_oxide_bounds_nm[1] - tunnel_oxide_bounds_nm[0]),
+            ]
+        )
     minimize(
         objective,
         x0,

@@ -21,6 +21,7 @@ from .fowler_nordheim import (
     FowlerNordheimModel,
     fn_coefficient_a,
     fn_coefficient_b,
+    fn_current_density,
 )
 from .image_force import (
     effective_barrier_ev,
@@ -46,6 +47,7 @@ __all__ = [
     "FowlerNordheimModel",
     "fn_coefficient_a",
     "fn_coefficient_b",
+    "fn_current_density",
     "LuckyElectronModel",
     "CheOperatingPoint",
     "compare_che_to_fn",

@@ -35,37 +35,72 @@ from ..units import ev_to_j
 from .barriers import TunnelBarrier
 
 
-def fn_coefficient_a(barrier_height_ev: float) -> float:
+def fn_coefficient_a(barrier_height_ev):
     """Pre-exponential coefficient ``A = q^3 / (16 pi^2 hbar phi_B)``.
 
-    Units: A/V^2 (current density per squared field).
+    Units: A/V^2 (current density per squared field). Accepts a scalar
+    barrier height or an ndarray of heights (batch path).
     """
-    if barrier_height_ev <= 0.0:
+    phi_ev = np.asarray(barrier_height_ev, dtype=float)
+    if np.any(phi_ev <= 0.0):
         raise ConfigurationError("barrier height must be positive")
-    phi_j = ev_to_j(barrier_height_ev)
-    return ELEMENTARY_CHARGE**3 / (16.0 * math.pi**2 * HBAR * phi_j)
+    phi_j = ev_to_j(phi_ev)
+    a = ELEMENTARY_CHARGE**3 / (16.0 * math.pi**2 * HBAR * phi_j)
+    if np.isscalar(barrier_height_ev):
+        return float(a)
+    return a
 
 
-def fn_coefficient_b(barrier_height_ev: float, mass_ratio: float) -> float:
+def fn_coefficient_b(barrier_height_ev, mass_ratio):
     """Exponential slope ``B = (4/3) sqrt(2 m_ox) phi_B^{3/2} / (q hbar)``.
 
-    Units: V/m.
+    Units: V/m. Accepts scalars or ndarrays (broadcast together).
     """
-    if barrier_height_ev <= 0.0:
+    phi_ev = np.asarray(barrier_height_ev, dtype=float)
+    ratio = np.asarray(mass_ratio, dtype=float)
+    if np.any(phi_ev <= 0.0):
         raise ConfigurationError("barrier height must be positive")
-    if mass_ratio <= 0.0:
+    if np.any(ratio <= 0.0):
         raise ConfigurationError("mass ratio must be positive")
     from ..constants import ELECTRON_MASS
 
-    phi_j = ev_to_j(barrier_height_ev)
-    m_ox = mass_ratio * ELECTRON_MASS
-    return (
+    phi_j = ev_to_j(phi_ev)
+    m_ox = ratio * ELECTRON_MASS
+    b = (
         4.0
         / 3.0
-        * math.sqrt(2.0 * m_ox)
+        * np.sqrt(2.0 * m_ox)
         * phi_j**1.5
         / (ELEMENTARY_CHARGE * HBAR)
     )
+    if np.isscalar(barrier_height_ev) and np.isscalar(mass_ratio):
+        return float(b)
+    return b
+
+
+def fn_current_density(field_v_per_m, coefficient_a, coefficient_b):
+    """Raw FN kernel ``J = A E^2 exp(-B/E)`` for arbitrary arrays [A/m^2].
+
+    The batch engine's innermost loop: every argument may be a scalar or
+    an ndarray and all three broadcast together. Zero field maps to zero
+    current; negative fields are the caller's responsibility (the model
+    wrappers validate signs, this kernel does not).
+    """
+    field = np.asarray(field_v_per_m, dtype=float)
+    a = np.asarray(coefficient_a, dtype=float)
+    b = np.asarray(coefficient_b, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        safe = np.where(field > 0.0, field, 1.0)
+        exponent = np.where(field > 0.0, -b / safe, -np.inf)
+        j = a * field**2 * np.exp(exponent)
+    j = np.where(field > 0.0, j, 0.0)
+    if (
+        np.isscalar(field_v_per_m)
+        and np.isscalar(coefficient_a)
+        and np.isscalar(coefficient_b)
+    ):
+        return float(j)
+    return j
 
 
 @dataclass(frozen=True)
@@ -112,12 +147,7 @@ class FowlerNordheimModel:
                 "field magnitude must be non-negative; sign the current "
                 "at the call site"
             )
-        a = self.coefficient_a
-        b = self.coefficient_b
-        with np.errstate(divide="ignore", invalid="ignore"):
-            exponent = np.where(field > 0.0, -b / np.where(field > 0, field, 1.0), -np.inf)
-            j = a * field**2 * np.exp(exponent)
-        j = np.where(field > 0.0, j, 0.0)
+        j = fn_current_density(field, self.coefficient_a, self.coefficient_b)
         if np.isscalar(field_v_per_m):
             return float(j)
         return j

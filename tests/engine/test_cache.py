@@ -1,0 +1,67 @@
+"""Engine memoization: shared intermediates and their statistics."""
+
+import pytest
+
+from repro.device import PROGRAM_BIAS, FloatingGateTransistor, simulate_transient
+from repro.engine import cache_stats, clear_caches
+from repro.engine import cache as engine_cache
+from repro.tunneling import fn_coefficient_a, fn_coefficient_b
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestFnCoefficients:
+    def test_matches_direct_computation(self):
+        a, b = engine_cache.fn_coefficients(3.61, 0.42)
+        assert a == pytest.approx(fn_coefficient_a(3.61))
+        assert b == pytest.approx(fn_coefficient_b(3.61, 0.42))
+
+    def test_second_lookup_hits(self):
+        engine_cache.fn_coefficients(3.61, 0.42)
+        engine_cache.fn_coefficients(3.61, 0.42)
+        stats = cache_stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+
+class TestCompiledCellCache:
+    def test_identity_on_repeat(self):
+        device = FloatingGateTransistor()
+        first = engine_cache.compiled_cell(device, PROGRAM_BIAS)
+        second = engine_cache.compiled_cell(device, PROGRAM_BIAS)
+        assert first is second
+
+    def test_transient_path_shares_the_cache(self):
+        # One simulate_transient resolves its cell here for both the
+        # ODE right-hand side and the equilibrium solve: exactly one
+        # compile (miss), at least one shared lookup (hit).
+        device = FloatingGateTransistor()
+        simulate_transient(
+            device, PROGRAM_BIAS, duration_s=1e-4, n_samples=16
+        )
+        info = engine_cache.compiled_cell.cache_info()
+        assert info.misses == 1
+        assert info.hits >= 1
+
+    def test_clear_resets_counters(self):
+        device = FloatingGateTransistor()
+        engine_cache.compiled_cell(device, PROGRAM_BIAS)
+        clear_caches()
+        stats = cache_stats()
+        assert stats.hits == 0
+        assert stats.misses == 0
+        assert stats.currsize == 0
+
+
+class TestStats:
+    def test_hit_rate_zero_when_untouched(self):
+        assert cache_stats().hit_rate == 0.0
+
+    def test_per_cache_breakdown_names(self):
+        names = {name for name, _ in cache_stats().per_cache}
+        assert names == {"fn_coefficients", "compiled_cell"}

@@ -33,6 +33,25 @@ class TestSearch:
         assert result.evaluations <= 30  # small Nelder-Mead overshoot ok
 
 
+class TestTightConstraints:
+    def test_example_constraint_set_stays_solvable(self):
+        # The design_optimization example's stricter set (window >= 4 V,
+        # endurance >= 3e4): the engine screen must seed inside the
+        # feasible region, not on the field ceiling where endurance
+        # collapses (regression guard for the PR 1 screen seeding).
+        result = optimise_program_time(
+            constraints=ConstraintSet(
+                max_tunnel_field_v_per_m=2.6e9,
+                max_program_time_s=1e-2,
+                min_memory_window_v=4.0,
+                min_cycles=3e4,
+            ),
+            max_evaluations=30,
+        )
+        assert result.best.program_time_s is not None
+        assert result.best.cycles_to_breakdown >= 3e4
+
+
 class TestFailureModes:
     def test_impossible_constraints_raise(self):
         with pytest.raises(ConvergenceError):
