@@ -3,25 +3,34 @@
 Each ``test_bench_fig*.py`` regenerates one figure of the paper through
 pytest-benchmark, so the harness both times the reproduction and
 re-verifies the shape checks (a benchmark run that silently produced
-wrong curves would be useless).
+wrong curves would be useless). Since the :mod:`repro.api` redesign the
+harness owns one :class:`~repro.api.session.SimulationSession`: devices
+and the array cell kernel come from it, so the calibration transients
+run once per session on the session's private cache set instead of
+rebuilding ad hoc globals.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.device import FloatingGateTransistor
-from repro.memory import calibrate_kernel
+from repro.api import SimulationSession
 
 
 @pytest.fixture(scope="session")
-def paper_device():
-    return FloatingGateTransistor()
+def sim_session():
+    """The one SimulationSession every benchmark shares."""
+    return SimulationSession(seed=2014)
 
 
 @pytest.fixture(scope="session")
-def cell_kernel(paper_device):
-    return calibrate_kernel(paper_device)
+def paper_device(sim_session):
+    return sim_session.device()
+
+
+@pytest.fixture(scope="session")
+def cell_kernel(sim_session):
+    return sim_session.cell_kernel()
 
 
 def assert_reproduced(result):

@@ -11,7 +11,7 @@ from repro.experiments.ablations import run_quantum_capacitance
 
 
 def test_ablation_quantum_capacitance(benchmark):
-    result = benchmark(run_quantum_capacitance, 10)
+    result = benchmark(run_quantum_capacitance, max_layers=10)
     assert_reproduced(result)
     effective = result.series[0].y
     # Monolayer penalty is visible; multilayer recovers toward 0.6.

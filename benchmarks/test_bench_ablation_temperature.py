@@ -11,7 +11,7 @@ from repro.experiments.ablations import run_temperature
 
 
 def test_ablation_temperature(benchmark):
-    result = benchmark(run_temperature, 9)
+    result = benchmark(run_temperature, n_points=9)
     assert_reproduced(result)
     factors = result.series[0].y
     assert factors.max() < 1.6

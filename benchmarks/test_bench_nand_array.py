@@ -52,10 +52,8 @@ def test_page_read_throughput(benchmark, cell_kernel):
         assert (got == patterns[wl]).all()
 
 
-def test_ftl_random_write_throughput(benchmark, cell_kernel):
-    from repro.memory import PageMappedFtl
-
-    rng = np.random.default_rng(7)
+def test_ftl_random_write_throughput(benchmark, sim_session, cell_kernel):
+    from repro.memory import PageMappedFtl, WorkloadSpec
 
     def setup():
         array = build_array(
@@ -63,12 +61,22 @@ def test_ftl_random_write_throughput(benchmark, cell_kernel):
             ArrayConfig(n_blocks=4, wordlines_per_block=8, bitlines=64),
             seed=23,
         )
-        return (PageMappedFtl(array, overprovision_blocks=1),), {}
+        ftl = PageMappedFtl(array, overprovision_blocks=1)
+        requests = list(
+            sim_session.workload(
+                WorkloadSpec(
+                    kind="uniform",
+                    n_requests=48,
+                    capacity_pages=ftl.logical_capacity_pages,
+                    page_bits=64,
+                )
+            )
+        )
+        return (ftl, requests), {}
 
-    def churn(ftl):
-        for _ in range(48):
-            page = int(rng.integers(0, ftl.logical_capacity_pages))
-            ftl.write(page, rng.integers(0, 2, 64).astype(np.uint8))
+    def churn(ftl, requests):
+        for request in requests:
+            ftl.write(request.logical_page, request.bits)
         return ftl
 
     ftl = benchmark.pedantic(churn, setup=setup, rounds=3, iterations=1)

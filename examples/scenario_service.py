@@ -1,0 +1,64 @@
+"""The session API end to end: sessions, overrides, plans, exports.
+
+Runs a small thermal/geometry study through one SimulationSession,
+shows cross-scenario cache reuse, and round-trips the plan through
+JSON — the workflow `docs/API.md` documents.
+
+Run with:  PYTHONPATH=src python examples/scenario_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.api import RunPlan, Scenario, SimulationSession
+
+
+def main() -> None:
+    session = SimulationSession(seed=7)
+
+    # One-off parameterized runs: same experiment, different worlds.
+    cold = session.run("fig6")
+    hot = session.run("fig6", temperature_k=400.0)
+    ratio = float(hot.series[0].y[0] / cold.series[0].y[0])
+    print(f"fig6 at 400 K vs 0 K: J(8V, GCR=40%) grows x{ratio:.2f}")
+
+    # A declarative plan: a sweep family plus a fixed scenario.
+    plan = RunPlan(
+        name="thermal-oxide-study",
+        scenarios=(
+            Scenario(
+                "fig7",
+                overrides={"n_points": 18},
+                sweep={"temperature_k": [0.0, 300.0, 400.0]},
+            ),
+            Scenario("fig9", overrides={"n_points": 18}),
+        ),
+    )
+
+    # Plans are reviewable JSON artifacts.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = plan.save(Path(tmp) / "plan.json")
+        plan = RunPlan.load(path)
+
+    outcome = session.run_plan(plan)
+    print(f"\nplan {outcome.plan.name!r}:")
+    for sr in outcome.scenario_results:
+        verdict = "ok" if sr.all_checks_pass else "FAILED"
+        print(
+            f"  {sr.scenario.name:40s} {sr.elapsed_s * 1e3:6.1f} ms  "
+            f"{sr.cache_stats.hits} hits/{sr.cache_stats.misses} misses  "
+            f"[{verdict}]"
+        )
+    print(f"cross-scenario cache hits: {outcome.cross_scenario_hits}")
+
+    stats = session.cache_stats()
+    print(
+        f"session totals: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

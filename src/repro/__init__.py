@@ -21,20 +21,27 @@ full device-to-system simulation stack:
 * :mod:`repro.memory` -- NAND array, ISPP, sensing, disturbs, ECC, FTL
 * :mod:`repro.optimization` -- the paper's future-work design optimisation
 * :mod:`repro.experiments` -- regenerates every figure of the paper
+* :mod:`repro.api` -- the public session layer: parameterized scenarios
+  and declarative run plans over isolated per-session caches
 
 Quickstart::
 
-    from repro.device import FloatingGateTransistor, PROGRAM_BIAS
-    from repro.device import simulate_transient
+    from repro.api import SimulationSession
 
-    cell = FloatingGateTransistor()           # paper's reference design
-    result = simulate_transient(cell, PROGRAM_BIAS, duration_s=1e-2)
-    print(result.t_sat_s, result.stored_electrons)
+    session = SimulationSession(seed=7)
+    fig6 = session.run("fig6")                       # paper defaults
+    hot = session.run("fig6", temperature_k=400.0)   # parameterized
+    print(session.cache_stats().hit_rate)
+
+(The device layer remains importable directly: build a
+:class:`~repro.device.floating_gate.FloatingGateTransistor` and call
+:func:`~repro.device.transient.simulate_transient` for low-level work.)
 """
 
 __version__ = "1.0.0"
 
 from . import (
+    api,
     bandstructure,
     constants,
     device,
@@ -71,4 +78,5 @@ __all__ = [
     "optimization",
     "experiments",
     "reporting",
+    "api",
 ]

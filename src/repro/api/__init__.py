@@ -1,0 +1,60 @@
+"""`repro.api`: the single public surface for running anything.
+
+The session layer turns the figure-regeneration harness into a
+programmable simulation service:
+
+* :class:`SimulationSession` owns an isolated engine cache set, a
+  deterministic seed, and default parameter overrides; every experiment,
+  scenario or plan run through it shares (only) that session's state.
+* :class:`Scenario` declares *what* to run -- an experiment id, its
+  parameter overrides, and optional sweep axes -- and round-trips
+  through JSON via :mod:`repro.io`.
+* :class:`RunPlan` batches scenario families through one session with
+  structured :class:`ScenarioResult` / :class:`PlanResult` outputs and
+  per-scenario cache attribution.
+
+Quickstart::
+
+    from repro.api import RunPlan, Scenario, SimulationSession
+
+    session = SimulationSession(seed=7)
+    hot = session.run("fig6", temperature_k=400.0)   # one-off override
+
+    plan = RunPlan(
+        name="oxide-study",
+        scenarios=(
+            Scenario("fig7", sweep={"gcr": [0.5, 0.6, 0.7]}),
+            Scenario("fig9", overrides={"n_points": 24}),
+        ),
+    )
+    outcome = session.run_plan(plan)
+    print(outcome.cross_scenario_hits, session.cache_stats().hit_rate)
+
+See ``docs/API.md`` for the full walkthrough.
+"""
+
+from .plan import PlanResult, RunPlan, ScenarioResult, run_plan, run_scenario
+from .scenario import Scenario
+from .session import (
+    SimulationContext,
+    SimulationSession,
+    accepted_parameters,
+    default_session,
+    ensure_context,
+    merge_parameters,
+)
+
+__all__ = [
+    "SimulationSession",
+    "SimulationContext",
+    "Scenario",
+    "RunPlan",
+    "ScenarioResult",
+    "PlanResult",
+    "run_scenario",
+    "run_plan",
+    "default_session",
+    "ensure_context",
+    "accepted_parameters",
+    "merge_parameters",
+]

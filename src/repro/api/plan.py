@@ -1,0 +1,201 @@
+"""Run plans: batches of scenarios executed through one session.
+
+A :class:`RunPlan` is an ordered collection of :class:`Scenario`
+families. :func:`run_plan` expands them and executes every concrete
+scenario inside a single :class:`~repro.api.session.SimulationSession`,
+so memoized intermediates (FN coefficient pairs, compiled cells) carry
+across scenarios; the returned :class:`PlanResult` attributes the
+session's cache hits and misses to individual scenarios, making the
+cross-scenario reuse visible (`repro-experiments --plan plan.json
+--cache-stats`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..engine.cache import CacheStats
+from ..errors import ConfigurationError
+from ..experiments.base import ExperimentResult
+from .scenario import Scenario
+from .session import SimulationSession
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """A named, serializable batch of scenarios.
+
+    Attributes
+    ----------
+    scenarios:
+        Scenario families, executed in order after expansion.
+    name:
+        Plan name carried into reports and exports.
+    """
+
+    scenarios: "tuple[Scenario, ...]"
+    name: str = "plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if not self.scenarios:
+            raise ConfigurationError("a run plan needs at least one scenario")
+
+    def expanded(self) -> "tuple[Scenario, ...]":
+        """Every concrete scenario, with sweep families expanded."""
+        return tuple(
+            concrete
+            for scenario in self.scenarios
+            for concrete in scenario.expand()
+        )
+
+    # ----- JSON round trip (via repro.io) --------------------------------
+
+    def to_dict(self) -> "dict[str, Any]":
+        """JSON-safe record; inverse of :meth:`from_dict`."""
+        from .. import io
+
+        return io.run_plan_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, Any]") -> "RunPlan":
+        """Rebuild a plan from its JSON record."""
+        from .. import io
+
+        return io.run_plan_from_dict(data)
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the plan as a JSON file; returns the path."""
+        from .. import io
+
+        return io.save_json(self.to_dict(), path)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "RunPlan":
+        """Read a plan back from a JSON file."""
+        from .. import io
+
+        return io.run_plan_from_dict(io.load_json(path))
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One executed scenario and its attribution.
+
+    Attributes
+    ----------
+    scenario:
+        The concrete (expanded) scenario that ran.
+    result:
+        The experiment's output.
+    elapsed_s:
+        Wall-clock time of this scenario [s].
+    cache_stats:
+        Session cache counters accumulated *during this scenario* (the
+        delta against the session state when the scenario started;
+        ``currsize`` is the number of entries the scenario added).
+    reused_hits:
+        Lookups served by cache entries that already existed when the
+        scenario started -- genuine reuse of earlier scenarios' (or the
+        session's prior) work, as opposed to the scenario re-hitting an
+        entry it created itself.
+    """
+
+    scenario: Scenario
+    result: ExperimentResult
+    elapsed_s: float
+    cache_stats: CacheStats = field(repr=False)
+    reused_hits: int = 0
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every shape check of the experiment passed."""
+        return self.result.all_checks_pass
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Outcome of one plan run through one session.
+
+    Attributes
+    ----------
+    plan:
+        The executed plan.
+    scenario_results:
+        One :class:`ScenarioResult` per concrete scenario, in order.
+    cache_stats:
+        Counters the whole plan accumulated on the session cache set.
+    """
+
+    plan: RunPlan
+    scenario_results: "tuple[ScenarioResult, ...]"
+    cache_stats: CacheStats = field(repr=False)
+
+    @property
+    def results(self) -> "tuple[ExperimentResult, ...]":
+        """The bare experiment results, in scenario order."""
+        return tuple(s.result for s in self.scenario_results)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        """Whether every shape check of every scenario passed."""
+        return all(s.all_checks_pass for s in self.scenario_results)
+
+    @property
+    def cross_scenario_hits(self) -> int:
+        """Lookups served by entries that predate their scenario.
+
+        Summed ``reused_hits``: each scenario counts only hits on cache
+        entries that existed before it started, so a scenario re-hitting
+        an entry it created itself does not inflate the number -- this
+        is the reuse a multi-scenario plan exists to exploit. (On a
+        fresh session the first scenario necessarily contributes zero.)
+        """
+        return sum(s.reused_hits for s in self.scenario_results)
+
+
+def run_scenario(
+    session: SimulationSession, scenario: Scenario
+) -> ScenarioResult:
+    """Execute one concrete scenario inside a session.
+
+    Scenario families (with sweep axes) must be expanded first; passing
+    one here raises :class:`~repro.errors.ConfigurationError`.
+    """
+    if scenario.sweep:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} has sweep axes; expand() it or "
+            "run it through a RunPlan"
+        )
+    before = session.cache_stats()
+    session.caches.mark()
+    start = time.perf_counter()
+    result = session.run(scenario.experiment_id, **scenario.overrides)
+    elapsed = time.perf_counter() - start
+    delta = session.cache_stats().delta(before)
+    return ScenarioResult(
+        scenario=scenario,
+        result=result,
+        elapsed_s=elapsed,
+        cache_stats=delta,
+        reused_hits=session.caches.reused_hits_since_mark(),
+    )
+
+
+def run_plan(session: SimulationSession, plan: RunPlan) -> PlanResult:
+    """Execute every scenario of a plan through one session.
+
+    Scenarios run in order on the session's cache set; the result
+    reports both per-scenario and whole-plan cache counters.
+    """
+    before = session.cache_stats()
+    scenario_results = tuple(
+        run_scenario(session, concrete) for concrete in plan.expanded()
+    )
+    total = session.cache_stats().delta(before)
+    return PlanResult(
+        plan=plan, scenario_results=scenario_results, cache_stats=total
+    )

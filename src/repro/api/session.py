@@ -1,0 +1,332 @@
+"""Simulation sessions: the stateful owner of caches, seeds and config.
+
+A :class:`SimulationSession` is the unit of isolation of the public API:
+it owns a private :class:`~repro.engine.cache.CacheSet` (so concurrent
+or sequential sessions never share memoized state), a deterministic RNG
+seed, and a set of default parameter overrides applied to every
+experiment it runs. A :class:`SimulationContext` is the read-only view
+handed to experiment ``run(ctx, **params)`` functions; it builds devices
+and sweep settings from overrides so experiments stay declarative.
+
+Zero-argument compatibility: experiments called without a context (the
+pre-redesign protocol) resolve :func:`ensure_context` to a process-wide
+default session that shares the engine's default cache set, so legacy
+calls behave exactly as before the API redesign.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from ..device.bias import BiasCondition, ERASE_BIAS, PROGRAM_BIAS, READ_BIAS
+from ..device.floating_gate import FloatingGateTransistor
+from ..engine.cache import CacheSet, CacheStats, default_caches, use_caches
+from ..errors import ConfigurationError
+from ..experiments.base import ExperimentResult
+from ..experiments.registry import resolve_experiment
+from ..experiments.sweeps import SweepSettings
+from ..units import nm_to_m
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..memory.cell import CellKernel
+    from ..memory.workload import WorkloadSpec, WriteRequest
+    from .plan import PlanResult, RunPlan, ScenarioResult
+    from .scenario import Scenario
+
+_BIASES = {
+    "program": PROGRAM_BIAS,
+    "erase": ERASE_BIAS,
+    "read": READ_BIAS,
+}
+
+
+class SimulationSession:
+    """One isolated simulation environment: caches + seed + defaults.
+
+    Attributes
+    ----------
+    seed:
+        Root seed of the session's deterministic RNG streams.
+    defaults:
+        Parameter overrides applied to every experiment run that
+        accepts them (e.g. ``{"temperature_k": 400.0}`` heats every
+        figure sweep of the session).
+    caches:
+        The session-private :class:`~repro.engine.cache.CacheSet`; all
+        work routed through :meth:`run`, :meth:`run_plan` or
+        :meth:`activate` shares it, and nothing else does.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        defaults: "Mapping[str, Any] | None" = None,
+        caches: "CacheSet | None" = None,
+    ) -> None:
+        """Create a session with its own cache set unless one is given."""
+        self.seed = int(seed)
+        self.defaults: "dict[str, Any]" = dict(defaults or {})
+        self.caches = caches if caches is not None else CacheSet()
+        self._kernels: "dict[tuple, Any]" = {}
+        self._rng_streams = 0
+
+    # ----- cache ownership ----------------------------------------------
+
+    def activate(self):
+        """Context manager routing engine lookups through this session.
+
+        Everything executed inside the ``with`` block -- figure sweeps,
+        transients, optimizer evaluations -- hits this session's cache
+        set instead of the process default.
+        """
+        return use_caches(self.caches)
+
+    def cache_stats(self) -> CacheStats:
+        """Per-session hit/miss counters (not the global ones)."""
+        return self.caches.stats()
+
+    def clear_caches(self) -> None:
+        """Drop this session's memoized intermediates only."""
+        self.caches.clear()
+
+    # ----- configuration ------------------------------------------------
+
+    def context(self) -> "SimulationContext":
+        """The read-only view experiments receive as ``ctx``."""
+        return SimulationContext(session=self)
+
+    def rng(self) -> np.random.Generator:
+        """A fresh deterministic RNG stream derived from the seed.
+
+        Consecutive calls return independent streams, so two workloads
+        drawn from one session never correlate, while two sessions with
+        equal seeds replay identically.
+        """
+        stream = self._rng_streams
+        self._rng_streams += 1
+        return np.random.default_rng((self.seed, stream))
+
+    def device(self, **overrides: float) -> FloatingGateTransistor:
+        """Session-configured device; see :meth:`SimulationContext.device`."""
+        return self.context().device(**overrides)
+
+    def cell_kernel(self, pulse_duration_s: float = 1e-4) -> "CellKernel":
+        """Array cell kernel calibrated under this session's caches.
+
+        The calibration transients run through the session cache set and
+        the result is memoized per (device, pulse) configuration, so
+        array benchmarks that share a session pay the device transients
+        once.
+        """
+        from ..memory.cell import calibrate_kernel
+
+        device = self.device()
+        key = (device, float(pulse_duration_s))
+        if key not in self._kernels:
+            with self.activate():
+                self._kernels[key] = calibrate_kernel(
+                    device, pulse_duration_s=pulse_duration_s
+                )
+        return self._kernels[key]
+
+    def workload(self, spec: "WorkloadSpec") -> "Iterator[WriteRequest]":
+        """Materialise a host workload seeded from this session.
+
+        Specs without an explicit seed derive one from the session RNG,
+        so repeated sessions with equal seeds replay the same traffic.
+        """
+        from ..memory.workload import build_workload
+
+        if spec.seed is None:
+            spec = replace(spec, seed=int(self.rng().integers(0, 2**31)))
+        return build_workload(spec)
+
+    # ----- running experiments ------------------------------------------
+
+    def run(self, experiment_id: str, **params: Any) -> ExperimentResult:
+        """Run one registered experiment inside this session.
+
+        Session defaults are applied first (where the experiment accepts
+        them), explicit ``params`` override them, and unknown parameter
+        names raise :class:`~repro.errors.ConfigurationError` listing
+        the experiment's accepted overrides.
+        """
+        fn = resolve_experiment(experiment_id)
+        merged = merge_parameters(fn, self.defaults, params, experiment_id)
+        with self.activate():
+            return fn(self.context(), **merged)
+
+    def run_scenario(self, scenario: "Scenario") -> "ScenarioResult":
+        """Run one concrete scenario; see :mod:`repro.api.plan`."""
+        from .plan import run_scenario
+
+        return run_scenario(self, scenario)
+
+    def run_plan(self, plan: "RunPlan") -> "PlanResult":
+        """Run every scenario of a plan through this one session."""
+        from .plan import run_plan
+
+        return run_plan(self, plan)
+
+
+class SimulationContext:
+    """What an experiment's ``run(ctx, **params)`` receives.
+
+    A thin, read-only facade over the owning session: experiments use it
+    to build parameterized devices, sweep settings, biases and RNG
+    streams without knowing about caches or plans.
+    """
+
+    def __init__(self, session: SimulationSession) -> None:
+        """Bind the context to its owning session."""
+        self._session = session
+
+    @property
+    def session(self) -> SimulationSession:
+        """The owning session (cache stats, seed, defaults)."""
+        return self._session
+
+    def rng(self) -> np.random.Generator:
+        """A deterministic RNG stream from the session seed."""
+        return self._session.rng()
+
+    def device(
+        self,
+        tunnel_oxide_nm: "float | None" = None,
+        control_oxide_nm: "float | None" = None,
+        gcr: "float | None" = None,
+    ) -> FloatingGateTransistor:
+        """The paper's reference device with optional geometry overrides.
+
+        ``tunnel_oxide_nm`` / ``control_oxide_nm`` replace the oxide
+        thicknesses; ``gcr`` resizes the control-gate wrap to realise a
+        gate coupling ratio (the physical form of the paper's GCR
+        sweeps). Omitted overrides keep the reference values.
+        """
+        device = FloatingGateTransistor()
+        geometry = device.geometry
+        if tunnel_oxide_nm is not None:
+            geometry = replace(
+                geometry, tunnel_oxide_thickness_m=nm_to_m(tunnel_oxide_nm)
+            )
+        if control_oxide_nm is not None:
+            geometry = replace(
+                geometry, control_oxide_thickness_m=nm_to_m(control_oxide_nm)
+            )
+        if geometry is not device.geometry:
+            device = replace(device, geometry=geometry)
+        if gcr is not None:
+            device = device.with_gate_coupling_ratio(gcr)
+        return device
+
+    def sweep_settings(
+        self,
+        barrier_height_ev: "float | None" = None,
+        mass_ratio: "float | None" = None,
+        temperature_k: "float | None" = None,
+    ) -> SweepSettings:
+        """Figure-sweep settings with optional barrier overrides."""
+        overrides = {
+            name: value
+            for name, value in (
+                ("barrier_height_ev", barrier_height_ev),
+                ("mass_ratio", mass_ratio),
+                ("temperature_k", temperature_k),
+            )
+            if value is not None
+        }
+        return SweepSettings(**overrides)
+
+    def bias(
+        self, name: str = "program", vgs_v: "float | None" = None
+    ) -> BiasCondition:
+        """A named bias condition, optionally at another gate voltage."""
+        try:
+            bias = _BIASES[name]
+        except KeyError:
+            known = ", ".join(sorted(_BIASES))
+            raise ConfigurationError(
+                f"unknown bias {name!r}; available: {known}"
+            ) from None
+        if vgs_v is not None:
+            bias = bias.with_gate_voltage(float(vgs_v))
+        return bias
+
+
+_DEFAULT_SESSION: "SimulationSession | None" = None
+
+
+def default_session() -> SimulationSession:
+    """The process-wide session backing zero-argument experiment calls.
+
+    Shares the engine's *default* cache set, so legacy ``run()`` calls
+    keep exactly their pre-redesign caching behaviour.
+    """
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = SimulationSession(caches=default_caches())
+    return _DEFAULT_SESSION
+
+
+def ensure_context(
+    ctx: "SimulationContext | None",
+) -> SimulationContext:
+    """The backwards-compatibility shim of the experiment protocol.
+
+    Experiment ``run`` functions accept ``ctx=None`` and route it here:
+    ``None`` (a pre-redesign zero-argument call) resolves to the default
+    session's context, so old call sites keep working bit-for-bit while
+    session-aware callers pass their own context.
+    """
+    if ctx is None:
+        return default_session().context()
+    if not isinstance(ctx, SimulationContext):
+        raise ConfigurationError(
+            f"ctx must be a SimulationContext or None, got {type(ctx).__name__}"
+        )
+    return ctx
+
+
+def accepted_parameters(fn: "Callable[..., ExperimentResult]") -> "tuple[str, ...]":
+    """The override names an experiment's ``run`` function accepts."""
+    names = []
+    for name, parameter in inspect.signature(fn).parameters.items():
+        if name == "ctx":
+            continue
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            names.append(name)
+    return tuple(names)
+
+
+def merge_parameters(
+    fn: "Callable[..., ExperimentResult]",
+    defaults: "Mapping[str, Any]",
+    params: "Mapping[str, Any]",
+    experiment_id: str,
+) -> "dict[str, Any]":
+    """Session defaults (where accepted) overlaid with explicit params.
+
+    Unknown explicit parameter names raise
+    :class:`~repro.errors.ConfigurationError` naming the experiment's
+    accepted overrides; unknown *defaults* are silently skipped (a
+    session default like ``temperature_k`` should apply only to the
+    experiments that understand it).
+    """
+    accepted = set(accepted_parameters(fn))
+    merged = {k: v for k, v in defaults.items() if k in accepted}
+    for name, value in params.items():
+        if name not in accepted:
+            known = ", ".join(sorted(accepted)) or "(none)"
+            raise ConfigurationError(
+                f"experiment {experiment_id!r} does not accept parameter "
+                f"{name!r}; accepted overrides: {known}"
+            )
+        merged[name] = value
+    return merged

@@ -25,7 +25,15 @@ from .batch import (
     transient_sweep,
     tunneling_states,
 )
-from .cache import CacheStats, cache_stats, clear_caches
+from .cache import (
+    CacheSet,
+    CacheStats,
+    active_caches,
+    cache_stats,
+    clear_caches,
+    default_caches,
+    use_caches,
+)
 
 __all__ = [
     "BatchSpec",
@@ -36,7 +44,11 @@ __all__ = [
     "transient_sweep",
     "DesignScreen",
     "design_screen",
+    "CacheSet",
     "CacheStats",
+    "active_caches",
     "cache_stats",
     "clear_caches",
+    "default_caches",
+    "use_caches",
 ]

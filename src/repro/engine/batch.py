@@ -43,6 +43,7 @@ from ..errors import ConfigurationError
 from ..materials.graphene import GRAPHENE_WORK_FUNCTION_EV
 from ..materials.oxides import SIO2
 from ..tunneling.fowler_nordheim import fn_current_density
+from ..tunneling.temperature import temperature_correction_factor_batch
 from ..units import nm_to_m
 from . import cache
 
@@ -69,6 +70,12 @@ class BatchSpec:
     barrier_height_ev, mass_ratio:
         FN barrier parameters shared by the whole batch (scalar:
         figure sweeps vary bias and geometry, not the material system).
+    temperature_k:
+        Lattice temperature [K] shared by the batch. Zero (the default)
+        reproduces the paper's zero-temperature FN closed form; positive
+        values apply the Good-Mueller thermal-broadening factor of
+        :func:`repro.tunneling.temperature.temperature_correction_factor`
+        to every lane.
 
     The evaluated batch has the NumPy broadcast shape of the first four
     fields, so family sweeps are expressed with orthogonal axes: a
@@ -82,6 +89,7 @@ class BatchSpec:
     charges_over_ct_v: np.ndarray = field(default_factory=lambda: np.asarray(0.0))
     barrier_height_ev: float = DEFAULT_BARRIER_HEIGHT_EV
     mass_ratio: float = DEFAULT_MASS_RATIO
+    temperature_k: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -101,6 +109,8 @@ class BatchSpec:
             raise ConfigurationError("tunnel oxide must be positive")
         if np.any(self.gcrs <= 0.0) or np.any(self.gcrs >= 1.0):
             raise ConfigurationError("GCR must lie strictly inside (0, 1)")
+        if self.temperature_k < 0.0:
+            raise ConfigurationError("temperature cannot be negative")
         self.shape  # raises now if the lanes cannot broadcast
 
     @property
@@ -190,6 +200,13 @@ def fn_batch(spec: BatchSpec) -> BatchResult:
     thickness_m = nm_to_m(spec.tunnel_oxides_nm)
     field_mag = np.abs(vfg) / thickness_m
     j = np.sign(vfg) * fn_current_density(field_mag, a, b)
+    if spec.temperature_k > 0.0:
+        j = j * temperature_correction_factor_batch(
+            spec.barrier_height_ev,
+            spec.mass_ratio,
+            field_mag,
+            spec.temperature_k,
+        )
     return BatchResult(
         spec=spec,
         vfg_v=vfg,

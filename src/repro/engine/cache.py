@@ -3,64 +3,59 @@
 The quantities the batch engine needs per sweep point -- FN coefficient
 pairs and compiled (device, bias) cells -- depend only on a handful of
 hashable inputs and are reused across thousands of lanes. This module
-centralises their memoization so every caller (sweeps, transients, the
-optimizer screen) shares one cache, and exposes the hit/miss counters
-for the experiment runner's ``--cache-stats`` report.
+centralises their memoization as :class:`CacheSet` objects so callers
+can either share the process-wide default set (the behaviour of the
+original global caches) or own an isolated set per
+:class:`~repro.api.session.SimulationSession`, with hit/miss counters
+reported per set for the runner's ``--cache-stats`` report.
 
 All cached inputs are frozen dataclasses (devices, biases), so
-``functools.lru_cache`` keys them directly; ``clear_caches`` resets
-everything (used by tests and long-running sweep services).
+``functools.lru_cache`` keys them directly. The module-level
+:func:`fn_coefficients` / :func:`compiled_cell` entry points delegate to
+whichever set is *active* (see :func:`use_caches`), so the device and
+batch layers stay oblivious to session ownership; ``clear_caches``
+resets the active set (used by tests and long-running sweep services).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Iterator
 
 from ..device.bias import BiasCondition
 from ..device.floating_gate import CompiledCell, FloatingGateTransistor
 from ..tunneling.fowler_nordheim import fn_coefficient_a, fn_coefficient_b
 
 
-@lru_cache(maxsize=512)
-def fn_coefficients(
+def _fn_coefficients_impl(
     barrier_height_ev: float, mass_ratio: float
 ) -> "tuple[float, float]":
-    """Memoized ``(A, B)`` FN coefficient pair for one barrier.
-
-    ``A`` [A/V^2] and ``B`` [V/m] depend only on the barrier height and
-    tunneling mass; a GCR or oxide-thickness sweep reuses one pair for
-    every lane.
-    """
+    """Uncached ``(A, B)`` FN coefficient pair for one barrier."""
     return (
         fn_coefficient_a(barrier_height_ev),
         fn_coefficient_b(barrier_height_ev, mass_ratio),
     )
 
 
-@lru_cache(maxsize=512)
-def compiled_cell(
+def _compiled_cell_impl(
     device: FloatingGateTransistor, bias: BiasCondition
 ) -> CompiledCell:
-    """Memoized :meth:`FloatingGateTransistor.compiled` form.
-
-    The compiled cell is the engine's unit of work: one cache entry per
-    (device, bias) pair serves every ODE step, batch lane, equilibrium
-    bisection and transient resampling performed under that bias --
-    ``simulate_transient`` and its equilibrium solve both resolve their
-    cell here, so one programming simulation compiles the device once.
-    """
+    """Uncached :meth:`FloatingGateTransistor.compiled` form."""
     return device.compiled(bias)
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Aggregated hit/miss counters of every engine cache.
+    """Aggregated hit/miss counters of every cache in one set.
 
     Attributes
     ----------
     hits, misses:
-        Totals across all engine caches.
+        Totals across all caches of the set.
     currsize:
         Number of entries currently held.
     per_cache:
@@ -78,32 +73,206 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counters accumulated after an earlier snapshot of the same set.
 
-_CACHES = {
-    "fn_coefficients": fn_coefficients,
-    "compiled_cell": compiled_cell,
-}
+        Every field is a difference against the snapshot -- ``currsize``
+        (and the per-cache sizes) become *entries added* over the
+        interval. Used by :class:`~repro.api.plan.PlanResult` to
+        attribute hits, misses and growth to individual scenarios of a
+        multi-scenario run.
+        """
+        earlier = dict(since.per_cache)
+        per_cache = tuple(
+            (
+                name,
+                (
+                    hits - earlier.get(name, (0, 0, 0))[0],
+                    misses - earlier.get(name, (0, 0, 0))[1],
+                    size - earlier.get(name, (0, 0, 0))[2],
+                ),
+            )
+            for name, (hits, misses, size) in self.per_cache
+        )
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            currsize=self.currsize - since.currsize,
+            per_cache=per_cache,
+        )
+
+
+class CacheSet:
+    """One independent set of the engine's memoized intermediates.
+
+    Each instance owns its own ``lru_cache`` wrappers, so two sets never
+    share entries or counters -- the isolation unit behind
+    :class:`~repro.api.session.SimulationSession`. The process-wide
+    default set (:func:`default_caches`) backs the module-level
+    functions when no session is active.
+
+    Beyond the ``lru_cache`` hit/miss counters the set tracks which
+    *keys* it has seen, so :meth:`mark` / :meth:`reused_hits_since_mark`
+    can report how many lookups were served by entries that already
+    existed at the mark -- the honest "reuse of earlier work" metric the
+    run-plan reports need (a plain hit count would also include a
+    scenario re-hitting an entry it created itself).
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        """Create an empty set; ``maxsize`` bounds each inner cache."""
+        self._maxsize = maxsize
+        self._keys: "dict[str, OrderedDict]" = {}
+        self._marked: "dict[str, frozenset]" = {}
+        self._reused_hits = 0
+        self.fn_coefficients = self._tracked(
+            "fn_coefficients",
+            lru_cache(maxsize=maxsize)(_fn_coefficients_impl),
+        )
+        self.compiled_cell = self._tracked(
+            "compiled_cell", lru_cache(maxsize=maxsize)(_compiled_cell_impl)
+        )
+        self._caches = {
+            "fn_coefficients": self.fn_coefficients,
+            "compiled_cell": self.compiled_cell,
+        }
+
+    def _tracked(self, name: str, cached):
+        """Wrap one lru cache with key tracking for reuse attribution.
+
+        The tracker mirrors the inner LRU's recency order and capacity,
+        so it stays bounded and a key the LRU has evicted is neither
+        remembered nor miscounted as a reused hit when it is recomputed.
+        """
+        keys = self._keys.setdefault(name, OrderedDict())
+
+        def lookup(*args):
+            # Reuse = this lookup will be served by an entry that both
+            # still exists (not evicted) and predates the last mark().
+            if args in keys and args in self._marked.get(name, frozenset()):
+                self._reused_hits += 1
+            result = cached(*args)
+            keys[args] = None
+            keys.move_to_end(args)
+            if len(keys) > self._maxsize:
+                keys.popitem(last=False)
+            return result
+
+        lookup.cache_info = cached.cache_info
+        lookup.cache_clear = cached.cache_clear
+        lookup.__doc__ = cached.__doc__
+        lookup.__wrapped__ = cached
+        return lookup
+
+    def mark(self) -> None:
+        """Snapshot the keys held now; resets the reused-hit counter."""
+        self._marked = {
+            name: frozenset(keys) for name, keys in self._keys.items()
+        }
+        self._reused_hits = 0
+
+    def reused_hits_since_mark(self) -> int:
+        """Lookups since :meth:`mark` served by entries that predate it."""
+        return self._reused_hits
+
+    def stats(self) -> CacheStats:
+        """Snapshot the hit/miss counters of this set."""
+        per_cache = []
+        hits = misses = currsize = 0
+        for name, cached in self._caches.items():
+            info = cached.cache_info()
+            per_cache.append((name, (info.hits, info.misses, info.currsize)))
+            hits += info.hits
+            misses += info.misses
+            currsize += info.currsize
+        return CacheStats(
+            hits=hits,
+            misses=misses,
+            currsize=currsize,
+            per_cache=tuple(per_cache),
+        )
+
+    def clear(self) -> None:
+        """Drop every memoized entry and reset every counter."""
+        for cached in self._caches.values():
+            cached.cache_clear()
+        for keys in self._keys.values():
+            keys.clear()
+        self._marked = {}
+        self._reused_hits = 0
+
+
+_DEFAULT_CACHES = CacheSet()
+
+#: The active set, carried in a ContextVar so concurrent sessions on
+#: different threads (or asyncio tasks) never see each other's
+#: activation -- swapping a plain module global would leak one thread's
+#: set into another mid-run.
+_ACTIVE_CACHES: "ContextVar[CacheSet | None]" = ContextVar(
+    "repro_engine_active_caches", default=None
+)
+
+
+def default_caches() -> CacheSet:
+    """The process-wide cache set used outside any session."""
+    return _DEFAULT_CACHES
+
+
+def active_caches() -> CacheSet:
+    """The cache set currently serving this context's lookups."""
+    return _ACTIVE_CACHES.get() or _DEFAULT_CACHES
+
+
+@contextmanager
+def use_caches(caches: CacheSet) -> "Iterator[CacheSet]":
+    """Route the engine's memoized lookups through a given set.
+
+    :class:`~repro.api.session.SimulationSession` activates its own set
+    for the duration of each run, so everything reached from the session
+    (figure sweeps, transients, the optimizer) shares that session's
+    entries and counters without touching other sessions or the default
+    set. Reentrant and context-local (thread/task safe); restores the
+    previous set on exit.
+    """
+    token = _ACTIVE_CACHES.set(caches)
+    try:
+        yield caches
+    finally:
+        _ACTIVE_CACHES.reset(token)
+
+
+def fn_coefficients(
+    barrier_height_ev: float, mass_ratio: float
+) -> "tuple[float, float]":
+    """Memoized ``(A, B)`` FN coefficient pair for one barrier.
+
+    ``A`` [A/V^2] and ``B`` [V/m] depend only on the barrier height and
+    tunneling mass; a GCR or oxide-thickness sweep reuses one pair for
+    every lane. Served by the active :class:`CacheSet`.
+    """
+    return active_caches().fn_coefficients(barrier_height_ev, mass_ratio)
+
+
+def compiled_cell(
+    device: FloatingGateTransistor, bias: BiasCondition
+) -> CompiledCell:
+    """Memoized :meth:`FloatingGateTransistor.compiled` form.
+
+    The compiled cell is the engine's unit of work: one cache entry per
+    (device, bias) pair serves every ODE step, batch lane, equilibrium
+    bisection and transient resampling performed under that bias --
+    ``simulate_transient`` and its equilibrium solve both resolve their
+    cell here, so one programming simulation compiles the device once.
+    Served by the active :class:`CacheSet`.
+    """
+    return active_caches().compiled_cell(device, bias)
 
 
 def cache_stats() -> CacheStats:
-    """Snapshot the hit/miss counters of every engine cache."""
-    per_cache = []
-    hits = misses = currsize = 0
-    for name, cache in _CACHES.items():
-        info = cache.cache_info()
-        per_cache.append((name, (info.hits, info.misses, info.currsize)))
-        hits += info.hits
-        misses += info.misses
-        currsize += info.currsize
-    return CacheStats(
-        hits=hits,
-        misses=misses,
-        currsize=currsize,
-        per_cache=tuple(per_cache),
-    )
+    """Snapshot the hit/miss counters of the active cache set."""
+    return active_caches().stats()
 
 
 def clear_caches() -> None:
-    """Drop every memoized intermediate (tests, long-running services)."""
-    for cache in _CACHES.values():
-        cache.cache_clear()
+    """Drop every memoized intermediate of the active cache set."""
+    active_caches().clear()

@@ -2,7 +2,12 @@
 
 ``run_experiment("fig6")`` (etc.) regenerates a figure's series and
 checks the paper's qualitative claims; the ``repro-experiments`` CLI
-(see :mod:`repro.experiments.runner`) prints them all.
+(see :mod:`repro.experiments.runner`) prints them all. Since the
+:mod:`repro.api` redesign every experiment follows the
+``run(ctx, **params)`` protocol -- ``run_experiment("fig6", ctx,
+temperature_k=400.0)`` reparameterizes a figure -- while zero-argument
+calls keep reproducing the paper's defaults; figure modules resolve
+lazily through the registry.
 """
 
 from .base import ExperimentResult, ShapeCheck
@@ -10,6 +15,7 @@ from .registry import (
     PAPER_FIGURES,
     available_experiments,
     get_experiment,
+    resolve_experiment,
     run_all,
     run_experiment,
 )
@@ -30,6 +36,7 @@ __all__ = [
     "PAPER_FIGURES",
     "available_experiments",
     "get_experiment",
+    "resolve_experiment",
     "run_experiment",
     "run_all",
 ]

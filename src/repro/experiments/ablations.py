@@ -9,12 +9,16 @@ choices and quantifies the effect:
 * ``abl-cq``   -- gate coupling ratio with the MLGNR floating gate's
   finite quantum capacitance, vs layer count.
 * ``abl-temp`` -- finite-temperature FN correction over 200-400 K.
+
+All three accept the session-API protocol (``run(ctx, **params)``) with
+barrier, geometry and sweep-range overrides.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..api.session import SimulationContext, ensure_context
 from ..electrostatics.capacitance import capacitance_per_area
 from ..materials.graphene import MultilayerGraphene
 from ..materials.oxides import SIO2
@@ -27,16 +31,27 @@ from ..units import nm_to_m
 from .base import ExperimentResult, ShapeCheck
 
 
-def run_model_comparison(n_points: int = 10) -> ExperimentResult:
+def run_model_comparison(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_points: int = 10,
+    barrier_height_ev: float = 3.61,
+    tunnel_oxide_nm: float = 5.0,
+    mass_ratio: float = 0.42,
+    voltage_range_v: "tuple[float, float]" = (6.0, 10.5),
+) -> ExperimentResult:
     """abl-wkb: the FN closed form against the numerical references."""
+    ctx = ensure_context(ctx)
     barrier = TunnelBarrier(
-        barrier_height_ev=3.61, thickness_m=nm_to_m(5.0), mass_ratio=0.42
+        barrier_height_ev=barrier_height_ev,
+        thickness_m=nm_to_m(tunnel_oxide_nm),
+        mass_ratio=mass_ratio,
     )
     fn = FowlerNordheimModel(barrier)
     te_tm = TsuEsakiModel(barrier, method="transfer_matrix")
     te_wkb = TsuEsakiModel(barrier, method="wkb")
 
-    voltages = np.linspace(6.0, 10.5, n_points)
+    voltages = np.linspace(*voltage_range_v, n_points)
     j_fn = np.array(
         [fn.current_density_from_voltage(float(v)) for v in voltages]
     )
@@ -72,20 +87,31 @@ def run_model_comparison(n_points: int = 10) -> ExperimentResult:
         x_label="V_ox [V]",
         y_label="J [A/m^2]",
         series=series,
-        parameters={"barrier_ev": 3.61, "xto_nm": 5.0, "mass_ratio": 0.42},
+        parameters={
+            "barrier_ev": barrier_height_ev,
+            "xto_nm": tunnel_oxide_nm,
+            "mass_ratio": mass_ratio,
+        },
         checks=checks,
     )
 
 
-def run_quantum_capacitance(max_layers: int = 10) -> ExperimentResult:
+def run_quantum_capacitance(
+    ctx: "SimulationContext | None" = None,
+    *,
+    max_layers: int = 10,
+    geometric_gcr: float = 0.6,
+    channel_potential_v: float = 0.2,
+) -> ExperimentResult:
     """abl-cq: GCR degradation from the MLGNR quantum capacitance."""
-    geometric_gcr = 0.6
+    ctx = ensure_context(ctx)
     c_co = capacitance_per_area(
         SIO2.relative_permittivity, nm_to_m(8.0)
     )
     c_to = capacitance_per_area(SIO2.relative_permittivity, nm_to_m(5.0))
-    # Geometric network normalised to GCR = 0.6 (paper reference point):
-    # scale C_FC so that CFC/(CFC + rest) = 0.6 with rest = C_TO * 1.25.
+    # Geometric network normalised to the requested GCR (paper reference
+    # point 0.6): scale C_FC so that CFC/(CFC + rest) matches with
+    # rest = C_TO * 1.25.
     rest = c_to * 1.25
     c_fc = geometric_gcr * rest / (1.0 - geometric_gcr)
 
@@ -93,7 +119,9 @@ def run_quantum_capacitance(max_layers: int = 10) -> ExperimentResult:
     effective_gcr = np.empty(layers.size)
     for i, n in enumerate(layers):
         mlg = MultilayerGraphene(int(n))
-        cq = mlg.quantum_capacitance_f_m2(channel_potential_v=0.2)
+        cq = mlg.quantum_capacitance_f_m2(
+            channel_potential_v=channel_potential_v
+        )
         # The FG's finite DOS appears in series with *every* geometric
         # capacitance touching the floating gate.
         c_fc_eff = c_fc * cq / (c_fc + cq)
@@ -115,7 +143,8 @@ def run_quantum_capacitance(max_layers: int = 10) -> ExperimentResult:
             claim="quantum capacitance lowers the effective coupling for "
             "few-layer floating gates",
             passed=bool(effective_gcr[0] < geometric_gcr),
-            detail=f"1 layer: GCR_eff = {effective_gcr[0]:.3f} vs 0.600",
+            detail=f"1 layer: GCR_eff = {effective_gcr[0]:.3f} vs "
+            f"{geometric_gcr:.3f}",
         ),
         ShapeCheck(
             claim="multilayer stacks recover near-metallic coupling "
@@ -142,13 +171,25 @@ def run_quantum_capacitance(max_layers: int = 10) -> ExperimentResult:
     )
 
 
-def run_temperature(n_points: int = 9) -> ExperimentResult:
+def run_temperature(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_points: int = 9,
+    temperature_range_k: "tuple[float, float]" = (200.0, 400.0),
+    barrier_height_ev: float = 3.61,
+    tunnel_oxide_nm: float = 5.0,
+    mass_ratio: float = 0.42,
+) -> ExperimentResult:
     """abl-temp: finite-temperature enhancement of the FN current."""
+    ctx = ensure_context(ctx)
     barrier = TunnelBarrier(
-        barrier_height_ev=3.61, thickness_m=nm_to_m(5.0), mass_ratio=0.42
+        barrier_height_ev=barrier_height_ev,
+        thickness_m=nm_to_m(tunnel_oxide_nm),
+        mass_ratio=mass_ratio,
     )
-    field = 9.0 * 0.6 / nm_to_m(5.0) * (1.0 / 0.6)  # 9 V across 5 nm
-    temperatures = np.linspace(200.0, 400.0, n_points)
+    # 9 V across the tunnel oxide (the reference programming field).
+    field = 9.0 / nm_to_m(tunnel_oxide_nm)
+    temperatures = np.linspace(*temperature_range_k, n_points)
     factors = np.array(
         [
             temperature_correction_factor(barrier, field, float(t))
@@ -157,7 +198,9 @@ def run_temperature(n_points: int = 9) -> ExperimentResult:
     )
     series = (
         PlotSeries(
-            label="J(T)/J(0) at E = 1.8e9 V/m", x=temperatures, y=factors
+            label=f"J(T)/J(0) at E = {field:.2g} V/m",
+            x=temperatures,
+            y=factors,
         ),
     )
     checks = (
@@ -165,12 +208,13 @@ def run_temperature(n_points: int = 9) -> ExperimentResult:
             claim="FN current is only weakly temperature dependent "
             "(tunneling is 'a pure electrical phenomenon')",
             passed=bool(factors[-1] < 1.6),
-            detail=f"J(400K)/J(0K) = {factors[-1]:.3f}",
+            detail=f"J({temperatures[-1]:g}K)/J(0K) = {factors[-1]:.3f}",
         ),
         ShapeCheck(
             claim="the correction grows monotonically with temperature",
             passed=bool(np.all(np.diff(factors) > 0.0)),
-            detail=f"{factors[0]:.3f} at 200 K -> {factors[-1]:.3f} at 400 K",
+            detail=f"{factors[0]:.3f} at {temperatures[0]:g} K -> "
+            f"{factors[-1]:.3f} at {temperatures[-1]:g} K",
         ),
     )
     return ExperimentResult(
@@ -179,7 +223,7 @@ def run_temperature(n_points: int = 9) -> ExperimentResult:
         x_label="temperature [K]",
         y_label="J(T)/J(0)",
         series=series,
-        parameters={"field_v_per_m": field, "barrier_ev": 3.61},
+        parameters={"field_v_per_m": field, "barrier_ev": barrier_height_ev},
         checks=checks,
         log_y=False,
     )

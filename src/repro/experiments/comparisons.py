@@ -8,14 +8,17 @@
   (Section II): supply current per cell and injection efficiency,
   quantifying why the paper "mainly focus[es] on FN tunneling based
   programming" for NAND-style arrays.
+
+Both accept the session-API protocol (``run(ctx, **params)``) with
+sweep-range and bias overrides.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..api.session import SimulationContext, ensure_context
 from ..device.baselines import mlgnr_reference_fgt, silicon_baseline_fgt
-from ..device.bias import PROGRAM_BIAS
 from ..device.retention import RetentionModel
 from ..device.transient import equilibrium_charge, simulate_transient
 from ..reporting.ascii_plot import PlotSeries
@@ -27,12 +30,20 @@ from ..tunneling.channel_hot_electron import (
 from .base import ExperimentResult, ShapeCheck
 
 
-def run_silicon_comparison(n_points: int = 25) -> ExperimentResult:
+def run_silicon_comparison(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_points: int = 25,
+    vgs_range_v: "tuple[float, float]" = (10.0, 17.0),
+    duration_s: float = 1e-2,
+) -> ExperimentResult:
     """cmp-si: J_FN vs V_GS for the MLGNR device and the Si baseline."""
+    ctx = ensure_context(ctx)
     gnr = mlgnr_reference_fgt()
     si = silicon_baseline_fgt()
+    program_bias = ctx.bias("program")
 
-    vgs = np.linspace(10.0, 17.0, n_points)
+    vgs = np.linspace(*vgs_range_v, n_points)
     gcr = gnr.gate_coupling_ratio
 
     def sweep(device):
@@ -51,11 +62,11 @@ def run_silicon_comparison(n_points: int = 25) -> ExperimentResult:
         PlotSeries(label="Si baseline (phi_B=3.10eV)", x=vgs, y=j_si),
     )
 
-    gnr_transient = simulate_transient(gnr, PROGRAM_BIAS, duration_s=1e-2)
-    si_transient = simulate_transient(si, PROGRAM_BIAS, duration_s=1e-2)
+    gnr_transient = simulate_transient(gnr, program_bias, duration_s=duration_s)
+    si_transient = simulate_transient(si, program_bias, duration_s=duration_s)
 
-    q_gnr = equilibrium_charge(gnr, PROGRAM_BIAS)
-    q_si = equilibrium_charge(si, PROGRAM_BIAS)
+    q_gnr = equilibrium_charge(gnr, program_bias)
+    q_si = equilibrium_charge(si, program_bias)
     leak_gnr = RetentionModel(gnr).leakage_current_a(q_gnr)
     leak_si = RetentionModel(si).leakage_current_a(q_si)
 
@@ -64,7 +75,8 @@ def run_silicon_comparison(n_points: int = 25) -> ExperimentResult:
             claim="the taller graphene/SiO2 barrier passes less FN current "
             "than Si/SiO2 at equal bias",
             passed=bool(np.all(j_gnr < j_si)),
-            detail=f"at 15 V: {j_gnr[n_points // 2]:.2e} vs "
+            detail=f"at {vgs[n_points // 2]:g} V: "
+            f"{j_gnr[n_points // 2]:.2e} vs "
             f"{j_si[n_points // 2]:.2e} A/m^2",
         ),
         ShapeCheck(
@@ -108,23 +120,32 @@ def run_silicon_comparison(n_points: int = 25) -> ExperimentResult:
     )
 
 
-def run_che_comparison(n_points: int = 25) -> ExperimentResult:
+def run_che_comparison(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_points: int = 25,
+    drain_voltage_range_v: "tuple[float, float]" = (4.0, 6.0),
+    che_drain_current_a: float = 5e-4,
+    duration_s: float = 1e-3,
+) -> ExperimentResult:
     """cmp-che: supply current of CHE vs FN programming."""
+    ctx = ensure_context(ctx)
     device = mlgnr_reference_fgt()
+    program_bias = ctx.bias("program")
     barrier_ev = device.barrier_heights_ev()[0]
     che = LuckyElectronModel(barrier_height_ev=barrier_ev)
 
     # FN cell current over the programming transient.
-    transient = simulate_transient(device, PROGRAM_BIAS, duration_s=1e-3)
+    transient = simulate_transient(device, program_bias, duration_s=duration_s)
     area = device.geometry.channel_area_m2
     fn_cell_current = np.abs(transient.jin_a_m2) * area
 
     # CHE gate current across the paper's drain-voltage range (4-6 V).
-    drain_voltages = np.linspace(4.0, 6.0, n_points)
+    drain_voltages = np.linspace(*drain_voltage_range_v, n_points)
     che_gate_currents = np.array(
         [
             che.gate_current_a(
-                5e-4,
+                che_drain_current_a,
                 CheOperatingPoint(
                     drain_voltage_v=float(v)
                 ).lateral_field_v_per_m,
@@ -140,7 +161,7 @@ def run_che_comparison(n_points: int = 25) -> ExperimentResult:
         ),
         PlotSeries(
             label="FN cell current vs time (rescaled axis)",
-            x=np.linspace(4.0, 6.0, transient.t_s.size),
+            x=np.linspace(*drain_voltage_range_v, transient.t_s.size),
             y=fn_cell_current,
         ),
     )
@@ -148,6 +169,7 @@ def run_che_comparison(n_points: int = 25) -> ExperimentResult:
     comparison = compare_che_to_fn(
         che, CheOperatingPoint(), fn_cell_current_a=float(fn_cell_current[0])
     )
+    v_lo, v_hi = drain_voltage_range_v
     checks = (
         ShapeCheck(
             claim="FN programming draws < 1 nA per cell for most of the "
@@ -173,12 +195,12 @@ def run_che_comparison(n_points: int = 25) -> ExperimentResult:
             "(the lucky-electron exponential)",
             passed=bool(
                 che_gate_currents[-1]
-                > 2.0 * (6.0 / 4.0) * che_gate_currents[0]
+                > 2.0 * (v_hi / v_lo) * che_gate_currents[0]
             ),
             detail=f"{che_gate_currents[0]:.2e} -> "
-            f"{che_gate_currents[-1]:.2e} A over 4-6 V "
+            f"{che_gate_currents[-1]:.2e} A over {v_lo:g}-{v_hi:g} V "
             f"(x{che_gate_currents[-1] / che_gate_currents[0]:.1f} for a "
-            "x1.5 voltage step)",
+            f"x{v_hi / v_lo:.1f} voltage step)",
         ),
     )
     return ExperimentResult(
@@ -190,7 +212,7 @@ def run_che_comparison(n_points: int = 25) -> ExperimentResult:
         series=series,
         parameters={
             "barrier_ev": barrier_ev,
-            "che_drain_current_a": 5e-4,
+            "che_drain_current_a": che_drain_current_a,
         },
         checks=checks,
     )

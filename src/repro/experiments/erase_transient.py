@@ -6,14 +6,17 @@ experiment completes the symmetry: starting from the programmed state,
 a -15 V gate pulse depletes the floating gate, with the tunnel-oxide
 current now flowing outward and the saturation bounded by the reversed
 Jin = Jout balance.
+
+Overrides (session API): ``vgs_v`` (the erase voltage; the preceding
+program pulse uses its negation, keeping the symmetry checks exact),
+``gcr``, ``tunnel_oxide_nm``, ``duration_s`` and ``n_samples``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..device.bias import ERASE_BIAS, PROGRAM_BIAS
-from ..device.floating_gate import FloatingGateTransistor
+from ..api.session import SimulationContext, ensure_context
 from ..device.transient import equilibrium_charge, simulate_transient
 from ..reporting.ascii_plot import PlotSeries
 from .base import ExperimentResult, ShapeCheck
@@ -22,13 +25,24 @@ EXPERIMENT_ID = "erase-transient"
 TITLE = "Erase transient from the programmed state (VGS = -15 V)"
 
 
-def run(duration_s: float = 1e-2, n_samples: int = 300) -> ExperimentResult:
+def run(
+    ctx: "SimulationContext | None" = None,
+    *,
+    duration_s: float = 1e-2,
+    n_samples: int = 300,
+    vgs_v: float = -15.0,
+    gcr: "float | None" = None,
+    tunnel_oxide_nm: "float | None" = None,
+) -> ExperimentResult:
     """Simulate a full erase of the saturated programmed cell."""
-    device = FloatingGateTransistor()
-    programmed_charge = equilibrium_charge(device, PROGRAM_BIAS)
+    ctx = ensure_context(ctx)
+    device = ctx.device(tunnel_oxide_nm=tunnel_oxide_nm, gcr=gcr)
+    erase_bias = ctx.bias("erase", vgs_v=vgs_v)
+    program_bias = ctx.bias("program", vgs_v=-vgs_v)
+    programmed_charge = equilibrium_charge(device, program_bias)
     result = simulate_transient(
         device,
-        ERASE_BIAS,
+        erase_bias,
         initial_charge_c=programmed_charge,
         duration_s=duration_s,
         n_samples=n_samples,
@@ -43,7 +57,7 @@ def run(duration_s: float = 1e-2, n_samples: int = 300) -> ExperimentResult:
         ),
     )
 
-    q_erase_eq = equilibrium_charge(device, ERASE_BIAS)
+    q_erase_eq = equilibrium_charge(device, erase_bias)
     crossed_zero = bool(
         (result.charge_c[0] < 0.0) and (result.charge_c[-1] > 0.0)
     )
@@ -69,7 +83,7 @@ def run(duration_s: float = 1e-2, n_samples: int = 300) -> ExperimentResult:
         ),
         ShapeCheck(
             claim="erase and program windows are symmetric for symmetric "
-            "bias (+/-15 V)",
+            f"bias (+/-{abs(vgs_v):g} V)",
             passed=abs(q_erase_eq / programmed_charge + 1.0) < 1e-3,
             detail=f"Q_erase_eq = {q_erase_eq:.3e} C vs "
             f"-Q_program_eq = {-programmed_charge:.3e} C",
@@ -88,7 +102,7 @@ def run(duration_s: float = 1e-2, n_samples: int = 300) -> ExperimentResult:
         y_label="|J| [A/m^2], |Q| [C]",
         series=series,
         parameters={
-            "vgs_v": -15.0,
+            "vgs_v": vgs_v,
             "initial_charge_c": programmed_charge,
             "t_sat_s": result.t_sat_s,
             "q_equilibrium_c": q_erase_eq,

@@ -6,16 +6,17 @@ because "at high electric field band-bending takes place that results
 in apparent thinning of the barrier". This experiment rebuilds the
 diagram quantitatively from the Poisson solution of the biased stack
 and checks those statements.
+
+Overrides (session API): ``vgs_v`` rebiases the stack;
+``tunnel_oxide_nm`` / ``control_oxide_nm`` rebuild the device geometry.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..device.bias import PROGRAM_BIAS
-from ..device.floating_gate import FloatingGateTransistor
+from ..api.session import SimulationContext, ensure_context
 from ..electrostatics.band_diagram import build_band_diagram
-from ..materials.oxides import SIO2
 from ..reporting.ascii_plot import PlotSeries
 from .base import ExperimentResult, ShapeCheck
 
@@ -23,42 +24,45 @@ EXPERIMENT_ID = "fig2"
 TITLE = "Fowler-Nordheim band diagram (triangular barrier)"
 
 
-def run() -> ExperimentResult:
+def run(
+    ctx: "SimulationContext | None" = None,
+    *,
+    vgs_v: float = 15.0,
+    tunnel_oxide_nm: "float | None" = None,
+    control_oxide_nm: "float | None" = None,
+) -> ExperimentResult:
     """Reproduce Figure 2: the biased-stack conduction band."""
-    device = FloatingGateTransistor()
+    ctx = ensure_context(ctx)
+    device = ctx.device(
+        tunnel_oxide_nm=tunnel_oxide_nm, control_oxide_nm=control_oxide_nm
+    )
+    bias = ctx.bias("program", vgs_v=vgs_v)
     geometry = device.geometry
     channel_phi, gate_phi = device.barrier_heights_ev()
-    vfg = device.floating_gate_voltage(PROGRAM_BIAS)
+    vfg = device.floating_gate_voltage(bias)
 
-    biased = build_band_diagram(
-        tunnel_dielectric=SIO2,
-        control_dielectric=SIO2,
-        tunnel_thickness_m=geometry.tunnel_oxide_thickness_m,
-        control_thickness_m=geometry.control_oxide_thickness_m,
-        floating_gate_thickness_m=geometry.floating_gate_thickness_m,
-        channel_barrier_ev=channel_phi,
-        gate_barrier_ev=gate_phi,
-        floating_gate_voltage_v=vfg,
-        control_gate_voltage_v=15.0,
-    )
-    flat = build_band_diagram(
-        tunnel_dielectric=SIO2,
-        control_dielectric=SIO2,
-        tunnel_thickness_m=geometry.tunnel_oxide_thickness_m,
-        control_thickness_m=geometry.control_oxide_thickness_m,
-        floating_gate_thickness_m=geometry.floating_gate_thickness_m,
-        channel_barrier_ev=channel_phi,
-        gate_barrier_ev=gate_phi,
-        floating_gate_voltage_v=0.0,
-        control_gate_voltage_v=0.0,
-    )
+    def stack_diagram(vfg_v: float, vgs: float):
+        return build_band_diagram(
+            tunnel_dielectric=device.tunnel_dielectric,
+            control_dielectric=device.control_dielectric,
+            tunnel_thickness_m=geometry.tunnel_oxide_thickness_m,
+            control_thickness_m=geometry.control_oxide_thickness_m,
+            floating_gate_thickness_m=geometry.floating_gate_thickness_m,
+            channel_barrier_ev=channel_phi,
+            gate_barrier_ev=gate_phi,
+            floating_gate_voltage_v=vfg_v,
+            control_gate_voltage_v=vgs,
+        )
+
+    biased = stack_diagram(vfg, vgs_v)
+    flat = stack_diagram(0.0, 0.0)
     series = (
         PlotSeries(
             label="unbiased stack", x=flat.x_m * 1e9,
             y=flat.conduction_band_ev,
         ),
         PlotSeries(
-            label="programming bias (VGS=15V)",
+            label=f"programming bias (VGS={vgs_v:g}V)",
             x=biased.x_m * 1e9,
             y=biased.conduction_band_ev,
         ),
@@ -114,9 +118,10 @@ def run() -> ExperimentResult:
         y_label="E_c [eV]",
         series=series,
         parameters={
-            "vgs_v": 15.0,
+            "vgs_v": vgs_v,
             "vfg_v": vfg,
             "channel_barrier_ev": channel_phi,
+            "xto_nm": geometry.tunnel_oxide_thickness_m * 1e9,
         },
         checks=checks,
         log_y=False,

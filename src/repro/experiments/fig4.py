@@ -5,14 +5,17 @@ Paper claim: with V_GS = 15 V, GCR = 0.6 and no stored charge, V_FG is
 outward control-oxide leakage Jout (only 15 - 9 = 6 V across the
 thicker control oxide). The figure shows the two current magnitudes
 over the early transient with the t = 0 mechanism in the insert.
+
+Overrides (session API): ``vgs_v``, ``gcr``, ``tunnel_oxide_nm``,
+``duration_s`` and ``n_samples``; the eq. (3) check adapts to the
+overridden operating point (V_FG(0) = GCR * V_GS).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..device.bias import PROGRAM_BIAS
-from ..device.floating_gate import FloatingGateTransistor
+from ..api.session import SimulationContext, ensure_context
 from ..device.transient import simulate_transient
 from ..reporting.ascii_plot import PlotSeries
 from .base import ExperimentResult, ShapeCheck, decades_between
@@ -21,12 +24,22 @@ EXPERIMENT_ID = "fig4"
 TITLE = "Jin vs Jout at the start of programming (VGS=15V, GCR=0.6)"
 
 
-def run(duration_s: float = 1e-5, n_samples: int = 120) -> ExperimentResult:
+def run(
+    ctx: "SimulationContext | None" = None,
+    *,
+    duration_s: float = 1e-5,
+    n_samples: int = 120,
+    vgs_v: float = 15.0,
+    gcr: "float | None" = None,
+    tunnel_oxide_nm: "float | None" = None,
+) -> ExperimentResult:
     """Reproduce Figure 4: the early programming transient."""
-    device = FloatingGateTransistor()
+    ctx = ensure_context(ctx)
+    device = ctx.device(tunnel_oxide_nm=tunnel_oxide_nm, gcr=gcr)
+    bias = ctx.bias("program", vgs_v=vgs_v)
     result = simulate_transient(
         device,
-        PROGRAM_BIAS,
+        bias,
         duration_s=duration_s,
         n_samples=n_samples,
     )
@@ -38,11 +51,13 @@ def run(duration_s: float = 1e-5, n_samples: int = 120) -> ExperimentResult:
     )
 
     vfg0 = float(result.vfg_v[0])
+    vfg_expected = device.gate_coupling_ratio * vgs_v
     separation = decades_between(float(jout[0]), float(jin[0]))
     checks = (
         ShapeCheck(
-            claim="V_FG = 9 V at t = 0 for V_GS = 15 V and GCR = 0.6 (eq. 3)",
-            passed=abs(vfg0 - 9.0) < 1e-6,
+            claim=f"V_FG = {vfg_expected:g} V at t = 0 for V_GS = {vgs_v:g} V"
+            f" and GCR = {device.gate_coupling_ratio:g} (eq. 3)",
+            passed=abs(vfg0 - vfg_expected) < 1e-6,
             detail=f"V_FG(0) = {vfg0:.6f} V",
         ),
         ShapeCheck(
@@ -68,7 +83,7 @@ def run(duration_s: float = 1e-5, n_samples: int = 120) -> ExperimentResult:
         y_label="|J| [A/m^2]",
         series=series,
         parameters={
-            "vgs_v": 15.0,
+            "vgs_v": vgs_v,
             "gcr": device.gate_coupling_ratio,
             "xto_nm": device.geometry.tunnel_oxide_thickness_m * 1e9,
             "xco_nm": device.geometry.control_oxide_thickness_m * 1e9,

@@ -8,14 +8,16 @@ programmable (the Jin < Jout region is unusable).
 The paper draws the meeting as a crossing; physically the two densities
 converge asymptotically, so t_sat is defined operationally as the time
 to reach 99% of the equilibrium charge (see DESIGN.md).
+
+Overrides (session API): ``vgs_v``, ``gcr``, ``tunnel_oxide_nm``,
+``duration_s`` and ``n_samples``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..device.bias import PROGRAM_BIAS
-from ..device.floating_gate import FloatingGateTransistor
+from ..api.session import SimulationContext, ensure_context
 from ..device.transient import simulate_transient
 from ..reporting.ascii_plot import PlotSeries
 from .base import ExperimentResult, ShapeCheck
@@ -24,12 +26,22 @@ EXPERIMENT_ID = "fig5"
 TITLE = "Programming transient to saturation (Jin -> Jout, t_sat)"
 
 
-def run(duration_s: float = 1e-2, n_samples: int = 300) -> ExperimentResult:
+def run(
+    ctx: "SimulationContext | None" = None,
+    *,
+    duration_s: float = 1e-2,
+    n_samples: int = 300,
+    vgs_v: float = 15.0,
+    gcr: "float | None" = None,
+    tunnel_oxide_nm: "float | None" = None,
+) -> ExperimentResult:
     """Reproduce Figure 5: transient until Jin meets Jout."""
-    device = FloatingGateTransistor()
+    ctx = ensure_context(ctx)
+    device = ctx.device(tunnel_oxide_nm=tunnel_oxide_nm, gcr=gcr)
+    bias = ctx.bias("program", vgs_v=vgs_v)
     result = simulate_transient(
         device,
-        PROGRAM_BIAS,
+        bias,
         duration_s=duration_s,
         n_samples=n_samples,
     )
@@ -86,7 +98,7 @@ def run(duration_s: float = 1e-2, n_samples: int = 300) -> ExperimentResult:
         y_label="|J| [A/m^2]",
         series=series,
         parameters={
-            "vgs_v": 15.0,
+            "vgs_v": vgs_v,
             "gcr": device.gate_coupling_ratio,
             "duration_s": duration_s,
             "t_sat_s": result.t_sat_s,

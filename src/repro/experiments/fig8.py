@@ -5,14 +5,19 @@ Control gate voltage (VGS) for four different GCR (%). XTO = 5,
 VGS < 0 V." Claims: J_FN increases as V_GS becomes more negative;
 higher GCR gives higher J_FN (larger coupling raises the electron
 depletion rate from the floating gate to the MLGNR channel).
+
+Overrides (session API): ``gcrs``, ``vgs_range_v``, ``tunnel_oxide_nm``,
+``temperature_k`` and ``n_points``; defaults reproduce the paper figure
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..api.session import SimulationContext, ensure_context
 from .base import ExperimentResult, ShapeCheck, series_ordering_check
-from .sweeps import SweepSettings, gcr_family
+from .sweeps import SweepSettings, fn_density_vs_gate_voltage, gcr_family
 
 EXPERIMENT_ID = "fig8"
 TITLE = "[Erase] J_FN vs V_GS for four GCR values (X_TO = 5 nm, VGS < 0)"
@@ -23,11 +28,21 @@ TUNNEL_OXIDE_NM = 5.0
 
 
 def run(
-    n_points: int = 46, settings: "SweepSettings | None" = None
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_points: int = 46,
+    gcrs: "tuple[float, ...]" = GCRS,
+    vgs_range_v: "tuple[float, float]" = VGS_RANGE_V,
+    tunnel_oxide_nm: float = TUNNEL_OXIDE_NM,
+    temperature_k: float = 0.0,
+    settings: "SweepSettings | None" = None,
 ) -> ExperimentResult:
-    """Reproduce Figure 8 (x axis runs from -8 V to -17 V)."""
-    vgs = np.linspace(*VGS_RANGE_V, n_points)
-    series = gcr_family(vgs, GCRS, TUNNEL_OXIDE_NM, settings)
+    """Reproduce Figure 8 (x axis runs from -8 V to -17 V by default)."""
+    ctx = ensure_context(ctx)
+    gcrs = tuple(sorted(float(g) for g in gcrs))
+    settings = settings or ctx.sweep_settings(temperature_k=temperature_k)
+    vgs = np.linspace(*vgs_range_v, n_points)
+    series = gcr_family(vgs, gcrs, tunnel_oxide_nm, settings)
 
     checks = [
         ShapeCheck(
@@ -46,19 +61,20 @@ def run(
         )
     )
     # Erase symmetry with programming: |J(-V)| == |J(+V)| for Q = 0.
-    from .sweeps import fn_density_vs_gate_voltage
-
+    probe_v = abs(float(vgs[-1]))
+    probe_gcr = gcrs[len(gcrs) // 2]
     j_erase = fn_density_vs_gate_voltage(
-        np.array([-15.0]), 0.6, TUNNEL_OXIDE_NM, settings
+        np.array([-probe_v]), probe_gcr, tunnel_oxide_nm, settings
     )[0]
     j_prog = fn_density_vs_gate_voltage(
-        np.array([15.0]), 0.6, TUNNEL_OXIDE_NM, settings
+        np.array([probe_v]), probe_gcr, tunnel_oxide_nm, settings
     )[0]
     checks.append(
         ShapeCheck(
             claim="erase magnitude mirrors programming at +/-V_GS (Q=0)",
             passed=abs(j_erase / j_prog - 1.0) < 1e-9,
-            detail=f"|J(-15V)|/|J(+15V)| = {j_erase / j_prog:.6f}",
+            detail=f"|J(-{probe_v:g}V)|/|J(+{probe_v:g}V)| = "
+            f"{j_erase / j_prog:.6f}",
         )
     )
     return ExperimentResult(
@@ -68,10 +84,11 @@ def run(
         y_label="|J_FN| [A/m^2]",
         series=series,
         parameters={
-            "gcrs": GCRS,
-            "vgs_range_v": VGS_RANGE_V,
-            "xto_nm": TUNNEL_OXIDE_NM,
+            "gcrs": gcrs,
+            "vgs_range_v": vgs_range_v,
+            "xto_nm": tunnel_oxide_nm,
             "n_points": n_points,
+            "temperature_k": settings.temperature_k,
         },
         checks=tuple(checks),
     )

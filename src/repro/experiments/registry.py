@@ -1,43 +1,54 @@
-"""Registry mapping experiment ids to their run() callables."""
+"""Registry mapping experiment ids to their ``run`` callables, lazily.
+
+Experiments register as ``"module:function"`` spec strings and resolve
+on first use, so importing the registry (or :mod:`repro.api`, which
+depends on it) stays cheap and a broken figure module cannot take down
+unrelated experiments -- the import error surfaces only when *that*
+experiment is requested, wrapped as a
+:class:`~repro.errors.ConfigurationError`.
+
+Protocol: every registered callable has the redesigned signature
+``run(ctx: SimulationContext | None = None, **params) -> ExperimentResult``.
+Because ``ctx`` defaults to ``None`` (resolved to the default session by
+:func:`repro.api.session.ensure_context`), the pre-redesign zero-argument
+calling convention keeps working unchanged -- that is the registry's
+backwards-compatibility shim.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+import importlib
+from typing import Callable, TYPE_CHECKING
 
 from ..errors import ConfigurationError
-from . import (
-    ablations,
-    comparisons,
-    erase_transient,
-    fig2,
-    fig4,
-    fig5,
-    fig6,
-    fig7,
-    fig8,
-    fig9,
-    summary,
-)
 from .base import ExperimentResult
 
-Runner = Callable[[], ExperimentResult]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..api.session import SimulationContext
 
-_REGISTRY: "dict[str, Runner]" = {
-    "fig2": fig2.run,
-    "fig4": fig4.run,
-    "fig5": fig5.run,
-    "fig6": fig6.run,
-    "fig7": fig7.run,
-    "fig8": fig8.run,
-    "fig9": fig9.run,
-    "abl-wkb": ablations.run_model_comparison,
-    "abl-cq": ablations.run_quantum_capacitance,
-    "abl-temp": ablations.run_temperature,
-    "cmp-si": comparisons.run_silicon_comparison,
-    "cmp-che": comparisons.run_che_comparison,
-    "device-summary": summary.run,
-    "erase-transient": erase_transient.run,
+#: The redesigned experiment protocol: ``run(ctx=None, **params)``.
+Runner = Callable[..., ExperimentResult]
+
+_PACKAGE = __name__.rsplit(".", 1)[0]
+
+_SPECS: "dict[str, str]" = {
+    "fig2": f"{_PACKAGE}.fig2:run",
+    "fig4": f"{_PACKAGE}.fig4:run",
+    "fig5": f"{_PACKAGE}.fig5:run",
+    "fig6": f"{_PACKAGE}.fig6:run",
+    "fig7": f"{_PACKAGE}.fig7:run",
+    "fig8": f"{_PACKAGE}.fig8:run",
+    "fig9": f"{_PACKAGE}.fig9:run",
+    "abl-wkb": f"{_PACKAGE}.ablations:run_model_comparison",
+    "abl-cq": f"{_PACKAGE}.ablations:run_quantum_capacitance",
+    "abl-temp": f"{_PACKAGE}.ablations:run_temperature",
+    "cmp-si": f"{_PACKAGE}.comparisons:run_silicon_comparison",
+    "cmp-che": f"{_PACKAGE}.comparisons:run_che_comparison",
+    "device-summary": f"{_PACKAGE}.summary:run",
+    "erase-transient": f"{_PACKAGE}.erase_transient:run",
 }
+
+_RESOLVED: "dict[str, Runner]" = {}
 
 #: Ids of the experiments reproducing actual paper figures. Figure 2
 #: (the FN band diagram) is included; Figures 1 and 3 are conceptual
@@ -45,28 +56,81 @@ _REGISTRY: "dict[str, Runner]" = {
 PAPER_FIGURES = ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9")
 
 
-def available_experiments() -> "Mapping[str, Runner]":
-    """Immutable view of the registered experiments."""
-    return dict(_REGISTRY)
+def available_experiments() -> "tuple[str, ...]":
+    """Sorted ids of every registered experiment (nothing imported)."""
+    return tuple(sorted(_SPECS))
 
 
-def get_experiment(experiment_id: str) -> Runner:
-    """Look up one experiment runner by id."""
+def resolve_experiment(experiment_id: str) -> Runner:
+    """Import and return one experiment's ``run`` callable.
+
+    Resolution is memoized; unknown ids and broken figure modules both
+    raise :class:`~repro.errors.ConfigurationError`, the latter naming
+    the failing module so one bad experiment never masks the others.
+    """
+    if experiment_id in _RESOLVED:
+        return _RESOLVED[experiment_id]
     try:
-        return _REGISTRY[experiment_id]
+        spec = _SPECS[experiment_id]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
+        known = ", ".join(sorted(_SPECS))
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; available: {known}"
         ) from None
+    module_name, _, attr = spec.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+        runner = getattr(module, attr)
+    except (ImportError, AttributeError) as exc:
+        raise ConfigurationError(
+            f"experiment {experiment_id!r} failed to load from {spec!r}: {exc}"
+        ) from exc
+    _RESOLVED[experiment_id] = runner
+    return runner
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)()
+def get_experiment(experiment_id: str) -> Runner:
+    """Look up one experiment runner by id (alias of resolution).
+
+    The returned callable still works with zero arguments -- the
+    pre-redesign convention -- and additionally accepts a
+    :class:`~repro.api.session.SimulationContext` plus keyword
+    parameter overrides.
+    """
+    return resolve_experiment(experiment_id)
 
 
-def run_all(paper_only: bool = False) -> "list[ExperimentResult]":
+def run_experiment(
+    experiment_id: str,
+    ctx: "SimulationContext | None" = None,
+    **params: object,
+) -> ExperimentResult:
+    """Run one experiment by id, optionally parameterized.
+
+    ``run_experiment("fig6")`` behaves exactly as before the API
+    redesign; ``run_experiment("fig6", ctx, temperature_k=400.0)`` runs
+    it inside a session context with overrides. When a context is given
+    its session's cache set is activated for the run (the same routing
+    as :meth:`~repro.api.session.SimulationSession.run`), and unknown
+    parameter names raise :class:`~repro.errors.ConfigurationError`
+    either way.
+    """
+    fn = resolve_experiment(experiment_id)
+    # Local import: api.session imports this module (lazily resolved
+    # specs), so the reverse edge must not exist at import time.
+    from ..api.session import merge_parameters
+
+    merged = merge_parameters(fn, {}, params, experiment_id)
+    if ctx is None:
+        return fn(None, **merged)
+    with ctx.session.activate():
+        return fn(ctx, **merged)
+
+
+def run_all(
+    paper_only: bool = False,
+    ctx: "SimulationContext | None" = None,
+) -> "list[ExperimentResult]":
     """Run every registered experiment (or only the paper figures)."""
-    ids = PAPER_FIGURES if paper_only else tuple(sorted(_REGISTRY))
-    return [run_experiment(i) for i in ids]
+    ids = PAPER_FIGURES if paper_only else available_experiments()
+    return [run_experiment(i, ctx) for i in ids]

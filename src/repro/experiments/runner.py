@@ -2,28 +2,64 @@
 
 Usage (installed as ``repro-experiments``)::
 
-    repro-experiments                 # run all paper figures + ablations
-    repro-experiments fig6 fig7       # selected experiments
-    repro-experiments --paper-only    # only the six paper figures
-    repro-experiments --csv-dir out/  # also export series as CSV
+    repro-experiments                     # all paper figures + ablations
+    repro-experiments fig6 fig7           # selected experiments
+    repro-experiments fig6 --set temperature_k=400   # parameterized
+    repro-experiments --plan plan.json    # a declarative RunPlan
+    repro-experiments --paper-only        # only the paper figures
+    repro-experiments --csv-dir out/      # also export series as CSV
+    repro-experiments --json-dir out/     # also export results as JSON
 
 Prints, for each experiment, the ASCII rendering of the figure and the
 table of shape checks against the paper's claims; exits nonzero if any
-check fails. The figure sweeps run through the batch engine
-(:mod:`repro.engine`); ``--cache-stats`` reports how much of the run
-was served from the engine's memoized intermediates.
+check fails. Every run goes through one
+:class:`~repro.api.session.SimulationSession`, so ``--cache-stats``
+reports *per-session* hit/miss counters -- for a ``--plan`` run that
+includes the cross-scenario reuse the plan achieved.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
-from ..engine import cache_stats, clear_caches
+from ..api.plan import PlanResult, RunPlan
+from ..api.session import SimulationSession
+from ..engine.cache import CacheStats
+from ..errors import ConfigurationError
+from ..io import (
+    experiment_result_to_dict,
+    save_json,
+    scenario_result_to_dict,
+)
 from ..reporting.export import export_series_csv
 from .base import ExperimentResult
-from .registry import available_experiments, run_all, run_experiment
+from .registry import available_experiments
+
+
+def parse_set_option(assignments: "Sequence[str]") -> "dict[str, Any]":
+    """Parse repeated ``--set key=value`` assignments into overrides.
+
+    Values parse as JSON where possible (numbers, booleans, lists like
+    ``[0.5,0.6]``, quoted strings) and fall back to the raw string, so
+    ``--set temperature_k=400 --set gcrs=[0.5,0.7]`` both work.
+    """
+    overrides: "dict[str, Any]" = {}
+    for assignment in assignments:
+        key, sep, raw = assignment.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigurationError(
+                f"--set expects key=value, got {assignment!r}"
+            )
+        try:
+            value: Any = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        overrides[key] = value
+    return overrides
 
 
 def _print_result(result: ExperimentResult, plot: bool = True) -> None:
@@ -37,6 +73,112 @@ def _print_result(result: ExperimentResult, plot: bool = True) -> None:
         print(result.render_plot())
     print(result.render_checks())
     print()
+
+
+def _export(
+    result: ExperimentResult,
+    stem: str,
+    csv_dir: "str | None",
+    json_dir: "str | None",
+    record: "dict[str, Any] | None" = None,
+) -> None:
+    """Write the CSV and/or JSON export of one result."""
+    if csv_dir:
+        path = export_series_csv(
+            f"{csv_dir}/{stem}.csv",
+            result.series,
+            x_label=result.x_label,
+            y_label=result.y_label,
+        )
+        print(f"wrote {path}")
+    if json_dir:
+        path = save_json(
+            record or experiment_result_to_dict(result),
+            f"{json_dir}/{stem}.json",
+        )
+        print(f"wrote {path}")
+
+
+def _safe_stem(name: str) -> str:
+    """A filesystem-safe export stem for a scenario name."""
+    return "".join(
+        c if c.isalnum() or c in "-_." else "_" for c in name
+    )
+
+
+def _print_cache_stats(stats: CacheStats) -> None:
+    print(
+        f"engine caches: {stats.hits} hits / {stats.misses} misses "
+        f"({stats.hit_rate:.0%} hit rate, {stats.currsize} entries)"
+    )
+    for name, (hits, misses, size) in stats.per_cache:
+        print(f"  {name:22s} {hits:6d} hits {misses:6d} misses {size:4d} entries")
+
+
+def _run_plan(
+    session: SimulationSession, plan: RunPlan, args: argparse.Namespace
+) -> int:
+    """Execute a RunPlan and report per-scenario results."""
+    outcome: PlanResult = session.run_plan(plan)
+    failures = 0
+    used_stems: "dict[str, int]" = {}
+    for scenario_result in outcome.scenario_results:
+        _print_result(scenario_result.result, plot=not args.no_plot)
+        print(
+            f"scenario {scenario_result.scenario.name}: "
+            f"{scenario_result.elapsed_s * 1e3:.1f} ms, "
+            f"{scenario_result.cache_stats.hits} cache hits / "
+            f"{scenario_result.cache_stats.misses} misses "
+            f"({scenario_result.reused_hits} reused)"
+        )
+        stem = _safe_stem(scenario_result.scenario.name)
+        # Repeated scenarios (e.g. warm-cache reruns) must not silently
+        # overwrite each other's export files.
+        count = used_stems.get(stem, 0)
+        used_stems[stem] = count + 1
+        if count:
+            stem = f"{stem}-{count + 1}"
+        _export(
+            scenario_result.result,
+            stem,
+            args.csv_dir,
+            args.json_dir,
+            record=scenario_result_to_dict(scenario_result),
+        )
+        failures += sum(
+            1 for c in scenario_result.result.checks if not c.passed
+        )
+    total_checks = sum(len(r.checks) for r in outcome.results)
+    print(
+        f"plan {plan.name!r}: {len(outcome.scenario_results)} scenarios, "
+        f"{total_checks} shape checks, {failures} failures, "
+        f"{outcome.cross_scenario_hits} cross-scenario cache hits"
+    )
+    if args.cache_stats:
+        _print_cache_stats(session.cache_stats())
+    return 1 if failures else 0
+
+
+def _check_overrides_used(
+    ids: "Sequence[str]", overrides: "dict[str, Any]"
+) -> None:
+    """Reject ``--set`` keys no selected experiment accepts.
+
+    CLI overrides ride as session defaults (each experiment takes the
+    subset it understands), so a typo'd key would otherwise be silently
+    ignored; this check keeps it an error.
+    """
+    from ..api.session import accepted_parameters
+    from .registry import resolve_experiment
+
+    for key in overrides:
+        if not any(
+            key in accepted_parameters(resolve_experiment(i)) for i in ids
+        ):
+            raise ConfigurationError(
+                f"--set {key}=... is not accepted by any selected "
+                f"experiment ({', '.join(ids)})"
+            )
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
@@ -62,41 +204,79 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "--no-plot", action="store_true", help="suppress ASCII figures"
     )
     parser.add_argument(
+        "--set",
+        dest="assignments",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="parameter override applied to every selected experiment "
+        "(repeatable; values parse as JSON, e.g. temperature_k=400)",
+    )
+    parser.add_argument(
+        "--plan",
+        default=None,
+        metavar="PLAN.JSON",
+        help="run a declarative RunPlan (JSON) through one session",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="session RNG seed (default 0)",
+    )
+    parser.add_argument(
         "--csv-dir",
         default=None,
         help="directory to export each experiment's series as CSV",
     )
     parser.add_argument(
+        "--json-dir",
+        default=None,
+        help="directory to export each result as JSON (repro.io format)",
+    )
+    parser.add_argument(
         "--cache-stats",
         action="store_true",
-        help="report batch-engine cache hit rates after the run",
+        help="report the session's cache hit rates after the run",
     )
     args = parser.parse_args(argv)
 
     if args.list:
-        for experiment_id in sorted(available_experiments()):
+        for experiment_id in available_experiments():
             print(experiment_id)
         return 0
 
-    if args.cache_stats:
-        clear_caches()  # attribute the report to this run only
+    try:
+        overrides = parse_set_option(args.assignments)
+        session = SimulationSession(seed=args.seed, defaults=overrides)
 
-    if args.experiments:
-        results = [run_experiment(e) for e in args.experiments]
-    else:
-        results = run_all(paper_only=args.paper_only)
+        if args.plan:
+            if args.experiments or overrides:
+                raise ConfigurationError(
+                    "--plan replaces positional experiment ids and --set; "
+                    "encode overrides in the plan file"
+                )
+            return _run_plan(session, RunPlan.load(args.plan), args)
+
+        if args.experiments:
+            ids = list(args.experiments)
+        elif args.paper_only:
+            from .registry import PAPER_FIGURES
+
+            ids = list(PAPER_FIGURES)
+        else:
+            ids = list(available_experiments())
+
+        _check_overrides_used(ids, overrides)
+        results = [session.run(i) for i in ids]
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     failures = 0
     for result in results:
         _print_result(result, plot=not args.no_plot)
-        if args.csv_dir:
-            path = export_series_csv(
-                f"{args.csv_dir}/{result.experiment_id}.csv",
-                result.series,
-                x_label=result.x_label,
-                y_label=result.y_label,
-            )
-            print(f"wrote {path}")
+        _export(result, result.experiment_id, args.csv_dir, args.json_dir)
         failures += sum(1 for c in result.checks if not c.passed)
 
     total_checks = sum(len(r.checks) for r in results)
@@ -105,13 +285,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         f"{failures} failures"
     )
     if args.cache_stats:
-        stats = cache_stats()
-        print(
-            f"engine caches: {stats.hits} hits / {stats.misses} misses "
-            f"({stats.hit_rate:.0%} hit rate, {stats.currsize} entries)"
-        )
-        for name, (hits, misses, size) in stats.per_cache:
-            print(f"  {name:22s} {hits:6d} hits {misses:6d} misses {size:4d} entries")
+        _print_cache_stats(session.cache_stats())
     return 1 if failures else 0
 
 

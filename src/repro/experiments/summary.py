@@ -5,14 +5,17 @@ SOCC papers usually close with a summary table; this one does not, so
 electrostatics, programming dynamics, memory window, retention and
 endurance of the reference MLGNR-CNT cell, each cross-checked against
 the behaviour the paper describes.
+
+Overrides (session API): ``gcr`` / ``tunnel_oxide_nm`` summarise an
+alternative cell; ``program_duration_s``, ``endurance_cycles`` and
+``endurance_pulse_s`` tune how much work the record spends.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..device.bias import PROGRAM_BIAS
-from ..device.floating_gate import FloatingGateTransistor
+from ..api.session import SimulationContext, ensure_context
 from ..device.memory_window import saturated_memory_window
 from ..device.retention import RetentionModel
 from ..device.threshold import ThresholdModel
@@ -25,24 +28,36 @@ EXPERIMENT_ID = "device-summary"
 TITLE = "Reference-cell figure-of-merit summary"
 
 
-def run() -> ExperimentResult:
+def run(
+    ctx: "SimulationContext | None" = None,
+    *,
+    gcr: "float | None" = None,
+    tunnel_oxide_nm: "float | None" = None,
+    program_duration_s: float = 1e-2,
+    endurance_cycles: int = 10_000,
+    endurance_pulse_s: float = 1e-4,
+) -> ExperimentResult:
     """Assemble the reference cell's figure-of-merit record."""
-    device = FloatingGateTransistor()
+    ctx = ensure_context(ctx)
+    device = ctx.device(tunnel_oxide_nm=tunnel_oxide_nm, gcr=gcr)
+    program_bias = ctx.bias("program")
     threshold = ThresholdModel(device)
 
-    program = simulate_transient(device, PROGRAM_BIAS, duration_s=1e-2)
-    q_program = equilibrium_charge(device, PROGRAM_BIAS)
+    program = simulate_transient(
+        device, program_bias, duration_s=program_duration_s
+    )
+    q_program = equilibrium_charge(device, program_bias)
     window = saturated_memory_window(threshold)
     retention = RetentionModel(device).simulate(q_program, n_samples=60)
-    endurance = EnduranceModel(device, pulse_duration_s=1e-4).simulate(
-        10_000, n_samples=10
-    )
+    endurance = EnduranceModel(
+        device, pulse_duration_s=endurance_pulse_s
+    ).simulate(endurance_cycles, n_samples=10)
 
     metrics = {
         "gcr": device.gate_coupling_ratio,
         "tunnel_barrier_ev": device.barrier_heights_ev()[0],
-        "vfg_at_program_v": device.floating_gate_voltage(PROGRAM_BIAS),
-        "jin_t0_a_m2": device.tunneling_state(PROGRAM_BIAS).jin_a_m2,
+        "vfg_at_program_v": device.floating_gate_voltage(program_bias),
+        "jin_t0_a_m2": device.tunneling_state(program_bias).jin_a_m2,
         "t_sat_s": program.t_sat_s,
         "stored_electrons": program.stored_electrons,
         "memory_window_v": window.window_v,
@@ -60,10 +75,12 @@ def run() -> ExperimentResult:
         ),
     )
 
+    target_gcr = 0.6 if gcr is None else gcr
     checks = (
         ShapeCheck(
-            claim="the cell realises the paper's GCR = 0.6 operating point",
-            passed=abs(metrics["gcr"] - 0.6) < 1e-6,
+            claim=f"the cell realises the paper's GCR = {target_gcr:g} "
+            "operating point",
+            passed=abs(metrics["gcr"] - target_gcr) < 1e-6,
             detail=f"GCR = {metrics['gcr']:.4f}",
         ),
         ShapeCheck(

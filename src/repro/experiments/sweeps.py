@@ -31,16 +31,22 @@ class SweepSettings:
     """Barrier parameters shared by every figure sweep.
 
     Defaults: graphene channel on SiO2 (phi_B = W_graphene - chi_SiO2 =
-    3.61 eV, m_ox = 0.42 m0). The paper leaves these unstated; see
-    DESIGN.md for the substitution record.
+    3.61 eV, m_ox = 0.42 m0) at zero temperature, the paper's implicit
+    operating point. The paper leaves these unstated; see DESIGN.md for
+    the substitution record. A positive ``temperature_k`` applies the
+    Good-Mueller thermal-broadening factor to every sweep lane (the
+    ``temperature_k`` override of the figure experiments).
     """
 
     barrier_height_ev: float = GRAPHENE_WORK_FUNCTION_EV - SIO2.electron_affinity_ev
     mass_ratio: float = SIO2.tunneling_mass_ratio
+    temperature_k: float = 0.0
 
     def __post_init__(self) -> None:
         if self.barrier_height_ev <= 0.0:
             raise ConfigurationError("barrier height must be positive")
+        if self.temperature_k < 0.0:
+            raise ConfigurationError("temperature cannot be negative")
 
 
 def fn_density_vs_gate_voltage(
@@ -62,6 +68,7 @@ def fn_density_vs_gate_voltage(
         tunnel_oxides_nm=np.asarray(tunnel_oxide_nm, dtype=float),
         barrier_height_ev=settings.barrier_height_ev,
         mass_ratio=settings.mass_ratio,
+        temperature_k=settings.temperature_k,
     )
     return fn_batch(spec).j_magnitude_a_m2
 
@@ -95,6 +102,7 @@ def gcr_family(
         tunnel_oxides_nm=np.asarray(tunnel_oxide_nm, dtype=float),
         barrier_height_ev=settings.barrier_height_ev,
         mass_ratio=settings.mass_ratio,
+        temperature_k=settings.temperature_k,
     )
     labels = tuple(f"GCR={int(round(g * 100))}%" for g in gcrs)
     return _family_series(vgs_v, tuple(gcrs), labels, spec)
@@ -119,6 +127,7 @@ def oxide_family(
         tunnel_oxides_nm=np.asarray(ordered, dtype=float).reshape(-1, 1),
         barrier_height_ev=settings.barrier_height_ev,
         mass_ratio=settings.mass_ratio,
+        temperature_k=settings.temperature_k,
     )
     labels = tuple(f"XTO={x:g}nm" for x in ordered)
     return _family_series(vgs_v, ordered, labels, spec)

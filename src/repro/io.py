@@ -1,23 +1,32 @@
 """Configuration serialization: reproducible experiment records.
 
-Devices, design points and experiment results serialise to plain JSON
-so a published run can be re-instantiated exactly. Only configuration
-travels through JSON -- materials are referenced by registry name, not
-embedded -- keeping the files small and human-diffable.
+Devices, design points, scenarios, run plans and experiment results
+serialise to plain JSON so a published run can be re-instantiated
+exactly -- the :mod:`repro.api` scenario layer round-trips through
+here. Only configuration travels through JSON -- materials are
+referenced by registry name, not embedded -- keeping the files small
+and human-diffable.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
 
 from .device.floating_gate import FloatingGateTransistor
 from .device.geometry import DeviceGeometry
 from .errors import ConfigurationError
-from .experiments.base import ExperimentResult
+from .experiments.base import ExperimentResult, ShapeCheck
 from .materials.registry import get_dielectric
 from .optimization.design_space import DesignPoint
+from .reporting.ascii_plot import PlotSeries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from .api.plan import PlanResult, RunPlan, ScenarioResult
+    from .api.scenario import Scenario
 
 
 def geometry_to_dict(geometry: DeviceGeometry) -> "dict[str, float]":
@@ -126,9 +135,11 @@ def experiment_result_to_dict(result: ExperimentResult) -> "dict[str, Any]":
             for s in result.series
         ],
         "checks": [
-            {"claim": c.claim, "passed": c.passed, "detail": c.detail}
+            # bool() strips the np.bool_ some checks produce.
+            {"claim": c.claim, "passed": bool(c.passed), "detail": c.detail}
             for c in result.checks
         ],
+        "log_y": bool(result.log_y),
     }
 
 
@@ -137,9 +148,145 @@ def _jsonable(value: Any) -> Any:
         return value
     if isinstance(value, (int, float)):
         return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     return repr(value)
+
+
+def experiment_result_from_dict(data: Mapping[str, Any]) -> ExperimentResult:
+    """JSON record -> ExperimentResult (inverse of the exporter).
+
+    Series come back as float ndarrays and checks as
+    :class:`~repro.experiments.base.ShapeCheck` tuples, so an exported
+    figure can be re-rendered or re-validated without recomputation.
+    ``parameters`` round-trip as their JSON-safe forms.
+    """
+    required = {"experiment_id", "title", "x_label", "y_label", "series"}
+    missing = required - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"experiment record missing fields: {sorted(missing)}"
+        )
+    series = tuple(
+        PlotSeries(
+            label=str(s["label"]),
+            x=np.asarray(s["x"], dtype=float),
+            y=np.asarray(s["y"], dtype=float),
+        )
+        for s in data["series"]
+    )
+    checks = tuple(
+        ShapeCheck(
+            claim=str(c["claim"]),
+            passed=bool(c["passed"]),
+            detail=str(c.get("detail", "")),
+        )
+        for c in data.get("checks", ())
+    )
+    return ExperimentResult(
+        experiment_id=str(data["experiment_id"]),
+        title=str(data["title"]),
+        x_label=str(data["x_label"]),
+        y_label=str(data["y_label"]),
+        series=series,
+        parameters=dict(data.get("parameters", {})),
+        checks=checks,
+        log_y=bool(data.get("log_y", True)),
+    )
+
+
+# ----- scenarios and run plans (the repro.api layer) ---------------------
+
+
+def scenario_to_dict(scenario: "Scenario") -> "dict[str, Any]":
+    """Scenario -> JSON-safe dict; inverse of :func:`scenario_from_dict`."""
+    record: "dict[str, Any]" = {
+        "experiment_id": scenario.experiment_id,
+        "overrides": {
+            k: _jsonable(v) for k, v in scenario.overrides.items()
+        },
+        "sweep": {
+            k: [_jsonable(v) for v in values]
+            for k, values in scenario.sweep.items()
+        },
+    }
+    if scenario.label is not None:
+        record["label"] = scenario.label
+    return record
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> "Scenario":
+    """Plain dict -> Scenario (validation re-applied on load)."""
+    from .api.scenario import Scenario
+
+    if "experiment_id" not in data:
+        raise ConfigurationError("scenario record needs an experiment_id")
+    unknown = set(data) - {"experiment_id", "overrides", "sweep", "label"}
+    if unknown:
+        raise ConfigurationError(
+            f"scenario record has unknown fields: {sorted(unknown)}"
+        )
+    return Scenario(
+        experiment_id=str(data["experiment_id"]),
+        overrides=dict(data.get("overrides", {})),
+        sweep=dict(data.get("sweep", {})),
+        label=data.get("label"),
+    )
+
+
+def run_plan_to_dict(plan: "RunPlan") -> "dict[str, Any]":
+    """RunPlan -> JSON-safe dict; inverse of :func:`run_plan_from_dict`."""
+    return {
+        "name": plan.name,
+        "scenarios": [scenario_to_dict(s) for s in plan.scenarios],
+    }
+
+
+def run_plan_from_dict(data: Mapping[str, Any]) -> "RunPlan":
+    """Plain dict -> RunPlan (each scenario validated on load)."""
+    from .api.plan import RunPlan
+
+    if "scenarios" not in data:
+        raise ConfigurationError("run-plan record needs a scenarios list")
+    return RunPlan(
+        name=str(data.get("name", "plan")),
+        scenarios=tuple(
+            scenario_from_dict(s) for s in data["scenarios"]
+        ),
+    )
+
+
+def scenario_result_to_dict(result: "ScenarioResult") -> "dict[str, Any]":
+    """ScenarioResult -> JSON-safe dict (scenario + result + counters)."""
+    return {
+        "scenario": scenario_to_dict(result.scenario),
+        "elapsed_s": result.elapsed_s,
+        "cache": {
+            "hits": result.cache_stats.hits,
+            "misses": result.cache_stats.misses,
+            "reused_hits": result.reused_hits,
+        },
+        "result": experiment_result_to_dict(result.result),
+    }
+
+
+def plan_result_to_dict(result: "PlanResult") -> "dict[str, Any]":
+    """PlanResult -> JSON-safe dict (plan, scenarios, cache counters)."""
+    return {
+        "plan": run_plan_to_dict(result.plan),
+        "scenario_results": [
+            scenario_result_to_dict(s) for s in result.scenario_results
+        ],
+        "cache": {
+            "hits": result.cache_stats.hits,
+            "misses": result.cache_stats.misses,
+            "cross_scenario_hits": result.cross_scenario_hits,
+        },
+    }
 
 
 def save_json(data: Mapping[str, Any], path: "str | Path") -> Path:
@@ -151,8 +298,11 @@ def save_json(data: Mapping[str, Any], path: "str | Path") -> Path:
 
 
 def load_json(path: "str | Path") -> "dict[str, Any]":
-    """Read a record back."""
+    """Read a record back; malformed JSON is a ConfigurationError."""
     path = Path(path)
     if not path.exists():
         raise ConfigurationError(f"no such record: {path}")
-    return json.loads(path.read_text())
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed JSON in {path}: {exc}") from exc

@@ -41,7 +41,9 @@ from .vt_distribution import (
     raw_bit_error_rate,
 )
 from .workload import (
+    WorkloadSpec,
     WriteRequest,
+    build_workload,
     random_payload,
     sequential_workload,
     uniform_random_workload,
@@ -84,7 +86,9 @@ __all__ = [
     "read_mlc_page",
     "ControllerStats",
     "MemoryController",
+    "WorkloadSpec",
     "WriteRequest",
+    "build_workload",
     "random_payload",
     "sequential_workload",
     "uniform_random_workload",

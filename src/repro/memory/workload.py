@@ -2,7 +2,11 @@
 
 Three canonical access patterns: sequential streaming, uniform random,
 and Zipf-skewed hot/cold traffic (the pattern that separates good from
-bad garbage-collection policies).
+bad garbage-collection policies). :class:`WorkloadSpec` is the
+declarative form consumed by the session API
+(:meth:`repro.api.session.SimulationSession.workload`): it names a
+pattern plus its dimensions, and sessions derive the seed from their
+own RNG so traffic replays deterministically per session.
 """
 
 from __future__ import annotations
@@ -14,6 +18,9 @@ import numpy as np
 
 from ..errors import ConfigurationError
 
+#: Workload kinds a :class:`WorkloadSpec` may name.
+WORKLOAD_KINDS = ("sequential", "uniform", "zipf")
+
 
 @dataclass(frozen=True)
 class WriteRequest:
@@ -21,6 +28,57 @@ class WriteRequest:
 
     logical_page: int
     bits: np.ndarray
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of one host workload.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`WORKLOAD_KINDS`.
+    n_requests, capacity_pages, page_bits:
+        Traffic volume and logical-space dimensions.
+    skew:
+        Zipf skew (> 1); ignored by the other kinds.
+    seed:
+        Explicit RNG seed, or None to let the owning
+        :class:`~repro.api.session.SimulationSession` derive one.
+    """
+
+    kind: str
+    n_requests: int
+    capacity_pages: int
+    page_bits: int
+    skew: float = 1.2
+    seed: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            known = ", ".join(WORKLOAD_KINDS)
+            raise ConfigurationError(
+                f"unknown workload kind {self.kind!r}; available: {known}"
+            )
+
+
+def build_workload(spec: WorkloadSpec) -> "Iterator[WriteRequest]":
+    """Materialise the write stream a :class:`WorkloadSpec` describes.
+
+    Specs without a seed get the generator functions' documented
+    defaults, matching the pre-spec call signatures.
+    """
+    kwargs = {} if spec.seed is None else {"seed": spec.seed}
+    if spec.kind == "zipf":
+        kwargs["skew"] = spec.skew
+    generator = {
+        "sequential": sequential_workload,
+        "uniform": uniform_random_workload,
+        "zipf": zipf_workload,
+    }[spec.kind]
+    return generator(
+        spec.n_requests, spec.capacity_pages, spec.page_bits, **kwargs
+    )
 
 
 def random_payload(

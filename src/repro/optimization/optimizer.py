@@ -18,7 +18,9 @@ since PR 1:
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.optimize import minimize
@@ -28,6 +30,9 @@ from ..errors import ConfigurationError, ConvergenceError
 from .constraints import ConstraintSet
 from .design_space import DesignPoint
 from .objectives import DesignMetrics, evaluate_design
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..api.session import SimulationSession
 
 
 #: Fraction of the field ceiling the vectorized screen may seed up to.
@@ -61,8 +66,15 @@ def optimise_program_time(
     control_oxide_nm: float = 9.0,
     gcr: float = 0.6,
     max_evaluations: int = 60,
+    session: "SimulationSession | None" = None,
 ) -> OptimizationResult:
     """Minimise t_sat subject to the reliability constraint set.
+
+    When a :class:`~repro.api.session.SimulationSession` is given, the
+    screen and every device evaluation run on that session's cache set
+    (so repeated searches inside one session reuse compiled cells and
+    coefficient pairs, and its ``cache_stats()`` attribute the work);
+    without one, the engine's default caches serve the search.
 
     Raises
     ------
@@ -116,31 +128,33 @@ def optimise_program_time(
     # ceiling (closed-form, no device evaluations spent). When the
     # whole grid violates the ceiling, fall back to the fast corner of
     # the box and let the penalty gradient do the walking.
-    screen = design_screen(
-        np.linspace(*voltage_bounds_v, 9),
-        np.linspace(*tunnel_oxide_bounds_nm, 9),
-        gcr=gcr,
-    )
-    seeded = screen.best_point(
-        SCREEN_FIELD_DERATING * constraints.max_tunnel_field_v_per_m
-    )
-    if seeded is not None:
-        x0 = np.array(seeded)
-    else:
-        x0 = np.array(
-            [
-                voltage_bounds_v[0]
-                + 0.75 * (voltage_bounds_v[1] - voltage_bounds_v[0]),
-                tunnel_oxide_bounds_nm[0]
-                + 0.25 * (tunnel_oxide_bounds_nm[1] - tunnel_oxide_bounds_nm[0]),
-            ]
+    with session.activate() if session is not None else nullcontext():
+        screen = design_screen(
+            np.linspace(*voltage_bounds_v, 9),
+            np.linspace(*tunnel_oxide_bounds_nm, 9),
+            gcr=gcr,
         )
-    minimize(
-        objective,
-        x0,
-        method="Nelder-Mead",
-        options={"maxfev": max_evaluations, "xatol": 0.05, "fatol": 0.01},
-    )
+        seeded = screen.best_point(
+            SCREEN_FIELD_DERATING * constraints.max_tunnel_field_v_per_m
+        )
+        if seeded is not None:
+            x0 = np.array(seeded)
+        else:
+            x0 = np.array(
+                [
+                    voltage_bounds_v[0]
+                    + 0.75 * (voltage_bounds_v[1] - voltage_bounds_v[0]),
+                    tunnel_oxide_bounds_nm[0]
+                    + 0.25
+                    * (tunnel_oxide_bounds_nm[1] - tunnel_oxide_bounds_nm[0]),
+                ]
+            )
+        minimize(
+            objective,
+            x0,
+            method="Nelder-Mead",
+            options={"maxfev": max_evaluations, "xatol": 0.05, "fatol": 0.01},
+        )
     if best is None:
         raise ConvergenceError(
             f"no feasible design in {evaluations} evaluations; relax the "

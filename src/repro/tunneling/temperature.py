@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import math
 
-from ..constants import BOLTZMANN, ELEMENTARY_CHARGE, HBAR
+import numpy as np
+
+from ..constants import BOLTZMANN, ELECTRON_MASS, ELEMENTARY_CHARGE, HBAR
 from ..errors import ConfigurationError, RegimeError
 from .barriers import TunnelBarrier
 from .fowler_nordheim import FowlerNordheimModel
@@ -60,6 +62,45 @@ def temperature_correction_factor(
             "FN temperature expansion diverges (sin(pi*c*kT) -> 0)"
         )
     return x / math.sin(x)
+
+
+def temperature_correction_factor_batch(
+    barrier_height_ev: float,
+    mass_ratio: float,
+    field_v_per_m: np.ndarray,
+    temperature_k: float,
+) -> np.ndarray:
+    """Vectorized :func:`temperature_correction_factor` over a field array.
+
+    The batch-engine form: ``c`` depends only on the barrier height,
+    tunneling mass and the per-lane field (not on the oxide thickness),
+    so a whole sweep's correction factors evaluate in one fused NumPy
+    expression. Raises :class:`~repro.errors.RegimeError` if *any* lane
+    reaches the thermionic crossover ``c kT >= 1``.
+    """
+    if temperature_k < 0.0:
+        raise ConfigurationError("temperature cannot be negative")
+    field = np.asarray(field_v_per_m, dtype=float)
+    if np.any(field < 0.0):
+        raise ConfigurationError("field magnitudes cannot be negative")
+    factors = np.ones_like(field)
+    positive = field > 0.0
+    if temperature_k == 0.0 or not np.any(positive):
+        return factors
+    mass_kg = mass_ratio * ELECTRON_MASS
+    barrier_j = barrier_height_ev * ELEMENTARY_CHARGE
+    c = 2.0 * np.sqrt(2.0 * mass_kg * barrier_j) / (
+        HBAR * ELEMENTARY_CHARGE * field[positive]
+    )
+    x = math.pi * c * BOLTZMANN * temperature_k
+    if np.any(x >= math.pi):
+        worst = float(np.max(x) / math.pi)
+        raise RegimeError(
+            f"c*kT = {worst:.2f} >= 1 at T = {temperature_k} K: thermionic "
+            "emission dominates and the FN temperature expansion diverges"
+        )
+    factors[positive] = x / np.sin(x)
+    return factors
 
 
 def current_density_at_temperature(

@@ -1,0 +1,126 @@
+"""Protocol-redesign compatibility: shim, laziness, bit-for-bit defaults."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.api import SimulationSession, ensure_context
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.registry import _SPECS, resolve_experiment
+
+ALL_IDS = available_experiments()
+
+
+class TestZeroArgShim:
+    @pytest.mark.parametrize("experiment_id", ["fig6", "abl-cq"])
+    def test_zero_arg_call_still_works(self, experiment_id):
+        result = get_experiment(experiment_id)()
+        assert result.experiment_id == experiment_id
+
+    @pytest.mark.parametrize("experiment_id", ["fig6", "fig8", "abl-wkb"])
+    def test_default_params_reproduce_zero_arg_bit_for_bit(
+        self, experiment_id
+    ):
+        legacy = run_experiment(experiment_id)
+        session = SimulationSession().run(experiment_id)
+        assert len(legacy.series) == len(session.series)
+        for a, b in zip(legacy.series, session.series):
+            np.testing.assert_allclose(a.y, b.y, rtol=1e-9)
+            assert np.array_equal(a.x, b.x)
+
+    def test_run_experiment_with_context_uses_session_caches(self):
+        from repro.engine import default_caches
+
+        default_caches().clear()
+        session = SimulationSession()
+        run_experiment("fig6", session.context(), n_points=8)
+        assert session.cache_stats().misses > 0
+        stats = default_caches().stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_run_experiment_unknown_param_is_configuration_error(self):
+        with pytest.raises(ConfigurationError) as err:
+            run_experiment("fig6", None, bogus=1)
+        assert "accepted overrides" in str(err.value)
+
+    def test_ensure_context_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError):
+            ensure_context("not a context")
+
+    def test_ensure_context_passthrough(self):
+        ctx = SimulationSession().context()
+        assert ensure_context(ctx) is ctx
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_every_experiment_accepts_a_context(self, experiment_id):
+        import inspect
+
+        fn = resolve_experiment(experiment_id)
+        parameters = inspect.signature(fn).parameters
+        assert "ctx" in parameters
+        assert parameters["ctx"].default is None
+
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_every_experiment_has_an_override(self, experiment_id):
+        from repro.api import accepted_parameters
+
+        fn = resolve_experiment(experiment_id)
+        assert accepted_parameters(fn), (
+            f"{experiment_id} accepts no parameter overrides"
+        )
+
+    def test_fig6_temperature_override_is_distinct_and_checked(self):
+        # The acceptance scenario: fig6 at 400 K differs from the paper
+        # default yet still satisfies every shape check.
+        session = SimulationSession()
+        cold = session.run("fig6")
+        hot = session.run("fig6", temperature_k=400.0)
+        assert hot.all_checks_pass
+        assert len(hot.series) == len(cold.series)
+        for c, h in zip(cold.series, hot.series):
+            assert h.y.shape == c.y.shape
+            assert not np.allclose(c.y, h.y)
+            assert np.all(h.y > c.y)  # thermal broadening raises J
+
+
+class TestLazyRegistry:
+    def test_broken_module_does_not_break_others(self, monkeypatch):
+        monkeypatch.setitem(
+            _SPECS, "broken", "repro.experiments.does_not_exist:run"
+        )
+        with pytest.raises(ConfigurationError) as err:
+            resolve_experiment("broken")
+        assert "does_not_exist" in str(err.value)
+        assert run_experiment("fig6").experiment_id == "fig6"
+
+    def test_missing_attribute_reported(self, monkeypatch):
+        monkeypatch.setitem(
+            _SPECS, "broken-attr", "repro.experiments.fig6:no_such_run"
+        )
+        with pytest.raises(ConfigurationError):
+            resolve_experiment("broken-attr")
+
+    def test_import_api_does_not_import_figure_modules(self):
+        code = (
+            "import sys; import repro.api; "
+            "mods = [m for m in sys.modules if m.startswith("
+            "'repro.experiments.fig')]; "
+            "assert not mods, mods; print('lazy-ok')"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "lazy-ok" in proc.stdout

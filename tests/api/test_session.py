@@ -1,0 +1,205 @@
+"""SimulationSession: cache isolation, defaults, context builders."""
+
+import numpy as np
+import pytest
+
+from repro.api import SimulationSession
+from repro.engine import active_caches, default_caches
+from repro.errors import ConfigurationError
+from repro.memory import WorkloadSpec
+
+
+class TestCacheIsolation:
+    def test_two_sessions_do_not_share_cache_state(self):
+        a = SimulationSession()
+        b = SimulationSession()
+        a.run("fig6")
+        assert a.cache_stats().misses > 0
+        assert b.cache_stats().hits == 0
+        assert b.cache_stats().misses == 0
+        assert b.cache_stats().currsize == 0
+
+    def test_session_work_does_not_touch_default_caches(self):
+        default_caches().clear()
+        SimulationSession().run("fig6")
+        stats = default_caches().stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_repeat_run_hits_session_cache(self):
+        session = SimulationSession()
+        session.run("fig6")
+        before = session.cache_stats().hits
+        session.run("fig6")
+        assert session.cache_stats().hits > before
+
+    def test_activate_restores_previous_cache_set(self):
+        session = SimulationSession()
+        outside = active_caches()
+        with session.activate():
+            assert active_caches() is session.caches
+        assert active_caches() is outside
+
+    def test_clear_caches_is_per_session(self):
+        a = SimulationSession()
+        b = SimulationSession()
+        a.run("fig6")
+        b.run("fig6")
+        a.clear_caches()
+        assert a.cache_stats().currsize == 0
+        assert b.cache_stats().currsize > 0
+
+    def test_concurrent_sessions_on_threads_stay_isolated(self):
+        import threading
+
+        sessions = [SimulationSession() for _ in range(4)]
+        errors = []
+
+        def work(session):
+            try:
+                for _ in range(3):
+                    session.run("fig6")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(s,)) for s in sessions
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Each session served its own reruns from its own set: one
+        # coefficient-pair miss each, never a neighbour's entries.
+        for session in sessions:
+            stats = session.cache_stats()
+            assert stats.misses == 1
+            assert stats.hits == 2
+
+
+class TestParameters:
+    def test_unknown_parameter_rejected_with_listing(self):
+        session = SimulationSession()
+        with pytest.raises(ConfigurationError) as err:
+            session.run("fig6", not_a_param=1.0)
+        assert "temperature_k" in str(err.value)
+
+    def test_session_defaults_apply_where_accepted(self):
+        plain = SimulationSession().run("fig6")
+        heated = SimulationSession(
+            defaults={"temperature_k": 400.0}
+        ).run("fig6")
+        assert not np.allclose(plain.series[0].y, heated.series[0].y)
+
+    def test_session_defaults_skipped_where_not_accepted(self):
+        session = SimulationSession(defaults={"temperature_k": 400.0})
+        result = session.run("abl-cq")  # accepts no temperature
+        assert result.experiment_id == "abl-cq"
+
+    def test_explicit_param_overrides_session_default(self):
+        session = SimulationSession(defaults={"temperature_k": 400.0})
+        cold = session.run("fig6", temperature_k=0.0)
+        assert cold.parameters["temperature_k"] == 0.0
+
+
+class TestContextBuilders:
+    def test_device_geometry_overrides(self):
+        ctx = SimulationSession().context()
+        device = ctx.device(tunnel_oxide_nm=6.0, control_oxide_nm=10.0)
+        assert device.geometry.tunnel_oxide_thickness_m == pytest.approx(6e-9)
+        assert device.geometry.control_oxide_thickness_m == pytest.approx(1e-8)
+
+    def test_device_gcr_override(self):
+        ctx = SimulationSession().context()
+        device = ctx.device(gcr=0.5)
+        assert device.gate_coupling_ratio == pytest.approx(0.5)
+
+    def test_default_device_matches_reference(self):
+        from repro.device import FloatingGateTransistor
+
+        assert SimulationSession().device() == FloatingGateTransistor()
+
+    def test_bias_lookup_and_override(self):
+        ctx = SimulationSession().context()
+        assert ctx.bias("program").voltages.vgs == 15.0
+        assert ctx.bias("erase", vgs_v=-12.0).voltages.vgs == -12.0
+        with pytest.raises(ConfigurationError):
+            ctx.bias("bogus")
+
+    def test_sweep_settings_override(self):
+        ctx = SimulationSession().context()
+        settings = ctx.sweep_settings(temperature_k=300.0)
+        assert settings.temperature_k == 300.0
+        assert ctx.sweep_settings().temperature_k == 0.0
+
+
+class TestDeterminism:
+    def test_equal_seeds_replay_workloads(self):
+        spec = WorkloadSpec(
+            kind="uniform", n_requests=16, capacity_pages=32, page_bits=8
+        )
+        pages_a = [
+            r.logical_page for r in SimulationSession(seed=5).workload(spec)
+        ]
+        pages_b = [
+            r.logical_page for r in SimulationSession(seed=5).workload(spec)
+        ]
+        assert pages_a == pages_b
+
+    def test_different_seeds_differ(self):
+        spec = WorkloadSpec(
+            kind="uniform", n_requests=32, capacity_pages=1024, page_bits=8
+        )
+        pages_a = [
+            r.logical_page for r in SimulationSession(seed=5).workload(spec)
+        ]
+        pages_b = [
+            r.logical_page for r in SimulationSession(seed=6).workload(spec)
+        ]
+        assert pages_a != pages_b
+
+    def test_explicit_spec_seed_wins(self):
+        spec = WorkloadSpec(
+            kind="zipf",
+            n_requests=16,
+            capacity_pages=64,
+            page_bits=8,
+            seed=99,
+        )
+        pages_a = [
+            r.logical_page for r in SimulationSession(seed=1).workload(spec)
+        ]
+        pages_b = [
+            r.logical_page for r in SimulationSession(seed=2).workload(spec)
+        ]
+        assert pages_a == pages_b
+
+    def test_rng_streams_are_independent(self):
+        session = SimulationSession(seed=4)
+        first = session.rng().integers(0, 1 << 30, 8).tolist()
+        second = session.rng().integers(0, 1 << 30, 8).tolist()
+        assert first != second
+
+
+class TestKernelAndOptimizer:
+    def test_cell_kernel_memoized_per_session(self):
+        session = SimulationSession()
+        assert session.cell_kernel() is session.cell_kernel()
+        assert session.cache_stats().misses > 0
+
+    def test_optimizer_consumes_session_caches(self):
+        from repro.optimization import ConstraintSet, optimise_program_time
+
+        session = SimulationSession()
+        result = optimise_program_time(
+            constraints=ConstraintSet(
+                max_tunnel_field_v_per_m=2.6e9,
+                max_program_time_s=1e-2,
+                min_memory_window_v=2.0,
+                min_cycles=1e4,
+            ),
+            max_evaluations=25,
+            session=session,
+        )
+        assert result.evaluations > 0
+        assert session.cache_stats().misses > 0

@@ -44,7 +44,7 @@ class TestCompiledCellCache:
         simulate_transient(
             device, PROGRAM_BIAS, duration_s=1e-4, n_samples=16
         )
-        info = engine_cache.compiled_cell.cache_info()
+        info = engine_cache.active_caches().compiled_cell.cache_info()
         assert info.misses == 1
         assert info.hits >= 1
 
@@ -65,3 +65,29 @@ class TestStats:
     def test_per_cache_breakdown_names(self):
         names = {name for name, _ in cache_stats().per_cache}
         assert names == {"fn_coefficients", "compiled_cell"}
+
+
+class TestReuseTracking:
+    def test_reused_hits_count_only_premarked_entries(self):
+        caches = engine_cache.CacheSet()
+        caches.fn_coefficients(3.61, 0.42)
+        caches.mark()
+        caches.fn_coefficients(3.61, 0.42)  # reuse of pre-mark entry
+        caches.fn_coefficients(3.10, 0.50)  # new entry
+        caches.fn_coefficients(3.10, 0.50)  # own re-hit: not reuse
+        assert caches.reused_hits_since_mark() == 1
+
+    def test_key_tracking_is_bounded_by_maxsize(self):
+        caches = engine_cache.CacheSet(maxsize=4)
+        for i in range(20):
+            caches.fn_coefficients(1.0 + 0.1 * i, 0.42)
+        assert len(caches._keys["fn_coefficients"]) <= 4
+
+    def test_evicted_marked_key_is_not_counted_as_reuse(self):
+        caches = engine_cache.CacheSet(maxsize=2)
+        caches.fn_coefficients(1.0, 0.42)
+        caches.mark()
+        caches.fn_coefficients(2.0, 0.42)
+        caches.fn_coefficients(3.0, 0.42)  # evicts the marked 1.0 entry
+        caches.fn_coefficients(1.0, 0.42)  # recomputed: a miss, not reuse
+        assert caches.reused_hits_since_mark() == 0

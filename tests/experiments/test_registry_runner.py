@@ -68,3 +68,145 @@ class TestRunnerCli:
             assert f"{fid}:" in out
         assert "abl-wkb" not in out
         assert "cmp-si" not in out
+
+
+class TestRunnerSetOption:
+    def test_set_overrides_a_parameter(self, capsys):
+        code = main(["fig6", "--no-plot", "--set", "temperature_k=400"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "temperature_k=400" in out
+        assert "0 failures" in out
+
+    def test_set_parses_json_lists(self, capsys):
+        code = main(["fig6", "--no-plot", "--set", "gcrs=[0.45,0.65]"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GCR=45%" in out and "GCR=65%" in out
+
+    def test_unknown_set_key_is_an_error(self, capsys):
+        code = main(["fig6", "--no-plot", "--set", "bogus_key=1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "bogus_key" in err
+
+    def test_malformed_set_is_an_error(self, capsys):
+        code = main(["fig6", "--no-plot", "--set", "novalue"])
+        assert code == 2
+
+
+class TestRunnerJsonExport:
+    def test_json_dir_exports_result(self, tmp_path, capsys):
+        import json
+
+        code = main(["fig6", "--no-plot", "--json-dir", str(tmp_path)])
+        assert code == 0
+        record = json.loads((tmp_path / "fig6.json").read_text())
+        assert record["experiment_id"] == "fig6"
+        assert len(record["series"]) == 4
+        assert all(c["passed"] for c in record["checks"])
+
+    def test_json_round_trip_through_io(self, tmp_path):
+        from repro.io import experiment_result_from_dict, load_json
+
+        main(["fig6", "--no-plot", "--json-dir", str(tmp_path)])
+        restored = experiment_result_from_dict(
+            load_json(tmp_path / "fig6.json")
+        )
+        import numpy as np
+
+        from repro.experiments import run_experiment
+
+        fresh = run_experiment("fig6")
+        for a, b in zip(restored.series, fresh.series):
+            np.testing.assert_allclose(a.y, b.y, rtol=1e-12)
+
+
+class TestRunnerPlanMode:
+    def _write_plan(self, tmp_path):
+        import json
+
+        plan = {
+            "name": "cli-plan",
+            "scenarios": [
+                {"experiment_id": "fig6", "overrides": {"n_points": 10}},
+                {"experiment_id": "fig8", "overrides": {"n_points": 10}},
+                {
+                    "experiment_id": "fig7",
+                    "sweep": {"temperature_k": [0.0, 300.0]},
+                    "overrides": {"n_points": 8},
+                },
+            ],
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        return path
+
+    def test_plan_runs_through_one_session(self, tmp_path, capsys):
+        code = main(
+            ["--plan", str(self._write_plan(tmp_path)), "--no-plot"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 scenarios" in out
+        assert "cross-scenario cache hits" in out
+
+    def test_plan_exports_scenario_records(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "out"
+        code = main(
+            [
+                "--plan",
+                str(self._write_plan(tmp_path)),
+                "--no-plot",
+                "--json-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        records = sorted(out_dir.glob("*.json"))
+        assert len(records) == 4
+        first = json.loads(records[0].read_text())
+        assert "scenario" in first and "result" in first
+
+    def test_plan_conflicts_with_set(self, tmp_path, capsys):
+        code = main(
+            [
+                "--plan",
+                str(self._write_plan(tmp_path)),
+                "--set",
+                "temperature_k=400",
+            ]
+        )
+        assert code == 2
+
+    def test_missing_plan_file_is_an_error(self, tmp_path, capsys):
+        code = main(["--plan", str(tmp_path / "absent.json")])
+        assert code == 2
+
+    def test_malformed_plan_file_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"scenarios": [')
+        code = main(["--plan", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_repeated_scenarios_export_distinct_files(self, tmp_path, capsys):
+        import json
+
+        plan = {
+            "scenarios": [
+                {"experiment_id": "fig6", "overrides": {"n_points": 8}},
+                {"experiment_id": "fig6", "overrides": {"n_points": 8}},
+            ]
+        }
+        plan_path = tmp_path / "twice.json"
+        plan_path.write_text(json.dumps(plan))
+        out_dir = tmp_path / "out"
+        code = main(
+            ["--plan", str(plan_path), "--no-plot", "--json-dir", str(out_dir)]
+        )
+        assert code == 0
+        assert len(list(out_dir.glob("*.json"))) == 2

@@ -13,7 +13,7 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 
-FAST_EXAMPLES = ["quickstart.py", "band_diagram_tour.py"]
+FAST_EXAMPLES = ["quickstart.py", "band_diagram_tour.py", "scenario_service.py"]
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
@@ -37,6 +37,7 @@ def test_all_examples_present():
         "design_optimization.py",
         "band_diagram_tour.py",
         "reliability_lifetime.py",
+        "scenario_service.py",
     }
     present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert expected <= present

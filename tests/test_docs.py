@@ -1,10 +1,10 @@
 """Documentation contract: docstrings and the top-level doc set.
 
-Walks every module under :mod:`repro` and enforces the PR 1
-documentation bar: each public module carries a module-level docstring,
-every public class/function of the batch engine (:mod:`repro.engine`)
-is individually documented, and the repository ships its README and
-architecture guide.
+Walks every module under :mod:`repro` and enforces the documentation
+bar: each public module carries a module-level docstring, every public
+class/function of the batch engine (:mod:`repro.engine`) and of the
+session API (:mod:`repro.api`) is individually documented, and the
+repository ships its README, architecture guide and API guide.
 """
 
 import importlib
@@ -44,12 +44,22 @@ def test_module_docstring(name, module):
 
 
 def iter_engine_members():
-    """Yield every public class/function/method of repro.engine."""
+    """Yield every public class/function/method of repro.engine + repro.api."""
+    import repro.api.plan
+    import repro.api.scenario
+    import repro.api.session
     import repro.engine
     import repro.engine.batch
     import repro.engine.cache
 
-    for module in (repro.engine.batch, repro.engine.cache):
+    modules = (
+        repro.engine.batch,
+        repro.engine.cache,
+        repro.api.session,
+        repro.api.scenario,
+        repro.api.plan,
+    )
+    for module in modules:
         for attr_name, member in vars(module).items():
             if attr_name.startswith("_"):
                 continue
@@ -86,14 +96,21 @@ def test_engine_member_docstring(name, member):
 
 
 def test_engine_members_discovered():
-    """The walker found the engine API (guards against silent skips)."""
+    """The walker found the engine + session APIs (guards silent skips)."""
     names = {name for name, _ in ENGINE_MEMBERS}
     assert "repro.engine.batch.fn_batch" in names
     assert "repro.engine.batch.BatchSpec" in names
     assert "repro.engine.cache.fn_coefficients" in names
+    assert "repro.engine.cache.CacheSet" in names
+    assert "repro.api.session.SimulationSession" in names
+    assert "repro.api.session.SimulationSession.run" in names
+    assert "repro.api.scenario.Scenario" in names
+    assert "repro.api.plan.RunPlan" in names
 
 
-@pytest.mark.parametrize("relative", ["README.md", "docs/ARCHITECTURE.md"])
+@pytest.mark.parametrize(
+    "relative", ["README.md", "docs/ARCHITECTURE.md", "docs/API.md"]
+)
 def test_top_level_docs_exist(relative):
     """The README and architecture guide ship with the repository."""
     path = REPO_ROOT / relative
@@ -103,7 +120,22 @@ def test_top_level_docs_exist(relative):
 
 
 def test_readme_covers_the_essentials():
-    """README names the paper, the quickstart, tests and the engine."""
+    """README names the paper, the quickstart, tests and the layers."""
     text = (REPO_ROOT / "README.md").read_text(encoding="utf-8").lower()
-    for needle in ("socc", "quickstart", "pytest", "repro.engine"):
+    for needle in ("socc", "quickstart", "pytest", "repro.engine", "repro.api"):
         assert needle in text, f"README.md does not mention {needle!r}"
+
+
+def test_api_guide_covers_the_workflow():
+    """docs/API.md walks session -> scenario -> plan -> results."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    for needle in (
+        "SimulationSession",
+        "Scenario",
+        "RunPlan",
+        "--set",
+        "--plan",
+        "--json-dir",
+        "cache_stats",
+    ):
+        assert needle in text, f"docs/API.md does not mention {needle!r}"

@@ -88,6 +88,58 @@ class TestExperimentExport:
         assert len(record["series"]) == 4
         assert all(c["passed"] for c in record["checks"])
 
+    def test_result_round_trip(self):
+        import numpy as np
+
+        from repro.experiments import run_experiment
+        from repro.io import experiment_result_from_dict
+
+        result = run_experiment("fig8")
+        restored = experiment_result_from_dict(
+            experiment_result_to_dict(result)
+        )
+        assert restored.experiment_id == result.experiment_id
+        assert restored.log_y == result.log_y
+        assert len(restored.series) == len(result.series)
+        for a, b in zip(restored.series, result.series):
+            assert a.label == b.label
+            assert np.array_equal(a.x, b.x)
+            assert np.array_equal(a.y, b.y)
+        assert [c.passed for c in restored.checks] == [
+            bool(c.passed) for c in result.checks
+        ]
+
+    def test_round_trip_through_file(self, tmp_path):
+        from repro.experiments import run_experiment
+        from repro.io import experiment_result_from_dict
+
+        result = run_experiment("fig6")
+        path = save_json(
+            experiment_result_to_dict(result), tmp_path / "fig6.json"
+        )
+        restored = experiment_result_from_dict(load_json(path))
+        assert restored.render_plot()  # reconstructable figure
+
+    def test_incomplete_result_record_rejected(self):
+        from repro.io import experiment_result_from_dict
+
+        with pytest.raises(ConfigurationError):
+            experiment_result_from_dict({"experiment_id": "fig6"})
+
+    def test_scenario_result_record_is_json_safe(self):
+        import json
+
+        from repro.api import Scenario, SimulationSession
+        from repro.io import scenario_result_to_dict
+
+        outcome = SimulationSession().run_scenario(
+            Scenario("fig6", overrides={"n_points": 10})
+        )
+        record = scenario_result_to_dict(outcome)
+        text = json.dumps(record)
+        assert "fig6" in text
+        assert record["cache"]["misses"] >= 0
+
 
 class TestFileIo:
     def test_save_load_round_trip(self, tmp_path):
@@ -98,6 +150,13 @@ class TestFileIo:
     def test_load_missing_file_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             load_json(tmp_path / "absent.json")
+
+    def test_load_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"name": broken')
+        with pytest.raises(ConfigurationError) as err:
+            load_json(path)
+        assert "malformed" in str(err.value)
 
     def test_save_creates_directories(self, tmp_path):
         path = save_json({"a": 1}, tmp_path / "deep" / "cfg.json")
