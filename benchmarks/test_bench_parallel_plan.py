@@ -1,0 +1,124 @@
+"""Benchmark: sharded parallel plan execution vs the serial session.
+
+The acceptance workload of the executor PR: a 32-scenario ``abl-wkb``
+sweep (8 barrier heights x 2 tunneling masses x 2 oxide thicknesses,
+one Tsu-Esaki transfer-matrix solve each -- real CPU work per scenario)
+run
+
+* serially through one :class:`~repro.api.session.SimulationSession`
+  via ``run_plan``, and
+* through :func:`~repro.api.executor.run_plan_parallel` with 4
+  process-pool workers.
+
+``test_parallel_bit_identical_to_serial`` asserts the executor's core
+contract -- byte-equal experiment results and conserved lookup totals
+-- on every machine. ``test_parallel_speedup`` pins the >=1.5x speedup
+at 4 workers; it needs actual hardware parallelism, so it skips on
+single-CPU containers (the contract tests still run there) and is
+informative-only in CI's non-blocking benchmarks job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.api import RunPlan, Scenario, SimulationSession, run_plan_parallel
+from repro.io import experiment_result_to_dict
+
+SEED = 2014
+WORKERS = 4
+
+_BARRIERS = (3.0, 3.2, 3.4, 3.5, 3.61, 3.8, 4.0, 4.2)
+_MASSES = (0.36, 0.42)
+_OXIDES = (4.5, 5.0)
+
+
+def _plan() -> RunPlan:
+    """The 32-scenario transfer-matrix sweep both paths execute."""
+    return RunPlan(
+        name="parallel-bench",
+        scenarios=(
+            Scenario(
+                "abl-wkb",
+                overrides={"n_points": 1},
+                sweep={
+                    "barrier_height_ev": _BARRIERS,
+                    "mass_ratio": _MASSES,
+                    "tunnel_oxide_nm": _OXIDES,
+                },
+            ),
+        ),
+    )
+
+
+def _canonical(result) -> str:
+    """Byte-stable JSON rendering of one experiment result."""
+    return json.dumps(experiment_result_to_dict(result), sort_keys=True)
+
+
+def test_plan_is_big_enough():
+    """The acceptance floor: at least 32 concrete scenarios."""
+    assert len(_plan().expanded()) >= 32
+
+
+def test_parallel_bit_identical_to_serial():
+    """4-worker process execution reproduces the serial run exactly."""
+    plan = _plan()
+    serial = SimulationSession(seed=SEED).run_plan(plan)
+    parallel = run_plan_parallel(
+        plan, workers=WORKERS, shard_by="round-robin", seed=SEED
+    )
+    assert len(parallel.scenario_results) == len(serial.scenario_results)
+    for ours, theirs in zip(
+        serial.scenario_results, parallel.scenario_results
+    ):
+        assert ours.scenario == theirs.scenario
+        assert _canonical(ours.result) == _canonical(theirs.result)
+    # The conserved totals: every scenario performs the same lookups
+    # however the plan is sharded.
+    assert parallel.cache_stats.hits + parallel.cache_stats.misses == (
+        serial.cache_stats.hits + serial.cache_stats.misses
+    )
+
+
+def _available_cpus() -> int:
+    """CPUs this process may use (affinity-aware where supported)."""
+    if hasattr(os, "sched_getaffinity"):  # Linux; absent on macOS/Windows
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+@pytest.mark.skipif(
+    _available_cpus() < 2,
+    reason="speedup needs >=2 CPUs; single-CPU container cannot "
+    "parallelize CPU-bound shards (the bit-identity contract above "
+    "still runs)",
+)
+def test_parallel_speedup():
+    """>= 1.5x over serial at 4 workers on the 32-scenario plan."""
+    plan = _plan()
+    # Warm-up outside the timed windows: resolve experiment modules and
+    # JIT the import costs once so both paths time pure execution.
+    SimulationSession(seed=SEED).run_scenario(plan.expanded()[0])
+
+    start = time.perf_counter()
+    serial = SimulationSession(seed=SEED).run_plan(plan)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_plan_parallel(
+        plan, workers=WORKERS, shard_by="by-cost", seed=SEED
+    )
+    t_parallel = time.perf_counter() - start
+
+    assert len(serial.scenario_results) == len(parallel.scenario_results)
+    speedup = t_serial / t_parallel
+    assert speedup >= 1.5, (
+        f"parallel plan only {speedup:.2f}x faster than serial "
+        f"({t_serial:.2f}s vs {t_parallel:.2f}s for "
+        f"{len(plan.expanded())} scenarios on {WORKERS} workers)"
+    )

@@ -59,6 +59,20 @@ def main() -> None:
         f"({stats.hit_rate:.0%} hit rate)"
     )
 
+    # The same plan through the sharded parallel executor: worker
+    # sessions with derived seeds, results bit-identical to the serial
+    # run above (threads here so the demo stays single-process; real
+    # sweeps use the default process pool).
+    parallel = session.run_plan_parallel(
+        plan, workers=2, shard_by="by-cost", executor="thread"
+    )
+    print(f"\nparallel rerun on {parallel.worker_count} workers:")
+    for report in parallel.shard_reports:
+        print(
+            f"  shard {report.index}: scenarios {report.positions} in "
+            f"{report.elapsed_s * 1e3:.1f} ms (seed {report.seed})"
+        )
+
 
 if __name__ == "__main__":
     main()

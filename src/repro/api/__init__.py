@@ -12,6 +12,11 @@ programmable simulation service:
 * :class:`RunPlan` batches scenario families through one session with
   structured :class:`ScenarioResult` / :class:`PlanResult` outputs and
   per-scenario cache attribution.
+* :func:`run_plan_parallel` (:mod:`repro.api.executor`) shards a plan
+  across worker sessions -- process pool by default -- with
+  deterministically derived per-shard seeds, and merges the results
+  back bit-identical to the serial run (:class:`ParallelPlanResult`
+  adds per-shard :class:`ShardReport` timing/cache attribution).
 
 Quickstart::
 
@@ -33,13 +38,30 @@ Quickstart::
 See ``docs/API.md`` for the full walkthrough.
 """
 
-from .plan import PlanResult, RunPlan, ScenarioResult, run_plan, run_scenario
+from .executor import (
+    Shard,
+    run_plan_parallel,
+    run_shard,
+    scenario_cost,
+    shard_plan,
+)
+from .plan import (
+    ParallelPlanResult,
+    PlanResult,
+    RunPlan,
+    ScenarioResult,
+    ShardReport,
+    merge_shard_results,
+    run_plan,
+    run_scenario,
+)
 from .scenario import Scenario
 from .session import (
     SimulationContext,
     SimulationSession,
     accepted_parameters,
     default_session,
+    derive_worker_seed,
     ensure_context,
     merge_parameters,
 )
@@ -51,9 +73,18 @@ __all__ = [
     "RunPlan",
     "ScenarioResult",
     "PlanResult",
+    "ParallelPlanResult",
+    "ShardReport",
+    "Shard",
     "run_scenario",
     "run_plan",
+    "run_plan_parallel",
+    "run_shard",
+    "shard_plan",
+    "scenario_cost",
+    "merge_shard_results",
     "default_session",
+    "derive_worker_seed",
     "ensure_context",
     "accepted_parameters",
     "merge_parameters",

@@ -1,0 +1,246 @@
+"""Sharded parallel execution of run plans on worker sessions.
+
+:func:`run_plan_parallel` splits an expanded :class:`~repro.api.plan.RunPlan`
+into shards, runs each shard in its own worker -- a process by default,
+threads for in-memory debugging -- and merges the results back into a
+:class:`~repro.api.plan.ParallelPlanResult` in plan order. Each worker
+owns a fresh :class:`~repro.api.session.SimulationSession` whose seed is
+derived deterministically from the plan seed and shard index
+(:func:`~repro.api.session.derive_worker_seed`), and whose private
+:class:`~repro.engine.cache.CacheSet` gives the shard the same
+memoization semantics a serial run has -- just scoped to the shard.
+
+**Determinism contract.** For the same plan and seed, a parallel run
+produces experiment results bit-identical to ``run_plan`` on one
+session: registered experiments are pure functions of their parameters
+(none consumes session RNG), and memoization only skips recomputation
+of values that are equal by construction. What legitimately differs is
+the cache *attribution* -- a worker cannot reuse an entry another shard
+computed -- which is why :class:`~repro.api.plan.ParallelPlanResult`
+reports per-shard counters instead of pretending the plan ran on one
+cache set. See :class:`~repro.api.plan.PlanResult` for the invariants
+that do survive sharding.
+
+Shard strategies (``shard_by``):
+
+* ``"round-robin"`` -- scenario *i* goes to shard ``i % workers``;
+  the default, even and oblivious.
+* ``"by-experiment"`` -- scenarios of one experiment id stay on one
+  shard (maximising intra-shard cache reuse for sweeps), groups
+  balanced across shards by total cost hint.
+* ``"by-cost"`` -- longest-processing-time greedy packing on the
+  registry's per-experiment cost hints
+  (:func:`~repro.experiments.registry.experiment_cost`), for plans
+  mixing cheap figure sweeps with expensive ablations.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+from ..experiments.registry import experiment_cost
+from .plan import (
+    ParallelPlanResult,
+    RunPlan,
+    ScenarioResult,
+    ShardReport,
+    merge_shard_results,
+    run_scenario,
+)
+from .scenario import Scenario
+from .session import SimulationSession, derive_worker_seed
+
+#: The shard strategies :func:`shard_plan` understands.
+SHARD_STRATEGIES = ("round-robin", "by-experiment", "by-cost")
+
+#: The worker pool kinds :func:`run_plan_parallel` understands.
+EXECUTOR_KINDS = ("process", "thread")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of an expanded plan.
+
+    Attributes
+    ----------
+    index:
+        Shard number (0-based); also the spawn key of the worker
+        session's derived seed.
+    items:
+        ``(position, scenario)`` pairs, where ``position`` is the
+        scenario's index in ``plan.expanded()`` -- kept so the merge
+        can restore plan order.
+    """
+
+    index: int
+    items: "tuple[tuple[int, Scenario], ...]"
+
+    @property
+    def cost(self) -> float:
+        """Total registry cost hint of the shard's scenarios."""
+        return sum(scenario_cost(s) for _, s in self.items)
+
+
+def scenario_cost(scenario: Scenario) -> float:
+    """The cost estimate of one concrete scenario.
+
+    Currently the registry's per-experiment hint
+    (:func:`~repro.experiments.registry.experiment_cost`); override
+    granularity (e.g. scaling with ``n_points``) can refine this later
+    without touching the shard strategies.
+    """
+    return experiment_cost(scenario.experiment_id)
+
+
+def shard_plan(
+    plan: RunPlan, workers: int, shard_by: str = "round-robin"
+) -> "tuple[Shard, ...]":
+    """Partition a plan's expanded scenarios into at most ``workers`` shards.
+
+    Every expanded scenario lands in exactly one shard; empty shards
+    are dropped, so fewer than ``workers`` shards come back when the
+    plan is small (or ``by-experiment`` has fewer experiment ids than
+    workers). Shard indices are contiguous from 0 and the partition is
+    a pure function of ``(plan, workers, shard_by)`` -- no randomness,
+    so a re-run shards (and therefore seeds workers) identically.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if shard_by not in SHARD_STRATEGIES:
+        known = ", ".join(SHARD_STRATEGIES)
+        raise ConfigurationError(
+            f"unknown shard strategy {shard_by!r}; available: {known}"
+        )
+    indexed = list(enumerate(plan.expanded()))
+    buckets: "list[list[tuple[int, Scenario]]]" = [[] for _ in range(workers)]
+
+    if shard_by == "round-robin":
+        for position, scenario in indexed:
+            buckets[position % workers].append((position, scenario))
+    elif shard_by == "by-experiment":
+        groups: "dict[str, list[tuple[int, Scenario]]]" = {}
+        for position, scenario in indexed:
+            groups.setdefault(scenario.experiment_id, []).append(
+                (position, scenario)
+            )
+        # Heaviest group first onto the lightest bucket (LPT on groups);
+        # ties broken by first appearance to stay deterministic.
+        order = sorted(
+            groups,
+            key=lambda k: (-sum(scenario_cost(s) for _, s in groups[k]),
+                           groups[k][0][0]),
+        )
+        loads = [0.0] * workers
+        for key in order:
+            target = loads.index(min(loads))
+            buckets[target].extend(groups[key])
+            loads[target] += sum(scenario_cost(s) for _, s in groups[key])
+        for bucket in buckets:
+            bucket.sort()  # a bucket holding several groups: plan order
+    else:  # by-cost: LPT greedy on per-scenario hints
+        order = sorted(
+            indexed, key=lambda pair: (-scenario_cost(pair[1]), pair[0])
+        )
+        loads = [0.0] * workers
+        for position, scenario in order:
+            target = loads.index(min(loads))
+            buckets[target].append((position, scenario))
+            loads[target] += scenario_cost(scenario)
+        for bucket in buckets:
+            bucket.sort()  # run each shard's scenarios in plan order
+
+    shards = []
+    for bucket in buckets:
+        if bucket:
+            shards.append(Shard(index=len(shards), items=tuple(bucket)))
+    return tuple(shards)
+
+
+def run_shard(
+    shard: Shard,
+    seed: int = 0,
+    defaults: "Mapping[str, Any] | None" = None,
+) -> "tuple[ShardReport, tuple[tuple[int, ScenarioResult], ...]]":
+    """Execute one shard on a fresh worker session; the worker entry point.
+
+    Builds a :class:`~repro.api.session.SimulationSession` seeded with
+    :func:`~repro.api.session.derive_worker_seed`, runs the shard's
+    scenarios in order through :func:`~repro.api.plan.run_scenario`,
+    and returns the shard report plus position-tagged results. Module
+    level and fully picklable, so it runs unchanged on a process pool,
+    a thread pool, or inline.
+    """
+    session = SimulationSession(
+        seed=derive_worker_seed(seed, shard.index), defaults=defaults
+    )
+    start = time.perf_counter()
+    results = tuple(
+        (position, run_scenario(session, scenario))
+        for position, scenario in shard.items
+    )
+    elapsed = time.perf_counter() - start
+    report = ShardReport(
+        index=shard.index,
+        positions=tuple(position for position, _ in shard.items),
+        seed=session.seed,
+        elapsed_s=elapsed,
+        cache_stats=session.cache_stats(),
+    )
+    return report, results
+
+
+def run_plan_parallel(
+    plan: RunPlan,
+    *,
+    workers: "int | None" = None,
+    shard_by: str = "round-robin",
+    seed: int = 0,
+    defaults: "Mapping[str, Any] | None" = None,
+    executor: str = "process",
+) -> ParallelPlanResult:
+    """Run every scenario of a plan across sharded worker sessions.
+
+    The plan is expanded, split by :func:`shard_plan`, executed one
+    shard per worker (``executor="process"`` by default;
+    ``executor="thread"`` keeps everything in-process for debugging --
+    the ContextVar-scoped cache activation keeps worker sessions
+    isolated either way), and merged back in plan order by
+    :func:`~repro.api.plan.merge_shard_results`.
+
+    ``workers`` defaults to 4; empty shards are dropped, so a plan
+    smaller than the worker count naturally uses fewer workers (and no
+    process is forked per scenario on large plans) -- pass ``workers``
+    explicitly for real sweeps. For a single shard the pool is skipped
+    entirely and the shard runs inline, so ``workers=1`` is a cheap way
+    to get serial execution with parallel-run reporting.
+
+    Worker failures propagate: the first scenario error (e.g. an
+    unknown experiment id) is re-raised in the caller after the pool
+    shuts down.
+    """
+    if executor not in EXECUTOR_KINDS:
+        known = ", ".join(EXECUTOR_KINDS)
+        raise ConfigurationError(
+            f"unknown executor {executor!r}; available: {known}"
+        )
+    if workers is None:
+        workers = 4
+    shards = shard_plan(plan, workers, shard_by)
+
+    if len(shards) == 1:
+        outputs = (run_shard(shards[0], seed, defaults),)
+        return merge_shard_results(plan, outputs)
+
+    pool_cls = (
+        ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    )
+    with pool_cls(max_workers=len(shards)) as pool:
+        futures = [
+            pool.submit(run_shard, shard, seed, defaults) for shard in shards
+        ]
+        outputs = tuple(future.result() for future in futures)
+    return merge_shard_results(plan, outputs)

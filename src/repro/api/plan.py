@@ -120,6 +120,19 @@ class ScenarioResult:
 class PlanResult:
     """Outcome of one plan run through one session.
 
+    Cache attribution is **order-dependent** by design: a scenario's
+    ``cache_stats`` delta and ``reused_hits`` depend on which scenarios
+    ran before it on the same cache set, so reordering a plan (or
+    splitting it across parallel workers) moves counts between the
+    "miss", "own hit" and "reused hit" buckets. What is *invariant*
+    under any ordering or sharding of the same plan is the work itself:
+    each scenario performs the same lookups, so its per-scenario
+    ``hits + misses`` total -- and therefore the plan-wide lookup total
+    -- is identical however the plan is executed, and the experiment
+    results themselves are bit-identical (memoization never changes
+    values). The executor's merge preserves exactly this contract; see
+    :class:`ParallelPlanResult` and :attr:`cross_scenario_hits`.
+
     Attributes
     ----------
     plan:
@@ -153,6 +166,17 @@ class PlanResult:
         an entry it created itself does not inflate the number -- this
         is the reuse a multi-scenario plan exists to exploit. (On a
         fresh session the first scenario necessarily contributes zero.)
+
+        **Contract: this total is order-dependent.** "Predates the
+        scenario" is defined against the execution order on one cache
+        set, so reordering the plan redistributes reuse (the first
+        scenario in any order contributes zero), and a parallel run --
+        where each shard's worker session only ever sees its own prior
+        scenarios -- reports at most the serial total, reaching it only
+        when sharding keeps co-reusing scenarios together. Serial and
+        parallel runs of the same plan *do* agree on the conserved
+        totals: per-scenario ``hits + misses`` and the experiment
+        results themselves (see :class:`PlanResult`).
         """
         return sum(s.reused_hits for s in self.scenario_results)
 
@@ -182,6 +206,104 @@ def run_scenario(
         elapsed_s=elapsed,
         cache_stats=delta,
         reused_hits=session.caches.reused_hits_since_mark(),
+    )
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """What one executor shard did: scenarios, seed, time, cache work.
+
+    Attributes
+    ----------
+    index:
+        Shard number (0-based) within its plan run.
+    positions:
+        Indices into ``plan.expanded()`` of the scenarios this shard
+        ran, in the order the worker ran them.
+    seed:
+        The worker session's derived seed
+        (:func:`~repro.api.session.derive_worker_seed` of the plan seed
+        and shard index).
+    elapsed_s:
+        Wall-clock time of the whole shard on its worker [s].
+    cache_stats:
+        Counters the shard accumulated on its worker's cache set.
+    """
+
+    index: int
+    positions: "tuple[int, ...]"
+    seed: int
+    elapsed_s: float
+    cache_stats: CacheStats = field(repr=False)
+
+
+@dataclass(frozen=True)
+class ParallelPlanResult(PlanResult):
+    """A :class:`PlanResult` assembled from parallel shard runs.
+
+    Everything a :class:`PlanResult` promises holds here too:
+    ``scenario_results`` are in plan (expansion) order regardless of
+    which shard ran what, per-scenario cache deltas attribute each
+    worker's counters to its scenarios, and ``cache_stats`` is the sum
+    over the (disjoint) worker cache sets. The extra ``shard_reports``
+    expose the parallel structure -- who ran what, with which derived
+    seed, how long, and with what cache efficiency.
+
+    Attributes
+    ----------
+    shard_reports:
+        One :class:`ShardReport` per shard, ordered by shard index.
+    """
+
+    shard_reports: "tuple[ShardReport, ...]" = ()
+
+    @property
+    def worker_count(self) -> int:
+        """How many shards (= worker sessions) the plan ran on."""
+        return len(self.shard_reports)
+
+
+def merge_shard_results(
+    plan: RunPlan,
+    shard_outputs: "tuple[tuple[ShardReport, tuple[tuple[int, ScenarioResult], ...]], ...]",
+) -> ParallelPlanResult:
+    """Reassemble shard outputs into one in-order plan result.
+
+    ``shard_outputs`` pairs each shard's report with its
+    ``(position, result)`` list, where ``position`` indexes the
+    scenario's place in ``plan.expanded()``. The merge restores plan
+    order, verifies the shards covered every expanded scenario exactly
+    once (a partition -- anything else raises
+    :class:`~repro.errors.ConfigurationError`), and sums the per-shard
+    cache counters into the plan-wide total.
+    """
+    expected = len(plan.expanded())
+    indexed: "dict[int, ScenarioResult]" = {}
+    for _, results in shard_outputs:
+        for position, result in results:
+            if position in indexed:
+                raise ConfigurationError(
+                    f"shard merge saw scenario position {position} twice"
+                )
+            indexed[position] = result
+    if sorted(indexed) != list(range(expected)):
+        missing = sorted(set(range(expected)) - set(indexed))
+        raise ConfigurationError(
+            f"shard merge is not a partition of the plan: expected "
+            f"{expected} scenarios, missing positions {missing}, "
+            f"got {sorted(indexed)}"
+        )
+    reports = tuple(
+        sorted((report for report, _ in shard_outputs), key=lambda r: r.index)
+    )
+    total = CacheStats(hits=0, misses=0, currsize=0, per_cache=())
+    for report in reports:
+        total = total.merged(report.cache_stats)
+    return ParallelPlanResult(
+        plan=plan,
+        scenario_results=tuple(indexed[i] for i in range(expected)),
+        cache_stats=total,
+        shard_reports=reports,
     )
 
 

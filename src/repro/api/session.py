@@ -172,6 +172,24 @@ class SimulationSession:
 
         return run_plan(self, plan)
 
+    def run_plan_parallel(self, plan: "RunPlan", **options: Any):
+        """Run a plan on sharded worker sessions; see :mod:`repro.api.executor`.
+
+        Convenience wrapper over
+        :func:`~repro.api.executor.run_plan_parallel` that forwards this
+        session's seed and defaults. The work does *not* run on this
+        session's cache set: each shard executes in a fresh worker
+        session seeded by :func:`derive_worker_seed`, so this session's
+        caches and counters are untouched (the returned
+        :class:`~repro.api.plan.ParallelPlanResult` carries the
+        per-shard attribution instead).
+        """
+        from .executor import run_plan_parallel
+
+        return run_plan_parallel(
+            plan, seed=self.seed, defaults=self.defaults, **options
+        )
+
 
 class SimulationContext:
     """What an experiment's ``run(ctx, **params)`` receives.
@@ -255,6 +273,26 @@ class SimulationContext:
         if vgs_v is not None:
             bias = bias.with_gate_voltage(float(vgs_v))
         return bias
+
+
+def derive_worker_seed(seed: int, shard_index: int) -> int:
+    """A deterministic, well-mixed seed for one parallel worker session.
+
+    Routes ``(root seed, shard index)`` through
+    :class:`numpy.random.SeedSequence`, whose entropy-mixing hash is
+    documented as stable across NumPy versions and platforms -- so a
+    plan re-run anywhere derives the same per-shard seeds, while nearby
+    shard indices (0, 1, 2, ...) still land on statistically independent
+    streams (plain ``seed + shard_index`` would make shard *i* of one
+    plan collide with shard *i+1* of a plan seeded one higher).
+    """
+    # Mask to unsigned 64-bit words: SeedSequence entropy must be
+    # non-negative, and a negative session seed should still derive.
+    mask = (1 << 64) - 1
+    mixed = np.random.SeedSequence(
+        [int(seed) & mask, int(shard_index) & mask]
+    )
+    return int(mixed.generate_state(1, dtype=np.uint64)[0])
 
 
 _DEFAULT_SESSION: "SimulationSession | None" = None

@@ -101,6 +101,40 @@ class CacheStats:
             per_cache=per_cache,
         )
 
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Counters of this snapshot plus another, summed per cache.
+
+        The combination used by the parallel plan executor: each shard
+        reports the delta its worker session accumulated, and the merged
+        snapshot is the plan-wide total (``currsize`` becomes the sum of
+        entries held across the worker sets -- the sets are disjoint, so
+        nothing is double-counted). Caches missing from one side count
+        as zero; the ordering of this snapshot's caches is preserved,
+        with caches only the other side saw appended in its order.
+        """
+        mine = dict(self.per_cache)
+        theirs = dict(other.per_cache)
+        names = [name for name, _ in self.per_cache]
+        names += [n for n, _ in other.per_cache if n not in mine]
+        per_cache = tuple(
+            (
+                name,
+                tuple(
+                    a + b
+                    for a, b in zip(
+                        mine.get(name, (0, 0, 0)), theirs.get(name, (0, 0, 0))
+                    )
+                ),
+            )
+            for name in names
+        )
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            currsize=self.currsize + other.currsize,
+            per_cache=per_cache,
+        )
+
 
 class CacheSet:
     """One independent set of the engine's memoized intermediates.

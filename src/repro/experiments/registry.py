@@ -50,10 +50,36 @@ _SPECS: "dict[str, str]" = {
 
 _RESOLVED: "dict[str, Runner]" = {}
 
+#: Relative cost hints (dimensionless, 1.0 = a cheap vectorized figure
+#: sweep) used by the parallel executor's ``by-cost`` shard strategy to
+#: balance shards before running anything. Measured from default-
+#: parameter wall clock; only the *ratios* matter, and ids absent here
+#: default to 1.0 via :func:`experiment_cost`.
+_COST_HINTS: "dict[str, float]" = {
+    "abl-wkb": 400.0,  # Tsu-Esaki transfer-matrix integrations per point
+    "device-summary": 15.0,  # full program/erase transients
+    "cmp-si": 5.0,
+    "cmp-che": 3.0,
+    "fig5": 2.0,  # transient sampling
+    "erase-transient": 2.0,
+}
+
 #: Ids of the experiments reproducing actual paper figures. Figure 2
 #: (the FN band diagram) is included; Figures 1 and 3 are conceptual
 #: layout/schematic drawings with no quantitative content to reproduce.
 PAPER_FIGURES = ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9")
+
+
+def experiment_cost(experiment_id: str) -> float:
+    """The relative cost hint of one experiment (default 1.0).
+
+    A dimensionless estimate of how expensive one run is compared to a
+    cheap vectorized figure sweep; the parallel executor's ``by-cost``
+    strategy balances shards on these hints. Unknown ids are *not*
+    rejected here (the registry check happens when the experiment is
+    resolved) -- they simply cost 1.0.
+    """
+    return _COST_HINTS.get(experiment_id, 1.0)
 
 
 def available_experiments() -> "tuple[str, ...]":

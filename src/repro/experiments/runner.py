@@ -6,6 +6,8 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments fig6 fig7           # selected experiments
     repro-experiments fig6 --set temperature_k=400   # parameterized
     repro-experiments --plan plan.json    # a declarative RunPlan
+    repro-experiments --plan plan.json --workers 4 --shard-by by-cost
+                                          # sharded parallel execution
     repro-experiments --paper-only        # only the paper figures
     repro-experiments --csv-dir out/      # also export series as CSV
     repro-experiments --json-dir out/     # also export results as JSON
@@ -25,7 +27,7 @@ import json
 import sys
 from typing import Any, Sequence
 
-from ..api.plan import PlanResult, RunPlan
+from ..api.plan import RunPlan
 from ..api.session import SimulationSession
 from ..engine.cache import CacheStats
 from ..errors import ConfigurationError
@@ -118,8 +120,15 @@ def _print_cache_stats(stats: CacheStats) -> None:
 def _run_plan(
     session: SimulationSession, plan: RunPlan, args: argparse.Namespace
 ) -> int:
-    """Execute a RunPlan and report per-scenario results."""
-    outcome: PlanResult = session.run_plan(plan)
+    """Execute a RunPlan (serially or sharded) and report per scenario."""
+    if args.workers > 1:
+        outcome = session.run_plan_parallel(
+            plan,
+            workers=args.workers,
+            shard_by=args.shard_by or "round-robin",
+        )
+    else:
+        outcome = session.run_plan(plan)
     failures = 0
     used_stems: "dict[str, int]" = {}
     for scenario_result in outcome.scenario_results:
@@ -154,8 +163,17 @@ def _run_plan(
         f"{total_checks} shape checks, {failures} failures, "
         f"{outcome.cross_scenario_hits} cross-scenario cache hits"
     )
+    for report in getattr(outcome, "shard_reports", ()):
+        print(
+            f"shard {report.index}: {len(report.positions)} scenarios in "
+            f"{report.elapsed_s * 1e3:.1f} ms (seed {report.seed}, "
+            f"{report.cache_stats.hits} hits / "
+            f"{report.cache_stats.misses} misses)"
+        )
     if args.cache_stats:
-        _print_cache_stats(session.cache_stats())
+        # A parallel run leaves the CLI session's own caches untouched;
+        # the merged plan counters are the meaningful report either way.
+        _print_cache_stats(outcome.cache_stats)
     return 1 if failures else 0
 
 
@@ -225,6 +243,20 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         help="session RNG seed (default 0)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run a --plan across N sharded worker sessions "
+        "(process pool; results are bit-identical to the serial run)",
+    )
+    parser.add_argument(
+        "--shard-by",
+        choices=["round-robin", "by-experiment", "by-cost"],
+        default=None,
+        help="how --workers splits the plan across workers "
+        "(default round-robin; requires --workers >= 2)",
+    )
+    parser.add_argument(
         "--csv-dir",
         default=None,
         help="directory to export each experiment's series as CSV",
@@ -250,6 +282,15 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         overrides = parse_set_option(args.assignments)
         session = SimulationSession(seed=args.seed, defaults=overrides)
 
+        if args.workers < 1:
+            raise ConfigurationError(
+                f"--workers must be >= 1, got {args.workers}"
+            )
+        if args.shard_by is not None and args.workers < 2:
+            raise ConfigurationError(
+                "--shard-by only applies to parallel runs; pass "
+                "--workers N (N >= 2) alongside it"
+            )
         if args.plan:
             if args.experiments or overrides:
                 raise ConfigurationError(
@@ -257,6 +298,11 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                     "encode overrides in the plan file"
                 )
             return _run_plan(session, RunPlan.load(args.plan), args)
+        if args.workers > 1:
+            raise ConfigurationError(
+                "--workers applies to --plan runs; wrap the experiments "
+                "in a plan file to run them in parallel"
+            )
 
         if args.experiments:
             ids = list(args.experiments)

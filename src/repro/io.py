@@ -25,8 +25,9 @@ from .optimization.design_space import DesignPoint
 from .reporting.ascii_plot import PlotSeries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
-    from .api.plan import PlanResult, RunPlan, ScenarioResult
+    from .api.plan import PlanResult, RunPlan, ScenarioResult, ShardReport
     from .api.scenario import Scenario
+    from .engine.cache import CacheStats
 
 
 def geometry_to_dict(geometry: DeviceGeometry) -> "dict[str, float]":
@@ -260,23 +261,84 @@ def run_plan_from_dict(data: Mapping[str, Any]) -> "RunPlan":
     )
 
 
+def cache_stats_to_dict(stats: "CacheStats") -> "dict[str, Any]":
+    """CacheStats -> JSON-safe dict; inverse of :func:`cache_stats_from_dict`."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "currsize": stats.currsize,
+        "per_cache": {
+            name: list(counters) for name, counters in stats.per_cache
+        },
+    }
+
+
+def cache_stats_from_dict(data: Mapping[str, Any]) -> "CacheStats":
+    """Plain dict -> CacheStats (missing per-cache breakdown tolerated).
+
+    Accepts both the full record :func:`cache_stats_to_dict` writes and
+    the abbreviated ``{"hits": ..., "misses": ...}`` summaries older
+    exports carried; absent fields come back as zero / empty.
+    """
+    from .engine.cache import CacheStats
+
+    return CacheStats(
+        hits=int(data.get("hits", 0)),
+        misses=int(data.get("misses", 0)),
+        currsize=int(data.get("currsize", 0)),
+        per_cache=tuple(
+            (str(name), tuple(int(c) for c in counters))
+            for name, counters in dict(data.get("per_cache", {})).items()
+        ),
+    )
+
+
 def scenario_result_to_dict(result: "ScenarioResult") -> "dict[str, Any]":
     """ScenarioResult -> JSON-safe dict (scenario + result + counters)."""
     return {
         "scenario": scenario_to_dict(result.scenario),
         "elapsed_s": result.elapsed_s,
         "cache": {
-            "hits": result.cache_stats.hits,
-            "misses": result.cache_stats.misses,
+            **cache_stats_to_dict(result.cache_stats),
             "reused_hits": result.reused_hits,
         },
         "result": experiment_result_to_dict(result.result),
     }
 
 
+def scenario_result_from_dict(data: Mapping[str, Any]) -> "ScenarioResult":
+    """JSON record -> ScenarioResult (inverse of the exporter).
+
+    Rebuilds the scenario, the experiment result and the cache
+    attribution, so an exported plan run can be reloaded and
+    re-aggregated without re-simulating anything.
+    """
+    from .api.plan import ScenarioResult
+
+    required = {"scenario", "result"}
+    missing = required - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"scenario-result record missing fields: {sorted(missing)}"
+        )
+    cache = dict(data.get("cache", {}))
+    return ScenarioResult(
+        scenario=scenario_from_dict(data["scenario"]),
+        result=experiment_result_from_dict(data["result"]),
+        elapsed_s=float(data.get("elapsed_s", 0.0)),
+        cache_stats=cache_stats_from_dict(cache),
+        reused_hits=int(cache.get("reused_hits", 0)),
+    )
+
+
 def plan_result_to_dict(result: "PlanResult") -> "dict[str, Any]":
-    """PlanResult -> JSON-safe dict (plan, scenarios, cache counters)."""
-    return {
+    """PlanResult -> JSON-safe dict (plan, scenarios, cache counters).
+
+    A :class:`~repro.api.plan.ParallelPlanResult` additionally gets a
+    ``"shards"`` list (one :func:`shard_report_to_dict` record per
+    shard), so the parallel structure of a run survives export.
+    """
+    record = {
         "plan": run_plan_to_dict(result.plan),
         "scenario_results": [
             scenario_result_to_dict(s) for s in result.scenario_results
@@ -287,6 +349,40 @@ def plan_result_to_dict(result: "PlanResult") -> "dict[str, Any]":
             "cross_scenario_hits": result.cross_scenario_hits,
         },
     }
+    shard_reports = getattr(result, "shard_reports", ())
+    if shard_reports:
+        record["shards"] = [shard_report_to_dict(r) for r in shard_reports]
+    return record
+
+
+def shard_report_to_dict(report: "ShardReport") -> "dict[str, Any]":
+    """ShardReport -> JSON-safe dict; inverse of :func:`shard_report_from_dict`."""
+    return {
+        "index": report.index,
+        "positions": list(report.positions),
+        "seed": report.seed,
+        "elapsed_s": report.elapsed_s,
+        "cache": cache_stats_to_dict(report.cache_stats),
+    }
+
+
+def shard_report_from_dict(data: Mapping[str, Any]) -> "ShardReport":
+    """Plain dict -> ShardReport (inverse of the exporter)."""
+    from .api.plan import ShardReport
+
+    required = {"index", "positions", "seed"}
+    missing = required - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"shard-report record missing fields: {sorted(missing)}"
+        )
+    return ShardReport(
+        index=int(data["index"]),
+        positions=tuple(int(p) for p in data["positions"]),
+        seed=int(data["seed"]),
+        elapsed_s=float(data.get("elapsed_s", 0.0)),
+        cache_stats=cache_stats_from_dict(dict(data.get("cache", {}))),
+    )
 
 
 def save_json(data: Mapping[str, Any], path: "str | Path") -> Path:

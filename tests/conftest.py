@@ -15,6 +15,23 @@ from repro.tunneling import TunnelBarrier
 from repro.units import nm_to_m
 
 
+def pytest_addoption(parser):
+    """Add ``--update-golden``: regenerate the golden snapshots.
+
+    ``pytest tests/golden --update-golden`` rewrites every snapshot
+    under ``tests/golden/snapshots/`` from a fresh run instead of
+    comparing against it; commit the diff deliberately -- it is the
+    record of an intentional numeric change.
+    """
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/snapshots/ from fresh runs instead "
+        "of comparing",
+    )
+
+
 @pytest.fixture(scope="session")
 def paper_device() -> FloatingGateTransistor:
     """The paper's reference design: GCR 0.6, 5 nm / 8 nm SiO2 stack."""

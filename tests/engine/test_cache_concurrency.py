@@ -1,0 +1,99 @@
+"""Concurrency contract of the ContextVar-scoped cache activation.
+
+The parallel executor's thread-pool mode runs whole worker sessions on
+pool threads, so the engine's ``use_caches`` routing must be genuinely
+thread-local: one thread activating its session's
+:class:`~repro.engine.cache.CacheSet` must never leak entries, counters
+or the activation itself into another thread (or into the process-wide
+default set). These tests hammer exactly that -- many threads
+activating private sets concurrently, with a barrier forcing real
+overlap -- and assert per-set counters stay exact and keys stay home.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.cache import (
+    CacheSet,
+    active_caches,
+    default_caches,
+    fn_coefficients,
+    use_caches,
+)
+
+N_THREADS = 8
+ROUNDS = 25
+
+
+def _hammer(thread_id: int, barrier: threading.Barrier) -> "tuple[CacheSet, bool]":
+    """One worker: activate a private set and look up thread-unique keys.
+
+    Barrier-synchronised so every thread is inside its ``use_caches``
+    block at the same time; returns the set plus whether the active-set
+    routing stayed correct throughout.
+    """
+    caches = CacheSet()
+    routed_correctly = True
+    with use_caches(caches):
+        barrier.wait(timeout=30)
+        for round_no in range(ROUNDS):
+            # Keys unique to this thread: barrier height encodes the
+            # thread id, so any cross-thread leakage is visible as
+            # unexpected hit/miss counts in someone else's set.
+            fn_coefficients(3.0 + 0.01 * thread_id, 0.4)
+            fn_coefficients(3.0 + 0.01 * thread_id, 0.45 + 0.001 * round_no)
+            routed_correctly &= active_caches() is caches
+    return caches, routed_correctly
+
+
+class TestContextVarIsolation:
+    def test_no_cross_thread_key_leakage(self):
+        """Each thread's lookups land only in its own activated set."""
+        before = default_caches().stats()
+        barrier = threading.Barrier(N_THREADS)
+        with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+            outcomes = list(
+                pool.map(
+                    _hammer, range(N_THREADS), [barrier] * N_THREADS
+                )
+            )
+
+        assert all(ok for _, ok in outcomes)
+        for caches, _ in outcomes:
+            stats = caches.stats()
+            # Exactly this thread's unique keys: one repeated key hit
+            # (ROUNDS - 1 times) plus ROUNDS distinct second keys.
+            assert stats.misses == 1 + ROUNDS
+            assert stats.hits == ROUNDS - 1
+            assert stats.currsize == 1 + ROUNDS
+        # Nothing reached the process-default set.
+        after = default_caches().stats().delta(before)
+        assert after.hits == 0 and after.misses == 0
+
+    def test_sets_do_not_share_entries(self):
+        """The same key computed in two sets is two misses, two entries."""
+        first, second = CacheSet(), CacheSet()
+        with use_caches(first):
+            fn_coefficients(3.61, 0.42)
+        with use_caches(second):
+            fn_coefficients(3.61, 0.42)
+        assert first.stats().misses == 1
+        assert second.stats().misses == 1
+        assert second.stats().hits == 0
+
+    def test_activation_restores_previous_set_per_thread(self):
+        """Nested activations unwind correctly inside a pool thread."""
+
+        def nested() -> bool:
+            outer, inner = CacheSet(), CacheSet()
+            with use_caches(outer):
+                ok = active_caches() is outer
+                with use_caches(inner):
+                    ok &= active_caches() is inner
+                ok &= active_caches() is outer
+            return ok and active_caches() is default_caches()
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            assert all(pool.map(lambda _: nested(), range(16)))

@@ -1,0 +1,106 @@
+"""Golden regression suite: pinned snapshots of every experiment.
+
+Each registered experiment's zero-argument (default-parameter) result
+is committed as a JSON snapshot under ``snapshots/`` in the
+:mod:`repro.io` export format. The comparison test reruns the
+experiment and diffs it against the snapshot -- structure exactly,
+numerics to 1e-9 relative tolerance -- so a refactor that silently
+shifts any curve, check verdict or parameter fails loudly here even
+when every qualitative shape check still passes.
+
+Regenerate deliberately with::
+
+    pytest tests/golden --update-golden
+
+and commit the snapshot diff as the record of the intentional change.
+(Check ``detail`` strings are display formatting, not data, and are
+excluded from the comparison; the series comparison at 1e-9 is far
+stricter than anything a formatted digit could show.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import SimulationSession
+from repro.experiments.registry import available_experiments
+from repro.io import experiment_result_to_dict
+
+SNAPSHOT_DIR = Path(__file__).resolve().parent / "snapshots"
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def session():
+    """One session for the whole suite; results are cache-independent."""
+    return SimulationSession(seed=0)
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _assert_matches(got, want, path: str) -> None:
+    """Recursive compare: exact structure, numerics to RTOL."""
+    if _numeric(got) and _numeric(want):
+        assert np.isclose(got, want, rtol=RTOL, atol=0.0), (
+            f"{path}: {got!r} drifted from golden {want!r}"
+        )
+    elif isinstance(want, dict):
+        assert isinstance(got, dict) and set(got) == set(want), (
+            f"{path}: keys {sorted(got)} != golden {sorted(want)}"
+        )
+        for key in want:
+            _assert_matches(got[key], want[key], f"{path}.{key}")
+    elif isinstance(want, list):
+        assert isinstance(got, list) and len(got) == len(want), (
+            f"{path}: length {len(got)} != golden {len(want)}"
+        )
+        for i, (a, b) in enumerate(zip(got, want)):
+            _assert_matches(a, b, f"{path}[{i}]")
+    else:
+        assert got == want, f"{path}: {got!r} != golden {want!r}"
+
+
+def _strip_details(record: dict) -> dict:
+    """Drop the formatted ``detail`` strings from check records."""
+    out = dict(record)
+    out["checks"] = [
+        {k: v for k, v in check.items() if k != "detail"}
+        for check in record.get("checks", [])
+    ]
+    return out
+
+
+@pytest.mark.parametrize("experiment_id", available_experiments())
+def test_golden_snapshot(experiment_id, session, request):
+    """The default run of every experiment matches its committed snapshot."""
+    record = experiment_result_to_dict(session.run(experiment_id))
+    path = SNAPSHOT_DIR / f"{experiment_id}.json"
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"rewrote {path.name}")
+    assert path.is_file(), (
+        f"no golden snapshot for {experiment_id!r}; run "
+        f"`pytest tests/golden --update-golden` and commit the result"
+    )
+    golden = json.loads(path.read_text())
+    _assert_matches(
+        _strip_details(record), _strip_details(golden), experiment_id
+    )
+
+
+def test_every_snapshot_is_registered():
+    """No orphan snapshots: each file maps to a registered experiment."""
+    snapshots = {p.stem for p in SNAPSHOT_DIR.glob("*.json")}
+    assert snapshots == set(available_experiments()), (
+        "snapshots out of sync with the registry; regenerate with "
+        "`pytest tests/golden --update-golden`"
+    )

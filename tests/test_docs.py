@@ -45,6 +45,7 @@ def test_module_docstring(name, module):
 
 def iter_engine_members():
     """Yield every public class/function/method of repro.engine + repro.api."""
+    import repro.api.executor
     import repro.api.plan
     import repro.api.scenario
     import repro.api.session
@@ -58,6 +59,7 @@ def iter_engine_members():
         repro.api.session,
         repro.api.scenario,
         repro.api.plan,
+        repro.api.executor,
     )
     for module in modules:
         for attr_name, member in vars(module).items():
@@ -106,6 +108,12 @@ def test_engine_members_discovered():
     assert "repro.api.session.SimulationSession.run" in names
     assert "repro.api.scenario.Scenario" in names
     assert "repro.api.plan.RunPlan" in names
+    assert "repro.api.plan.ParallelPlanResult" in names
+    assert "repro.api.plan.ShardReport" in names
+    assert "repro.api.executor.run_plan_parallel" in names
+    assert "repro.api.executor.shard_plan" in names
+    assert "repro.api.executor.Shard" in names
+    assert "repro.api.session.derive_worker_seed" in names
 
 
 @pytest.mark.parametrize(
@@ -137,5 +145,22 @@ def test_api_guide_covers_the_workflow():
         "--plan",
         "--json-dir",
         "cache_stats",
+    ):
+        assert needle in text, f"docs/API.md does not mention {needle!r}"
+
+
+def test_api_guide_covers_the_executor():
+    """docs/API.md documents parallel execution end to end."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    for needle in (
+        "run_plan_parallel",
+        "shard_by",
+        "round-robin",
+        "by-experiment",
+        "by-cost",
+        "derive_worker_seed",
+        "ShardReport",
+        "Determinism contract",
+        "--workers",
     ):
         assert needle in text, f"docs/API.md does not mention {needle!r}"
