@@ -1,0 +1,65 @@
+"""Measure the relative experiment costs behind the registry hints.
+
+Runs every registered experiment with default parameters on a fresh
+session, times the best of ``--repeats`` runs, and prints the cost
+table normalized so the *median of the cheap vectorized figure sweeps*
+(fig2/fig4/fig6-fig9) is 1.0 -- the convention of
+``repro.experiments.registry._COST_HINTS``. Paste the rounded output
+into the registry whenever a performance PR shifts the balance::
+
+    PYTHONPATH=src python benchmarks/measure_costs.py
+
+The numbers are machine-relative, not absolute: only the ratios feed
+the ``by-cost`` shard packer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+
+from repro.api import SimulationSession
+from repro.experiments.registry import available_experiments
+
+#: Experiments whose median defines cost 1.0 (cheap vectorized sweeps).
+BASELINE_IDS = ("fig2", "fig4", "fig6", "fig7", "fig8", "fig9")
+
+
+def measure(repeats: int = 3) -> "dict[str, float]":
+    """Best-of-N wall time per experiment, on one warmed session."""
+    session = SimulationSession(seed=0)
+    timings: "dict[str, float]" = {}
+    for experiment_id in available_experiments():
+        session.run(experiment_id)  # warm caches / imports
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            session.run(experiment_id)
+            best = min(best, time.perf_counter() - start)
+        timings[experiment_id] = best
+    return timings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    timings = measure(args.repeats)
+    baseline = statistics.median(
+        timings[i] for i in BASELINE_IDS if i in timings
+    )
+    print(f"baseline (median cheap figure sweep): {baseline * 1e3:.2f} ms\n")
+    print(f"{'experiment':<16} {'wall [ms]':>10} {'relative':>9}")
+    for experiment_id, wall in sorted(
+        timings.items(), key=lambda kv: -kv[1]
+    ):
+        print(
+            f"{experiment_id:<16} {wall * 1e3:>10.2f} "
+            f"{wall / baseline:>9.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

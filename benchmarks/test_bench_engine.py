@@ -15,9 +15,9 @@ table. A third pair does the same for the Figure-6-style family sweep.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
+
+from conftest import best_of, record_speedup
 
 from repro.device import PROGRAM_BIAS
 from repro.engine import BatchSpec, clear_caches, fn_batch, tunneling_states
@@ -48,15 +48,6 @@ def _looped_states(device, charges):
     )
 
 
-def _best_of(fn, repeats: int = 5) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def test_engine_speedup_and_accuracy(paper_device):
     """Batch path >= 5x faster than the loop, matching to 1e-9 rtol."""
     charges = _transient_charges(paper_device)
@@ -78,12 +69,20 @@ def test_engine_speedup_and_accuracy(paper_device):
     # 5x bar) leaves the assertion far from the flake zone, and the
     # microsecond-scale batch path gets extra repeats to find a quiet
     # window.
-    t_loop = _best_of(lambda: _looped_states(paper_device, charges))
-    t_batch = _best_of(
+    t_loop = best_of(lambda: _looped_states(paper_device, charges), repeats=5)
+    t_batch = best_of(
         lambda: tunneling_states(paper_device, PROGRAM_BIAS, charges),
         repeats=15,
     )
     speedup = t_loop / t_batch
+    record_speedup(
+        "engine_tunneling_states",
+        speedup,
+        t_loop,
+        t_batch,
+        gate=5.0,
+        detail=f"{N_POINTS}-point program-transient state sweep",
+    )
     assert speedup >= 5.0, (
         f"batch engine only {speedup:.1f}x faster than the looped path "
         f"({t_loop * 1e3:.2f} ms vs {t_batch * 1e3:.2f} ms for "

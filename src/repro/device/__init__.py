@@ -15,6 +15,7 @@ from .bias import BiasCondition, ERASE_BIAS, PROGRAM_BIAS, READ_BIAS
 from .floating_gate import (
     BatchTunnelingState,
     CompiledCell,
+    CompiledCellBank,
     FloatingGateTransistor,
     TunnelingState,
 )
@@ -29,10 +30,12 @@ from .memory_window import (
 from .retention import TEN_YEARS_S, RetentionModel, RetentionResult
 from .threshold import ThresholdModel
 from .transient import (
+    TransientBatchResult,
     TransientResult,
     equilibrium_charge,
     equilibrium_floating_gate_voltage,
     simulate_transient,
+    simulate_transient_batch,
 )
 from .waveforms import (
     PulseStep,
@@ -51,11 +54,14 @@ __all__ = [
     "TunnelingState",
     "BatchTunnelingState",
     "CompiledCell",
+    "CompiledCellBank",
     "silicon_baseline_fgt",
     "mlgnr_reference_fgt",
     "barrier_advantage_ev",
     "TransientResult",
+    "TransientBatchResult",
     "simulate_transient",
+    "simulate_transient_batch",
     "equilibrium_charge",
     "equilibrium_floating_gate_voltage",
     "ThresholdModel",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -173,6 +174,120 @@ def _signed_fn_array(voltage_v: np.ndarray, a: float, b: float, x: float) -> np.
 
     field = np.abs(voltage_v) / x
     return np.sign(voltage_v) * fn_current_density(field, a, b)
+
+
+def _signed_fn_lanes(
+    voltage_v: np.ndarray, a: np.ndarray, b: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """Signed FN density with *per-lane* coefficient arrays, warning-free.
+
+    The ODE right-hand-side form of :func:`_signed_fn_array`: every
+    argument is an array over the batch lanes and zero-field lanes are
+    masked with ``np.divide(..., where=...)`` instead of an
+    ``errstate`` context (entering one per RHS call costs more than the
+    arithmetic itself at small lane counts).
+    """
+    field = np.abs(voltage_v) / x
+    exponent = np.divide(
+        b, field, out=np.full(field.shape, np.inf), where=field > 0.0
+    )
+    return np.sign(voltage_v) * (a * field * field * np.exp(-exponent))
+
+
+@dataclass(frozen=True)
+class CompiledCellBank:
+    """Stacked :class:`CompiledCell` constants for a batch of lanes.
+
+    The array-valued transient integrator advances many (device, bias)
+    lanes as one vector ODE state; the bank hoists every per-lane
+    invariant (eq. (2) network term, FN coefficient pairs, areas) into
+    parallel ``(n_lanes,)`` arrays so the vector right-hand side is a
+    single fused NumPy expression. The lanes are mutually independent:
+    ``d(dQ_i/dt)/dQ_j = 0`` for ``i != j``, which is why the integrator
+    may declare a diagonal Jacobian to the implicit solver.
+
+    Attributes mirror :class:`CompiledCell` lane-wise; build one with
+    :meth:`from_cells`.
+    """
+
+    bias_term_vf: np.ndarray = field(repr=False)
+    c_total_f: np.ndarray = field(repr=False)
+    vgs_v: np.ndarray = field(repr=False)
+    vs_v: np.ndarray = field(repr=False)
+    a_in: np.ndarray = field(repr=False)
+    b_in: np.ndarray = field(repr=False)
+    x_in_m: np.ndarray = field(repr=False)
+    a_out: np.ndarray = field(repr=False)
+    b_out: np.ndarray = field(repr=False)
+    x_out_m: np.ndarray = field(repr=False)
+    area_m2: np.ndarray = field(repr=False)
+    cg_area_m2: np.ndarray = field(repr=False)
+
+    @staticmethod
+    def from_cells(cells: "Sequence[CompiledCell]") -> "CompiledCellBank":
+        """Stack compiled cells into one bank (lane ``i`` = ``cells[i]``)."""
+        if not cells:
+            raise ConfigurationError("bank needs at least one compiled cell")
+
+        def stack(name: str) -> np.ndarray:
+            return np.array([getattr(cell, name) for cell in cells], dtype=float)
+
+        return CompiledCellBank(
+            bias_term_vf=stack("bias_term_vf"),
+            c_total_f=stack("c_total_f"),
+            vgs_v=stack("vgs_v"),
+            vs_v=stack("vs_v"),
+            a_in=stack("a_in"),
+            b_in=stack("b_in"),
+            x_in_m=stack("x_in_m"),
+            a_out=stack("a_out"),
+            b_out=stack("b_out"),
+            x_out_m=stack("x_out_m"),
+            area_m2=stack("area_m2"),
+            cg_area_m2=stack("cg_area_m2"),
+        )
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of stacked lanes."""
+        return int(self.bias_term_vf.size)
+
+    def floating_gate_voltage(self, charges_c: np.ndarray) -> np.ndarray:
+        """Eq. (3) potential of every lane at its stored charge [V]."""
+        return (self.bias_term_vf + charges_c) / self.c_total_f
+
+    def charge_derivative(self, charges_c: np.ndarray) -> np.ndarray:
+        """Vector ``dQ_i/dt`` [C/s] -- the batched transient ODE RHS.
+
+        Lane ``i`` evaluates exactly the arithmetic of
+        :meth:`CompiledCell.charge_derivative` for ``charges_c[i]``
+        (agreement to floating-point round-off); the whole batch is one
+        fused expression with no Python-level per-lane work.
+        """
+        vfg = (self.bias_term_vf + charges_c) / self.c_total_f
+        jin = _signed_fn_lanes(vfg - self.vs_v, self.a_in, self.b_in, self.x_in_m)
+        jout = _signed_fn_lanes(
+            self.vgs_v - vfg, self.a_out, self.b_out, self.x_out_m
+        )
+        return -(jin * self.area_m2 - jout * self.cg_area_m2)
+
+    def tunneling_state_batch(self, charges_c) -> BatchTunnelingState:
+        """Lane-wise Jin/Jout/net for charges broadcastable to the lanes.
+
+        ``charges_c`` may be ``(n_lanes,)`` (one charge per lane) or any
+        shape broadcastable against it, e.g. ``(n_samples, n_lanes)``
+        for a whole sampled trajectory.
+        """
+        charges = np.asarray(charges_c, dtype=float)
+        vfg = (self.bias_term_vf + charges) / self.c_total_f
+        jin = _signed_fn_lanes(vfg - self.vs_v, self.a_in, self.b_in, self.x_in_m)
+        jout = _signed_fn_lanes(
+            self.vgs_v - vfg, self.a_out, self.b_out, self.x_out_m
+        )
+        net = -(jin * self.area_m2 - jout * self.cg_area_m2)
+        return BatchTunnelingState(
+            vfg_v=vfg, jin_a_m2=jin, jout_a_m2=jout, net_current_a=net
+        )
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..constants import ELEMENTARY_CHARGE, PLANCK, thermal_voltage
+from ..electrostatics.gcr import threshold_shift_v
 from ..errors import ConfigurationError
 from .floating_gate import FloatingGateTransistor
 from .threshold import ThresholdModel
@@ -87,6 +90,37 @@ class ChannelIVModel:
         vt = self.threshold.threshold_v(charge_c)
         overdrive = max(vgs - vt, thermal_voltage(self.temperature_k))
         vds_eff = min(vds, overdrive)
+        return G0 * self.transmission * modes * vds_eff
+
+    def drain_current_batch(self, vgs, vds, charges_c=0.0) -> np.ndarray:
+        """Vectorized :meth:`drain_current_a` over broadcastable arrays.
+
+        ``vgs``, ``vds`` and ``charges_c`` broadcast together (a read
+        staircase against a column of stored charges evaluates the whole
+        sense grid in one shot); element-wise results match the scalar
+        path to floating-point round-off.
+        """
+        vgs_arr = np.asarray(vgs, dtype=float)
+        vds_arr = np.asarray(vds, dtype=float)
+        charges = np.asarray(charges_c, dtype=float)
+        if np.any(vds_arr < 0.0):
+            raise ConfigurationError(
+                "model covers forward drain bias only (V_DS >= 0)"
+            )
+        vt = self.threshold.neutral_threshold_v + threshold_shift_v(
+            charges, self.device.capacitances.cfc
+        )
+        overdrive = vgs_arr - vt
+        v_therm = thermal_voltage(self.temperature_k)
+        x = overdrive / v_therm
+        # Softplus turn-on, saturated exactly like the scalar path.
+        smoothed = np.where(
+            x > 35.0,
+            overdrive,
+            v_therm * np.log1p(np.exp(np.minimum(x, 35.0))),
+        )
+        modes = self.modes_per_volt * smoothed
+        vds_eff = np.minimum(vds_arr, np.maximum(overdrive, v_therm))
         return G0 * self.transmission * modes * vds_eff
 
     def on_off_ratio(

@@ -19,14 +19,15 @@ the paper's Figure 5 draws the same event schematically as a crossing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..solver.ode import integrate_ivp
+from ..solver.ode import integrate_ivp, integrate_rk4
 from ..solver.rootfind import bisect
 from .bias import BiasCondition
-from .floating_gate import FloatingGateTransistor
+from .floating_gate import CompiledCellBank, FloatingGateTransistor
 
 
 @dataclass(frozen=True)
@@ -124,6 +125,238 @@ def equilibrium_charge(
     )
 
 
+@dataclass(frozen=True)
+class TransientBatchResult:
+    """Many program/erase transients advanced as one vector ODE state.
+
+    Attributes
+    ----------
+    t_s:
+        Shared (geometric) sample grid [s], shape ``(n_samples,)``.
+    charge_c, vfg_v, jin_a_m2, jout_a_m2:
+        Lane-major trajectories, shape ``(n_lanes, n_samples)``.
+    q_equilibrium_c:
+        Per-lane Jin = Jout balance charge [C], shape ``(n_lanes,)``.
+    t_sat_s:
+        Per-lane saturation times [s]; NaN where the pulse ended first.
+    results:
+        Per-lane :class:`TransientResult` views over the same arrays --
+        the scalar-API form sweep consumers already understand.
+    """
+
+    t_s: np.ndarray = field(repr=False)
+    charge_c: np.ndarray = field(repr=False)
+    vfg_v: np.ndarray = field(repr=False)
+    jin_a_m2: np.ndarray = field(repr=False)
+    jout_a_m2: np.ndarray = field(repr=False)
+    q_equilibrium_c: np.ndarray = field(repr=False)
+    t_sat_s: np.ndarray = field(repr=False)
+    results: "tuple[TransientResult, ...]" = field(repr=False)
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of integrated lanes."""
+        return int(self.charge_c.shape[0])
+
+
+def _integrate_charge_lanes(
+    cells,
+    initial_charges_c: np.ndarray,
+    duration_s: float,
+    t_first_sample_s: float,
+    method: str,
+    rk4_steps: int,
+):
+    """Advance the stacked charge ODE lanes; returns ``(t, y)``.
+
+    Three regimes, one contract (``y`` has shape ``(n_lanes, n_t)``):
+
+    * one lane with ``method="lsoda"`` -- the **golden-parity path**: the
+      historical scalar closure and solver settings, reproduced verbatim
+      so single-cell callers (every figure experiment) stay bit-stable;
+    * many lanes with ``method="lsoda"`` -- one adaptive ``solve_ivp``
+      over the vector state with a declared diagonal Jacobian band
+      (``lband=uband=0``), so the implicit solver's finite-difference
+      Jacobian costs one extra RHS call instead of one per lane;
+    * ``method="rk4"`` -- fixed-step RK4 on a geometric grid: slightly
+      more RHS work, but bit-stable against batch composition (lane
+      arithmetic is elementwise), the property the parity suite pins.
+    """
+    if method == "rk4":
+        grid = np.concatenate(
+            [[0.0], np.geomspace(t_first_sample_s, duration_s, rk4_steps)]
+        )
+        bank = CompiledCellBank.from_cells(cells)
+
+        def rhs_vec(_t: float, y: np.ndarray) -> np.ndarray:
+            return bank.charge_derivative(y)
+
+        result = integrate_rk4(rhs_vec, grid, initial_charges_c)
+        return result.t, result.y
+    if method != "lsoda":
+        raise ConfigurationError(
+            f"unknown transient integration method {method!r}; "
+            "use 'lsoda' or 'rk4'"
+        )
+    if len(cells) == 1:
+        cell = cells[0]
+
+        def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+            return np.array([cell.charge_derivative(float(y[0]))])
+
+        result = integrate_ivp(
+            rhs,
+            (0.0, duration_s),
+            [float(initial_charges_c[0])],
+            method="LSODA",
+            rtol=1e-8,
+            atol=1e-24,
+        )
+        return result.t, result.y
+    bank = CompiledCellBank.from_cells(cells)
+
+    def rhs_vec(_t: float, y: np.ndarray) -> np.ndarray:
+        return bank.charge_derivative(y)
+
+    result = integrate_ivp(
+        rhs_vec,
+        (0.0, duration_s),
+        initial_charges_c,
+        method="LSODA",
+        rtol=1e-8,
+        atol=1e-24,
+        lband=0,
+        uband=0,
+    )
+    return result.t, result.y
+
+
+def simulate_transient_batch(
+    device: FloatingGateTransistor,
+    biases: "Sequence[BiasCondition]",
+    initial_charges_c=0.0,
+    duration_s: float = 1e-3,
+    n_samples: int = 400,
+    saturation_epsilon: float = 0.01,
+    t_first_sample_s: float = 1e-12,
+    method: str = "lsoda",
+    rk4_steps: int = 2000,
+) -> TransientBatchResult:
+    """Integrate a batch of transients as one vector ODE state.
+
+    The array-valued core of the transient layer: one ``solve_ivp``
+    call (or one fixed-step RK4 pass, ``method="rk4"``) advances every
+    (device, bias) lane together instead of paying the adaptive
+    solver's Python overhead once per lane. The scalar
+    :func:`simulate_transient` is the single-lane case and remains
+    bit-identical to its historical behaviour.
+
+    Parameters
+    ----------
+    device:
+        The cell, shared by every lane.
+    biases:
+        One applied bias per lane.
+    initial_charges_c:
+        Stored charge at t = 0; scalar (shared) or one value per lane.
+    duration_s, n_samples, saturation_epsilon, t_first_sample_s:
+        As :func:`simulate_transient`; the geometric output grid is
+        shared by all lanes.
+    method:
+        ``"lsoda"`` (adaptive, default) or ``"rk4"`` (fixed geometric
+        steps; bit-stable against batch composition).
+    rk4_steps:
+        Number of geometric RK4 steps when ``method="rk4"``.
+    """
+    biases = tuple(biases)
+    if not biases:
+        raise ConfigurationError("need at least one bias lane")
+    if duration_s <= 0.0:
+        raise ConfigurationError("duration must be positive")
+    if n_samples < 8:
+        raise ConfigurationError("need at least 8 samples")
+    if not 0.0 < saturation_epsilon < 1.0:
+        raise ConfigurationError("saturation epsilon must be in (0, 1)")
+    if rk4_steps < 8:
+        raise ConfigurationError("need at least 8 RK4 steps")
+
+    n_lanes = len(biases)
+    try:
+        initial = np.broadcast_to(
+            np.asarray(initial_charges_c, dtype=float), (n_lanes,)
+        ).astype(float)
+    except ValueError:
+        raise ConfigurationError(
+            f"initial charges (shape "
+            f"{np.shape(initial_charges_c)}) do not broadcast against "
+            f"{n_lanes} bias lanes"
+        ) from None
+
+    # The engine cache shares one compiled cell per lane between this
+    # ODE, the equilibrium solves below, and any surrounding sweep
+    # (imported lazily: the engine layers above the device package).
+    from ..engine.cache import compiled_cell
+
+    cells = [compiled_cell(device, bias) for bias in biases]
+    t_solver, y_solver = _integrate_charge_lanes(
+        cells, initial, duration_s, t_first_sample_s, method, rk4_steps
+    )
+
+    # Resample every lane on a shared geometric time grid (the solver's
+    # own steps are kept as the interpolation support).
+    t_geo = np.geomspace(t_first_sample_s, duration_s, n_samples - 1)
+    t_out = np.concatenate([[0.0], t_geo])
+    charge = np.empty((n_lanes, t_out.size))
+    for i in range(n_lanes):
+        charge[i] = np.interp(t_out, t_solver, y_solver[i])
+
+    # One fused batch evaluation per lane replaces the former
+    # per-sample loop of scalar tunneling_state calls.
+    vfg = np.empty_like(charge)
+    jin = np.empty_like(charge)
+    jout = np.empty_like(charge)
+    for i, cell in enumerate(cells):
+        states = cell.tunneling_state_batch(charge[i])
+        vfg[i] = states.vfg_v
+        jin[i] = states.jin_a_m2
+        jout[i] = states.jout_a_m2
+
+    q_eq = np.array(
+        [equilibrium_charge(device, bias) for bias in biases]
+    )
+    t_sat = np.full(n_lanes, np.nan)
+    for i in range(n_lanes):
+        delta_total = q_eq[i] - initial[i]
+        if delta_total != 0.0:
+            progress = (charge[i] - initial[i]) / delta_total
+            reached = np.nonzero(progress >= 1.0 - saturation_epsilon)[0]
+            if reached.size:
+                t_sat[i] = float(t_out[reached[0]])
+
+    results = tuple(
+        TransientResult(
+            t_s=t_out,
+            charge_c=charge[i],
+            vfg_v=vfg[i],
+            jin_a_m2=jin[i],
+            jout_a_m2=jout[i],
+            q_equilibrium_c=float(q_eq[i]),
+            t_sat_s=None if np.isnan(t_sat[i]) else float(t_sat[i]),
+        )
+        for i in range(n_lanes)
+    )
+    return TransientBatchResult(
+        t_s=t_out,
+        charge_c=charge,
+        vfg_v=vfg,
+        jin_a_m2=jin,
+        jout_a_m2=jout,
+        q_equilibrium_c=q_eq,
+        t_sat_s=t_sat,
+        results=results,
+    )
+
+
 def simulate_transient(
     device: FloatingGateTransistor,
     bias: BiasCondition,
@@ -134,6 +367,11 @@ def simulate_transient(
     t_first_sample_s: float = 1e-12,
 ) -> TransientResult:
     """Integrate one programming or erase transient.
+
+    The single-lane case of :func:`simulate_transient_batch`; the
+    adaptive integration runs through the batch integrator's
+    golden-parity path, so results are bit-identical to the historical
+    scalar implementation.
 
     Parameters
     ----------
@@ -150,61 +388,13 @@ def simulate_transient(
     saturation_epsilon:
         Fraction of the equilibrium charge defining ``t_sat``.
     """
-    if duration_s <= 0.0:
-        raise ConfigurationError("duration must be positive")
-    if n_samples < 8:
-        raise ConfigurationError("need at least 8 samples")
-    if not 0.0 < saturation_epsilon < 1.0:
-        raise ConfigurationError("saturation epsilon must be in (0, 1)")
-
-    # The engine cache shares one compiled cell between this ODE, the
-    # equilibrium solve below, and any surrounding sweep (imported
-    # lazily: the engine layers above the device package).
-    from ..engine.cache import compiled_cell
-
-    cell = compiled_cell(device, bias)
-
-    def rhs(_t: float, y: np.ndarray) -> np.ndarray:
-        return np.array([cell.charge_derivative(float(y[0]))])
-
-    result = integrate_ivp(
-        rhs,
-        (0.0, duration_s),
-        [initial_charge_c],
-        method="LSODA",
-        rtol=1e-8,
-        atol=1e-24,
+    batch = simulate_transient_batch(
+        device,
+        (bias,),
+        initial_charges_c=initial_charge_c,
+        duration_s=duration_s,
+        n_samples=n_samples,
+        saturation_epsilon=saturation_epsilon,
+        t_first_sample_s=t_first_sample_s,
     )
-
-    # Resample on a geometric time grid (the solver's own steps are kept
-    # as the interpolation support).
-    t_geo = np.geomspace(t_first_sample_s, duration_s, n_samples - 1)
-    t_out = np.concatenate([[0.0], t_geo])
-    charge = np.interp(t_out, result.t, result.y[0])
-
-    # One fused batch evaluation replaces the former per-sample loop of
-    # scalar tunneling_state calls (the n_samples x dataclass-rebuild
-    # cost dominated the whole simulation for long sample grids).
-    states = cell.tunneling_state_batch(charge)
-    vfg = states.vfg_v
-    jin = states.jin_a_m2
-    jout = states.jout_a_m2
-
-    q_eq = equilibrium_charge(device, bias)
-    t_sat = None
-    delta_total = q_eq - initial_charge_c
-    if delta_total != 0.0:
-        progress = (charge - initial_charge_c) / delta_total
-        reached = np.nonzero(progress >= 1.0 - saturation_epsilon)[0]
-        if reached.size:
-            t_sat = float(t_out[reached[0]])
-
-    return TransientResult(
-        t_s=t_out,
-        charge_c=charge,
-        vfg_v=vfg,
-        jin_a_m2=jin,
-        jout_a_m2=jout,
-        q_equilibrium_c=q_eq,
-        t_sat_s=t_sat,
-    )
+    return batch.results[0]

@@ -55,12 +55,10 @@ def run_model_comparison(
     j_fn = np.array(
         [fn.current_density_from_voltage(float(v)) for v in voltages]
     )
-    j_tm = np.array(
-        [te_tm.current_density_from_voltage(float(v)) for v in voltages]
-    )
-    j_wkb = np.array(
-        [te_wkb.current_density_from_voltage(float(v)) for v in voltages]
-    )
+    # One vectorized (bias x energy) integral per method: the batched
+    # solver backend replaces the former per-voltage-per-energy loops.
+    j_tm = te_tm.current_density_batch(voltages)
+    j_wkb = te_wkb.current_density_batch(voltages)
     series = (
         PlotSeries(label="FN closed form (paper)", x=voltages, y=j_fn),
         PlotSeries(label="Tsu-Esaki + transfer matrix", x=voltages, y=j_tm),

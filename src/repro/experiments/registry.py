@@ -52,16 +52,24 @@ _RESOLVED: "dict[str, Runner]" = {}
 
 #: Relative cost hints (dimensionless, 1.0 = a cheap vectorized figure
 #: sweep) used by the parallel executor's ``by-cost`` shard strategy to
-#: balance shards before running anything. Measured from default-
-#: parameter wall clock; only the *ratios* matter, and ids absent here
-#: default to 1.0 via :func:`experiment_cost`.
+#: balance shards before running anything. Only the *ratios* matter,
+#: and ids absent here default to 1.0 via :func:`experiment_cost`.
+#:
+#: Values are **measured**, not hand-tuned: best-of-3 default-parameter
+#: wall clock on a warm session, normalized to the median cheap figure
+#: sweep (regenerate with ``python benchmarks/measure_costs.py`` after
+#: performance work; last measured after the vectorized quantum-solver
+#: backend landed, which roughly halved abl-wkb and shifted the
+#: transient-heavy balance).
 _COST_HINTS: "dict[str, float]" = {
-    "abl-wkb": 400.0,  # Tsu-Esaki transfer-matrix integrations per point
-    "device-summary": 15.0,  # full program/erase transients
-    "cmp-si": 5.0,
-    "cmp-che": 3.0,
-    "fig5": 2.0,  # transient sampling
-    "erase-transient": 2.0,
+    "abl-wkb": 200.0,  # batched Tsu-Esaki transfer-matrix integrals
+    "device-summary": 110.0,  # program + erase transients + retention
+    "cmp-si": 22.0,  # two full device transients + leakage
+    "erase-transient": 10.0,  # program equilibrium + erase transient
+    "fig5": 7.0,  # transient sampling
+    "cmp-che": 6.5,
+    "fig4": 5.0,  # transient sampling
+    "fig2": 3.0,  # band-diagram assembly
 }
 
 #: Ids of the experiments reproducing actual paper figures. Figure 2

@@ -10,7 +10,7 @@ that the physics code contains no hand-rolled numerics.
 
 from .grid import Grid1D, nonuniform_grid, uniform_grid
 from .linalg import solve_tridiagonal, tridiagonal_matrix
-from .ode import IntegrationResult, integrate_ivp
+from .ode import IntegrationResult, integrate_ivp, integrate_rk4
 from .poisson import PoissonProblem1D, solve_poisson_1d
 from .rootfind import bisect, brentq_checked, find_crossing
 from .schrodinger import BoundStates, solve_schrodinger_1d
@@ -18,8 +18,14 @@ from .transfer_matrix import (
     BarrierSegment,
     PiecewiseBarrier,
     transmission_probability,
+    transmission_probability_batch,
 )
-from .wkb import wkb_action, wkb_transmission
+from .wkb import (
+    wkb_action,
+    wkb_action_batch,
+    wkb_transmission,
+    wkb_transmission_batch,
+)
 
 __all__ = [
     "Grid1D",
@@ -34,10 +40,14 @@ __all__ = [
     "BarrierSegment",
     "PiecewiseBarrier",
     "transmission_probability",
+    "transmission_probability_batch",
     "wkb_action",
+    "wkb_action_batch",
     "wkb_transmission",
+    "wkb_transmission_batch",
     "IntegrationResult",
     "integrate_ivp",
+    "integrate_rk4",
     "bisect",
     "brentq_checked",
     "find_crossing",

@@ -4,6 +4,12 @@ Thin, typed wrapper over :func:`scipy.integrate.solve_ivp` tuned for the
 stiff charge-transient ODEs that arise when integrating
 ``dQ_FG/dt = -(Jin - Jout) * Area`` (paper Figures 4-5): the tunneling
 currents vary over many decades, so the default method is implicit.
+
+For vector states whose lanes are mutually independent the wrapper
+accepts Jacobian bandwidths (``lband``/``uband``), and
+:func:`integrate_rk4` provides the fixed-step fallback whose lane
+results are bit-stable against batch composition (see the batched
+transient integrator in :mod:`repro.device.transient`).
 """
 
 from __future__ import annotations
@@ -54,10 +60,12 @@ def integrate_ivp(
     y0: Sequence[float],
     method: str = "LSODA",
     rtol: float = 1e-8,
-    atol: float = 1e-12,
+    atol=1e-12,
     max_step: Optional[float] = None,
     events: Optional[Sequence[Callable[[float, np.ndarray], float]]] = None,
     dense_samples: int = 0,
+    lband: Optional[int] = None,
+    uband: Optional[int] = None,
 ) -> IntegrationResult:
     """Integrate ``dy/dt = rhs(t, y)`` from ``t_span[0]`` to ``t_span[1]``.
 
@@ -78,6 +86,12 @@ def integrate_ivp(
     dense_samples:
         When positive, evaluate the solution on that many uniformly spaced
         time points instead of the solver's internal steps.
+    lband, uband:
+        Jacobian bandwidths for the implicit methods (LSODA/BDF/Radau).
+        The batched transient integrator passes ``lband=uband=0``: its
+        lanes are mutually independent, so the Jacobian is diagonal and
+        the solver's finite-difference estimate costs one extra RHS
+        evaluation instead of one per state.
 
     Raises
     ------
@@ -91,6 +105,10 @@ def integrate_ivp(
     kwargs = {}
     if max_step is not None:
         kwargs["max_step"] = max_step
+    if lband is not None:
+        kwargs["lband"] = lband
+    if uband is not None:
+        kwargs["uband"] = uband
     solution = solve_ivp(
         rhs,
         t_span,
@@ -114,3 +132,64 @@ def integrate_ivp(
         event_times=event_times,
         terminated_by_event=(solution.status == 1),
     )
+
+
+def integrate_rk4(
+    rhs: Callable[[float, np.ndarray], np.ndarray],
+    t_grid,
+    y0: Sequence[float],
+) -> IntegrationResult:
+    """Fixed-step classic Runge-Kutta 4 over a caller-supplied time grid.
+
+    The deterministic fallback of the batched transient integrator:
+    unlike an adaptive method, whose shared step-size control couples
+    every lane of a vector state, fixed steps advance each lane with
+    arithmetic that never depends on the other lanes (the RHS of the
+    charge ODEs is elementwise). Stacking lanes therefore changes
+    nothing -- lane ``i`` of a batch is **bit-identical** to the same
+    lane integrated alone on the same grid, which is what makes RK4
+    results stable golden references for batch refactors.
+
+    Parameters
+    ----------
+    rhs:
+        Right-hand side ``f(t, y)``; must accept and return vector
+        states.
+    t_grid:
+        Strictly increasing sample times [s]; one RK4 step is taken
+        between each consecutive pair (transients spanning decades in
+        time use a geometric grid). The first entry is the initial time.
+    y0:
+        Initial state at ``t_grid[0]``.
+
+    Returns
+    -------
+    IntegrationResult
+        With ``t`` the input grid and ``y`` of shape
+        ``(n_states, len(t_grid))``.
+    """
+    t = np.asarray(t_grid, dtype=float)
+    if t.ndim != 1 or t.size < 2:
+        raise ConvergenceError("RK4 needs at least two grid points")
+    if np.any(np.diff(t) <= 0.0):
+        raise ConvergenceError("RK4 grid must be strictly increasing")
+    state = np.asarray(y0, dtype=float).copy()
+    if state.ndim != 1:
+        raise ConvergenceError("RK4 state must be one-dimensional")
+    out = np.empty((state.size, t.size))
+    out[:, 0] = state
+    for i in range(t.size - 1):
+        h = t[i + 1] - t[i]
+        half = 0.5 * h
+        k1 = rhs(t[i], state)
+        k2 = rhs(t[i] + half, state + half * k1)
+        k3 = rhs(t[i] + half, state + half * k2)
+        k4 = rhs(t[i + 1], state + h * k3)
+        state = state + (h / 6.0) * (k1 + 2.0 * (k2 + k3) + k4)
+        if not np.all(np.isfinite(state)):
+            raise ConvergenceError(
+                f"RK4 diverged at t = {t[i + 1]:.3e} s; the fixed grid is "
+                "too coarse for the stiffness of this transient"
+            )
+        out[:, i + 1] = state
+    return IntegrationResult(t=t, y=out)

@@ -5,6 +5,17 @@ arbitrary 1-D potential profile approximated by constant-potential slabs,
 with BenDaniel-Duke (mass-weighted) interface matching. This is the
 reference model that the Fowler-Nordheim closed form and the WKB
 approximation are benchmarked against in the ablation experiments.
+
+Two evaluation paths share the same matrix algebra:
+
+* :func:`transmission_probability` -- the scalar reference, one energy
+  per call, multiplying 2x2 interface/propagation matrices in Python.
+* :func:`transmission_probability_batch` -- the vectorized backend: the
+  per-segment matrices are stacked over the energy axis as
+  ``(n_energy, 2, 2)`` arrays and reduced with batched ``matmul`` in the
+  identical left-to-right order, so every energy lane reproduces the
+  scalar result to floating-point round-off while the whole
+  Tsu-Esaki energy grid costs one pass over the segments.
 """
 
 from __future__ import annotations
@@ -125,6 +136,103 @@ def _wavevector(energy_j: float, potential_j: float, mass_kg: float) -> complex:
     if delta == 0.0:
         delta = _EDGE_EPSILON_J
     return cmath.sqrt(2.0 * mass_kg * complex(delta)) / HBAR
+
+
+def _wavevector_array(
+    energies_j: np.ndarray, potential_j: float, mass_kg: float
+) -> np.ndarray:
+    """Vectorized :func:`_wavevector`: complex ``k(E)`` for an energy array.
+
+    Applies the same one-nano-eV band-edge nudge as the scalar form so
+    batch lanes stay bit-comparable with per-energy calls.
+    """
+    delta = energies_j - potential_j
+    delta = np.where(delta == 0.0, _EDGE_EPSILON_J, delta)
+    return np.sqrt(2.0 * mass_kg * delta.astype(complex)) / HBAR
+
+
+def transmission_probability_batch(
+    barrier: PiecewiseBarrier, energies_j
+) -> np.ndarray:
+    """Batched :func:`transmission_probability` over an energy array.
+
+    Parameters
+    ----------
+    barrier:
+        Piecewise-constant barrier specification (shared by all lanes).
+    energies_j:
+        Incident energies [J]; any array shape (or a scalar).
+
+    Returns
+    -------
+    numpy.ndarray
+        Transmission probabilities with the shape of ``energies_j``;
+        each lane matches the scalar reference to round-off. The
+        reduction walks the segments once, multiplying stacked
+        ``(n_energy, 2, 2)`` interface/propagation matrices with batched
+        ``matmul`` in the scalar path's left-to-right order (the
+        diagonal propagation factor is fused as a column scaling, which
+        is the same arithmetic as the explicit matrix product).
+    """
+    shape = np.shape(energies_j)
+    energies = np.asarray(energies_j, dtype=float).reshape(-1)
+    n = energies.size
+
+    # Region list: left lead | slabs | right lead (wavevectors (n,)).
+    ks = [
+        _wavevector_array(
+            energies, barrier.lead_potential_left_j, barrier.lead_mass_left_kg
+        )
+    ]
+    masses = [barrier.lead_mass_left_kg]
+    widths = [0.0]
+    for seg in barrier.segments:
+        ks.append(_wavevector_array(energies, seg.potential_j, seg.mass_kg))
+        masses.append(seg.mass_kg)
+        widths.append(seg.width_m)
+    ks.append(
+        _wavevector_array(
+            energies, barrier.lead_potential_right_j, barrier.lead_mass_right_kg
+        )
+    )
+    masses.append(barrier.lead_mass_right_kg)
+    k_left, k_right = ks[0], ks[-1]
+
+    total = np.broadcast_to(np.eye(2, dtype=complex), (n, 2, 2)).copy()
+    interface = np.empty((n, 2, 2), dtype=complex)
+    for j in range(len(ks) - 1):
+        r = (ks[j + 1] * masses[j]) / (ks[j] * masses[j + 1])
+        half_plus = 0.5 * (1.0 + r)
+        half_minus = 0.5 * (1.0 - r)
+        interface[:, 0, 0] = half_plus
+        interface[:, 0, 1] = half_minus
+        interface[:, 1, 0] = half_minus
+        interface[:, 1, 1] = half_plus
+        if j + 1 < len(ks) - 1:
+            phase = ks[j + 1] * widths[j + 1]
+            step = interface.copy()
+            step[:, :, 0] *= np.exp(-1j * phase)[:, np.newaxis]
+            step[:, :, 1] *= np.exp(1j * phase)[:, np.newaxis]
+            total = total @ step
+        else:
+            total = total @ interface
+
+    m00 = total[:, 0, 0]
+    zero_m00 = m00 == 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_amplitude = 1.0 / np.where(zero_m00, 1.0, m00)
+        flux_ratio = (k_right.real / barrier.lead_mass_right_kg) / (
+            k_left.real / barrier.lead_mass_left_kg
+        )
+        t_prob = flux_ratio * np.abs(t_amplitude) ** 2
+    t_prob = np.where(zero_m00, 1.0, t_prob)
+    t_prob = np.where(np.isfinite(t_prob), t_prob, 0.0)
+    t_prob = np.clip(t_prob, 0.0, 1.0)
+    evanescent = (energies <= barrier.lead_potential_left_j) | (
+        energies <= barrier.lead_potential_right_j
+    )
+    t_prob = np.where(evanescent, 0.0, t_prob)
+    return t_prob.reshape(shape)
 
 
 def transmission_probability(barrier: PiecewiseBarrier, energy_j: float) -> float:

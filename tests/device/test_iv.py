@@ -81,3 +81,35 @@ class TestValidation:
     def test_rejects_bad_modes_per_volt(self, paper_device):
         with pytest.raises(ConfigurationError):
             ChannelIVModel(ThresholdModel(paper_device), modes_per_volt=0.0)
+
+
+class TestDrainCurrentBatch:
+    def test_matches_scalar_grid(self, iv):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        vgs = rng.uniform(0.0, 6.0, size=5)
+        vds = rng.uniform(0.0, 1.5, size=5)
+        charges = rng.uniform(-2e-16, 0.0, size=5)
+        batch = iv.drain_current_batch(vgs, vds, charges)
+        scalar = np.array(
+            [
+                iv.drain_current_a(float(g), float(d), float(q))
+                for g, d, q in zip(vgs, vds, charges)
+            ]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=0.0)
+
+    def test_broadcasts_read_grid(self, iv):
+        import numpy as np
+
+        vgs = np.linspace(1.0, 4.0, 4)[:, np.newaxis]
+        charges = np.array([0.0, -1e-16])
+        grid = iv.drain_current_batch(vgs, 0.5, charges)
+        assert grid.shape == (4, 2)
+
+    def test_rejects_negative_vds(self, iv):
+        import numpy as np
+
+        with pytest.raises(ConfigurationError):
+            iv.drain_current_batch(2.0, np.array([-0.1]), 0.0)

@@ -93,3 +93,74 @@ class TestValidation:
             RetentionModel(paper_device).simulate(
                 programmed_charge, duration_s=-1.0
             )
+
+
+class TestBatchRetention:
+    """The array-valued leakage integrator vs the scalar reference."""
+
+    def test_single_lane_is_bit_identical(self, paper_device, programmed_charge):
+        import numpy as np
+
+        model = RetentionModel(paper_device)
+        solo = model.simulate(
+            programmed_charge, duration_s=TEN_YEARS_S, n_samples=40
+        )
+        lane = model.simulate_batch(
+            [programmed_charge], duration_s=TEN_YEARS_S, n_samples=40
+        )[0]
+        np.testing.assert_array_equal(lane.t_s, solo.t_s)
+        np.testing.assert_array_equal(lane.charge_c, solo.charge_c)
+        assert lane.charge_after_10y_fraction == solo.charge_after_10y_fraction
+        assert lane.time_to_half_s == solo.time_to_half_s
+
+    def test_leakage_batch_matches_scalar(self, paper_device):
+        import numpy as np
+
+        model = RetentionModel(paper_device, trap_density_m2=1e14)
+        charges = np.linspace(-2e-16, -0.5e-16, 7)
+        batch = model.leakage_current_batch(charges)
+        scalar = np.array(
+            [model.leakage_current_a(float(q)) for q in charges]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=0.0)
+
+    def test_lanes_match_scalar_runs(self, paper_device, programmed_charge):
+        import numpy as np
+
+        model = RetentionModel(paper_device)
+        charges = np.array(
+            [programmed_charge, 0.5 * programmed_charge]
+        )
+        batch = model.simulate_batch(
+            charges, duration_s=TEN_YEARS_S, n_samples=40
+        )
+        for lane, q0 in zip(batch, charges):
+            solo = model.simulate(
+                float(q0), duration_s=TEN_YEARS_S, n_samples=40
+            )
+            assert lane.charge_after_10y_fraction == pytest.approx(
+                solo.charge_after_10y_fraction, rel=1e-5, abs=1e-8
+            )
+
+    def test_trapped_lanes_drain(self, paper_device, programmed_charge):
+        """Heavily trapped lanes fully discharge without stalling the
+        shared adaptive solve (the zero crossings are event-segmented)."""
+        import numpy as np
+
+        model = RetentionModel(paper_device, trap_density_m2=1e15)
+        charges = np.array(
+            [programmed_charge, 0.7 * programmed_charge, 0.4 * programmed_charge]
+        )
+        batch = model.simulate_batch(
+            charges, duration_s=TEN_YEARS_S, n_samples=40
+        )
+        for lane in batch:
+            assert abs(lane.charge_after_10y_fraction) < 1e-3
+
+    def test_rejects_zero_lane(self, paper_device, programmed_charge):
+        import numpy as np
+
+        with pytest.raises(ConfigurationError):
+            RetentionModel(paper_device).simulate_batch(
+                np.array([programmed_charge, 0.0])
+            )

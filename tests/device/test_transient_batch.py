@@ -1,0 +1,188 @@
+"""The array-valued transient integrator vs the scalar reference.
+
+Three contracts:
+
+* **Golden parity** -- a single lane through ``simulate_transient`` (and
+  therefore through the batch integrator's one-lane path) is
+  bit-identical to the historical scalar integration; the golden
+  snapshot suite depends on it.
+* **Vector accuracy** -- many lanes advanced as one adaptive vector
+  state agree with the per-lane solves to the ODE tolerance.
+* **RK4 bit-stability** -- fixed-step lanes are bit-identical no matter
+  how the batch is composed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.device import PROGRAM_BIAS, FloatingGateTransistor
+from repro.device.floating_gate import CompiledCellBank
+from repro.device.transient import (
+    simulate_transient,
+    simulate_transient_batch,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def device():
+    return FloatingGateTransistor()
+
+
+def _biases(voltages):
+    return tuple(
+        PROGRAM_BIAS.with_gate_voltage(float(v)) for v in voltages
+    )
+
+
+class TestCompiledCellBank:
+    def test_charge_derivative_matches_scalar_cells(self, device):
+        rng = np.random.default_rng(0)
+        voltages = rng.uniform(12.0, 18.0, size=6)
+        cells = [device.compiled(b) for b in _biases(voltages)]
+        bank = CompiledCellBank.from_cells(cells)
+        charges = rng.uniform(-2e-16, 1e-16, size=6)
+        vector = bank.charge_derivative(charges)
+        for i, cell in enumerate(cells):
+            assert vector[i] == pytest.approx(
+                cell.charge_derivative(float(charges[i])), rel=1e-9
+            )
+
+    def test_zero_voltage_lane_is_zero(self, device):
+        cell = device.compiled(PROGRAM_BIAS.with_gate_voltage(0.0))
+        bank = CompiledCellBank.from_cells([cell])
+        state = bank.tunneling_state_batch(np.array([0.0]))
+        assert state.jin_a_m2[0] == 0.0
+        assert state.jout_a_m2[0] == 0.0
+
+    def test_trajectory_broadcast(self, device):
+        cells = [device.compiled(b) for b in _biases([14.0, 16.0])]
+        bank = CompiledCellBank.from_cells(cells)
+        trajectory = np.zeros((5, 2))  # (n_samples, n_lanes)
+        state = bank.tunneling_state_batch(trajectory)
+        assert state.jin_a_m2.shape == (5, 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CompiledCellBank.from_cells([])
+
+
+class TestGoldenParity:
+    def test_single_lane_is_bit_identical(self, device):
+        """One batch lane == the scalar simulate_transient, bit for bit."""
+        solo = simulate_transient(
+            device, PROGRAM_BIAS, duration_s=1e-3, n_samples=48
+        )
+        batch = simulate_transient_batch(
+            device, (PROGRAM_BIAS,), duration_s=1e-3, n_samples=48
+        )
+        lane = batch.results[0]
+        np.testing.assert_array_equal(lane.t_s, solo.t_s)
+        np.testing.assert_array_equal(lane.charge_c, solo.charge_c)
+        np.testing.assert_array_equal(lane.vfg_v, solo.vfg_v)
+        np.testing.assert_array_equal(lane.jin_a_m2, solo.jin_a_m2)
+        np.testing.assert_array_equal(lane.jout_a_m2, solo.jout_a_m2)
+        assert lane.q_equilibrium_c == solo.q_equilibrium_c
+        assert lane.t_sat_s == solo.t_sat_s
+
+
+class TestVectorAccuracy:
+    def test_lanes_match_per_lane_solves(self, device):
+        voltages = [14.0, 15.0, 16.0, 17.0]
+        batch = simulate_transient_batch(
+            device, _biases(voltages), duration_s=1e-3, n_samples=32
+        )
+        assert batch.n_lanes == 4
+        for i, bias in enumerate(_biases(voltages)):
+            solo = simulate_transient(
+                device, bias, duration_s=1e-3, n_samples=32
+            )
+            assert batch.results[i].final_charge_c == pytest.approx(
+                solo.final_charge_c, rel=1e-6
+            )
+            assert batch.q_equilibrium_c[i] == pytest.approx(
+                solo.q_equilibrium_c, rel=1e-12
+            )
+
+    def test_initial_charges_broadcast(self, device):
+        q0 = -1e-16
+        batch = simulate_transient_batch(
+            device,
+            _biases([15.0, 16.0]),
+            initial_charges_c=q0,
+            duration_s=1e-4,
+            n_samples=16,
+        )
+        np.testing.assert_allclose(batch.charge_c[:, 0], q0, rtol=0.0)
+
+    def test_per_lane_initial_charges(self, device):
+        q0 = np.array([-1e-16, -2e-16])
+        batch = simulate_transient_batch(
+            device,
+            _biases([15.0, 15.0]),
+            initial_charges_c=q0,
+            duration_s=1e-4,
+            n_samples=16,
+        )
+        np.testing.assert_allclose(batch.charge_c[:, 0], q0, rtol=0.0)
+
+    def test_t_sat_monotone_in_voltage(self, device):
+        batch = simulate_transient_batch(
+            device, _biases([15.0, 17.0]), duration_s=1e-2, n_samples=64
+        )
+        assert np.all(np.isfinite(batch.t_sat_s))
+        assert batch.t_sat_s[1] < batch.t_sat_s[0]
+
+
+class TestRk4:
+    def test_lane_composition_bit_stable(self, device):
+        """An RK4 lane is bit-identical alone or inside any batch."""
+        voltages = [14.0, 15.5, 17.0]
+        full = simulate_transient_batch(
+            device,
+            _biases(voltages),
+            duration_s=1e-3,
+            n_samples=24,
+            method="rk4",
+        )
+        for i, v in enumerate(voltages):
+            alone = simulate_transient_batch(
+                device,
+                _biases([v]),
+                duration_s=1e-3,
+                n_samples=24,
+                method="rk4",
+            )
+            np.testing.assert_array_equal(
+                full.charge_c[i], alone.charge_c[0]
+            )
+
+    def test_rk4_tracks_adaptive_result(self, device):
+        biases = _biases([15.0, 16.0])
+        adaptive = simulate_transient_batch(
+            device, biases, duration_s=1e-3, n_samples=24
+        )
+        fixed = simulate_transient_batch(
+            device, biases, duration_s=1e-3, n_samples=24, method="rk4"
+        )
+        np.testing.assert_allclose(
+            fixed.charge_c[:, -1], adaptive.charge_c[:, -1], rtol=1e-4
+        )
+
+
+class TestValidation:
+    def test_rejects_empty_biases(self, device):
+        with pytest.raises(ConfigurationError):
+            simulate_transient_batch(device, ())
+
+    def test_rejects_unknown_method(self, device):
+        with pytest.raises(ConfigurationError):
+            simulate_transient_batch(
+                device, (PROGRAM_BIAS,), method="euler"
+            )
+
+    def test_rejects_too_few_rk4_steps(self, device):
+        with pytest.raises(ConfigurationError):
+            simulate_transient_batch(
+                device, (PROGRAM_BIAS,), method="rk4", rk4_steps=4
+            )

@@ -189,3 +189,75 @@ class TestDesignScreen:
         vgs, xto = screen.best_point()
         assert vgs == 20.0
         assert xto == 4.0
+
+
+class TestTransientSweepIntegrators:
+    def test_vector_matches_per_lane(self, device):
+        vec = transient_sweep(
+            device,
+            PROGRAM_BIAS,
+            [14.0, 16.0],
+            duration_s=1e-3,
+            n_samples=24,
+            integrator="vector",
+        )
+        per = transient_sweep(
+            device,
+            PROGRAM_BIAS,
+            [14.0, 16.0],
+            duration_s=1e-3,
+            n_samples=24,
+            integrator="per-lane",
+        )
+        np.testing.assert_allclose(
+            vec.final_charge_c, per.final_charge_c, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            vec.q_equilibrium_c, per.q_equilibrium_c, rtol=1e-12
+        )
+
+    def test_rk4_matches_vector(self, device):
+        vec = transient_sweep(
+            device,
+            PROGRAM_BIAS,
+            [15.0, 17.0],
+            duration_s=1e-3,
+            n_samples=24,
+            integrator="vector",
+        )
+        rk4 = transient_sweep(
+            device,
+            PROGRAM_BIAS,
+            [15.0, 17.0],
+            duration_s=1e-3,
+            n_samples=24,
+            integrator="rk4",
+        )
+        np.testing.assert_allclose(
+            rk4.final_charge_c, vec.final_charge_c, rtol=1e-4
+        )
+
+    def test_single_voltage_stays_bit_identical(self, device):
+        """A one-lane sweep rides the golden-parity scalar path."""
+        sweep = transient_sweep(
+            device,
+            PROGRAM_BIAS,
+            [15.0],
+            duration_s=1e-3,
+            n_samples=24,
+        )
+        solo = simulate_transient(
+            device,
+            PROGRAM_BIAS.with_gate_voltage(15.0),
+            duration_s=1e-3,
+            n_samples=24,
+        )
+        np.testing.assert_array_equal(
+            sweep.results[0].charge_c, solo.charge_c
+        )
+
+    def test_unknown_integrator_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            transient_sweep(
+                device, PROGRAM_BIAS, [15.0], integrator="magic"
+            )

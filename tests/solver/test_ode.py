@@ -84,3 +84,54 @@ class TestFailure:
                 [1.0],
                 method="RK45",
             )
+
+
+class TestRk4:
+    def test_exponential_decay_accuracy(self):
+        import numpy as np
+
+        from repro.solver import integrate_rk4
+
+        grid = np.linspace(0.0, 1.0, 201)
+        result = integrate_rk4(lambda t, y: -y, grid, [1.0])
+        assert result.y[0, -1] == pytest.approx(math.exp(-1.0), rel=1e-9)
+
+    def test_vector_lanes_advance_independently(self):
+        """Elementwise RHS lanes are bit-identical alone or stacked."""
+        import numpy as np
+
+        from repro.solver import integrate_rk4
+
+        rates = np.array([-1.0, -2.0, -0.5])
+        grid = np.geomspace(1e-3, 1.0, 101)
+        grid = np.concatenate([[0.0], grid])
+        stacked = integrate_rk4(
+            lambda t, y: rates * y, grid, np.ones(3)
+        )
+        for i, rate in enumerate(rates):
+            alone = integrate_rk4(
+                lambda t, y, r=rate: r * y, grid, [1.0]
+            )
+            np.testing.assert_array_equal(stacked.y[i], alone.y[0])
+
+    def test_rejects_bad_grids(self):
+        import numpy as np
+
+        from repro.solver import integrate_rk4
+
+        with pytest.raises(ConvergenceError):
+            integrate_rk4(lambda t, y: y, np.array([0.0]), [1.0])
+        with pytest.raises(ConvergenceError):
+            integrate_rk4(lambda t, y: y, np.array([0.0, 0.0]), [1.0])
+
+    def test_divergence_raises(self):
+        import numpy as np
+
+        from repro.solver import integrate_rk4
+
+        with np.errstate(over="ignore"), pytest.raises(ConvergenceError):
+            integrate_rk4(
+                lambda t, y: y * y,
+                np.linspace(0.0, 10.0, 11),
+                [10.0],
+            )

@@ -1,0 +1,193 @@
+"""Parity of the batched WKB kernels against the scalar reference.
+
+Randomized barriers, energies and masses: every lane of
+``wkb_action_batch`` must agree with a scalar ``wkb_action`` call at
+<= 1e-9 relative tolerance (in practice the two paths are bit-identical
+-- they evaluate the same samples in the same order).
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import ELECTRON_MASS, ELEMENTARY_CHARGE
+from repro.errors import ConfigurationError
+from repro.solver import (
+    wkb_action,
+    wkb_action_batch,
+    wkb_transmission,
+    wkb_transmission_batch,
+)
+from repro.solver.wkb import sample_potential
+from repro.units import ev_to_j, nm_to_m
+
+RTOL = 1e-9
+
+
+def _random_barrier(rng):
+    """A random trapezoidal barrier profile plus its geometry."""
+    height_j = ev_to_j(rng.uniform(1.0, 4.5))
+    width_m = nm_to_m(rng.uniform(1.0, 8.0))
+    slope = ELEMENTARY_CHARGE * rng.uniform(0.0, 2e9)
+
+    def profile(x):
+        return height_j - slope * x
+
+    return profile, height_j, width_m
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_action_matches_scalar_lanes(self, seed):
+        rng = np.random.default_rng(seed)
+        profile, height_j, width_m = _random_barrier(rng)
+        mass = rng.uniform(0.1, 1.0) * ELECTRON_MASS
+        energies = rng.uniform(0.0, 1.2 * height_j, size=17)
+        batch = wkb_action_batch(
+            profile, energies, mass, 0.0, width_m, n_points=301
+        )
+        scalar = np.array(
+            [
+                wkb_action(profile, float(e), mass, 0.0, width_m, n_points=301)
+                for e in energies
+            ]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=RTOL, atol=0.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_transmission_matches_scalar_lanes(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        profile, height_j, width_m = _random_barrier(rng)
+        mass = rng.uniform(0.1, 1.0) * ELECTRON_MASS
+        energies = rng.uniform(0.0, height_j, size=9)
+        batch = wkb_transmission_batch(
+            profile, energies, mass, 0.0, width_m, n_points=201
+        )
+        scalar = np.array(
+            [
+                wkb_transmission(
+                    profile, float(e), mass, 0.0, width_m, n_points=201
+                )
+                for e in energies
+            ]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=RTOL, atol=0.0)
+
+    def test_random_masses_broadcast(self):
+        rng = np.random.default_rng(7)
+        profile, height_j, width_m = _random_barrier(rng)
+        energies = rng.uniform(0.0, height_j, size=5)
+        masses = rng.uniform(0.1, 1.0, size=5) * ELECTRON_MASS
+        batch = wkb_action_batch(
+            profile, energies, masses, 0.0, width_m, n_points=201
+        )
+        for i in range(5):
+            scalar = wkb_action(
+                profile,
+                float(energies[i]),
+                float(masses[i]),
+                0.0,
+                width_m,
+                n_points=201,
+            )
+            assert batch[i] == pytest.approx(scalar, rel=RTOL)
+
+
+class TestVectorizedPotentialProtocol:
+    def test_batched_barrier_grid(self):
+        """A (bias, energy) grid from one vectorized potential call."""
+        height_j = ev_to_j(3.5)
+        width_m = nm_to_m(5.0)
+        slopes = ELEMENTARY_CHARGE * np.linspace(0.5e9, 1.5e9, 4)
+
+        def profiles(xs):
+            return height_j - slopes[:, np.newaxis, np.newaxis] * xs
+
+        energies = ev_to_j(np.linspace(0.0, 1.0, 6))
+        grid = wkb_action_batch(
+            profiles, energies, ELECTRON_MASS, 0.0, width_m, n_points=101
+        )
+        assert grid.shape == (4, 6)
+        for i, slope in enumerate(slopes):
+            for j, energy in enumerate(energies):
+                scalar = wkb_action(
+                    lambda x, s=slope: height_j - s * x,
+                    float(energy),
+                    ELECTRON_MASS,
+                    0.0,
+                    width_m,
+                    n_points=101,
+                )
+                assert grid[i, j] == pytest.approx(scalar, rel=RTOL)
+
+    def test_scalar_only_callable_falls_back(self):
+        """A potential that rejects arrays still evaluates correctly."""
+        import math
+
+        height_j = ev_to_j(3.0)
+        width_m = nm_to_m(3.0)
+
+        def scalar_only(x):
+            return height_j * math.exp(-x / width_m)
+
+        energies = ev_to_j(np.array([0.1, 0.4]))
+        batch = wkb_action_batch(
+            scalar_only, energies, ELECTRON_MASS, 0.0, width_m, n_points=101
+        )
+        scalar = np.array(
+            [
+                wkb_action(
+                    scalar_only,
+                    float(e),
+                    ELECTRON_MASS,
+                    0.0,
+                    width_m,
+                    n_points=101,
+                )
+                for e in energies
+            ]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_constant_scalar_return_means_constant_potential(self):
+        height_j = ev_to_j(2.0)
+        xs = np.linspace(0.0, 1.0, 11)
+        sampled = sample_potential(lambda x: height_j, xs)
+        np.testing.assert_array_equal(sampled, np.full(11, height_j))
+
+    def test_scalar_energy_returns_float(self):
+        value = wkb_action_batch(
+            lambda x: ev_to_j(2.0),
+            ev_to_j(0.5),
+            ELECTRON_MASS,
+            0.0,
+            nm_to_m(2.0),
+            n_points=101,
+        )
+        assert isinstance(value, float)
+        assert value == pytest.approx(
+            wkb_action(
+                lambda x: ev_to_j(2.0),
+                ev_to_j(0.5),
+                ELECTRON_MASS,
+                0.0,
+                nm_to_m(2.0),
+                n_points=101,
+            ),
+            rel=RTOL,
+        )
+
+
+class TestValidation:
+    def test_rejects_reversed_limits(self):
+        with pytest.raises(ConfigurationError):
+            wkb_action_batch(lambda x: 1.0, 0.0, ELECTRON_MASS, 1.0, 0.0)
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ConfigurationError):
+            wkb_action_batch(lambda x: 1.0, 0.0, 0.0, 0.0, 1.0)
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            wkb_action_batch(
+                lambda x: 1.0, 0.0, ELECTRON_MASS, 0.0, 1.0, n_points=2
+            )

@@ -164,3 +164,41 @@ def test_api_guide_covers_the_executor():
         "--workers",
     ):
         assert needle in text, f"docs/API.md does not mention {needle!r}"
+
+
+def test_api_guide_covers_the_solver_backend():
+    """docs/API.md documents the batched kernel contracts end to end."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert "Numerical solver backend" in text
+    for needle in (
+        "wkb_action_batch",
+        "transmission_probability_batch",
+        "simulate_transient_batch",
+        "current_density_scalar_reference",
+        "integrate_rk4",
+        "Scalar-fallback protocol",
+        "RK4",
+        "BENCH_results.json",
+    ):
+        assert needle in text, f"docs/API.md does not mention {needle!r}"
+
+
+def test_architecture_covers_the_solver_backend():
+    """docs/ARCHITECTURE.md explains the vectorized numerical layer."""
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    assert "Numerical solver backend" in text
+    for needle in (
+        "wkb_action_batch",
+        "transmission_probability_batch",
+        "simulate_transient_batch",
+        "CompiledCellBank",
+        "vectorized-potential protocol",
+        "lband=uband=0",
+        "integrate_rk4",
+        "bit-stable",
+    ):
+        assert needle in text, (
+            f"docs/ARCHITECTURE.md does not mention {needle!r}"
+        )

@@ -63,3 +63,42 @@ class TestValidation:
     def test_rejects_negative_field(self, barrier):
         with pytest.raises(ConfigurationError):
             TrapAssistedModel(barrier).current_density(-1e8)
+
+
+class TestBatchParity:
+    """The vectorized field path against the scalar trapezoid loop."""
+
+    def test_matches_scalar_over_random_fields(self, barrier):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        model = TrapAssistedModel(barrier, trap_density_m2=1e14)
+        fields = rng.uniform(0.0, 2e9, size=12)
+        batch = model.current_density_batch(fields)
+        scalar = np.array(
+            [model.current_density(float(f)) for f in fields]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=0.0)
+
+    def test_zero_density_shortcut(self, barrier):
+        import numpy as np
+
+        model = TrapAssistedModel(barrier, trap_density_m2=0.0)
+        np.testing.assert_array_equal(
+            model.current_density_batch(np.array([1e8, 1e9])), np.zeros(2)
+        )
+
+    def test_shape_preserved(self, barrier):
+        import numpy as np
+
+        model = TrapAssistedModel(barrier)
+        fields = np.full((2, 3), 8e8)
+        assert model.current_density_batch(fields).shape == (2, 3)
+
+    def test_rejects_negative_fields(self, barrier):
+        import numpy as np
+
+        with pytest.raises(ConfigurationError):
+            TrapAssistedModel(barrier).current_density_batch(
+                np.array([1e8, -1.0])
+            )

@@ -1,5 +1,6 @@
 """Tsu-Esaki numerical current vs the FN closed form."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -72,6 +73,70 @@ class TestCurrent:
         j1 = te.current_density_from_voltage(7.0)
         j2 = te.current_density_from_voltage(9.0)
         assert j2 > j1
+
+
+class TestVectorizedParity:
+    """The batched energy integral against the retained scalar loop."""
+
+    @pytest.mark.parametrize("method", ["wkb", "transfer_matrix"])
+    def test_current_matches_scalar_reference(self, barrier, method):
+        te = TsuEsakiModel(barrier, method=method, n_energy=48, n_slabs=24)
+        for v_ox in (-9.0, 0.0, 7.0, 10.0):
+            assert te.current_density_from_voltage(v_ox) == pytest.approx(
+                te.current_density_scalar_reference(v_ox), rel=1e-9, abs=0.0
+            )
+
+    @pytest.mark.parametrize("method", ["wkb", "transfer_matrix"])
+    def test_batch_matches_per_voltage(self, barrier, method):
+        te = TsuEsakiModel(barrier, method=method, n_energy=48, n_slabs=24)
+        voltages = np.array([-8.0, 0.0, 6.5, 9.0])
+        batch = te.current_density_batch(voltages)
+        per_voltage = np.array(
+            [te.current_density_from_voltage(float(v)) for v in voltages]
+        )
+        np.testing.assert_allclose(
+            batch, per_voltage, rtol=1e-9, atol=0.0
+        )
+
+    @pytest.mark.parametrize("method", ["wkb", "transfer_matrix"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomized_barriers(self, method, seed):
+        rng = np.random.default_rng(seed)
+        random_barrier = TunnelBarrier(
+            barrier_height_ev=float(rng.uniform(2.0, 4.5)),
+            thickness_m=nm_to_m(float(rng.uniform(2.0, 7.0))),
+            mass_ratio=float(rng.uniform(0.2, 0.8)),
+        )
+        te = TsuEsakiModel(
+            random_barrier, method=method, n_energy=32, n_slabs=16
+        )
+        v_ox = float(rng.uniform(5.0, 11.0))
+        assert te.current_density_from_voltage(v_ox) == pytest.approx(
+            te.current_density_scalar_reference(v_ox), rel=1e-9
+        )
+
+    def test_transmission_batch_matches_scalar(self, barrier):
+        te = TsuEsakiModel(barrier, n_slabs=24)
+        energies = np.linspace(0.01, 0.4, 11)
+        batch = te.transmission_batch(energies, 9.0)
+        scalar = np.array(
+            [te.transmission(float(e), 9.0) for e in energies]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=0.0)
+
+    def test_supply_batch_matches_scalar(self, barrier):
+        te = TsuEsakiModel(barrier)
+        energies = np.linspace(0.01, 0.5, 7)
+        batch = te.supply_function_batch(energies, 9.0)
+        scalar = np.array(
+            [te.supply_function(float(e), 9.0) for e in energies]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12, atol=0.0)
+
+    def test_transmission_batch_rejects_negative_bias(self, barrier):
+        te = TsuEsakiModel(barrier)
+        with pytest.raises(ConfigurationError):
+            te.transmission_batch(np.array([0.2]), -1.0)
 
 
 class TestValidation:
