@@ -14,8 +14,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..constants import ELEMENTARY_CHARGE, HBAR
 from ..errors import ConfigurationError
+from ..solver.wkb import wkb_action_batch
 from ..units import ev_to_j
 from .barriers import TunnelBarrier
 
@@ -98,3 +101,60 @@ class TrapAssistedModel:
             return 0.0
         rate = self.attempt_rate_hz * t_in * t_out / (t_in + t_out)
         return ELEMENTARY_CHARGE * self.trap_density_m2 * rate
+
+    def _half_barrier_transparency_batch(
+        self, x_from: float, x_to: float, fields_v_per_m: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`_half_barrier_transparency` over a field array.
+
+        The half-barrier action of every field lane falls out of one
+        :func:`~repro.solver.wkb.wkb_action_batch` trapezoid over the
+        ``(n_fields, n_points)`` local-barrier grid.
+        """
+        phi_j = self.barrier.barrier_height_j
+        trap_j = ev_to_j(self.trap_depth_ev)
+        slopes = ELEMENTARY_CHARGE * fields_v_per_m
+
+        def local_barrier(x_m):
+            return phi_j - slopes[:, np.newaxis] * x_m - (phi_j - trap_j)
+
+        action = wkb_action_batch(
+            local_barrier,
+            0.0,
+            self.barrier.mass_kg,
+            x_from,
+            x_to,
+            n_points=201,
+        )
+        return np.exp(-2.0 * np.asarray(action))
+
+    def current_density_batch(self, fields_v_per_m) -> np.ndarray:
+        """Vectorized :meth:`current_density` over an array of fields.
+
+        One pair of batched half-barrier WKB actions replaces the
+        per-field Python trapezoid loops; element ``i`` agrees with the
+        scalar path at ``fields_v_per_m[i]`` to ~1e-12 relative (the
+        scalar loop and ``np.trapezoid`` sum the same samples in a
+        different order). Used by the batched retention integrator.
+        """
+        fields = np.asarray(fields_v_per_m, dtype=float)
+        if np.any(fields < 0.0):
+            raise ConfigurationError("field magnitude must be non-negative")
+        shape = fields.shape
+        if self.trap_density_m2 == 0.0:
+            return np.zeros(shape)
+        flat = fields.reshape(-1)
+        x_t = self.trap_position_fraction * self.barrier.thickness_m
+        t_in = self._half_barrier_transparency_batch(0.0, x_t, flat)
+        t_out = self._half_barrier_transparency_batch(
+            x_t, self.barrier.thickness_m, flat
+        )
+        t_sum = t_in + t_out
+        rate = self.attempt_rate_hz * np.divide(
+            t_in * t_out,
+            t_sum,
+            out=np.zeros_like(t_sum),
+            where=t_sum > 0.0,
+        )
+        current = ELEMENTARY_CHARGE * self.trap_density_m2 * rate
+        return current.reshape(shape)
