@@ -140,9 +140,23 @@ def _benchmark_timings(session) -> "dict[str, dict]":
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Append this run's record to BENCH_results.json (history capped)."""
+    """Record this run in BENCH_results.json (deduped, history capped).
+
+    Two hygiene rules keep the perf trajectory honest:
+
+    * runs with an empty ``timings`` table are never appended -- a
+      selection that collected no pytest-benchmark rows (e.g. a lone
+      speedup-gate invocation) would otherwise pollute the history
+      with partial records;
+    * re-runs on the same commit *merge into* the earlier record
+      instead of stacking next to it (fresh measurements win per test
+      / per gate, tests the re-run did not touch keep their earlier
+      numbers), so each commit contributes exactly one data point to
+      the trajectory and a partial local re-run can never erase a full
+      CI record.
+    """
     timings = _benchmark_timings(session)
-    if not timings and not _SPEEDUPS:
+    if not timings:
         return
     record = {
         "commit": _current_commit(),
@@ -163,7 +177,26 @@ def pytest_sessionfinish(session, exitstatus):
                 history = loaded
         except (OSError, json.JSONDecodeError):
             pass
-    history["runs"] = (history["runs"] + [record])[-MAX_RUNS:]
+    kept = []
+    same_commit = []
+    for run in history["runs"]:
+        if (
+            isinstance(run, dict)
+            and run.get("commit") == record["commit"]
+            and record["commit"] != "unknown"
+        ):
+            same_commit.append(run)
+        else:
+            kept.append(run)
+    # Merge newest-last so fresher numbers always win: earlier records
+    # for this commit (oldest first, then this run's measurements).
+    for table in ("timings", "speedups"):
+        merged: dict = {}
+        for run in same_commit:
+            merged.update(run.get(table) or {})
+        merged.update(record[table])
+        record[table] = dict(sorted(merged.items()))
+    history["runs"] = (kept + [record])[-MAX_RUNS:]
     RESULTS_PATH.write_text(
         json.dumps(history, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",

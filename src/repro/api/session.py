@@ -241,6 +241,28 @@ class SimulationContext:
             device = device.with_gate_coupling_ratio(gcr)
         return device
 
+    def endurance_model(
+        self,
+        pulse_duration_s: float = 1e-4,
+        tunnel_oxide_nm: "float | None" = None,
+        gcr: "float | None" = None,
+    ):
+        """A cycling wear model for the session-configured device.
+
+        Builds an :class:`~repro.reliability.endurance.EnduranceModel`
+        around :meth:`device` (with the same optional geometry
+        overrides), so the reliability experiments construct their wear
+        models the same declarative way they construct devices. The
+        returned model's ``simulate_batch`` is the batched entry point
+        for whole endurance corner sweeps.
+        """
+        from ..reliability.endurance import EnduranceModel
+
+        return EnduranceModel(
+            self.device(tunnel_oxide_nm=tunnel_oxide_nm, gcr=gcr),
+            pulse_duration_s=pulse_duration_s,
+        )
+
     def sweep_settings(
         self,
         barrier_height_ev: "float | None" = None,

@@ -7,7 +7,9 @@ self-consistent Poisson-Schrodinger channel model.
 
 from .band_diagram import (
     BandDiagram,
+    BandDiagramBatch,
     build_band_diagram,
+    build_band_diagram_batch,
     oxide_fields_v_per_m,
     stored_charge_sheet_density,
 )
@@ -27,13 +29,17 @@ from .gcr import (
     threshold_shift_v,
 )
 from .poisson_schrodinger import (
+    ChannelWellBatchSolution,
     ChannelWellSolution,
     solve_channel_well,
+    solve_channel_well_batch,
     triangular_well_levels_ev,
 )
 from .stack import (
+    FloatingGateCapacitanceBatch,
     FloatingGateCapacitances,
     build_capacitances,
+    build_capacitances_batch,
     build_capacitances_layered,
 )
 
@@ -44,7 +50,9 @@ __all__ = [
     "parallel",
     "fringe_factor",
     "FloatingGateCapacitances",
+    "FloatingGateCapacitanceBatch",
     "build_capacitances",
+    "build_capacitances_batch",
     "build_capacitances_layered",
     "TerminalVoltages",
     "floating_gate_voltage",
@@ -53,10 +61,14 @@ __all__ = [
     "charge_for_floating_gate_voltage",
     "threshold_shift_v",
     "BandDiagram",
+    "BandDiagramBatch",
     "build_band_diagram",
+    "build_band_diagram_batch",
     "oxide_fields_v_per_m",
     "stored_charge_sheet_density",
     "ChannelWellSolution",
+    "ChannelWellBatchSolution",
     "solve_channel_well",
+    "solve_channel_well_batch",
     "triangular_well_levels_ev",
 ]

@@ -17,7 +17,11 @@ from ..constants import ELEMENTARY_CHARGE
 from ..errors import ConfigurationError
 from ..materials.base import DielectricMaterial
 from ..solver.grid import nonuniform_grid
-from ..solver.poisson import PoissonProblem1D, solve_poisson_1d
+from ..solver.poisson import (
+    PoissonProblem1D,
+    solve_poisson_1d,
+    solve_poisson_1d_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -143,6 +147,132 @@ def build_band_diagram(
         + ("control_oxide",) * grid_co.n
     )
     return BandDiagram(
+        x_m=x_all, conduction_band_ev=band_all, region_labels=labels
+    )
+
+
+@dataclass(frozen=True)
+class BandDiagramBatch:
+    """Band diagrams of one stack under a batch of bias lanes.
+
+    Attributes
+    ----------
+    x_m:
+        Node positions shared by every lane [m].
+    conduction_band_ev:
+        Conduction-band profiles, shape ``(n_lanes, n_nodes)`` [eV].
+    region_labels:
+        One label per node (shared across lanes).
+    """
+
+    x_m: np.ndarray = field(repr=False)
+    conduction_band_ev: np.ndarray = field(repr=False)
+    region_labels: "tuple[str, ...]" = field(repr=False, default=())
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of bias lanes."""
+        return int(self.conduction_band_ev.shape[0])
+
+    def lane(self, index: int) -> BandDiagram:
+        """One lane's diagram in the scalar result form."""
+        return BandDiagram(
+            x_m=self.x_m,
+            conduction_band_ev=self.conduction_band_ev[index],
+            region_labels=self.region_labels,
+        )
+
+    def barrier_peak_ev(self) -> np.ndarray:
+        """Per-lane highest conduction-band energy [eV]."""
+        return np.max(self.conduction_band_ev, axis=1)
+
+    def tunnel_distance_at_fermi_m(self) -> np.ndarray:
+        """Per-lane classically forbidden length at E = 0 [m]."""
+        forbidden = self.conduction_band_ev > 0.0
+        dx = np.diff(self.x_m)
+        mid_forbidden = forbidden[:, :-1] & forbidden[:, 1:]
+        return np.sum(dx[np.newaxis, :] * mid_forbidden, axis=1)
+
+
+def build_band_diagram_batch(
+    tunnel_dielectric: DielectricMaterial,
+    control_dielectric: DielectricMaterial,
+    tunnel_thickness_m: float,
+    control_thickness_m: float,
+    floating_gate_thickness_m: float,
+    channel_barrier_ev: float,
+    gate_barrier_ev: float,
+    floating_gate_voltages_v,
+    control_gate_voltages_v,
+    nodes_per_layer: int = 120,
+) -> BandDiagramBatch:
+    """Assemble band diagrams for a batch of bias lanes in one pass.
+
+    The geometry and barrier parameters are as
+    :func:`build_band_diagram` and shared by every lane;
+    ``floating_gate_voltages_v`` / ``control_gate_voltages_v`` are
+    broadcast together into the lane axis. Each oxide's charge-free
+    Poisson problem is solved for every lane at once through
+    :func:`~repro.solver.poisson.solve_poisson_1d_batch` (one stacked-
+    RHS banded solve per oxide instead of two tridiagonal solves per
+    bias point), so lane ``i`` matches the scalar build at ``1e-9``.
+    """
+    if tunnel_thickness_m <= 0 or control_thickness_m <= 0:
+        raise ConfigurationError("oxide thicknesses must be positive")
+    if floating_gate_thickness_m <= 0:
+        raise ConfigurationError("floating-gate thickness must be positive")
+    vfg, vcg = np.broadcast_arrays(
+        np.asarray(floating_gate_voltages_v, dtype=float),
+        np.asarray(control_gate_voltages_v, dtype=float),
+    )
+    vfg = vfg.reshape(-1)
+    vcg = vcg.reshape(-1)
+    if vfg.size == 0:
+        raise ConfigurationError("need at least one bias lane")
+    n_lanes = vfg.size
+
+    x0 = 0.0
+    x1 = tunnel_thickness_m
+    x2 = x1 + floating_gate_thickness_m
+    x3 = x2 + control_thickness_m
+
+    grid_to = nonuniform_grid([x0, x1], [nodes_per_layer])
+    eps_to = np.full(grid_to.n - 1, tunnel_dielectric.permittivity_f_per_m)
+    sol_to = solve_poisson_1d_batch(
+        grid_to,
+        eps_to,
+        np.zeros((n_lanes, grid_to.n)),
+        0.0,
+        vfg,
+    )
+    grid_co = nonuniform_grid([x2, x3], [nodes_per_layer])
+    eps_co = np.full(grid_co.n - 1, control_dielectric.permittivity_f_per_m)
+    sol_co = solve_poisson_1d_batch(
+        grid_co,
+        eps_co,
+        np.zeros((n_lanes, grid_co.n)),
+        vfg,
+        vcg,
+    )
+
+    band_to = channel_barrier_ev - sol_to.potential
+    n_fg = max(nodes_per_layer // 4, 8)
+    x_fg = np.linspace(x1, x2, n_fg)
+    band_fg = np.broadcast_to(-vfg[:, np.newaxis], (n_lanes, n_fg))
+    band_co = (
+        gate_barrier_ev
+        - vfg[:, np.newaxis]
+        + (sol_co.potential[:, :1] - sol_co.potential)
+    )
+
+    x_all = np.concatenate([grid_to.points, x_fg, grid_co.points])
+    band_all = np.concatenate([band_to, band_fg, band_co], axis=1)
+    labels = (
+        ("tunnel_oxide",) * grid_to.n
+        + ("floating_gate",) * n_fg
+        + ("control_oxide",) * grid_co.n
+    )
+    return BandDiagramBatch(
         x_m=x_all, conduction_band_ev=band_all, region_labels=labels
     )
 

@@ -12,7 +12,9 @@ together with the stored charge determines the floating-gate potential
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from ..materials.base import DielectricMaterial
@@ -137,6 +139,117 @@ def build_capacitances(
         tunnel_oxide_thickness_m,
     )
     return FloatingGateCapacitances(cfc=cfc, cfs=cfs, cfb=cfb, cfd=cfd)
+
+
+@dataclass(frozen=True)
+class FloatingGateCapacitanceBatch:
+    """Stacked eq. (2) networks, one lane per geometry point.
+
+    The batch mirror of :class:`FloatingGateCapacitances`: each
+    attribute is an array with one entry per lane, and the derived
+    ratios are computed with exactly the scalar formulas, elementwise.
+    """
+
+    cfc: np.ndarray = field(repr=False)
+    cfs: np.ndarray = field(repr=False)
+    cfb: np.ndarray = field(repr=False)
+    cfd: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        arrays = [
+            np.asarray(getattr(self, name), dtype=float).reshape(-1)
+            for name in ("cfc", "cfs", "cfb", "cfd")
+        ]
+        shape = np.broadcast_shapes(*(a.shape for a in arrays))
+        for name, arr in zip(("cfc", "cfs", "cfb", "cfd"), arrays):
+            if np.any(arr <= 0.0):
+                raise ConfigurationError(f"{name} must be positive everywhere")
+            object.__setattr__(self, name, np.broadcast_to(arr, shape))
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of stacked networks."""
+        return int(self.cfc.size)
+
+    @property
+    def total(self) -> np.ndarray:
+        """Per-lane ``C_T`` (paper eq. (2)) [F]."""
+        return self.cfc + self.cfs + self.cfb + self.cfd
+
+    @property
+    def gate_coupling_ratio(self) -> np.ndarray:
+        """Per-lane ``GCR = C_FC / C_T``."""
+        return self.cfc / self.total
+
+    @property
+    def drain_coupling_ratio(self) -> np.ndarray:
+        """Per-lane ``DCR = C_FD / C_T``."""
+        return self.cfd / self.total
+
+    def lane(self, index: int) -> FloatingGateCapacitances:
+        """One lane's network in the scalar result form."""
+        return FloatingGateCapacitances(
+            cfc=float(self.cfc[index]),
+            cfs=float(self.cfs[index]),
+            cfb=float(self.cfb[index]),
+            cfd=float(self.cfd[index]),
+        )
+
+
+def build_capacitances_batch(
+    control_dielectric: DielectricMaterial,
+    tunnel_dielectric: DielectricMaterial,
+    control_oxide_thicknesses_m,
+    tunnel_oxide_thicknesses_m,
+    channel_areas_m2,
+    control_gate_area_multiplier: float = 3.0,
+    source_overlap_fraction: float = 0.125,
+    drain_overlap_fraction: float = 0.125,
+) -> FloatingGateCapacitanceBatch:
+    """Build eq. (2) networks for a whole geometry sweep at once.
+
+    The array mirror of :func:`build_capacitances`: the three geometry
+    arguments broadcast together into the lane axis, every lane is
+    validated with the scalar rules (including the X_CO > X_TO
+    constraint), and each lane's capacitances equal the scalar builder's
+    to round-off -- the formulas already evaluate elementwise through
+    :func:`~repro.electrostatics.capacitance.parallel_plate_capacitance`.
+    """
+    if control_gate_area_multiplier <= 0.0:
+        raise ConfigurationError("area multiplier must be positive")
+    if source_overlap_fraction < 0.0 or drain_overlap_fraction < 0.0:
+        raise ConfigurationError("overlap fractions cannot be negative")
+    xco, xto, area = np.broadcast_arrays(
+        np.asarray(control_oxide_thicknesses_m, dtype=float),
+        np.asarray(tunnel_oxide_thicknesses_m, dtype=float),
+        np.asarray(channel_areas_m2, dtype=float),
+    )
+    xco = xco.reshape(-1)
+    xto = xto.reshape(-1)
+    area = area.reshape(-1)
+    if xco.size == 0:
+        raise ConfigurationError("need at least one geometry lane")
+    if np.any(xco <= xto):
+        raise ConfigurationError(
+            "the control oxide must be thicker than the tunnel oxide "
+            "(paper Section III: X_CO > X_TO keeps Jout << Jin)"
+        )
+    cfc = parallel_plate_capacitance(
+        control_dielectric.relative_permittivity,
+        area * control_gate_area_multiplier,
+        xco,
+    )
+    cfb = parallel_plate_capacitance(
+        tunnel_dielectric.relative_permittivity, area, xto
+    )
+    eps_t = tunnel_dielectric.relative_permittivity
+    cfs = parallel_plate_capacitance(
+        eps_t, np.maximum(area * source_overlap_fraction, 1e-30), xto
+    )
+    cfd = parallel_plate_capacitance(
+        eps_t, np.maximum(area * drain_overlap_fraction, 1e-30), xto
+    )
+    return FloatingGateCapacitanceBatch(cfc=cfc, cfs=cfs, cfb=cfb, cfd=cfd)
 
 
 def build_capacitances_layered(

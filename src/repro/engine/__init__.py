@@ -20,7 +20,9 @@ from .batch import (
     BatchSpec,
     DesignScreen,
     TransientSweepResult,
+    channel_well_sweep,
     design_screen,
+    endurance_sweep,
     fn_batch,
     transient_sweep,
     tunneling_states,
@@ -44,6 +46,8 @@ __all__ = [
     "transient_sweep",
     "DesignScreen",
     "design_screen",
+    "channel_well_sweep",
+    "endurance_sweep",
     "CacheSet",
     "CacheStats",
     "active_caches",

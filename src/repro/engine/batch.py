@@ -368,6 +368,61 @@ class DesignScreen:
         )
 
 
+def channel_well_sweep(
+    surface_fields_v_per_m,
+    sheet_density_m2,
+    **solver_options,
+):
+    """Self-consistent channel-well solutions for a whole bias sweep.
+
+    The engine entry point of the batched Poisson-Schrodinger backend:
+    forwards to
+    :func:`~repro.electrostatics.poisson_schrodinger.solve_channel_well_batch`,
+    which advances every surface-field lane through one vectorized
+    damped self-consistency loop (batched eigenlevel kernel, vectorized
+    Fermi bisection, stacked-RHS Poisson solves, per-lane convergence
+    masks). ``solver_options`` are the scalar solver's keyword
+    parameters (``n_nodes``, ``n_subbands``, ``temperature_k``, ...);
+    each lane matches ``solve_channel_well`` at <= 1e-9. See
+    ``benchmarks/test_bench_poisson_schrodinger.py`` for the gated
+    speedup.
+    """
+    from ..electrostatics.poisson_schrodinger import solve_channel_well_batch
+
+    return solve_channel_well_batch(
+        surface_fields_v_per_m, sheet_density_m2, **solver_options
+    )
+
+
+def endurance_sweep(
+    device: FloatingGateTransistor,
+    n_cycles: int,
+    n_samples: int = 60,
+    pulse_duration_s: float = 1e-4,
+    **corner_lanes,
+):
+    """Endurance wear trajectories for a whole corner sweep at once.
+
+    The engine entry point of the recurrence-based endurance kernel:
+    builds one :class:`~repro.reliability.endurance.EnduranceModel`
+    for ``device``, runs the two representative stress transients once,
+    and evaluates every wear-law corner lane (``corner_lanes`` are the
+    per-lane arrays of
+    :meth:`~repro.reliability.endurance.EnduranceModel.simulate_batch`,
+    e.g. ``trapped_charge_fractions=...`` or
+    ``peak_fields_v_per_m=...``) through the closed-form kernel in one
+    vectorized evaluation. Each lane matches a scalar
+    ``simulate_scalar_reference`` run at <= 1e-9; see
+    ``benchmarks/test_bench_endurance.py`` for the gated speedup.
+    """
+    from ..reliability.endurance import EnduranceModel
+
+    model = EnduranceModel(device, pulse_duration_s=pulse_duration_s)
+    return model.simulate_batch(
+        n_cycles, n_samples=n_samples, **corner_lanes
+    )
+
+
 def design_screen(
     program_voltages_v,
     tunnel_oxides_nm,

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..api.session import SimulationContext, ensure_context
 from ..electrostatics.capacitance import capacitance_per_area
-from ..materials.graphene import MultilayerGraphene
+from ..materials.graphene import multilayer_quantum_capacitance_batch
 from ..materials.oxides import SIO2
 from ..reporting.ascii_plot import PlotSeries
 from ..tunneling.barriers import TunnelBarrier
@@ -114,17 +114,15 @@ def run_quantum_capacitance(
     c_fc = geometric_gcr * rest / (1.0 - geometric_gcr)
 
     layers = np.arange(1, max_layers + 1)
-    effective_gcr = np.empty(layers.size)
-    for i, n in enumerate(layers):
-        mlg = MultilayerGraphene(int(n))
-        cq = mlg.quantum_capacitance_f_m2(
-            channel_potential_v=channel_potential_v
-        )
-        # The FG's finite DOS appears in series with *every* geometric
-        # capacitance touching the floating gate.
-        c_fc_eff = c_fc * cq / (c_fc + cq)
-        rest_eff = rest * cq / (rest + cq)
-        effective_gcr[i] = c_fc_eff / (c_fc_eff + rest_eff)
+    # One batched quantum-capacitance evaluation for the whole layer
+    # sweep; the FG's finite DOS appears in series with *every*
+    # geometric capacitance touching the floating gate.
+    cq = multilayer_quantum_capacitance_batch(
+        layers, channel_potential_v=channel_potential_v
+    )
+    c_fc_eff = c_fc * cq / (c_fc + cq)
+    rest_eff = rest * cq / (rest + cq)
+    effective_gcr = c_fc_eff / (c_fc_eff + rest_eff)
 
     series = (
         PlotSeries(

@@ -46,6 +46,9 @@ _SPECS: "dict[str, str]" = {
     "cmp-che": f"{_PACKAGE}.comparisons:run_che_comparison",
     "device-summary": f"{_PACKAGE}.summary:run",
     "erase-transient": f"{_PACKAGE}.erase_transient:run",
+    "rel-endurance": f"{_PACKAGE}.reliability:run_endurance",
+    "rel-bake": f"{_PACKAGE}.reliability:run_bake",
+    "rel-silc": f"{_PACKAGE}.reliability:run_silc",
 }
 
 _RESOLVED: "dict[str, Runner]" = {}
@@ -58,17 +61,18 @@ _RESOLVED: "dict[str, Runner]" = {}
 #: Values are **measured**, not hand-tuned: best-of-3 default-parameter
 #: wall clock on a warm session, normalized to the median cheap figure
 #: sweep (regenerate with ``python benchmarks/measure_costs.py`` after
-#: performance work; last measured after the vectorized quantum-solver
-#: backend landed, which roughly halved abl-wkb and shifted the
-#: transient-heavy balance).
+#: performance work; last measured after the batched electrostatics +
+#: reliability backend landed, which added the rel-* experiments and
+#: trimmed device-summary's endurance share).
 _COST_HINTS: "dict[str, float]" = {
-    "abl-wkb": 200.0,  # batched Tsu-Esaki transfer-matrix integrals
-    "device-summary": 110.0,  # program + erase transients + retention
-    "cmp-si": 22.0,  # two full device transients + leakage
+    "abl-wkb": 198.0,  # batched Tsu-Esaki transfer-matrix integrals
+    "device-summary": 103.0,  # program + erase transients + retention
+    "cmp-si": 23.0,  # two full device transients + leakage
+    "rel-endurance": 18.0,  # shared stress transients + wear kernel
     "erase-transient": 10.0,  # program equilibrium + erase transient
-    "fig5": 7.0,  # transient sampling
-    "cmp-che": 6.5,
-    "fig4": 5.0,  # transient sampling
+    "fig5": 7.5,  # transient sampling
+    "cmp-che": 6.7,
+    "fig4": 4.5,  # transient sampling
     "fig2": 3.0,  # band-diagram assembly
 }
 

@@ -1,0 +1,232 @@
+"""Reliability experiments (DESIGN.md rel-*): the paper's warning, quantified.
+
+The paper's conclusion warns that the tunneling currents that make the
+cell fast "severely damage the oxide's reliability". These experiments
+turn that sentence into curves through the batched reliability backend:
+
+* ``rel-endurance`` -- memory-window closure and Q_BD life over cycling
+  for a corner sweep of trapped-charge fractions, one closed-form
+  kernel call for the whole sweep
+  (:meth:`~repro.reliability.endurance.EnduranceModel.simulate_batch`).
+* ``rel-bake``      -- the JEDEC-style retention-bake acceleration
+  table over a bake-temperature grid (vectorized Arrhenius law).
+* ``rel-silc``      -- stress-induced leakage at retention fields over
+  an injected-fluence grid
+  (:func:`~repro.reliability.silc.silc_current_density_batch`).
+
+All three accept the session-API protocol (``run(ctx, **params)``)
+with grid-range and corner overrides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..api.session import SimulationContext, ensure_context
+from ..reliability.bake import ArrheniusAcceleration
+from ..reliability.silc import silc_current_density_batch
+from ..reporting.ascii_plot import PlotSeries
+from ..tunneling.barriers import TunnelBarrier
+from ..units import nm_to_m
+from .base import ExperimentResult, ShapeCheck
+
+
+def run_endurance(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_cycles: int = 100_000,
+    n_samples: int = 40,
+    pulse_duration_s: float = 1e-4,
+    trapped_charge_fractions: "tuple[float, ...]" = (0.02, 0.05, 0.10),
+) -> ExperimentResult:
+    """rel-endurance: window closure across a trapped-charge corner sweep."""
+    ctx = ensure_context(ctx)
+    fractions = np.asarray(trapped_charge_fractions, dtype=float)
+    model = ctx.endurance_model(pulse_duration_s=pulse_duration_s)
+    batch = model.simulate_batch(
+        n_cycles,
+        n_samples=n_samples,
+        trapped_charge_fractions=fractions,
+    )
+    series = tuple(
+        PlotSeries(
+            label=f"window closure, {fractions[i]:.0%} traps charged",
+            x=batch.cycle_counts,
+            y=batch.window_closure_v[i],
+        )
+        for i in range(batch.n_lanes)
+    )
+    cycles_bd = float(batch.cycles_to_breakdown[0])
+    closure_end = batch.window_closure_v[:, -1]
+    checks = (
+        ShapeCheck(
+            claim="window closure grows monotonically with cycling "
+            "(trap generation never anneals in the model)",
+            passed=bool(
+                np.all(np.diff(batch.window_closure_v, axis=1) > 0.0)
+            ),
+            detail=f"final closures {np.array2string(closure_end, precision=3)} V",
+        ),
+        ShapeCheck(
+            claim="closure scales linearly with the trapped-charge "
+            "fraction (same trap population, different occupancy)",
+            passed=bool(
+                np.allclose(
+                    closure_end / fractions,
+                    closure_end[0] / fractions[0],
+                    rtol=1e-9,
+                )
+            ),
+            detail="closure/fraction constant across the corner sweep",
+        ),
+        ShapeCheck(
+            claim="the cell survives the flash endurance range "
+            "(>= 1e4 cycles to Q_BD exhaustion)",
+            passed=cycles_bd >= 1e4,
+            detail=f"{cycles_bd:.2e} cycles to breakdown",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="rel-endurance",
+        title="Endurance window closure (trapped-charge corner sweep)",
+        x_label="program/erase cycles",
+        y_label="window closure [V]",
+        series=series,
+        parameters={
+            "n_cycles": n_cycles,
+            "pulse_duration_s": pulse_duration_s,
+            "cycles_to_breakdown": cycles_bd,
+            "life_consumed_at_end": float(batch.life_consumed[0, -1]),
+        },
+        checks=checks,
+    )
+
+
+def run_bake(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_points: int = 12,
+    bake_temperature_range_k: "tuple[float, float]" = (398.15, 523.15),
+    activation_energy_ev: float = 1.1,
+    use_temperature_k: float = 328.15,
+) -> ExperimentResult:
+    """rel-bake: ten-year-equivalent bake duration vs bake temperature."""
+    ctx = ensure_context(ctx)
+    model = ArrheniusAcceleration(
+        activation_energy_ev=activation_energy_ev,
+        use_temperature_k=use_temperature_k,
+    )
+    temperatures = np.linspace(*bake_temperature_range_k, n_points)
+    hours = model.ten_year_bake_hours(temperatures)
+    factors = model.acceleration_factor(temperatures)
+    series = (
+        PlotSeries(
+            label=f"10-year bake, Ea = {activation_energy_ev:g} eV",
+            x=temperatures,
+            y=hours,
+        ),
+    )
+    checks = (
+        ShapeCheck(
+            claim="hot bakes accelerate retention loss (AF > 1 above "
+            "the use temperature)",
+            passed=bool(np.all(factors > 1.0)),
+            detail=f"AF spans {factors[0]:.1f} .. {factors[-1]:.2e}",
+        ),
+        ShapeCheck(
+            claim="the required bake shrinks monotonically with "
+            "temperature (Arrhenius)",
+            passed=bool(np.all(np.diff(hours) < 0.0)),
+            detail=f"{hours[0]:.3g} h at {temperatures[0]:.0f} K -> "
+            f"{hours[-1]:.3g} h at {temperatures[-1]:.0f} K",
+        ),
+        ShapeCheck(
+            claim="a 250 C bake emulates ten years within practical "
+            "qualification time (under a month)",
+            passed=bool(hours[-1] < 24.0 * 31.0),
+            detail=f"{hours[-1]:.1f} h at {temperatures[-1]:.0f} K",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="rel-bake",
+        title="Ten-year retention bake equivalence (Arrhenius)",
+        x_label="bake temperature [K]",
+        y_label="bake duration [h]",
+        series=series,
+        parameters={
+            "activation_energy_ev": activation_energy_ev,
+            "use_temperature_k": use_temperature_k,
+        },
+        checks=checks,
+    )
+
+
+def run_silc(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_points: int = 12,
+    fluence_range_c_per_m2: "tuple[float, float]" = (1e2, 1e6),
+    retention_fields_mv_per_cm: "tuple[float, ...]" = (4.0, 6.0),
+    barrier_height_ev: float = 3.61,
+    tunnel_oxide_nm: float = 5.0,
+    mass_ratio: float = 0.42,
+) -> ExperimentResult:
+    """rel-silc: stress-induced leakage vs injected fluence."""
+    ctx = ensure_context(ctx)
+    barrier = TunnelBarrier(
+        barrier_height_ev=barrier_height_ev,
+        thickness_m=nm_to_m(tunnel_oxide_nm),
+        mass_ratio=mass_ratio,
+    )
+    fluences = np.geomspace(*fluence_range_c_per_m2, n_points)
+    fields = np.asarray(retention_fields_mv_per_cm, dtype=float) * 1e8
+    grid = silc_current_density_batch(
+        barrier, fields[:, np.newaxis], fluences[np.newaxis, :]
+    )
+    series = tuple(
+        PlotSeries(
+            label=f"J_SILC at {retention_fields_mv_per_cm[i]:g} MV/cm",
+            x=fluences,
+            y=grid[i],
+        )
+        for i in range(fields.size)
+    )
+    # Log-log slope of the *generated* part approaches alpha once the
+    # generated traps dominate the pre-existing population.
+    slope = float(
+        np.log(grid[0, -1] / grid[0, -2])
+        / np.log(fluences[-1] / fluences[-2])
+    )
+    checks = (
+        ShapeCheck(
+            claim="SILC grows sub-linearly with injected fluence "
+            "(power-law trap generation, alpha < 1)",
+            passed=bool(
+                np.all(np.diff(grid, axis=1) > 0.0) and 0.0 < slope < 1.0
+            ),
+            detail=f"high-fluence log-log slope {slope:.2f}",
+        ),
+        ShapeCheck(
+            claim="leakage rises steeply with the retention field "
+            "(trap-assisted conduction)",
+            passed=bool(np.all(grid[-1] > grid[0])),
+            detail=(
+                f"J({retention_fields_mv_per_cm[-1]:g} MV/cm) / "
+                f"J({retention_fields_mv_per_cm[0]:g} MV/cm) = "
+                f"{grid[-1, -1] / grid[0, -1]:.2e}"
+            ),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="rel-silc",
+        title="Stress-induced leakage vs injected fluence",
+        x_label="injected fluence [C/m^2]",
+        y_label="J_SILC [A/m^2]",
+        series=series,
+        parameters={
+            "barrier_ev": barrier_height_ev,
+            "xto_nm": tunnel_oxide_nm,
+            "high_fluence_slope": slope,
+        },
+        checks=checks,
+    )

@@ -7,8 +7,10 @@ endurance of the reference MLGNR-CNT cell, each cross-checked against
 the behaviour the paper describes.
 
 Overrides (session API): ``gcr`` / ``tunnel_oxide_nm`` summarise an
-alternative cell; ``program_duration_s``, ``endurance_cycles`` and
-``endurance_pulse_s`` tune how much work the record spends.
+alternative cell; ``program_duration_s``, ``endurance_cycles``,
+``endurance_pulse_s`` and ``endurance_samples`` tune how much work the
+record spends (``endurance_samples`` sets how many cycle counts the
+wear curve is sampled at, formerly a hard-coded 10).
 """
 
 from __future__ import annotations
@@ -20,7 +22,6 @@ from ..device.memory_window import saturated_memory_window
 from ..device.retention import RetentionModel
 from ..device.threshold import ThresholdModel
 from ..device.transient import equilibrium_charge, simulate_transient
-from ..reliability.endurance import EnduranceModel
 from ..reporting.ascii_plot import PlotSeries
 from .base import ExperimentResult, ShapeCheck
 
@@ -36,6 +37,7 @@ def run(
     program_duration_s: float = 1e-2,
     endurance_cycles: int = 10_000,
     endurance_pulse_s: float = 1e-4,
+    endurance_samples: int = 10,
 ) -> ExperimentResult:
     """Assemble the reference cell's figure-of-merit record."""
     ctx = ensure_context(ctx)
@@ -49,9 +51,11 @@ def run(
     q_program = equilibrium_charge(device, program_bias)
     window = saturated_memory_window(threshold)
     retention = RetentionModel(device).simulate(q_program, n_samples=60)
-    endurance = EnduranceModel(
-        device, pulse_duration_s=endurance_pulse_s
-    ).simulate(endurance_cycles, n_samples=10)
+    endurance = ctx.endurance_model(
+        pulse_duration_s=endurance_pulse_s,
+        tunnel_oxide_nm=tunnel_oxide_nm,
+        gcr=gcr,
+    ).simulate(endurance_cycles, n_samples=endurance_samples)
 
     metrics = {
         "gcr": device.gate_coupling_ratio,

@@ -20,6 +20,7 @@ from .graphene import (
     graphene_dos_per_j_m2,
     graphene_quantum_capacitance_f_m2,
     graphene_sheet_density_m2,
+    multilayer_quantum_capacitance_batch,
 )
 from .metals import (
     ALL_METALS,
@@ -60,6 +61,7 @@ __all__ = [
     "graphene_dos_per_j_m2",
     "graphene_sheet_density_m2",
     "graphene_quantum_capacitance_f_m2",
+    "multilayer_quantum_capacitance_batch",
     "GrapheneNanoribbon",
     "semiconducting_ribbon",
     "CarbonNanotube",

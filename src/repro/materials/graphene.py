@@ -75,6 +75,39 @@ def graphene_quantum_capacitance_f_m2(
     return float(prefactor * log_term)
 
 
+def multilayer_quantum_capacitance_batch(
+    layer_counts,
+    channel_potential_v: float,
+    temperature_k: float = 300.0,
+    screening_length_layers: float = 1.2,
+) -> np.ndarray:
+    """Quantum capacitance of a whole layer-count sweep [F/m^2].
+
+    The batched form of
+    :meth:`MultilayerGraphene.quantum_capacitance_f_m2`: the monolayer
+    capacitance is evaluated once and scaled by the screening-weighted
+    effective layer count of every requested stack, with the weight
+    sums read off one cumulative sum instead of one Python-level
+    object construction and reduction per layer count. Element ``i``
+    matches the scalar path for ``layer_counts[i]`` at <= 1e-9.
+    """
+    counts = np.asarray(layer_counts, dtype=int).reshape(-1)
+    if counts.size == 0:
+        raise ConfigurationError("need at least one layer count")
+    if np.any(counts < 1):
+        raise ConfigurationError("need at least one graphene layer")
+    if screening_length_layers <= 0.0:
+        raise ConfigurationError("screening length must be positive")
+    mono = graphene_quantum_capacitance_f_m2(
+        channel_potential_v, temperature_k
+    )
+    weights = np.exp(
+        -np.arange(int(counts.max())) / screening_length_layers
+    )
+    effective = np.cumsum(weights)[counts - 1]
+    return mono * effective
+
+
 @dataclass(frozen=True)
 class MultilayerGraphene:
     """A stack of ``n_layers`` graphene sheets used as gate or channel.

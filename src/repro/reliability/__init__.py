@@ -2,23 +2,47 @@
 
 Quantifies the paper's concluding warning -- "higher tunneling current
 will severely damage the oxide's reliability" -- with the standard
-empirical wear-out models of the flash literature.
+empirical wear-out models of the flash literature. Every law evaluates
+elementwise over temperature / fluence / field grids, and the wear
+trajectories of whole endurance corner sweeps come out of one
+closed-form batch kernel (the seed's per-cycle loop is retained as
+the ``simulate_scalar_reference`` parity path).
 """
 
 from .bake import ArrheniusAcceleration
 from .breakdown import BreakdownModel
-from .endurance import EnduranceModel, EnduranceResult
-from .silc import TrapGenerationModel, silc_current_density
-from .stress import StressAccumulator, StressRecord, stress_of_pulse
+from .endurance import (
+    EnduranceBatchResult,
+    EnduranceModel,
+    EnduranceResult,
+    sampled_cycle_counts,
+)
+from .silc import (
+    TrapGenerationModel,
+    silc_current_density,
+    silc_current_density_batch,
+)
+from .stress import (
+    StressAccumulator,
+    StressBatch,
+    StressRecord,
+    stress_of_pulse,
+    stress_of_pulse_batch,
+)
 
 __all__ = [
     "StressRecord",
+    "StressBatch",
     "StressAccumulator",
     "stress_of_pulse",
+    "stress_of_pulse_batch",
     "BreakdownModel",
     "ArrheniusAcceleration",
     "TrapGenerationModel",
     "silc_current_density",
+    "silc_current_density_batch",
     "EnduranceModel",
     "EnduranceResult",
+    "EnduranceBatchResult",
+    "sampled_cycle_counts",
 ]

@@ -1,0 +1,20 @@
+"""Scalar-or-array return convention shared by the reliability laws.
+
+Every empirical law in this package evaluates elementwise, so the
+vectorized entry points follow the house convention of
+:mod:`repro.electrostatics.capacitance`: array inputs broadcast to an
+array result, while all-scalar inputs keep returning a plain float so
+existing scalar callers (and their ``float`` expectations) are
+untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_scalar_or_array(value, *inputs):
+    """Return ``value`` as a float when every input was a scalar."""
+    if all(np.isscalar(x) for x in inputs):
+        return float(value)
+    return value

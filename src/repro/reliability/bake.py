@@ -13,15 +13,22 @@ with activation energies around 1.1 eV for charge-loss mechanisms in
 floating-gate flash (JEDEC JESD22-A117 tradition). The module converts
 between bake time and equivalent use time and derives pass/fail bake
 durations for a ten-year retention target.
+
+All conversions evaluate elementwise: a bake-temperature (or bake-time)
+grid returns the whole acceleration table in one call, while all-scalar
+calls keep returning floats -- the batched reliability backend's shared
+convention.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..constants import BOLTZMANN, ELEMENTARY_CHARGE
 from ..errors import ConfigurationError
+from ._vectorize import as_scalar_or_array
 
 #: Ten years in seconds (retention qualification target).
 TEN_YEARS_S = 10.0 * 365.25 * 24.0 * 3600.0
@@ -48,38 +55,55 @@ class ArrheniusAcceleration:
         if self.use_temperature_k <= 0.0:
             raise ConfigurationError("use temperature must be positive")
 
-    def acceleration_factor(self, bake_temperature_k: float) -> float:
-        """AF between the bake and use temperatures (> 1 for hot bakes)."""
-        if bake_temperature_k <= 0.0:
+    def acceleration_factor(self, bake_temperature_k):
+        """AF between the bake and use temperatures (> 1 for hot bakes).
+
+        Scalar or ndarray bake temperature; a temperature grid returns
+        the whole AF curve in one vectorized evaluation.
+        """
+        temp = np.asarray(bake_temperature_k, dtype=float)
+        if np.any(temp <= 0.0):
             raise ConfigurationError("bake temperature must be positive")
         ea_j = self.activation_energy_ev * ELEMENTARY_CHARGE
-        return math.exp(
-            ea_j
-            / BOLTZMANN
-            * (1.0 / self.use_temperature_k - 1.0 / bake_temperature_k)
+        af = np.exp(
+            ea_j / BOLTZMANN * (1.0 / self.use_temperature_k - 1.0 / temp)
         )
+        return as_scalar_or_array(af, bake_temperature_k)
 
-    def equivalent_use_time_s(
-        self, bake_time_s: float, bake_temperature_k: float
-    ) -> float:
-        """Use-condition time simulated by a bake [s]."""
-        if bake_time_s < 0.0:
+    def equivalent_use_time_s(self, bake_time_s, bake_temperature_k):
+        """Use-condition time simulated by a bake [s].
+
+        Scalars or ndarrays; time and temperature broadcast together
+        (a time column against a temperature row yields the full
+        equivalence grid).
+        """
+        time = np.asarray(bake_time_s, dtype=float)
+        if np.any(time < 0.0):
             raise ConfigurationError("bake time cannot be negative")
-        return bake_time_s * self.acceleration_factor(bake_temperature_k)
+        result = time * self.acceleration_factor(bake_temperature_k)
+        return as_scalar_or_array(result, bake_time_s, bake_temperature_k)
 
-    def bake_time_for_target_s(
-        self, target_use_time_s: float, bake_temperature_k: float
-    ) -> float:
-        """Bake duration that emulates a target use time [s]."""
-        if target_use_time_s <= 0.0:
+    def bake_time_for_target_s(self, target_use_time_s, bake_temperature_k):
+        """Bake duration that emulates a target use time [s].
+
+        Scalars or ndarrays, broadcast together.
+        """
+        target = np.asarray(target_use_time_s, dtype=float)
+        if np.any(target <= 0.0):
             raise ConfigurationError("target time must be positive")
-        return target_use_time_s / self.acceleration_factor(
-            bake_temperature_k
+        result = target / self.acceleration_factor(bake_temperature_k)
+        return as_scalar_or_array(
+            result, target_use_time_s, bake_temperature_k
         )
 
-    def ten_year_bake_hours(self, bake_temperature_k: float) -> float:
-        """Hours of bake equivalent to ten years at use temperature."""
-        return (
+    def ten_year_bake_hours(self, bake_temperature_k):
+        """Hours of bake equivalent to ten years at use temperature.
+
+        Scalar or ndarray bake temperature (the qualification curve in
+        one call).
+        """
+        result = (
             self.bake_time_for_target_s(TEN_YEARS_S, bake_temperature_k)
             / 3600.0
         )
+        return as_scalar_or_array(result, bake_temperature_k)

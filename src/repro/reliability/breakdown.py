@@ -12,15 +12,23 @@ Two classic empirical laws:
 Both are calibrated to the conventional SiO2 numbers (Q_BD ~ 10^3-10^4
 C/cm^2 at low field, G ~ 350 MV/cm) and exposed with explicit
 parameters so other dielectrics can be fitted.
+
+Every law evaluates elementwise: pass a field / fluence grid (any
+broadcastable shapes) and the result comes back as an array, while
+all-scalar calls keep returning floats -- the convention the batched
+reliability backend shares with
+:mod:`repro.electrostatics.capacitance`.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from ..units import mv_per_cm_to_v_per_m
+from ._vectorize import as_scalar_or_array
 
 
 @dataclass(frozen=True)
@@ -55,37 +63,57 @@ class BreakdownModel:
         if self.tau0_s <= 0.0:
             raise ConfigurationError("tau0 must be positive")
 
-    def charge_to_breakdown_c_per_m2(self, field_v_per_m: float) -> float:
-        """Q_BD at a stress field [C/m^2] (exponential field acceleration)."""
-        if field_v_per_m <= 0.0:
+    def charge_to_breakdown_c_per_m2(self, field_v_per_m):
+        """Q_BD at a stress field [C/m^2] (exponential field acceleration).
+
+        Scalar or ndarray field; array inputs return the Q_BD grid.
+        """
+        field = np.asarray(field_v_per_m, dtype=float)
+        if np.any(field <= 0.0):
             raise ConfigurationError("field must be positive")
         decades = self.qbd_field_slope_decades_per_v_per_m * (
-            field_v_per_m - self.qbd_reference_field_v_per_m
+            field - self.qbd_reference_field_v_per_m
         )
-        return self.qbd_reference_c_per_m2 * 10.0 ** (-decades)
+        return as_scalar_or_array(
+            self.qbd_reference_c_per_m2 * 10.0 ** (-decades), field_v_per_m
+        )
 
-    def time_to_breakdown_s(self, field_v_per_m: float) -> float:
-        """1/E-model DC time to breakdown [s]."""
-        if field_v_per_m <= 0.0:
+    def time_to_breakdown_s(self, field_v_per_m):
+        """1/E-model DC time to breakdown [s] (scalar or ndarray field)."""
+        field = np.asarray(field_v_per_m, dtype=float)
+        if np.any(field <= 0.0):
             raise ConfigurationError("field must be positive")
-        return self.tau0_s * math.exp(self.g_v_per_m / field_v_per_m)
+        return as_scalar_or_array(
+            self.tau0_s * np.exp(self.g_v_per_m / field), field_v_per_m
+        )
 
-    def life_consumed_fraction(
-        self, fluence_c_per_m2: float, field_v_per_m: float
-    ) -> float:
-        """Fraction of the Q_BD budget consumed by a fluence at a field."""
-        if fluence_c_per_m2 < 0.0:
+    def life_consumed_fraction(self, fluence_c_per_m2, field_v_per_m):
+        """Fraction of the Q_BD budget consumed by a fluence at a field.
+
+        Scalars or ndarrays; fluence and field broadcast together, so a
+        ``(n_fluence, 1)`` column against a ``(n_field,)`` row yields
+        the full wear grid in one call.
+        """
+        fluence = np.asarray(fluence_c_per_m2, dtype=float)
+        if np.any(fluence < 0.0):
             raise ConfigurationError("fluence cannot be negative")
-        return fluence_c_per_m2 / self.charge_to_breakdown_c_per_m2(
-            field_v_per_m
+        qbd = self.charge_to_breakdown_c_per_m2(field_v_per_m)
+        return as_scalar_or_array(
+            fluence / qbd, fluence_c_per_m2, field_v_per_m
         )
 
     def cycles_to_breakdown(
-        self, fluence_per_cycle_c_per_m2: float, field_v_per_m: float
-    ) -> float:
-        """Program/erase cycles until the Q_BD budget is exhausted."""
-        if fluence_per_cycle_c_per_m2 <= 0.0:
+        self, fluence_per_cycle_c_per_m2, field_v_per_m
+    ):
+        """Program/erase cycles until the Q_BD budget is exhausted.
+
+        Scalars or ndarrays (broadcast together, one lane per stress
+        condition).
+        """
+        per_cycle = np.asarray(fluence_per_cycle_c_per_m2, dtype=float)
+        if np.any(per_cycle <= 0.0):
             raise ConfigurationError("per-cycle fluence must be positive")
-        return self.charge_to_breakdown_c_per_m2(field_v_per_m) / (
-            fluence_per_cycle_c_per_m2
+        qbd = self.charge_to_breakdown_c_per_m2(field_v_per_m)
+        return as_scalar_or_array(
+            qbd / per_cycle, fluence_per_cycle_c_per_m2, field_v_per_m
         )

@@ -9,6 +9,18 @@ Cycles the cell and tracks the three wear-out observables:
 This implements, quantitatively, the tradeoff the paper's conclusion
 states qualitatively: raising the programming voltage speeds up the
 cell but burns through the oxide's fluence budget faster.
+
+The wear laws are history-independent to first order (every cycle
+injects the same fluence), so the whole trajectory collapses to a
+closed form in the accumulated fluence ``F_k = f_cycle * k`` -- the
+recurrence ``N_{t,k} = N_pre + (N_{t,k-1} - N_pre) * (k / (k-1))^alpha``
+telescopes to the power law evaluated directly. :meth:`EnduranceModel.
+simulate` therefore evaluates every sampled cycle count in one
+vectorized kernel; the seed's per-cycle Python loop is retained as
+:meth:`EnduranceModel.simulate_scalar_reference`, the 1e-9 parity
+reference. :meth:`EnduranceModel.simulate_batch` stacks whole corner
+sweeps (wear-law and stress lanes) over the same kernel, amortizing
+the two stress transients every scalar call must pay.
 """
 
 from __future__ import annotations
@@ -17,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..constants import ELEMENTARY_CHARGE
 from ..device.bias import BiasCondition, ERASE_BIAS, PROGRAM_BIAS
 from ..device.floating_gate import FloatingGateTransistor
 from ..errors import ConfigurationError
@@ -58,6 +71,68 @@ class EnduranceResult:
 
 
 @dataclass(frozen=True)
+class EnduranceBatchResult:
+    """Stacked wear trajectories, one lane per endurance condition.
+
+    Attributes
+    ----------
+    cycle_counts:
+        Sampled cycle numbers, shape ``(n_samples,)``, shared by every
+        lane.
+    trap_density_m2, life_consumed, window_closure_v:
+        Per-lane wear observables, shape ``(n_lanes, n_samples)``.
+    cycles_to_breakdown:
+        Per-lane extrapolated cycles to Q_BD exhaustion,
+        shape ``(n_lanes,)``.
+    """
+
+    cycle_counts: np.ndarray = field(repr=False)
+    trap_density_m2: np.ndarray = field(repr=False)
+    life_consumed: np.ndarray = field(repr=False)
+    window_closure_v: np.ndarray = field(repr=False)
+    cycles_to_breakdown: np.ndarray = field(repr=False)
+
+    @property
+    def n_lanes(self) -> int:
+        """Number of stacked endurance conditions."""
+        return int(self.trap_density_m2.shape[0])
+
+    def lane(self, index: int) -> EnduranceResult:
+        """One lane's trajectory in the scalar result form."""
+        return EnduranceResult(
+            cycle_counts=self.cycle_counts,
+            trap_density_m2=self.trap_density_m2[index],
+            life_consumed=self.life_consumed[index],
+            window_closure_v=self.window_closure_v[index],
+            cycles_to_breakdown=float(self.cycles_to_breakdown[index]),
+        )
+
+    def cycles_until(self, max_window_closure_v: float) -> np.ndarray:
+        """Per-lane first sampled cycle exceeding a closure budget.
+
+        Lanes that never exceed the budget report NaN.
+        """
+        over = self.window_closure_v >= max_window_closure_v
+        first = np.argmax(over, axis=1)
+        hit = np.any(over, axis=1)
+        return np.where(hit, self.cycle_counts[first], np.nan)
+
+
+def sampled_cycle_counts(n_cycles: int, n_samples: int) -> np.ndarray:
+    """The geometric cycle-count sampling shared by every wear path.
+
+    ``n_samples`` points geometrically spaced over ``1..n_cycles``,
+    uniqued after integer truncation -- exactly the sampling the seed
+    loop used, factored out so the scalar reference, the vectorized
+    kernel and the batch API all agree on where the wear curve is
+    evaluated.
+    """
+    if n_cycles < 1:
+        raise ConfigurationError("need at least one cycle")
+    return np.unique(np.geomspace(1, n_cycles, n_samples).astype(int))
+
+
+@dataclass(frozen=True)
 class EnduranceModel:
     """Cycling wear model for one cell.
 
@@ -90,23 +165,19 @@ class EnduranceModel:
         if self.pulse_duration_s <= 0.0:
             raise ConfigurationError("pulse duration must be positive")
 
-    def simulate(
+    def cycle_stress(
         self,
-        n_cycles: int,
         program_bias: BiasCondition = PROGRAM_BIAS,
         erase_bias: BiasCondition = ERASE_BIAS,
-        n_samples: int = 60,
-    ) -> EnduranceResult:
-        """Cycle the cell ``n_cycles`` times and sample the wear curve.
+    ) -> "tuple[float, float]":
+        """``(fluence_per_cycle, peak_field)`` of one program/erase cycle.
 
-        One representative program pulse and one erase pulse are
-        simulated exactly; their fluences are then replayed analytically
-        per cycle (FN stress is history-independent to first order, so
-        every cycle injects the same fluence).
+        One representative program pulse and one erase pulse (starting
+        from the programmed charge) are simulated exactly; FN stress is
+        history-independent to first order, so every cycle replays the
+        same fluence. This is the expensive, transient-integrating part
+        of an endurance run, shared by every wear lane of a batch.
         """
-        if n_cycles < 1:
-            raise ConfigurationError("need at least one cycle")
-
         program_stress = stress_of_pulse(
             self.device, program_bias, self.pulse_duration_s
         )
@@ -122,7 +193,6 @@ class EnduranceModel:
             self.pulse_duration_s,
             initial_charge_c=programmed,
         )
-
         fluence_per_cycle = (
             program_stress.injected_charge_c_per_m2
             + erase_stress.injected_charge_c_per_m2
@@ -130,17 +200,100 @@ class EnduranceModel:
         peak_field = max(
             program_stress.peak_field_v_per_m, erase_stress.peak_field_v_per_m
         )
+        return fluence_per_cycle, peak_field
 
-        counts = np.unique(
-            np.geomspace(1, n_cycles, n_samples).astype(int)
+    def _wear_trajectories(
+        self,
+        counts: np.ndarray,
+        fluence_per_cycle,
+        peak_field,
+        trapped_charge_fraction,
+        generation_coefficient,
+        exponent_alpha,
+        pre_existing_density_m2,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """The closed-form wear kernel over (lane, cycle-count) grids.
+
+        All wear parameters broadcast against the trailing cycle-count
+        axis; every element evaluates exactly the per-sample arithmetic
+        of the seed loop (same power law, same Q_BD division, same
+        closure conversion), so the kernel is bit-compatible with the
+        scalar reference lane by lane.
+        """
+        fluence = fluence_per_cycle * counts.astype(float)
+        trap = pre_existing_density_m2 + (
+            generation_coefficient * fluence**exponent_alpha
+        )
+        qbd = self.breakdown.charge_to_breakdown_c_per_m2(peak_field)
+        life = fluence / qbd
+        cfc = self.device.capacitances.cfc
+        area = self.device.geometry.channel_area_m2
+        trapped = trapped_charge_fraction * (trap - pre_existing_density_m2)
+        closure = trapped * ELEMENTARY_CHARGE * area / cfc
+        return trap, life, closure
+
+    def simulate(
+        self,
+        n_cycles: int,
+        program_bias: BiasCondition = PROGRAM_BIAS,
+        erase_bias: BiasCondition = ERASE_BIAS,
+        n_samples: int = 60,
+    ) -> EnduranceResult:
+        """Cycle the cell ``n_cycles`` times and sample the wear curve.
+
+        One representative program pulse and one erase pulse are
+        simulated exactly; their fluences are then replayed analytically
+        per cycle through the closed-form wear kernel (the seed's
+        per-cycle Python loop survives as
+        :meth:`simulate_scalar_reference`, which this path matches
+        bit for bit).
+        """
+        counts = sampled_cycle_counts(n_cycles, n_samples)
+        fluence_per_cycle, peak_field = self.cycle_stress(
+            program_bias, erase_bias
+        )
+        trap, life, closure = self._wear_trajectories(
+            counts,
+            fluence_per_cycle,
+            peak_field,
+            self.trapped_charge_fraction,
+            self.trap_generation.generation_coefficient,
+            self.trap_generation.exponent_alpha,
+            self.trap_generation.pre_existing_density_m2,
+        )
+        cycles_bd = self.breakdown.cycles_to_breakdown(
+            fluence_per_cycle, peak_field
+        )
+        return EnduranceResult(
+            cycle_counts=counts.astype(float),
+            trap_density_m2=trap,
+            life_consumed=life,
+            window_closure_v=closure,
+            cycles_to_breakdown=cycles_bd,
+        )
+
+    def simulate_scalar_reference(
+        self,
+        n_cycles: int,
+        program_bias: BiasCondition = PROGRAM_BIAS,
+        erase_bias: BiasCondition = ERASE_BIAS,
+        n_samples: int = 60,
+    ) -> EnduranceResult:
+        """The seed per-cycle Python loop, retained as parity reference.
+
+        Walks the sampled cycle counts one at a time through the scalar
+        wear laws exactly as the original implementation did;
+        :meth:`simulate` and :meth:`simulate_batch` are pinned against
+        this path at <= 1e-9 by the randomized parity suite.
+        """
+        counts = sampled_cycle_counts(n_cycles, n_samples)
+        fluence_per_cycle, peak_field = self.cycle_stress(
+            program_bias, erase_bias
         )
         accumulator = StressAccumulator()
         trap_density = np.empty(counts.size)
         life = np.empty(counts.size)
         closure = np.empty(counts.size)
-
-        from ..constants import ELEMENTARY_CHARGE
-
         cfc = self.device.capacitances.cfc
         area = self.device.geometry.channel_area_m2
         for i, cycle in enumerate(counts):
@@ -155,7 +308,6 @@ class EnduranceModel:
                 * (trap_density[i] - self.trap_generation.pre_existing_density_m2)
             )
             closure[i] = trapped * ELEMENTARY_CHARGE * area / cfc
-
         cycles_bd = self.breakdown.cycles_to_breakdown(
             fluence_per_cycle, peak_field
         )
@@ -165,4 +317,104 @@ class EnduranceModel:
             life_consumed=life,
             window_closure_v=closure,
             cycles_to_breakdown=cycles_bd,
+        )
+
+    def simulate_batch(
+        self,
+        n_cycles: int,
+        program_bias: BiasCondition = PROGRAM_BIAS,
+        erase_bias: BiasCondition = ERASE_BIAS,
+        n_samples: int = 60,
+        trapped_charge_fractions=None,
+        generation_coefficients=None,
+        exponents_alpha=None,
+        pre_existing_densities_m2=None,
+        fluences_per_cycle_c_per_m2=None,
+        peak_fields_v_per_m=None,
+    ) -> EnduranceBatchResult:
+        """Sample whole endurance corner sweeps in one kernel call.
+
+        Each per-lane argument (wear-law corners and/or precomputed
+        stress conditions) is a scalar or an array; arrays broadcast
+        together into the lane axis, and omitted ones fall back to this
+        model's configuration. When no stress override is given the two
+        representative pulse transients run **once** and are shared by
+        every lane -- the amortization a scalar corner sweep cannot
+        express, since each :meth:`simulate` call must re-integrate
+        them. The wear trajectories of all (lane, cycle-count) pairs
+        then come out of the closed-form kernel in one vectorized
+        evaluation; lane ``i`` matches :meth:`simulate_scalar_reference`
+        run at that lane's parameters to <= 1e-9.
+
+        Use ``fluences_per_cycle_c_per_m2`` / ``peak_fields_v_per_m``
+        (e.g. from :func:`~repro.reliability.stress.stress_of_pulse_batch`
+        lanes) to sweep stress conditions instead of, or together with,
+        the wear-law corners.
+        """
+        counts = sampled_cycle_counts(n_cycles, n_samples)
+        if fluences_per_cycle_c_per_m2 is None or peak_fields_v_per_m is None:
+            shared_fluence, shared_field = self.cycle_stress(
+                program_bias, erase_bias
+            )
+            if fluences_per_cycle_c_per_m2 is None:
+                fluences_per_cycle_c_per_m2 = shared_fluence
+            if peak_fields_v_per_m is None:
+                peak_fields_v_per_m = shared_field
+
+        lanes = np.broadcast_arrays(
+            np.asarray(fluences_per_cycle_c_per_m2, dtype=float),
+            np.asarray(peak_fields_v_per_m, dtype=float),
+            np.asarray(
+                self.trapped_charge_fraction
+                if trapped_charge_fractions is None
+                else trapped_charge_fractions,
+                dtype=float,
+            ),
+            np.asarray(
+                self.trap_generation.generation_coefficient
+                if generation_coefficients is None
+                else generation_coefficients,
+                dtype=float,
+            ),
+            np.asarray(
+                self.trap_generation.exponent_alpha
+                if exponents_alpha is None
+                else exponents_alpha,
+                dtype=float,
+            ),
+            np.asarray(
+                self.trap_generation.pre_existing_density_m2
+                if pre_existing_densities_m2 is None
+                else pre_existing_densities_m2,
+                dtype=float,
+            ),
+        )
+        fluence_pc, fields, fractions, coeffs, alphas, pre = (
+            lane.reshape(-1, 1) for lane in lanes
+        )
+        if np.any(fluence_pc <= 0.0):
+            raise ConfigurationError("per-cycle fluence must be positive")
+        if np.any(fields <= 0.0):
+            raise ConfigurationError("peak field must be positive")
+        if np.any((fractions < 0.0) | (fractions > 1.0)):
+            raise ConfigurationError("trapped fractions must be in [0, 1]")
+        if np.any(coeffs < 0.0):
+            raise ConfigurationError("generation coefficients cannot be negative")
+        if np.any((alphas <= 0.0) | (alphas > 1.0)):
+            raise ConfigurationError("alpha must be in (0, 1]")
+        if np.any(pre < 0.0):
+            raise ConfigurationError("pre-existing density cannot be negative")
+
+        trap, life, closure = self._wear_trajectories(
+            counts, fluence_pc, fields, fractions, coeffs, alphas, pre
+        )
+        cycles_bd = self.breakdown.cycles_to_breakdown(
+            fluence_pc[:, 0], fields[:, 0]
+        )
+        return EnduranceBatchResult(
+            cycle_counts=counts.astype(float),
+            trap_density_m2=trap,
+            life_consumed=life,
+            window_closure_v=closure,
+            cycles_to_breakdown=np.atleast_1d(np.asarray(cycles_bd)),
         )

@@ -9,11 +9,26 @@ that the physics code contains no hand-rolled numerics.
 """
 
 from .grid import Grid1D, nonuniform_grid, uniform_grid
-from .linalg import solve_tridiagonal, tridiagonal_matrix
+from .linalg import (
+    solve_tridiagonal,
+    solve_tridiagonal_batch,
+    tridiagonal_matrix,
+)
 from .ode import IntegrationResult, integrate_ivp, integrate_rk4
-from .poisson import PoissonProblem1D, solve_poisson_1d
+from .poisson import (
+    PoissonBatchSolution1D,
+    PoissonProblem1D,
+    solve_poisson_1d,
+    solve_poisson_1d_batch,
+)
 from .rootfind import bisect, brentq_checked, find_crossing
-from .schrodinger import BoundStates, solve_schrodinger_1d
+from .schrodinger import (
+    BoundStates,
+    BoundStatesBatch,
+    refine_bound_states_batch,
+    solve_schrodinger_1d,
+    solve_schrodinger_1d_batch,
+)
 from .transfer_matrix import (
     BarrierSegment,
     PiecewiseBarrier,
@@ -33,10 +48,16 @@ __all__ = [
     "nonuniform_grid",
     "tridiagonal_matrix",
     "solve_tridiagonal",
+    "solve_tridiagonal_batch",
     "PoissonProblem1D",
+    "PoissonBatchSolution1D",
     "solve_poisson_1d",
+    "solve_poisson_1d_batch",
     "BoundStates",
+    "BoundStatesBatch",
     "solve_schrodinger_1d",
+    "solve_schrodinger_1d_batch",
+    "refine_bound_states_batch",
     "BarrierSegment",
     "PiecewiseBarrier",
     "transmission_probability",

@@ -1,8 +1,22 @@
-"""Tridiagonal linear algebra (Thomas algorithm) used by the 1-D solvers."""
+"""Tridiagonal linear algebra used by the 1-D solvers.
+
+Two routes through the same systems:
+
+* :func:`solve_tridiagonal` -- the scalar Thomas algorithm, the seed
+  implementation and the parity reference of the batched path;
+* :func:`solve_tridiagonal_batch` -- a stack of *independent*
+  tridiagonal systems assembled into one block-diagonal banded matrix
+  and handed to LAPACK in a single :func:`scipy.linalg.solve_banded`
+  call. Because the off-diagonal entries that would couple neighbouring
+  blocks are exactly zero, the banded factorization never mixes lanes:
+  the stacked solve is algebraically identical to solving each system
+  on its own, at one compiled-code call for the whole batch.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+from scipy.linalg import solve_banded
 
 from ..errors import ConfigurationError, ConvergenceError
 
@@ -80,3 +94,71 @@ def solve_tridiagonal(
     for i in range(n - 2, -1, -1):
         x[i] = d_prime[i] - c_prime[i] * x[i + 1]
     return x
+
+
+def solve_tridiagonal_batch(
+    lower: np.ndarray,
+    diag: np.ndarray,
+    upper: np.ndarray,
+    rhs: np.ndarray,
+) -> np.ndarray:
+    """Solve a stack of independent tridiagonal systems in one call.
+
+    Parameters
+    ----------
+    lower, upper:
+        Off-diagonals, shape ``(n_systems, n - 1)`` (or ``(n - 1,)``,
+        broadcast to every system).
+    diag:
+        Main diagonals, shape ``(n_systems, n)``.
+    rhs:
+        Right-hand sides, shape ``(n_systems, n)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Solutions, shape ``(n_systems, n)``.
+
+    Notes
+    -----
+    The systems are laid out as the blocks of one block-diagonal
+    banded matrix and factorized by a single LAPACK banded solve; the
+    inter-block couplings are exactly zero, so no elimination step ever
+    crosses a block boundary and each lane's solution equals its own
+    standalone solve to round-off. This is the workhorse behind the
+    batched Poisson solver and the batched inverse-iteration
+    eigenvector refinement.
+    """
+    diag = np.atleast_2d(np.asarray(diag, dtype=float))
+    rhs = np.atleast_2d(np.asarray(rhs, dtype=float))
+    n_sys, n = diag.shape
+    if rhs.shape != (n_sys, n):
+        raise ConfigurationError(
+            f"rhs shape {rhs.shape} does not match diagonals {diag.shape}"
+        )
+    lower = np.broadcast_to(
+        np.asarray(lower, dtype=float), (n_sys, n - 1)
+    )
+    upper = np.broadcast_to(
+        np.asarray(upper, dtype=float), (n_sys, n - 1)
+    )
+
+    total = n_sys * n
+    # Banded storage (l = u = 1): row 0 holds the super-diagonal shifted
+    # right, row 2 the sub-diagonal shifted left. Zeros at the block
+    # seams keep the stacked systems decoupled.
+    ab = np.zeros((3, total))
+    ab[1] = diag.reshape(-1)
+    up = np.zeros((n_sys, n - 1 + 1))
+    up[:, :-1] = upper
+    ab[0, 1:] = up.reshape(-1)[:-1]
+    lo = np.zeros((n_sys, n - 1 + 1))
+    lo[:, 1:] = lower
+    ab[2, :-1] = lo.reshape(-1)[1:]
+    try:
+        x = solve_banded((1, 1), ab, rhs.reshape(-1))
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - singular
+        raise ConvergenceError(
+            f"singular system in batched tridiagonal solve: {exc}"
+        ) from exc
+    return x.reshape(n_sys, n)

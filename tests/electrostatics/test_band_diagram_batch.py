@@ -1,0 +1,91 @@
+"""Parity of the batched band-diagram assembly vs the scalar builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.electrostatics import (
+    build_band_diagram,
+    build_band_diagram_batch,
+)
+from repro.materials.oxides import SI3N4, SIO2
+from repro.units import nm_to_m
+
+RTOL = 1e-9
+
+GEOMETRY = dict(
+    tunnel_thickness_m=nm_to_m(5.0),
+    control_thickness_m=nm_to_m(8.0),
+    floating_gate_thickness_m=nm_to_m(3.0),
+    channel_barrier_ev=3.61,
+    gate_barrier_ev=3.8,
+)
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scalar_lanes(self, seed):
+        rng = np.random.default_rng(seed)
+        n_lanes = int(rng.integers(1, 8))
+        vfg = rng.uniform(-8.0, 8.0, size=n_lanes)
+        vcg = rng.uniform(-15.0, 15.0, size=n_lanes)
+        batch = build_band_diagram_batch(
+            SIO2, SI3N4, floating_gate_voltages_v=vfg,
+            control_gate_voltages_v=vcg, **GEOMETRY
+        )
+        assert batch.n_lanes == n_lanes
+        peaks = batch.barrier_peak_ev()
+        distances = batch.tunnel_distance_at_fermi_m()
+        for i in range(n_lanes):
+            scalar = build_band_diagram(
+                SIO2, SI3N4, floating_gate_voltage_v=float(vfg[i]),
+                control_gate_voltage_v=float(vcg[i]), **GEOMETRY
+            )
+            np.testing.assert_allclose(batch.x_m, scalar.x_m, rtol=RTOL)
+            np.testing.assert_allclose(
+                batch.conduction_band_ev[i],
+                scalar.conduction_band_ev,
+                rtol=RTOL,
+                atol=1e-12,
+            )
+            assert batch.region_labels == scalar.region_labels
+            assert peaks[i] == pytest.approx(
+                scalar.barrier_peak_ev(), rel=RTOL
+            )
+            assert distances[i] == pytest.approx(
+                scalar.tunnel_distance_at_fermi_m(), rel=1e-6, abs=1e-15
+            )
+            lane = batch.lane(i)
+            np.testing.assert_array_equal(
+                lane.conduction_band_ev, batch.conduction_band_ev[i]
+            )
+
+    def test_scalar_vfg_broadcasts_against_vcg(self):
+        vcg = np.linspace(5.0, 15.0, 4)
+        batch = build_band_diagram_batch(
+            SIO2, SIO2, floating_gate_voltages_v=6.0,
+            control_gate_voltages_v=vcg, **GEOMETRY
+        )
+        assert batch.n_lanes == 4
+
+
+class TestValidation:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            build_band_diagram_batch(
+                SIO2, SIO2,
+                tunnel_thickness_m=0.0,
+                control_thickness_m=nm_to_m(8.0),
+                floating_gate_thickness_m=nm_to_m(3.0),
+                channel_barrier_ev=3.61,
+                gate_barrier_ev=3.8,
+                floating_gate_voltages_v=np.array([1.0]),
+                control_gate_voltages_v=np.array([2.0]),
+            )
+        with pytest.raises(ConfigurationError):
+            build_band_diagram_batch(
+                SIO2, SIO2,
+                floating_gate_voltages_v=np.array([]),
+                control_gate_voltages_v=np.array([]),
+                **GEOMETRY,
+            )

@@ -1,0 +1,112 @@
+"""Parity of the batched channel-well solver vs the scalar reference.
+
+Randomized surface fields and sheet densities: every lane of
+``solve_channel_well_batch`` must replay the scalar
+``solve_channel_well`` trajectory -- same iteration count, same
+subband energies, densities and potential profile at <= 1e-9.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import channel_well_sweep
+from repro.errors import ConfigurationError
+from repro.electrostatics import (
+    solve_channel_well,
+    solve_channel_well_batch,
+)
+
+RTOL = 1e-9
+
+
+def _assert_lane_matches(batch, i, scalar):
+    assert int(batch.iterations[i]) == scalar.iterations
+    np.testing.assert_allclose(
+        batch.subband_energies_ev[i],
+        scalar.subband_energies_ev,
+        rtol=RTOL,
+    )
+    np.testing.assert_allclose(
+        batch.subband_densities_m2[i],
+        scalar.subband_densities_m2,
+        rtol=RTOL,
+    )
+    np.testing.assert_allclose(
+        batch.potential_ev[i],
+        scalar.potential_ev,
+        rtol=RTOL,
+        atol=1e-12 * float(np.max(np.abs(scalar.potential_ev))),
+    )
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scalar_lanes(self, seed):
+        rng = np.random.default_rng(seed)
+        n_lanes = int(rng.integers(2, 6))
+        fields = rng.uniform(2e8, 1e9, size=n_lanes)
+        sheet = float(rng.uniform(5e15, 8e16))
+        batch = solve_channel_well_batch(
+            fields, sheet, n_nodes=121, n_subbands=3
+        )
+        assert batch.n_lanes == n_lanes
+        for i, field in enumerate(fields):
+            scalar = solve_channel_well(
+                float(field), sheet, n_nodes=121, n_subbands=3
+            )
+            _assert_lane_matches(batch, i, scalar)
+
+    def test_per_lane_sheet_densities(self):
+        fields = np.array([4e8, 4e8, 7e8])
+        sheets = np.array([1e16, 4e16, 2e16])
+        batch = solve_channel_well_batch(
+            fields, sheets, n_nodes=121, n_subbands=3
+        )
+        np.testing.assert_allclose(
+            batch.total_sheet_density_m2, sheets, rtol=1e-6
+        )
+        for i in range(3):
+            scalar = solve_channel_well(
+                float(fields[i]), float(sheets[i]), n_nodes=121, n_subbands=3
+            )
+            _assert_lane_matches(batch, i, scalar)
+
+    def test_single_lane_matches_scalar(self):
+        batch = solve_channel_well_batch(
+            np.array([5e8]), 1e16, n_nodes=151
+        )
+        scalar = solve_channel_well(5e8, 1e16, n_nodes=151)
+        _assert_lane_matches(batch, 0, scalar)
+        lane = batch.lane(0)
+        assert lane.iterations == scalar.iterations
+        np.testing.assert_allclose(
+            lane.subband_energies_ev, scalar.subband_energies_ev, rtol=RTOL
+        )
+        assert lane.ground_state_ev == pytest.approx(
+            scalar.ground_state_ev, rel=RTOL
+        )
+
+    def test_ground_state_rises_with_field(self):
+        fields = np.linspace(3e8, 9e8, 5)
+        batch = solve_channel_well_batch(fields, 1e16, n_nodes=121)
+        assert np.all(np.diff(batch.ground_state_ev) > 0.0)
+
+
+class TestEngineEntryPoint:
+    def test_channel_well_sweep_forwards(self):
+        fields = np.array([4e8, 6e8])
+        via_engine = channel_well_sweep(fields, 1e16, n_nodes=121)
+        direct = solve_channel_well_batch(fields, 1e16, n_nodes=121)
+        np.testing.assert_array_equal(
+            via_engine.subband_energies_ev, direct.subband_energies_ev
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            solve_channel_well_batch(np.array([]), 1e16)
+        with pytest.raises(ConfigurationError):
+            solve_channel_well_batch(np.array([0.0, 5e8]), 1e16)
+        with pytest.raises(ConfigurationError):
+            solve_channel_well_batch(np.array([5e8]), -1.0)

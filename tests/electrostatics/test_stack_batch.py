@@ -1,0 +1,65 @@
+"""Parity of the batched eq. (2) network builder vs the scalar path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.electrostatics import (
+    build_capacitances,
+    build_capacitances_batch,
+)
+from repro.materials.oxides import SI3N4, SIO2
+
+RTOL = 1e-9
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scalar_lanes(self, seed):
+        rng = np.random.default_rng(seed)
+        n_lanes = int(rng.integers(1, 9))
+        xto = rng.uniform(3e-9, 7e-9, size=n_lanes)
+        xco = xto + rng.uniform(1e-9, 6e-9, size=n_lanes)
+        area = rng.uniform(1e-15, 1e-13, size=n_lanes)
+        batch = build_capacitances_batch(SI3N4, SIO2, xco, xto, area)
+        assert batch.n_lanes == n_lanes
+        for i in range(n_lanes):
+            scalar = build_capacitances(
+                SI3N4, SIO2, float(xco[i]), float(xto[i]), float(area[i])
+            )
+            lane = batch.lane(i)
+            for name in ("cfc", "cfs", "cfb", "cfd"):
+                assert getattr(lane, name) == pytest.approx(
+                    getattr(scalar, name), rel=RTOL
+                )
+            assert batch.total[i] == pytest.approx(scalar.total, rel=RTOL)
+            assert batch.gate_coupling_ratio[i] == pytest.approx(
+                scalar.gate_coupling_ratio, rel=RTOL
+            )
+            assert batch.drain_coupling_ratio[i] == pytest.approx(
+                scalar.drain_coupling_ratio, rel=RTOL
+            )
+
+    def test_scalar_area_broadcasts(self):
+        xto = np.array([4e-9, 5e-9])
+        batch = build_capacitances_batch(
+            SIO2, SIO2, xto + 3e-9, xto, 1e-14
+        )
+        assert batch.n_lanes == 2
+
+
+class TestValidation:
+    def test_thin_control_oxide_rejected_anywhere_in_batch(self):
+        with pytest.raises(ConfigurationError):
+            build_capacitances_batch(
+                SIO2, SIO2,
+                np.array([8e-9, 4e-9]),
+                np.array([5e-9, 5e-9]),
+                1e-14,
+            )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_capacitances_batch(
+                SIO2, SIO2, np.array([]), np.array([]), np.array([])
+            )

@@ -1,0 +1,112 @@
+"""The reliability-facing experiments (rel-*) and their overrides."""
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario, SimulationSession
+from repro.errors import ConfigurationError
+from repro.experiments import available_experiments, run_experiment
+
+
+@pytest.fixture(scope="module")
+def session():
+    return SimulationSession(seed=7)
+
+
+class TestRegistration:
+    def test_rel_experiments_registered(self):
+        ids = available_experiments()
+        for eid in ("rel-endurance", "rel-bake", "rel-silc"):
+            assert eid in ids
+
+
+class TestDefaults:
+    @pytest.mark.parametrize(
+        "experiment_id", ["rel-endurance", "rel-bake", "rel-silc"]
+    )
+    def test_default_run_reproduces(self, experiment_id, session):
+        result = session.run(experiment_id)
+        assert result.experiment_id == experiment_id
+        assert result.series
+        failing = [c for c in result.checks if not c.passed]
+        assert not failing, [c.claim for c in failing]
+
+
+class TestOverrides:
+    def test_endurance_corner_override(self, session):
+        result = session.run(
+            "rel-endurance",
+            n_cycles=2_000,
+            n_samples=12,
+            trapped_charge_fractions=(0.01, 0.2),
+        )
+        assert len(result.series) == 2
+        assert result.parameters["n_cycles"] == 2_000
+        assert result.series[0].x.size <= 12
+
+    def test_bake_range_override(self, session):
+        result = session.run(
+            "rel-bake",
+            n_points=5,
+            bake_temperature_range_k=(423.15, 473.15),
+            activation_energy_ev=0.9,
+        )
+        assert result.series[0].x.size == 5
+        assert result.parameters["activation_energy_ev"] == 0.9
+
+    def test_silc_grid_override(self, session):
+        result = session.run(
+            "rel-silc",
+            n_points=6,
+            retention_fields_mv_per_cm=(3.0, 5.0, 7.0),
+        )
+        assert len(result.series) == 3
+        assert result.series[0].x.size == 6
+
+    def test_unknown_override_rejected(self, session):
+        with pytest.raises(ConfigurationError):
+            session.run("rel-bake", nonsense=1)
+
+    def test_scenario_threading(self, session):
+        scenario = Scenario(
+            experiment_id="rel-endurance",
+            overrides={"n_cycles": 1_500, "n_samples": 10},
+        )
+        result = session.run_scenario(scenario)
+        assert result.result.parameters["n_cycles"] == 1_500
+
+
+class TestSummaryEnduranceSamples:
+    def test_endurance_samples_is_an_override(self, session):
+        fast = session.run(
+            "device-summary", endurance_cycles=1_000, endurance_samples=4
+        )
+        assert fast.parameters["cycles_to_breakdown"] > 1e4
+        # The default path still reproduces the committed record.
+        default = session.run("device-summary")
+        assert default.parameters["gcr"] == pytest.approx(0.6, rel=1e-6)
+
+    def test_scenario_override_path(self, session):
+        scenario = Scenario(
+            experiment_id="device-summary",
+            overrides={"endurance_cycles": 1_000, "endurance_samples": 4},
+        )
+        result = session.run_scenario(scenario)
+        assert result.result.experiment_id == "device-summary"
+
+
+class TestPhysics:
+    def test_more_trapped_charge_closes_window_faster(self, session):
+        result = session.run(
+            "rel-endurance",
+            trapped_charge_fractions=(0.02, 0.10),
+            n_cycles=5_000,
+            n_samples=10,
+        )
+        low, high = (np.asarray(s.y) for s in result.series)
+        assert np.all(high > low)
+
+    def test_hotter_bake_is_shorter(self, session):
+        result = session.run("rel-bake")
+        hours = np.asarray(result.series[0].y)
+        assert np.all(np.diff(hours) < 0.0)

@@ -1,0 +1,148 @@
+"""Parity of the batched endurance kernel vs the retained scalar loop.
+
+``simulate`` must match ``simulate_scalar_reference`` bit for bit (it
+is the same arithmetic, vectorized), and randomized wear-law corner
+batches must match one scalar run per corner at <= 1e-9.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.device.floating_gate import FloatingGateTransistor
+from repro.engine import endurance_sweep
+from repro.errors import ConfigurationError
+from repro.reliability import EnduranceModel, sampled_cycle_counts
+
+RTOL = 1e-9
+
+OBSERVABLES = (
+    "cycle_counts",
+    "trap_density_m2",
+    "life_consumed",
+    "window_closure_v",
+)
+
+
+@pytest.fixture(scope="module")
+def device():
+    return FloatingGateTransistor()
+
+
+@pytest.fixture(scope="module")
+def model(device):
+    return EnduranceModel(device)
+
+
+class TestVectorizedSimulate:
+    def test_matches_scalar_reference_bitwise(self, model):
+        new = model.simulate(5_000, n_samples=40)
+        ref = model.simulate_scalar_reference(5_000, n_samples=40)
+        for name in OBSERVABLES:
+            np.testing.assert_array_equal(
+                getattr(new, name), getattr(ref, name)
+            )
+        assert new.cycles_to_breakdown == ref.cycles_to_breakdown
+
+    def test_sampled_counts_shared(self):
+        counts = sampled_cycle_counts(1_000, 25)
+        assert counts[0] == 1 and counts[-1] == 1_000
+        assert np.all(np.diff(counts) > 0)
+        with pytest.raises(ConfigurationError):
+            sampled_cycle_counts(0, 10)
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_corners_match_scalar(self, seed, model):
+        rng = np.random.default_rng(seed)
+        n_lanes = int(rng.integers(2, 6))
+        fractions = rng.uniform(0.0, 0.2, size=n_lanes)
+        alphas = rng.uniform(0.5, 0.9, size=n_lanes)
+        coeffs = rng.uniform(5e12, 5e13, size=n_lanes)
+        batch = model.simulate_batch(
+            2_000,
+            n_samples=30,
+            trapped_charge_fractions=fractions,
+            exponents_alpha=alphas,
+            generation_coefficients=coeffs,
+        )
+        assert batch.n_lanes == n_lanes
+        for i in range(n_lanes):
+            corner = dataclasses.replace(
+                model,
+                trapped_charge_fraction=float(fractions[i]),
+                trap_generation=dataclasses.replace(
+                    model.trap_generation,
+                    exponent_alpha=float(alphas[i]),
+                    generation_coefficient=float(coeffs[i]),
+                ),
+            )
+            ref = corner.simulate_scalar_reference(2_000, n_samples=30)
+            lane = batch.lane(i)
+            for name in OBSERVABLES:
+                np.testing.assert_allclose(
+                    getattr(lane, name), getattr(ref, name), rtol=RTOL
+                )
+            assert lane.cycles_to_breakdown == pytest.approx(
+                ref.cycles_to_breakdown, rel=RTOL
+            )
+
+    def test_stress_override_lanes(self, model):
+        """Precomputed stress lanes bypass the transients entirely."""
+        fluences = np.array([0.5, 1.0, 2.0])
+        fields = np.array([7e8, 8e8, 9e8])
+        batch = model.simulate_batch(
+            1_000,
+            n_samples=20,
+            fluences_per_cycle_c_per_m2=fluences,
+            peak_fields_v_per_m=fields,
+        )
+        qbd = model.breakdown.charge_to_breakdown_c_per_m2(fields)
+        np.testing.assert_allclose(
+            batch.cycles_to_breakdown, qbd / fluences, rtol=RTOL
+        )
+        # Harsher stress burns the budget faster.
+        assert np.all(np.diff(batch.cycles_to_breakdown) < 0.0)
+
+    def test_cycles_until_batch(self, model):
+        batch = model.simulate_batch(
+            50_000,
+            n_samples=40,
+            trapped_charge_fractions=np.array([0.05, 0.5]),
+        )
+        budgets = batch.cycles_until(float(batch.window_closure_v[1, -1]))
+        assert np.isnan(budgets[0]) or budgets[0] > budgets[1]
+        assert budgets[1] == batch.cycle_counts[-1] or budgets[1] > 0
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.simulate_batch(
+                100, trapped_charge_fractions=np.array([-0.1])
+            )
+        with pytest.raises(ConfigurationError):
+            model.simulate_batch(100, exponents_alpha=np.array([1.5]))
+        with pytest.raises(ConfigurationError):
+            model.simulate_batch(
+                100,
+                fluences_per_cycle_c_per_m2=np.array([0.0]),
+                peak_fields_v_per_m=np.array([8e8]),
+            )
+
+
+class TestEngineEntryPoint:
+    def test_endurance_sweep_forwards(self, device, model):
+        fractions = np.array([0.03, 0.08])
+        via_engine = endurance_sweep(
+            device, 1_000, n_samples=15,
+            trapped_charge_fractions=fractions,
+        )
+        direct = model.simulate_batch(
+            1_000, n_samples=15, trapped_charge_fractions=fractions
+        )
+        np.testing.assert_allclose(
+            via_engine.window_closure_v,
+            direct.window_closure_v,
+            rtol=RTOL,
+        )

@@ -1,0 +1,105 @@
+"""Array-grid parity of the bake and breakdown laws vs scalar calls.
+
+The Arrhenius and breakdown laws follow the scalar-or-array
+convention: grids broadcast elementwise and must match a loop of
+scalar calls at <= 1e-9, while all-scalar calls keep returning floats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import ArrheniusAcceleration, BreakdownModel
+
+RTOL = 1e-9
+
+
+class TestBakeGrids:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_acceleration_grid_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        model = ArrheniusAcceleration(
+            activation_energy_ev=float(rng.uniform(0.8, 1.5))
+        )
+        temps = rng.uniform(360.0, 540.0, size=7)
+        afs = model.acceleration_factor(temps)
+        hours = model.ten_year_bake_hours(temps)
+        for i, temp in enumerate(temps):
+            assert afs[i] == pytest.approx(
+                model.acceleration_factor(float(temp)), rel=RTOL
+            )
+            assert hours[i] == pytest.approx(
+                model.ten_year_bake_hours(float(temp)), rel=RTOL
+            )
+
+    def test_time_temperature_grid_broadcasts(self):
+        model = ArrheniusAcceleration()
+        times = np.array([3600.0, 7200.0])
+        temps = np.array([423.15, 473.15, 523.15])
+        grid = model.equivalent_use_time_s(
+            times[:, np.newaxis], temps[np.newaxis, :]
+        )
+        assert grid.shape == (2, 3)
+        assert grid[1, 0] == pytest.approx(2.0 * grid[0, 0], rel=RTOL)
+
+    def test_scalar_calls_return_floats(self):
+        model = ArrheniusAcceleration()
+        assert isinstance(model.acceleration_factor(423.15), float)
+        assert isinstance(model.equivalent_use_time_s(60.0, 423.15), float)
+        assert isinstance(model.bake_time_for_target_s(1e8, 423.15), float)
+        assert isinstance(model.ten_year_bake_hours(423.15), float)
+
+    def test_invalid_temperature_anywhere_rejected(self):
+        model = ArrheniusAcceleration()
+        with pytest.raises(ConfigurationError):
+            model.acceleration_factor(np.array([400.0, -1.0]))
+
+
+class TestBreakdownGrids:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_grids_match_scalar(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        model = BreakdownModel()
+        fields = rng.uniform(5e8, 1.2e9, size=5)
+        fluences = 10.0 ** rng.uniform(2.0, 7.0, size=4)
+        qbd = model.charge_to_breakdown_c_per_m2(fields)
+        tbd = model.time_to_breakdown_s(fields)
+        life = model.life_consumed_fraction(
+            fluences[:, np.newaxis], fields[np.newaxis, :]
+        )
+        cycles = model.cycles_to_breakdown(
+            fluences[:, np.newaxis], fields[np.newaxis, :]
+        )
+        assert life.shape == (4, 5) and cycles.shape == (4, 5)
+        for j, field in enumerate(fields):
+            assert qbd[j] == pytest.approx(
+                model.charge_to_breakdown_c_per_m2(float(field)), rel=RTOL
+            )
+            assert tbd[j] == pytest.approx(
+                model.time_to_breakdown_s(float(field)), rel=RTOL
+            )
+            for i, fluence in enumerate(fluences):
+                assert life[i, j] == pytest.approx(
+                    model.life_consumed_fraction(
+                        float(fluence), float(field)
+                    ),
+                    rel=RTOL,
+                )
+                assert cycles[i, j] == pytest.approx(
+                    model.cycles_to_breakdown(float(fluence), float(field)),
+                    rel=RTOL,
+                )
+
+    def test_scalar_calls_return_floats(self):
+        model = BreakdownModel()
+        assert isinstance(model.charge_to_breakdown_c_per_m2(8e8), float)
+        assert isinstance(model.time_to_breakdown_s(8e8), float)
+        assert isinstance(model.life_consumed_fraction(1e3, 8e8), float)
+        assert isinstance(model.cycles_to_breakdown(1.0, 8e8), float)
+
+    def test_invalid_field_anywhere_rejected(self):
+        model = BreakdownModel()
+        with pytest.raises(ConfigurationError):
+            model.charge_to_breakdown_c_per_m2(np.array([8e8, 0.0]))
+        with pytest.raises(ConfigurationError):
+            model.life_consumed_fraction(np.array([-1.0]), 8e8)

@@ -1,0 +1,58 @@
+"""Parity of the batched SILC grid vs the scalar per-point path."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    TrapGenerationModel,
+    silc_current_density,
+    silc_current_density_batch,
+)
+from repro.tunneling.barriers import TunnelBarrier
+from repro.units import nm_to_m
+
+RTOL = 1e-9
+
+BARRIER = TunnelBarrier(
+    barrier_height_ev=3.61, thickness_m=nm_to_m(5.0), mass_ratio=0.42
+)
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_grid_matches_scalar_points(self, seed):
+        rng = np.random.default_rng(seed)
+        fields = rng.uniform(3e8, 9e8, size=3)
+        fluences = 10.0 ** rng.uniform(-1.0, 5.0, size=4)
+        generation = TrapGenerationModel(
+            generation_coefficient=float(rng.uniform(5e12, 5e13)),
+            exponent_alpha=float(rng.uniform(0.55, 0.85)),
+        )
+        grid = silc_current_density_batch(
+            BARRIER,
+            fields[np.newaxis, :],
+            fluences[:, np.newaxis],
+            generation=generation,
+        )
+        assert grid.shape == (4, 3)
+        for i, fluence in enumerate(fluences):
+            for j, field in enumerate(fields):
+                scalar = silc_current_density(
+                    BARRIER, float(field), float(fluence), generation
+                )
+                np.testing.assert_allclose(grid[i, j], scalar, rtol=RTOL)
+
+    def test_trap_density_grid_matches_scalar(self):
+        model = TrapGenerationModel()
+        fluences = np.geomspace(1e-2, 1e6, 9)
+        grid = model.trap_density_m2(fluences)
+        for i, fluence in enumerate(fluences):
+            assert grid[i] == model.trap_density_m2(float(fluence))
+        assert isinstance(model.trap_density_m2(1.0), float)
+
+    def test_default_generation_model(self):
+        grid = silc_current_density_batch(
+            BARRIER, np.array([6e8]), np.array([10.0])
+        )
+        scalar = silc_current_density(BARRIER, 6e8, 10.0)
+        np.testing.assert_allclose(grid[0], scalar, rtol=RTOL)

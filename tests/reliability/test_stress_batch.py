@@ -1,0 +1,82 @@
+"""Parity of the batched pulse-stress integrator vs the scalar path."""
+
+import numpy as np
+import pytest
+
+from repro.device.bias import ERASE_BIAS, PROGRAM_BIAS
+from repro.device.floating_gate import FloatingGateTransistor
+from repro.reliability import (
+    StressRecord,
+    stress_of_pulse,
+    stress_of_pulse_batch,
+)
+
+RTOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def device():
+    return FloatingGateTransistor()
+
+
+class TestSingleLaneParity:
+    def test_program_pulse_matches_scalar(self, device):
+        scalar = stress_of_pulse(device, PROGRAM_BIAS, 1e-4)
+        batch = stress_of_pulse_batch(device, (PROGRAM_BIAS,), 1e-4)
+        assert batch.n_lanes == 1
+        assert batch.injected_charge_c_per_m2[0] == pytest.approx(
+            scalar.injected_charge_c_per_m2, rel=RTOL
+        )
+        assert batch.peak_field_v_per_m[0] == pytest.approx(
+            scalar.peak_field_v_per_m, rel=RTOL
+        )
+        lane = batch.lane(0)
+        assert isinstance(lane, StressRecord)
+        assert lane.duration_s == 1e-4
+
+    def test_erase_pulse_with_initial_charge(self, device):
+        programmed = -2e-16
+        scalar = stress_of_pulse(
+            device, ERASE_BIAS, 1e-4, initial_charge_c=programmed
+        )
+        batch = stress_of_pulse_batch(
+            device, (ERASE_BIAS,), 1e-4, initial_charges_c=programmed
+        )
+        assert batch.injected_charge_c_per_m2[0] == pytest.approx(
+            scalar.injected_charge_c_per_m2, rel=RTOL
+        )
+        # Erasing removes stored electrons: the final charge moved up.
+        assert batch.final_charges_c[0] > programmed
+
+
+class TestBatchComposition:
+    def test_rk4_lanes_are_composition_stable(self, device):
+        """Each rk4 lane is bit-stable against its batch neighbours."""
+        biases = tuple(
+            PROGRAM_BIAS.with_gate_voltage(v)
+            for v in np.linspace(13.0, 17.0, 5)
+        )
+        full = stress_of_pulse_batch(device, biases, 1e-4, method="rk4")
+        assert full.n_lanes == 5
+        for i, bias in enumerate(biases):
+            alone = stress_of_pulse_batch(
+                device, (bias,), 1e-4, method="rk4"
+            )
+            np.testing.assert_allclose(
+                full.injected_charge_c_per_m2[i],
+                alone.injected_charge_c_per_m2[0],
+                rtol=RTOL,
+            )
+            np.testing.assert_allclose(
+                full.peak_field_v_per_m[i],
+                alone.peak_field_v_per_m[0],
+                rtol=RTOL,
+            )
+
+    def test_harder_program_bias_stresses_more(self, device):
+        biases = tuple(
+            PROGRAM_BIAS.with_gate_voltage(v) for v in (13.0, 15.0, 17.0)
+        )
+        batch = stress_of_pulse_batch(device, biases, 1e-4, method="rk4")
+        assert np.all(np.diff(batch.injected_charge_c_per_m2) > 0.0)
+        assert np.all(np.diff(batch.peak_field_v_per_m) > 0.0)

@@ -1,0 +1,130 @@
+"""Parity of the batched tridiagonal / Poisson solves vs the scalar path.
+
+Randomized systems and charge profiles: every lane of
+``solve_tridiagonal_batch`` / ``solve_poisson_1d_batch`` must agree
+with the corresponding scalar Thomas-algorithm solve at <= 1e-9
+relative tolerance (the two paths factorize the same matrices with
+different but exact algorithms).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solver import (
+    PoissonProblem1D,
+    solve_poisson_1d,
+    solve_poisson_1d_batch,
+    solve_tridiagonal,
+    solve_tridiagonal_batch,
+    uniform_grid,
+)
+
+RTOL = 1e-9
+
+
+class TestTridiagonalBatch:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_scalar_lanes(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 60))
+        n_sys = int(rng.integers(1, 9))
+        # Diagonally dominant systems: well conditioned for both paths.
+        diag = rng.uniform(3.0, 6.0, size=(n_sys, n))
+        lower = rng.uniform(-1.0, 1.0, size=(n_sys, n - 1))
+        upper = rng.uniform(-1.0, 1.0, size=(n_sys, n - 1))
+        rhs = rng.normal(size=(n_sys, n))
+        batch = solve_tridiagonal_batch(lower, diag, upper, rhs)
+        for i in range(n_sys):
+            scalar = solve_tridiagonal(lower[i], diag[i], upper[i], rhs[i])
+            np.testing.assert_allclose(
+                batch[i], scalar, rtol=RTOL, atol=1e-12
+            )
+
+    def test_shared_offdiagonals_broadcast(self):
+        rng = np.random.default_rng(99)
+        diag = rng.uniform(3.0, 6.0, size=(4, 20))
+        off = np.full(19, -1.0)
+        rhs = rng.normal(size=(4, 20))
+        batch = solve_tridiagonal_batch(off, diag, off, rhs)
+        for i in range(4):
+            scalar = solve_tridiagonal(off, diag[i], off, rhs[i])
+            np.testing.assert_allclose(batch[i], scalar, rtol=RTOL)
+
+    def test_lanes_stay_decoupled(self):
+        """A lane's solution is unchanged by its batch neighbours."""
+        rng = np.random.default_rng(7)
+        diag = rng.uniform(3.0, 6.0, size=(6, 31))
+        off = rng.uniform(-1.0, 1.0, size=(6, 30))
+        rhs = rng.normal(size=(6, 31))
+        full = solve_tridiagonal_batch(off, diag, off[:, ::-1], rhs)
+        alone = solve_tridiagonal_batch(
+            off[2:3], diag[2:3], off[2:3, ::-1], rhs[2:3]
+        )
+        np.testing.assert_array_equal(full[2], alone[0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_tridiagonal_batch(
+                np.ones((2, 3)), np.ones((2, 4)), np.ones((2, 3)),
+                np.ones((2, 5)),
+            )
+
+
+class TestPoissonBatch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scalar_lanes(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(5, 120))
+        grid = uniform_grid(0.0, 15e-9, n)
+        eps = np.full(n - 1, rng.uniform(1e-11, 4e-10))
+        n_lanes = int(rng.integers(1, 7))
+        rho = rng.normal(scale=1e7, size=(n_lanes, n))
+        left = rng.normal(size=n_lanes)
+        right = rng.normal(size=n_lanes)
+        batch = solve_poisson_1d_batch(grid, eps, rho, left, right)
+        assert batch.n_lanes == n_lanes
+        for i in range(n_lanes):
+            scalar = solve_poisson_1d(
+                PoissonProblem1D(
+                    grid, eps, rho[i], float(left[i]), float(right[i])
+                )
+            )
+            np.testing.assert_allclose(
+                batch.potential[i], scalar.potential, rtol=RTOL, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                batch.field_midpoints[i],
+                scalar.field_midpoints,
+                rtol=RTOL,
+                atol=1e-3,
+            )
+            lane = batch.lane(i)
+            np.testing.assert_array_equal(lane.potential, batch.potential[i])
+
+    def test_scalar_boundaries_broadcast(self):
+        grid = uniform_grid(0.0, 10e-9, 21)
+        eps = np.full(20, 1e-10)
+        rho = np.zeros((3, 21))
+        batch = solve_poisson_1d_batch(grid, eps, rho, 0.0, -1.0)
+        # Charge-free solution is the linear divider for every lane.
+        expected = np.linspace(0.0, -1.0, 21)
+        for i in range(3):
+            np.testing.assert_allclose(
+                batch.potential[i], expected, rtol=RTOL, atol=1e-12
+            )
+
+    def test_validation(self):
+        grid = uniform_grid(0.0, 10e-9, 21)
+        with pytest.raises(ConfigurationError):
+            solve_poisson_1d_batch(
+                grid, np.full(19, 1e-10), np.zeros((2, 21))
+            )
+        with pytest.raises(ConfigurationError):
+            solve_poisson_1d_batch(
+                grid, np.full(20, -1e-10), np.zeros((2, 21))
+            )
+        with pytest.raises(ConfigurationError):
+            solve_poisson_1d_batch(
+                grid, np.full(20, 1e-10), np.zeros((2, 20))
+            )

@@ -1,0 +1,157 @@
+"""Parity of the batched eigenlevel kernels vs the scalar eigensolver.
+
+Randomized confining potentials: every lane of
+``solve_schrodinger_1d_batch`` must reproduce the scalar
+``solve_schrodinger_1d`` eigenpairs at <= 1e-9, and the
+Rayleigh-quotient tracker ``refine_bound_states_batch`` must land on
+the exact eigenpairs of the *updated* Hamiltonians whether its guess
+was good (fast path) or useless (verified fallback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import ELECTRON_MASS
+from repro.errors import ConfigurationError
+from repro.solver import (
+    refine_bound_states_batch,
+    solve_schrodinger_1d,
+    solve_schrodinger_1d_batch,
+    uniform_grid,
+)
+from repro.units import ev_to_j
+
+RTOL = 1e-9
+MASS = 0.26 * ELECTRON_MASS
+
+
+def _random_wells(rng, n_lanes, n_nodes):
+    """Stacked triangular-ish wells with random fields and bowing."""
+    grid = uniform_grid(0.0, 15e-9, n_nodes)
+    fields = rng.uniform(2e8, 1.2e9, size=n_lanes)
+    bow = rng.uniform(0.0, 0.3, size=n_lanes)
+    x = grid.points / grid.points[-1]
+    pots = ev_to_j(
+        fields[:, None] * grid.points[None, :]
+        + bow[:, None] * np.sin(np.pi * x)[None, :]
+    )
+    return grid, pots
+
+
+class TestColdBatch:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scalar_lanes(self, seed):
+        rng = np.random.default_rng(seed)
+        n_lanes = int(rng.integers(1, 7))
+        grid, pots = _random_wells(rng, n_lanes, 151)
+        batch = solve_schrodinger_1d_batch(grid, pots, MASS, n_states=4)
+        assert batch.n_lanes == n_lanes and batch.n_states == 4
+        for i in range(n_lanes):
+            scalar = solve_schrodinger_1d(grid, pots[i], MASS, n_states=4)
+            np.testing.assert_allclose(
+                batch.energies[i], scalar.energies, rtol=RTOL
+            )
+            # Eigenvector sign is arbitrary; densities are not.
+            np.testing.assert_allclose(
+                np.abs(batch.wavefunctions[i]),
+                np.abs(scalar.wavefunctions),
+                rtol=1e-6,
+                atol=1e-9 * float(np.max(np.abs(scalar.wavefunctions))),
+            )
+
+    def test_density_batch_matches_scalar(self):
+        rng = np.random.default_rng(42)
+        grid, pots = _random_wells(rng, 3, 121)
+        batch = solve_schrodinger_1d_batch(grid, pots, MASS, n_states=3)
+        occ = rng.uniform(0.0, 1e16, size=(3, 3))
+        dens = batch.density_batch(occ)
+        for i in range(3):
+            np.testing.assert_allclose(
+                dens[i], batch.lane(i).density(occ[i]), rtol=RTOL
+            )
+
+    def test_density_batch_shape_checked(self):
+        rng = np.random.default_rng(0)
+        grid, pots = _random_wells(rng, 2, 61)
+        batch = solve_schrodinger_1d_batch(grid, pots, MASS, n_states=2)
+        with pytest.raises(ConfigurationError):
+            batch.density_batch(np.ones((2, 3)))
+
+
+class TestRefineTracker:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_small_update_tracks_exactly(self, seed):
+        """A damped-iteration-sized update refines to the exact pairs."""
+        rng = np.random.default_rng(300 + seed)
+        n_lanes = int(rng.integers(1, 6))
+        grid, pots = _random_wells(rng, n_lanes, 151)
+        guess = solve_schrodinger_1d_batch(grid, pots, MASS, n_states=4)
+        delta = rng.uniform(1e-4, 5e-3)
+        x = grid.points / grid.points[-1]
+        pots2 = pots + ev_to_j(delta) * np.cos(np.pi * x)[None, :]
+        refined = refine_bound_states_batch(grid, pots2, MASS, guess)
+        exact = solve_schrodinger_1d_batch(grid, pots2, MASS, n_states=4)
+        np.testing.assert_allclose(
+            refined.energies, exact.energies, rtol=RTOL
+        )
+        np.testing.assert_allclose(
+            np.abs(refined.wavefunctions),
+            np.abs(exact.wavefunctions),
+            rtol=1e-6,
+            atol=1e-9 * float(np.max(np.abs(exact.wavefunctions))),
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_large_update_falls_back_exactly(self, seed):
+        """A guess-invalidating update still returns the exact pairs."""
+        rng = np.random.default_rng(400 + seed)
+        grid, pots = _random_wells(rng, 4, 121)
+        guess = solve_schrodinger_1d_batch(grid, pots, MASS, n_states=4)
+        pots2 = pots * rng.uniform(1.5, 3.0)
+        refined = refine_bound_states_batch(grid, pots2, MASS, guess)
+        exact = solve_schrodinger_1d_batch(grid, pots2, MASS, n_states=4)
+        np.testing.assert_allclose(
+            refined.energies, exact.energies, rtol=RTOL
+        )
+
+    def test_single_state_branch_jump_is_caught(self):
+        """A 1-state guess that drifted onto an excited branch falls back.
+
+        With ``n_states == 1`` there is no ordering check to trip, so
+        only the Sturm-count branch certificate stands between a
+        drifted guess and silently returning an excited state as the
+        ground state.
+        """
+        rng = np.random.default_rng(11)
+        grid, pots = _random_wells(rng, 3, 151)
+        exact2 = solve_schrodinger_1d_batch(grid, pots, MASS, n_states=2)
+        # Adversarial guess: the first-excited pair labelled as state 0.
+        from repro.solver import BoundStatesBatch
+
+        bad_guess = BoundStatesBatch(
+            energies=exact2.energies[:, 1:2],
+            wavefunctions=exact2.wavefunctions[:, :, 1:2],
+            grid=grid,
+        )
+        refined = refine_bound_states_batch(grid, pots, MASS, bad_guess)
+        np.testing.assert_allclose(
+            refined.energies, exact2.energies[:, :1], rtol=RTOL
+        )
+
+    def test_identity_update_is_stable(self):
+        """Refining with the unchanged Hamiltonian keeps the pairs."""
+        rng = np.random.default_rng(5)
+        grid, pots = _random_wells(rng, 3, 151)
+        guess = solve_schrodinger_1d_batch(grid, pots, MASS, n_states=4)
+        refined = refine_bound_states_batch(grid, pots, MASS, guess)
+        np.testing.assert_allclose(
+            refined.energies, guess.energies, rtol=RTOL
+        )
+
+    def test_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(1)
+        grid, pots = _random_wells(rng, 2, 61)
+        guess = solve_schrodinger_1d_batch(grid, pots, MASS, n_states=2)
+        grid3, pots3 = _random_wells(rng, 3, 61)
+        with pytest.raises(ConfigurationError):
+            refine_bound_states_batch(grid3, pots3, MASS, guess)

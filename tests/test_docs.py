@@ -183,6 +183,89 @@ def test_api_guide_covers_the_solver_backend():
         assert needle in text, f"docs/API.md does not mention {needle!r}"
 
 
+def test_api_guide_covers_the_electrostatics_reliability_backend():
+    """docs/API.md documents the batched electrostatics + reliability layer."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert "Electrostatics & reliability backend" in text
+    for needle in (
+        "solve_poisson_1d_batch",
+        "solve_channel_well_batch",
+        "refine_bound_states_batch",
+        "channel_well_sweep",
+        "simulate_scalar_reference",
+        "simulate_batch",
+        "stress_of_pulse_batch",
+        "silc_current_density_batch",
+        "endurance_samples",
+        "test_bench_poisson_schrodinger.py",
+        "test_bench_endurance.py",
+    ):
+        assert needle in text, f"docs/API.md does not mention {needle!r}"
+
+
+def test_architecture_covers_the_electrostatics_reliability_backend():
+    """docs/ARCHITECTURE.md explains the batched final two layers."""
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    assert "Electrostatics & reliability backend" in text
+    for needle in (
+        "solve_tridiagonal_batch",
+        "solve_poisson_1d_batch",
+        "solve_schrodinger_1d_batch",
+        "refine_bound_states_batch",
+        "Rayleigh-quotient",
+        "solve_channel_well_batch",
+        "per-lane convergence masks",
+        "build_band_diagram_batch",
+        "build_capacitances_batch",
+        "simulate_scalar_reference",
+        "endurance_sweep",
+        "silc_current_density_batch",
+        "stress_of_pulse_batch",
+    ):
+        assert needle in text, (
+            f"docs/ARCHITECTURE.md does not mention {needle!r}"
+        )
+
+
+def test_batch_entry_points_documented():
+    """Every new public batch entry point carries a real docstring."""
+    import repro.electrostatics as electrostatics
+    import repro.engine as engine
+    import repro.reliability as reliability
+    import repro.solver as solver
+
+    entry_points = (
+        solver.solve_tridiagonal_batch,
+        solver.solve_poisson_1d_batch,
+        solver.solve_schrodinger_1d_batch,
+        solver.refine_bound_states_batch,
+        solver.PoissonBatchSolution1D,
+        solver.BoundStatesBatch,
+        electrostatics.solve_channel_well_batch,
+        electrostatics.ChannelWellBatchSolution,
+        electrostatics.build_band_diagram_batch,
+        electrostatics.BandDiagramBatch,
+        electrostatics.build_capacitances_batch,
+        electrostatics.FloatingGateCapacitanceBatch,
+        engine.channel_well_sweep,
+        engine.endurance_sweep,
+        reliability.EnduranceModel.simulate_batch,
+        reliability.EnduranceModel.simulate_scalar_reference,
+        reliability.EnduranceBatchResult,
+        reliability.stress_of_pulse_batch,
+        reliability.StressBatch,
+        reliability.silc_current_density_batch,
+        reliability.sampled_cycle_counts,
+    )
+    for member in entry_points:
+        assert member.__doc__ and len(member.__doc__.strip()) > 40, (
+            f"{getattr(member, '__qualname__', member)} lacks a substantive "
+            "docstring"
+        )
+
+
 def test_architecture_covers_the_solver_backend():
     """docs/ARCHITECTURE.md explains the vectorized numerical layer."""
     text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
