@@ -16,14 +16,18 @@ see ``benchmarks/test_bench_engine.py`` for the measured speedups.
 """
 
 from .batch import (
+    ArraySweepResult,
     BatchResult,
     BatchSpec,
     DesignScreen,
+    MlcSweepResult,
     TransientSweepResult,
+    array_program_sweep,
     channel_well_sweep,
     design_screen,
     endurance_sweep,
     fn_batch,
+    mlc_program_sweep,
     transient_sweep,
     tunneling_states,
 )
@@ -48,6 +52,10 @@ __all__ = [
     "design_screen",
     "channel_well_sweep",
     "endurance_sweep",
+    "ArraySweepResult",
+    "array_program_sweep",
+    "MlcSweepResult",
+    "mlc_program_sweep",
     "CacheSet",
     "CacheStats",
     "active_caches",

@@ -453,3 +453,151 @@ def design_screen(
         j0_a_m2=result.j_magnitude_a_m2,
         field_v_per_m=result.field_v_per_m,
     )
+
+
+@dataclass(frozen=True)
+class ArraySweepResult:
+    """Result of programming a batch of page patterns through an array.
+
+    Attributes
+    ----------
+    pulses_per_page:
+        ISPP pulses each page consumed.
+    read_bits:
+        Sensed read-back of every page (1 = erased), ``(pages, bitlines)``.
+    thresholds_v:
+        Post-program cell thresholds of every page [V].
+    """
+
+    pulses_per_page: np.ndarray
+    read_bits: np.ndarray
+    thresholds_v: np.ndarray
+
+
+def array_program_sweep(
+    kernel,
+    patterns,
+    config=None,
+    seed: int = 7,
+    scalar_reference: bool = False,
+) -> ArraySweepResult:
+    """Program a ``(pages, bitlines)`` pattern batch through the array backend.
+
+    The engine entry point of the matrix-backed NAND array: builds one
+    :class:`~repro.memory.array.VectorMemoryArray` from the calibrated
+    cell kernel, programs each pattern row into consecutive pages, and
+    senses every page back. With ``scalar_reference=True`` the identical
+    sequence routes through the per-cell reference loops on the same RNG
+    stream -- the bit-exact twin the gated
+    ``benchmarks/test_bench_nand_array.py`` comparison relies on.
+    """
+    from ..memory.array import ArrayConfig, build_vector_array
+
+    patterns = np.asarray(patterns)
+    if patterns.ndim != 2 or patterns.size == 0:
+        raise ConfigurationError(
+            "patterns must be a non-empty (pages, bitlines) matrix"
+        )
+    n_pages, bitlines = patterns.shape
+    if config is None:
+        config = ArrayConfig(
+            n_blocks=1, wordlines_per_block=n_pages, bitlines=bitlines
+        )
+    capacity = config.n_blocks * config.wordlines_per_block
+    if n_pages > capacity or bitlines != config.bitlines:
+        raise ConfigurationError(
+            f"{n_pages} pages of {bitlines} bits do not fit an array of "
+            f"{capacity} pages x {config.bitlines} bits"
+        )
+    array = build_vector_array(
+        kernel, config, seed=seed, scalar_reference=scalar_reference
+    )
+    pulses = np.empty(n_pages, dtype=np.int64)
+    read_bits = np.empty((n_pages, bitlines), dtype=np.uint8)
+    thresholds = np.empty((n_pages, bitlines))
+    for i in range(n_pages):
+        block = i // config.wordlines_per_block
+        wordline = i % config.wordlines_per_block
+        outcome = array.program_page(block, wordline, patterns[i])
+        pulses[i] = int(outcome.pulses_used[0])
+        read_bits[i] = array.read_page(block, wordline)
+        thresholds[i] = array.page_thresholds(block, wordline)
+    return ArraySweepResult(
+        pulses_per_page=pulses,
+        read_bits=read_bits,
+        thresholds_v=thresholds,
+    )
+
+
+@dataclass(frozen=True)
+class MlcSweepResult:
+    """Result of an MLC program/read sweep over a page batch.
+
+    Attributes
+    ----------
+    thresholds_v:
+        Post-staircase cell thresholds, ``(pages, cells)`` [V].
+    pulses_per_page:
+        Total ISPP pulses each page consumed across the staircase.
+    msb_bits, lsb_bits:
+        Gray-coded read-back bit planes of every page.
+    """
+
+    thresholds_v: np.ndarray
+    pulses_per_page: np.ndarray
+    msb_bits: np.ndarray
+    lsb_bits: np.ndarray
+
+
+def mlc_program_sweep(
+    kernel,
+    target_levels,
+    guard_fraction: float = 0.1,
+    ispp_step_v: float = 0.15,
+    noise_sigma_v: float = 0.02,
+    seed: int = 31,
+    scalar_reference: bool = False,
+) -> MlcSweepResult:
+    """Run the MLC staircase over a ``(pages, cells)`` target-level batch.
+
+    The engine entry point of the vectorized MLC kernel: derives the
+    four levels from the calibrated cell kernel, programs the whole
+    matrix of erased cells to the requested levels through
+    :func:`~repro.memory.mlc.program_mlc_page_batch` (or its bit-exact
+    per-cell twin under ``scalar_reference=True``), and reads every page
+    back through the three-reference batch classifier.
+    """
+    from ..memory.mlc import (
+        MlcLevels,
+        program_mlc_page_batch,
+        program_mlc_page_scalar_reference,
+        read_mlc_page_batch,
+    )
+
+    levels = MlcLevels.from_kernel(kernel, guard_fraction)
+    targets = np.asarray(target_levels)
+    if targets.ndim != 2 or targets.size == 0:
+        raise ConfigurationError(
+            "target_levels must be a non-empty (pages, cells) matrix"
+        )
+    vt0 = np.full(targets.shape, kernel.erased_vt_v, dtype=float)
+    program = (
+        program_mlc_page_scalar_reference
+        if scalar_reference
+        else program_mlc_page_batch
+    )
+    final_vt, pulses = program(
+        vt0,
+        levels,
+        targets,
+        ispp_step_v=ispp_step_v,
+        noise_sigma_v=noise_sigma_v,
+        rng=np.random.default_rng(seed),
+    )
+    msb, lsb = read_mlc_page_batch(final_vt, levels)
+    return MlcSweepResult(
+        thresholds_v=final_vt,
+        pulses_per_page=pulses,
+        msb_bits=msb,
+        lsb_bits=lsb,
+    )

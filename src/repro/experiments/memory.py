@@ -1,0 +1,378 @@
+"""Memory-array experiments (mem-*): the system layer, measured.
+
+The paper's cell is only useful inside an array, and the array-state
+backend makes whole-array experiments cheap enough to pin as goldens.
+These experiments run the matrix-backed NAND stack end to end through
+the engine entry points:
+
+* ``mem-array``   -- SLC program/read of a page batch through
+  :func:`~repro.engine.batch.array_program_sweep`; threshold
+  populations and read-back fidelity.
+* ``mem-mlc``     -- the four-level staircase over a page batch through
+  :func:`~repro.engine.batch.mlc_program_sweep`; per-level placement.
+* ``mem-ftl``     -- a Zipf host workload through the page-mapped FTL
+  over a :class:`~repro.memory.array.VectorMemoryArray`; write
+  amplification and wear spread.
+* ``mem-disturb`` -- read-disturb accumulation through the batched
+  block kernel plus an RTN trajectory ensemble on derived independent
+  streams.
+
+All randomness comes from explicit seed parameters (never the session
+stream counter), so the golden snapshots are insensitive to the order
+experiments run in a shared session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..api.session import SimulationContext, ensure_context
+from ..engine.batch import array_program_sweep, mlc_program_sweep
+from ..memory.array import ArrayConfig, build_vector_array
+from ..memory.disturb import (
+    READ_DISTURB_SCALE,
+    DisturbModel,
+    apply_read_disturb_batch,
+)
+from ..memory.ftl import PageMappedFtl
+from ..memory.mlc import MlcLevels
+from ..memory.rtn import RtnTrap
+from ..memory.workload import WorkloadSpec, build_workload
+from ..reporting.ascii_plot import PlotSeries
+from .base import ExperimentResult, ShapeCheck
+
+
+def _percentiles(values: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Sorted values against their percentile rank (an empirical CDF)."""
+    flat = np.sort(np.asarray(values, dtype=float).reshape(-1))
+    ranks = 100.0 * (np.arange(flat.size) + 0.5) / flat.size
+    return ranks, flat
+
+
+def run_array(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_pages: int = 8,
+    bitlines: int = 128,
+    pattern_seed: int = 101,
+    array_seed: int = 11,
+) -> ExperimentResult:
+    """mem-array: SLC threshold populations of a programmed page batch."""
+    ctx = ensure_context(ctx)
+    kernel = ctx.session.cell_kernel()
+    patterns = (
+        np.random.default_rng(pattern_seed)
+        .integers(0, 2, size=(n_pages, bitlines))
+        .astype(np.uint8)
+    )
+    sweep = array_program_sweep(kernel, patterns, seed=array_seed)
+    programmed = sweep.thresholds_v[patterns == 0]
+    erased = sweep.thresholds_v[patterns == 1]
+    reference_v = kernel.erased_vt_v + 0.5 * kernel.window_v
+    verify_v = kernel.erased_vt_v + 0.67 * kernel.window_v
+    e_x, e_y = _percentiles(erased)
+    p_x, p_y = _percentiles(programmed)
+    series = (
+        PlotSeries(label="erased cells", x=e_x, y=e_y),
+        PlotSeries(label="programmed cells", x=p_x, y=p_y),
+    )
+    checks = (
+        ShapeCheck(
+            claim="every page reads back its written pattern bit-exactly",
+            passed=bool((sweep.read_bits == patterns).all()),
+            detail=f"{n_pages} pages x {bitlines} bits compared",
+        ),
+        ShapeCheck(
+            claim="the two threshold populations are separated by the "
+            "read reference (no sensing overlap)",
+            passed=bool(
+                erased.max() < reference_v < programmed.min()
+            ),
+            detail=(
+                f"erased <= {erased.max():.3f} V < ref {reference_v:.3f} V"
+                f" < programmed >= {programmed.min():.3f} V"
+            ),
+        ),
+        ShapeCheck(
+            claim="ISPP places every programmed cell at or above the "
+            "verify level",
+            passed=bool((programmed >= verify_v).all()),
+            detail=f"verify at {verify_v:.3f} V",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="mem-array",
+        title="SLC array threshold populations after a page-batch program",
+        x_label="percentile",
+        y_label="threshold [V]",
+        series=series,
+        parameters={
+            "n_pages": n_pages,
+            "bitlines": bitlines,
+            "mean_pulses_per_page": float(sweep.pulses_per_page.mean()),
+        },
+        checks=checks,
+        log_y=False,
+    )
+
+
+def run_mlc(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_pages: int = 6,
+    cells_per_page: int = 96,
+    target_seed: int = 103,
+    program_seed: int = 31,
+) -> ExperimentResult:
+    """mem-mlc: per-level threshold placement of the batch MLC staircase."""
+    ctx = ensure_context(ctx)
+    kernel = ctx.session.cell_kernel()
+    levels = MlcLevels.from_kernel(kernel)
+    targets = np.random.default_rng(target_seed).integers(
+        0, 4, size=(n_pages, cells_per_page)
+    )
+    sweep = mlc_program_sweep(kernel, targets, seed=program_seed)
+    read_levels = levels.level_of_batch(sweep.thresholds_v)
+    series = tuple(
+        PlotSeries(
+            label=f"L{level} cells",
+            x=_percentiles(sweep.thresholds_v[targets == level])[0],
+            y=_percentiles(sweep.thresholds_v[targets == level])[1],
+        )
+        for level in range(4)
+    )
+    level_means = np.array(
+        [sweep.thresholds_v[targets == level].mean() for level in range(4)]
+    )
+    placed = all(
+        bool(
+            (
+                sweep.thresholds_v[targets == level]
+                >= levels.targets_v[level]
+            ).all()
+        )
+        for level in (1, 2, 3)
+    )
+    checks = (
+        ShapeCheck(
+            claim="every cell reads back its target level through the "
+            "three references",
+            passed=bool((read_levels == targets).all()),
+            detail=f"{targets.size} cells classified",
+        ),
+        ShapeCheck(
+            claim="level populations are ordered L0 < L1 < L2 < L3",
+            passed=bool((np.diff(level_means) > 0.0).all()),
+            detail=f"means {np.array2string(level_means, precision=2)} V",
+        ),
+        ShapeCheck(
+            claim="the staircase verifies every non-erased cell at or "
+            "above its level target",
+            passed=placed,
+            detail="levels 1-3 checked against their verify thresholds",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="mem-mlc",
+        title="MLC level placement of the batched staircase",
+        x_label="percentile within level",
+        y_label="threshold [V]",
+        series=series,
+        parameters={
+            "n_pages": n_pages,
+            "cells_per_page": cells_per_page,
+            "mean_pulses_per_page": float(sweep.pulses_per_page.mean()),
+        },
+        checks=checks,
+        log_y=False,
+    )
+
+
+def run_ftl(
+    ctx: "SimulationContext | None" = None,
+    *,
+    n_blocks: int = 6,
+    wordlines_per_block: int = 8,
+    bitlines: int = 32,
+    n_requests: int = 300,
+    workload_seed: int = 107,
+    array_seed: int = 5,
+    sample_every: int = 10,
+) -> ExperimentResult:
+    """mem-ftl: write amplification of a Zipf workload on the array backend."""
+    ctx = ensure_context(ctx)
+    kernel = ctx.session.cell_kernel()
+    config = ArrayConfig(
+        n_blocks=n_blocks,
+        wordlines_per_block=wordlines_per_block,
+        bitlines=bitlines,
+    )
+    ftl = PageMappedFtl(
+        build_vector_array(kernel, config, seed=array_seed),
+        overprovision_blocks=1,
+    )
+    spec = WorkloadSpec(
+        kind="zipf",
+        n_requests=n_requests,
+        capacity_pages=ftl.logical_capacity_pages,
+        page_bits=bitlines,
+        seed=workload_seed,
+    )
+    expected: "dict[int, np.ndarray]" = {}
+    sample_x, sample_wa, sample_spread = [], [], []
+    for i, request in enumerate(build_workload(spec), start=1):
+        ftl.write(request.logical_page, request.bits)
+        expected[request.logical_page] = request.bits
+        if i % sample_every == 0:
+            sample_x.append(float(i))
+            sample_wa.append(ftl.stats.write_amplification)
+            sample_spread.append(ftl.wear_spread())
+    readback_ok = all(
+        bool((ftl.read(lpage) == bits).all())
+        for lpage, bits in sorted(expected.items())
+    )
+    series = (
+        PlotSeries(
+            label="write amplification",
+            x=np.array(sample_x),
+            y=np.array(sample_wa),
+        ),
+        PlotSeries(
+            label="wear spread [erases]",
+            x=np.array(sample_x),
+            y=np.array(sample_spread),
+        ),
+    )
+    checks = (
+        ShapeCheck(
+            claim="every live logical page reads back its last-written "
+            "payload through the matrix backend",
+            passed=readback_ok,
+            detail=f"{len(expected)} logical pages verified",
+        ),
+        ShapeCheck(
+            claim="sustained random overwrites force garbage collection "
+            "(write amplification above 1)",
+            passed=ftl.stats.gc_invocations > 0
+            and ftl.stats.write_amplification > 1.0,
+            detail=(
+                f"WA {ftl.stats.write_amplification:.3f} after "
+                f"{ftl.stats.gc_invocations} GC passes"
+            ),
+        ),
+        ShapeCheck(
+            claim="wear-aware allocation keeps the block-erase spread "
+            "tight (within 2 erases)",
+            passed=ftl.wear_spread() <= 2.0,
+            detail=f"spread {ftl.wear_spread():.0f} erases",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="mem-ftl",
+        title="FTL write amplification under a Zipf workload",
+        x_label="host writes",
+        y_label="ratio / erase count",
+        series=series,
+        parameters={
+            "n_requests": n_requests,
+            "logical_capacity_pages": ftl.logical_capacity_pages,
+            "write_amplification": ftl.stats.write_amplification,
+            "gc_invocations": ftl.stats.gc_invocations,
+            "block_erases": ftl.stats.block_erases,
+        },
+        checks=checks,
+        log_y=False,
+    )
+
+
+def run_disturb(
+    ctx: "SimulationContext | None" = None,
+    *,
+    wordlines: int = 16,
+    bitlines: int = 64,
+    n_reads: int = 200,
+    rtn_trajectories: int = 32,
+    rtn_steps: int = 400,
+    rtn_seed: int = 109,
+) -> ExperimentResult:
+    """mem-disturb: read-disturb drift and an RTN occupancy ensemble."""
+    ctx = ensure_context(ctx)
+    device = ctx.device()
+    disturb = DisturbModel(device)
+    drift_v = disturb.drift_per_event_v()
+    kernel = ctx.session.cell_kernel()
+    vt = np.full((wordlines, bitlines), kernel.erased_vt_v)
+    victim_shift = np.empty(n_reads)
+    for read in range(n_reads):
+        apply_read_disturb_batch(vt, 0, drift_v)
+        victim_shift[read] = vt[1:].mean() - kernel.erased_vt_v
+    trap = RtnTrap.single_electron_for_device(device)
+    dt_s = trap.capture_time_s / 10.0
+    duration_s = rtn_steps * dt_s
+    ensemble = trap.sample_trajectory_batch(
+        duration_s, dt_s, rtn_trajectories, seed=rtn_seed
+    )
+    occupancy = (ensemble > 0.0).mean(axis=0)
+    times = np.arange(rtn_steps) * dt_s
+    tail_occupancy = float(occupancy[rtn_steps // 2 :].mean())
+    series = (
+        PlotSeries(
+            label="victim mean Vt shift [V]",
+            x=np.arange(1, n_reads + 1, dtype=float),
+            y=victim_shift,
+        ),
+        PlotSeries(
+            label="RTN ensemble occupancy",
+            x=times / dt_s,
+            y=occupancy,
+        ),
+    )
+    per_read = drift_v * READ_DISTURB_SCALE
+    checks = (
+        ShapeCheck(
+            claim="read disturb accumulates linearly: N reads shift "
+            "every victim cell by exactly N per-event drifts",
+            passed=bool(
+                np.allclose(
+                    victim_shift,
+                    per_read * np.arange(1, n_reads + 1),
+                    rtol=1e-9,
+                )
+            ),
+            detail=f"per-read drift {per_read:.3e} V",
+        ),
+        ShapeCheck(
+            claim="the aggressor word line itself is not disturbed by "
+            "its own reads",
+            passed=bool(
+                np.allclose(vt[0], kernel.erased_vt_v, rtol=0.0, atol=0.0)
+            ),
+            detail="word line 0 unchanged after all reads",
+        ),
+        ShapeCheck(
+            claim="the RTN ensemble settles to the detailed-balance "
+            "occupancy tau_e / (tau_c + tau_e)",
+            passed=bool(
+                abs(tail_occupancy - trap.occupancy) < 0.15
+            ),
+            detail=(
+                f"tail occupancy {tail_occupancy:.3f} vs stationary "
+                f"{trap.occupancy:.3f}"
+            ),
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="mem-disturb",
+        title="Read-disturb accumulation and RTN occupancy ensemble",
+        x_label="reads / RTN steps",
+        y_label="Vt shift [V] / occupancy",
+        series=series,
+        parameters={
+            "n_reads": n_reads,
+            "drift_per_event_v": drift_v,
+            "rtn_trajectories": rtn_trajectories,
+            "rtn_amplitude_v": trap.amplitude_v,
+        },
+        checks=checks,
+        log_y=False,
+    )

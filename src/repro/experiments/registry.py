@@ -49,6 +49,10 @@ _SPECS: "dict[str, str]" = {
     "rel-endurance": f"{_PACKAGE}.reliability:run_endurance",
     "rel-bake": f"{_PACKAGE}.reliability:run_bake",
     "rel-silc": f"{_PACKAGE}.reliability:run_silc",
+    "mem-array": f"{_PACKAGE}.memory:run_array",
+    "mem-mlc": f"{_PACKAGE}.memory:run_mlc",
+    "mem-ftl": f"{_PACKAGE}.memory:run_ftl",
+    "mem-disturb": f"{_PACKAGE}.memory:run_disturb",
 }
 
 _RESOLVED: "dict[str, Runner]" = {}

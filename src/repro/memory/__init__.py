@@ -7,7 +7,15 @@ Hamming ECC and managed by a page-mapped FTL with greedy garbage
 collection.
 """
 
-from .array import ArrayConfig, Block, MemoryArray, build_array
+from .array import (
+    ArrayConfig,
+    ArrayState,
+    Block,
+    MemoryArray,
+    VectorMemoryArray,
+    build_array,
+    build_vector_array,
+)
 from .cell import (
     CellKernel,
     CellState,
@@ -16,11 +24,20 @@ from .cell import (
     fresh_cells,
 )
 from .controller import ControllerStats, MemoryController
-from .disturb import DisturbModel
+from .disturb import (
+    READ_DISTURB_SCALE,
+    DisturbModel,
+    apply_program_disturb_batch,
+    apply_program_disturb_scalar_reference,
+    apply_read_disturb_batch,
+    apply_read_disturb_scalar_reference,
+)
 from .ecc import (
     HammingCode,
     interleave_decode,
+    interleave_decode_batch,
     interleave_encode,
+    interleave_encode_batch,
 )
 from .ftl import FtlStats, PageMappedFtl
 from .mlc import (
@@ -29,11 +46,26 @@ from .mlc import (
     bits_to_level,
     level_to_bits,
     program_mlc_page,
+    program_mlc_page_batch,
+    program_mlc_page_scalar_reference,
     read_mlc_page,
+    read_mlc_page_batch,
 )
-from .ispp import IsppOutcome, IsppPolicy, program_cells
+from .ispp import (
+    IsppBatchOutcome,
+    IsppOutcome,
+    IsppPolicy,
+    ispp_step_batch,
+    program_cells,
+    program_page_batch,
+    program_page_scalar_reference,
+)
 from .nand_string import NandString, StringOperations, build_string
-from .rtn import RtnTrap, read_instability_probability
+from .rtn import (
+    RtnTrap,
+    derive_trajectory_seed,
+    read_instability_probability,
+)
 from .sense import SenseAmplifier
 from .vt_distribution import (
     VtDistribution,
@@ -61,21 +93,36 @@ __all__ = [
     "optimal_read_reference",
     "IsppPolicy",
     "IsppOutcome",
+    "IsppBatchOutcome",
     "program_cells",
+    "ispp_step_batch",
+    "program_page_batch",
+    "program_page_scalar_reference",
     "SenseAmplifier",
     "RtnTrap",
+    "derive_trajectory_seed",
     "read_instability_probability",
     "DisturbModel",
+    "READ_DISTURB_SCALE",
+    "apply_program_disturb_batch",
+    "apply_program_disturb_scalar_reference",
+    "apply_read_disturb_batch",
+    "apply_read_disturb_scalar_reference",
     "NandString",
     "StringOperations",
     "build_string",
     "ArrayConfig",
+    "ArrayState",
     "Block",
     "MemoryArray",
+    "VectorMemoryArray",
     "build_array",
+    "build_vector_array",
     "HammingCode",
     "interleave_encode",
     "interleave_decode",
+    "interleave_encode_batch",
+    "interleave_decode_batch",
     "FtlStats",
     "PageMappedFtl",
     "MlcLevels",
@@ -83,7 +130,10 @@ __all__ = [
     "bits_to_level",
     "level_to_bits",
     "program_mlc_page",
+    "program_mlc_page_batch",
+    "program_mlc_page_scalar_reference",
     "read_mlc_page",
+    "read_mlc_page_batch",
     "ControllerStats",
     "MemoryController",
     "WorkloadSpec",

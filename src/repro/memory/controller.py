@@ -14,7 +14,11 @@ import numpy as np
 
 from ..errors import ConfigurationError, MemoryOperationError
 from .array import MemoryArray
-from .ecc import HammingCode, interleave_decode, interleave_encode
+from .ecc import (
+    HammingCode,
+    interleave_decode_batch,
+    interleave_encode_batch,
+)
 from .ftl import PageMappedFtl
 
 
@@ -68,7 +72,7 @@ class MemoryController:
                 f"payload must be {self.host_page_bits} bits, "
                 f"got {payload.size}"
             )
-        encoded = interleave_encode(self.code, payload)
+        encoded = interleave_encode_batch(self.code, payload)
         physical_bits = self.ftl.array.config.bitlines
         page = np.ones(physical_bits, dtype=np.uint8)  # 1 = erased filler
         page[: encoded.size] = encoded
@@ -89,7 +93,7 @@ class MemoryController:
         n_blocks = math.ceil(self.host_page_bits / self.code.data_bits)
         encoded_bits = n_blocks * self.code.codeword_bits
         try:
-            payload, corrected = interleave_decode(
+            payload, corrected = interleave_decode_batch(
                 self.code, raw[:encoded_bits], self.host_page_bits
             )
         except MemoryOperationError:

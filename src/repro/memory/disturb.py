@@ -17,11 +17,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..device.bias import BiasCondition
 from ..device.floating_gate import FloatingGateTransistor
 from ..electrostatics.gcr import TerminalVoltages
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, MemoryOperationError
 from ..tunneling.direct import DirectTunnelingModel
+
+#: Read pass voltage is lower than program pass; the per-event drift is
+#: scaled by this ratio of the squared fields (FN-like superlinearity).
+READ_DISTURB_SCALE = 0.01
 
 
 @dataclass(frozen=True)
@@ -79,3 +85,111 @@ class DisturbModel:
         if per_event <= 0.0:
             return float("inf")
         return budget_v / per_event
+
+
+# ----- array-state (matrix) accumulation ------------------------------------
+
+
+def _validate_block_matrix(
+    vt_v: np.ndarray, wordline: int
+) -> np.ndarray:
+    """Check one ``(wordlines, bitlines)`` block operand and wordline."""
+    vt_v = np.asarray(vt_v, dtype=float)
+    if vt_v.ndim != 2 or vt_v.size == 0:
+        raise MemoryOperationError(
+            f"block Vt must be a (wordlines, bitlines) matrix, got "
+            f"shape {vt_v.shape}"
+        )
+    if not 0 <= wordline < vt_v.shape[0]:
+        raise MemoryOperationError(
+            f"wordline {wordline} outside block of {vt_v.shape[0]}"
+        )
+    return vt_v
+
+
+def apply_program_disturb_batch(
+    vt_v: np.ndarray,
+    wordline: int,
+    select_mask: np.ndarray,
+    drift_v: float,
+    n_events: int = 1,
+) -> np.ndarray:
+    """Accumulate program disturb over a whole block matrix in place.
+
+    Victims are every *other* word line of the bit lines participating
+    in the program (``select_mask`` true); each gains ``drift_v`` per
+    event. One boolean-indexed add replaces the per-victim Python loop;
+    each victim cell receives exactly one addition, so the result is
+    bit-identical to the scalar reference. Returns ``vt_v``.
+    """
+    vt_v = _validate_block_matrix(vt_v, wordline)
+    select = np.asarray(select_mask, dtype=bool)
+    if select.shape != (vt_v.shape[1],):
+        raise MemoryOperationError(
+            f"select mask must have one entry per bitline "
+            f"({vt_v.shape[1]}), got shape {select.shape}"
+        )
+    victims = np.ones(vt_v.shape[0], dtype=bool)
+    victims[wordline] = False
+    vt_v[np.ix_(victims, select)] += drift_v * n_events
+    return vt_v
+
+
+def apply_program_disturb_scalar_reference(
+    vt_v: np.ndarray,
+    wordline: int,
+    select_mask: np.ndarray,
+    drift_v: float,
+    n_events: int = 1,
+) -> np.ndarray:
+    """The seed per-victim program-disturb loop (bit-exact parity twin)."""
+    vt_v = _validate_block_matrix(vt_v, wordline)
+    select = np.asarray(select_mask, dtype=bool)
+    if select.shape != (vt_v.shape[1],):
+        raise MemoryOperationError(
+            f"select mask must have one entry per bitline "
+            f"({vt_v.shape[1]}), got shape {select.shape}"
+        )
+    for bitline in range(vt_v.shape[1]):
+        if not select[bitline]:
+            continue
+        for wl in range(vt_v.shape[0]):
+            if wl != wordline:
+                vt_v[wl, bitline] += drift_v * n_events
+    return vt_v
+
+
+def apply_read_disturb_batch(
+    vt_v: np.ndarray,
+    wordline: int,
+    drift_v: float,
+    n_events: int = 1,
+) -> np.ndarray:
+    """Accumulate read disturb over a whole block matrix in place.
+
+    Every cell of every *other* word line gains the (read-scaled)
+    ``drift_v`` per read event; ``n_events`` reads of the same page
+    accumulate in one add. Returns ``vt_v``.
+    """
+    vt_v = _validate_block_matrix(vt_v, wordline)
+    victims = np.ones(vt_v.shape[0], dtype=bool)
+    victims[wordline] = False
+    vt_v[victims, :] += drift_v * READ_DISTURB_SCALE * n_events
+    return vt_v
+
+
+def apply_read_disturb_scalar_reference(
+    vt_v: np.ndarray,
+    wordline: int,
+    drift_v: float,
+    n_events: int = 1,
+) -> np.ndarray:
+    """The seed per-cell read-disturb loop (bit-exact parity twin)."""
+    vt_v = _validate_block_matrix(vt_v, wordline)
+    for bitline in range(vt_v.shape[1]):
+        for wl in range(vt_v.shape[0]):
+            if wl != wordline:
+                vt_v[wl, bitline] += (
+                    drift_v * READ_DISTURB_SCALE * n_events
+                )
+    return vt_v

@@ -4,6 +4,24 @@ NAND programming alternates short pulses with verify reads: cells that
 have crossed the verify level are inhibited from further pulses, which
 squeezes the programmed distribution to roughly the ISPP step size
 regardless of cell-to-cell speed variation.
+
+Two implementations share the module:
+
+* the seed object path (:func:`program_cells` over
+  :class:`~repro.memory.cell.MemoryCell` lists), retained for the
+  legacy :class:`~repro.memory.array.MemoryArray`, and
+* the array-state path: :func:`ispp_step_batch` /
+  :func:`program_page_batch` advance a whole ``(pages, cells)``
+  threshold matrix per pulse with per-cell verify masks, and
+  :func:`program_page_scalar_reference` replays the identical RNG
+  stream through per-cell Python loops -- the bit-exact parity twin
+  the randomized contract suites enforce.
+
+RNG contract of the batch path: every pulse draws one noise value for
+**every** cell of the matrix (page-major order), whether or not the
+cell is still pending, so the stream layout is a pure function of the
+matrix shape and pulse count -- that is what makes the vectorized and
+scalar paths consume identical deterministic streams.
 """
 
 from __future__ import annotations
@@ -118,4 +136,160 @@ def program_cells(
         pulses_used=pulses,
         failed_cells=tuple(pending),
         final_vt_v=final,
+    )
+
+
+# ----- array-state (matrix) path --------------------------------------------
+
+
+@dataclass(frozen=True)
+class IsppBatchOutcome:
+    """Result of programming a ``(pages, cells)`` threshold matrix.
+
+    Attributes
+    ----------
+    pulses_used:
+        Pulses issued per page -- a pulse counts for a page while that
+        page still had unverified selected cells; shape ``(pages,)``.
+    failed_mask:
+        Boolean ``(pages, cells)`` mask of selected cells that never
+        reached the verify level.
+    final_vt_v:
+        The full threshold matrix after the operation.
+    """
+
+    pulses_used: np.ndarray
+    failed_mask: np.ndarray
+    final_vt_v: np.ndarray
+
+    @property
+    def success(self) -> bool:
+        """Whether every selected cell of every page verified."""
+        return not bool(self.failed_mask.any())
+
+
+def _as_page_matrix(array: np.ndarray, name: str) -> np.ndarray:
+    """Validate and return one ``(pages, cells)`` matrix operand."""
+    out = np.asarray(array)
+    if out.ndim != 2:
+        raise MemoryOperationError(
+            f"{name} must be a (pages, cells) matrix, got shape {out.shape}"
+        )
+    if out.size == 0:
+        raise MemoryOperationError(f"{name} must hold at least one cell")
+    return out
+
+
+def ispp_step_batch(
+    vt_v: np.ndarray,
+    pending: np.ndarray,
+    shift_base_v: float,
+    policy: IsppPolicy,
+    rng: np.random.Generator,
+    ceiling_v: "np.ndarray | float",
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Advance one ISPP pulse over a ``(pages, cells)`` threshold matrix.
+
+    Draws one noise value per matrix cell (the fixed stream layout of
+    the batch RNG contract), applies ``max(shift_base + noise, 0)`` to
+    the pending cells only -- capped at the per-cell ``ceiling_v`` --
+    and verifies against the policy's verify level. Returns the updated
+    ``(vt_v, pending)`` pair; non-pending cells pass through bit-exactly.
+    """
+    vt_v = _as_page_matrix(vt_v, "vt_v")
+    pending = _as_page_matrix(pending, "pending").astype(bool)
+    if pending.shape != vt_v.shape:
+        raise MemoryOperationError("pending mask must match the Vt matrix")
+    noise = rng.normal(0.0, policy.noise_sigma_v, size=vt_v.shape)
+    shift = np.maximum(shift_base_v + noise, 0.0)
+    bumped = np.minimum(vt_v + shift, ceiling_v)
+    vt_new = np.where(pending, bumped, vt_v)
+    pending_new = pending & (vt_new < policy.verify_level_v)
+    return vt_new, pending_new
+
+
+def program_page_batch(
+    vt_v: np.ndarray,
+    select_mask: np.ndarray,
+    policy: IsppPolicy,
+    rng: np.random.Generator,
+    ceiling_v: "np.ndarray | float",
+) -> IsppBatchOutcome:
+    """Program whole pages of a threshold matrix with vectorized ISPP.
+
+    ``vt_v`` and ``select_mask`` are ``(pages, cells)`` matrices;
+    unselected cells are inhibited and pass through untouched. Pulsing
+    stops when every selected cell of every page has verified or
+    ``policy.max_pulses`` is exhausted; each page's pulse counter stops
+    with its own last pending cell.
+    """
+    vt_v = _as_page_matrix(vt_v, "vt_v").astype(float).copy()
+    select = _as_page_matrix(select_mask, "select_mask").astype(bool)
+    if select.shape != vt_v.shape:
+        raise MemoryOperationError("select mask must match the Vt matrix")
+    pending = select & (vt_v < policy.verify_level_v)
+    pulses = np.zeros(vt_v.shape[0], dtype=np.int64)
+    issued = 0
+    while pending.any() and issued < policy.max_pulses:
+        shift_base = (
+            policy.first_pulse_shift_v if issued == 0 else policy.step_v
+        )
+        pulses += pending.any(axis=1)
+        vt_v, pending = ispp_step_batch(
+            vt_v, pending, shift_base, policy, rng, ceiling_v
+        )
+        issued += 1
+    return IsppBatchOutcome(
+        pulses_used=pulses, failed_mask=pending, final_vt_v=vt_v
+    )
+
+
+def program_page_scalar_reference(
+    vt_v: np.ndarray,
+    select_mask: np.ndarray,
+    policy: IsppPolicy,
+    rng: np.random.Generator,
+    ceiling_v: "np.ndarray | float",
+) -> IsppBatchOutcome:
+    """The seed per-cell ISPP loop under the batch RNG contract.
+
+    Identical semantics to :func:`program_page_batch` -- same pulse
+    schedule, same per-cell noise draws in page-major order -- executed
+    one cell at a time in Python. The contract suites pin the two paths
+    bit-exactly; benchmarks time this loop as the scalar baseline.
+    """
+    vt_v = _as_page_matrix(vt_v, "vt_v").astype(float).copy()
+    select = _as_page_matrix(select_mask, "select_mask").astype(bool)
+    if select.shape != vt_v.shape:
+        raise MemoryOperationError("select mask must match the Vt matrix")
+    n_pages, n_cells = vt_v.shape
+    ceiling = np.broadcast_to(
+        np.asarray(ceiling_v, dtype=float), vt_v.shape
+    )
+    pending = [
+        [select[p, c] and vt_v[p, c] < policy.verify_level_v for c in range(n_cells)]
+        for p in range(n_pages)
+    ]
+    pulses = np.zeros(n_pages, dtype=np.int64)
+    issued = 0
+    while any(any(row) for row in pending) and issued < policy.max_pulses:
+        shift_base = (
+            policy.first_pulse_shift_v if issued == 0 else policy.step_v
+        )
+        for p in range(n_pages):
+            if any(pending[p]):
+                pulses[p] += 1
+        for p in range(n_pages):
+            for c in range(n_cells):
+                noise = float(rng.normal(0.0, policy.noise_sigma_v))
+                if not pending[p][c]:
+                    continue
+                shift = max(shift_base + noise, 0.0)
+                vt_v[p, c] = min(vt_v[p, c] + shift, ceiling[p, c])
+                if vt_v[p, c] >= policy.verify_level_v:
+                    pending[p][c] = False
+        issued += 1
+    failed = np.array(pending, dtype=bool).reshape(n_pages, n_cells)
+    return IsppBatchOutcome(
+        pulses_used=pulses, failed_mask=failed, final_vt_v=vt_v
     )

@@ -16,11 +16,21 @@ import numpy as np
 
 from ..errors import ConfigurationError, MemoryOperationError
 from .cell import CellKernel, MemoryCell
-from .ispp import IsppPolicy, program_cells
+from .ispp import (
+    IsppPolicy,
+    _as_page_matrix,
+    program_cells,
+    program_page_batch,
+    program_page_scalar_reference,
+)
 
 #: Gray code for the four levels, lowest threshold first. L0 (erased)
 #: holds '11'; each step changes one bit.
 GRAY_BITS = ((1, 1), (1, 0), (0, 0), (0, 1))
+
+#: Vectorized lookup tables of :data:`GRAY_BITS` (level index -> bit).
+_GRAY_MSB = np.array([b[0] for b in GRAY_BITS], dtype=np.uint8)
+_GRAY_LSB = np.array([b[1] for b in GRAY_BITS], dtype=np.uint8)
 
 
 @dataclass(frozen=True)
@@ -65,6 +75,18 @@ class MlcLevels:
             if vt_v > ref:
                 level += 1
         return level
+
+    def level_of_batch(self, vt_v: np.ndarray) -> np.ndarray:
+        """Level indices (0-3) of a whole threshold array at once.
+
+        The vectorized form of :meth:`level_of`: each threshold is
+        compared against the three read references in one broadcast,
+        so MLC read-back of a ``(pages, cells)`` matrix costs three
+        comparisons instead of a per-cell Python loop.
+        """
+        vt = np.asarray(vt_v, dtype=float)
+        refs = np.asarray(self.references_v, dtype=float)
+        return (vt[..., np.newaxis] > refs).sum(axis=-1).astype(np.int64)
 
 
 def bits_to_level(msb: int, lsb: int) -> int:
@@ -140,3 +162,130 @@ def read_mlc_page(
         m, l = level_to_bits(levels.level_of(cell.vt_v))
         msb[i], lsb[i] = m, l
     return msb, lsb
+
+
+# ----- array-state (matrix) path --------------------------------------------
+
+
+def _mlc_policy(
+    levels: MlcLevels, level: int, ispp_step_v: float, noise_sigma_v: float
+) -> IsppPolicy:
+    """The per-level ISPP policy shared by every MLC program path."""
+    return IsppPolicy(
+        verify_level_v=levels.targets_v[level],
+        step_v=ispp_step_v,
+        first_pulse_shift_v=ispp_step_v,
+        noise_sigma_v=noise_sigma_v,
+        max_pulses=200,
+    )
+
+
+def _program_mlc_matrix(
+    vt_v: np.ndarray,
+    levels: MlcLevels,
+    target_levels: np.ndarray,
+    ispp_step_v: float,
+    noise_sigma_v: float,
+    rng: "np.random.Generator | None",
+    ceiling_v: "np.ndarray | float",
+    kernel,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Shared staircase driver of the batch and scalar-reference paths."""
+    vt_v = _as_page_matrix(vt_v, "vt_v").astype(float)
+    targets = _as_page_matrix(target_levels, "target_levels")
+    if targets.shape != vt_v.shape:
+        raise MemoryOperationError("one target level per cell required")
+    targets = targets.astype(np.int64)
+    if ((targets < 0) | (targets > 3)).any():
+        raise MemoryOperationError("levels must be 0-3")
+    rng = rng or np.random.default_rng(31)
+
+    total_pulses = np.zeros(vt_v.shape[0], dtype=np.int64)
+    for level in (1, 2, 3):
+        mask = targets == level
+        if not mask.any():
+            continue
+        policy = _mlc_policy(levels, level, ispp_step_v, noise_sigma_v)
+        outcome = kernel(vt_v, mask, policy, rng, ceiling_v)
+        if not outcome.success:
+            raise MemoryOperationError(
+                f"MLC level {level} failed verify on "
+                f"{int(outcome.failed_mask.sum())} cells"
+            )
+        vt_v = outcome.final_vt_v
+        total_pulses += outcome.pulses_used
+    return vt_v, total_pulses
+
+
+def program_mlc_page_batch(
+    vt_v: np.ndarray,
+    levels: MlcLevels,
+    target_levels: np.ndarray,
+    ispp_step_v: float = 0.15,
+    noise_sigma_v: float = 0.02,
+    rng: "np.random.Generator | None" = None,
+    ceiling_v: "np.ndarray | float" = np.inf,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Program a ``(pages, cells)`` threshold matrix to per-cell MLC levels.
+
+    The vectorized form of :func:`program_mlc_page`: levels are
+    programmed lowest-first (L1, L2, L3), each pass running the whole
+    matrix through :func:`~repro.memory.ispp.program_page_batch` with
+    that level's verify mask, so already-placed levels stay undisturbed.
+    Returns ``(final_vt_v, pulses_per_page)``; a level whose verify
+    fails anywhere raises :class:`~repro.errors.MemoryOperationError`.
+    A staircase pass with no targeted cells anywhere is skipped without
+    consuming RNG draws (the same stream rule the scalar reference
+    replays).
+    """
+    return _program_mlc_matrix(
+        vt_v,
+        levels,
+        target_levels,
+        ispp_step_v,
+        noise_sigma_v,
+        rng,
+        ceiling_v,
+        program_page_batch,
+    )
+
+
+def program_mlc_page_scalar_reference(
+    vt_v: np.ndarray,
+    levels: MlcLevels,
+    target_levels: np.ndarray,
+    ispp_step_v: float = 0.15,
+    noise_sigma_v: float = 0.02,
+    rng: "np.random.Generator | None" = None,
+    ceiling_v: "np.ndarray | float" = np.inf,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """The seed per-cell MLC staircase; bit-exact twin of the batch path.
+
+    Runs the identical level schedule through the per-cell Python loop
+    of :func:`~repro.memory.ispp.program_page_scalar_reference`, so a
+    shared seed reproduces :func:`program_mlc_page_batch` exactly.
+    """
+    return _program_mlc_matrix(
+        vt_v,
+        levels,
+        target_levels,
+        ispp_step_v,
+        noise_sigma_v,
+        rng,
+        ceiling_v,
+        program_page_scalar_reference,
+    )
+
+
+def read_mlc_page_batch(
+    vt_v: np.ndarray, levels: MlcLevels
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Read a threshold matrix back as Gray-coded (msb, lsb) bit matrices.
+
+    Three vectorized reference comparisons classify every cell of the
+    ``(pages, cells)`` matrix at once, then the Gray lookup tables map
+    level indices to bit planes -- the matrix form of
+    :func:`read_mlc_page`.
+    """
+    level = levels.level_of_batch(_as_page_matrix(vt_v, "vt_v"))
+    return _GRAY_MSB[level], _GRAY_LSB[level]

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, MemoryOperationError
 from .cell import CellKernel, CellState, MemoryCell, fresh_cells
-from .disturb import DisturbModel
+from .disturb import READ_DISTURB_SCALE, DisturbModel
 from .ispp import IsppOutcome, IsppPolicy, program_cells
 from .sense import SenseAmplifier
 
@@ -154,9 +154,7 @@ class StringOperations:
         self.read_count[wordline] = self.read_count.get(wordline, 0) + 1
         if self.disturb is not None:
             drift = self.disturb.drift_per_event_v()
-            # Read pass voltage is lower than program pass; scale by the
-            # ratio of the squared fields (FN-like superlinearity).
-            read_scale = 0.01
+            read_scale = READ_DISTURB_SCALE
             for string in self.strings:
                 for wl in range(self.n_wordlines):
                     if wl != wordline:

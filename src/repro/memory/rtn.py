@@ -85,11 +85,17 @@ class RtnTrap:
 
         Returns the shift at each step (0 or ``amplitude_v``). Uses the
         exact per-step transition probabilities ``1 - exp(-dt/tau)``.
+
+        For ensembles, do **not** thread one generator through repeated
+        calls (trajectory *k* would then depend on how many steps every
+        earlier trajectory consumed): derive one independent stream per
+        lane with :func:`derive_trajectory_seed` -- the convention
+        :meth:`sample_trajectory_batch` applies internally -- so lane
+        ``i`` of a batch is reproduced exactly by
+        ``sample_trajectory(..., rng=np.random.default_rng(
+        derive_trajectory_seed(seed, i)))``.
         """
-        if duration_s <= 0.0 or dt_s <= 0.0:
-            raise ConfigurationError("duration and dt must be positive")
-        if dt_s > duration_s:
-            raise ConfigurationError("dt cannot exceed the duration")
+        self._validate_grid(duration_s, dt_s)
         n = int(duration_s / dt_s)
         p_capture = 1.0 - math.exp(-dt_s / self.capture_time_s)
         p_emit = 1.0 - math.exp(-dt_s / self.emission_time_s)
@@ -105,6 +111,111 @@ class RtnTrap:
                     occupied = True
             shifts[i] = self.amplitude_v if occupied else 0.0
         return shifts
+
+    def sample_trajectory_scalar_reference(
+        self,
+        duration_s: float,
+        dt_s: float,
+        lane: int,
+        seed: int,
+        initially_occupied: bool = False,
+    ) -> np.ndarray:
+        """One lane of a batch ensemble through the seed per-step loop.
+
+        Runs :meth:`sample_trajectory` on the lane's derived independent
+        stream -- the bit-exact scalar twin of the corresponding row of
+        :meth:`sample_trajectory_batch`.
+        """
+        rng = np.random.default_rng(derive_trajectory_seed(seed, lane))
+        return self.sample_trajectory(
+            duration_s, dt_s, rng, initially_occupied=initially_occupied
+        )
+
+    def sample_trajectory_batch(
+        self,
+        duration_s: float,
+        dt_s: float,
+        n_trajectories: int,
+        seed: int,
+        initially_occupied: bool = False,
+    ) -> np.ndarray:
+        """Simulate a ``(trajectories, steps)`` RTN ensemble vectorized.
+
+        Each lane draws its uniforms from an independent stream derived
+        via :func:`derive_trajectory_seed` (the
+        ``session.derive_worker_seed`` convention). The two-state
+        Markov recurrence is then solved in closed form instead of
+        stepped: classify every step by its uniform --
+
+        * *forced* (the step sets the state regardless of history:
+          the capture and survival tests agree),
+        * *flip* (``u`` below both probabilities: an occupied trap
+          emits, an empty one captures), or
+        * *identity* (``u`` above both: the state persists) --
+
+        after which ``occupied[i]`` is the value at the most recent
+        forced step XOR the parity of flips since it. The segment
+        lookup runs as one running maximum over ``(step << 1) | value``
+        packed integers (the maximum at step ``i`` is the *latest*
+        forced step's packed record, or -1 if none yet) and the flip
+        parity as one boolean XOR accumulation, so no Python loop over
+        steps remains. Lane ``i`` is bit-identical to
+        :meth:`sample_trajectory_scalar_reference` with the same seed.
+        """
+        self._validate_grid(duration_s, dt_s)
+        if n_trajectories < 1:
+            raise ConfigurationError("need at least one trajectory")
+        n = int(duration_s / dt_s)
+        p_capture = 1.0 - math.exp(-dt_s / self.capture_time_s)
+        p_emit = 1.0 - math.exp(-dt_s / self.emission_time_s)
+        uniforms = np.empty((n_trajectories, n))
+        for lane in range(n_trajectories):
+            lane_rng = np.random.default_rng(
+                derive_trajectory_seed(seed, lane)
+            )
+            uniforms[lane] = lane_rng.random(n)
+        captures = uniforms < p_capture
+        stays = uniforms >= p_emit
+        forced = captures == stays
+        flips = captures & ~stays
+        # Inclusive flip parity: occupied relative to the last anchor.
+        parity = np.logical_xor.accumulate(flips, axis=1)
+        # At a forced step j the state is captures[j]; store it parity-
+        # relative (captures ^ parity) so the XOR below undoes the
+        # flips that preceded the anchor.
+        anchored = captures ^ parity
+        packed_steps = (np.arange(n, dtype=np.int32) << 1).reshape(1, -1)
+        packed = np.where(
+            forced, packed_steps + anchored, np.int32(-1)
+        )
+        latest = np.maximum.accumulate(packed, axis=1)
+        base = np.where(
+            latest < 0, bool(initially_occupied), (latest & 1) == 1
+        )
+        occupied = base ^ parity
+        return np.where(occupied, self.amplitude_v, 0.0)
+
+    def _validate_grid(self, duration_s: float, dt_s: float) -> None:
+        """Shared time-grid validation of the trajectory samplers."""
+        if duration_s <= 0.0 or dt_s <= 0.0:
+            raise ConfigurationError("duration and dt must be positive")
+        if dt_s > duration_s:
+            raise ConfigurationError("dt cannot exceed the duration")
+
+
+def derive_trajectory_seed(seed: int, lane: int) -> int:
+    """A deterministic independent seed for one ensemble lane.
+
+    The memory-layer analogue of
+    :func:`repro.api.session.derive_worker_seed`: ``(root seed, lane)``
+    is mixed through :class:`numpy.random.SeedSequence` (stable across
+    NumPy versions and platforms), so nearby lanes (0, 1, 2, ...) land
+    on statistically independent streams and a fixed root seed replays
+    the whole ensemble -- or any single lane -- exactly.
+    """
+    mask = (1 << 64) - 1
+    mixed = np.random.SeedSequence([int(seed) & mask, int(lane) & mask])
+    return int(mixed.generate_state(1, dtype=np.uint64)[0])
 
 
 def read_instability_probability(

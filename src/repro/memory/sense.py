@@ -65,3 +65,49 @@ class SenseAmplifier:
         the reference the cell sits on.
         """
         return abs(cell.vt_v - self.reference_v)
+
+    # ----- array-state (matrix) path ------------------------------------
+
+    def sense_page_batch(
+        self,
+        vt_v: np.ndarray,
+        rng: "np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Sense a whole threshold array into bits in one comparison.
+
+        Draws one comparator-noise value per cell (a single
+        vectorized draw in C order -- the stream the scalar reference
+        replays cell by cell) and compares every threshold against its
+        noisy reference at once. Returns ``uint8`` bits of ``vt_v``'s
+        shape, 1 = erased, matching :meth:`sense` exactly.
+        """
+        vt = np.asarray(vt_v, dtype=float)
+        reference = self.reference_v
+        if rng is not None and self.noise_sigma_v > 0.0:
+            reference = reference + rng.normal(
+                0.0, self.noise_sigma_v, size=vt.shape
+            )
+        return (vt <= reference).astype(np.uint8)
+
+    def sense_page_scalar_reference(
+        self,
+        vt_v: np.ndarray,
+        rng: "np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """The seed per-cell sense loop (bit-exact parity twin).
+
+        Same noise stream and comparison as :meth:`sense_page_batch`,
+        executed one cell at a time in C order.
+        """
+        vt = np.asarray(vt_v, dtype=float)
+        flat = vt.reshape(-1)
+        bits = np.empty(flat.shape, dtype=np.uint8)
+        draw_noise = rng is not None and self.noise_sigma_v > 0.0
+        for i, value in enumerate(flat):
+            noise = (
+                float(rng.normal(0.0, self.noise_sigma_v))
+                if draw_noise
+                else 0.0
+            )
+            bits[i] = 1 if value <= self.reference_v + noise else 0
+        return bits.reshape(vt.shape)

@@ -1,0 +1,71 @@
+"""The memory-array experiments (mem-*) and their overrides."""
+
+import pytest
+
+from repro.api import SimulationSession
+from repro.errors import ConfigurationError
+from repro.experiments import available_experiments
+
+MEM_EXPERIMENTS = ["mem-array", "mem-mlc", "mem-ftl", "mem-disturb"]
+
+
+@pytest.fixture(scope="module")
+def session():
+    return SimulationSession(seed=7)
+
+
+class TestRegistration:
+    def test_mem_experiments_registered(self):
+        ids = available_experiments()
+        for eid in MEM_EXPERIMENTS:
+            assert eid in ids
+
+
+class TestDefaults:
+    @pytest.mark.parametrize("experiment_id", MEM_EXPERIMENTS)
+    def test_default_run_passes_checks(self, experiment_id, session):
+        result = session.run(experiment_id)
+        assert result.experiment_id == experiment_id
+        assert result.series
+        failing = [c for c in result.checks if not c.passed]
+        assert not failing, [c.claim for c in failing]
+
+    @pytest.mark.parametrize("experiment_id", MEM_EXPERIMENTS)
+    def test_runs_are_session_order_independent(self, experiment_id):
+        """Explicit seeds only: results never depend on session state."""
+        fresh = SimulationSession(seed=99).run(experiment_id)
+        warmed_session = SimulationSession(seed=99)
+        warmed_session.run("mem-array", n_pages=2, bitlines=16)
+        warmed = warmed_session.run(experiment_id)
+        for a, b in zip(fresh.series, warmed.series):
+            assert (a.x == b.x).all()
+            assert (a.y == b.y).all()
+
+
+class TestOverrides:
+    def test_array_geometry_override(self, session):
+        result = session.run("mem-array", n_pages=3, bitlines=32)
+        assert result.parameters["n_pages"] == 3
+        assert result.parameters["bitlines"] == 32
+        assert all(c.passed for c in result.checks)
+
+    def test_mlc_geometry_override(self, session):
+        result = session.run("mem-mlc", n_pages=2, cells_per_page=48)
+        assert result.parameters["cells_per_page"] == 48
+        assert all(c.passed for c in result.checks)
+
+    def test_ftl_workload_override(self, session):
+        result = session.run(
+            "mem-ftl", n_requests=150, workload_seed=11
+        )
+        assert result.parameters["n_requests"] == 150
+        assert all(c.passed for c in result.checks)
+
+    def test_disturb_read_count_override(self, session):
+        result = session.run("mem-disturb", n_reads=80)
+        assert result.parameters["n_reads"] == 80
+        assert all(c.passed for c in result.checks)
+
+    def test_unknown_override_rejected(self, session):
+        with pytest.raises(ConfigurationError):
+            session.run("mem-array", nonsense=1)

@@ -1,0 +1,241 @@
+"""Exhaustive ECC contract: the GF(2) matmul path vs the bit loops.
+
+The matrix-parity Hamming path (``encode_batch`` / ``decode_batch`` and
+the page-level interleave wrappers) must agree with the seed bit-by-bit
+loops on *every* reachable error pattern, not just on sampled ones.
+This suite enumerates, per (data_bits, extended) layout:
+
+* every clean codeword round trip over a full random page,
+* every single-bit flip position of every codeword of a page,
+* every double-bit flip pair of one codeword (SECDED detection), and
+* the exception contract of the interleave wrappers,
+
+pinning payloads, correction counts and uncorrectability against the
+scalar ``decode`` -- including where the scalar path raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryOperationError
+from repro.memory import (
+    HammingCode,
+    interleave_decode,
+    interleave_decode_batch,
+    interleave_encode,
+    interleave_encode_batch,
+)
+
+#: Layouts under exhaustive test: degenerate 1-bit payload, the
+#: SECDED-13/8 byte code, and a 64-bit page-word, with and without the
+#: extended parity bit.
+LAYOUTS = [
+    (1, True),
+    (1, False),
+    (8, True),
+    (8, False),
+    (64, True),
+    (64, False),
+]
+
+
+def _random_page(code: HammingCode, n_words: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=n_words * code.data_bits).astype(np.uint8)
+
+
+def _scalar_decode_outcome(code, word):
+    """Scalar decode folded into the batch tuple convention."""
+    try:
+        payload, corrected = code.decode(word)
+        return payload, corrected, False
+    except MemoryOperationError:
+        return None, 0, True
+
+
+@pytest.mark.parametrize("data_bits,extended", LAYOUTS)
+class TestExhaustiveSingleBit:
+    def test_clean_round_trip(self, data_bits, extended):
+        code = HammingCode(data_bits, extended=extended)
+        page = _random_page(code, 5, seed=data_bits)
+        words = page.reshape(5, data_bits)
+        encoded_b = code.encode_batch(words)
+        for i in range(5):
+            np.testing.assert_array_equal(
+                encoded_b[i], code.encode(words[i])
+            )
+        payloads, corrected, uncorrectable = code.decode_batch(encoded_b)
+        np.testing.assert_array_equal(payloads, words)
+        assert (corrected == 0).all()
+        assert not uncorrectable.any()
+
+    def test_every_single_bit_flip_corrects(self, data_bits, extended):
+        """All single-bit positions of a full page, batch == scalar."""
+        code = HammingCode(data_bits, extended=extended)
+        n_words = 3
+        words = _random_page(code, n_words, seed=97 + data_bits).reshape(
+            n_words, data_bits
+        )
+        clean = code.encode_batch(words)
+        n = code.codeword_bits
+        # One corrupted stack per flip position: word w gets bit b
+        # flipped, all (words x positions) patterns covered.
+        for bit in range(n):
+            corrupted = clean.copy()
+            corrupted[:, bit] ^= 1
+            payloads, corrected, uncorrectable = code.decode_batch(
+                corrupted
+            )
+            assert not uncorrectable.any(), (
+                f"bit {bit} flip marked uncorrectable"
+            )
+            assert (corrected == 1).all(), f"bit {bit} flip not corrected"
+            np.testing.assert_array_equal(payloads, words)
+            for w in range(n_words):
+                payload_s, corrected_s = code.decode(corrupted[w])
+                np.testing.assert_array_equal(payloads[w], payload_s)
+                assert corrected[w] == corrected_s
+
+    def test_every_double_bit_flip_matches_scalar(
+        self, data_bits, extended
+    ):
+        """All C(n, 2) double flips of one word, batch == scalar.
+
+        Extended layouts must detect every pair as uncorrectable; plain
+        Hamming miscorrects some pairs -- the contract is only that both
+        paths agree bit-exactly on the (wrong) payload and counts.
+        """
+        code = HammingCode(data_bits, extended=extended)
+        word = _random_page(code, 1, seed=7 + data_bits)
+        clean = code.encode(word)
+        n = code.codeword_bits
+        patterns = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                corrupted = clean.copy()
+                corrupted[i] ^= 1
+                corrupted[j] ^= 1
+                patterns.append(corrupted)
+        stack = np.array(patterns)
+        payloads, corrected, uncorrectable = code.decode_batch(stack)
+        for k, corrupted in enumerate(patterns):
+            payload_s, corrected_s, raised = _scalar_decode_outcome(
+                code, corrupted
+            )
+            assert bool(uncorrectable[k]) == raised, (
+                f"pattern {k}: batch uncorrectable={bool(uncorrectable[k])} "
+                f"but scalar raised={raised}"
+            )
+            if not raised:
+                np.testing.assert_array_equal(payloads[k], payload_s)
+                assert corrected[k] == corrected_s
+        if extended:
+            # SECDED: every double error inside the codeword is detected.
+            assert uncorrectable.all()
+
+
+@pytest.mark.parametrize("data_bits,extended", LAYOUTS)
+class TestInterleaveContract:
+    PAGE_BITS = 70  # deliberately not a multiple of any layout's k
+
+    def test_round_trip_matches_scalar(self, data_bits, extended):
+        code = HammingCode(data_bits, extended=extended)
+        page = _random_page(code, 1, seed=3)[: self.PAGE_BITS]
+        page = np.resize(page, self.PAGE_BITS).astype(np.uint8)
+        encoded_b = interleave_encode_batch(code, page)
+        encoded_s = interleave_encode(code, page)
+        np.testing.assert_array_equal(encoded_b, encoded_s)
+        bits_b, corrected_b = interleave_decode_batch(
+            code, encoded_b, self.PAGE_BITS
+        )
+        bits_s, corrected_s = interleave_decode(
+            code, encoded_s, self.PAGE_BITS
+        )
+        np.testing.assert_array_equal(bits_b, page)
+        np.testing.assert_array_equal(bits_b, bits_s)
+        assert corrected_b == corrected_s == 0
+
+    def test_single_flip_per_codeword_all_corrected(
+        self, data_bits, extended
+    ):
+        """One flip in every codeword of the page still decodes clean."""
+        code = HammingCode(data_bits, extended=extended)
+        page = np.resize(
+            _random_page(code, 2, seed=11), self.PAGE_BITS
+        ).astype(np.uint8)
+        encoded = interleave_encode_batch(code, page)
+        n = code.codeword_bits
+        n_words = encoded.size // n
+        rng = np.random.default_rng(13)
+        corrupted = encoded.copy()
+        for w in range(n_words):
+            corrupted[w * n + int(rng.integers(0, n))] ^= 1
+        bits_b, corrected_b = interleave_decode_batch(
+            code, corrupted, self.PAGE_BITS
+        )
+        bits_s, corrected_s = interleave_decode(
+            code, corrupted, self.PAGE_BITS
+        )
+        np.testing.assert_array_equal(bits_b, page)
+        np.testing.assert_array_equal(bits_b, bits_s)
+        assert corrected_b == corrected_s == n_words
+
+    def test_length_validation_matches_scalar(self, data_bits, extended):
+        code = HammingCode(data_bits, extended=extended)
+        bad = np.zeros(code.codeword_bits + 1, dtype=np.uint8)
+        with pytest.raises(MemoryOperationError):
+            interleave_decode(code, bad, 1)
+        with pytest.raises(MemoryOperationError):
+            interleave_decode_batch(code, bad, 1)
+
+
+class TestSecdedPageException:
+    def test_double_error_raises_in_both_paths(self):
+        """A SECDED double error fails the page identically."""
+        code = HammingCode(8, extended=True)
+        page = np.resize(
+            _random_page(code, 2, seed=17), 16
+        ).astype(np.uint8)
+        encoded = interleave_encode_batch(code, page)
+        encoded[0] ^= 1
+        encoded[2] ^= 1
+        with pytest.raises(
+            MemoryOperationError, match="unrecoverable"
+        ):
+            interleave_decode(code, encoded, 16)
+        with pytest.raises(
+            MemoryOperationError, match="unrecoverable"
+        ):
+            interleave_decode_batch(code, encoded, 16)
+
+    def test_extended_bit_flip_alone_counts_corrected(self):
+        """Flipping only the overall parity bit is a correction of 1."""
+        code = HammingCode(8, extended=True)
+        word = _random_page(code, 1, seed=19)
+        encoded = code.encode(word)
+        encoded[-1] ^= 1
+        payload_b, corrected_b, uncorrectable = code.decode_batch(encoded)
+        payload_s, corrected_s = code.decode(encoded)
+        np.testing.assert_array_equal(payload_b, word)
+        np.testing.assert_array_equal(payload_b, payload_s)
+        assert corrected_b == corrected_s == 1
+        assert not uncorrectable
+
+    def test_single_word_1d_paths_agree(self):
+        """The 1-D convenience lane mirrors the scalar word exactly."""
+        code = HammingCode(16, extended=False)
+        word = _random_page(code, 1, seed=23)
+        encoded = code.encode_batch(word)
+        assert encoded.ndim == 1
+        np.testing.assert_array_equal(encoded, code.encode(word))
+        corrupted = encoded.copy()
+        corrupted[5] ^= 1
+        payload_b, corrected_b, uncorrectable = code.decode_batch(
+            corrupted
+        )
+        payload_s, corrected_s = code.decode(corrupted)
+        np.testing.assert_array_equal(payload_b, payload_s)
+        assert corrected_b == corrected_s == 1
+        assert not uncorrectable

@@ -266,6 +266,89 @@ def test_batch_entry_points_documented():
         )
 
 
+def test_api_guide_covers_the_memory_backend():
+    """docs/API.md documents the array-wide memory backend."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert "Memory array backend" in text
+    for needle in (
+        "build_vector_array",
+        "program_page_batch",
+        "program_mlc_page_batch",
+        "interleave_decode_batch",
+        "apply_read_disturb_batch",
+        "derive_trajectory_seed",
+        "array_program_sweep",
+        "mlc_program_sweep",
+        "bit-exact",
+        "test_bench_nand_array.py",
+    ):
+        assert needle in text, f"docs/API.md does not mention {needle!r}"
+
+
+def test_architecture_covers_the_memory_backend():
+    """docs/ARCHITECTURE.md explains the array-wide memory layer."""
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    assert "Memory array backend" in text
+    for needle in (
+        "ArrayState",
+        "program_page_batch",
+        "batch RNG contract",
+        "program_mlc_page_batch",
+        "GF(2) matrix",
+        "apply_read_disturb_batch",
+        "sample_trajectory_batch",
+        "derive_trajectory_seed",
+        "VectorMemoryArray",
+        "array_program_sweep",
+        "mem-array",
+    ):
+        assert needle in text, (
+            f"docs/ARCHITECTURE.md does not mention {needle!r}"
+        )
+
+
+def test_memory_batch_entry_points_documented():
+    """Every public memory batch entry point carries a real docstring."""
+    import repro.engine as engine
+    import repro.memory as memory
+
+    entry_points = (
+        memory.VectorMemoryArray,
+        memory.build_vector_array,
+        memory.ispp_step_batch,
+        memory.program_page_batch,
+        memory.program_page_scalar_reference,
+        memory.IsppBatchOutcome,
+        memory.program_mlc_page_batch,
+        memory.program_mlc_page_scalar_reference,
+        memory.read_mlc_page_batch,
+        memory.HammingCode.encode_batch,
+        memory.HammingCode.decode_batch,
+        memory.interleave_encode_batch,
+        memory.interleave_decode_batch,
+        memory.apply_read_disturb_batch,
+        memory.apply_read_disturb_scalar_reference,
+        memory.apply_program_disturb_batch,
+        memory.apply_program_disturb_scalar_reference,
+        memory.RtnTrap.sample_trajectory_batch,
+        memory.RtnTrap.sample_trajectory_scalar_reference,
+        memory.derive_trajectory_seed,
+        memory.SenseAmplifier.sense_page_batch,
+        memory.SenseAmplifier.sense_page_scalar_reference,
+        engine.array_program_sweep,
+        engine.ArraySweepResult,
+        engine.mlc_program_sweep,
+        engine.MlcSweepResult,
+    )
+    for member in entry_points:
+        assert member.__doc__ and len(member.__doc__.strip()) > 40, (
+            f"{getattr(member, '__qualname__', member)} lacks a substantive "
+            "docstring"
+        )
+
+
 def test_architecture_covers_the_solver_backend():
     """docs/ARCHITECTURE.md explains the vectorized numerical layer."""
     text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
