@@ -1,8 +1,17 @@
-"""The session API end to end: sessions, overrides, plans, exports.
+"""The simulation service end to end: submit, cache, restart, verify.
 
-Runs a small thermal/geometry study through one SimulationSession,
-shows cross-scenario cache reuse, and round-trips the plan through
-JSON — the workflow `docs/API.md` documents.
+Boots the real HTTP service (:mod:`repro.service`) on an ephemeral
+port with a persistent result store, then walks the full workflow the
+service exists for:
+
+1. submit a small plan through :class:`SimulationServiceClient` and
+   fetch its results (everything freshly computed);
+2. resubmit the identical plan -- served 100% from the store, zero
+   recomputes;
+3. kill the server, restart it on the same store directory, resubmit
+   -- still zero recomputes (the store is durable, not process state);
+4. check the fetched results are bit-identical to a plain serial
+   ``SimulationSession.run_plan`` of the same plan.
 
 Run with:  PYTHONPATH=src python examples/scenario_service.py
 """
@@ -12,65 +21,89 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+import numpy as np
+
 from repro.api import RunPlan, Scenario, SimulationSession
+from repro.service import ResultStore, ServiceApp, ServiceThread
+from repro.service import SimulationServiceClient
+
+
+def make_app(store_dir: Path) -> ServiceApp:
+    """A service over `store_dir`, sized for a small single-CPU demo."""
+    return ServiceApp(
+        ResultStore(store_dir),
+        executor="thread",
+        workers=1,
+        seed=7,
+    )
 
 
 def main() -> None:
-    session = SimulationSession(seed=7)
-
-    # One-off parameterized runs: same experiment, different worlds.
-    cold = session.run("fig6")
-    hot = session.run("fig6", temperature_k=400.0)
-    ratio = float(hot.series[0].y[0] / cold.series[0].y[0])
-    print(f"fig6 at 400 K vs 0 K: J(8V, GCR=40%) grows x{ratio:.2f}")
-
-    # A declarative plan: a sweep family plus a fixed scenario.
     plan = RunPlan(
-        name="thermal-oxide-study",
+        name="service-demo",
         scenarios=(
+            Scenario("fig6", overrides={"n_points": 10}),
             Scenario(
                 "fig7",
-                overrides={"n_points": 18},
-                sweep={"temperature_k": [0.0, 300.0, 400.0]},
+                overrides={"n_points": 10},
+                sweep={"temperature_k": [0.0, 300.0]},
             ),
-            Scenario("fig9", overrides={"n_points": 18}),
         ),
     )
+    n = len(plan.expanded())
 
-    # Plans are reviewable JSON artifacts.
     with tempfile.TemporaryDirectory() as tmp:
-        path = plan.save(Path(tmp) / "plan.json")
-        plan = RunPlan.load(path)
+        store_dir = Path(tmp) / "store"
 
-    outcome = session.run_plan(plan)
-    print(f"\nplan {outcome.plan.name!r}:")
-    for sr in outcome.scenario_results:
-        verdict = "ok" if sr.all_checks_pass else "FAILED"
+        # --- 1. first submission: everything computes -----------------
+        with ServiceThread(make_app(store_dir)) as server:
+            print(f"service up at {server.url}, store at {store_dir}")
+            client = SimulationServiceClient(server.url)
+            results, record = client.run_plan(plan)
+            print(
+                f"job {record.id}: {record.status}, "
+                f"{record.computed}/{n} computed, "
+                f"{record.store_hits} store hits "
+                f"({record.elapsed_s * 1e3:.0f} ms)"
+            )
+            assert record.computed == n
+
+            # --- 2. identical resubmission: 100% store hits -----------
+            _, rerun = client.run_plan(plan)
+            print(
+                f"job {rerun.id}: {rerun.status}, "
+                f"{rerun.store_hits}/{n} store hits, "
+                f"{rerun.computed} computed "
+                f"({rerun.elapsed_s * 1e3:.0f} ms)"
+            )
+            assert rerun.store_hits == n and rerun.computed == 0
+
+        # --- 3. restart on the same store: still zero recomputes ------
+        print("\nserver stopped; restarting on the same store directory")
+        with ServiceThread(make_app(store_dir)) as server:
+            client = SimulationServiceClient(server.url)
+            after_restart, revived = client.run_plan(plan)
+            print(
+                f"job {revived.id} after restart: "
+                f"{revived.store_hits}/{n} store hits, "
+                f"{revived.computed} computed"
+            )
+            assert revived.computed == 0
+            stats = client.stats()
+            print(
+                f"store holds {stats['store']['entries']} results; "
+                f"service computed {stats['jobs']['computed']} this life"
+            )
+
+        # --- 4. bit-identity against a plain serial run ----------------
+        serial = SimulationSession(seed=7).run_plan(plan)
+        for got, ref in zip(after_restart, serial.scenario_results):
+            for a, b in zip(got.result.series, ref.result.series):
+                assert np.array_equal(a.x, b.x)
+                assert np.array_equal(a.y, b.y)
         print(
-            f"  {sr.scenario.name:40s} {sr.elapsed_s * 1e3:6.1f} ms  "
-            f"{sr.cache_stats.hits} hits/{sr.cache_stats.misses} misses  "
-            f"[{verdict}]"
-        )
-    print(f"cross-scenario cache hits: {outcome.cross_scenario_hits}")
-
-    stats = session.cache_stats()
-    print(
-        f"session totals: {stats.hits} hits / {stats.misses} misses "
-        f"({stats.hit_rate:.0%} hit rate)"
-    )
-
-    # The same plan through the sharded parallel executor: worker
-    # sessions with derived seeds, results bit-identical to the serial
-    # run above (threads here so the demo stays single-process; real
-    # sweeps use the default process pool).
-    parallel = session.run_plan_parallel(
-        plan, workers=2, shard_by="by-cost", executor="thread"
-    )
-    print(f"\nparallel rerun on {parallel.worker_count} workers:")
-    for report in parallel.shard_reports:
-        print(
-            f"  shard {report.index}: scenarios {report.positions} in "
-            f"{report.elapsed_s * 1e3:.1f} ms (seed {report.seed})"
+            f"\nall {n} service results are bit-identical to the "
+            "serial run"
         )
 
 

@@ -23,6 +23,9 @@ full device-to-system simulation stack:
 * :mod:`repro.experiments` -- regenerates every figure of the paper
 * :mod:`repro.api` -- the public session layer: parameterized scenarios
   and declarative run plans over isolated per-session caches
+* :mod:`repro.service` -- the serving layer: a persistent
+  content-addressed result store and an async HTTP simulation service
+  with single-flight dedupe and per-client rate limiting
 
 Quickstart::
 
@@ -55,6 +58,7 @@ from . import (
     optimization,
     reliability,
     reporting,
+    service,
     solver,
     tunneling,
     units,
@@ -79,4 +83,5 @@ __all__ = [
     "experiments",
     "reporting",
     "api",
+    "service",
 ]

@@ -45,6 +45,13 @@ from .executor import (
     scenario_cost,
     shard_plan,
 )
+from .hashing import (
+    canonical_json,
+    canonical_scenario_record,
+    code_version,
+    plan_hash,
+    scenario_hash,
+)
 from .plan import (
     ParallelPlanResult,
     PlanResult,
@@ -88,4 +95,9 @@ __all__ = [
     "ensure_context",
     "accepted_parameters",
     "merge_parameters",
+    "scenario_hash",
+    "plan_hash",
+    "code_version",
+    "canonical_json",
+    "canonical_scenario_record",
 ]

@@ -120,8 +120,26 @@ def _print_cache_stats(stats: CacheStats) -> None:
 def _run_plan(
     session: SimulationSession, plan: RunPlan, args: argparse.Namespace
 ) -> int:
-    """Execute a RunPlan (serially or sharded) and report per scenario."""
-    if args.workers > 1:
+    """Execute a RunPlan (serially or sharded) and report per scenario.
+
+    With ``--from-store`` scenarios whose canonical hash is already in
+    the store are served from disk (only misses compute); with
+    ``--update-store`` freshly computed results are written back. A
+    store hit/miss summary line is printed whenever either flag is on.
+    """
+    store_report = None
+    if args.from_store or args.update_store:
+        from ..service.store import run_plan_with_store
+
+        outcome, store_report = run_plan_with_store(
+            session,
+            plan,
+            from_store=args.from_store,
+            update_store=args.update_store,
+            workers=args.workers,
+            shard_by=args.shard_by,
+        )
+    elif args.workers > 1:
         outcome = session.run_plan_parallel(
             plan,
             workers=args.workers,
@@ -163,6 +181,8 @@ def _run_plan(
         f"{total_checks} shape checks, {failures} failures, "
         f"{outcome.cross_scenario_hits} cross-scenario cache hits"
     )
+    if store_report is not None:
+        print(store_report.summary())
     for report in getattr(outcome, "shard_reports", ()):
         print(
             f"shard {report.index}: {len(report.positions)} scenarios in "
@@ -257,6 +277,21 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "(default round-robin; requires --workers >= 2)",
     )
     parser.add_argument(
+        "--from-store",
+        default=None,
+        metavar="DIR",
+        help="serve --plan scenarios already in this result store from "
+        "disk (content-addressed by canonical scenario hash); only "
+        "misses are computed",
+    )
+    parser.add_argument(
+        "--update-store",
+        default=None,
+        metavar="DIR",
+        help="write results computed during a --plan run into this "
+        "result store (may be the same directory as --from-store)",
+    )
+    parser.add_argument(
         "--csv-dir",
         default=None,
         help="directory to export each experiment's series as CSV",
@@ -290,6 +325,11 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             raise ConfigurationError(
                 "--shard-by only applies to parallel runs; pass "
                 "--workers N (N >= 2) alongside it"
+            )
+        if (args.from_store or args.update_store) and not args.plan:
+            raise ConfigurationError(
+                "--from-store/--update-store apply to --plan runs; wrap "
+                "the experiments in a plan file to use the result store"
             )
         if args.plan:
             if args.experiments or overrides:

@@ -28,6 +28,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from .api.plan import PlanResult, RunPlan, ScenarioResult, ShardReport
     from .api.scenario import Scenario
     from .engine.cache import CacheStats
+    from .service.jobs import JobRecord
+    from .service.store import StoreRecord
 
 
 def geometry_to_dict(geometry: DeviceGeometry) -> "dict[str, float]":
@@ -145,12 +147,21 @@ def experiment_result_to_dict(result: ExperimentResult) -> "dict[str, Any]":
 
 
 def _jsonable(value: Any) -> Any:
+    """Normalise one value to builtin JSON types (the canonical form).
+
+    NumPy scalars are checked *before* the builtin numeric branch:
+    ``np.float64`` subclasses :class:`float`, so testing ``float``
+    first would let it through unconverted and the same scenario
+    would serialise (and therefore content-hash, see
+    :mod:`repro.api.hashing`) differently depending on whether a
+    value arrived as ``1.5`` or ``np.float64(1.5)``.
+    """
     if isinstance(value, (str, bool)) or value is None:
-        return value
-    if isinstance(value, (int, float)):
         return value
     if isinstance(value, np.generic):
         return value.item()
+    if isinstance(value, (int, float)):
+        return value
     if isinstance(value, np.ndarray):
         return [_jsonable(v) for v in value.tolist()]
     if isinstance(value, (list, tuple)):
@@ -382,6 +393,107 @@ def shard_report_from_dict(data: Mapping[str, Any]) -> "ShardReport":
         seed=int(data["seed"]),
         elapsed_s=float(data.get("elapsed_s", 0.0)),
         cache_stats=cache_stats_from_dict(dict(data.get("cache", {}))),
+    )
+
+
+# ----- service records (the repro.service layer) --------------------------
+
+
+def store_record_to_dict(record: "StoreRecord") -> "dict[str, Any]":
+    """StoreRecord -> JSON-safe dict; inverse of :func:`store_record_from_dict`.
+
+    This is the on-disk object format of the content-addressed result
+    store (:class:`~repro.service.store.ResultStore`): the scenario
+    hash the record is filed under, the code-version salt it was
+    computed with, a creation timestamp, and the full
+    :func:`scenario_result_to_dict` payload.
+    """
+    return {
+        "hash": record.hash,
+        "code_version": record.code_version,
+        "created_at": record.created_at,
+        "scenario_result": scenario_result_to_dict(record.scenario_result),
+    }
+
+
+def store_record_from_dict(data: Mapping[str, Any]) -> "StoreRecord":
+    """JSON record -> StoreRecord (inverse of the exporter).
+
+    Rebuilds the embedded :class:`~repro.api.plan.ScenarioResult`
+    bit-exactly through :func:`scenario_result_from_dict`, so a store
+    hit round-trips to arrays identical to the original computation.
+    """
+    from .service.store import StoreRecord
+
+    required = {"hash", "scenario_result"}
+    missing = required - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"store record missing fields: {sorted(missing)}"
+        )
+    return StoreRecord(
+        hash=str(data["hash"]),
+        code_version=str(data.get("code_version", "")),
+        created_at=float(data.get("created_at", 0.0)),
+        scenario_result=scenario_result_from_dict(data["scenario_result"]),
+    )
+
+
+def job_record_to_dict(record: "JobRecord") -> "dict[str, Any]":
+    """JobRecord -> JSON-safe dict; inverse of :func:`job_record_from_dict`.
+
+    The wire form of a job's status (what ``GET /jobs/{id}`` returns):
+    identity, lifecycle state, the plan's content hash, the ordered
+    per-scenario hashes with the source each result came from
+    (``store`` / ``computed`` / ``inflight`` / ``pending``), and
+    counters summarising how much work the store and the single-flight
+    dedupe saved.
+    """
+    return {
+        "id": record.id,
+        "status": record.status,
+        "plan_name": record.plan_name,
+        "plan_hash": record.plan_hash,
+        "scenario_hashes": list(record.scenario_hashes),
+        "sources": list(record.sources),
+        "store_hits": record.store_hits,
+        "computed": record.computed,
+        "deduped": record.deduped,
+        "elapsed_s": record.elapsed_s,
+        "error": record.error,
+    }
+
+
+def job_record_from_dict(data: Mapping[str, Any]) -> "JobRecord":
+    """JSON record -> JobRecord (inverse of the exporter).
+
+    Used by the service client to rebuild typed job statuses from the
+    HTTP responses; absent counters come back as zero and an absent
+    error as ``None``.
+    """
+    from .service.jobs import JobRecord
+
+    required = {"id", "status"}
+    missing = required - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"job record missing fields: {sorted(missing)}"
+        )
+    error = data.get("error")
+    return JobRecord(
+        id=str(data["id"]),
+        status=str(data["status"]),
+        plan_name=str(data.get("plan_name", "plan")),
+        plan_hash=str(data.get("plan_hash", "")),
+        scenario_hashes=tuple(
+            str(h) for h in data.get("scenario_hashes", ())
+        ),
+        sources=tuple(str(s) for s in data.get("sources", ())),
+        store_hits=int(data.get("store_hits", 0)),
+        computed=int(data.get("computed", 0)),
+        deduped=int(data.get("deduped", 0)),
+        elapsed_s=float(data.get("elapsed_s", 0.0)),
+        error=None if error is None else str(error),
     )
 
 

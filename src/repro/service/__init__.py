@@ -1,0 +1,69 @@
+"""`repro.service`: the persistent result store and simulation service.
+
+The serving layer over :mod:`repro.api` -- the piece that makes warm
+caches survive restarts and lets many clients share one simulation
+backend:
+
+* :class:`ResultStore` (:mod:`repro.service.store`) -- a
+  content-addressed on-disk store of
+  :class:`~repro.api.plan.ScenarioResult` records keyed by the
+  canonical scenario hash (:func:`repro.api.scenario_hash`), with
+  atomic writes and bit-exact JSON round-trips via :mod:`repro.io`.
+* :class:`JobManager` (:mod:`repro.service.jobs`) -- an asyncio job
+  queue over the sharded parallel executor with single-flight dedupe
+  (identical in-flight scenarios are computed once) and per-client
+  token-bucket rate limiting.
+* :class:`ServiceApp` (:mod:`repro.service.app`) -- the stdlib-only
+  HTTP service: ``POST /plans``, ``GET /jobs/{id}``,
+  ``GET /results/{hash}``, ``GET /healthz``, ``GET /stats``.
+* :class:`SimulationServiceClient` (:mod:`repro.service.client`) -- a
+  typed synchronous client with retry/backoff on 429/503, plus the
+  ``repro-service`` CLI (:mod:`repro.service.cli`).
+
+Quickstart (in-process, as the tests and example embed it)::
+
+    from repro.api import RunPlan, Scenario
+    from repro.service import ServiceApp, ServiceThread
+    from repro.service import SimulationServiceClient
+
+    app = ServiceApp("results/", workers=2, executor="thread")
+    with ServiceThread(app) as service:
+        client = SimulationServiceClient(service.url)
+        plan = RunPlan(name="demo", scenarios=(Scenario("fig6"),))
+        results, job = client.run_plan(plan)   # computed, stored
+        results2, job2 = client.run_plan(plan) # 100% store hits
+
+See ``docs/API.md`` ("Simulation service & result store") for the hash
+contract and the endpoint semantics.
+"""
+
+from .app import ServiceApp, ServiceThread
+from .client import ServiceError, SimulationServiceClient
+from .jobs import (
+    Job,
+    JobManager,
+    JobQueueFull,
+    JobRecord,
+    RateLimiter,
+    TokenBucket,
+    compute_scenario_results,
+)
+from .store import ResultStore, StoreRecord, StoreReport, run_plan_with_store
+
+__all__ = [
+    "ResultStore",
+    "StoreRecord",
+    "StoreReport",
+    "run_plan_with_store",
+    "Job",
+    "JobManager",
+    "JobQueueFull",
+    "JobRecord",
+    "RateLimiter",
+    "TokenBucket",
+    "compute_scenario_results",
+    "ServiceApp",
+    "ServiceThread",
+    "ServiceError",
+    "SimulationServiceClient",
+]

@@ -1,0 +1,380 @@
+"""The asyncio HTTP simulation service: plans in, cached results out.
+
+A :class:`ServiceApp` binds the job manager
+(:mod:`repro.service.jobs`) and the persistent result store
+(:mod:`repro.service.store`) behind a small HTTP/1.1 API built on
+:func:`asyncio.start_server` alone -- no web framework, zero runtime
+dependencies beyond the standard library:
+
+========  =================  ==============================================
+method    path               meaning
+========  =================  ==============================================
+POST      ``/plans``         submit a :class:`~repro.api.plan.RunPlan`
+                             record; 202 + job record (rate limited,
+                             429 + ``Retry-After`` when over budget,
+                             503 + ``Retry-After`` when the queue is full)
+GET       ``/jobs/{id}``     job status as a JSON job record
+GET       ``/results/{h}``   the stored result record under scenario
+                             hash ``h`` (404 on a miss)
+GET       ``/healthz``       liveness probe (never rate limited)
+GET       ``/stats``         job/store/dedupe counters
+========  =================  ==============================================
+
+Responses are JSON; requests are independent (``Connection: close``),
+which keeps the protocol layer small enough to audit at a glance.
+:class:`ServiceThread` runs an app on a background event-loop thread --
+the embedding used by the tests, the example and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+from ..io import job_record_to_dict, run_plan_from_dict, store_record_to_dict
+from .jobs import JobManager, JobQueueFull, RateLimiter, retry_after_seconds
+from .store import ResultStore
+
+#: Largest request body the service accepts (a plan record), in bytes.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServiceApp:
+    """One simulation service: store + job manager + HTTP front end.
+
+    Construction wires the pieces; :meth:`start` binds the socket.
+    The app is restartable in the sense that matters operationally:
+    a new app pointed at the same store directory serves everything
+    its predecessors computed.
+    """
+
+    def __init__(
+        self,
+        store: "ResultStore | str",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        seed: int = 0,
+        defaults: "Mapping[str, Any] | None" = None,
+        workers: int = 1,
+        shard_by: str = "round-robin",
+        executor: str = "process",
+        max_pending: int = 16,
+        max_concurrent: int = 2,
+        rate_per_s: float = 10.0,
+        burst: float = 20.0,
+    ) -> None:
+        """Configure the service; nothing binds until :meth:`start`."""
+        self.store = (
+            store if isinstance(store, ResultStore) else ResultStore(store)
+        )
+        self.host = host
+        self.port = int(port)
+        self.manager = JobManager(
+            self.store,
+            seed=seed,
+            defaults=defaults,
+            workers=workers,
+            shard_by=shard_by,
+            executor=executor,
+            max_pending=max_pending,
+            max_concurrent=max_concurrent,
+        )
+        self.limiter = RateLimiter(rate_per_s, burst)
+        self._server: "asyncio.base_events.Server | None" = None
+
+    # ----- lifecycle ------------------------------------------------------
+
+    async def start(self) -> "tuple[str, int]":
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        ``port=0`` (the default) binds an ephemeral port -- the return
+        value is how callers learn it.
+        """
+        if self._server is not None:
+            raise ConfigurationError("service already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        return sockname[0], self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel outstanding jobs, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.close()
+
+    @property
+    def url(self) -> str:
+        """The service base URL once started (http, host:port)."""
+        return f"http://{self.host}:{self.port}"
+
+    # ----- HTTP plumbing --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Parse one request, route it, write one response, close."""
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, headers, body = request
+            status, payload, extra = self._route(
+                method, path, headers, body, writer
+            )
+        except ConfigurationError as exc:
+            status, payload, extra = 400, {"error": str(exc)}, {}
+        except Exception as exc:  # pragma: no cover - defensive edge
+            status, payload, extra = 500, {"error": str(exc)}, {}
+        try:
+            await _write_response(writer, status, payload, extra)
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        headers: "Mapping[str, str]",
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> "tuple[int, dict[str, Any], dict[str, str]]":
+        """Dispatch one parsed request to its endpoint handler."""
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok"}, {}
+        if method == "GET" and path == "/stats":
+            return (
+                200,
+                {
+                    "jobs": self.manager.stats(),
+                    "store": self.store.stats(),
+                    "rate_limit": {
+                        "rate_per_s": self.limiter.rate,
+                        "burst": self.limiter.capacity,
+                    },
+                },
+                {},
+            )
+        if method == "GET" and path.startswith("/jobs/"):
+            job = self.manager.job(path[len("/jobs/"):])
+            if job is None:
+                return 404, {"error": "no such job"}, {}
+            return 200, job_record_to_dict(job.record()), {}
+        if method == "GET" and path.startswith("/results/"):
+            hash_ = path[len("/results/"):]
+            try:
+                record = self.store.get_record(hash_)
+            except ConfigurationError as exc:
+                return 400, {"error": str(exc)}, {}
+            if record is None:
+                return 404, {"error": "no such result"}, {}
+            return 200, store_record_to_dict(record), {}
+        if method == "POST" and path == "/plans":
+            return self._submit(headers, body, writer)
+        if path in ("/plans", "/healthz", "/stats") or path.startswith(
+            ("/jobs/", "/results/")
+        ):
+            return 405, {"error": f"{method} not allowed on {path}"}, {}
+        return 404, {"error": f"no such endpoint: {path}"}, {}
+
+    def _submit(
+        self,
+        headers: "Mapping[str, str]",
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> "tuple[int, dict[str, Any], dict[str, str]]":
+        """POST /plans: rate limit, parse, enqueue; 202 + job record."""
+        client = headers.get("x-client-id") or _peer_of(writer)
+        wait = self.limiter.check(client)
+        if wait > 0:
+            seconds = retry_after_seconds(wait)
+            return (
+                429,
+                {"error": "rate limit exceeded", "retry_after_s": seconds},
+                {"Retry-After": str(seconds)},
+            )
+        try:
+            record = json.loads(body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"body is not JSON: {exc}"}, {}
+        if not isinstance(record, dict):
+            return 400, {"error": "body must be a run-plan record"}, {}
+        plan = run_plan_from_dict(record)
+        try:
+            job = self.manager.submit(plan)
+        except JobQueueFull as exc:
+            return (
+                503,
+                {"error": str(exc), "retry_after_s": 1},
+                {"Retry-After": "1"},
+            )
+        return 202, job_record_to_dict(job.record()), {}
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> "tuple[str, str, dict[str, str], bytes] | None":
+    """Parse one HTTP/1.1 request; ``None`` on an empty connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ConfigurationError(f"malformed request line: {request_line!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: "dict[str, str]" = {}
+    while True:
+        line = await reader.readline()
+        if not line.strip():
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ConfigurationError(
+            f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
+        )
+    body = await reader.readexactly(length) if length else b""
+    path = target.split("?", 1)[0]
+    return method, path, headers, body
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: "Mapping[str, Any]",
+    extra_headers: "Mapping[str, str]",
+) -> None:
+    """Serialise one JSON response and flush it."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    lines.extend(f"{k}: {v}" for k, v in extra_headers.items())
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+def _peer_of(writer: asyncio.StreamWriter) -> str:
+    """The client key when no ``X-Client-Id`` header is sent."""
+    peer = writer.get_extra_info("peername")
+    return str(peer[0]) if peer else "unknown"
+
+
+class ServiceThread:
+    """Run a :class:`ServiceApp` on a dedicated event-loop thread.
+
+    The embedding for synchronous callers (tests, the example script,
+    the CI smoke job): ``start()`` blocks until the port is bound and
+    returns ``(host, port)``; ``stop()`` shuts the loop down cleanly.
+    Usable as a context manager.
+    """
+
+    def __init__(self, app: ServiceApp) -> None:
+        """Wrap an unstarted app; nothing runs until :meth:`start`."""
+        self.app = app
+        self._thread: "threading.Thread | None" = None
+        self._started = threading.Event()
+        self._stop: "asyncio.Event | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._address: "tuple[str, int] | None" = None
+        self._error: "BaseException | None" = None
+
+    def start(self, timeout_s: float = 30.0) -> "tuple[str, int]":
+        """Boot the loop thread and block until the socket is bound."""
+        if self._thread is not None:
+            raise ConfigurationError("service thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout_s):
+            raise ConfigurationError("service thread failed to start in time")
+        if self._error is not None:
+            raise ConfigurationError(
+                f"service failed to start: {self._error}"
+            )
+        assert self._address is not None
+        return self._address
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Stop the app and join the loop thread."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout_s)
+        self._thread = None
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self._address = await self.app.start()
+        except BaseException as exc:
+            self._error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.app.stop()
+
+    def __enter__(self) -> "ServiceThread":
+        """Start on entry; the bound address is in :attr:`address`."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Stop on exit, swallowing nothing."""
+        self.stop()
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound ``(host, port)`` of the running service."""
+        if self._address is None:
+            raise ConfigurationError("service thread not started")
+        return self._address
+
+    @property
+    def url(self) -> str:
+        """The service base URL of the running service."""
+        host, port = self.address
+        return f"http://{host}:{port}"

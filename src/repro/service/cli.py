@@ -1,0 +1,190 @@
+"""Command-line entry point for the simulation service.
+
+Installed as ``repro-service``::
+
+    repro-service serve --store results/ --port 8787 --workers 4
+    repro-service submit plan.json --url http://127.0.0.1:8787 --wait
+    repro-service status job-1 --url http://127.0.0.1:8787
+    repro-service fetch <scenario-hash> --url ... --out result.json
+
+``serve`` runs the asyncio HTTP service in the foreground until
+interrupted; ``submit``/``status``/``fetch`` are thin wrappers over
+:class:`~repro.service.client.SimulationServiceClient` that print
+JSON, so they compose with ``jq``-style tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Sequence
+
+from ..api.plan import RunPlan
+from ..errors import ReproError
+from ..io import job_record_to_dict, store_record_to_dict
+from .app import ServiceApp
+from .client import SimulationServiceClient
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The ``repro-service`` argument tree (four subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Serve and query the persistent simulation service.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the HTTP service in the foreground"
+    )
+    serve.add_argument(
+        "--store", required=True, help="result store directory (created)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="0 binds an ephemeral port"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard each job across N executor workers",
+    )
+    serve.add_argument(
+        "--shard-by",
+        choices=["round-robin", "by-experiment", "by-cost"],
+        default="round-robin",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=["process", "thread"],
+        default="process",
+        help="worker pool kind for job compute",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        help="bounded job queue size (503 beyond it)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=2,
+        help="jobs resolved concurrently",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=10.0,
+        help="per-client submissions per second (token refill)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=20.0,
+        help="per-client burst budget (token bucket capacity)",
+    )
+
+    for name, help_text in (
+        ("submit", "submit a plan JSON file as a job"),
+        ("status", "print one job's status record"),
+        ("fetch", "print (or save) one stored result by scenario hash"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--url",
+            default="http://127.0.0.1:8787",
+            help="service base URL",
+        )
+        if name == "submit":
+            sub.add_argument("plan", help="path to a RunPlan JSON file")
+            sub.add_argument(
+                "--wait",
+                action="store_true",
+                help="poll until the job finishes and report its sources",
+            )
+            sub.add_argument(
+                "--timeout", type=float, default=600.0, help="--wait deadline"
+            )
+        elif name == "status":
+            sub.add_argument("job_id", help="job id (e.g. job-1)")
+        else:
+            sub.add_argument("hash", help="canonical scenario hash")
+            sub.add_argument(
+                "--out", default=None, help="write the record to this file"
+            )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    """Run the service until cancelled (Ctrl-C)."""
+    app = ServiceApp(
+        args.store,
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        executor=args.executor,
+        max_pending=args.max_pending,
+        max_concurrent=args.max_concurrent,
+        rate_per_s=args.rate,
+        burst=args.burst,
+    )
+    host, port = await app.start()
+    print(f"repro-service listening on http://{host}:{port}")
+    print(f"store: {app.store.root} ({len(app.store)} results)")
+    try:
+        await asyncio.Event().wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await app.stop()
+    return 0
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Parse arguments and run one subcommand; returns an exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "serve":
+            try:
+                return asyncio.run(_serve(args))
+            except KeyboardInterrupt:
+                return 0
+        client = SimulationServiceClient(args.url)
+        if args.command == "submit":
+            plan = RunPlan.load(args.plan)
+            record = client.submit(plan)
+            if args.wait:
+                record = client.wait(record.id, timeout_s=args.timeout)
+            print(json.dumps(job_record_to_dict(record), indent=2))
+            return 0 if record.status in ("queued", "running", "done") else 1
+        if args.command == "status":
+            print(
+                json.dumps(
+                    job_record_to_dict(client.job(args.job_id)), indent=2
+                )
+            )
+            return 0
+        # fetch
+        record = store_record_to_dict(client.result(args.hash))
+        text = json.dumps(record, indent=2)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

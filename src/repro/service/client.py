@@ -1,0 +1,250 @@
+"""Typed synchronous client for the simulation service.
+
+:class:`SimulationServiceClient` speaks the small JSON/HTTP API of
+:mod:`repro.service.app` with ``urllib`` alone, returning the same
+typed records the server works with (:class:`~repro.service.jobs.JobRecord`,
+:class:`~repro.service.store.StoreRecord`) by round-tripping through
+the :mod:`repro.io` converters -- so a fetched result is bit-identical
+to what the server computed.
+
+Transient failures are retried the way a well-behaved client of a
+rate-limited service must: HTTP 429/503 honour the server's
+``Retry-After`` when present, everything retryable backs off
+exponentially with jitter, and a bounded retry budget turns into a
+:class:`ServiceError` carrying the last status. Connection errors
+(server not yet up, restarting) retry the same way, which is what lets
+a client ride through a service restart without special casing.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..errors import ReproError
+from ..io import (
+    job_record_from_dict,
+    run_plan_to_dict,
+    store_record_from_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..api.plan import RunPlan, ScenarioResult
+    from .jobs import JobRecord
+    from .store import StoreRecord
+
+#: HTTP statuses worth retrying: rate limit and transient unavailability.
+RETRYABLE_STATUSES = (429, 503)
+
+
+class ServiceError(ReproError):
+    """A service request failed after exhausting its retry budget.
+
+    Attributes
+    ----------
+    status:
+        The last HTTP status observed (0 for connection-level failures).
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        """Record the failure message and the last HTTP status."""
+        super().__init__(message)
+        self.status = status
+
+
+class SimulationServiceClient:
+    """A retrying, typed HTTP client for one simulation service.
+
+    Parameters
+    ----------
+    base_url:
+        The service root, e.g. ``"http://127.0.0.1:8787"``.
+    timeout_s:
+        Per-request socket timeout.
+    retries:
+        Attempts per request beyond the first, spent on
+        :data:`RETRYABLE_STATUSES` and connection errors.
+    backoff_s, max_backoff_s:
+        Exponential backoff base and cap between retries; the actual
+        sleep adds uniform jitter so synchronised clients spread out.
+    client_id:
+        Sent as ``X-Client-Id`` -- the server's rate-limit key.
+    rng:
+        Jitter source (seedable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout_s: float = 30.0,
+        retries: int = 5,
+        backoff_s: float = 0.2,
+        max_backoff_s: float = 5.0,
+        client_id: str = "repro-client",
+        rng: "random.Random | None" = None,
+        sleep: "Any" = time.sleep,
+    ) -> None:
+        """Configure the endpoint and the retry/backoff policy."""
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self.client_id = client_id
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+
+    # ----- endpoints ------------------------------------------------------
+
+    def health(self) -> "dict[str, Any]":
+        """GET /healthz -- liveness."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> "dict[str, Any]":
+        """GET /stats -- job, store and rate-limit counters."""
+        return self._request("GET", "/stats")
+
+    def submit(self, plan: "RunPlan") -> "JobRecord":
+        """POST /plans -- submit a plan; returns the accepted job record."""
+        payload = self._request("POST", "/plans", body=run_plan_to_dict(plan))
+        return job_record_from_dict(payload)
+
+    def job(self, job_id: str) -> "JobRecord":
+        """GET /jobs/{id} -- the job's current status record."""
+        return job_record_from_dict(self._request("GET", f"/jobs/{job_id}"))
+
+    def result(self, scenario_hash: str) -> "StoreRecord":
+        """GET /results/{hash} -- the stored record under one hash."""
+        return store_record_from_dict(
+            self._request("GET", f"/results/{scenario_hash}")
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        poll_s: float = 0.05,
+        timeout_s: float = 600.0,
+    ) -> "JobRecord":
+        """Poll a job until it reaches a terminal state.
+
+        Returns the final record (``done`` **or** ``failed`` -- callers
+        decide what failure means to them); raises
+        :class:`ServiceError` if the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.job(job_id)
+            if record.status in ("done", "failed"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record.status!r} after "
+                    f"{timeout_s:.0f}s"
+                )
+            self._sleep(poll_s)
+
+    def run_plan(
+        self,
+        plan: "RunPlan",
+        *,
+        poll_s: float = 0.05,
+        timeout_s: float = 600.0,
+    ) -> "tuple[tuple[ScenarioResult, ...], JobRecord]":
+        """Submit a plan, wait for it, fetch every result, in plan order.
+
+        The one-call client workflow: returns the
+        :class:`~repro.api.plan.ScenarioResult` list aligned with
+        ``plan.expanded()`` plus the final job record (whose
+        ``sources`` say which results came from the store, an
+        in-flight dedupe, or fresh compute). Raises
+        :class:`ServiceError` if the job failed.
+        """
+        accepted = self.submit(plan)
+        final = self.wait(accepted.id, poll_s=poll_s, timeout_s=timeout_s)
+        if final.status != "done":
+            raise ServiceError(
+                f"job {final.id} failed: {final.error or 'unknown error'}"
+            )
+        results = tuple(
+            self.result(h).scenario_result for h in final.scenario_hashes
+        )
+        return results, final
+
+    # ----- transport ------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "Mapping[str, Any] | None" = None,
+    ) -> "dict[str, Any]":
+        """One JSON request with the retry/backoff policy applied."""
+        url = f"{self.base_url}{path}"
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        last_status = 0
+        last_error = "no attempts made"
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url,
+                data=data,
+                method=method,
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Client-Id": self.client_id,
+                },
+            )
+            retry_after: "float | None" = None
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                ) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                last_status = exc.code
+                detail = _error_detail(exc)
+                last_error = f"HTTP {exc.code}: {detail}"
+                if exc.code not in RETRYABLE_STATUSES:
+                    raise ServiceError(
+                        f"{method} {path} failed ({last_error})", exc.code
+                    ) from exc
+                header = exc.headers.get("Retry-After") if exc.headers else None
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                last_status = 0
+                last_error = f"connection error: {exc}"
+            if attempt < self.retries:
+                self._sleep(self._backoff(attempt, retry_after))
+        raise ServiceError(
+            f"{method} {path} failed after {self.retries + 1} attempts "
+            f"({last_error})",
+            last_status,
+        )
+
+    def _backoff(
+        self, attempt: int, retry_after: "float | None" = None
+    ) -> float:
+        """Exponential backoff with jitter, floored at ``Retry-After``."""
+        base = min(self.max_backoff_s, self.backoff_s * (2.0**attempt))
+        jittered = base * (0.5 + self._rng.random())
+        if retry_after is not None:
+            return max(retry_after, jittered)
+        return jittered
+
+
+def _error_detail(exc: urllib.error.HTTPError) -> str:
+    """Extract the server's JSON error message from an HTTP failure."""
+    try:
+        payload = json.loads(exc.read().decode("utf-8"))
+        return str(payload.get("error", payload))
+    except Exception:
+        return exc.reason if isinstance(exc.reason, str) else "unknown"

@@ -1,0 +1,460 @@
+"""Async job management: bounded queue, single-flight dedupe, rate limits.
+
+The :class:`JobManager` is the heart of the simulation service
+(:mod:`repro.service.app`): every submitted
+:class:`~repro.api.plan.RunPlan` becomes a :class:`Job` whose expanded
+scenarios are resolved one of three ways --
+
+* **store** -- the canonical scenario hash is already in the
+  :class:`~repro.service.store.ResultStore`: served without compute;
+* **inflight** -- another running job is computing the same hash right
+  now: this job awaits that computation instead of repeating it
+  (single-flight dedupe, keyed by hash across *all* concurrent jobs);
+* **computed** -- a genuine miss: the job claims the hash, runs it on
+  the existing sharded executor
+  (:func:`~repro.api.executor.run_plan_parallel` over
+  ``shard_plan``/``run_shard``), stores the result, and wakes every
+  job that attached to the claim.
+
+Compute happens on a thread off the event loop, so the service keeps
+accepting and deduplicating submissions while simulations run. The
+queue is bounded (:class:`JobQueueFull` maps to HTTP 503) and
+:class:`RateLimiter` implements the per-client token bucket behind
+HTTP 429 + ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from ..api.executor import run_plan_parallel
+from ..api.hashing import plan_hash, scenario_hash
+from ..api.plan import RunPlan
+from ..errors import ConfigurationError, ReproError
+from .store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..api.plan import ScenarioResult
+
+
+class JobQueueFull(ReproError):
+    """Raised when a submission would exceed the bounded job queue."""
+
+
+#: Lifecycle states a job moves through (strictly forward).
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+#: Where one scenario's result came from (``pending`` while unresolved).
+RESULT_SOURCES = ("pending", "store", "computed", "inflight")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """The immutable wire form of a job's status at one instant.
+
+    Attributes
+    ----------
+    id:
+        Service-unique job id (``"job-<n>"``).
+    status:
+        One of :data:`JOB_STATUSES`.
+    plan_name, plan_hash:
+        The submitted plan's name and content hash
+        (:func:`~repro.api.hashing.plan_hash`).
+    scenario_hashes:
+        Canonical hash of every expanded scenario, in plan order.
+    sources:
+        Per-scenario provenance, aligned with ``scenario_hashes``:
+        one of :data:`RESULT_SOURCES`.
+    store_hits, computed, deduped:
+        Scenario counts by provenance (``deduped`` = served by another
+        job's in-flight computation).
+    elapsed_s:
+        Wall-clock seconds from submission to completion (0 while
+        unfinished).
+    error:
+        The failure message of a ``failed`` job, else ``None``.
+    """
+
+    id: str
+    status: str
+    plan_name: str
+    plan_hash: str
+    scenario_hashes: "tuple[str, ...]"
+    sources: "tuple[str, ...]"
+    store_hits: int
+    computed: int
+    deduped: int
+    elapsed_s: float
+    error: "str | None"
+
+
+class Job:
+    """Mutable runtime state of one submitted plan.
+
+    Owned by the :class:`JobManager`; external consumers read the
+    frozen :meth:`record` snapshot.
+    """
+
+    def __init__(self, job_id: str, plan: RunPlan, plan_digest: str) -> None:
+        """Create a queued job for one submitted plan."""
+        self.id = job_id
+        self.plan = plan
+        self.plan_hash = plan_digest
+        self.status = "queued"
+        self.scenario_hashes: "tuple[str, ...]" = ()
+        self.sources: "list[str]" = []
+        self.error: "str | None" = None
+        self.created_at = time.time()
+        self.elapsed_s = 0.0
+        self._start = time.perf_counter()
+
+    def finish(self, status: str, error: "str | None" = None) -> None:
+        """Move the job to a terminal state and stamp its elapsed time."""
+        self.status = status
+        self.error = error
+        self.elapsed_s = time.perf_counter() - self._start
+
+    def record(self) -> JobRecord:
+        """A frozen :class:`JobRecord` snapshot of the current state."""
+        sources = tuple(self.sources)
+        return JobRecord(
+            id=self.id,
+            status=self.status,
+            plan_name=self.plan.name,
+            plan_hash=self.plan_hash,
+            scenario_hashes=self.scenario_hashes,
+            sources=sources,
+            store_hits=sources.count("store"),
+            computed=sources.count("computed"),
+            deduped=sources.count("inflight"),
+            elapsed_s=self.elapsed_s,
+            error=self.error,
+        )
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/s up to ``capacity``.
+
+    :meth:`acquire` never blocks -- it either takes a token and returns
+    ``0.0``, or returns the seconds until one will be available (the
+    ``Retry-After`` the HTTP layer reports).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        """Create a full bucket refilling at ``rate`` tokens per second."""
+        if rate <= 0 or capacity <= 0:
+            raise ConfigurationError(
+                f"rate and capacity must be > 0, got {rate}/{capacity}"
+            )
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.capacity, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; else the wait in seconds."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client token buckets (client id -> :class:`TokenBucket`).
+
+    Unknown clients get a fresh full bucket on first sight; the HTTP
+    layer keys clients by ``X-Client-Id`` header falling back to the
+    peer address.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        """Create a limiter handing each client ``rate``/``capacity``."""
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._buckets: "dict[str, TokenBucket]" = {}
+
+    def check(self, client_id: str) -> float:
+        """0.0 if the client may proceed, else its retry-after seconds."""
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.capacity, self._clock)
+            self._buckets[client_id] = bucket
+        return bucket.acquire()
+
+
+def compute_scenario_results(
+    scenarios: "tuple[Any, ...]",
+    *,
+    seed: int = 0,
+    defaults: "Mapping[str, Any] | None" = None,
+    workers: int = 1,
+    shard_by: str = "round-robin",
+    executor: str = "process",
+) -> "tuple[ScenarioResult, ...]":
+    """Compute concrete scenarios on the sharded executor, in order.
+
+    The blocking compute kernel the job manager runs off-loop: wraps
+    the scenarios in a throwaway plan and dispatches it through
+    :func:`~repro.api.executor.run_plan_parallel` (process pool by
+    default; a single shard runs inline), returning the
+    :class:`~repro.api.plan.ScenarioResult` list aligned with the
+    input order.
+    """
+    plan = RunPlan(name="service-job", scenarios=tuple(scenarios))
+    outcome = run_plan_parallel(
+        plan,
+        workers=max(1, int(workers)),
+        shard_by=shard_by,
+        seed=seed,
+        defaults=defaults,
+        executor=executor,
+    )
+    return outcome.scenario_results
+
+
+class JobManager:
+    """Owns jobs, the single-flight map, and the compute off-load pool.
+
+    One manager per service process. All coordination state
+    (``_inflight``, job table, counters) is touched only from the
+    event loop thread; the blocking simulation work runs on
+    ``_compute_pool`` threads via :func:`compute_scenario_results`.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        seed: int = 0,
+        defaults: "Mapping[str, Any] | None" = None,
+        workers: int = 1,
+        shard_by: str = "round-robin",
+        executor: str = "process",
+        max_pending: int = 16,
+        max_concurrent: int = 2,
+    ) -> None:
+        """Wire the manager to its store and executor configuration."""
+        if max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if max_concurrent < 1:
+            raise ConfigurationError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        self.store = store
+        self.seed = int(seed)
+        self.defaults = dict(defaults or {})
+        self.workers = int(workers)
+        self.shard_by = shard_by
+        self.executor = executor
+        self.max_pending = int(max_pending)
+        self._jobs: "dict[str, Job]" = {}
+        self._ids = itertools.count(1)
+        self._inflight: "dict[str, asyncio.Future]" = {}
+        self._gate = asyncio.Semaphore(int(max_concurrent))
+        self._compute_pool = ThreadPoolExecutor(
+            max_workers=int(max_concurrent),
+            thread_name_prefix="repro-service-compute",
+        )
+        self._tasks: "set[asyncio.Task]" = set()
+        self.counters = {
+            "jobs_submitted": 0,
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "store_hits": 0,
+            "computed": 0,
+            "deduped": 0,
+        }
+
+    # ----- submission and lookup -----------------------------------------
+
+    def pending(self) -> int:
+        """Jobs currently queued or running."""
+        return sum(
+            1 for j in self._jobs.values() if j.status in ("queued", "running")
+        )
+
+    def submit(self, plan: RunPlan) -> Job:
+        """Accept a plan as a new job and schedule its execution.
+
+        Raises :class:`JobQueueFull` when ``max_pending`` jobs are
+        already queued or running (the HTTP layer maps this to 503 +
+        ``Retry-After``). Must be called from the event loop thread.
+        """
+        if self.pending() >= self.max_pending:
+            raise JobQueueFull(
+                f"job queue full ({self.max_pending} pending); retry later"
+            )
+        job = Job(
+            f"job-{next(self._ids)}",
+            plan,
+            plan_hash(plan, defaults=self.defaults),
+        )
+        self._jobs[job.id] = job
+        self.counters["jobs_submitted"] += 1
+        task = asyncio.get_running_loop().create_task(self._run_job(job))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return job
+
+    def job(self, job_id: str) -> "Job | None":
+        """Look a job up by id (``None`` when unknown)."""
+        return self._jobs.get(job_id)
+
+    def stats(self) -> "dict[str, Any]":
+        """Aggregate counters: jobs by state, dedupe/hit totals, config."""
+        by_status = {status: 0 for status in JOB_STATUSES}
+        for job in self._jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            **self.counters,
+            "jobs_by_status": by_status,
+            "inflight_scenarios": len(self._inflight),
+            "max_pending": self.max_pending,
+            "workers": self.workers,
+            "shard_by": self.shard_by,
+            "executor": self.executor,
+        }
+
+    async def close(self) -> None:
+        """Cancel outstanding jobs and release the compute pool."""
+        for task in tuple(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._compute_pool.shutdown(wait=False, cancel_futures=True)
+
+    # ----- execution ------------------------------------------------------
+
+    async def _run_job(self, job: Job) -> None:
+        """Resolve every scenario of one job (store / inflight / compute)."""
+        async with self._gate:
+            job.status = "running"
+            try:
+                await self._resolve(job)
+            except asyncio.CancelledError:
+                job.finish("failed", "cancelled on shutdown")
+                raise
+            except Exception as exc:
+                job.finish("failed", str(exc))
+                self.counters["jobs_failed"] += 1
+            else:
+                job.finish("done")
+                self.counters["jobs_done"] += 1
+
+    async def _resolve(self, job: Job) -> None:
+        expanded = job.plan.expanded()
+        hashes = tuple(
+            scenario_hash(s, defaults=self.defaults) for s in expanded
+        )
+        job.scenario_hashes = hashes
+        job.sources = ["pending"] * len(expanded)
+
+        loop = asyncio.get_running_loop()
+        owned: "list[int]" = []
+        attached: "dict[int, asyncio.Future]" = {}
+        claimed: "set[str]" = set()
+        for position, hash_ in enumerate(hashes):
+            if hash_ in claimed:
+                # The same scenario twice in one plan: the first
+                # occurrence owns the compute, later ones attach.
+                attached[position] = self._inflight[hash_]
+                job.sources[position] = "inflight"
+                self.counters["deduped"] += 1
+            elif hash_ in self._inflight:
+                attached[position] = self._inflight[hash_]
+                job.sources[position] = "inflight"
+                self.counters["deduped"] += 1
+            elif hash_ in self.store:
+                job.sources[position] = "store"
+                self.counters["store_hits"] += 1
+            else:
+                self._inflight[hash_] = loop.create_future()
+                claimed.add(hash_)
+                owned.append(position)
+
+        try:
+            if owned:
+                scenarios = tuple(expanded[i] for i in owned)
+                results = await loop.run_in_executor(
+                    self._compute_pool,
+                    lambda: compute_scenario_results(
+                        scenarios,
+                        seed=self.seed,
+                        defaults=self.defaults,
+                        workers=self.workers,
+                        shard_by=self.shard_by,
+                        executor=self.executor,
+                    ),
+                )
+                for position, scenario_result in zip(owned, results):
+                    hash_ = hashes[position]
+                    self.store.put(hash_, scenario_result)
+                    job.sources[position] = "computed"
+                    self.counters["computed"] += 1
+                    future = self._inflight.pop(hash_, None)
+                    if future is not None and not future.done():
+                        future.set_result(hash_)
+        except Exception as exc:
+            # Wake every attached job with the failure before this one
+            # propagates it; a claimed-but-unresolved hash must never
+            # leave a dangling future behind.
+            for hash_ in claimed:
+                future = self._inflight.pop(hash_, None)
+                if future is not None and not future.done():
+                    failure = ConfigurationError(
+                        f"in-flight computation failed: {exc}"
+                    )
+                    future.set_exception(failure)
+                    # Attached jobs consume it; an unobserved future
+                    # (everyone already gave up) must not warn at GC.
+                    future.exception()
+            raise
+        finally:
+            # Cancellation (service shutdown) can leave claimed hashes
+            # unresolved; never strand a future other jobs await.
+            for hash_ in claimed:
+                future = self._inflight.pop(hash_, None)
+                if future is not None and not future.done():
+                    future.cancel()
+
+        if attached:
+            waited = await asyncio.gather(
+                *attached.values(), return_exceptions=True
+            )
+            failures = [w for w in waited if isinstance(w, BaseException)]
+            if failures:
+                raise failures[0]
+
+
+def retry_after_seconds(wait: float) -> int:
+    """Round a wait up to the integer seconds ``Retry-After`` carries."""
+    return max(1, int(math.ceil(wait)))

@@ -1,0 +1,437 @@
+"""Content-addressed on-disk result store for scenario results.
+
+A :class:`ResultStore` persists :class:`~repro.api.plan.ScenarioResult`
+records keyed by their canonical scenario hash
+(:func:`~repro.api.hashing.scenario_hash`), so warm caches survive
+process restarts and can be shared between machines over a plain
+directory. Layout::
+
+    <root>/
+      objects/<hh>/<hash>.json    # one StoreRecord per result
+      index.json                  # acceleration/metadata index
+
+Object files are the source of truth: their path is derivable from the
+hash alone, every write goes through a temp file + :func:`os.replace`
+(atomic on POSIX), and the store is **first-writer-wins** -- a second
+``put`` under an existing hash is a no-op, which is safe because
+content addressing makes all writers' payloads equal by construction.
+The index is a rebuildable acceleration layer (:meth:`ResultStore.reindex`
+recovers it by scanning ``objects/``), so a crash between an object
+write and an index write never loses or corrupts a result.
+
+:func:`run_plan_with_store` is the runner-side integration: execute a
+plan serving hits from a store, computing only misses, and optionally
+writing the computed results back (the ``--from-store`` /
+``--update-store`` flags of ``repro-experiments``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..api.hashing import code_version, scenario_hash
+from ..engine.cache import CacheStats
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..api.plan import PlanResult, RunPlan, ScenarioResult
+    from ..api.session import SimulationSession
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """One stored result: the hash it is filed under plus provenance.
+
+    Attributes
+    ----------
+    hash:
+        The canonical scenario hash (the content address).
+    code_version:
+        The :func:`~repro.api.hashing.code_version` salt the result was
+        computed under.
+    created_at:
+        POSIX timestamp of the write (used by :meth:`ResultStore.prune`).
+    scenario_result:
+        The full :class:`~repro.api.plan.ScenarioResult`, round-tripped
+        bit-exactly through :mod:`repro.io`.
+    """
+
+    hash: str
+    code_version: str
+    created_at: float
+    scenario_result: "ScenarioResult"
+
+
+class ResultStore:
+    """A content-addressed directory of scenario results.
+
+    Thread-safe within a process (one lock serialises index updates)
+    and safe across processes by construction: object writes are
+    atomic renames at paths derived from the content hash, so
+    concurrent writers of the same hash converge on one valid file.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        """Open (creating if needed) a store rooted at ``root``."""
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.index_path = self.root / "index.json"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ----- paths ---------------------------------------------------------
+
+    def object_path(self, hash_: str) -> Path:
+        """Where the record of one hash lives (exists or not)."""
+        if len(hash_) < 3 or not all(c in "0123456789abcdef" for c in hash_):
+            raise ConfigurationError(f"not a scenario hash: {hash_!r}")
+        return self.objects_dir / hash_[:2] / f"{hash_}.json"
+
+    # ----- core API ------------------------------------------------------
+
+    def __contains__(self, hash_: str) -> bool:
+        """Whether a result is stored under ``hash_``."""
+        return self.object_path(hash_).is_file()
+
+    def __len__(self) -> int:
+        """Number of stored results (by scanning objects, not the index)."""
+        return sum(1 for _ in self.objects_dir.glob("*/*.json"))
+
+    def hashes(self) -> "tuple[str, ...]":
+        """Every stored hash, sorted (a stable listing for tooling)."""
+        return tuple(
+            sorted(p.stem for p in self.objects_dir.glob("*/*.json"))
+        )
+
+    def get_record(self, hash_: str) -> "StoreRecord | None":
+        """The full stored record under ``hash_``, or ``None`` on a miss.
+
+        A present-but-unreadable object (truncated write from a crashed
+        pre-atomic-rename writer cannot happen; genuine corruption can)
+        raises :class:`~repro.errors.ConfigurationError` rather than
+        masquerading as a miss.
+        """
+        from .. import io
+
+        path = self.object_path(hash_)
+        if not path.is_file():
+            return None
+        record = io.store_record_from_dict(io.load_json(path))
+        if record.hash != hash_:
+            raise ConfigurationError(
+                f"store object {path} claims hash {record.hash[:12]}..., "
+                f"filed under {hash_[:12]}..."
+            )
+        return record
+
+    def get(self, hash_: str) -> "ScenarioResult | None":
+        """The stored scenario result under ``hash_``, or ``None``."""
+        record = self.get_record(hash_)
+        return None if record is None else record.scenario_result
+
+    def put(
+        self, hash_: str, scenario_result: "ScenarioResult"
+    ) -> StoreRecord:
+        """Store one result under its hash; atomic and idempotent.
+
+        Writes the record to a temp file in the final directory and
+        :func:`os.replace`-renames it into place, so readers never see
+        a partial object. If the hash is already stored the existing
+        record is returned untouched (first-writer-wins -- equal
+        content by construction), which also makes concurrent same-hash
+        ``put`` races harmless.
+        """
+        from .. import io
+
+        existing = self.get_record(hash_)
+        if existing is not None:
+            return existing
+        record = StoreRecord(
+            hash=hash_,
+            code_version=code_version(),
+            created_at=time.time(),
+            scenario_result=scenario_result,
+        )
+        path = self.object_path(hash_)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            io.store_record_to_dict(record), indent=2, sort_keys=True
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{hash_[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._index_add(record)
+        return record
+
+    def prune(
+        self,
+        *,
+        max_entries: "int | None" = None,
+        max_age_s: "float | None" = None,
+        now: "float | None" = None,
+    ) -> "tuple[str, ...]":
+        """Remove old results; returns the pruned hashes (oldest first).
+
+        ``max_age_s`` drops every record older than the horizon;
+        ``max_entries`` then drops the oldest records until at most
+        that many remain. With neither bound this is a no-op.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ConfigurationError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        now = time.time() if now is None else now
+        with self._lock:
+            aged = sorted(
+                (
+                    (self._created_at(path), path.stem)
+                    for path in self.objects_dir.glob("*/*.json")
+                ),
+            )
+            doomed: "list[str]" = []
+            if max_age_s is not None:
+                doomed.extend(
+                    h for created, h in aged if now - created > max_age_s
+                )
+            if max_entries is not None:
+                survivors = [h for _, h in aged if h not in set(doomed)]
+                excess = len(survivors) - max_entries
+                if excess > 0:
+                    doomed.extend(survivors[:excess])
+            for hash_ in doomed:
+                try:
+                    self.object_path(hash_).unlink()
+                except FileNotFoundError:
+                    pass
+            if doomed:
+                self._index_write(self._scan_index())
+            return tuple(doomed)
+
+    def stats(self) -> "dict[str, Any]":
+        """Entry count and byte size of the stored objects."""
+        paths = list(self.objects_dir.glob("*/*.json"))
+        return {
+            "entries": len(paths),
+            "bytes": sum(p.stat().st_size for p in paths),
+            "root": str(self.root),
+        }
+
+    # ----- the index (rebuildable acceleration layer) --------------------
+
+    def index(self) -> "dict[str, dict[str, Any]]":
+        """The metadata index: hash -> summary (experiment id, time).
+
+        Reads ``index.json`` when present and consistent; otherwise
+        falls back to a fresh scan. The index is never load-bearing for
+        :meth:`get`/:meth:`put` correctness.
+        """
+        if self.index_path.is_file():
+            try:
+                data = json.loads(self.index_path.read_text())
+                if isinstance(data, dict):
+                    return data
+            except (json.JSONDecodeError, OSError):
+                pass
+        return self._scan_index()
+
+    def reindex(self) -> "dict[str, dict[str, Any]]":
+        """Rebuild ``index.json`` from the object files and return it."""
+        with self._lock:
+            fresh = self._scan_index()
+            self._index_write(fresh)
+            return fresh
+
+    def _scan_index(self) -> "dict[str, dict[str, Any]]":
+        from .. import io
+
+        entries: "dict[str, dict[str, Any]]" = {}
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            try:
+                data = io.load_json(path)
+            except ConfigurationError:
+                continue
+            result = data.get("scenario_result", {})
+            scenario = result.get("scenario", {})
+            entries[path.stem] = {
+                "experiment_id": scenario.get("experiment_id", ""),
+                "label": scenario.get("label"),
+                "code_version": data.get("code_version", ""),
+                "created_at": data.get("created_at", 0.0),
+            }
+        return entries
+
+    def _created_at(self, path: Path) -> float:
+        try:
+            return float(json.loads(path.read_text()).get("created_at", 0.0))
+        except (json.JSONDecodeError, OSError, ValueError):
+            return 0.0
+
+    def _index_add(self, record: StoreRecord) -> None:
+        from .. import io
+
+        with self._lock:
+            entries = self.index()
+            entries[record.hash] = {
+                "experiment_id": record.scenario_result.scenario.experiment_id,
+                "label": record.scenario_result.scenario.label,
+                "code_version": record.code_version,
+                "created_at": record.created_at,
+            }
+            self._index_write(entries)
+
+    def _index_write(self, entries: "Mapping[str, Any]") -> None:
+        payload = json.dumps(dict(entries), indent=2, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".index-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload + "\n")
+            os.replace(tmp_name, self.index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+@dataclass(frozen=True)
+class StoreReport:
+    """How a store-backed plan run split between cache and compute.
+
+    Attributes
+    ----------
+    hits:
+        Scenarios served from the store without recomputation.
+    misses:
+        Scenarios that had to be computed this run.
+    written:
+        Results newly written to the update store.
+    hashes:
+        The canonical hash of every expanded scenario, in plan order.
+    """
+
+    hits: int
+    misses: int
+    written: int
+    hashes: "tuple[str, ...]"
+
+    @property
+    def total(self) -> int:
+        """Expanded scenario count of the plan."""
+        return self.hits + self.misses
+
+    def summary(self) -> str:
+        """The one-line hit/miss report the runner prints."""
+        return (
+            f"store: {self.hits} hits / {self.misses} misses "
+            f"({self.total} scenarios), {self.written} written"
+        )
+
+
+def run_plan_with_store(
+    session: "SimulationSession",
+    plan: "RunPlan",
+    *,
+    from_store: "ResultStore | str | Path | None" = None,
+    update_store: "ResultStore | str | Path | None" = None,
+    workers: int = 1,
+    shard_by: "str | None" = None,
+) -> "tuple[PlanResult, StoreReport]":
+    """Run a plan, serving store hits and computing only the misses.
+
+    Every expanded scenario is hashed with the session's defaults in
+    effect (:func:`~repro.api.hashing.scenario_hash`); hashes present
+    in ``from_store`` are served from disk without recomputation, the
+    misses run through the session (serially, or on the sharded
+    parallel executor when ``workers > 1``), and -- when
+    ``update_store`` is given -- freshly computed results are written
+    back. The returned :class:`~repro.api.plan.PlanResult` is in plan
+    order with stored and computed results interleaved; its
+    ``cache_stats`` cover only the computed portion (stored results
+    carry their original attribution).
+    """
+    from ..api.plan import PlanResult, RunPlan
+
+    reader = _as_store(from_store)
+    writer = _as_store(update_store)
+    expanded = plan.expanded()
+    hashes = tuple(
+        scenario_hash(s, defaults=session.defaults) for s in expanded
+    )
+
+    results: "dict[int, ScenarioResult]" = {}
+    miss_positions: "list[int]" = []
+    for position, hash_ in enumerate(hashes):
+        stored = reader.get(hash_) if reader is not None else None
+        if stored is not None:
+            results[position] = stored
+        else:
+            miss_positions.append(position)
+
+    cache_total = CacheStats(hits=0, misses=0, currsize=0, per_cache=())
+    if miss_positions:
+        sub_plan = RunPlan(
+            name=plan.name,
+            scenarios=tuple(expanded[i] for i in miss_positions),
+        )
+        if workers > 1:
+            computed = session.run_plan_parallel(
+                sub_plan, workers=workers, shard_by=shard_by or "round-robin"
+            )
+        else:
+            computed = session.run_plan(sub_plan)
+        cache_total = computed.cache_stats
+        for position, scenario_result in zip(
+            miss_positions, computed.scenario_results
+        ):
+            results[position] = scenario_result
+
+    written = 0
+    if writer is not None:
+        for position in miss_positions:
+            if hashes[position] not in writer:
+                writer.put(hashes[position], results[position])
+                written += 1
+
+    outcome = PlanResult(
+        plan=plan,
+        scenario_results=tuple(
+            results[i] for i in range(len(expanded))
+        ),
+        cache_stats=cache_total,
+    )
+    report = StoreReport(
+        hits=len(expanded) - len(miss_positions),
+        misses=len(miss_positions),
+        written=written,
+        hashes=hashes,
+    )
+    return outcome, report
+
+
+def _as_store(
+    store: "ResultStore | str | Path | None",
+) -> "ResultStore | None":
+    """Coerce a path-or-store argument to an open store (or ``None``)."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(store)

@@ -1,0 +1,58 @@
+"""Shared fixtures of the service suite: tiny results and plans.
+
+``make_scenario_result`` builds a small synthetic
+:class:`~repro.api.plan.ScenarioResult` without running any physics,
+so store/record tests stay fast; the end-to-end suites use real (but
+low-point-count) experiments instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario, ScenarioResult
+from repro.engine.cache import CacheStats
+from repro.experiments.base import ExperimentResult, ShapeCheck
+from repro.reporting.ascii_plot import PlotSeries
+
+
+@pytest.fixture
+def make_scenario_result():
+    """Factory for small, fully populated ScenarioResult fixtures."""
+
+    def build(
+        experiment_id="fig6",
+        overrides=None,
+        label=None,
+        y=(1.0, 2.0, 4.0),
+    ):
+        scenario = Scenario(
+            experiment_id=experiment_id,
+            overrides=dict(overrides or {}),
+            label=label,
+        )
+        result = ExperimentResult(
+            experiment_id=experiment_id,
+            title="synthetic",
+            x_label="x",
+            y_label="y",
+            series=(
+                PlotSeries(
+                    label="s",
+                    x=np.asarray([0.0, 1.0, 2.0]),
+                    y=np.asarray(y, dtype=float),
+                ),
+            ),
+            parameters={"n_points": 3},
+            checks=(ShapeCheck(claim="rises", passed=True, detail=""),),
+        )
+        return ScenarioResult(
+            scenario=scenario,
+            result=result,
+            elapsed_s=0.25,
+            cache_stats=CacheStats(
+                hits=3, misses=1, currsize=1, per_cache=(("fn", (3, 1, 1)),)
+            ),
+            reused_hits=2,
+        )
+
+    return build

@@ -1,0 +1,285 @@
+"""End-to-end HTTP service tests: the PR's acceptance contracts.
+
+A real :class:`ServiceApp` on an ephemeral port, driven by the real
+:class:`SimulationServiceClient` over loopback TCP. Pins the three
+acceptance criteria of the service PR:
+
+* results fetched through the client are **bit-identical** to a plain
+  serial ``SimulationSession.run_plan`` of the same plan;
+* killing the service and restarting it on the same store directory
+  serves an identical resubmission with **zero** recomputes;
+* N concurrent submissions of the same plan trigger exactly **one**
+  computation (single-flight dedupe across jobs).
+
+Everything runs with ``executor="thread"``/1 worker and tiny point
+counts so the suite stays fast on a single-CPU container.
+"""
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import RunPlan, Scenario, SimulationSession
+from repro.io import run_plan_to_dict, scenario_result_to_dict
+from repro.service import (
+    ResultStore,
+    ServiceApp,
+    ServiceError,
+    ServiceThread,
+    SimulationServiceClient,
+)
+
+
+def _plan(n_points=6):
+    return RunPlan(
+        name="e2e",
+        scenarios=(
+            Scenario("fig6", overrides={"n_points": n_points}),
+            Scenario("fig7", overrides={"n_points": n_points}),
+        ),
+    )
+
+
+def _app(store_dir, **kwargs):
+    kwargs.setdefault("executor", "thread")
+    kwargs.setdefault("workers", 1)
+    return ServiceApp(ResultStore(store_dir), **kwargs)
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A running service on an ephemeral port, torn down after the test."""
+    with ServiceThread(_app(tmp_path / "store")) as thread:
+        yield thread
+
+
+def _client(service, **kwargs):
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("backoff_s", 0.01)
+    return SimulationServiceClient(service.url, **kwargs)
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        assert _client(service).health() == {"status": "ok"}
+
+    def test_stats_shape(self, service):
+        stats = _client(service).stats()
+        assert set(stats) == {"jobs", "store", "rate_limit"}
+        assert stats["jobs"]["jobs_submitted"] == 0
+        assert stats["store"]["entries"] == 0
+
+    def test_unknown_job_is_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            _client(service).job("job-999")
+        assert err.value.status == 404
+
+    def test_unknown_result_is_404_and_bad_hash_is_400(self, service):
+        client = _client(service)
+        with pytest.raises(ServiceError) as err:
+            client.result("ab" * 32)
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.result("not-a-hash")
+        assert err.value.status == 400
+
+    def test_unknown_endpoint_is_404_and_wrong_method_is_405(self, service):
+        for path, expected in (("/nope", 404), ("/stats", 405)):
+            request = urllib.request.Request(
+                f"{service.url}{path}", data=b"{}", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == expected
+
+    def test_malformed_body_is_400(self, service):
+        request = urllib.request.Request(
+            f"{service.url}/plans", data=b"{ not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+        payload = json.loads(err.value.read())
+        assert "not JSON" in payload["error"]
+
+    def test_non_object_body_is_400(self, service):
+        request = urllib.request.Request(
+            f"{service.url}/plans", data=b"[1, 2]", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+
+class TestBitIdentity:
+    def test_service_results_match_serial_run_exactly(self, service):
+        """The headline contract: client results == serial results."""
+        plan = _plan()
+        serial = SimulationSession(seed=0).run_plan(plan)
+        results, record = _client(service).run_plan(plan)
+        assert record.status == "done"
+        assert record.sources == ("computed", "computed")
+        assert len(results) == len(serial.scenario_results)
+        for got, ref in zip(results, serial.scenario_results):
+            assert got.scenario == ref.scenario
+            assert len(got.result.series) == len(ref.result.series)
+            for a, b in zip(got.result.series, ref.result.series):
+                assert np.array_equal(a.x, b.x)
+                assert np.array_equal(a.y, b.y)
+            # Whole-record identity on the canonical export form (JSON
+            # has no tuples, so compare both sides post-normalisation).
+            # Only wall-clock timing may differ between the two runs.
+            got_record = scenario_result_to_dict(got)
+            ref_record = scenario_result_to_dict(ref)
+            got_record.pop("elapsed_s")
+            ref_record.pop("elapsed_s")
+            assert got_record == ref_record
+
+    def test_resubmission_is_served_entirely_from_store(self, service):
+        client = _client(service)
+        plan = _plan()
+        first_results, first = client.run_plan(plan)
+        second_results, second = client.run_plan(plan)
+        assert first.sources == ("computed", "computed")
+        assert second.sources == ("store", "store")
+        assert second.store_hits == 2 and second.computed == 0
+        for a, b in zip(first_results, second_results):
+            for sa, sb in zip(a.result.series, b.result.series):
+                assert np.array_equal(sa.y, sb.y)
+        stats = client.stats()
+        assert stats["jobs"]["computed"] == 2  # scenarios, first job only
+        assert stats["store"]["entries"] == 2
+
+
+class TestRestartPersistence:
+    def test_restart_on_same_store_serves_without_recompute(self, tmp_path):
+        """Kill the server, restart on the same dir: zero recomputes."""
+        store_dir = tmp_path / "store"
+        plan = _plan()
+        with ServiceThread(_app(store_dir)) as thread:
+            first_results, first = _client(thread).run_plan(plan)
+            assert first.computed == 2
+        # Process gone; a fresh app on the same directory takes over.
+        with ServiceThread(_app(store_dir)) as thread:
+            client = _client(thread)
+            results, record = client.run_plan(plan)
+            assert record.sources == ("store", "store")
+            assert record.computed == 0
+            stats = client.stats()
+            assert stats["jobs"]["computed"] == 0
+            for a, b in zip(first_results, results):
+                for sa, sb in zip(a.result.series, b.result.series):
+                    assert np.array_equal(sa.y, sb.y)
+
+
+class TestSingleFlightOverHttp:
+    def test_concurrent_identical_submissions_compute_once(self, tmp_path):
+        """4 threads submit the same plan; exactly one computation runs."""
+        app = _app(
+            tmp_path / "store",
+            max_pending=16,
+            max_concurrent=8,
+            rate_per_s=1000.0,
+            burst=1000.0,
+        )
+        plan = _plan()
+        barrier = threading.Barrier(4)
+        outcomes = [None] * 4
+
+        def submit(i):
+            client = SimulationServiceClient(
+                thread.url, client_id=f"client-{i}", backoff_s=0.01
+            )
+            barrier.wait(timeout=30)
+            outcomes[i] = client.run_plan(plan)
+
+        with ServiceThread(app) as thread:
+            workers = [
+                threading.Thread(target=submit, args=(i,)) for i in range(4)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=120)
+            stats = SimulationServiceClient(thread.url).stats()
+
+        assert all(o is not None for o in outcomes)
+        # Exactly one computation per scenario across ALL jobs.
+        assert stats["jobs"]["computed"] == 2
+        assert stats["store"]["entries"] == 2
+        reference = outcomes[0][0]
+        for results, record in outcomes:
+            assert record.status == "done"
+            for got, ref in zip(results, reference):
+                for a, b in zip(got.result.series, ref.result.series):
+                    assert np.array_equal(a.y, b.y)
+
+
+class TestRateLimitAndQueue:
+    def test_rate_limit_returns_429_with_retry_after(self, tmp_path):
+        app = _app(tmp_path / "store", rate_per_s=1.0, burst=1.0)
+        body = json.dumps(run_plan_to_dict(_plan())).encode()
+        with ServiceThread(app) as thread:
+            def post():
+                request = urllib.request.Request(
+                    f"{thread.url}/plans",
+                    data=body,
+                    method="POST",
+                    headers={"X-Client-Id": "hammer"},
+                )
+                return urllib.request.urlopen(request, timeout=10)
+
+            first = post()
+            assert first.status == 202
+            with pytest.raises(urllib.error.HTTPError) as err:
+                post()
+            assert err.value.code == 429
+            assert int(err.value.headers["Retry-After"]) >= 1
+            payload = json.loads(err.value.read())
+            assert "rate limit" in payload["error"]
+
+    def test_healthz_is_never_rate_limited(self, tmp_path):
+        app = _app(tmp_path / "store", rate_per_s=1.0, burst=1.0)
+        with ServiceThread(app) as thread:
+            client = SimulationServiceClient(thread.url, retries=0)
+            for _ in range(20):
+                assert client.health() == {"status": "ok"}
+
+    def test_full_queue_returns_503_with_retry_after(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.service.jobs import JobQueueFull
+
+        app = _app(tmp_path / "store")
+        monkeypatch.setattr(
+            app.manager,
+            "submit",
+            lambda plan: (_ for _ in ()).throw(JobQueueFull("queue full")),
+        )
+        body = json.dumps(run_plan_to_dict(_plan())).encode()
+        with ServiceThread(app) as thread:
+            request = urllib.request.Request(
+                f"{thread.url}/plans", data=body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 503
+            assert err.value.headers["Retry-After"] == "1"
+
+    def test_client_retries_through_429_and_succeeds(self, tmp_path):
+        """The retrying client rides out its own rate limit."""
+        app = _app(tmp_path / "store", rate_per_s=50.0, burst=1.0)
+        plan = _plan()
+        with ServiceThread(app) as thread:
+            client = SimulationServiceClient(
+                thread.url, retries=10, backoff_s=0.05
+            )
+            first = client.submit(plan)
+            second = client.submit(plan)  # bucket empty: retried inside
+            assert first.status in ("queued", "running", "done")
+            assert second.status in ("queued", "running", "done")
+            final = client.wait(second.id)
+            assert final.status == "done"

@@ -1,0 +1,226 @@
+"""The client's retry policy, in isolation from any real server.
+
+``urllib.request.urlopen`` is monkeypatched with scripted outcomes so
+the backoff/retry behaviour is fully deterministic: which statuses
+retry, which fail fast, how ``Retry-After`` floors the sleep, and how
+connection errors (server restarting) are ridden out.
+"""
+
+import io
+import json
+import random
+import urllib.error
+
+import pytest
+
+from repro.service import ServiceError, SimulationServiceClient
+from repro.service.client import RETRYABLE_STATUSES
+
+
+class Script:
+    """Feed urlopen a scripted sequence of responses/exceptions."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def __call__(self, request, timeout=None):
+        self.calls.append(request)
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return _response(outcome)
+
+
+def _response(payload):
+    class _Resp:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+        def read(self):
+            return json.dumps(payload).encode()
+
+    return _Resp()
+
+
+def _http_error(code, headers=None, payload=None):
+    import email.message
+
+    msg = email.message.Message()
+    for key, value in (headers or {}).items():
+        msg[key] = value
+    body = json.dumps(payload or {"error": "scripted"}).encode()
+    return urllib.error.HTTPError(
+        "http://test/x", code, "scripted", msg, io.BytesIO(body)
+    )
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    """Capture client sleeps instead of actually sleeping."""
+    recorded = []
+    return recorded
+
+
+def _client(script, sleeps, monkeypatch, **kwargs):
+    monkeypatch.setattr("urllib.request.urlopen", script)
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("backoff_s", 0.1)
+    kwargs.setdefault("rng", random.Random(7))
+    return SimulationServiceClient(
+        "http://test", sleep=sleeps.append, **kwargs
+    )
+
+
+class TestRetries:
+    def test_retryable_statuses_are_the_documented_pair(self):
+        assert RETRYABLE_STATUSES == (429, 503)
+
+    def test_success_on_first_try_never_sleeps(self, sleeps, monkeypatch):
+        script = Script([{"status": "ok"}])
+        client = _client(script, sleeps, monkeypatch)
+        assert client.health() == {"status": "ok"}
+        assert sleeps == []
+
+    def test_429_retries_until_success(self, sleeps, monkeypatch):
+        script = Script([_http_error(429), _http_error(429), {"ok": 1}])
+        client = _client(script, sleeps, monkeypatch)
+        assert client.health() == {"ok": 1}
+        assert len(script.calls) == 3
+        assert len(sleeps) == 2
+
+    def test_503_retries_until_success(self, sleeps, monkeypatch):
+        script = Script([_http_error(503), {"ok": 1}])
+        client = _client(script, sleeps, monkeypatch)
+        assert client.health() == {"ok": 1}
+        assert len(script.calls) == 2
+
+    def test_connection_errors_are_retried(self, sleeps, monkeypatch):
+        script = Script(
+            [
+                urllib.error.URLError("refused"),
+                ConnectionResetError("reset"),
+                {"ok": 1},
+            ]
+        )
+        client = _client(script, sleeps, monkeypatch)
+        assert client.health() == {"ok": 1}
+        assert len(script.calls) == 3
+
+    def test_exhausted_budget_raises_with_last_status(
+        self, sleeps, monkeypatch
+    ):
+        script = Script([_http_error(429)] * 3)
+        client = _client(script, sleeps, monkeypatch, retries=2)
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.status == 429
+        assert "3 attempts" in str(err.value)
+
+    def test_non_retryable_status_fails_immediately(
+        self, sleeps, monkeypatch
+    ):
+        script = Script(
+            [_http_error(404, payload={"error": "no such job"})]
+        )
+        client = _client(script, sleeps, monkeypatch)
+        with pytest.raises(ServiceError) as err:
+            client.job("job-1")
+        assert err.value.status == 404
+        assert "no such job" in str(err.value)
+        assert len(script.calls) == 1
+        assert sleeps == []
+
+    def test_zero_retries_means_one_attempt(self, sleeps, monkeypatch):
+        script = Script([_http_error(503)])
+        client = _client(script, sleeps, monkeypatch, retries=0)
+        with pytest.raises(ServiceError):
+            client.health()
+        assert len(script.calls) == 1
+
+
+class TestBackoff:
+    def test_backoff_grows_exponentially_and_caps(self):
+        client = SimulationServiceClient(
+            "http://test",
+            backoff_s=0.1,
+            max_backoff_s=0.4,
+            rng=random.Random(0),
+        )
+        # Jitter multiplies by [0.5, 1.5): bound, not exact values.
+        for attempt, base in ((0, 0.1), (1, 0.2), (2, 0.4), (5, 0.4)):
+            value = client._backoff(attempt)
+            assert 0.5 * base <= value <= 1.5 * base
+
+    def test_retry_after_floors_the_backoff(self):
+        client = SimulationServiceClient(
+            "http://test", backoff_s=0.01, rng=random.Random(0)
+        )
+        assert client._backoff(0, retry_after=2.0) >= 2.0
+
+    def test_retry_after_header_is_honoured(self, sleeps, monkeypatch):
+        script = Script(
+            [_http_error(429, headers={"Retry-After": "3"}), {"ok": 1}]
+        )
+        client = _client(script, sleeps, monkeypatch)
+        assert client.health() == {"ok": 1}
+        assert sleeps[0] >= 3.0
+
+    def test_jitter_spreads_synchronised_clients(self):
+        values = {
+            SimulationServiceClient(
+                "http://test", backoff_s=1.0, rng=random.Random(seed)
+            )._backoff(0)
+            for seed in range(8)
+        }
+        assert len(values) > 1
+
+
+class TestRequestShape:
+    def test_client_id_header_is_sent(self, sleeps, monkeypatch):
+        script = Script([{"ok": 1}])
+        client = _client(script, sleeps, monkeypatch, client_id="me")
+        client.health()
+        assert script.calls[0].get_header("X-client-id") == "me"
+
+    def test_submit_posts_the_plan_record(self, sleeps, monkeypatch):
+        from repro.api import RunPlan, Scenario
+
+        script = Script(
+            [
+                {
+                    "id": "job-1",
+                    "status": "queued",
+                    "plan_name": "p",
+                    "plan_hash": "",
+                    "scenario_hashes": [],
+                    "sources": [],
+                }
+            ]
+        )
+        client = _client(script, sleeps, monkeypatch)
+        record = client.submit(
+            RunPlan(name="p", scenarios=(Scenario("fig6"),))
+        )
+        assert record.id == "job-1"
+        request = script.calls[0]
+        assert request.get_method() == "POST"
+        sent = json.loads(request.data.decode())
+        assert sent["name"] == "p"
+        assert sent["scenarios"][0]["experiment_id"] == "fig6"
+
+    def test_wait_times_out_on_never_finishing_job(
+        self, sleeps, monkeypatch
+    ):
+        running = {
+            "id": "job-1",
+            "status": "running",
+        }
+        script = Script([running] * 50)
+        client = _client(script, sleeps, monkeypatch)
+        with pytest.raises(ServiceError) as err:
+            client.wait("job-1", poll_s=0.0, timeout_s=0.0)
+        assert "still" in str(err.value)

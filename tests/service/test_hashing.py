@@ -1,0 +1,190 @@
+"""The canonical hash contract: stability across types, order, processes.
+
+The content-addressed store is only sound if the same physical work
+always produces the same hash. These tests pin the canonicalisation
+rules of :mod:`repro.api.hashing` -- NumPy scalar normalisation (the
+PR's `_jsonable` ordering bugfix), sorted keys, label exclusion,
+defaults/salt participation -- and check cross-process stability by
+recomputing a hash in a fresh interpreter.
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    RunPlan,
+    Scenario,
+    canonical_json,
+    canonical_scenario_record,
+    code_version,
+    plan_hash,
+    scenario_hash,
+)
+from repro.io import _jsonable
+
+
+class TestJsonableNormalisation:
+    """The regression for the np-scalar canonicalisation bugfix."""
+
+    def test_np_float64_becomes_builtin_float(self):
+        # np.float64 subclasses float, so the old (int, float) branch
+        # returned it unconverted and repr/type leaked into records.
+        out = _jsonable(np.float64(1.5))
+        assert type(out) is float and out == 1.5
+
+    def test_np_int64_becomes_builtin_int(self):
+        out = _jsonable(np.int64(7))
+        assert type(out) is int and out == 7
+
+    def test_np_bool_becomes_builtin_bool(self):
+        out = _jsonable(np.bool_(True))
+        assert type(out) is bool and out is True
+
+    def test_np_scalars_nested_in_lists(self):
+        out = _jsonable([np.float64(0.5), (np.int64(2), np.bool_(False))])
+        assert out == [0.5, [2, False]]
+        assert type(out[0]) is float and type(out[1][0]) is int
+
+    def test_builtin_values_pass_through(self):
+        for value in (1, 2.5, True, "x", None):
+            assert _jsonable(value) == value
+
+
+class TestScenarioHash:
+    def test_numpy_overrides_hash_like_builtins(self):
+        plain = Scenario(
+            "fig6", overrides={"a": 1.5, "n": 3, "flag": True}
+        )
+        numpied = Scenario(
+            "fig6",
+            overrides={
+                "flag": np.bool_(True),
+                "a": np.float64(1.5),
+                "n": np.int64(3),
+            },
+        )
+        assert scenario_hash(plain) == scenario_hash(numpied)
+
+    def test_numpy_sweep_values_hash_like_builtins(self):
+        plain = Scenario("fig7", sweep={"t": (0.0, 300.0)})
+        numpied = Scenario(
+            "fig7", sweep={"t": (np.float64(0.0), np.float64(300.0))}
+        )
+        assert scenario_hash(plain) == scenario_hash(numpied)
+
+    def test_key_order_is_irrelevant(self):
+        a = Scenario("fig6", overrides={"x": 1, "y": 2})
+        b = Scenario("fig6", overrides={"y": 2, "x": 1})
+        assert scenario_hash(a) == scenario_hash(b)
+
+    def test_label_is_excluded(self):
+        assert scenario_hash(Scenario("fig6")) == scenario_hash(
+            Scenario("fig6", label="pretty name")
+        )
+        assert "label" not in canonical_scenario_record(
+            Scenario("fig6", label="pretty name")
+        )
+
+    def test_experiment_id_and_overrides_matter(self):
+        base = scenario_hash(Scenario("fig6"))
+        assert scenario_hash(Scenario("fig7")) != base
+        assert scenario_hash(Scenario("fig6", overrides={"gcr": 0.5})) != base
+
+    def test_defaults_participate(self):
+        scenario = Scenario("fig6")
+        assert scenario_hash(scenario) != scenario_hash(
+            scenario, defaults={"temperature_k": 400.0}
+        )
+        # ... and normalise like overrides do.
+        assert scenario_hash(
+            scenario, defaults={"temperature_k": 400.0}
+        ) == scenario_hash(
+            scenario, defaults={"temperature_k": np.float64(400.0)}
+        )
+
+    def test_code_version_salt_participates(self):
+        scenario = Scenario("fig6")
+        assert scenario_hash(scenario) == scenario_hash(
+            scenario, salt=code_version()
+        )
+        assert scenario_hash(scenario, salt="other/r999") != scenario_hash(
+            scenario
+        )
+
+    def test_hash_shape(self):
+        digest = scenario_hash(Scenario("fig6"))
+        assert len(digest) == 64
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_round_tripped_scenario_hashes_identically(self):
+        scenario = Scenario(
+            "fig7",
+            overrides={"n_points": 12, "gcr": 0.55},
+            sweep={"temperature_k": (0.0, 300.0)},
+        )
+        reloaded = Scenario.from_dict(
+            json.loads(json.dumps(scenario.to_dict()))
+        )
+        assert scenario_hash(reloaded) == scenario_hash(scenario)
+
+    def test_stable_across_processes(self):
+        scenario = Scenario(
+            "fig6", overrides={"n_points": 10, "temperature_k": 300.0}
+        )
+        here = scenario_hash(scenario)
+        code = (
+            "from repro.api import Scenario, scenario_hash;"
+            "print(scenario_hash(Scenario('fig6', overrides="
+            "{'temperature_k': 300.0, 'n_points': 10})))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == here
+
+
+class TestPlanHash:
+    def test_name_does_not_matter_but_work_does(self):
+        scenarios = (Scenario("fig6"), Scenario("fig7"))
+        a = RunPlan(name="a", scenarios=scenarios)
+        b = RunPlan(name="b", scenarios=scenarios)
+        assert plan_hash(a) == plan_hash(b)
+        c = RunPlan(name="a", scenarios=(Scenario("fig6"),))
+        assert plan_hash(c) != plan_hash(a)
+
+    def test_equivalent_sweep_grouping_hashes_identically(self):
+        family = RunPlan(
+            name="family",
+            scenarios=(Scenario("fig7", sweep={"gcr": (0.5, 0.6)}),),
+        )
+        # Labels differ between expansion styles, but labels are
+        # presentation-only: the concrete work is identical.
+        flat = RunPlan(
+            name="flat",
+            scenarios=tuple(
+                Scenario("fig7", overrides={"gcr": g}) for g in (0.5, 0.6)
+            ),
+        )
+        assert plan_hash(family) == plan_hash(flat)
+
+    def test_order_matters(self):
+        a = RunPlan(scenarios=(Scenario("fig6"), Scenario("fig7")))
+        b = RunPlan(scenarios=(Scenario("fig7"), Scenario("fig6")))
+        assert plan_hash(a) != plan_hash(b)
+
+
+class TestCanonicalJson:
+    def test_sorted_minimal_ascii(self):
+        text = canonical_json({"b": 1, "a": [1.5, "é"]})
+        assert text == '{"a":[1.5,"\\u00e9"],"b":1}'
+
+    def test_nan_is_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})

@@ -1,0 +1,354 @@
+"""The job manager: queue bounds, single-flight dedupe, rate limiting.
+
+Exercises :mod:`repro.service.jobs` without the HTTP layer. The
+single-flight tests monkeypatch ``compute_scenario_results`` with a
+blocking fake so dedupe timing is deterministic: the owner job is held
+inside its compute while rival jobs submit, which forces the rivals
+down the ``inflight`` path instead of racing the store.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.api import RunPlan, Scenario
+from repro.errors import ConfigurationError
+from repro.service import (
+    JobManager,
+    JobQueueFull,
+    RateLimiter,
+    ResultStore,
+    TokenBucket,
+)
+from repro.service.jobs import retry_after_seconds
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for bucket tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=2.0, clock=clock)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        wait = bucket.acquire()
+        assert wait == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=1.0, clock=clock)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() > 0.0
+        clock.advance(0.5)  # 2 tokens/s * 0.5 s = 1 token back
+        assert bucket.acquire() == 0.0
+
+    def test_capacity_caps_the_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() == 0.0
+        assert bucket.acquire() > 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, capacity=-1.0)
+
+
+class TestRateLimiter:
+    def test_clients_are_isolated(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, capacity=1.0, clock=clock)
+        assert limiter.check("alice") == 0.0
+        assert limiter.check("alice") > 0.0
+        # A different client still has a full bucket.
+        assert limiter.check("bob") == 0.0
+
+    def test_retry_after_rounds_up_to_whole_seconds(self):
+        assert retry_after_seconds(0.01) == 1
+        assert retry_after_seconds(1.0) == 1
+        assert retry_after_seconds(1.2) == 2
+
+
+def _plan(n_points=6, experiment="fig6"):
+    return RunPlan(
+        name="jobs-test",
+        scenarios=(Scenario(experiment, overrides={"n_points": n_points}),),
+    )
+
+
+def _manager(tmp_path, **kwargs):
+    kwargs.setdefault("executor", "thread")
+    kwargs.setdefault("workers", 1)
+    return JobManager(ResultStore(tmp_path / "store"), **kwargs)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestJobLifecycle:
+    def test_job_computes_then_second_job_hits_store(self, tmp_path):
+        async def scenario():
+            manager = _manager(tmp_path)
+            try:
+                first = manager.submit(_plan())
+                await asyncio.gather(*manager._tasks)
+                second = manager.submit(_plan())
+                await asyncio.gather(*manager._tasks)
+                return first.record(), second.record(), manager.stats()
+            finally:
+                await manager.close()
+
+        one, two, stats = _run(scenario())
+        assert one.status == "done"
+        assert one.sources == ("computed",)
+        assert two.status == "done"
+        assert two.sources == ("store",)
+        assert one.scenario_hashes == two.scenario_hashes
+        assert stats["computed"] == 1
+        assert stats["store_hits"] == 1
+        assert stats["jobs_done"] == 2
+
+    def test_queue_bound_raises_job_queue_full(self, tmp_path, monkeypatch):
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocking_compute(scenarios, **kwargs):
+            started.set()
+            assert release.wait(timeout=30)
+            from repro.service.jobs import RunPlan, run_plan_parallel
+
+            return run_plan_parallel(
+                RunPlan(name="service-job", scenarios=tuple(scenarios)),
+                workers=1,
+                executor="thread",
+            ).scenario_results
+
+        monkeypatch.setattr(
+            "repro.service.jobs.compute_scenario_results", blocking_compute
+        )
+
+        async def scenario():
+            manager = _manager(tmp_path, max_pending=1, max_concurrent=1)
+            try:
+                manager.submit(_plan())
+                await asyncio.sleep(0)  # let the job start
+                with pytest.raises(JobQueueFull):
+                    manager.submit(_plan(n_points=7))
+                release.set()
+                await asyncio.gather(*manager._tasks)
+                # Capacity freed: the next submit is accepted.
+                job = manager.submit(_plan())
+                await asyncio.gather(*manager._tasks)
+                return job.record()
+            finally:
+                await manager.close()
+
+        record = _run(scenario())
+        assert record.status == "done"
+
+    def test_unknown_job_lookup_is_none(self, tmp_path):
+        async def scenario():
+            manager = _manager(tmp_path)
+            try:
+                return manager.job("job-999")
+            finally:
+                await manager.close()
+
+        assert _run(scenario()) is None
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            _manager(tmp_path, max_pending=0)
+        with pytest.raises(ConfigurationError):
+            _manager(tmp_path, max_concurrent=0)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_jobs_compute_once(
+        self, tmp_path, monkeypatch
+    ):
+        """N concurrent submissions of the same plan -> one computation.
+
+        The first job is held inside compute until every rival has been
+        classified, so the rivals *must* take the inflight path.
+        """
+        compute_calls = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocking_compute(scenarios, **kwargs):
+            compute_calls.append(tuple(scenarios))
+            started.set()
+            assert release.wait(timeout=30)
+            from repro.service.jobs import RunPlan, run_plan_parallel
+
+            return run_plan_parallel(
+                RunPlan(name="service-job", scenarios=tuple(scenarios)),
+                workers=1,
+                executor="thread",
+            ).scenario_results
+
+        monkeypatch.setattr(
+            "repro.service.jobs.compute_scenario_results", blocking_compute
+        )
+
+        async def scenario():
+            manager = _manager(tmp_path, max_pending=8, max_concurrent=8)
+            try:
+                owner = manager.submit(_plan())
+                # Wait until the owner is inside its compute call.
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(
+                    None, lambda: started.wait(timeout=30)
+                )
+                rivals = [manager.submit(_plan()) for _ in range(3)]
+                # Let the rivals classify against the inflight map.
+                for _ in range(10):
+                    await asyncio.sleep(0)
+                release.set()
+                await asyncio.gather(*manager._tasks)
+                return owner.record(), [r.record() for r in rivals]
+            finally:
+                await manager.close()
+
+        owner, rivals = _run(scenario())
+        assert len(compute_calls) == 1
+        assert owner.sources == ("computed",)
+        for rival in rivals:
+            assert rival.status == "done"
+            assert rival.sources == ("inflight",)
+            assert rival.deduped == 1
+
+    def test_duplicate_scenarios_within_one_plan_compute_once(
+        self, tmp_path, monkeypatch
+    ):
+        compute_calls = []
+
+        def counting_compute(scenarios, **kwargs):
+            compute_calls.append(tuple(scenarios))
+            from repro.service.jobs import RunPlan, run_plan_parallel
+
+            return run_plan_parallel(
+                RunPlan(name="service-job", scenarios=tuple(scenarios)),
+                workers=1,
+                executor="thread",
+            ).scenario_results
+
+        monkeypatch.setattr(
+            "repro.service.jobs.compute_scenario_results", counting_compute
+        )
+        duplicated = RunPlan(
+            name="dupes",
+            scenarios=(
+                Scenario("fig6", overrides={"n_points": 6}),
+                Scenario("fig6", overrides={"n_points": 6}, label="again"),
+            ),
+        )
+
+        async def scenario():
+            manager = _manager(tmp_path)
+            try:
+                job = manager.submit(duplicated)
+                await asyncio.gather(*manager._tasks)
+                return job.record()
+            finally:
+                await manager.close()
+
+        record = _run(scenario())
+        assert record.status == "done"
+        assert sum(len(call) for call in compute_calls) == 1
+        assert sorted(record.sources) == ["computed", "inflight"]
+
+    def test_compute_failure_propagates_to_attached_jobs(
+        self, tmp_path, monkeypatch
+    ):
+        started = threading.Event()
+        release = threading.Event()
+
+        def failing_compute(scenarios, **kwargs):
+            started.set()
+            assert release.wait(timeout=30)
+            raise RuntimeError("solver exploded")
+
+        monkeypatch.setattr(
+            "repro.service.jobs.compute_scenario_results", failing_compute
+        )
+
+        async def scenario():
+            manager = _manager(tmp_path, max_pending=4, max_concurrent=4)
+            try:
+                owner = manager.submit(_plan())
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(
+                    None, lambda: started.wait(timeout=30)
+                )
+                rival = manager.submit(_plan())
+                for _ in range(10):
+                    await asyncio.sleep(0)
+                release.set()
+                await asyncio.gather(*manager._tasks)
+                return owner.record(), rival.record(), manager.stats()
+            finally:
+                await manager.close()
+
+        owner, rival, stats = _run(scenario())
+        assert owner.status == "failed"
+        assert "solver exploded" in owner.error
+        assert rival.status == "failed"
+        assert "in-flight computation failed" in rival.error
+        assert stats["jobs_failed"] == 2
+        assert stats["inflight_scenarios"] == 0  # no dangling futures
+
+    def test_failed_hash_recomputes_on_next_submission(
+        self, tmp_path, monkeypatch
+    ):
+        attempts = []
+
+        def flaky_compute(scenarios, **kwargs):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            from repro.service.jobs import RunPlan, run_plan_parallel
+
+            return run_plan_parallel(
+                RunPlan(name="service-job", scenarios=tuple(scenarios)),
+                workers=1,
+                executor="thread",
+            ).scenario_results
+
+        monkeypatch.setattr(
+            "repro.service.jobs.compute_scenario_results", flaky_compute
+        )
+
+        async def scenario():
+            manager = _manager(tmp_path)
+            try:
+                failed = manager.submit(_plan())
+                await asyncio.gather(*manager._tasks)
+                retried = manager.submit(_plan())
+                await asyncio.gather(*manager._tasks)
+                return failed.record(), retried.record()
+            finally:
+                await manager.close()
+
+        failed, retried = _run(scenario())
+        assert failed.status == "failed"
+        assert retried.status == "done"
+        assert retried.sources == ("computed",)
+        assert len(attempts) == 2

@@ -1,0 +1,111 @@
+"""The runner's store flags: ``--from-store`` / ``--update-store``.
+
+Drives the real ``repro-experiments`` entry point (``main(argv)``) and
+asserts the store round trip end to end: a cold run computes and
+writes, a warm run is served from disk, and the hit/miss summary line
+the flags promise is printed. Misuse (store flags without ``--plan``)
+must fail fast with a configuration error.
+"""
+
+import json
+
+from repro.experiments.runner import main
+from repro.service import ResultStore
+
+
+def _write_plan(tmp_path, n_points=6):
+    plan = {
+        "name": "store-cli",
+        "scenarios": [
+            {"experiment_id": "fig6", "overrides": {"n_points": n_points}},
+            {"experiment_id": "fig7", "overrides": {"n_points": n_points}},
+        ],
+    }
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan))
+    return path
+
+
+class TestRunnerStoreFlags:
+    def test_cold_then_warm_run_with_summary_lines(self, tmp_path, capsys):
+        plan = _write_plan(tmp_path)
+        store = tmp_path / "store"
+
+        code = main(
+            [
+                "--plan",
+                str(plan),
+                "--no-plot",
+                "--from-store",
+                str(store),
+                "--update-store",
+                str(store),
+            ]
+        )
+        cold = capsys.readouterr().out
+        assert code == 0
+        assert "store: 0 hits / 2 misses (2 scenarios), 2 written" in cold
+        assert len(ResultStore(store)) == 2
+
+        code = main(
+            [
+                "--plan",
+                str(plan),
+                "--no-plot",
+                "--from-store",
+                str(store),
+            ]
+        )
+        warm = capsys.readouterr().out
+        assert code == 0
+        assert "store: 2 hits / 0 misses (2 scenarios), 0 written" in warm
+        # The warm run still reports every scenario.
+        assert warm.count("\nscenario ") == 2
+
+    def test_update_store_alone_always_computes_but_writes(
+        self, tmp_path, capsys
+    ):
+        plan = _write_plan(tmp_path)
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "--plan",
+                    str(plan),
+                    "--no-plot",
+                    "--update-store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert "store: 0 hits / 2 misses (2 scenarios), 2 written" in first
+        # Without --from-store nothing is read back: misses again, but
+        # the objects already on disk are not rewritten.
+        assert (
+            main(
+                [
+                    "--plan",
+                    str(plan),
+                    "--no-plot",
+                    "--update-store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        second = capsys.readouterr().out
+        assert "store: 0 hits / 2 misses (2 scenarios), 0 written" in second
+        assert len(ResultStore(store)) == 2
+
+    def test_store_flags_require_a_plan(self, tmp_path, capsys):
+        code = main(["fig6", "--no-plot", "--from-store", str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--from-store/--update-store" in err
+
+    def test_no_summary_line_without_store_flags(self, tmp_path, capsys):
+        code = main(["--plan", str(_write_plan(tmp_path)), "--no-plot"])
+        assert code == 0
+        assert "store:" not in capsys.readouterr().out

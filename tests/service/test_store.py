@@ -1,0 +1,319 @@
+"""The content-addressed result store: round trips, atomicity, pruning.
+
+Covers the :class:`~repro.service.store.ResultStore` contract the
+service and runner lean on -- bit-exact get/put round trips through
+the :mod:`repro.io` converters, idempotent first-writer-wins puts,
+index recovery, pruning, and the two-threads-one-hash concurrency
+race (one file, no corruption).
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import Scenario, SimulationSession, scenario_hash
+from repro.errors import ConfigurationError
+from repro.service import ResultStore
+from repro.service.store import run_plan_with_store
+
+
+def _hash_of(result):
+    return scenario_hash(result.scenario)
+
+
+class TestRoundTrip:
+    def test_get_miss_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("ab" * 32) is None
+        assert store.get_record("ab" * 32) is None
+        assert ("ab" * 32) not in store
+
+    def test_put_get_bit_exact(self, tmp_path, make_scenario_result):
+        store = ResultStore(tmp_path)
+        original = make_scenario_result(y=(1.0, 1e-30, 3.0e17))
+        hash_ = _hash_of(original)
+        record = store.put(hash_, original)
+        assert record.hash == hash_
+        assert record.code_version
+        loaded = store.get(hash_)
+        assert loaded is not None
+        assert loaded.scenario == original.scenario
+        for got, ref in zip(loaded.result.series, original.result.series):
+            assert np.array_equal(got.x, ref.x)
+            assert np.array_equal(got.y, ref.y)
+        assert loaded.elapsed_s == original.elapsed_s
+        assert loaded.cache_stats == original.cache_stats
+        assert loaded.reused_hits == original.reused_hits
+
+    def test_put_is_idempotent_first_writer_wins(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        first = make_scenario_result(y=(1.0, 2.0, 3.0))
+        hash_ = _hash_of(first)
+        record1 = store.put(hash_, first)
+        record2 = store.put(hash_, make_scenario_result(y=(9.0, 9.0, 9.0)))
+        assert record2.created_at == record1.created_at
+        assert store.get(hash_).result.series[0].y[0] == 1.0
+        assert len(store) == 1
+
+    def test_len_contains_hashes(self, tmp_path, make_scenario_result):
+        store = ResultStore(tmp_path)
+        hashes = []
+        for n in range(3):
+            result = make_scenario_result(overrides={"n_points": n + 4})
+            hashes.append(_hash_of(result))
+            store.put(hashes[-1], result)
+        assert len(store) == 3
+        assert store.hashes() == tuple(sorted(hashes))
+        assert all(h in store for h in hashes)
+
+    def test_bad_hash_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.object_path("../../etc/passwd")
+        with pytest.raises(ConfigurationError):
+            store.object_path("ZZ")
+
+    def test_mismatched_object_hash_is_an_error(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        store.put(hash_, result)
+        # File an object under a hash its record does not claim.
+        other = "f" * 64
+        target = store.object_path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(store.object_path(hash_).read_text())
+        with pytest.raises(ConfigurationError):
+            store.get(other)
+
+
+class TestIndex:
+    def test_index_tracks_puts(self, tmp_path, make_scenario_result):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result(experiment_id="fig7", label="warm")
+        hash_ = _hash_of(result)
+        store.put(hash_, result)
+        entries = store.index()
+        assert entries[hash_]["experiment_id"] == "fig7"
+        assert entries[hash_]["label"] == "warm"
+
+    def test_reindex_recovers_from_lost_index(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        store.put(hash_, result)
+        store.index_path.unlink()
+        rebuilt = store.reindex()
+        assert hash_ in rebuilt
+        assert json.loads(store.index_path.read_text())
+
+    def test_corrupt_index_falls_back_to_scan(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        store.put(hash_, result)
+        store.index_path.write_text("{ not json")
+        assert hash_ in store.index()
+        assert store.get(hash_) is not None  # never load-bearing
+
+
+class TestPrune:
+    def test_prune_by_max_entries_drops_oldest(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        hashes = []
+        for n in range(4):
+            result = make_scenario_result(overrides={"n_points": n + 4})
+            hashes.append(_hash_of(result))
+            record = store.put(hashes[-1], result)
+            # Make creation order unambiguous regardless of clock tick.
+            path = store.object_path(record.hash)
+            data = json.loads(path.read_text())
+            data["created_at"] = float(n)
+            path.write_text(json.dumps(data))
+        removed = store.prune(max_entries=2)
+        assert removed == tuple(hashes[:2])
+        assert len(store) == 2
+        assert hashes[3] in store
+
+    def test_prune_by_age(self, tmp_path, make_scenario_result):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        record = store.put(hash_, result)
+        assert store.prune(max_age_s=3600, now=record.created_at + 10) == ()
+        assert store.prune(max_age_s=5, now=record.created_at + 10) == (
+            hash_,
+        )
+        assert len(store) == 0
+
+    def test_prune_without_bounds_is_noop(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        store.put(_hash_of(result), result)
+        assert store.prune() == ()
+        assert len(store) == 1
+
+    def test_negative_max_entries_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultStore(tmp_path).prune(max_entries=-1)
+
+
+class TestConcurrency:
+    def test_two_threads_putting_same_hash_leave_one_valid_file(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def put():
+            try:
+                barrier.wait(timeout=10)
+                store.put(hash_, result)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=put) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert len(store) == 1
+        # The object parses and round-trips: no torn write.
+        loaded = store.get(hash_)
+        assert np.array_equal(
+            loaded.result.series[0].y, result.result.series[0].y
+        )
+        # No stray temp files survive.
+        leftovers = [
+            p
+            for p in store.objects_dir.rglob("*")
+            if p.is_file() and p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+    def test_many_threads_distinct_hashes(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        results = [
+            make_scenario_result(overrides={"n_points": n + 4})
+            for n in range(8)
+        ]
+        threads = [
+            threading.Thread(target=store.put, args=(_hash_of(r), r))
+            for r in results
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(store) == 8
+        assert len(store.index()) == 8
+
+
+class TestRunPlanWithStore:
+    """The runner-side integration helper (serial-vs-store identity)."""
+
+    def _plan(self):
+        from repro.api import RunPlan
+
+        return RunPlan(
+            name="store-integration",
+            scenarios=(
+                Scenario("fig6", overrides={"n_points": 6}),
+                Scenario("fig7", overrides={"n_points": 6}),
+            ),
+        )
+
+    def test_cold_run_writes_then_warm_run_hits(self, tmp_path):
+        plan = self._plan()
+        store_dir = tmp_path / "store"
+        session = SimulationSession(seed=0)
+        serial = session.run_plan(plan)
+
+        cold, report = run_plan_with_store(
+            SimulationSession(seed=0),
+            plan,
+            from_store=store_dir,
+            update_store=store_dir,
+        )
+        assert (report.hits, report.misses, report.written) == (0, 2, 2)
+        warm, warm_report = run_plan_with_store(
+            SimulationSession(seed=0), plan, from_store=store_dir
+        )
+        assert (warm_report.hits, warm_report.misses) == (2, 0)
+        assert warm_report.written == 0
+        assert warm.cache_stats.misses == 0  # nothing computed
+        for run in (cold, warm):
+            for got, ref in zip(
+                run.scenario_results, serial.scenario_results
+            ):
+                for a, b in zip(got.result.series, ref.result.series):
+                    assert np.array_equal(a.x, b.x)
+                    assert np.array_equal(a.y, b.y)
+
+    def test_partial_hits_compute_only_misses(self, tmp_path):
+        from repro.api import RunPlan
+
+        store_dir = tmp_path / "store"
+        first = RunPlan(
+            name="half",
+            scenarios=(Scenario("fig6", overrides={"n_points": 6}),),
+        )
+        run_plan_with_store(
+            SimulationSession(seed=0), first, update_store=store_dir
+        )
+        both, report = run_plan_with_store(
+            SimulationSession(seed=0),
+            self._plan(),
+            from_store=store_dir,
+            update_store=store_dir,
+        )
+        assert (report.hits, report.misses, report.written) == (1, 1, 1)
+        assert len(both.scenario_results) == 2
+
+    def test_session_defaults_split_the_store_key(self, tmp_path):
+        from repro.api import RunPlan
+
+        store_dir = tmp_path / "store"
+        plan = RunPlan(
+            scenarios=(Scenario("fig6", overrides={"n_points": 6}),)
+        )
+        _, cold = run_plan_with_store(
+            SimulationSession(seed=0),
+            plan,
+            from_store=store_dir,
+            update_store=store_dir,
+        )
+        # A hot session computes under a different canonical hash.
+        _, hot = run_plan_with_store(
+            SimulationSession(seed=0, defaults={"temperature_k": 400.0}),
+            plan,
+            from_store=store_dir,
+            update_store=store_dir,
+        )
+        assert cold.hashes != hot.hashes
+        assert (hot.hits, hot.misses) == (0, 1)
+        # The cold identity still hits.
+        _, again = run_plan_with_store(
+            SimulationSession(seed=0), plan, from_store=store_dir
+        )
+        assert (again.hits, again.misses) == (1, 0)

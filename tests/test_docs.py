@@ -44,14 +44,20 @@ def test_module_docstring(name, module):
 
 
 def iter_engine_members():
-    """Yield every public class/function/method of repro.engine + repro.api."""
+    """Yield every public class/function/method of repro.engine,
+    repro.api and repro.service."""
     import repro.api.executor
+    import repro.api.hashing
     import repro.api.plan
     import repro.api.scenario
     import repro.api.session
     import repro.engine
     import repro.engine.batch
     import repro.engine.cache
+    import repro.service.app
+    import repro.service.client
+    import repro.service.jobs
+    import repro.service.store
 
     modules = (
         repro.engine.batch,
@@ -60,6 +66,11 @@ def iter_engine_members():
         repro.api.scenario,
         repro.api.plan,
         repro.api.executor,
+        repro.api.hashing,
+        repro.service.store,
+        repro.service.jobs,
+        repro.service.app,
+        repro.service.client,
     )
     for module in modules:
         for attr_name, member in vars(module).items():
@@ -114,6 +125,18 @@ def test_engine_members_discovered():
     assert "repro.api.executor.shard_plan" in names
     assert "repro.api.executor.Shard" in names
     assert "repro.api.session.derive_worker_seed" in names
+    assert "repro.api.hashing.scenario_hash" in names
+    assert "repro.api.hashing.plan_hash" in names
+    assert "repro.service.store.ResultStore" in names
+    assert "repro.service.store.ResultStore.put" in names
+    assert "repro.service.store.run_plan_with_store" in names
+    assert "repro.service.jobs.JobManager" in names
+    assert "repro.service.jobs.JobManager.submit" in names
+    assert "repro.service.jobs.TokenBucket" in names
+    assert "repro.service.app.ServiceApp" in names
+    assert "repro.service.app.ServiceThread" in names
+    assert "repro.service.client.SimulationServiceClient" in names
+    assert "repro.service.client.SimulationServiceClient.run_plan" in names
 
 
 @pytest.mark.parametrize(
@@ -341,6 +364,86 @@ def test_memory_batch_entry_points_documented():
         engine.ArraySweepResult,
         engine.mlc_program_sweep,
         engine.MlcSweepResult,
+    )
+    for member in entry_points:
+        assert member.__doc__ and len(member.__doc__.strip()) > 40, (
+            f"{getattr(member, '__qualname__', member)} lacks a substantive "
+            "docstring"
+        )
+
+
+def test_api_guide_covers_the_service():
+    """docs/API.md documents the service, store and hash contract."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert "Simulation service & result store" in text
+    for needle in (
+        "scenario_hash",
+        "plan_hash",
+        "code_version",
+        "ResultStore",
+        "single-flight",
+        "Retry-After",
+        "SimulationServiceClient",
+        "ServiceThread",
+        "repro-service",
+        "--from-store",
+        "--update-store",
+        "/plans",
+        "/jobs/{id}",
+        "/healthz",
+    ):
+        assert needle in text, f"docs/API.md does not mention {needle!r}"
+
+
+def test_architecture_covers_the_service():
+    """docs/ARCHITECTURE.md explains the service/store tier."""
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    assert "Simulation service & result store" in text
+    for needle in (
+        "ResultStore",
+        "canonical scenario hash",
+        "os.replace",
+        "first-writer-wins",
+        "JobManager",
+        "single-flight",
+        "token bucket",
+        "asyncio.start_server",
+        "SimulationServiceClient",
+        "--from-store",
+    ):
+        assert needle in text, (
+            f"docs/ARCHITECTURE.md does not mention {needle!r}"
+        )
+
+
+def test_service_entry_points_documented():
+    """Every public service entry point carries a real docstring."""
+    import repro.api as api
+    import repro.service as service
+
+    entry_points = (
+        api.scenario_hash,
+        api.plan_hash,
+        api.canonical_json,
+        api.canonical_scenario_record,
+        api.code_version,
+        service.ResultStore,
+        service.StoreRecord,
+        service.StoreReport,
+        service.run_plan_with_store,
+        service.Job,
+        service.JobManager,
+        service.JobQueueFull,
+        service.JobRecord,
+        service.RateLimiter,
+        service.TokenBucket,
+        service.compute_scenario_results,
+        service.ServiceApp,
+        service.ServiceThread,
+        service.ServiceError,
+        service.SimulationServiceClient,
     )
     for member in entry_points:
         assert member.__doc__ and len(member.__doc__.strip()) > 40, (
