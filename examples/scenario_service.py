@@ -11,7 +11,11 @@ service exists for:
 3. kill the server, restart it on the same store directory, resubmit
    -- still zero recomputes (the store is durable, not process state);
 4. check the fetched results are bit-identical to a plain serial
-   ``SimulationSession.run_plan`` of the same plan.
+   ``SimulationSession.run_plan`` of the same plan;
+5. exercise the lifecycle surface: cancel a submitted job (idempotent
+   on finished ones) and garbage-collect the store through
+   ``client.prune`` -- which pins every hash the retained jobs still
+   reference, so nothing a live job needs ever vanishes.
 
 Run with:  PYTHONPATH=src python examples/scenario_service.py
 """
@@ -94,6 +98,23 @@ def main() -> None:
                 f"store holds {stats['store']['entries']} results; "
                 f"service computed {stats['jobs']['computed']} this life"
             )
+
+            # --- 3b. lifecycle surface: cancel + prune ----------------
+            cancelled = client.cancel(revived.id)
+            print(
+                f"cancel of finished {revived.id} is idempotent: "
+                f"status stays {cancelled.status!r}"
+            )
+            assert cancelled.status == "done"
+            report = client.prune(max_entries=0)
+            print(
+                f"prune(max_entries=0): {report['pruned']} pruned, "
+                f"{report['protected']} pinned by live jobs, "
+                f"{report['entries']} entries remain"
+            )
+            # Every store entry is referenced by a retained job record,
+            # so even the harshest budget removes nothing.
+            assert report["pruned"] == 0 and report["entries"] == n
 
         # --- 4. bit-identity against a plain serial run ----------------
         serial = SimulationSession(seed=7).run_plan(plan)

@@ -461,6 +461,7 @@ def job_record_to_dict(record: "JobRecord") -> "dict[str, Any]":
         "deduped": record.deduped,
         "elapsed_s": record.elapsed_s,
         "error": record.error,
+        "priority": record.priority,
     }
 
 
@@ -494,6 +495,7 @@ def job_record_from_dict(data: Mapping[str, Any]) -> "JobRecord":
         deduped=int(data.get("deduped", 0)),
         elapsed_s=float(data.get("elapsed_s", 0.0)),
         error=None if error is None else str(error),
+        priority=int(data.get("priority", 1)),
     )
 
 

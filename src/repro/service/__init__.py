@@ -11,11 +11,15 @@ backend:
   atomic writes and bit-exact JSON round-trips via :mod:`repro.io`.
 * :class:`JobManager` (:mod:`repro.service.jobs`) -- an asyncio job
   queue over the sharded parallel executor with single-flight dedupe
-  (identical in-flight scenarios are computed once) and per-client
-  token-bucket rate limiting.
+  (identical in-flight scenarios are computed once), priority-aware
+  dispatch (:class:`PriorityGate`: ``high``/``normal``/``low`` classes
+  with aging, so nothing starves), safe cancellation, finished-job
+  eviction (TTL + cap) and per-client token-bucket rate limiting.
 * :class:`ServiceApp` (:mod:`repro.service.app`) -- the stdlib-only
   HTTP service: ``POST /plans``, ``GET /jobs/{id}``,
-  ``GET /results/{hash}``, ``GET /healthz``, ``GET /stats``.
+  ``DELETE /jobs/{id}``, ``GET /results/{hash}``, ``GET /healthz``,
+  ``GET /stats``, ``POST /admin/prune`` (store GC that pins hashes
+  referenced by live jobs).
 * :class:`SimulationServiceClient` (:mod:`repro.service.client`) -- a
   typed synchronous client with retry/backoff on 429/503, plus the
   ``repro-service`` CLI (:mod:`repro.service.cli`).
@@ -40,13 +44,17 @@ contract and the endpoint semantics.
 from .app import ServiceApp, ServiceThread
 from .client import ServiceError, SimulationServiceClient
 from .jobs import (
+    PRIORITY_CLASSES,
     Job,
     JobManager,
     JobQueueFull,
     JobRecord,
+    PriorityGate,
     RateLimiter,
     TokenBucket,
     compute_scenario_results,
+    expired_job_record,
+    normalize_priority,
 )
 from .store import ResultStore, StoreRecord, StoreReport, run_plan_with_store
 
@@ -59,9 +67,13 @@ __all__ = [
     "JobManager",
     "JobQueueFull",
     "JobRecord",
+    "PriorityGate",
+    "PRIORITY_CLASSES",
     "RateLimiter",
     "TokenBucket",
     "compute_scenario_results",
+    "expired_job_record",
+    "normalize_priority",
     "ServiceApp",
     "ServiceThread",
     "ServiceError",

@@ -10,12 +10,19 @@ dependencies beyond the standard library:
 method    path               meaning
 ========  =================  ==============================================
 POST      ``/plans``         submit a :class:`~repro.api.plan.RunPlan`
-                             record; 202 + job record (rate limited,
-                             429 + ``Retry-After`` when over budget,
-                             503 + ``Retry-After`` when the queue is full)
-GET       ``/jobs/{id}``     job status as a JSON job record
+                             record (optional ``priority`` key:
+                             high/normal/low or 0-9); 202 + job record
+                             (rate limited, 429 + ``Retry-After`` when
+                             over budget, 503 + ``Retry-After`` when
+                             the queue is full)
+GET       ``/jobs/{id}``     job status as a JSON job record (evicted
+                             jobs answer a typed ``expired`` record)
+DELETE    ``/jobs/{id}``     cancel a queued/running job; returns its
+                             final record (idempotent on terminal jobs)
 GET       ``/results/{h}``   the stored result record under scenario
                              hash ``h`` (404 on a miss)
+POST      ``/admin/prune``   garbage-collect the store within age/count
+                             budgets, pinning hashes live jobs reference
 GET       ``/healthz``       liveness probe (never rate limited)
 GET       ``/stats``         job/store/dedupe counters
 ========  =================  ==============================================
@@ -23,7 +30,9 @@ GET       ``/stats``         job/store/dedupe counters
 Responses are JSON; requests are independent (``Connection: close``),
 which keeps the protocol layer small enough to audit at a glance.
 :class:`ServiceThread` runs an app on a background event-loop thread --
-the embedding used by the tests, the example and the CI smoke job.
+the embedding used by the tests, the example and the CI smoke job; the
+app can also run a periodic background prune (``prune_interval_s``) so
+a long-lived service garbage-collects itself.
 """
 
 from __future__ import annotations
@@ -78,8 +87,18 @@ class ServiceApp:
         max_concurrent: int = 2,
         rate_per_s: float = 10.0,
         burst: float = 20.0,
+        aging_s: float = 30.0,
+        job_ttl_s: "float | None" = 3600.0,
+        max_records: "int | None" = 1024,
+        prune_interval_s: "float | None" = None,
+        prune_max_entries: "int | None" = None,
+        prune_max_age_s: "float | None" = None,
     ) -> None:
         """Configure the service; nothing binds until :meth:`start`."""
+        if prune_interval_s is not None and prune_interval_s <= 0:
+            raise ConfigurationError(
+                f"prune_interval_s must be > 0 or None, got {prune_interval_s}"
+            )
         self.store = (
             store if isinstance(store, ResultStore) else ResultStore(store)
         )
@@ -94,9 +113,16 @@ class ServiceApp:
             executor=executor,
             max_pending=max_pending,
             max_concurrent=max_concurrent,
+            aging_s=aging_s,
+            job_ttl_s=job_ttl_s,
+            max_records=max_records,
         )
         self.limiter = RateLimiter(rate_per_s, burst)
+        self.prune_interval_s = prune_interval_s
+        self.prune_max_entries = prune_max_entries
+        self.prune_max_age_s = prune_max_age_s
         self._server: "asyncio.base_events.Server | None" = None
+        self._prune_task: "asyncio.Task | None" = None
 
     # ----- lifecycle ------------------------------------------------------
 
@@ -104,7 +130,9 @@ class ServiceApp:
         """Bind and start serving; returns the bound ``(host, port)``.
 
         ``port=0`` (the default) binds an ephemeral port -- the return
-        value is how callers learn it.
+        value is how callers learn it. When ``prune_interval_s`` is
+        set, a background task prunes the store on that period with the
+        configured budgets (live-job hashes always pinned).
         """
         if self._server is not None:
             raise ConfigurationError("service already started")
@@ -113,15 +141,68 @@ class ServiceApp:
         )
         sockname = self._server.sockets[0].getsockname()
         self.port = sockname[1]
+        if self.prune_interval_s is not None:
+            self._prune_task = asyncio.get_running_loop().create_task(
+                self._prune_loop()
+            )
         return sockname[0], self.port
 
     async def stop(self) -> None:
         """Stop accepting, cancel outstanding jobs, release the pool."""
+        if self._prune_task is not None:
+            self._prune_task.cancel()
+            await asyncio.gather(self._prune_task, return_exceptions=True)
+            self._prune_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         await self.manager.close()
+
+    # ----- store GC -------------------------------------------------------
+
+    async def prune(
+        self,
+        *,
+        max_entries: "int | None" = None,
+        max_age_s: "float | None" = None,
+    ) -> "dict[str, Any]":
+        """Prune the store within budgets, pinning live jobs' hashes.
+
+        The operational GC entry point behind ``POST /admin/prune`` and
+        the background prune loop. Hashes referenced by retained jobs
+        or in-flight claims (:meth:`JobManager.protected_hashes`) are
+        never deleted, closing the classify-then-fetch TOCTOU. File IO
+        runs off the event loop so serving never stalls.
+        """
+        pinned = self.manager.protected_hashes()
+        loop = asyncio.get_running_loop()
+        pruned = await loop.run_in_executor(
+            None,
+            lambda: self.store.prune(
+                max_entries=max_entries, max_age_s=max_age_s, keep=pinned
+            ),
+        )
+        return {
+            "pruned": len(pruned),
+            "hashes": list(pruned),
+            "protected": len(pinned),
+            "entries": len(self.store),
+        }
+
+    async def _prune_loop(self) -> None:
+        """Periodic background GC; one failure never kills the loop."""
+        while True:
+            await asyncio.sleep(self.prune_interval_s)
+            try:
+                await self.prune(
+                    max_entries=self.prune_max_entries,
+                    max_age_s=self.prune_max_age_s,
+                )
+            except asyncio.CancelledError:  # pragma: no cover - shutdown
+                raise
+            except Exception:  # pragma: no cover - defensive edge
+                pass
 
     @property
     def url(self) -> str:
@@ -139,7 +220,7 @@ class ServiceApp:
             if request is None:
                 return
             method, path, headers, body = request
-            status, payload, extra = self._route(
+            status, payload, extra = await self._route(
                 method, path, headers, body, writer
             )
         except ConfigurationError as exc:
@@ -157,7 +238,7 @@ class ServiceApp:
             except (ConnectionError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    def _route(
+    async def _route(
         self,
         method: str,
         path: str,
@@ -182,10 +263,15 @@ class ServiceApp:
                 {},
             )
         if method == "GET" and path.startswith("/jobs/"):
-            job = self.manager.job(path[len("/jobs/"):])
-            if job is None:
+            record = self.manager.record_of(path[len("/jobs/"):])
+            if record is None:
                 return 404, {"error": "no such job"}, {}
-            return 200, job_record_to_dict(job.record()), {}
+            return 200, job_record_to_dict(record), {}
+        if method == "DELETE" and path.startswith("/jobs/"):
+            record = await self.manager.cancel(path[len("/jobs/"):])
+            if record is None:
+                return 404, {"error": "no such job"}, {}
+            return 200, job_record_to_dict(record), {}
         if method == "GET" and path.startswith("/results/"):
             hash_ = path[len("/results/"):]
             try:
@@ -197,11 +283,43 @@ class ServiceApp:
             return 200, store_record_to_dict(record), {}
         if method == "POST" and path == "/plans":
             return self._submit(headers, body, writer)
-        if path in ("/plans", "/healthz", "/stats") or path.startswith(
-            ("/jobs/", "/results/")
+        if method == "POST" and path == "/admin/prune":
+            return await self._admin_prune(body)
+        if path in ("/plans", "/healthz", "/stats", "/admin/prune") or (
+            path.startswith(("/jobs/", "/results/"))
         ):
             return 405, {"error": f"{method} not allowed on {path}"}, {}
         return 404, {"error": f"no such endpoint: {path}"}, {}
+
+    async def _admin_prune(
+        self, body: bytes
+    ) -> "tuple[int, dict[str, Any], dict[str, str]]":
+        """POST /admin/prune: GC within the request's age/count budgets."""
+        budgets: "dict[str, Any]" = {}
+        if body.strip():
+            try:
+                budgets = json.loads(body.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                return 400, {"error": f"body is not JSON: {exc}"}, {}
+            if not isinstance(budgets, dict):
+                return 400, {"error": "body must be a budgets object"}, {}
+        unknown = set(budgets) - {"max_entries", "max_age_s"}
+        if unknown:
+            return (
+                400,
+                {"error": f"unknown prune budgets: {sorted(unknown)}"},
+                {},
+            )
+        max_entries = budgets.get("max_entries")
+        max_age_s = budgets.get("max_age_s")
+        try:
+            report = await self.prune(
+                max_entries=None if max_entries is None else int(max_entries),
+                max_age_s=None if max_age_s is None else float(max_age_s),
+            )
+        except (TypeError, ValueError) as exc:
+            return 400, {"error": f"bad prune budgets: {exc}"}, {}
+        return 200, report, {}
 
     def _submit(
         self,
@@ -209,7 +327,12 @@ class ServiceApp:
         body: bytes,
         writer: asyncio.StreamWriter,
     ) -> "tuple[int, dict[str, Any], dict[str, str]]":
-        """POST /plans: rate limit, parse, enqueue; 202 + job record."""
+        """POST /plans: rate limit, parse, enqueue; 202 + job record.
+
+        The body is a run-plan record, optionally carrying a
+        ``priority`` key (a class name or integer rank) that dispatches
+        the job ahead of or behind its queue peers.
+        """
         client = headers.get("x-client-id") or _peer_of(writer)
         wait = self.limiter.check(client)
         if wait > 0:
@@ -225,9 +348,13 @@ class ServiceApp:
             return 400, {"error": f"body is not JSON: {exc}"}, {}
         if not isinstance(record, dict):
             return 400, {"error": "body must be a run-plan record"}, {}
+        priority = record.pop("priority", None)
         plan = run_plan_from_dict(record)
         try:
-            job = self.manager.submit(plan)
+            if priority is None:
+                job = self.manager.submit(plan)
+            else:
+                job = self.manager.submit(plan, priority=priority)
         except JobQueueFull as exc:
             return (
                 503,

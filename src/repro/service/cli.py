@@ -4,13 +4,19 @@ Installed as ``repro-service``::
 
     repro-service serve --store results/ --port 8787 --workers 4
     repro-service submit plan.json --url http://127.0.0.1:8787 --wait
+    repro-service submit plan.json --priority high --wait
     repro-service status job-1 --url http://127.0.0.1:8787
+    repro-service cancel job-1 --url http://127.0.0.1:8787
     repro-service fetch <scenario-hash> --url ... --out result.json
+    repro-service prune --url ... --max-entries 1000 --max-age 86400
 
 ``serve`` runs the asyncio HTTP service in the foreground until
-interrupted; ``submit``/``status``/``fetch`` are thin wrappers over
-:class:`~repro.service.client.SimulationServiceClient` that print
-JSON, so they compose with ``jq``-style tooling.
+interrupted (``--prune-interval`` adds periodic store GC);
+``submit``/``status``/``cancel``/``fetch``/``prune`` are thin wrappers
+over :class:`~repro.service.client.SimulationServiceClient` that print
+JSON, so they compose with ``jq``-style tooling. ``prune`` garbage
+collects the server's result store within the given budgets -- hashes
+referenced by live jobs are pinned server-side and never deleted.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from .client import SimulationServiceClient
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    """The ``repro-service`` argument tree (four subcommands)."""
+    """The ``repro-service`` argument tree (six subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro-service",
         description="Serve and query the persistent simulation service.",
@@ -88,11 +94,49 @@ def _build_parser() -> argparse.ArgumentParser:
         default=20.0,
         help="per-client burst budget (token bucket capacity)",
     )
+    serve.add_argument(
+        "--aging",
+        type=float,
+        default=30.0,
+        help="seconds a waiting job ages one priority class",
+    )
+    serve.add_argument(
+        "--job-ttl",
+        type=float,
+        default=3600.0,
+        help="seconds finished job records are retained (0 disables)",
+    )
+    serve.add_argument(
+        "--max-job-records",
+        type=int,
+        default=1024,
+        help="finished job records retained beyond TTL (0 disables)",
+    )
+    serve.add_argument(
+        "--prune-interval",
+        type=float,
+        default=None,
+        help="seconds between background store prunes (off by default)",
+    )
+    serve.add_argument(
+        "--prune-max-entries",
+        type=int,
+        default=None,
+        help="store entry target for the background prune",
+    )
+    serve.add_argument(
+        "--prune-max-age",
+        type=float,
+        default=None,
+        help="store entry age budget (seconds) for the background prune",
+    )
 
     for name, help_text in (
         ("submit", "submit a plan JSON file as a job"),
         ("status", "print one job's status record"),
+        ("cancel", "cancel a job; prints its final record"),
         ("fetch", "print (or save) one stored result by scenario hash"),
+        ("prune", "garbage collect the server's result store"),
     ):
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument(
@@ -103,6 +147,12 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "submit":
             sub.add_argument("plan", help="path to a RunPlan JSON file")
             sub.add_argument(
+                "--priority",
+                default=None,
+                help='"high"/"normal"/"low" or an integer rank '
+                "(lower dispatches first)",
+            )
+            sub.add_argument(
                 "--wait",
                 action="store_true",
                 help="poll until the job finishes and report its sources",
@@ -110,14 +160,37 @@ def _build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--timeout", type=float, default=600.0, help="--wait deadline"
             )
-        elif name == "status":
+        elif name in ("status", "cancel"):
             sub.add_argument("job_id", help="job id (e.g. job-1)")
-        else:
+        elif name == "fetch":
             sub.add_argument("hash", help="canonical scenario hash")
             sub.add_argument(
                 "--out", default=None, help="write the record to this file"
             )
+        else:  # prune
+            sub.add_argument(
+                "--max-entries",
+                type=int,
+                default=None,
+                help="keep at most this many store entries",
+            )
+            sub.add_argument(
+                "--max-age",
+                type=float,
+                default=None,
+                help="drop entries older than this many seconds",
+            )
     return parser
+
+
+def _parse_priority(raw: "str | None") -> "int | str | None":
+    """CLI priority: pass class names through, convert digits to ints."""
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return raw
 
 
 async def _serve(args: argparse.Namespace) -> int:
@@ -134,6 +207,14 @@ async def _serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         rate_per_s=args.rate,
         burst=args.burst,
+        aging_s=args.aging,
+        job_ttl_s=args.job_ttl if args.job_ttl > 0 else None,
+        max_records=(
+            args.max_job_records if args.max_job_records > 0 else None
+        ),
+        prune_interval_s=args.prune_interval,
+        prune_max_entries=args.prune_max_entries,
+        prune_max_age_s=args.prune_max_age,
     )
     host, port = await app.start()
     print(f"repro-service listening on http://{host}:{port}")
@@ -159,7 +240,9 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         client = SimulationServiceClient(args.url)
         if args.command == "submit":
             plan = RunPlan.load(args.plan)
-            record = client.submit(plan)
+            record = client.submit(
+                plan, priority=_parse_priority(args.priority)
+            )
             if args.wait:
                 record = client.wait(record.id, timeout_s=args.timeout)
             print(json.dumps(job_record_to_dict(record), indent=2))
@@ -170,6 +253,16 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                     job_record_to_dict(client.job(args.job_id)), indent=2
                 )
             )
+            return 0
+        if args.command == "cancel":
+            record = client.cancel(args.job_id)
+            print(json.dumps(job_record_to_dict(record), indent=2))
+            return 0 if record.status == "cancelled" else 1
+        if args.command == "prune":
+            report = client.prune(
+                max_entries=args.max_entries, max_age_s=args.max_age
+            )
+            print(json.dumps(report, indent=2))
             return 0
         # fetch
         record = store_record_to_dict(client.result(args.hash))

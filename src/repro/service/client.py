@@ -109,14 +109,61 @@ class SimulationServiceClient:
         """GET /stats -- job, store and rate-limit counters."""
         return self._request("GET", "/stats")
 
-    def submit(self, plan: "RunPlan") -> "JobRecord":
-        """POST /plans -- submit a plan; returns the accepted job record."""
-        payload = self._request("POST", "/plans", body=run_plan_to_dict(plan))
+    def submit(
+        self, plan: "RunPlan", *, priority: "int | str | None" = None
+    ) -> "JobRecord":
+        """POST /plans -- submit a plan; returns the accepted job record.
+
+        ``priority`` is a class name (``"high"``/``"normal"``/
+        ``"low"``) or an integer rank (lower dispatches first); omitted
+        means normal.
+        """
+        body = run_plan_to_dict(plan)
+        if priority is not None:
+            body["priority"] = priority
+        payload = self._request("POST", "/plans", body=body)
         return job_record_from_dict(payload)
 
     def job(self, job_id: str) -> "JobRecord":
-        """GET /jobs/{id} -- the job's current status record."""
+        """GET /jobs/{id} -- the job's current status record.
+
+        An evicted job answers with a typed ``expired`` record rather
+        than a 404 -- the id was real, its state has been garbage
+        collected.
+        """
         return job_record_from_dict(self._request("GET", f"/jobs/{job_id}"))
+
+    def cancel(self, job_id: str) -> "JobRecord":
+        """DELETE /jobs/{id} -- cancel a job; returns its final record.
+
+        Idempotent: cancelling a job that already finished returns the
+        terminal record unchanged (``done`` stays ``done``); a
+        genuinely cancelled job reports ``cancelled``. Retries follow
+        the same policy as every other request.
+        """
+        return job_record_from_dict(
+            self._request("DELETE", f"/jobs/{job_id}")
+        )
+
+    def prune(
+        self,
+        *,
+        max_entries: "int | None" = None,
+        max_age_s: "float | None" = None,
+    ) -> "dict[str, Any]":
+        """POST /admin/prune -- GC the server's store within budgets.
+
+        Returns the server's report: ``pruned`` (count), ``hashes``
+        (what went), ``protected`` (pinned by live jobs) and
+        ``entries`` (what remains). Hashes referenced by retained jobs
+        are never pruned, whatever the budgets.
+        """
+        budgets: "dict[str, Any]" = {}
+        if max_entries is not None:
+            budgets["max_entries"] = int(max_entries)
+        if max_age_s is not None:
+            budgets["max_age_s"] = float(max_age_s)
+        return self._request("POST", "/admin/prune", body=budgets)
 
     def result(self, scenario_hash: str) -> "StoreRecord":
         """GET /results/{hash} -- the stored record under one hash."""
@@ -133,14 +180,15 @@ class SimulationServiceClient:
     ) -> "JobRecord":
         """Poll a job until it reaches a terminal state.
 
-        Returns the final record (``done`` **or** ``failed`` -- callers
-        decide what failure means to them); raises
-        :class:`ServiceError` if the deadline passes first.
+        Returns the final record (``done``, ``failed``, ``cancelled``
+        or ``expired`` -- callers decide what non-success means to
+        them); raises :class:`ServiceError` if the deadline passes
+        first.
         """
         deadline = time.monotonic() + timeout_s
         while True:
             record = self.job(job_id)
-            if record.status in ("done", "failed"):
+            if record.status in ("done", "failed", "cancelled", "expired"):
                 return record
             if time.monotonic() >= deadline:
                 raise ServiceError(
@@ -169,7 +217,8 @@ class SimulationServiceClient:
         final = self.wait(accepted.id, poll_s=poll_s, timeout_s=timeout_s)
         if final.status != "done":
             raise ServiceError(
-                f"job {final.id} failed: {final.error or 'unknown error'}"
+                f"job {final.id} {final.status}: "
+                f"{final.error or 'unknown error'}"
             )
         results = tuple(
             self.result(h).scenario_result for h in final.scenario_hashes

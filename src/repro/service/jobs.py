@@ -1,4 +1,4 @@
-"""Async job management: bounded queue, single-flight dedupe, rate limits.
+"""Async job management: priority dispatch, cancellation, single-flight.
 
 The :class:`JobManager` is the heart of the simulation service
 (:mod:`repro.service.app`): every submitted
@@ -18,7 +18,26 @@ scenarios are resolved one of three ways --
 
 Compute happens on a thread off the event loop, so the service keeps
 accepting and deduplicating submissions while simulations run. The
-queue is bounded (:class:`JobQueueFull` maps to HTTP 503) and
+lifecycle layer on top:
+
+* **Priority dispatch** -- jobs carry a :data:`PRIORITY_CLASSES`
+  priority; the :class:`PriorityGate` admits the best-ranked waiter
+  when a slot frees (FIFO within a class, starvation-free because
+  waiting jobs age one class per ``aging_s`` seconds).
+* **Cancellation** -- :meth:`JobManager.cancel` moves a queued or
+  running job to ``cancelled``; in-flight claims the job owned are
+  handed off (their futures cancelled) so attached jobs re-resolve --
+  recompute or re-hit the store -- instead of hanging or failing.
+* **Finished-job eviction** -- terminal job records are garbage
+  collected by TTL and a max-records cap, so the job table and
+  :meth:`JobManager.pending` stay O(active); evicted ids resolve to a
+  typed ``expired`` record rather than a bare 404.
+* **Store pinning** -- :meth:`JobManager.protected_hashes` names every
+  hash a retained job references, which the GC surface
+  (``POST /admin/prune``) excludes from pruning so a live job's
+  classified store hit can never vanish before it is fetched.
+
+The queue is bounded (:class:`JobQueueFull` maps to HTTP 503) and
 :class:`RateLimiter` implements the per-client token bucket behind
 HTTP 429 + ``Retry-After``.
 """
@@ -48,10 +67,55 @@ class JobQueueFull(ReproError):
 
 
 #: Lifecycle states a job moves through (strictly forward).
-JOB_STATUSES = ("queued", "running", "done", "failed")
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job cannot leave (eviction only collects these).
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+#: Pseudo-status of a job record evicted from the table (lookup only).
+EXPIRED_STATUS = "expired"
 
 #: Where one scenario's result came from (``pending`` while unresolved).
 RESULT_SOURCES = ("pending", "store", "computed", "inflight")
+
+#: Named priority classes (lower rank dispatches first).
+PRIORITY_CLASSES = {"high": 0, "normal": 1, "low": 2}
+
+#: Inclusive bounds on raw integer priorities.
+MIN_PRIORITY, MAX_PRIORITY = 0, 9
+
+#: The priority a submission gets when it names none.
+DEFAULT_PRIORITY = PRIORITY_CLASSES["normal"]
+
+
+def normalize_priority(priority: "int | str | None") -> int:
+    """Coerce a submitted priority (class name or int) to its rank.
+
+    Accepts a :data:`PRIORITY_CLASSES` name (``"high"``/``"normal"``/
+    ``"low"``), an integer in ``[MIN_PRIORITY, MAX_PRIORITY]`` (lower
+    runs first), or ``None`` for :data:`DEFAULT_PRIORITY`. Anything
+    else raises :class:`~repro.errors.ConfigurationError`.
+    """
+    if priority is None:
+        return DEFAULT_PRIORITY
+    if isinstance(priority, str):
+        try:
+            return PRIORITY_CLASSES[priority]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown priority class {priority!r}; expected one of "
+                f"{sorted(PRIORITY_CLASSES)} or an integer in "
+                f"[{MIN_PRIORITY}, {MAX_PRIORITY}]"
+            ) from None
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise ConfigurationError(
+            f"priority must be an int or a class name, got {priority!r}"
+        )
+    if not MIN_PRIORITY <= priority <= MAX_PRIORITY:
+        raise ConfigurationError(
+            f"priority {priority} outside [{MIN_PRIORITY}, {MAX_PRIORITY}]"
+        )
+    return int(priority)
 
 
 @dataclass(frozen=True)
@@ -80,6 +144,9 @@ class JobRecord:
         unfinished).
     error:
         The failure message of a ``failed`` job, else ``None``.
+    priority:
+        The job's dispatch rank (lower runs first; see
+        :data:`PRIORITY_CLASSES`).
     """
 
     id: str
@@ -93,6 +160,30 @@ class JobRecord:
     deduped: int
     elapsed_s: float
     error: "str | None"
+    priority: int = DEFAULT_PRIORITY
+
+
+def expired_job_record(job_id: str) -> JobRecord:
+    """The typed record an evicted job id resolves to.
+
+    Eviction drops a finished job's full state; what remains is the id
+    and the fact that it once reached a terminal state -- enough for a
+    client to distinguish "expired, resubmit if you still need it"
+    from "never existed" (a bare 404).
+    """
+    return JobRecord(
+        id=job_id,
+        status=EXPIRED_STATUS,
+        plan_name="",
+        plan_hash="",
+        scenario_hashes=(),
+        sources=(),
+        store_hits=0,
+        computed=0,
+        deduped=0,
+        elapsed_s=0.0,
+        error=None,
+    )
 
 
 class Job:
@@ -102,16 +193,24 @@ class Job:
     frozen :meth:`record` snapshot.
     """
 
-    def __init__(self, job_id: str, plan: RunPlan, plan_digest: str) -> None:
+    def __init__(
+        self,
+        job_id: str,
+        plan: RunPlan,
+        plan_digest: str,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
         """Create a queued job for one submitted plan."""
         self.id = job_id
         self.plan = plan
         self.plan_hash = plan_digest
+        self.priority = int(priority)
         self.status = "queued"
         self.scenario_hashes: "tuple[str, ...]" = ()
         self.sources: "list[str]" = []
         self.error: "str | None" = None
         self.created_at = time.time()
+        self.finished_at: "float | None" = None
         self.elapsed_s = 0.0
         self._start = time.perf_counter()
 
@@ -119,6 +218,7 @@ class Job:
         """Move the job to a terminal state and stamp its elapsed time."""
         self.status = status
         self.error = error
+        self.finished_at = time.time()
         self.elapsed_s = time.perf_counter() - self._start
 
     def record(self) -> JobRecord:
@@ -136,6 +236,7 @@ class Job:
             deduped=sources.count("inflight"),
             elapsed_s=self.elapsed_s,
             error=self.error,
+            priority=self.priority,
         )
 
 
@@ -209,6 +310,109 @@ class RateLimiter:
         return bucket.acquire()
 
 
+@dataclass
+class _Waiter:
+    """One job waiting for a dispatch slot (internal to the gate)."""
+
+    priority: int
+    seq: int
+    since: float
+    future: "asyncio.Future"
+
+
+class PriorityGate:
+    """A concurrency gate that admits waiters by aged priority.
+
+    Replaces the bare semaphore in :class:`JobManager`: up to ``slots``
+    holders run at once, and when a slot frees the best-ranked waiter
+    is admitted. Rank is ``(effective_priority, arrival_seq)`` --
+    strict FIFO within a priority class -- where the effective priority
+    of a waiter improves by one class for every ``aging_s`` seconds it
+    has waited. Aging makes the gate starvation-free: any low-priority
+    job's effective priority eventually beats every possible fresh
+    submission, because priorities are bounded below.
+
+    Single-event-loop use only (like the manager state it guards); the
+    clock is injectable so aging is testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        *,
+        aging_s: float = 30.0,
+        clock: "Callable[[], float]" = time.monotonic,
+    ) -> None:
+        """Create a gate with ``slots`` concurrent holders."""
+        if slots < 1:
+            raise ConfigurationError(f"slots must be >= 1, got {slots}")
+        if aging_s <= 0:
+            raise ConfigurationError(f"aging_s must be > 0, got {aging_s}")
+        self.slots = int(slots)
+        self.aging_s = float(aging_s)
+        self._clock = clock
+        self._active = 0
+        self._seq = itertools.count()
+        self._waiting: "list[_Waiter]" = []
+
+    @property
+    def active(self) -> int:
+        """Slots currently held."""
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        """Waiters not yet admitted."""
+        return len(self._waiting)
+
+    def effective_priority(self, waiter: _Waiter, now: float) -> int:
+        """A waiter's rank after aging (one class per ``aging_s``)."""
+        return waiter.priority - int((now - waiter.since) / self.aging_s)
+
+    def _dispatch(self) -> None:
+        now = self._clock()
+        while self._active < self.slots and self._waiting:
+            best = min(
+                self._waiting,
+                key=lambda w: (self.effective_priority(w, now), w.seq),
+            )
+            self._waiting.remove(best)
+            self._active += 1
+            best.future.set_result(None)
+
+    async def acquire(self, priority: int = DEFAULT_PRIORITY) -> None:
+        """Wait for a slot at ``priority``; cancellation-safe.
+
+        If the awaiting task is cancelled the waiter is withdrawn (or,
+        when the slot was already granted, released) before the
+        :class:`asyncio.CancelledError` propagates -- no slot leaks.
+        """
+        waiter = _Waiter(
+            priority=int(priority),
+            seq=next(self._seq),
+            since=self._clock(),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._waiting.append(waiter)
+        self._dispatch()
+        try:
+            await waiter.future
+        except asyncio.CancelledError:
+            if waiter in self._waiting:
+                self._waiting.remove(waiter)
+            elif waiter.future.done() and not waiter.future.cancelled():
+                # Granted but abandoned before use: hand the slot on.
+                self.release()
+            raise
+
+    def release(self) -> None:
+        """Free one held slot and admit the best waiter, if any."""
+        if self._active < 1:
+            raise ConfigurationError("release() without a held slot")
+        self._active -= 1
+        self._dispatch()
+
+
 def compute_scenario_results(
     scenarios: "tuple[Any, ...]",
     *,
@@ -248,6 +452,10 @@ class JobManager:
     ``_compute_pool`` threads via :func:`compute_scenario_results`.
     """
 
+    #: Retained terminal ids after eviction still answer ``expired``;
+    #: the memory of *evicted* ids is itself bounded by this cap.
+    EXPIRED_IDS_CAP = 4096
+
     def __init__(
         self,
         store: ResultStore,
@@ -259,6 +467,9 @@ class JobManager:
         executor: str = "process",
         max_pending: int = 16,
         max_concurrent: int = 2,
+        aging_s: float = 30.0,
+        job_ttl_s: "float | None" = 3600.0,
+        max_records: "int | None" = 1024,
     ) -> None:
         """Wire the manager to its store and executor configuration."""
         if max_pending < 1:
@@ -269,6 +480,14 @@ class JobManager:
             raise ConfigurationError(
                 f"max_concurrent must be >= 1, got {max_concurrent}"
             )
+        if job_ttl_s is not None and job_ttl_s <= 0:
+            raise ConfigurationError(
+                f"job_ttl_s must be > 0 or None, got {job_ttl_s}"
+            )
+        if max_records is not None and max_records < 1:
+            raise ConfigurationError(
+                f"max_records must be >= 1 or None, got {max_records}"
+            )
         self.store = store
         self.seed = int(seed)
         self.defaults = dict(defaults or {})
@@ -276,19 +495,26 @@ class JobManager:
         self.shard_by = shard_by
         self.executor = executor
         self.max_pending = int(max_pending)
+        self.job_ttl_s = None if job_ttl_s is None else float(job_ttl_s)
+        self.max_records = None if max_records is None else int(max_records)
         self._jobs: "dict[str, Job]" = {}
+        self._active: "set[str]" = set()
+        self._expired: "dict[str, str]" = {}
         self._ids = itertools.count(1)
         self._inflight: "dict[str, asyncio.Future]" = {}
-        self._gate = asyncio.Semaphore(int(max_concurrent))
+        self._gate = PriorityGate(int(max_concurrent), aging_s=aging_s)
         self._compute_pool = ThreadPoolExecutor(
             max_workers=int(max_concurrent),
             thread_name_prefix="repro-service-compute",
         )
         self._tasks: "set[asyncio.Task]" = set()
+        self._job_tasks: "dict[str, asyncio.Task]" = {}
         self.counters = {
             "jobs_submitted": 0,
             "jobs_done": 0,
             "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "jobs_evicted": 0,
             "store_hits": 0,
             "computed": 0,
             "deduped": 0,
@@ -297,18 +523,22 @@ class JobManager:
     # ----- submission and lookup -----------------------------------------
 
     def pending(self) -> int:
-        """Jobs currently queued or running."""
-        return sum(
-            1 for j in self._jobs.values() if j.status in ("queued", "running")
-        )
+        """Jobs currently queued or running (O(1), not O(all-time))."""
+        return len(self._active)
 
-    def submit(self, plan: RunPlan) -> Job:
+    def submit(
+        self, plan: RunPlan, *, priority: "int | str | None" = None
+    ) -> Job:
         """Accept a plan as a new job and schedule its execution.
 
-        Raises :class:`JobQueueFull` when ``max_pending`` jobs are
-        already queued or running (the HTTP layer maps this to 503 +
+        ``priority`` is a :data:`PRIORITY_CLASSES` name or an integer
+        rank (lower dispatches first; default ``"normal"``). Raises
+        :class:`JobQueueFull` when ``max_pending`` jobs are already
+        queued or running (the HTTP layer maps this to 503 +
         ``Retry-After``). Must be called from the event loop thread.
         """
+        rank = normalize_priority(priority)
+        self._evict_finished()
         if self.pending() >= self.max_pending:
             raise JobQueueFull(
                 f"job queue full ({self.max_pending} pending); retry later"
@@ -317,20 +547,118 @@ class JobManager:
             f"job-{next(self._ids)}",
             plan,
             plan_hash(plan, defaults=self.defaults),
+            priority=rank,
         )
         self._jobs[job.id] = job
+        self._active.add(job.id)
         self.counters["jobs_submitted"] += 1
         task = asyncio.get_running_loop().create_task(self._run_job(job))
         self._tasks.add(task)
+        self._job_tasks[job.id] = task
         task.add_done_callback(self._tasks.discard)
+        task.add_done_callback(
+            lambda _t, job_id=job.id: self._job_tasks.pop(job_id, None)
+        )
         return job
 
     def job(self, job_id: str) -> "Job | None":
-        """Look a job up by id (``None`` when unknown)."""
+        """Look a job up by id (``None`` when unknown or evicted)."""
         return self._jobs.get(job_id)
 
+    def record_of(self, job_id: str) -> "JobRecord | None":
+        """The job's record; typed ``expired`` after eviction.
+
+        ``None`` only for ids the manager has never seen -- an evicted
+        job answers with :func:`expired_job_record` so clients can tell
+        "expired, resubmit if needed" from "no such job".
+        """
+        job = self._jobs.get(job_id)
+        if job is not None:
+            return job.record()
+        if job_id in self._expired:
+            return expired_job_record(job_id)
+        return None
+
+    async def cancel(self, job_id: str) -> "JobRecord | None":
+        """Cancel a queued or running job; returns its final record.
+
+        Idempotent and race-tolerant: a job already terminal returns
+        its record unchanged (a ``done`` job stays ``done`` -- the
+        cancel lost the race), an evicted id returns the ``expired``
+        record, and an unknown id returns ``None``. A genuinely
+        cancelled job unwinds its single-flight claims: futures it
+        owned are cancelled so attached jobs re-resolve (store hit or
+        recompute) instead of hanging.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            return self.record_of(job_id)
+        task = self._job_tasks.get(job_id)
+        if job.status in TERMINAL_STATUSES or task is None:
+            return job.record()
+        task.cancel()
+        await asyncio.gather(task, return_exceptions=True)
+        return job.record()
+
+    def protected_hashes(self) -> "set[str]":
+        """Every scenario hash a retained job or in-flight claim pins.
+
+        The GC contract: pruning the store must never delete a result
+        some retained job record references, because clients fetch
+        ``GET /results/{hash}`` *after* polling the job -- a prune in
+        that window would 404 a result the job already classified as a
+        store hit (the TOCTOU this pinning closes). Eviction of the
+        job record is what unpins its hashes.
+        """
+        pinned: "set[str]" = set(self._inflight)
+        for job in self._jobs.values():
+            pinned.update(job.scenario_hashes)
+        return pinned
+
+    def _evict_finished(self, now: "float | None" = None) -> int:
+        """Drop finished jobs beyond the TTL / max-records budgets.
+
+        Only terminal jobs are candidates (active jobs are never
+        evicted, whatever the cap); oldest-finished go first. Evicted
+        ids keep answering :meth:`record_of` as ``expired`` through a
+        bounded memory of :data:`EXPIRED_IDS_CAP` ids.
+        """
+        if self.job_ttl_s is None and self.max_records is None:
+            return 0
+        now = time.time() if now is None else now
+        finished = sorted(
+            (j for j in self._jobs.values() if j.status in TERMINAL_STATUSES),
+            key=lambda j: j.finished_at or 0.0,
+        )
+        doomed: "list[Job]" = []
+        if self.job_ttl_s is not None:
+            doomed.extend(
+                j
+                for j in finished
+                if now - (j.finished_at or now) > self.job_ttl_s
+            )
+        if self.max_records is not None:
+            doomed_ids = {j.id for j in doomed}
+            excess = (len(self._jobs) - len(doomed_ids)) - self.max_records
+            if excess > 0:
+                survivors = [j for j in finished if j.id not in doomed_ids]
+                doomed.extend(survivors[:excess])
+        for job in doomed:
+            del self._jobs[job.id]
+            self._expired[job.id] = job.status
+            self.counters["jobs_evicted"] += 1
+        while len(self._expired) > self.EXPIRED_IDS_CAP:
+            self._expired.pop(next(iter(self._expired)))
+        return len(doomed)
+
     def stats(self) -> "dict[str, Any]":
-        """Aggregate counters: jobs by state, dedupe/hit totals, config."""
+        """Aggregate counters: jobs by state, dedupe/hit totals, config.
+
+        Counter reconciliation contract: ``jobs_done + jobs_failed +
+        jobs_cancelled`` equals the terminal total of
+        ``jobs_by_status`` plus ``jobs_evicted`` (eviction removes
+        records from the table, never from the cumulative counters).
+        """
         by_status = {status: 0 for status in JOB_STATUSES}
         for job in self._jobs.values():
             by_status[job.status] = by_status.get(job.status, 0) + 1
@@ -338,10 +666,13 @@ class JobManager:
             **self.counters,
             "jobs_by_status": by_status,
             "inflight_scenarios": len(self._inflight),
+            "queued_for_slot": self._gate.waiting,
             "max_pending": self.max_pending,
             "workers": self.workers,
             "shard_by": self.shard_by,
             "executor": self.executor,
+            "job_ttl_s": self.job_ttl_s,
+            "max_records": self.max_records,
         }
 
     async def close(self) -> None:
@@ -355,22 +686,46 @@ class JobManager:
     # ----- execution ------------------------------------------------------
 
     async def _run_job(self, job: Job) -> None:
-        """Resolve every scenario of one job (store / inflight / compute)."""
-        async with self._gate:
+        """Resolve every scenario of one job (store / inflight / compute).
+
+        Lifecycle accounting happens here and only here: exactly one of
+        ``jobs_done`` / ``jobs_failed`` / ``jobs_cancelled`` is
+        incremented per job, so ``/stats`` counters always reconcile
+        with ``jobs_by_status``.
+        """
+        acquired = False
+        try:
+            await self._gate.acquire(job.priority)
+            acquired = True
             job.status = "running"
-            try:
-                await self._resolve(job)
-            except asyncio.CancelledError:
-                job.finish("failed", "cancelled on shutdown")
-                raise
-            except Exception as exc:
-                job.finish("failed", str(exc))
-                self.counters["jobs_failed"] += 1
-            else:
-                job.finish("done")
-                self.counters["jobs_done"] += 1
+            await self._resolve(job)
+        except asyncio.CancelledError:
+            job.finish("cancelled")
+            self.counters["jobs_cancelled"] += 1
+            raise
+        except Exception as exc:
+            job.finish("failed", str(exc))
+            self.counters["jobs_failed"] += 1
+        else:
+            job.finish("done")
+            self.counters["jobs_done"] += 1
+        finally:
+            self._active.discard(job.id)
+            if acquired:
+                self._gate.release()
 
     async def _resolve(self, job: Job) -> None:
+        """Resolve all positions, re-classifying ones handed off to us.
+
+        Runs the classify/compute/await cycle until every position has
+        a source. A position attached to another job's in-flight future
+        normally resolves with it; if that owner is *cancelled*, its
+        futures are cancelled (the hand-off) and the positions come
+        back for another round -- where they hit the store (if the
+        abandoned compute still landed) or get claimed and computed by
+        this job. Attached jobs therefore recompute rather than hang or
+        spuriously fail when an owner is cancelled.
+        """
         expanded = job.plan.expanded()
         hashes = tuple(
             scenario_hash(s, defaults=self.defaults) for s in expanded
@@ -379,80 +734,92 @@ class JobManager:
         job.sources = ["pending"] * len(expanded)
 
         loop = asyncio.get_running_loop()
-        owned: "list[int]" = []
-        attached: "dict[int, asyncio.Future]" = {}
-        claimed: "set[str]" = set()
-        for position, hash_ in enumerate(hashes):
-            if hash_ in claimed:
-                # The same scenario twice in one plan: the first
-                # occurrence owns the compute, later ones attach.
-                attached[position] = self._inflight[hash_]
-                job.sources[position] = "inflight"
-                self.counters["deduped"] += 1
-            elif hash_ in self._inflight:
-                attached[position] = self._inflight[hash_]
-                job.sources[position] = "inflight"
-                self.counters["deduped"] += 1
-            elif hash_ in self.store:
-                job.sources[position] = "store"
-                self.counters["store_hits"] += 1
-            else:
-                self._inflight[hash_] = loop.create_future()
-                claimed.add(hash_)
-                owned.append(position)
+        unresolved = list(range(len(expanded)))
+        while unresolved:
+            owned: "list[int]" = []
+            attached: "dict[int, asyncio.Future]" = {}
+            claimed: "set[str]" = set()
+            for position in unresolved:
+                hash_ = hashes[position]
+                if hash_ in claimed:
+                    # The same scenario twice in one plan: the first
+                    # occurrence owns the compute, later ones attach.
+                    attached[position] = self._inflight[hash_]
+                elif hash_ in self._inflight:
+                    attached[position] = self._inflight[hash_]
+                elif hash_ in self.store:
+                    job.sources[position] = "store"
+                    self.counters["store_hits"] += 1
+                else:
+                    self._inflight[hash_] = loop.create_future()
+                    claimed.add(hash_)
+                    owned.append(position)
 
-        try:
-            if owned:
-                scenarios = tuple(expanded[i] for i in owned)
-                results = await loop.run_in_executor(
-                    self._compute_pool,
-                    lambda: compute_scenario_results(
-                        scenarios,
-                        seed=self.seed,
-                        defaults=self.defaults,
-                        workers=self.workers,
-                        shard_by=self.shard_by,
-                        executor=self.executor,
-                    ),
-                )
-                for position, scenario_result in zip(owned, results):
-                    hash_ = hashes[position]
-                    self.store.put(hash_, scenario_result)
-                    job.sources[position] = "computed"
-                    self.counters["computed"] += 1
+            try:
+                if owned:
+                    scenarios = tuple(expanded[i] for i in owned)
+                    results = await loop.run_in_executor(
+                        self._compute_pool,
+                        lambda: compute_scenario_results(
+                            scenarios,
+                            seed=self.seed,
+                            defaults=self.defaults,
+                            workers=self.workers,
+                            shard_by=self.shard_by,
+                            executor=self.executor,
+                        ),
+                    )
+                    for position, scenario_result in zip(owned, results):
+                        hash_ = hashes[position]
+                        self.store.put(hash_, scenario_result)
+                        job.sources[position] = "computed"
+                        self.counters["computed"] += 1
+                        future = self._inflight.pop(hash_, None)
+                        if future is not None and not future.done():
+                            future.set_result(hash_)
+            except Exception as exc:
+                # Wake every attached job with the failure before this
+                # one propagates it; a claimed-but-unresolved hash must
+                # never leave a dangling future behind.
+                for hash_ in claimed:
                     future = self._inflight.pop(hash_, None)
                     if future is not None and not future.done():
-                        future.set_result(hash_)
-        except Exception as exc:
-            # Wake every attached job with the failure before this one
-            # propagates it; a claimed-but-unresolved hash must never
-            # leave a dangling future behind.
-            for hash_ in claimed:
-                future = self._inflight.pop(hash_, None)
-                if future is not None and not future.done():
-                    failure = ConfigurationError(
-                        f"in-flight computation failed: {exc}"
-                    )
-                    future.set_exception(failure)
-                    # Attached jobs consume it; an unobserved future
-                    # (everyone already gave up) must not warn at GC.
-                    future.exception()
-            raise
-        finally:
-            # Cancellation (service shutdown) can leave claimed hashes
-            # unresolved; never strand a future other jobs await.
-            for hash_ in claimed:
-                future = self._inflight.pop(hash_, None)
-                if future is not None and not future.done():
-                    future.cancel()
+                        failure = ConfigurationError(
+                            f"in-flight computation failed: {exc}"
+                        )
+                        future.set_exception(failure)
+                        # Attached jobs consume it; an unobserved
+                        # future (everyone already gave up) must not
+                        # warn at GC.
+                        future.exception()
+                raise
+            finally:
+                # Cancellation (job cancel or service shutdown) can
+                # leave claimed hashes unresolved; never strand a
+                # future other jobs await -- cancelling it is the
+                # hand-off that sends attached jobs back to reclassify.
+                for hash_ in claimed:
+                    future = self._inflight.pop(hash_, None)
+                    if future is not None and not future.done():
+                        future.cancel()
 
-        if attached:
-            waited = await asyncio.gather(
-                *attached.values(), return_exceptions=True
-            )
-            failures = [w for w in waited if isinstance(w, BaseException)]
-            if failures:
-                raise failures[0]
+            retry: "list[int]" = []
+            if attached:
+                waited = await asyncio.gather(
+                    *attached.values(), return_exceptions=True
+                )
+                for (position, _future), outcome in zip(
+                    attached.items(), waited
+                ):
+                    if isinstance(outcome, asyncio.CancelledError):
+                        # Owner cancelled: take this position back.
+                        retry.append(position)
+                    elif isinstance(outcome, BaseException):
+                        raise outcome
+                    else:
+                        job.sources[position] = "inflight"
+                        self.counters["deduped"] += 1
+            unresolved = retry
 
 
 def retry_after_seconds(wait: float) -> int:

@@ -34,7 +34,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from ..api.hashing import code_version, scenario_hash
 from ..engine.cache import CacheStats
@@ -185,18 +185,26 @@ class ResultStore:
         *,
         max_entries: "int | None" = None,
         max_age_s: "float | None" = None,
+        keep: "Iterable[str]" = (),
         now: "float | None" = None,
     ) -> "tuple[str, ...]":
         """Remove old results; returns the pruned hashes (oldest first).
 
         ``max_age_s`` drops every record older than the horizon;
         ``max_entries`` then drops the oldest records until at most
-        that many remain. With neither bound this is a no-op.
+        that many remain. Hashes in ``keep`` are **pinned**: never
+        deleted whatever the budgets say (the service passes the
+        hashes its retained jobs reference, so GC cannot 404 a result
+        a live job already classified as a store hit) -- which means
+        ``max_entries`` is a target, not a guarantee, when pins exceed
+        it. Emptied ``objects/<hh>/`` shard directories are removed.
+        With neither bound this is a no-op.
         """
         if max_entries is not None and max_entries < 0:
             raise ConfigurationError(
                 f"max_entries must be >= 0, got {max_entries}"
             )
+        pinned = frozenset(keep)
         now = time.time() if now is None else now
         with self._lock:
             aged = sorted(
@@ -208,21 +216,35 @@ class ResultStore:
             doomed: "list[str]" = []
             if max_age_s is not None:
                 doomed.extend(
-                    h for created, h in aged if now - created > max_age_s
+                    h
+                    for created, h in aged
+                    if now - created > max_age_s and h not in pinned
                 )
             if max_entries is not None:
-                survivors = [h for _, h in aged if h not in set(doomed)]
+                doomed_set = set(doomed)
+                survivors = [h for _, h in aged if h not in doomed_set]
                 excess = len(survivors) - max_entries
                 if excess > 0:
-                    doomed.extend(survivors[:excess])
+                    removable = [h for h in survivors if h not in pinned]
+                    doomed.extend(removable[:excess])
             for hash_ in doomed:
                 try:
                     self.object_path(hash_).unlink()
                 except FileNotFoundError:
                     pass
             if doomed:
+                self._remove_empty_shards()
                 self._index_write(self._scan_index())
             return tuple(doomed)
+
+    def _remove_empty_shards(self) -> None:
+        """Drop ``objects/<hh>/`` directories pruning emptied."""
+        for shard in self.objects_dir.iterdir():
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass  # not empty (or racing a writer): keep it
 
     def stats(self) -> "dict[str, Any]":
         """Entry count and byte size of the stored objects."""
@@ -238,18 +260,16 @@ class ResultStore:
     def index(self) -> "dict[str, dict[str, Any]]":
         """The metadata index: hash -> summary (experiment id, time).
 
-        Reads ``index.json`` when present and consistent; otherwise
-        falls back to a fresh scan. The index is never load-bearing for
+        Reads ``index.json`` when present and consistent; a missing or
+        corrupt index is rebuilt from the objects **and persisted**, so
+        one bad write degrades exactly one call to a full scan rather
+        than every call thereafter. The index is never load-bearing for
         :meth:`get`/:meth:`put` correctness.
         """
-        if self.index_path.is_file():
-            try:
-                data = json.loads(self.index_path.read_text())
-                if isinstance(data, dict):
-                    return data
-            except (json.JSONDecodeError, OSError):
-                pass
-        return self._scan_index()
+        entries = self._read_index()
+        if entries is not None:
+            return entries
+        return self.reindex()
 
     def reindex(self) -> "dict[str, dict[str, Any]]":
         """Rebuild ``index.json`` from the object files and return it."""
@@ -257,6 +277,16 @@ class ResultStore:
             fresh = self._scan_index()
             self._index_write(fresh)
             return fresh
+
+    def _read_index(self) -> "dict[str, dict[str, Any]] | None":
+        """``index.json`` as written, or ``None`` when absent/corrupt."""
+        if not self.index_path.is_file():
+            return None
+        try:
+            data = json.loads(self.index_path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return None
+        return data if isinstance(data, dict) else None
 
     def _scan_index(self) -> "dict[str, dict[str, Any]]":
         from .. import io
@@ -284,16 +314,21 @@ class ResultStore:
             return 0.0
 
     def _index_add(self, record: StoreRecord) -> None:
-        from .. import io
-
         with self._lock:
-            entries = self.index()
-            entries[record.hash] = {
-                "experiment_id": record.scenario_result.scenario.experiment_id,
-                "label": record.scenario_result.scenario.label,
-                "code_version": record.code_version,
-                "created_at": record.created_at,
-            }
+            entries = self._read_index()
+            if entries is None:
+                # Missing or corrupt index: the freshly written object
+                # is already on disk, so a scan self-heals it too.
+                entries = self._scan_index()
+            else:
+                entries[record.hash] = {
+                    "experiment_id": (
+                        record.scenario_result.scenario.experiment_id
+                    ),
+                    "label": record.scenario_result.scenario.label,
+                    "code_version": record.code_version,
+                    "created_at": record.created_at,
+                }
             self._index_write(entries)
 
     def _index_write(self, entries: "Mapping[str, Any]") -> None:

@@ -17,6 +17,7 @@ counts so the suite stays fast on a single-CPU container.
 
 import json
 import threading
+import time
 import urllib.request
 
 import numpy as np
@@ -283,3 +284,176 @@ class TestRateLimitAndQueue:
             assert second.status in ("queued", "running", "done")
             final = client.wait(second.id)
             assert final.status == "done"
+
+
+class TestCancelAndPruneEndpoints:
+    def test_cancel_unknown_job_is_404(self, service):
+        with pytest.raises(ServiceError) as err:
+            _client(service).cancel("job-999")
+        assert err.value.status == 404
+
+    def test_cancel_finished_job_is_idempotent(self, service):
+        client = _client(service)
+        _, record = client.run_plan(_plan())
+        assert client.cancel(record.id).status == "done"
+
+    def test_admin_prune_report_shape(self, service):
+        client = _client(service)
+        _, record = client.run_plan(_plan())
+        report = client.prune()  # no budgets: a no-op with a report
+        assert set(report) == {"pruned", "hashes", "protected", "entries"}
+        assert report["pruned"] == 0
+        assert report["entries"] == 2
+        assert report["protected"] >= len(set(record.scenario_hashes))
+
+    def test_admin_prune_rejects_unknown_and_bad_budgets(self, service):
+        for body in (
+            b'{"frequency": 2}',  # unknown budget key
+            b'{"max_entries": "many"}',  # uncastable value
+            b"[1, 2]",  # not an object
+            b"{ not json",
+        ):
+            request = urllib.request.Request(
+                f"{service.url}/admin/prune", data=body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 400
+
+    def test_bad_priority_is_400(self, service):
+        body = dict(run_plan_to_dict(_plan()), priority="urgent")
+        request = urllib.request.Request(
+            f"{service.url}/plans",
+            data=json.dumps(body).encode(),
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_evicted_job_answers_expired_over_http(self, tmp_path):
+        app = _app(tmp_path / "store", job_ttl_s=0.05)
+        with ServiceThread(app) as thread:
+            client = _client(thread)
+            _, first = client.run_plan(_plan())
+            time.sleep(0.1)
+            client.submit(_plan(n_points=7))  # submission runs eviction
+            record = client.job(first.id)
+            assert record.status == "expired"
+            assert record.id == first.id
+
+    def test_background_prune_reaps_orphans_never_live_results(
+        self, tmp_path, make_scenario_result
+    ):
+        """The TOCTOU acceptance: GC runs under a zero-entry budget
+        while a finished job's results are still retained -- the orphan
+        goes, the job's pinned results never 404."""
+        app = _app(
+            tmp_path / "store", prune_interval_s=0.05, prune_max_entries=0
+        )
+        orphan = "ab" * 32
+        app.store.put(orphan, make_scenario_result())
+        with ServiceThread(app) as thread:
+            client = _client(thread)
+            _, record = client.run_plan(_plan())
+            deadline = time.monotonic() + 30
+            while orphan in app.store and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert orphan not in app.store  # unpinned: reaped
+            for h in record.scenario_hashes:
+                assert client.result(h).hash == h  # pinned: served
+
+
+class TestLifecycleOverHttp:
+    def test_mixed_priorities_cancel_and_reconciled_stats(
+        self, tmp_path, monkeypatch
+    ):
+        """The PR's e2e acceptance scenario, over real HTTP.
+
+        One slot, plugged by a blocking first job; mixed-priority
+        submissions behind it must complete high-first, a mid-queue
+        cancel must report ``cancelled`` (not ``failed``), a duplicate
+        of the high-priority plan must converge without recomputing,
+        the ``/stats`` counters must reconcile exactly with
+        ``jobs_by_status``, and a harshest-budget prune must not 404
+        any live job's results.
+        """
+        compute_order = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_compute(scenarios, **kwargs):
+            compute_order.append(scenarios[0].overrides["n_points"])
+            if len(compute_order) == 1:
+                started.set()
+                assert release.wait(timeout=60)
+            from repro.service.jobs import RunPlan, run_plan_parallel
+
+            return run_plan_parallel(
+                RunPlan(name="service-job", scenarios=tuple(scenarios)),
+                workers=1,
+                executor="thread",
+            ).scenario_results
+
+        monkeypatch.setattr(
+            "repro.service.jobs.compute_scenario_results", gated_compute
+        )
+
+        def one(n):
+            return RunPlan(
+                name=f"prio-{n}",
+                scenarios=(Scenario("fig6", overrides={"n_points": n}),),
+            )
+
+        app = _app(
+            tmp_path / "store",
+            max_pending=16,
+            max_concurrent=1,
+            rate_per_s=1000.0,
+            burst=1000.0,
+        )
+        with ServiceThread(app) as thread:
+            client = _client(thread)
+            plug = client.submit(one(4))  # plugs the only slot
+            assert started.wait(timeout=60)
+            low = client.submit(one(5), priority="low")
+            normal = client.submit(one(6), priority="normal")
+            high = client.submit(one(7), priority="high")
+            twin = client.submit(one(7), priority="high")
+            victim = client.submit(one(8), priority="low")
+            cancelled = client.cancel(victim.id)
+            assert cancelled.status == "cancelled"
+            assert cancelled.error is None
+            release.set()
+            finals = [
+                client.wait(j.id, timeout_s=120)
+                for j in (plug, low, normal, high, twin)
+            ]
+            assert [f.status for f in finals] == ["done"] * 5
+            # Dispatch honoured class order; the cancelled job and the
+            # duplicate never computed at all.
+            assert compute_order == [4, 7, 6, 5]
+            assert finals[4].sources[0] in ("store", "inflight")
+            stats = client.stats()["jobs"]
+            by_status = stats["jobs_by_status"]
+            terminal = (
+                by_status["done"]
+                + by_status["failed"]
+                + by_status["cancelled"]
+            )
+            cumulative = (
+                stats["jobs_done"]
+                + stats["jobs_failed"]
+                + stats["jobs_cancelled"]
+            )
+            assert cumulative == terminal + stats["jobs_evicted"]
+            assert stats["jobs_cancelled"] == 1
+            assert stats["jobs_failed"] == 0
+            assert stats["jobs_done"] == 5
+            # Everything in the store is pinned by a retained job, so
+            # even a zero-entry budget removes nothing.
+            report = client.prune(max_entries=0)
+            assert report["pruned"] == 0
+            for final in finals:
+                for h in final.scenario_hashes:
+                    assert client.result(h).hash == h

@@ -212,6 +212,56 @@ class TestRequestShape:
         assert sent["name"] == "p"
         assert sent["scenarios"][0]["experiment_id"] == "fig6"
 
+    def test_submit_carries_the_priority_key(self, sleeps, monkeypatch):
+        from repro.api import RunPlan, Scenario
+
+        script = Script([{"id": "job-1", "status": "queued"}] * 2)
+        client = _client(script, sleeps, monkeypatch)
+        plan = RunPlan(name="p", scenarios=(Scenario("fig6"),))
+        client.submit(plan, priority="high")
+        assert json.loads(script.calls[0].data.decode())["priority"] == "high"
+        client.submit(plan)  # no priority: the key is absent entirely
+        assert "priority" not in json.loads(script.calls[1].data.decode())
+
+    def test_cancel_sends_delete_to_the_job(self, sleeps, monkeypatch):
+        script = Script([{"id": "job-7", "status": "cancelled"}])
+        client = _client(script, sleeps, monkeypatch)
+        record = client.cancel("job-7")
+        assert record.status == "cancelled"
+        request = script.calls[0]
+        assert request.get_method() == "DELETE"
+        assert request.full_url.endswith("/jobs/job-7")
+
+    def test_prune_posts_budgets_to_admin_endpoint(
+        self, sleeps, monkeypatch
+    ):
+        report = {"pruned": 1, "hashes": ["ab" * 32], "protected": 0,
+                  "entries": 3}
+        script = Script([report, dict(report)])
+        client = _client(script, sleeps, monkeypatch)
+        assert client.prune(max_entries=3, max_age_s=60) == report
+        request = script.calls[0]
+        assert request.get_method() == "POST"
+        assert request.full_url.endswith("/admin/prune")
+        sent = json.loads(request.data.decode())
+        assert sent == {"max_entries": 3, "max_age_s": 60.0}
+        client.prune()  # no budgets: an empty object, not null
+        assert json.loads(script.calls[1].data.decode()) == {}
+
+    def test_wait_treats_cancelled_and_expired_as_terminal(
+        self, sleeps, monkeypatch
+    ):
+        script = Script(
+            [
+                {"id": "job-1", "status": "running"},
+                {"id": "job-1", "status": "cancelled"},
+                {"id": "job-2", "status": "expired"},
+            ]
+        )
+        client = _client(script, sleeps, monkeypatch)
+        assert client.wait("job-1", poll_s=0.0).status == "cancelled"
+        assert client.wait("job-2", poll_s=0.0).status == "expired"
+
     def test_wait_times_out_on_never_finishing_job(
         self, sleeps, monkeypatch
     ):

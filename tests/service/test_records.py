@@ -34,8 +34,11 @@ from repro.io import (  # noqa: E402
 from repro.reporting.ascii_plot import PlotSeries  # noqa: E402
 from repro.service.jobs import (  # noqa: E402
     JOB_STATUSES,
+    MAX_PRIORITY,
+    MIN_PRIORITY,
     RESULT_SOURCES,
     JobRecord,
+    expired_job_record,
 )
 from repro.service.store import StoreRecord  # noqa: E402
 
@@ -128,6 +131,9 @@ def job_records(draw):
             if status == "failed"
             else None
         ),
+        priority=draw(
+            st.integers(min_value=MIN_PRIORITY, max_value=MAX_PRIORITY)
+        ),
     )
 
 
@@ -179,6 +185,19 @@ class TestJobRecordRoundTrip:
         assert rebuilt.elapsed_s == 0.0
         assert rebuilt.error is None
         assert rebuilt.scenario_hashes == ()
+
+    def test_absent_priority_defaults_to_normal(self):
+        # Records from a pre-priority server must still parse.
+        rebuilt = job_record_from_dict({"id": "job-1", "status": "done"})
+        assert rebuilt.priority == 1
+
+    def test_expired_record_round_trips(self):
+        record = expired_job_record("job-9")
+        rebuilt = job_record_from_dict(
+            _through_json(job_record_to_dict(record))
+        )
+        assert rebuilt == record
+        assert rebuilt.status == "expired"
 
     def test_missing_fields_are_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -126,6 +126,45 @@ class TestIndex:
         assert hash_ in store.index()
         assert store.get(hash_) is not None  # never load-bearing
 
+    def test_corrupt_index_self_heals_on_disk(
+        self, tmp_path, make_scenario_result
+    ):
+        """One bad write degrades exactly one index() call to a scan.
+
+        The rebuilt index must be *persisted*, not just returned, so
+        the next call reads it instead of scanning again.
+        """
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        store.put(hash_, result)
+        store.index_path.write_text("{ not json")
+        store.index()  # heals
+        healed = json.loads(store.index_path.read_text())
+        assert hash_ in healed
+
+    def test_non_dict_index_self_heals(self, tmp_path, make_scenario_result):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        store.put(hash_, result)
+        store.index_path.write_text(json.dumps(["not", "a", "mapping"]))
+        assert hash_ in store.index()
+        assert hash_ in json.loads(store.index_path.read_text())
+
+    def test_put_over_corrupt_index_self_heals(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        first = make_scenario_result(overrides={"n_points": 4})
+        store.put(_hash_of(first), first)
+        store.index_path.write_text("{ not json")
+        second = make_scenario_result(overrides={"n_points": 5})
+        store.put(_hash_of(second), second)
+        entries = json.loads(store.index_path.read_text())
+        assert _hash_of(first) in entries
+        assert _hash_of(second) in entries
+
 
 class TestPrune:
     def test_prune_by_max_entries_drops_oldest(
@@ -170,6 +209,74 @@ class TestPrune:
     def test_negative_max_entries_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             ResultStore(tmp_path).prune(max_entries=-1)
+
+    def test_pinned_hashes_survive_both_budgets(
+        self, tmp_path, make_scenario_result
+    ):
+        """keep= wins over max_entries and max_age_s alike."""
+        store = ResultStore(tmp_path)
+        hashes = []
+        for n in range(4):
+            result = make_scenario_result(overrides={"n_points": n + 4})
+            hashes.append(_hash_of(result))
+            record = store.put(hashes[-1], result)
+            path = store.object_path(record.hash)
+            data = json.loads(path.read_text())
+            data["created_at"] = float(n)
+            path.write_text(json.dumps(data))
+        pinned = {hashes[0], hashes[1]}
+        removed = store.prune(
+            max_entries=1, max_age_s=1.0, keep=pinned, now=100.0
+        )
+        # Everything is over-age and over-budget, but the pins stay.
+        assert set(removed) == {hashes[2], hashes[3]}
+        assert all(h in store for h in pinned)
+        # max_entries=1 was a target, not a guarantee: 2 pins remain.
+        assert len(store) == 2
+
+    def test_prune_removes_emptied_shard_dirs(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        store.put(hash_, result)
+        shard = store.object_path(hash_).parent
+        assert shard.is_dir()
+        store.prune(max_entries=0)
+        assert not shard.exists()
+        assert len(store) == 0
+        # The store still works after losing the shard directory.
+        record = store.put(hash_, result)
+        assert record.hash == hash_
+        assert hash_ in store
+
+    def test_prune_keeps_occupied_shard_dirs(
+        self, tmp_path, make_scenario_result
+    ):
+        store = ResultStore(tmp_path)
+        survivors = []
+        for n in range(3):
+            result = make_scenario_result(overrides={"n_points": n + 4})
+            survivors.append(_hash_of(result))
+            store.put(survivors[-1], result)
+        doomed_result = make_scenario_result(overrides={"n_points": 99})
+        doomed = _hash_of(doomed_result)
+        store.put(doomed, doomed_result)
+        removed = store.prune(max_entries=3, keep=survivors)
+        assert removed == (doomed,)
+        for h in survivors:
+            assert store.object_path(h).parent.is_dir()
+            assert h in store
+
+    def test_prune_updates_index(self, tmp_path, make_scenario_result):
+        store = ResultStore(tmp_path)
+        result = make_scenario_result()
+        hash_ = _hash_of(result)
+        store.put(hash_, result)
+        store.prune(max_entries=0)
+        assert store.index() == {}
+        assert json.loads(store.index_path.read_text()) == {}
 
 
 class TestConcurrency:

@@ -132,7 +132,15 @@ def test_engine_members_discovered():
     assert "repro.service.store.run_plan_with_store" in names
     assert "repro.service.jobs.JobManager" in names
     assert "repro.service.jobs.JobManager.submit" in names
+    assert "repro.service.jobs.JobManager.cancel" in names
+    assert "repro.service.jobs.JobManager.protected_hashes" in names
+    assert "repro.service.jobs.PriorityGate" in names
+    assert "repro.service.jobs.PriorityGate.acquire" in names
     assert "repro.service.jobs.TokenBucket" in names
+    assert "repro.service.store.ResultStore.prune" in names
+    assert "repro.service.app.ServiceApp.prune" in names
+    assert "repro.service.client.SimulationServiceClient.cancel" in names
+    assert "repro.service.client.SimulationServiceClient.prune" in names
     assert "repro.service.app.ServiceApp" in names
     assert "repro.service.app.ServiceThread" in names
     assert "repro.service.client.SimulationServiceClient" in names
@@ -395,6 +403,29 @@ def test_api_guide_covers_the_service():
         assert needle in text, f"docs/API.md does not mention {needle!r}"
 
 
+def test_api_guide_covers_operating_the_service():
+    """docs/API.md documents the lifecycle/GC surface of the service."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert "Operating the service" in text
+    for needle in (
+        "DELETE",
+        "/admin/prune",
+        "priority",
+        "PriorityGate",
+        "starvation-free",
+        "cancelled",
+        "jobs_cancelled",
+        "expired",
+        "job_ttl_s",
+        "max_records",
+        "protected_hashes",
+        "repro-service prune",
+        "repro-service cancel",
+        "--prune-interval",
+    ):
+        assert needle in text, f"docs/API.md does not mention {needle!r}"
+
+
 def test_architecture_covers_the_service():
     """docs/ARCHITECTURE.md explains the service/store tier."""
     text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
@@ -412,6 +443,26 @@ def test_architecture_covers_the_service():
         "asyncio.start_server",
         "SimulationServiceClient",
         "--from-store",
+    ):
+        assert needle in text, (
+            f"docs/ARCHITECTURE.md does not mention {needle!r}"
+        )
+
+
+def test_architecture_covers_the_job_lifecycle():
+    """docs/ARCHITECTURE.md explains the PR 8 lifecycle/GC layer."""
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    for needle in (
+        "PriorityGate",
+        "starvation-free",
+        "hand-off",
+        "protected_hashes",
+        "TOCTOU",
+        "expired",
+        "self-heals",
+        "_evict_finished",
     ):
         assert needle in text, (
             f"docs/ARCHITECTURE.md does not mention {needle!r}"
@@ -439,11 +490,19 @@ def test_service_entry_points_documented():
         service.JobRecord,
         service.RateLimiter,
         service.TokenBucket,
+        service.PriorityGate,
+        service.normalize_priority,
+        service.expired_job_record,
         service.compute_scenario_results,
         service.ServiceApp,
+        service.ServiceApp.prune,
         service.ServiceThread,
         service.ServiceError,
         service.SimulationServiceClient,
+        service.SimulationServiceClient.cancel,
+        service.SimulationServiceClient.prune,
+        service.JobManager.cancel,
+        service.JobManager.protected_hashes,
     )
     for member in entry_points:
         assert member.__doc__ and len(member.__doc__.strip()) > 40, (
