@@ -40,6 +40,7 @@ See ``docs/API.md`` for the full walkthrough.
 
 from .executor import (
     Shard,
+    ShardExecutionError,
     run_plan_parallel,
     run_shard,
     scenario_cost,
@@ -57,6 +58,7 @@ from .plan import (
     PlanResult,
     RunPlan,
     ScenarioResult,
+    ShardFailure,
     ShardReport,
     merge_shard_results,
     run_plan,
@@ -82,6 +84,8 @@ __all__ = [
     "PlanResult",
     "ParallelPlanResult",
     "ShardReport",
+    "ShardFailure",
+    "ShardExecutionError",
     "Shard",
     "run_scenario",
     "run_plan",

@@ -238,6 +238,43 @@ class ShardReport:
 
 
 @dataclass(frozen=True)
+class ShardFailure:
+    """One shard (or split sub-shard) that exhausted its retry budget.
+
+    Attributes
+    ----------
+    index:
+        Shard number (0-based) within its plan run. Sub-shards split
+        off a failing shard keep the parent's index, so the number
+        always names a shard of the original partition.
+    positions:
+        Indices into ``plan.expanded()`` of the scenarios whose results
+        are missing because of this failure.
+    scenario_ids:
+        The :attr:`~repro.api.scenario.Scenario.name` of each failed
+        scenario, aligned with ``positions``.
+    attempts:
+        How many attempts were made before giving up.
+    cause:
+        ``"error"`` (the shard raised), ``"crash"`` (the worker process
+        died -- ``BrokenProcessPool``), or ``"timeout"`` (the shard
+        exceeded the supervisor's per-shard deadline).
+    message:
+        Text of the final underlying error.
+    elapsed_s:
+        Wall-clock time spent across this unit's failed attempts [s].
+    """
+
+    index: int
+    positions: "tuple[int, ...]"
+    scenario_ids: "tuple[str, ...]"
+    attempts: int
+    cause: str
+    message: str = ""
+    elapsed_s: float = 0.0
+
+
+@dataclass(frozen=True)
 class ParallelPlanResult(PlanResult):
     """A :class:`PlanResult` assembled from parallel shard runs.
 
@@ -249,49 +286,97 @@ class ParallelPlanResult(PlanResult):
     expose the parallel structure -- who ran what, with which derived
     seed, how long, and with what cache efficiency.
 
+    A result may be **partial**: when the supervisor ran with
+    ``raise_on_failure=False`` and some shard exhausted its retries,
+    ``scenario_results`` holds only the completed scenarios (still in
+    plan order) and ``failures`` names what is missing. ``complete``
+    distinguishes the two cases; :meth:`results_by_position` recovers
+    the position of each surviving result.
+
     Attributes
     ----------
     shard_reports:
         One :class:`ShardReport` per shard, ordered by shard index.
+    failures:
+        :class:`ShardFailure` records for shards whose scenarios never
+        completed; empty on a fully successful run.
     """
 
     shard_reports: "tuple[ShardReport, ...]" = ()
+    failures: "tuple[ShardFailure, ...]" = ()
 
     @property
     def worker_count(self) -> int:
         """How many shards (= worker sessions) the plan ran on."""
         return len(self.shard_reports)
 
+    @property
+    def complete(self) -> bool:
+        """Whether every expanded scenario produced a result."""
+        return not self.failures
+
+    @property
+    def failed_positions(self) -> "tuple[int, ...]":
+        """Expanded-plan positions with no result, sorted."""
+        return tuple(
+            sorted(p for f in self.failures for p in f.positions)
+        )
+
+    def results_by_position(self) -> "dict[int, ScenarioResult]":
+        """Completed results keyed by expanded-plan position.
+
+        On a complete run this is simply ``{i: scenario_results[i]}``;
+        on a partial run the failed positions are absent and the
+        surviving results keep their original plan positions.
+        """
+        failed = set(self.failed_positions)
+        positions = [
+            i for i in range(len(self.plan.expanded())) if i not in failed
+        ]
+        return dict(zip(positions, self.scenario_results))
+
 
 def merge_shard_results(
     plan: RunPlan,
     shard_outputs: "tuple[tuple[ShardReport, tuple[tuple[int, ScenarioResult], ...]], ...]",
+    failures: "tuple[ShardFailure, ...]" = (),
 ) -> ParallelPlanResult:
     """Reassemble shard outputs into one in-order plan result.
 
     ``shard_outputs`` pairs each shard's report with its
     ``(position, result)`` list, where ``position`` indexes the
     scenario's place in ``plan.expanded()``. The merge restores plan
-    order, verifies the shards covered every expanded scenario exactly
-    once (a partition -- anything else raises
+    order, verifies that completed results plus the positions named by
+    ``failures`` cover every expanded scenario exactly once (a
+    partition -- anything else raises
     :class:`~repro.errors.ConfigurationError`), and sums the per-shard
-    cache counters into the plan-wide total.
+    cache counters into the plan-wide total. With non-empty
+    ``failures`` the result is partial: failed positions are simply
+    absent from ``scenario_results``.
     """
     expected = len(plan.expanded())
+    failed: "set[int]" = set()
+    for failure in failures:
+        for position in failure.positions:
+            if position in failed:
+                raise ConfigurationError(
+                    f"shard merge saw scenario position {position} twice"
+                )
+            failed.add(position)
     indexed: "dict[int, ScenarioResult]" = {}
     for _, results in shard_outputs:
         for position, result in results:
-            if position in indexed:
+            if position in indexed or position in failed:
                 raise ConfigurationError(
                     f"shard merge saw scenario position {position} twice"
                 )
             indexed[position] = result
-    if sorted(indexed) != list(range(expected)):
-        missing = sorted(set(range(expected)) - set(indexed))
+    if sorted(set(indexed) | failed) != list(range(expected)):
+        missing = sorted(set(range(expected)) - set(indexed) - failed)
         raise ConfigurationError(
             f"shard merge is not a partition of the plan: expected "
             f"{expected} scenarios, missing positions {missing}, "
-            f"got {sorted(indexed)}"
+            f"got {sorted(set(indexed) | failed)}"
         )
     reports = tuple(
         sorted((report for report, _ in shard_outputs), key=lambda r: r.index)
@@ -301,9 +386,12 @@ def merge_shard_results(
         total = total.merged(report.cache_stats)
     return ParallelPlanResult(
         plan=plan,
-        scenario_results=tuple(indexed[i] for i in range(expected)),
+        scenario_results=tuple(indexed[i] for i in sorted(indexed)),
         cache_stats=total,
         shard_reports=reports,
+        failures=tuple(
+            sorted(failures, key=lambda f: (f.index, f.positions))
+        ),
     )
 
 

@@ -138,12 +138,16 @@ def _run_plan(
             update_store=args.update_store,
             workers=args.workers,
             shard_by=args.shard_by,
+            timeout_s=args.shard_timeout,
+            max_shard_retries=args.shard_retries,
         )
     elif args.workers > 1:
         outcome = session.run_plan_parallel(
             plan,
             workers=args.workers,
             shard_by=args.shard_by or "round-robin",
+            timeout_s=args.shard_timeout,
+            max_shard_retries=args.shard_retries,
         )
     else:
         outcome = session.run_plan(plan)
@@ -277,6 +281,21 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         "(default round-robin; requires --workers >= 2)",
     )
     parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline for --workers runs; a shard past it is "
+        "cancelled and retried (off by default)",
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="retries per failed/crashed/timed-out shard before the "
+        "plan run errors (default 2)",
+    )
+    parser.add_argument(
         "--from-store",
         default=None,
         metavar="DIR",
@@ -325,6 +344,15 @@ def main(argv: "Sequence[str] | None" = None) -> int:
             raise ConfigurationError(
                 "--shard-by only applies to parallel runs; pass "
                 "--workers N (N >= 2) alongside it"
+            )
+        if args.shard_timeout is not None and args.workers < 2:
+            raise ConfigurationError(
+                "--shard-timeout only applies to parallel runs; pass "
+                "--workers N (N >= 2) alongside it"
+            )
+        if args.shard_retries < 0:
+            raise ConfigurationError(
+                f"--shard-retries must be >= 0, got {args.shard_retries}"
             )
         if (args.from_store or args.update_store) and not args.plan:
             raise ConfigurationError(

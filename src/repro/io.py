@@ -347,7 +347,9 @@ def plan_result_to_dict(result: "PlanResult") -> "dict[str, Any]":
 
     A :class:`~repro.api.plan.ParallelPlanResult` additionally gets a
     ``"shards"`` list (one :func:`shard_report_to_dict` record per
-    shard), so the parallel structure of a run survives export.
+    shard), so the parallel structure of a run survives export -- and,
+    when the run was partial, a ``"failures"`` list (one
+    :func:`shard_failure_to_dict` record per exhausted shard unit).
     """
     record = {
         "plan": run_plan_to_dict(result.plan),
@@ -363,6 +365,9 @@ def plan_result_to_dict(result: "PlanResult") -> "dict[str, Any]":
     shard_reports = getattr(result, "shard_reports", ())
     if shard_reports:
         record["shards"] = [shard_report_to_dict(r) for r in shard_reports]
+    failures = getattr(result, "failures", ())
+    if failures:
+        record["failures"] = [shard_failure_to_dict(f) for f in failures]
     return record
 
 
@@ -393,6 +398,47 @@ def shard_report_from_dict(data: Mapping[str, Any]) -> "ShardReport":
         seed=int(data["seed"]),
         elapsed_s=float(data.get("elapsed_s", 0.0)),
         cache_stats=cache_stats_from_dict(dict(data.get("cache", {}))),
+    )
+
+
+def shard_failure_to_dict(failure: "ShardFailure") -> "dict[str, Any]":
+    """ShardFailure -> JSON-safe dict; inverse of :func:`shard_failure_from_dict`."""
+    return {
+        "index": failure.index,
+        "positions": list(failure.positions),
+        "scenario_ids": list(failure.scenario_ids),
+        "attempts": failure.attempts,
+        "cause": failure.cause,
+        "message": failure.message,
+        "elapsed_s": failure.elapsed_s,
+    }
+
+
+def shard_failure_from_dict(data: Mapping[str, Any]) -> "ShardFailure":
+    """Plain dict -> ShardFailure (inverse of the exporter).
+
+    The typed record a partial parallel run (and a failed service job)
+    reports for every shard unit that exhausted its retries; see
+    :class:`~repro.api.plan.ShardFailure`.
+    """
+    from .api.plan import ShardFailure
+
+    required = {"index", "positions", "cause"}
+    missing = required - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"shard-failure record missing fields: {sorted(missing)}"
+        )
+    return ShardFailure(
+        index=int(data["index"]),
+        positions=tuple(int(p) for p in data["positions"]),
+        scenario_ids=tuple(
+            str(s) for s in data.get("scenario_ids", ())
+        ),
+        attempts=int(data.get("attempts", 0)),
+        cause=str(data["cause"]),
+        message=str(data.get("message", "")),
+        elapsed_s=float(data.get("elapsed_s", 0.0)),
     )
 
 
@@ -462,6 +508,7 @@ def job_record_to_dict(record: "JobRecord") -> "dict[str, Any]":
         "elapsed_s": record.elapsed_s,
         "error": record.error,
         "priority": record.priority,
+        "timeout_s": record.timeout_s,
     }
 
 
@@ -481,6 +528,7 @@ def job_record_from_dict(data: Mapping[str, Any]) -> "JobRecord":
             f"job record missing fields: {sorted(missing)}"
         )
     error = data.get("error")
+    timeout_s = data.get("timeout_s")
     return JobRecord(
         id=str(data["id"]),
         status=str(data["status"]),
@@ -496,6 +544,7 @@ def job_record_from_dict(data: Mapping[str, Any]) -> "JobRecord":
         elapsed_s=float(data.get("elapsed_s", 0.0)),
         error=None if error is None else str(error),
         priority=int(data.get("priority", 1)),
+        timeout_s=None if timeout_s is None else float(timeout_s),
     )
 
 

@@ -49,6 +49,7 @@ from .jobs import (
     JobManager,
     JobQueueFull,
     JobRecord,
+    PartialComputeError,
     PriorityGate,
     RateLimiter,
     TokenBucket,
@@ -67,6 +68,7 @@ __all__ = [
     "JobManager",
     "JobQueueFull",
     "JobRecord",
+    "PartialComputeError",
     "PriorityGate",
     "PRIORITY_CLASSES",
     "RateLimiter",

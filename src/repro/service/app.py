@@ -11,10 +11,11 @@ method    path               meaning
 ========  =================  ==============================================
 POST      ``/plans``         submit a :class:`~repro.api.plan.RunPlan`
                              record (optional ``priority`` key:
-                             high/normal/low or 0-9); 202 + job record
-                             (rate limited, 429 + ``Retry-After`` when
-                             over budget, 503 + ``Retry-After`` when
-                             the queue is full)
+                             high/normal/low or 0-9; optional
+                             ``timeout_s`` job deadline); 202 + job
+                             record (rate limited, 429 +
+                             ``Retry-After`` when over budget, 503 +
+                             ``Retry-After`` when the queue is full)
 GET       ``/jobs/{id}``     job status as a JSON job record (evicted
                              jobs answer a typed ``expired`` record)
 DELETE    ``/jobs/{id}``     cancel a queued/running job; returns its
@@ -90,6 +91,8 @@ class ServiceApp:
         aging_s: float = 30.0,
         job_ttl_s: "float | None" = 3600.0,
         max_records: "int | None" = 1024,
+        shard_timeout_s: "float | None" = None,
+        max_shard_retries: int = 2,
         prune_interval_s: "float | None" = None,
         prune_max_entries: "int | None" = None,
         prune_max_age_s: "float | None" = None,
@@ -116,6 +119,8 @@ class ServiceApp:
             aging_s=aging_s,
             job_ttl_s=job_ttl_s,
             max_records=max_records,
+            shard_timeout_s=shard_timeout_s,
+            max_shard_retries=max_shard_retries,
         )
         self.limiter = RateLimiter(rate_per_s, burst)
         self.prune_interval_s = prune_interval_s
@@ -331,7 +336,10 @@ class ServiceApp:
 
         The body is a run-plan record, optionally carrying a
         ``priority`` key (a class name or integer rank) that dispatches
-        the job ahead of or behind its queue peers.
+        the job ahead of or behind its queue peers, and/or a
+        ``timeout_s`` key (a positive number) that deadlines the job:
+        the manager's watchdog moves it to the typed ``timeout``
+        terminal state if it is still unfinished then.
         """
         client = headers.get("x-client-id") or _peer_of(writer)
         wait = self.limiter.check(client)
@@ -349,12 +357,25 @@ class ServiceApp:
         if not isinstance(record, dict):
             return 400, {"error": "body must be a run-plan record"}, {}
         priority = record.pop("priority", None)
+        timeout_raw = record.pop("timeout_s", None)
+        timeout_s: "float | None" = None
+        if timeout_raw is not None:
+            try:
+                timeout_s = float(timeout_raw)
+            except (TypeError, ValueError):
+                return (
+                    400,
+                    {"error": f"timeout_s must be a number, got {timeout_raw!r}"},
+                    {},
+                )
         plan = run_plan_from_dict(record)
         try:
-            if priority is None:
-                job = self.manager.submit(plan)
-            else:
-                job = self.manager.submit(plan, priority=priority)
+            options: "dict[str, Any]" = {}
+            if priority is not None:
+                options["priority"] = priority
+            if timeout_s is not None:
+                options["timeout_s"] = timeout_s
+            job = self.manager.submit(plan, **options)
         except JobQueueFull as exc:
             return (
                 503,

@@ -3,8 +3,9 @@
 Installed as ``repro-service``::
 
     repro-service serve --store results/ --port 8787 --workers 4
+    repro-service serve --store results/ --shard-timeout 120 --shard-retries 2
     repro-service submit plan.json --url http://127.0.0.1:8787 --wait
-    repro-service submit plan.json --priority high --wait
+    repro-service submit plan.json --priority high --job-timeout 300 --wait
     repro-service status job-1 --url http://127.0.0.1:8787
     repro-service cancel job-1 --url http://127.0.0.1:8787
     repro-service fetch <scenario-hash> --url ... --out result.json
@@ -113,6 +114,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="finished job records retained beyond TTL (0 disables)",
     )
     serve.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-shard compute deadline in seconds (off by default)",
+    )
+    serve.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="retries per failed/crashed/timed-out shard",
+    )
+    serve.add_argument(
         "--prune-interval",
         type=float,
         default=None,
@@ -159,6 +172,13 @@ def _build_parser() -> argparse.ArgumentParser:
             )
             sub.add_argument(
                 "--timeout", type=float, default=600.0, help="--wait deadline"
+            )
+            sub.add_argument(
+                "--job-timeout",
+                type=float,
+                default=None,
+                help="server-side job deadline in seconds (the job "
+                "finishes in the typed 'timeout' state when it expires)",
             )
         elif name in ("status", "cancel"):
             sub.add_argument("job_id", help="job id (e.g. job-1)")
@@ -212,6 +232,8 @@ async def _serve(args: argparse.Namespace) -> int:
         max_records=(
             args.max_job_records if args.max_job_records > 0 else None
         ),
+        shard_timeout_s=args.shard_timeout,
+        max_shard_retries=args.shard_retries,
         prune_interval_s=args.prune_interval,
         prune_max_entries=args.prune_max_entries,
         prune_max_age_s=args.prune_max_age,
@@ -241,7 +263,9 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         if args.command == "submit":
             plan = RunPlan.load(args.plan)
             record = client.submit(
-                plan, priority=_parse_priority(args.priority)
+                plan,
+                priority=_parse_priority(args.priority),
+                timeout_s=args.job_timeout,
             )
             if args.wait:
                 record = client.wait(record.id, timeout_s=args.timeout)

@@ -13,7 +13,11 @@ rate-limited service must: HTTP 429/503 honour the server's
 exponentially with jitter, and a bounded retry budget turns into a
 :class:`ServiceError` carrying the last status. Connection errors
 (server not yet up, restarting) retry the same way, which is what lets
-a client ride through a service restart without special casing.
+a client ride through a service restart without special casing. On
+top of the per-attempt budget, ``total_timeout_s`` bounds one
+request's *wall clock* across all its retries: every sleep is capped
+to the remaining budget, so stacked ``Retry-After`` hints can never
+hold a caller past its deadline.
 """
 
 from __future__ import annotations
@@ -71,6 +75,12 @@ class SimulationServiceClient:
     backoff_s, max_backoff_s:
         Exponential backoff base and cap between retries; the actual
         sleep adds uniform jitter so synchronised clients spread out.
+    total_timeout_s:
+        Overall wall-clock budget for one request including every
+        retry sleep, or ``None`` for no deadline. Backoff sleeps
+        (even server-mandated ``Retry-After`` floors) are capped to
+        the remaining budget; once it is spent the request fails with
+        a :class:`ServiceError` naming the attempts used.
     client_id:
         Sent as ``X-Client-Id`` -- the server's rate-limit key.
     rng:
@@ -85,19 +95,29 @@ class SimulationServiceClient:
         retries: int = 5,
         backoff_s: float = 0.2,
         max_backoff_s: float = 5.0,
+        total_timeout_s: "float | None" = None,
         client_id: str = "repro-client",
         rng: "random.Random | None" = None,
         sleep: "Any" = time.sleep,
+        clock: "Any" = time.monotonic,
     ) -> None:
         """Configure the endpoint and the retry/backoff policy."""
+        if total_timeout_s is not None and total_timeout_s <= 0:
+            raise ReproError(
+                f"total_timeout_s must be > 0 or None, got {total_timeout_s}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
         self.max_backoff_s = float(max_backoff_s)
+        self.total_timeout_s = (
+            None if total_timeout_s is None else float(total_timeout_s)
+        )
         self.client_id = client_id
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
+        self._clock = clock
 
     # ----- endpoints ------------------------------------------------------
 
@@ -110,17 +130,26 @@ class SimulationServiceClient:
         return self._request("GET", "/stats")
 
     def submit(
-        self, plan: "RunPlan", *, priority: "int | str | None" = None
+        self,
+        plan: "RunPlan",
+        *,
+        priority: "int | str | None" = None,
+        timeout_s: "float | None" = None,
     ) -> "JobRecord":
         """POST /plans -- submit a plan; returns the accepted job record.
 
         ``priority`` is a class name (``"high"``/``"normal"``/
         ``"low"``) or an integer rank (lower dispatches first); omitted
-        means normal.
+        means normal. ``timeout_s`` is the *job's* server-side deadline
+        (seconds from acceptance): an unfinished job is moved to the
+        typed ``timeout`` state by the server's watchdog when it
+        expires. Omitted means no deadline.
         """
         body = run_plan_to_dict(plan)
         if priority is not None:
             body["priority"] = priority
+        if timeout_s is not None:
+            body["timeout_s"] = float(timeout_s)
         payload = self._request("POST", "/plans", body=body)
         return job_record_from_dict(payload)
 
@@ -180,15 +209,21 @@ class SimulationServiceClient:
     ) -> "JobRecord":
         """Poll a job until it reaches a terminal state.
 
-        Returns the final record (``done``, ``failed``, ``cancelled``
-        or ``expired`` -- callers decide what non-success means to
-        them); raises :class:`ServiceError` if the deadline passes
-        first.
+        Returns the final record (``done``, ``failed``, ``cancelled``,
+        ``timeout`` or ``expired`` -- callers decide what non-success
+        means to them); raises :class:`ServiceError` if the deadline
+        passes first.
         """
         deadline = time.monotonic() + timeout_s
         while True:
             record = self.job(job_id)
-            if record.status in ("done", "failed", "cancelled", "expired"):
+            if record.status in (
+                "done",
+                "failed",
+                "cancelled",
+                "timeout",
+                "expired",
+            ):
                 return record
             if time.monotonic() >= deadline:
                 raise ServiceError(
@@ -203,6 +238,7 @@ class SimulationServiceClient:
         *,
         poll_s: float = 0.05,
         timeout_s: float = 600.0,
+        job_timeout_s: "float | None" = None,
     ) -> "tuple[tuple[ScenarioResult, ...], JobRecord]":
         """Submit a plan, wait for it, fetch every result, in plan order.
 
@@ -210,10 +246,12 @@ class SimulationServiceClient:
         :class:`~repro.api.plan.ScenarioResult` list aligned with
         ``plan.expanded()`` plus the final job record (whose
         ``sources`` say which results came from the store, an
-        in-flight dedupe, or fresh compute). Raises
-        :class:`ServiceError` if the job failed.
+        in-flight dedupe, or fresh compute). ``timeout_s`` bounds the
+        client-side wait; ``job_timeout_s`` is forwarded to the server
+        as the job's own deadline. Raises :class:`ServiceError` if the
+        job failed (or timed out server-side).
         """
-        accepted = self.submit(plan)
+        accepted = self.submit(plan, timeout_s=job_timeout_s)
         final = self.wait(accepted.id, poll_s=poll_s, timeout_s=timeout_s)
         if final.status != "done":
             raise ServiceError(
@@ -233,9 +271,22 @@ class SimulationServiceClient:
         path: str,
         body: "Mapping[str, Any] | None" = None,
     ) -> "dict[str, Any]":
-        """One JSON request with the retry/backoff policy applied."""
+        """One JSON request with the retry/backoff policy applied.
+
+        Retries are bounded twice over: by count (``retries``) and --
+        when ``total_timeout_s`` is set -- by wall clock. Each backoff
+        sleep is capped to the remaining budget, so a server's stacked
+        ``Retry-After`` hints cannot stretch the call past the
+        caller's deadline; an exhausted budget raises a
+        :class:`ServiceError` naming how many attempts were made.
+        """
         url = f"{self.base_url}{path}"
         data = None if body is None else json.dumps(body).encode("utf-8")
+        deadline = (
+            None
+            if self.total_timeout_s is None
+            else self._clock() + self.total_timeout_s
+        )
         last_status = 0
         last_error = "no attempts made"
         for attempt in range(self.retries + 1):
@@ -272,7 +323,19 @@ class SimulationServiceClient:
                 last_status = 0
                 last_error = f"connection error: {exc}"
             if attempt < self.retries:
-                self._sleep(self._backoff(attempt, retry_after))
+                pause = self._backoff(attempt, retry_after)
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        raise ServiceError(
+                            f"{method} {path} failed after {attempt + 1} "
+                            f"attempt(s): total_timeout_s="
+                            f"{self.total_timeout_s}s budget exhausted "
+                            f"({last_error})",
+                            last_status,
+                        )
+                    pause = min(pause, remaining)
+                self._sleep(pause)
         raise ServiceError(
             f"{method} {path} failed after {self.retries + 1} attempts "
             f"({last_error})",

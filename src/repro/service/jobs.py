@@ -36,6 +36,13 @@ lifecycle layer on top:
   hash a retained job references, which the GC surface
   (``POST /admin/prune``) excludes from pruning so a live job's
   classified store hit can never vanish before it is fetched.
+* **Deadlines and salvage** -- a job submitted with ``timeout_s`` is
+  watched by a ``call_later`` watchdog that cancels a stuck job into
+  the typed ``timeout`` terminal state (counted by ``jobs_timeout``);
+  and when a plan fails mid-compute, the scenarios that *did* complete
+  are persisted to the store before the job fails
+  (:class:`PartialComputeError`), so resubmitting the same plan
+  resumes from store hits instead of recomputing everything.
 
 The queue is bounded (:class:`JobQueueFull` maps to HTTP 503) and
 :class:`RateLimiter` implements the per-client token bucket behind
@@ -67,10 +74,10 @@ class JobQueueFull(ReproError):
 
 
 #: Lifecycle states a job moves through (strictly forward).
-JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled", "timeout")
 
 #: States a job cannot leave (eviction only collects these).
-TERMINAL_STATUSES = ("done", "failed", "cancelled")
+TERMINAL_STATUSES = ("done", "failed", "cancelled", "timeout")
 
 #: Pseudo-status of a job record evicted from the table (lookup only).
 EXPIRED_STATUS = "expired"
@@ -147,6 +154,9 @@ class JobRecord:
     priority:
         The job's dispatch rank (lower runs first; see
         :data:`PRIORITY_CLASSES`).
+    timeout_s:
+        The deadline the job was submitted with, or ``None``. A job
+        that blows it finishes in the ``timeout`` status.
     """
 
     id: str
@@ -161,6 +171,7 @@ class JobRecord:
     elapsed_s: float
     error: "str | None"
     priority: int = DEFAULT_PRIORITY
+    timeout_s: "float | None" = None
 
 
 def expired_job_record(job_id: str) -> JobRecord:
@@ -199,12 +210,15 @@ class Job:
         plan: RunPlan,
         plan_digest: str,
         priority: int = DEFAULT_PRIORITY,
+        timeout_s: "float | None" = None,
     ) -> None:
         """Create a queued job for one submitted plan."""
         self.id = job_id
         self.plan = plan
         self.plan_hash = plan_digest
         self.priority = int(priority)
+        self.timeout_s = None if timeout_s is None else float(timeout_s)
+        self.timed_out = False
         self.status = "queued"
         self.scenario_hashes: "tuple[str, ...]" = ()
         self.sources: "list[str]" = []
@@ -213,6 +227,7 @@ class Job:
         self.finished_at: "float | None" = None
         self.elapsed_s = 0.0
         self._start = time.perf_counter()
+        self._watchdog: "asyncio.TimerHandle | None" = None
 
     def finish(self, status: str, error: "str | None" = None) -> None:
         """Move the job to a terminal state and stamp its elapsed time."""
@@ -237,6 +252,7 @@ class Job:
             elapsed_s=self.elapsed_s,
             error=self.error,
             priority=self.priority,
+            timeout_s=self.timeout_s,
         )
 
 
@@ -413,6 +429,29 @@ class PriorityGate:
         self._dispatch()
 
 
+class PartialComputeError(ReproError):
+    """A plan's compute failed, but some scenarios did complete.
+
+    Raised by :func:`compute_scenario_results` when the supervised
+    executor exhausts its retries on part of the plan. ``completed``
+    maps the *input position* of each scenario that did finish to its
+    :class:`~repro.api.plan.ScenarioResult` -- the salvage the manager
+    persists to the store before failing the job -- and ``failures``
+    carries the typed :class:`~repro.api.plan.ShardFailure` records
+    naming what was lost.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        completed: "Mapping[int, ScenarioResult]",
+        failures: "tuple[Any, ...]",
+    ) -> None:
+        super().__init__(message)
+        self.completed = dict(completed)
+        self.failures = tuple(failures)
+
+
 def compute_scenario_results(
     scenarios: "tuple[Any, ...]",
     *,
@@ -421,6 +460,8 @@ def compute_scenario_results(
     workers: int = 1,
     shard_by: str = "round-robin",
     executor: str = "process",
+    timeout_s: "float | None" = None,
+    max_shard_retries: int = 2,
 ) -> "tuple[ScenarioResult, ...]":
     """Compute concrete scenarios on the sharded executor, in order.
 
@@ -430,6 +471,13 @@ def compute_scenario_results(
     default; a single shard runs inline), returning the
     :class:`~repro.api.plan.ScenarioResult` list aligned with the
     input order.
+
+    Runs under supervision (``raise_on_failure=False``): failed or
+    crashed shards are retried up to ``max_shard_retries`` times and
+    bounded by the per-shard ``timeout_s``. On full success the result
+    tuple is returned as before; when retries are exhausted on part of
+    the plan, :class:`PartialComputeError` carries the completed
+    results (for salvage) alongside the failure records.
     """
     plan = RunPlan(name="service-job", scenarios=tuple(scenarios))
     outcome = run_plan_parallel(
@@ -439,7 +487,23 @@ def compute_scenario_results(
         seed=seed,
         defaults=defaults,
         executor=executor,
+        timeout_s=timeout_s,
+        max_shard_retries=max_shard_retries,
+        raise_on_failure=False,
     )
+    if outcome.failures:
+        lost = [
+            scenario_id
+            for failure in outcome.failures
+            for scenario_id in failure.scenario_ids
+        ]
+        causes = sorted({failure.cause for failure in outcome.failures})
+        raise PartialComputeError(
+            f"{len(lost)} of {len(scenarios)} scenarios failed "
+            f"({'/'.join(causes)}) after shard retries: {lost}",
+            completed=outcome.results_by_position(),
+            failures=outcome.failures,
+        )
     return outcome.scenario_results
 
 
@@ -470,8 +534,18 @@ class JobManager:
         aging_s: float = 30.0,
         job_ttl_s: "float | None" = 3600.0,
         max_records: "int | None" = 1024,
+        shard_timeout_s: "float | None" = None,
+        max_shard_retries: int = 2,
     ) -> None:
         """Wire the manager to its store and executor configuration."""
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be > 0 or None, got {shard_timeout_s}"
+            )
+        if max_shard_retries < 0:
+            raise ConfigurationError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}"
+            )
         if max_pending < 1:
             raise ConfigurationError(
                 f"max_pending must be >= 1, got {max_pending}"
@@ -494,6 +568,10 @@ class JobManager:
         self.workers = int(workers)
         self.shard_by = shard_by
         self.executor = executor
+        self.shard_timeout_s = (
+            None if shard_timeout_s is None else float(shard_timeout_s)
+        )
+        self.max_shard_retries = int(max_shard_retries)
         self.max_pending = int(max_pending)
         self.job_ttl_s = None if job_ttl_s is None else float(job_ttl_s)
         self.max_records = None if max_records is None else int(max_records)
@@ -514,6 +592,7 @@ class JobManager:
             "jobs_done": 0,
             "jobs_failed": 0,
             "jobs_cancelled": 0,
+            "jobs_timeout": 0,
             "jobs_evicted": 0,
             "store_hits": 0,
             "computed": 0,
@@ -527,17 +606,28 @@ class JobManager:
         return len(self._active)
 
     def submit(
-        self, plan: RunPlan, *, priority: "int | str | None" = None
+        self,
+        plan: RunPlan,
+        *,
+        priority: "int | str | None" = None,
+        timeout_s: "float | None" = None,
     ) -> Job:
         """Accept a plan as a new job and schedule its execution.
 
         ``priority`` is a :data:`PRIORITY_CLASSES` name or an integer
-        rank (lower dispatches first; default ``"normal"``). Raises
-        :class:`JobQueueFull` when ``max_pending`` jobs are already
-        queued or running (the HTTP layer maps this to 503 +
+        rank (lower dispatches first; default ``"normal"``).
+        ``timeout_s`` is an optional whole-job deadline, measured from
+        submission (queue time included): a watchdog cancels the job
+        into the typed ``timeout`` terminal state when it expires.
+        Raises :class:`JobQueueFull` when ``max_pending`` jobs are
+        already queued or running (the HTTP layer maps this to 503 +
         ``Retry-After``). Must be called from the event loop thread.
         """
         rank = normalize_priority(priority)
+        if timeout_s is not None and float(timeout_s) <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0, got {timeout_s}"
+            )
         self._evict_finished()
         if self.pending() >= self.max_pending:
             raise JobQueueFull(
@@ -548,18 +638,40 @@ class JobManager:
             plan,
             plan_hash(plan, defaults=self.defaults),
             priority=rank,
+            timeout_s=timeout_s,
         )
         self._jobs[job.id] = job
         self._active.add(job.id)
         self.counters["jobs_submitted"] += 1
-        task = asyncio.get_running_loop().create_task(self._run_job(job))
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._run_job(job))
         self._tasks.add(task)
         self._job_tasks[job.id] = task
         task.add_done_callback(self._tasks.discard)
         task.add_done_callback(
             lambda _t, job_id=job.id: self._job_tasks.pop(job_id, None)
         )
+        if job.timeout_s is not None:
+            job._watchdog = loop.call_later(
+                job.timeout_s, self._expire_job, job.id
+            )
         return job
+
+    def _expire_job(self, job_id: str) -> None:
+        """Watchdog callback: deadline a still-unfinished job.
+
+        Marks the job timed out and cancels its task; the
+        :meth:`_run_job` cancellation path translates the flag into the
+        ``timeout`` terminal state. A job already terminal (or evicted)
+        is left alone -- the watchdog lost the race.
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.status in TERMINAL_STATUSES:
+            return
+        job.timed_out = True
+        task = self._job_tasks.get(job_id)
+        if task is not None:
+            task.cancel()
 
     def job(self, job_id: str) -> "Job | None":
         """Look a job up by id (``None`` when unknown or evicted)."""
@@ -655,7 +767,7 @@ class JobManager:
         """Aggregate counters: jobs by state, dedupe/hit totals, config.
 
         Counter reconciliation contract: ``jobs_done + jobs_failed +
-        jobs_cancelled`` equals the terminal total of
+        jobs_cancelled + jobs_timeout`` equals the terminal total of
         ``jobs_by_status`` plus ``jobs_evicted`` (eviction removes
         records from the table, never from the cumulative counters).
         """
@@ -689,9 +801,11 @@ class JobManager:
         """Resolve every scenario of one job (store / inflight / compute).
 
         Lifecycle accounting happens here and only here: exactly one of
-        ``jobs_done`` / ``jobs_failed`` / ``jobs_cancelled`` is
-        incremented per job, so ``/stats`` counters always reconcile
-        with ``jobs_by_status``.
+        ``jobs_done`` / ``jobs_failed`` / ``jobs_cancelled`` /
+        ``jobs_timeout`` is incremented per job, so ``/stats`` counters
+        always reconcile with ``jobs_by_status``. A cancellation
+        arriving from the deadline watchdog (``job.timed_out``) lands
+        in ``timeout`` rather than ``cancelled``.
         """
         acquired = False
         try:
@@ -700,8 +814,15 @@ class JobManager:
             job.status = "running"
             await self._resolve(job)
         except asyncio.CancelledError:
-            job.finish("cancelled")
-            self.counters["jobs_cancelled"] += 1
+            if job.timed_out:
+                job.finish(
+                    "timeout",
+                    f"job exceeded its {job.timeout_s}s deadline",
+                )
+                self.counters["jobs_timeout"] += 1
+            else:
+                job.finish("cancelled")
+                self.counters["jobs_cancelled"] += 1
             raise
         except Exception as exc:
             job.finish("failed", str(exc))
@@ -710,6 +831,8 @@ class JobManager:
             job.finish("done")
             self.counters["jobs_done"] += 1
         finally:
+            if job._watchdog is not None:
+                job._watchdog.cancel()
             self._active.discard(job.id)
             if acquired:
                 self._gate.release()
@@ -758,17 +881,38 @@ class JobManager:
             try:
                 if owned:
                     scenarios = tuple(expanded[i] for i in owned)
-                    results = await loop.run_in_executor(
-                        self._compute_pool,
-                        lambda: compute_scenario_results(
-                            scenarios,
-                            seed=self.seed,
-                            defaults=self.defaults,
-                            workers=self.workers,
-                            shard_by=self.shard_by,
-                            executor=self.executor,
-                        ),
-                    )
+                    try:
+                        results = await loop.run_in_executor(
+                            self._compute_pool,
+                            lambda: compute_scenario_results(
+                                scenarios,
+                                seed=self.seed,
+                                defaults=self.defaults,
+                                workers=self.workers,
+                                shard_by=self.shard_by,
+                                executor=self.executor,
+                                timeout_s=self.shard_timeout_s,
+                                max_shard_retries=self.max_shard_retries,
+                            ),
+                        )
+                    except PartialComputeError as partial:
+                        # Salvage before failing: persist what did
+                        # complete and resolve its claims, so attached
+                        # jobs -- and a resubmission of this very plan
+                        # -- resume from store hits instead of
+                        # recomputing the survivors.
+                        for sub_index in sorted(partial.completed):
+                            position = owned[sub_index]
+                            hash_ = hashes[position]
+                            self.store.put(
+                                hash_, partial.completed[sub_index]
+                            )
+                            job.sources[position] = "computed"
+                            self.counters["computed"] += 1
+                            future = self._inflight.pop(hash_, None)
+                            if future is not None and not future.done():
+                                future.set_result(hash_)
+                        raise
                     for position, scenario_result in zip(owned, results):
                         hash_ = hashes[position]
                         self.store.put(hash_, scenario_result)

@@ -390,6 +390,8 @@ def run_plan_with_store(
     update_store: "ResultStore | str | Path | None" = None,
     workers: int = 1,
     shard_by: "str | None" = None,
+    timeout_s: "float | None" = None,
+    max_shard_retries: int = 2,
 ) -> "tuple[PlanResult, StoreReport]":
     """Run a plan, serving store hits and computing only the misses.
 
@@ -402,7 +404,10 @@ def run_plan_with_store(
     back. The returned :class:`~repro.api.plan.PlanResult` is in plan
     order with stored and computed results interleaved; its
     ``cache_stats`` cover only the computed portion (stored results
-    carry their original attribution).
+    carry their original attribution). ``timeout_s`` and
+    ``max_shard_retries`` are the supervised executor's per-shard
+    deadline and retry budget; they only apply to the parallel
+    (``workers > 1``) compute path.
     """
     from ..api.plan import PlanResult, RunPlan
 
@@ -430,7 +435,11 @@ def run_plan_with_store(
         )
         if workers > 1:
             computed = session.run_plan_parallel(
-                sub_plan, workers=workers, shard_by=shard_by or "round-robin"
+                sub_plan,
+                workers=workers,
+                shard_by=shard_by or "round-robin",
+                timeout_s=timeout_s,
+                max_shard_retries=max_shard_retries,
             )
         else:
             computed = session.run_plan(sub_plan)

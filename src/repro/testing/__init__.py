@@ -1,0 +1,32 @@
+"""Test-support utilities shipped with the package.
+
+Currently home to :mod:`repro.testing.faults`, the deterministic fault
+injector the chaos suite (and any downstream integration test) uses to
+make executor failure paths reproducible. Production code never *sets*
+faults; the executor merely consults the injector, which is inert
+unless the ``REPRO_FAULTS`` environment variable is populated.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    FaultSpec,
+    InjectedFault,
+    active_faults,
+    decode_faults,
+    encode_faults,
+    faults_installed,
+    maybe_inject,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "FaultSpec",
+    "InjectedFault",
+    "active_faults",
+    "decode_faults",
+    "encode_faults",
+    "faults_installed",
+    "maybe_inject",
+]

@@ -1,0 +1,181 @@
+"""The deterministic fault injector: specs, matching, env plumbing.
+
+:mod:`repro.testing.faults` is the chaos harness every supervisor and
+chaos test stands on, so its own contracts are pinned here: spec
+validation, exact-vs-wildcard coordinate matching, JSON round-trips
+through the ``REPRO_FAULTS`` encoding, the ``faults_installed``
+save/restore discipline, and each ``maybe_inject`` behaviour (raise,
+slow-then-continue, crash downgraded to a raise outside process
+pools, hang bounded by its ``seconds``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.testing import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    FaultSpec,
+    InjectedFault,
+    active_faults,
+    decode_faults,
+    encode_faults,
+    faults_installed,
+    maybe_inject,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ReproError, match="seconds"):
+            FaultSpec(kind="slow", seconds=-1.0)
+
+    def test_exact_selectors_match_exactly(self):
+        spec = FaultSpec(kind="raise", shard=2, attempt=1, position=5)
+        assert spec.matches(2, 1, 5, first_position=False)
+        assert not spec.matches(1, 1, 5, first_position=False)
+        assert not spec.matches(2, 0, 5, first_position=False)
+        assert not spec.matches(2, 1, 4, first_position=True)
+
+    def test_wildcards_match_any_coordinate(self):
+        spec = FaultSpec(kind="raise", position=3)
+        assert spec.matches(0, 0, 3, first_position=False)
+        assert spec.matches(7, 4, 3, first_position=False)
+
+    def test_none_position_targets_only_the_first_scenario(self):
+        spec = FaultSpec(kind="raise", shard=1)
+        assert spec.matches(1, 0, 9, first_position=True)
+        assert not spec.matches(1, 0, 9, first_position=False)
+
+    def test_from_dict_requires_a_kind(self):
+        with pytest.raises(ReproError, match="kind"):
+            FaultSpec.from_dict({"shard": 0})
+
+    @given(
+        kind=st.sampled_from(FAULT_KINDS),
+        shard=st.none() | st.integers(0, 64),
+        attempt=st.none() | st.integers(0, 8),
+        position=st.none() | st.integers(0, 512),
+        seconds=st.floats(0.0, 120.0, allow_nan=False),
+        message=st.text(max_size=40),
+    )
+    def test_dict_round_trip(
+        self, kind, shard, attempt, position, seconds, message
+    ):
+        spec = FaultSpec(
+            kind=kind,
+            shard=shard,
+            attempt=attempt,
+            position=position,
+            seconds=seconds,
+            message=message,
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestEncoding:
+    def test_encode_decode_round_trip(self):
+        specs = (
+            FaultSpec(kind="crash", shard=2, attempt=1),
+            FaultSpec(kind="slow", seconds=0.25, message="straggler"),
+        )
+        assert decode_faults(encode_faults(specs)) == specs
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ReproError, match="unparseable"):
+            decode_faults("not json")
+
+    def test_decode_rejects_non_list(self):
+        with pytest.raises(ReproError, match="JSON list"):
+            decode_faults('{"kind": "raise"}')
+
+    def test_active_faults_empty_without_env(self):
+        assert active_faults(environ={}) == ()
+
+    def test_active_faults_reads_the_env_var(self):
+        spec = FaultSpec(kind="raise", shard=3)
+        env = {FAULTS_ENV: encode_faults([spec])}
+        assert active_faults(environ=env) == (spec,)
+
+
+class TestFaultsInstalled:
+    def test_installs_and_removes(self):
+        spec = FaultSpec(kind="raise", shard=0)
+        assert FAULTS_ENV not in os.environ
+        with faults_installed(spec):
+            assert active_faults() == (spec,)
+        assert FAULTS_ENV not in os.environ
+
+    def test_restores_previous_value(self):
+        outer = FaultSpec(kind="slow", seconds=0.0)
+        inner = FaultSpec(kind="raise")
+        with faults_installed(outer):
+            with faults_installed(inner):
+                assert active_faults() == (inner,)
+            assert active_faults() == (outer,)
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults_installed(FaultSpec(kind="raise")):
+                raise RuntimeError("boom")
+        assert FAULTS_ENV not in os.environ
+
+
+class TestMaybeInject:
+    def _env(self, *specs):
+        return {FAULTS_ENV: encode_faults(list(specs))}
+
+    def test_no_op_without_faults(self):
+        maybe_inject(0, 0, 0, first_position=True, environ={})
+
+    def test_no_op_when_coordinates_miss(self):
+        env = self._env(FaultSpec(kind="raise", shard=2))
+        maybe_inject(0, 0, 0, first_position=True, environ=env)
+
+    def test_raise_kind_raises(self):
+        env = self._env(
+            FaultSpec(kind="raise", shard=1, attempt=0, message="kaboom")
+        )
+        with pytest.raises(InjectedFault, match="shard 1, attempt 0"):
+            maybe_inject(1, 0, 4, first_position=True, environ=env)
+
+    def test_crash_downgrades_to_raise_without_allow_crash(self):
+        # Guards the host interpreter: a crash spec reaching a thread
+        # or inline worker must raise, never os._exit.
+        env = self._env(FaultSpec(kind="crash", shard=0))
+        with pytest.raises(InjectedFault, match="downgraded"):
+            maybe_inject(
+                0, 0, 0, first_position=True, allow_crash=False, environ=env
+            )
+
+    def test_hang_raises_after_its_bounded_sleep(self):
+        env = self._env(FaultSpec(kind="hang", seconds=0.0))
+        with pytest.raises(InjectedFault, match="hang"):
+            maybe_inject(0, 0, 0, first_position=True, environ=env)
+
+    def test_slow_continues_normally(self):
+        env = self._env(FaultSpec(kind="slow", seconds=0.0))
+        maybe_inject(0, 0, 0, first_position=True, environ=env)
+
+    def test_first_matching_spec_wins(self):
+        env = self._env(
+            FaultSpec(kind="slow", seconds=0.0, message="first"),
+            FaultSpec(kind="raise", message="second"),
+        )
+        # The slow spec matches first and returns; the raise never fires.
+        maybe_inject(0, 0, 0, first_position=True, environ=env)
+
+    def test_injected_fault_is_retryable(self):
+        from repro.errors import ConfigurationError
+
+        assert not issubclass(InjectedFault, ConfigurationError)

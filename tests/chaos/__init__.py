@@ -1,0 +1,9 @@
+"""Chaos tests: genuine worker death on real process pools.
+
+Unlike ``tests/api/test_supervisor.py`` (thread pools, in-process
+faults), everything here forks real worker processes and kills them
+with ``os._exit`` mid-plan, so the supervisor's ``BrokenProcessPool``
+recovery, pool rebuild, and executor degradation run against the real
+thing. The suite is slower than the unit tests by construction; CI
+runs it in the non-blocking ``chaos-smoke`` job.
+"""

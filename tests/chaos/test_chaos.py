@@ -1,0 +1,171 @@
+"""Worker-death chaos: process pools, ``os._exit``, service salvage.
+
+The acceptance contracts of the supervised executor under *real*
+crashes:
+
+* a worker killed mid-plan is retried on a rebuilt pool and the run
+  completes **bit-identical** to the serial reference;
+* a poison scenario that keeps killing its worker is isolated by the
+  split-on-last-retry policy -- its shard-mates are salvaged;
+* persistent pool breakage degrades process -> thread, where the crash
+  fault is downgraded to an ordinary (retryable) error by design;
+* a service job that fails mid-plan persists its completed scenarios,
+  so resubmitting the same plan resumes from store hits and recomputes
+  only what was lost.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    RunPlan,
+    Scenario,
+    SimulationSession,
+    run_plan_parallel,
+)
+from repro.io import experiment_result_to_dict
+from repro.service import (
+    ResultStore,
+    ServiceApp,
+    ServiceThread,
+    SimulationServiceClient,
+)
+from repro.testing import FaultSpec, faults_installed
+
+# Round-robin over two workers: shard 0 gets positions (0, 2), shard 1
+# gets (1,). Tiny point counts -- each fork costs more than the maths.
+PLAN = RunPlan(
+    name="chaos-suite",
+    scenarios=(
+        Scenario("fig6", overrides={"n_points": 5},
+                 sweep={"temperature_k": [300.0, 400.0]}),
+        Scenario("abl-temp", overrides={"n_points": 4}),
+    ),
+)
+SEED = 3
+
+
+def _canonical(result) -> str:
+    return json.dumps(experiment_result_to_dict(result), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return SimulationSession(seed=SEED).run_plan(PLAN)
+
+
+class TestProcessPoolRecovery:
+    def test_killed_worker_completes_bit_identical_to_serial(self, serial):
+        """The headline contract: one os._exit costs nothing but time."""
+        with faults_installed(FaultSpec(kind="crash", shard=0, attempt=0)):
+            outcome = run_plan_parallel(
+                PLAN, workers=2, executor="process", seed=SEED
+            )
+        assert outcome.complete
+        for ours, theirs in zip(
+            serial.scenario_results, outcome.scenario_results
+        ):
+            assert _canonical(ours.result) == _canonical(theirs.result)
+
+    def test_poison_crash_is_isolated_and_mates_salvaged(self, serial):
+        """One genuine mid-shard kill plus a persistent failure at the
+        same position: the split isolates it, everything else survives.
+
+        The crash fires once (attempt 0) so exactly one pool breaks;
+        later attempts fail with a plain raise, which keeps the retry
+        accounting deterministic on a busy pool.
+        """
+        with faults_installed(
+            FaultSpec(kind="crash", attempt=0, position=2),
+            FaultSpec(kind="raise", position=2),
+        ):
+            outcome = run_plan_parallel(
+                PLAN,
+                workers=2,
+                executor="process",
+                seed=SEED,
+                max_shard_retries=2,
+                raise_on_failure=False,
+            )
+        assert outcome.failed_positions == (2,)
+        salvaged = outcome.results_by_position()
+        assert sorted(salvaged) == [0, 1]
+        for position, scenario_result in salvaged.items():
+            assert _canonical(scenario_result.result) == _canonical(
+                serial.scenario_results[position].result
+            )
+        (failure,) = outcome.failures
+        assert failure.index == 0
+        assert failure.attempts == 3
+
+    def test_persistent_crash_degrades_to_thread_mode(self):
+        """A shard whose worker always dies eventually runs on threads,
+        where the crash downgrades to a raise and exhausts cleanly."""
+        plan = RunPlan(
+            scenarios=(Scenario("abl-temp", overrides={"n_points": 4}),)
+        )
+        # timeout_s defeats the single-shard inline shortcut so the run
+        # genuinely starts on a process pool.
+        with faults_installed(FaultSpec(kind="crash")):
+            outcome = run_plan_parallel(
+                plan,
+                workers=1,
+                executor="process",
+                seed=SEED,
+                timeout_s=60.0,
+                max_shard_retries=3,
+                raise_on_failure=False,
+            )
+        assert not outcome.complete
+        (failure,) = outcome.failures
+        assert failure.attempts == 4
+        # The final attempts ran off the process pool: the fault module
+        # refused to os._exit there and raised instead.
+        assert "downgraded" in failure.message
+        assert outcome.scenario_results == ()
+
+
+class TestServiceSalvageAndResume:
+    def test_failed_job_persists_survivors_for_resubmission(self, tmp_path):
+        """Mid-plan failure -> partial store -> resubmission resumes.
+
+        Thread executor keeps the service test cheap and deterministic;
+        the genuine-crash recovery above covers the process path.
+        """
+        plan = RunPlan(
+            name="salvage",
+            scenarios=(
+                Scenario("fig6", overrides={"n_points": 5}),
+                Scenario("fig7", overrides={"n_points": 5}),
+            ),
+        )
+        app = ServiceApp(
+            ResultStore(tmp_path / "store"),
+            workers=2,
+            executor="thread",
+            max_shard_retries=0,
+        )
+        with ServiceThread(app) as service:
+            client = SimulationServiceClient(
+                service.url, retries=3, backoff_s=0.01
+            )
+            # Position 1 (fig7's shard) fails every attempt.
+            with faults_installed(FaultSpec(kind="raise", position=1)):
+                accepted = client.submit(plan)
+                failed = client.wait(accepted.id, timeout_s=60.0)
+            assert failed.status == "failed"
+            assert "1 of 2 scenarios failed" in failed.error
+            # The survivor was persisted despite the job failing.
+            assert len(app.store) == 1
+
+            # Resubmission resumes from the store: one hit, one fresh
+            # compute, nothing recomputed twice.
+            resubmitted = client.submit(plan)
+            final = client.wait(resubmitted.id, timeout_s=60.0)
+            assert final.status == "done"
+            assert final.store_hits == 1
+            assert final.computed == 1
+            assert len(app.store) == 2

@@ -179,6 +179,93 @@ class TestBackoff:
         assert len(values) > 1
 
 
+class _FakeClock:
+    """A monotonic clock that only advances when the client sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _deadline_client(script, monkeypatch, **kwargs):
+    """A client whose sleeps advance a fake wall clock."""
+    clock = _FakeClock()
+    sleeps = []
+
+    def sleep(pause):
+        sleeps.append(pause)
+        clock.now += pause
+
+    monkeypatch.setattr("urllib.request.urlopen", script)
+    kwargs.setdefault("retries", 5)
+    kwargs.setdefault("backoff_s", 0.1)
+    kwargs.setdefault("rng", random.Random(7))
+    client = SimulationServiceClient(
+        "http://test", sleep=sleep, clock=clock, **kwargs
+    )
+    return client, clock, sleeps
+
+
+class TestTotalTimeout:
+    def test_invalid_budget_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="total_timeout_s"):
+            SimulationServiceClient("http://test", total_timeout_s=0.0)
+
+    def test_retry_after_sleeps_are_capped_to_the_budget(
+        self, monkeypatch
+    ):
+        """A server demanding a 10 s pause cannot hold a 2 s caller."""
+        script = Script(
+            [_http_error(429, headers={"Retry-After": "10"})] * 2
+        )
+        client, clock, sleeps = _deadline_client(
+            script, monkeypatch, total_timeout_s=2.0
+        )
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        # The one sleep taken was clipped from >= 10 s down to 2 s.
+        assert sleeps == [2.0]
+        assert clock.now == 2.0
+        assert "budget exhausted" in str(err.value)
+        assert "after 2 attempt(s)" in str(err.value)
+        assert err.value.status == 429
+
+    def test_budget_expiry_reports_connection_failures_too(
+        self, monkeypatch
+    ):
+        script = Script([urllib.error.URLError("refused")] * 3)
+        client, clock, sleeps = _deadline_client(
+            script, monkeypatch, total_timeout_s=0.15, backoff_s=0.2
+        )
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.status == 0
+        assert "connection error" in str(err.value)
+
+    def test_success_within_budget_is_unaffected(self, monkeypatch):
+        script = Script([_http_error(503), {"ok": 1}])
+        client, clock, sleeps = _deadline_client(
+            script, monkeypatch, total_timeout_s=60.0
+        )
+        assert client.health() == {"ok": 1}
+        assert len(sleeps) == 1
+        assert sleeps[0] <= 60.0
+
+    def test_no_budget_means_no_deadline(self, monkeypatch):
+        """Without total_timeout_s a Retry-After floor is honoured in
+        full -- the pre-deadline contract is untouched."""
+        script = Script(
+            [_http_error(429, headers={"Retry-After": "7"}), {"ok": 1}]
+        )
+        client, clock, sleeps = _deadline_client(script, monkeypatch)
+        assert client.health() == {"ok": 1}
+        assert sleeps[0] >= 7.0
+
+
 class TestRequestShape:
     def test_client_id_header_is_sent(self, sleeps, monkeypatch):
         script = Script([{"ok": 1}])
@@ -223,6 +310,18 @@ class TestRequestShape:
         client.submit(plan)  # no priority: the key is absent entirely
         assert "priority" not in json.loads(script.calls[1].data.decode())
 
+    def test_submit_carries_the_timeout_key(self, sleeps, monkeypatch):
+        from repro.api import RunPlan, Scenario
+
+        script = Script([{"id": "job-1", "status": "queued"}] * 2)
+        client = _client(script, sleeps, monkeypatch)
+        plan = RunPlan(name="p", scenarios=(Scenario("fig6"),))
+        client.submit(plan, timeout_s=45)
+        sent = json.loads(script.calls[0].data.decode())
+        assert sent["timeout_s"] == 45.0
+        client.submit(plan)  # no deadline: the key is absent entirely
+        assert "timeout_s" not in json.loads(script.calls[1].data.decode())
+
     def test_cancel_sends_delete_to_the_job(self, sleeps, monkeypatch):
         script = Script([{"id": "job-7", "status": "cancelled"}])
         client = _client(script, sleeps, monkeypatch)
@@ -256,11 +355,13 @@ class TestRequestShape:
                 {"id": "job-1", "status": "running"},
                 {"id": "job-1", "status": "cancelled"},
                 {"id": "job-2", "status": "expired"},
+                {"id": "job-3", "status": "timeout"},
             ]
         )
         client = _client(script, sleeps, monkeypatch)
         assert client.wait("job-1", poll_s=0.0).status == "cancelled"
         assert client.wait("job-2", poll_s=0.0).status == "expired"
+        assert client.wait("job-3", poll_s=0.0).status == "timeout"
 
     def test_wait_times_out_on_never_finishing_job(
         self, sleeps, monkeypatch

@@ -25,9 +25,12 @@ from repro.api import Scenario, ScenarioResult  # noqa: E402
 from repro.engine.cache import CacheStats  # noqa: E402
 from repro.errors import ConfigurationError  # noqa: E402
 from repro.experiments.base import ExperimentResult, ShapeCheck  # noqa: E402
+from repro.api.plan import ShardFailure  # noqa: E402
 from repro.io import (  # noqa: E402
     job_record_from_dict,
     job_record_to_dict,
+    shard_failure_from_dict,
+    shard_failure_to_dict,
     store_record_from_dict,
     store_record_to_dict,
 )
@@ -134,6 +137,14 @@ def job_records(draw):
         priority=draw(
             st.integers(min_value=MIN_PRIORITY, max_value=MAX_PRIORITY)
         ),
+        timeout_s=draw(
+            st.one_of(
+                st.none(),
+                st.floats(
+                    min_value=1e-3, max_value=1e6, allow_nan=False
+                ),
+            )
+        ),
     )
 
 
@@ -204,3 +215,61 @@ class TestJobRecordRoundTrip:
             job_record_from_dict({"id": "job-1"})
         with pytest.raises(ConfigurationError):
             job_record_from_dict({"status": "done"})
+
+    def test_absent_timeout_defaults_to_none(self):
+        # Records from a pre-deadline server must still parse.
+        rebuilt = job_record_from_dict({"id": "job-1", "status": "done"})
+        assert rebuilt.timeout_s is None
+
+
+@st.composite
+def shard_failures(draw):
+    """A ShardFailure with aligned positions and scenario ids."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    positions = tuple(
+        sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=512),
+                    min_size=n,
+                    max_size=n,
+                    unique=True,
+                )
+            )
+        )
+    )
+    return ShardFailure(
+        index=draw(st.integers(min_value=0, max_value=64)),
+        positions=positions,
+        scenario_ids=tuple(draw(names) for _ in positions),
+        attempts=draw(st.integers(min_value=1, max_value=8)),
+        cause=draw(st.sampled_from(["error", "crash", "timeout"])),
+        message=draw(st.text(max_size=40)),
+        elapsed_s=draw(st.floats(min_value=0.0, max_value=1e6)),
+    )
+
+
+class TestShardFailureRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(failure=shard_failures())
+    def test_json_round_trip_is_identity(self, failure):
+        """ShardFailure -> JSON text -> ShardFailure reproduces it."""
+        rebuilt = shard_failure_from_dict(
+            _through_json(shard_failure_to_dict(failure))
+        )
+        assert rebuilt == failure
+
+    def test_optional_fields_default(self):
+        rebuilt = shard_failure_from_dict(
+            {"index": 2, "positions": [3, 5], "cause": "timeout"}
+        )
+        assert rebuilt.scenario_ids == ()
+        assert rebuilt.attempts == 0
+        assert rebuilt.message == ""
+        assert rebuilt.elapsed_s == 0.0
+
+    def test_missing_fields_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_failure_from_dict({"index": 0, "positions": [1]})
+        with pytest.raises(ConfigurationError):
+            shard_failure_from_dict({"cause": "error"})

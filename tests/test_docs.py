@@ -58,6 +58,7 @@ def iter_engine_members():
     import repro.service.client
     import repro.service.jobs
     import repro.service.store
+    import repro.testing.faults
 
     modules = (
         repro.engine.batch,
@@ -71,6 +72,7 @@ def iter_engine_members():
         repro.service.jobs,
         repro.service.app,
         repro.service.client,
+        repro.testing.faults,
     )
     for module in modules:
         for attr_name, member in vars(module).items():
@@ -145,6 +147,14 @@ def test_engine_members_discovered():
     assert "repro.service.app.ServiceThread" in names
     assert "repro.service.client.SimulationServiceClient" in names
     assert "repro.service.client.SimulationServiceClient.run_plan" in names
+    assert "repro.api.plan.ShardFailure" in names
+    assert "repro.api.plan.ParallelPlanResult.results_by_position" in names
+    assert "repro.api.executor.ShardExecutionError" in names
+    assert "repro.testing.faults.FaultSpec" in names
+    assert "repro.testing.faults.FaultSpec.matches" in names
+    assert "repro.testing.faults.maybe_inject" in names
+    assert "repro.testing.faults.faults_installed" in names
+    assert "repro.service.jobs.PartialComputeError" in names
 
 
 @pytest.mark.parametrize(
@@ -508,6 +518,56 @@ def test_service_entry_points_documented():
         assert member.__doc__ and len(member.__doc__.strip()) > 40, (
             f"{getattr(member, '__qualname__', member)} lacks a substantive "
             "docstring"
+        )
+
+
+def test_api_guide_covers_fault_tolerance():
+    """docs/API.md documents the supervised executor and chaos harness."""
+    text = (REPO_ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert "Fault tolerance & chaos testing" in text
+    for needle in (
+        "timeout_s",
+        "max_shard_retries",
+        "raise_on_failure",
+        "split_failed_shards",
+        "ShardFailure",
+        "ShardExecutionError",
+        "results_by_position",
+        "repro.testing.faults",
+        "FaultSpec",
+        "REPRO_FAULTS",
+        "faults_installed",
+        "--shard-timeout",
+        "--shard-retries",
+        "--job-timeout",
+        "total_timeout_s",
+        "PartialComputeError",
+        "jobs_timeout",
+    ):
+        assert needle in text, f"docs/API.md does not mention {needle!r}"
+
+
+def test_architecture_covers_fault_tolerance():
+    """docs/ARCHITECTURE.md explains the supervision layer."""
+    text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    assert "Fault tolerance & chaos testing" in text
+    for needle in (
+        "_ShardSupervisor",
+        "FIRST_COMPLETED",
+        "completion order",
+        "BrokenProcessPool",
+        "Split-on-last-retry",
+        "ShardFailure",
+        "REPRO_FAULTS",
+        "chaos-smoke",
+        "PartialComputeError",
+        "jobs_timeout",
+        "total_timeout_s",
+    ):
+        assert needle in text, (
+            f"docs/ARCHITECTURE.md does not mention {needle!r}"
         )
 
 
