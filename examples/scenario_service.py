@@ -9,13 +9,18 @@ service exists for:
 2. resubmit the identical plan -- served 100% from the store, zero
    recomputes;
 3. kill the server, restart it on the same store directory, resubmit
-   -- still zero recomputes (the store is durable, not process state);
+   -- still zero recomputes (the store is durable, not process state),
+   and the *old* job ids still answer ``GET /jobs/{id}``: the
+   write-ahead journal replayed them at boot (``recovery`` mode
+   ``clean``, because the previous stop drained and marked shutdown);
 4. check the fetched results are bit-identical to a plain serial
    ``SimulationSession.run_plan`` of the same plan;
 5. exercise the lifecycle surface: cancel a submitted job (idempotent
-   on finished ones) and garbage-collect the store through
-   ``client.prune`` -- which pins every hash the retained jobs still
-   reference, so nothing a live job needs ever vanishes.
+   on finished ones), integrity-sweep the store through
+   ``client.verify`` (every object checksummed, nothing quarantined),
+   and garbage-collect it through ``client.prune`` -- which pins every
+   hash the retained jobs still reference, so nothing a live job needs
+   ever vanishes.
 
 Run with:  PYTHONPATH=src python examples/scenario_service.py
 """
@@ -86,6 +91,20 @@ def main() -> None:
         print("\nserver stopped; restarting on the same store directory")
         with ServiceThread(make_app(store_dir)) as server:
             client = SimulationServiceClient(server.url)
+            # The journal replayed the previous life's jobs at boot:
+            # the old id answers across the restart, no 404.
+            recovery = client.stats()["recovery"]
+            print(
+                f"recovery mode {recovery['mode']!r}: "
+                f"{recovery['restored']} jobs restored from the journal"
+            )
+            assert recovery["mode"] == "clean"
+            restored = client.job(record.id)
+            print(
+                f"job {restored.id} from the previous life still "
+                f"answers: {restored.status}"
+            )
+            assert restored.status == "done"
             after_restart, revived = client.run_plan(plan)
             print(
                 f"job {revived.id} after restart: "
@@ -106,6 +125,12 @@ def main() -> None:
                 f"status stays {cancelled.status!r}"
             )
             assert cancelled.status == "done"
+            sweep = client.verify()
+            print(
+                f"verify: {sweep['intact']}/{sweep['scanned']} objects "
+                f"intact, {len(sweep['quarantined'])} quarantined"
+            )
+            assert sweep["ok"] and sweep["scanned"] == n
             report = client.prune(max_entries=0)
             print(
                 f"prune(max_entries=0): {report['pruned']} pruned, "

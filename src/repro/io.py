@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from .api.scenario import Scenario
     from .engine.cache import CacheStats
     from .service.jobs import JobRecord
+    from .service.journal import JournalEntry, LeaseRecord
     from .service.store import StoreRecord
 
 
@@ -166,6 +167,8 @@ def _jsonable(value: Any) -> Any:
         return [_jsonable(v) for v in value.tolist()]
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
     return repr(value)
 
 
@@ -454,12 +457,15 @@ def store_record_to_dict(record: "StoreRecord") -> "dict[str, Any]":
     computed with, a creation timestamp, and the full
     :func:`scenario_result_to_dict` payload.
     """
-    return {
+    payload: "dict[str, Any]" = {
         "hash": record.hash,
         "code_version": record.code_version,
         "created_at": record.created_at,
         "scenario_result": scenario_result_to_dict(record.scenario_result),
     }
+    if record.checksum:
+        payload["checksum"] = record.checksum
+    return payload
 
 
 def store_record_from_dict(data: Mapping[str, Any]) -> "StoreRecord":
@@ -482,6 +488,7 @@ def store_record_from_dict(data: Mapping[str, Any]) -> "StoreRecord":
         code_version=str(data.get("code_version", "")),
         created_at=float(data.get("created_at", 0.0)),
         scenario_result=scenario_result_from_dict(data["scenario_result"]),
+        checksum=str(data.get("checksum", "")),
     )
 
 
@@ -545,6 +552,80 @@ def job_record_from_dict(data: Mapping[str, Any]) -> "JobRecord":
         error=None if error is None else str(error),
         priority=int(data.get("priority", 1)),
         timeout_s=None if timeout_s is None else float(timeout_s),
+    )
+
+
+def journal_entry_to_dict(entry: "JournalEntry") -> "dict[str, Any]":
+    """JournalEntry -> JSON-safe dict; inverse of :func:`journal_entry_from_dict`.
+
+    The on-disk line format of the write-ahead job journal
+    (:class:`~repro.service.journal.JobJournal`): the entry kind, its
+    timestamp, the job id it belongs to (empty for lease and marker
+    entries) and the kind-specific payload. Values pass through
+    :func:`_jsonable` so NumPy scalars in plan overrides serialise as
+    builtins, matching the hashing canonicalisation.
+    """
+    return {
+        "kind": entry.kind,
+        "at": entry.at,
+        "job_id": entry.job_id,
+        "data": {key: _jsonable(value) for key, value in entry.data.items()},
+    }
+
+
+def journal_entry_from_dict(data: Mapping[str, Any]) -> "JournalEntry":
+    """JSON record -> JournalEntry (inverse of the exporter)."""
+    from .service.journal import JournalEntry
+
+    if "kind" not in data:
+        raise ConfigurationError(
+            f"journal entry needs a 'kind': {dict(data)!r}"
+        )
+    payload = data.get("data") or {}
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"journal entry 'data' must be an object, got {payload!r}"
+        )
+    return JournalEntry(
+        kind=str(data["kind"]),
+        at=float(data.get("at", 0.0)),
+        job_id=str(data.get("job_id", "")),
+        data=dict(payload),
+    )
+
+
+def lease_record_to_dict(lease: "LeaseRecord") -> "dict[str, Any]":
+    """LeaseRecord -> JSON-safe dict; inverse of :func:`lease_record_from_dict`.
+
+    The wire form of one plan-level compute claim: which owner may run
+    which plan hash for which job, and until when (the TTL heartbeat
+    keeps pushing ``expires_at`` forward while the compute runs).
+    """
+    return {
+        "plan_hash": lease.plan_hash,
+        "owner_id": lease.owner_id,
+        "job_id": lease.job_id,
+        "acquired_at": lease.acquired_at,
+        "expires_at": lease.expires_at,
+    }
+
+
+def lease_record_from_dict(data: Mapping[str, Any]) -> "LeaseRecord":
+    """JSON record -> LeaseRecord (inverse of the exporter)."""
+    from .service.journal import LeaseRecord
+
+    required = {"plan_hash", "owner_id"}
+    missing = required - set(data)
+    if missing:
+        raise ConfigurationError(
+            f"lease record missing fields: {sorted(missing)}"
+        )
+    return LeaseRecord(
+        plan_hash=str(data["plan_hash"]),
+        owner_id=str(data["owner_id"]),
+        job_id=str(data.get("job_id", "")),
+        acquired_at=float(data.get("acquired_at", 0.0)),
+        expires_at=float(data.get("expires_at", 0.0)),
     )
 
 

@@ -15,13 +15,22 @@ backend:
   dispatch (:class:`PriorityGate`: ``high``/``normal``/``low`` classes
   with aging, so nothing starves), safe cancellation, finished-job
   eviction (TTL + cap) and per-client token-bucket rate limiting.
+* :class:`JobJournal` (:mod:`repro.service.journal`) -- the
+  write-ahead job journal behind crash-safe restarts: lifecycle
+  transitions land in an append-only JSONL file (``accepted`` fsynced
+  before the 202), boot replays it to restore and re-queue jobs, and
+  plan-level :class:`LeaseRecord` claims (owner + TTL heartbeat,
+  arbitrated by log order) keep replicas sharing one store from
+  double-running a plan.
 * :class:`ServiceApp` (:mod:`repro.service.app`) -- the stdlib-only
   HTTP service: ``POST /plans``, ``GET /jobs/{id}``,
   ``DELETE /jobs/{id}``, ``GET /results/{hash}``, ``GET /healthz``,
   ``GET /stats``, ``POST /admin/prune`` (store GC that pins hashes
-  referenced by live jobs).
+  referenced by live jobs), ``POST /admin/verify`` (store integrity
+  scan; corrupt objects are quarantined, never served).
 * :class:`SimulationServiceClient` (:mod:`repro.service.client`) -- a
-  typed synchronous client with retry/backoff on 429/503, plus the
+  typed synchronous client with retry/backoff on 429/503 and a typed
+  :class:`JobLostError` for accepted-then-404 jobs, plus the
   ``repro-service`` CLI (:mod:`repro.service.cli`).
 
 Quickstart (in-process, as the tests and example embed it)::
@@ -42,7 +51,7 @@ contract and the endpoint semantics.
 """
 
 from .app import ServiceApp, ServiceThread
-from .client import ServiceError, SimulationServiceClient
+from .client import JobLostError, ServiceError, SimulationServiceClient
 from .jobs import (
     PRIORITY_CLASSES,
     Job,
@@ -57,17 +66,35 @@ from .jobs import (
     expired_job_record,
     normalize_priority,
 )
-from .store import ResultStore, StoreRecord, StoreReport, run_plan_with_store
+from .journal import JobJournal, JournalEntry, JournalState, LeaseRecord
+from .store import (
+    CorruptObject,
+    ResultStore,
+    StoreIntegrityError,
+    StoreRecord,
+    StoreReport,
+    VerifyReport,
+    result_checksum,
+    run_plan_with_store,
+)
 
 __all__ = [
     "ResultStore",
+    "StoreIntegrityError",
     "StoreRecord",
     "StoreReport",
+    "CorruptObject",
+    "VerifyReport",
+    "result_checksum",
     "run_plan_with_store",
     "Job",
     "JobManager",
     "JobQueueFull",
     "JobRecord",
+    "JobJournal",
+    "JournalEntry",
+    "JournalState",
+    "LeaseRecord",
     "PartialComputeError",
     "PriorityGate",
     "PRIORITY_CLASSES",
@@ -79,5 +106,6 @@ __all__ = [
     "ServiceApp",
     "ServiceThread",
     "ServiceError",
+    "JobLostError",
     "SimulationServiceClient",
 ]

@@ -21,11 +21,17 @@ GET       ``/jobs/{id}``     job status as a JSON job record (evicted
 DELETE    ``/jobs/{id}``     cancel a queued/running job; returns its
                              final record (idempotent on terminal jobs)
 GET       ``/results/{h}``   the stored result record under scenario
-                             hash ``h`` (404 on a miss)
+                             hash ``h`` (404 on a miss; a corrupt
+                             object is quarantined and 404s rather
+                             than being served)
 POST      ``/admin/prune``   garbage-collect the store within age/count
                              budgets, pinning hashes live jobs reference
+POST      ``/admin/verify``  integrity-scan the store (body
+                             ``{"repair": true}`` quarantines corrupt
+                             objects); returns the verify report
 GET       ``/healthz``       liveness probe (never rate limited)
-GET       ``/stats``         job/store/dedupe counters
+GET       ``/stats``         job/store/dedupe counters, journal health,
+                             and the last recovery report
 ========  =================  ==============================================
 
 Responses are JSON; requests are independent (``Connection: close``),
@@ -34,6 +40,17 @@ which keeps the protocol layer small enough to audit at a glance.
 the embedding used by the tests, the example and the CI smoke job; the
 app can also run a periodic background prune (``prune_interval_s``) so
 a long-lived service garbage-collects itself.
+
+Durability: unless constructed with ``journal=None``, the app keeps a
+write-ahead :class:`~repro.service.journal.JobJournal` (default
+``<store root>/journal.jsonl``) of every job lifecycle transition.
+:meth:`ServiceApp.start` replays it before serving -- restoring
+terminal job records, re-queueing accepted-but-unfinished jobs (only
+scenarios missing from the store are recomputed), and restoring the
+evicted-id memory -- and :meth:`ServiceApp.stop` appends a clean
+shutdown marker so the next boot can tell a deploy restart from a
+crash. :meth:`ServiceApp.drain` is the graceful half the CLI's
+SIGTERM handler runs before ``stop()``.
 """
 
 from __future__ import annotations
@@ -46,7 +63,8 @@ from typing import Any, Mapping
 from ..errors import ConfigurationError
 from ..io import job_record_to_dict, run_plan_from_dict, store_record_to_dict
 from .jobs import JobManager, JobQueueFull, RateLimiter, retry_after_seconds
-from .store import ResultStore
+from .journal import JobJournal
+from .store import ResultStore, StoreIntegrityError
 
 #: Largest request body the service accepts (a plan record), in bytes.
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -96,15 +114,39 @@ class ServiceApp:
         prune_interval_s: "float | None" = None,
         prune_max_entries: "int | None" = None,
         prune_max_age_s: "float | None" = None,
+        journal: "JobJournal | str | None" = "auto",
+        owner_id: str = "",
+        lease_ttl_s: float = 30.0,
+        drain_timeout_s: float = 10.0,
     ) -> None:
-        """Configure the service; nothing binds until :meth:`start`."""
+        """Configure the service; nothing binds until :meth:`start`.
+
+        ``journal`` selects the durability layer: the default
+        ``"auto"`` keeps ``journal.jsonl`` inside the store root (so
+        replicas sharing a store directory share the journal), a path
+        puts it elsewhere, and ``None`` disables journaling entirely
+        (the pre-durability in-memory behaviour).
+        """
         if prune_interval_s is not None and prune_interval_s <= 0:
             raise ConfigurationError(
                 f"prune_interval_s must be > 0 or None, got {prune_interval_s}"
             )
+        if drain_timeout_s < 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be >= 0, got {drain_timeout_s}"
+            )
         self.store = (
             store if isinstance(store, ResultStore) else ResultStore(store)
         )
+        if journal == "auto":
+            self.journal: "JobJournal | None" = JobJournal(
+                self.store.root / "journal.jsonl"
+            )
+        elif journal is None or isinstance(journal, JobJournal):
+            self.journal = journal
+        else:
+            self.journal = JobJournal(journal)
+        self.drain_timeout_s = float(drain_timeout_s)
         self.host = host
         self.port = int(port)
         self.manager = JobManager(
@@ -121,6 +163,9 @@ class ServiceApp:
             max_records=max_records,
             shard_timeout_s=shard_timeout_s,
             max_shard_retries=max_shard_retries,
+            journal=self.journal,
+            owner_id=owner_id,
+            lease_ttl_s=lease_ttl_s,
         )
         self.limiter = RateLimiter(rate_per_s, burst)
         self.prune_interval_s = prune_interval_s
@@ -128,6 +173,7 @@ class ServiceApp:
         self.prune_max_age_s = prune_max_age_s
         self._server: "asyncio.base_events.Server | None" = None
         self._prune_task: "asyncio.Task | None" = None
+        self.recovery: "dict[str, Any] | None" = None
 
     # ----- lifecycle ------------------------------------------------------
 
@@ -137,10 +183,14 @@ class ServiceApp:
         ``port=0`` (the default) binds an ephemeral port -- the return
         value is how callers learn it. When ``prune_interval_s`` is
         set, a background task prunes the store on that period with the
-        configured budgets (live-job hashes always pinned).
+        configured budgets (live-job hashes always pinned). With a
+        journal attached the manager recovers *before* the socket
+        binds: every previously accepted job answers ``GET /jobs/{id}``
+        from the first request served.
         """
         if self._server is not None:
             raise ConfigurationError("service already started")
+        self.recovery = await self.manager.recover()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self.port
         )
@@ -152,8 +202,25 @@ class ServiceApp:
             )
         return sockname[0], self.port
 
+    async def drain(self, timeout_s: "float | None" = None) -> bool:
+        """Graceful pre-stop: wait for running jobs, journal what lands.
+
+        The SIGTERM half of shutdown (``timeout_s`` defaults to the
+        configured ``drain_timeout_s``): jobs finishing inside the
+        window reach the journal as terminal; stragglers are cancelled
+        by :meth:`stop` *without* a terminal entry, so the next boot
+        re-queues them. Returns ``True`` when everything drained.
+        """
+        timeout = self.drain_timeout_s if timeout_s is None else timeout_s
+        return await self.manager.drain(timeout)
+
     async def stop(self) -> None:
-        """Stop accepting, cancel outstanding jobs, release the pool."""
+        """Stop accepting, cancel outstanding jobs, release the pool.
+
+        With a journal attached, a clean-shutdown marker is the last
+        entry appended -- the next boot reports ``mode: "clean"``
+        instead of ``"crash"``.
+        """
         if self._prune_task is not None:
             self._prune_task.cancel()
             await asyncio.gather(self._prune_task, return_exceptions=True)
@@ -163,6 +230,8 @@ class ServiceApp:
             await self._server.wait_closed()
             self._server = None
         await self.manager.close()
+        if self.journal is not None:
+            self.journal.mark_clean_shutdown()
 
     # ----- store GC -------------------------------------------------------
 
@@ -264,6 +333,12 @@ class ServiceApp:
                         "rate_per_s": self.limiter.rate,
                         "burst": self.limiter.capacity,
                     },
+                    "journal": (
+                        None
+                        if self.journal is None
+                        else self.journal.stats()
+                    ),
+                    "recovery": self.recovery,
                 },
                 {},
             )
@@ -281,6 +356,10 @@ class ServiceApp:
             hash_ = path[len("/results/"):]
             try:
                 record = self.store.get_record(hash_)
+            except StoreIntegrityError as exc:
+                # Quarantined, never served: to the client the object
+                # is gone (resubmit the plan to recompute it).
+                return 404, {"error": f"result quarantined: {exc}"}, {}
             except ConfigurationError as exc:
                 return 400, {"error": str(exc)}, {}
             if record is None:
@@ -290,9 +369,15 @@ class ServiceApp:
             return self._submit(headers, body, writer)
         if method == "POST" and path == "/admin/prune":
             return await self._admin_prune(body)
-        if path in ("/plans", "/healthz", "/stats", "/admin/prune") or (
-            path.startswith(("/jobs/", "/results/"))
-        ):
+        if method == "POST" and path == "/admin/verify":
+            return await self._admin_verify(body)
+        if path in (
+            "/plans",
+            "/healthz",
+            "/stats",
+            "/admin/prune",
+            "/admin/verify",
+        ) or path.startswith(("/jobs/", "/results/")):
             return 405, {"error": f"{method} not allowed on {path}"}, {}
         return 404, {"error": f"no such endpoint: {path}"}, {}
 
@@ -325,6 +410,38 @@ class ServiceApp:
         except (TypeError, ValueError) as exc:
             return 400, {"error": f"bad prune budgets: {exc}"}, {}
         return 200, report, {}
+
+    async def _admin_verify(
+        self, body: bytes
+    ) -> "tuple[int, dict[str, Any], dict[str, str]]":
+        """POST /admin/verify: integrity-scan the store, report corruption.
+
+        Body is an optional ``{"repair": bool}`` object; with
+        ``repair`` true, corrupt objects are moved to ``quarantine/``
+        and the index is rebuilt. The scan walks every object file, so
+        it runs off the event loop; serving continues meanwhile.
+        """
+        options: "dict[str, Any]" = {}
+        if body.strip():
+            try:
+                options = json.loads(body.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                return 400, {"error": f"body is not JSON: {exc}"}, {}
+            if not isinstance(options, dict):
+                return 400, {"error": "body must be an options object"}, {}
+        unknown = set(options) - {"repair"}
+        if unknown:
+            return (
+                400,
+                {"error": f"unknown verify options: {sorted(unknown)}"},
+                {},
+            )
+        repair = bool(options.get("repair", False))
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            None, lambda: self.store.verify(repair=repair)
+        )
+        return 200, report.as_dict(), {}
 
     def _submit(
         self,

@@ -10,21 +10,32 @@ Installed as ``repro-service``::
     repro-service cancel job-1 --url http://127.0.0.1:8787
     repro-service fetch <scenario-hash> --url ... --out result.json
     repro-service prune --url ... --max-entries 1000 --max-age 86400
+    repro-service verify --store results/ --repair
+    repro-service verify --url http://127.0.0.1:8787
 
 ``serve`` runs the asyncio HTTP service in the foreground until
-interrupted (``--prune-interval`` adds periodic store GC);
-``submit``/``status``/``cancel``/``fetch``/``prune`` are thin wrappers
-over :class:`~repro.service.client.SimulationServiceClient` that print
-JSON, so they compose with ``jq``-style tooling. ``prune`` garbage
-collects the server's result store within the given budgets -- hashes
-referenced by live jobs are pinned server-side and never deleted.
+interrupted: SIGTERM (and Ctrl-C) triggers a graceful shutdown that
+drains running jobs for up to ``--drain-timeout`` seconds and journals
+a clean-shutdown marker, so the next boot on the same ``--journal``
+(default: ``journal.jsonl`` inside the store) recovers every accepted
+job instead of forgetting it (``--prune-interval`` adds periodic store
+GC). ``submit``/``status``/``cancel``/``fetch``/``prune`` are thin
+wrappers over :class:`~repro.service.client.SimulationServiceClient`
+that print JSON, so they compose with ``jq``-style tooling. ``prune``
+garbage collects the server's result store within the given budgets --
+hashes referenced by live jobs are pinned server-side and never
+deleted. ``verify`` integrity-scans a store -- locally via ``--store``
+or through a running service via ``--url`` -- and exits non-zero when
+corruption was found (``--repair`` quarantines it).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
+import signal
 import sys
 from typing import Sequence
 
@@ -33,10 +44,11 @@ from ..errors import ReproError
 from ..io import job_record_to_dict, store_record_to_dict
 from .app import ServiceApp
 from .client import SimulationServiceClient
+from .store import ResultStore
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    """The ``repro-service`` argument tree (six subcommands)."""
+    """The ``repro-service`` argument tree (seven subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro-service",
         description="Serve and query the persistent simulation service.",
@@ -143,6 +155,50 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="store entry age budget (seconds) for the background prune",
     )
+    serve.add_argument(
+        "--journal",
+        default="auto",
+        help="write-ahead job journal path; 'auto' keeps it inside the "
+        "store, 'none' disables durability",
+    )
+    serve.add_argument(
+        "--owner-id",
+        default="",
+        help="lease owner identity (defaults to a per-process id)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a plan lease lives between heartbeat renewals",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds SIGTERM waits for running jobs before cancelling "
+        "them (cancelled stragglers re-queue on the next boot)",
+    )
+
+    verify = commands.add_parser(
+        "verify",
+        help="integrity-scan a result store (local dir or via a service)",
+    )
+    verify.add_argument(
+        "--store",
+        default=None,
+        help="scan this store directory directly (no service needed)",
+    )
+    verify.add_argument(
+        "--url",
+        default=None,
+        help="scan through a running service's POST /admin/verify",
+    )
+    verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt objects and rebuild the index",
+    )
 
     for name, help_text in (
         ("submit", "submit a plan JSON file as a job"),
@@ -214,7 +270,8 @@ def _parse_priority(raw: "str | None") -> "int | str | None":
 
 
 async def _serve(args: argparse.Namespace) -> int:
-    """Run the service until cancelled (Ctrl-C)."""
+    """Run the service until SIGTERM/SIGINT, then drain and stop."""
+    journal = None if args.journal == "none" else args.journal
     app = ServiceApp(
         args.store,
         host=args.host,
@@ -237,17 +294,56 @@ async def _serve(args: argparse.Namespace) -> int:
         prune_interval_s=args.prune_interval,
         prune_max_entries=args.prune_max_entries,
         prune_max_age_s=args.prune_max_age,
+        journal=journal,
+        owner_id=args.owner_id,
+        lease_ttl_s=args.lease_ttl,
+        drain_timeout_s=args.drain_timeout,
     )
     host, port = await app.start()
     print(f"repro-service listening on http://{host}:{port}")
     print(f"store: {app.store.root} ({len(app.store)} results)")
+    if app.recovery is not None:
+        print(f"recovery: {json.dumps(app.recovery)}")
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(sig, stop.set)
     try:
-        await asyncio.Event().wait()
+        await stop.wait()
+        drained = await app.drain()
+        if not drained:
+            print(
+                "drain timeout: cancelling stragglers "
+                "(they re-queue on the next boot)",
+                file=sys.stderr,
+            )
     except asyncio.CancelledError:
         pass
     finally:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.remove_signal_handler(sig)
         await app.stop()
     return 0
+
+
+def _verify(args: argparse.Namespace) -> int:
+    """``repro-service verify``: scan a store, exit 1 on corruption."""
+    if (args.store is None) == (args.url is None):
+        print(
+            "error: verify needs exactly one of --store or --url",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store is not None:
+        report = ResultStore(args.store).verify(repair=args.repair).as_dict()
+    else:
+        report = SimulationServiceClient(args.url).verify(
+            repair=args.repair
+        )
+    print(json.dumps(report, indent=2))
+    return 0 if report["ok"] else 1
 
 
 def main(argv: "Sequence[str] | None" = None) -> int:
@@ -259,6 +355,8 @@ def main(argv: "Sequence[str] | None" = None) -> int:
                 return asyncio.run(_serve(args))
             except KeyboardInterrupt:
                 return 0
+        if args.command == "verify":
+            return _verify(args)
         client = SimulationServiceClient(args.url)
         if args.command == "submit":
             plan = RunPlan.load(args.plan)

@@ -60,6 +60,32 @@ class ServiceError(ReproError):
         self.status = status
 
 
+class JobLostError(ServiceError):
+    """A job the service accepted answered 404 while being waited on.
+
+    Pre-durability this meant a service restart dropped the job table;
+    with the journal it should only happen when the journal itself was
+    removed or the id was evicted past the bounded ``expired`` memory.
+    Either way the accepted work is gone, and retrying the poll until
+    the wait deadline would just burn it -- so :meth:`
+    SimulationServiceClient.wait` raises this typed error instead,
+    carrying the ``plan_hash`` from the acceptance record so the caller
+    can resubmit the same plan (the store makes the resubmission cheap:
+    everything already computed is a hit).
+    """
+
+    def __init__(self, job_id: str, plan_hash: str = "") -> None:
+        """Name the lost job and the plan hash to resubmit."""
+        super().__init__(
+            f"job {job_id} was accepted but the service no longer knows "
+            f"it (HTTP 404); resubmit the plan"
+            + (f" (plan hash {plan_hash})" if plan_hash else ""),
+            404,
+        )
+        self.job_id = job_id
+        self.plan_hash = plan_hash
+
+
 class SimulationServiceClient:
     """A retrying, typed HTTP client for one simulation service.
 
@@ -200,23 +226,45 @@ class SimulationServiceClient:
             self._request("GET", f"/results/{scenario_hash}")
         )
 
+    def verify(self, *, repair: bool = False) -> "dict[str, Any]":
+        """POST /admin/verify -- integrity-scan the server's store.
+
+        Returns the server's verify report (``scanned`` / ``intact`` /
+        ``legacy`` / ``corrupt`` / ``quarantined`` / ``ok``); with
+        ``repair`` true, corrupt objects are quarantined server-side
+        and the index rebuilt.
+        """
+        return self._request(
+            "POST", "/admin/verify", body={"repair": bool(repair)}
+        )
+
     def wait(
         self,
         job_id: str,
         *,
         poll_s: float = 0.05,
         timeout_s: float = 600.0,
+        plan_hash: str = "",
     ) -> "JobRecord":
         """Poll a job until it reaches a terminal state.
 
         Returns the final record (``done``, ``failed``, ``cancelled``,
         ``timeout`` or ``expired`` -- callers decide what non-success
         means to them); raises :class:`ServiceError` if the deadline
-        passes first.
+        passes first. A 404 on a job this client is *waiting* on --
+        one the service accepted -- raises the typed
+        :class:`JobLostError` immediately rather than polling a dead
+        id until the deadline; pass ``plan_hash`` (from the acceptance
+        record) so the error tells the caller what to resubmit.
         """
         deadline = time.monotonic() + timeout_s
         while True:
-            record = self.job(job_id)
+            try:
+                record = self.job(job_id)
+            except ServiceError as exc:
+                if exc.status == 404:
+                    raise JobLostError(job_id, plan_hash) from exc
+                raise
             if record.status in (
                 "done",
                 "failed",
@@ -252,7 +300,12 @@ class SimulationServiceClient:
         job failed (or timed out server-side).
         """
         accepted = self.submit(plan, timeout_s=job_timeout_s)
-        final = self.wait(accepted.id, poll_s=poll_s, timeout_s=timeout_s)
+        final = self.wait(
+            accepted.id,
+            poll_s=poll_s,
+            timeout_s=timeout_s,
+            plan_hash=accepted.plan_hash,
+        )
         if final.status != "done":
             raise ServiceError(
                 f"job {final.id} {final.status}: "

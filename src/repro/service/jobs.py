@@ -44,6 +44,20 @@ lifecycle layer on top:
   (:class:`PartialComputeError`), so resubmitting the same plan
   resumes from store hits instead of recomputing everything.
 
+* **Durability** -- a manager constructed with a
+  :class:`~repro.service.journal.JobJournal` writes every lifecycle
+  transition ahead of acting on it (the ``accepted`` entry is fsynced
+  before :meth:`JobManager.submit` returns -- the promise to the
+  client); :meth:`JobManager.recover` replays the journal on boot,
+  restores terminal job records, re-queues jobs that were accepted but
+  never finished (their re-run resolves through the store, so only
+  scenarios lost with the crash are recomputed), and restores the
+  evicted-id ``expired`` memory. A plan-level
+  :class:`~repro.service.journal.LeaseRecord` -- ``owner_id`` plus a
+  TTL heartbeat, arbitrated by journal log order -- keeps two replicas
+  sharing one store directory from double-running a plan; an expired
+  lease (crashed owner) is adopted by whoever claims it next.
+
 The queue is bounded (:class:`JobQueueFull` maps to HTTP 503) and
 :class:`RateLimiter` implements the per-client token bucket behind
 HTTP 429 + ``Retry-After``.
@@ -54,6 +68,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import math
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -63,6 +78,8 @@ from ..api.executor import run_plan_parallel
 from ..api.hashing import plan_hash, scenario_hash
 from ..api.plan import RunPlan
 from ..errors import ConfigurationError, ReproError
+from ..io import run_plan_from_dict, run_plan_to_dict
+from .journal import JobJournal
 from .store import ResultStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
@@ -207,14 +224,22 @@ class Job:
     def __init__(
         self,
         job_id: str,
-        plan: RunPlan,
+        plan: "RunPlan | None",
         plan_digest: str,
         priority: int = DEFAULT_PRIORITY,
         timeout_s: "float | None" = None,
+        plan_name: str = "",
     ) -> None:
-        """Create a queued job for one submitted plan."""
+        """Create a queued job for one submitted plan.
+
+        ``plan`` may be ``None`` only for journal-restored records
+        whose plan payload could not be rebuilt -- such a job is never
+        scheduled, it just answers status lookups (``plan_name`` then
+        labels the record).
+        """
         self.id = job_id
         self.plan = plan
+        self.plan_name = plan.name if plan is not None else plan_name
         self.plan_hash = plan_digest
         self.priority = int(priority)
         self.timeout_s = None if timeout_s is None else float(timeout_s)
@@ -242,7 +267,7 @@ class Job:
         return JobRecord(
             id=self.id,
             status=self.status,
-            plan_name=self.plan.name,
+            plan_name=self.plan_name,
             plan_hash=self.plan_hash,
             scenario_hashes=self.scenario_hashes,
             sources=sources,
@@ -536,8 +561,22 @@ class JobManager:
         max_records: "int | None" = 1024,
         shard_timeout_s: "float | None" = None,
         max_shard_retries: int = 2,
+        journal: "JobJournal | None" = None,
+        owner_id: str = "",
+        lease_ttl_s: float = 30.0,
     ) -> None:
-        """Wire the manager to its store and executor configuration."""
+        """Wire the manager to its store and executor configuration.
+
+        ``journal`` enables the durability layer: lifecycle transitions
+        are written ahead to it and plan-level leases (held as
+        ``owner_id``, renewed every ``lease_ttl_s / 3`` seconds) guard
+        compute against a second replica on the same store directory.
+        ``owner_id`` defaults to a per-process identity.
+        """
+        if lease_ttl_s <= 0:
+            raise ConfigurationError(
+                f"lease_ttl_s must be > 0, got {lease_ttl_s}"
+            )
         if shard_timeout_s is not None and shard_timeout_s <= 0:
             raise ConfigurationError(
                 f"shard_timeout_s must be > 0 or None, got {shard_timeout_s}"
@@ -563,6 +602,11 @@ class JobManager:
                 f"max_records must be >= 1 or None, got {max_records}"
             )
         self.store = store
+        self.journal = journal
+        self.owner_id = owner_id or f"owner-{os.getpid()}"
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.last_recovery: "dict[str, Any] | None" = None
+        self._draining = False
         self.seed = int(seed)
         self.defaults = dict(defaults or {})
         self.workers = int(workers)
@@ -594,6 +638,9 @@ class JobManager:
             "jobs_cancelled": 0,
             "jobs_timeout": 0,
             "jobs_evicted": 0,
+            "jobs_recovered": 0,
+            "jobs_restored": 0,
+            "lease_waits": 0,
             "store_hits": 0,
             "computed": 0,
             "deduped": 0,
@@ -640,9 +687,28 @@ class JobManager:
             priority=rank,
             timeout_s=timeout_s,
         )
+        if self.journal is not None:
+            # Write-ahead, fsynced: the acceptance survives any crash
+            # that happens after the 202 reaches the client.
+            self.journal.append(
+                "accepted",
+                job_id=job.id,
+                data={
+                    "plan": run_plan_to_dict(plan),
+                    "plan_hash": job.plan_hash,
+                    "priority": job.priority,
+                    "timeout_s": job.timeout_s,
+                },
+                sync=True,
+            )
         self._jobs[job.id] = job
         self._active.add(job.id)
         self.counters["jobs_submitted"] += 1
+        self._schedule(job)
+        return job
+
+    def _schedule(self, job: Job) -> None:
+        """Create the job's task and watchdog (submit + recovery path)."""
         loop = asyncio.get_running_loop()
         task = loop.create_task(self._run_job(job))
         self._tasks.add(task)
@@ -655,7 +721,6 @@ class JobManager:
             job._watchdog = loop.call_later(
                 job.timeout_s, self._expire_job, job.id
             )
-        return job
 
     def _expire_job(self, job_id: str) -> None:
         """Watchdog callback: deadline a still-unfinished job.
@@ -759,6 +824,10 @@ class JobManager:
             del self._jobs[job.id]
             self._expired[job.id] = job.status
             self.counters["jobs_evicted"] += 1
+            if self.journal is not None:
+                self.journal.append(
+                    "evicted", job_id=job.id, data={"status": job.status}
+                )
         while len(self._expired) > self.EXPIRED_IDS_CAP:
             self._expired.pop(next(iter(self._expired)))
         return len(doomed)
@@ -766,10 +835,14 @@ class JobManager:
     def stats(self) -> "dict[str, Any]":
         """Aggregate counters: jobs by state, dedupe/hit totals, config.
 
-        Counter reconciliation contract: ``jobs_done + jobs_failed +
-        jobs_cancelled + jobs_timeout`` equals the terminal total of
-        ``jobs_by_status`` plus ``jobs_evicted`` (eviction removes
-        records from the table, never from the cumulative counters).
+        Counter reconciliation contract (per process life): ``jobs_done
+        + jobs_failed + jobs_cancelled + jobs_timeout + jobs_restored``
+        equals the terminal total of ``jobs_by_status`` plus
+        ``jobs_evicted`` (eviction removes records from the table,
+        never from the cumulative counters). Journal-restored terminal
+        jobs finished in an *earlier* life, so they appear in
+        ``jobs_by_status`` via ``jobs_restored``, not via this life's
+        lifecycle counters.
         """
         by_status = {status: 0 for status in JOB_STATUSES}
         for job in self._jobs.values():
@@ -785,10 +858,122 @@ class JobManager:
             "executor": self.executor,
             "job_ttl_s": self.job_ttl_s,
             "max_records": self.max_records,
+            "owner_id": self.owner_id,
+            "lease_ttl_s": self.lease_ttl_s,
         }
 
+    # ----- durability: recovery, drain, shutdown --------------------------
+
+    async def recover(self) -> "dict[str, Any]":
+        """Replay the journal: restore terminal records, re-queue the rest.
+
+        Call once at service start, before accepting submissions. The
+        report distinguishes a ``fresh`` journal (no prior entries)
+        from a ``clean`` restart (last entry was the drain path's
+        shutdown marker) and a ``crash``. Re-queued jobs run through
+        the normal resolve cycle, so every scenario already persisted
+        to the store -- including PR 9's partial salvage -- is a store
+        hit and only genuinely lost work is recomputed. Job ids
+        continue from the highest journaled sequence number, and a
+        re-queued job's deadline restarts at recovery (the original
+        submission clock died with the old process).
+        """
+        report: "dict[str, Any]" = {
+            "mode": "fresh",
+            "restored": 0,
+            "requeued": 0,
+            "expired": 0,
+            "corrupt_lines": 0,
+        }
+        if self.journal is None:
+            self.last_recovery = report
+            return report
+        state = self.journal.refresh()
+        if state.entries:
+            report["mode"] = "clean" if state.clean_shutdown else "crash"
+        report["corrupt_lines"] = state.corrupt_lines
+        # Any entry after the shutdown marker clears the clean flag;
+        # the boot marker is that entry, making clean-vs-crash a
+        # per-session distinction by construction.
+        self.journal.append("boot", data={"owner_id": self.owner_id})
+        if state.max_job_seq:
+            self._ids = itertools.count(state.max_job_seq + 1)
+        self._expired.update(state.expired)
+        report["expired"] = len(state.expired)
+        requeue: "list[Job]" = []
+        for jstate in state.jobs.values():
+            try:
+                plan: "RunPlan | None" = run_plan_from_dict(
+                    jstate.plan_record
+                )
+            except Exception:
+                plan = None
+            job = Job(
+                jstate.job_id,
+                plan,
+                jstate.plan_hash,
+                priority=jstate.priority,
+                timeout_s=jstate.timeout_s,
+                plan_name=str(jstate.plan_record.get("name", "")),
+            )
+            job.created_at = jstate.created_at
+            if jstate.terminal:
+                job.status = jstate.status
+                job.error = jstate.error
+                job.finished_at = jstate.finished_at or jstate.created_at
+                job.scenario_hashes = jstate.scenario_hashes
+                job.sources = list(jstate.sources)
+                job.elapsed_s = jstate.elapsed_s
+                self._jobs[job.id] = job
+                self.counters["jobs_restored"] += 1
+                report["restored"] += 1
+            elif plan is None:
+                # Accepted but its plan payload is unrecoverable:
+                # fail it honestly rather than dropping it to a 404.
+                job.finish(
+                    "failed",
+                    "plan record unrecoverable after restart",
+                )
+                self._jobs[job.id] = job
+                self.counters["jobs_failed"] += 1
+                self._journal_terminal(job)
+                report["restored"] += 1
+            else:
+                requeue.append(job)
+        for job in requeue:
+            self._jobs[job.id] = job
+            self._active.add(job.id)
+            self.counters["jobs_recovered"] += 1
+            self._schedule(job)
+            report["requeued"] += 1
+        self.last_recovery = report
+        return report
+
+    async def drain(self, timeout_s: "float | None" = None) -> bool:
+        """Wait up to ``timeout_s`` for running jobs to finish.
+
+        The graceful half of shutdown: new terminal transitions are
+        still journaled, but jobs that do *not* make it before the
+        deadline are cancelled by :meth:`close` without a terminal
+        entry -- so the next boot re-queues them instead of trusting a
+        ``cancelled`` the client never asked for. Returns ``True`` when
+        everything drained in time.
+        """
+        self._draining = True
+        tasks = {t for t in self._tasks if not t.done()}
+        if not tasks:
+            return True
+        done, pending = await asyncio.wait(tasks, timeout=timeout_s)
+        return not pending
+
     async def close(self) -> None:
-        """Cancel outstanding jobs and release the compute pool."""
+        """Cancel outstanding jobs and release the compute pool.
+
+        Always part of shutdown, so jobs cancelled here are treated as
+        drain casualties: their ``cancelled`` state is *not* journaled
+        as terminal, which is what re-queues them on the next boot.
+        """
+        self._draining = True
         for task in tuple(self._tasks):
             task.cancel()
         if self._tasks:
@@ -805,13 +990,27 @@ class JobManager:
         ``jobs_timeout`` is incremented per job, so ``/stats`` counters
         always reconcile with ``jobs_by_status``. A cancellation
         arriving from the deadline watchdog (``job.timed_out``) lands
-        in ``timeout`` rather than ``cancelled``.
+        in ``timeout`` rather than ``cancelled``. With a journal
+        attached, the plan lease is held across the resolve (heartbeat
+        renewals keep it alive past its TTL) and the terminal
+        transition is journaled -- unless the service is draining and
+        the job was cancelled by shutdown, in which case the journal
+        keeps it non-terminal so the next boot re-queues it.
         """
         acquired = False
+        leased = False
+        heartbeat: "asyncio.Task | None" = None
         try:
             await self._gate.acquire(job.priority)
             acquired = True
             job.status = "running"
+            if self.journal is not None:
+                self.journal.append("running", job_id=job.id)
+                leased = await self._acquire_plan_lease(job)
+                if leased:
+                    heartbeat = asyncio.get_running_loop().create_task(
+                        self._lease_heartbeat(job)
+                    )
             await self._resolve(job)
         except asyncio.CancelledError:
             if job.timed_out:
@@ -831,11 +1030,73 @@ class JobManager:
             job.finish("done")
             self.counters["jobs_done"] += 1
         finally:
+            if heartbeat is not None:
+                heartbeat.cancel()
+            if leased and self.journal is not None:
+                self.journal.release_lease(job.plan_hash, self.owner_id)
+            self._journal_terminal(job)
             if job._watchdog is not None:
                 job._watchdog.cancel()
             self._active.discard(job.id)
             if acquired:
                 self._gate.release()
+
+    async def _acquire_plan_lease(self, job: Job) -> bool:
+        """Block until this owner holds the job's plan lease.
+
+        Polls :meth:`~repro.service.journal.JobJournal.acquire_lease`
+        -- log order arbitrates races -- sleeping until the foreign
+        holder's expiry when we lose. A crashed replica's lease is
+        adopted as soon as it expires; a live one keeps renewing and
+        keeps us waiting, which is exactly the double-run prevention.
+        """
+        assert self.journal is not None
+        while True:
+            holder = self.journal.acquire_lease(
+                job.plan_hash, self.owner_id, job.id, self.lease_ttl_s
+            )
+            if holder.owner_id == self.owner_id:
+                return True
+            self.counters["lease_waits"] += 1
+            wait = min(
+                self.lease_ttl_s,
+                max(0.05, holder.expires_at - time.time()),
+            )
+            await asyncio.sleep(wait)
+
+    async def _lease_heartbeat(self, job: Job) -> None:
+        """Renew the job's plan lease every third of its TTL."""
+        assert self.journal is not None
+        interval = max(0.05, self.lease_ttl_s / 3.0)
+        while True:
+            await asyncio.sleep(interval)
+            self.journal.renew_lease(
+                job.plan_hash, self.owner_id, self.lease_ttl_s
+            )
+
+    def _journal_terminal(self, job: Job) -> None:
+        """Journal a terminal transition (drain-cancels stay pending)."""
+        if self.journal is None or job.status not in TERMINAL_STATUSES:
+            return
+        if (
+            self._draining
+            and job.status == "cancelled"
+            and not job.timed_out
+        ):
+            # Shutdown cancelled this job, not a client: leave it
+            # non-terminal in the journal so the next boot re-queues it.
+            return
+        self.journal.append(
+            "terminal",
+            job_id=job.id,
+            data={
+                "status": job.status,
+                "error": job.error,
+                "elapsed_s": job.elapsed_s,
+                "scenario_hashes": list(job.scenario_hashes),
+                "sources": list(job.sources),
+            },
+        )
 
     async def _resolve(self, job: Job) -> None:
         """Resolve all positions, re-classifying ones handed off to us.

@@ -27,6 +27,7 @@ writing the computed results back (the ``--from-store`` /
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -39,6 +40,34 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping
 from ..api.hashing import code_version, scenario_hash
 from ..engine.cache import CacheStats
 from ..errors import ConfigurationError
+
+
+class StoreIntegrityError(ConfigurationError):
+    """A stored object failed an integrity check and was quarantined.
+
+    Raised by :meth:`ResultStore.get_record` when the object under a
+    hash is unreadable, claims a different hash than it is filed
+    under, or fails its sha256 content checksum. The offending file
+    has already been moved to ``quarantine/`` when this propagates --
+    a corrupt object is *never* served, and the hash reads as a miss
+    afterwards so the result is simply recomputed.
+    """
+
+
+def result_checksum(scenario_result_record: "Mapping[str, Any]") -> str:
+    """The sha256 content checksum of one serialised scenario result.
+
+    Computed over the compact, key-sorted JSON of the
+    :func:`~repro.io.scenario_result_to_dict` record -- deterministic
+    across processes and stable through a JSON round trip, so
+    :meth:`ResultStore.verify` can recompute it from the file alone.
+    """
+    canonical = json.dumps(
+        dict(scenario_result_record),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from ..api.plan import PlanResult, RunPlan, ScenarioResult
@@ -61,12 +90,18 @@ class StoreRecord:
     scenario_result:
         The full :class:`~repro.api.plan.ScenarioResult`, round-tripped
         bit-exactly through :mod:`repro.io`.
+    checksum:
+        The :func:`result_checksum` of the serialised result payload
+        (``"sha256:..."``); empty on legacy objects written before
+        checksums existed -- those are served but flagged by
+        :meth:`ResultStore.verify`.
     """
 
     hash: str
     code_version: str
     created_at: float
     scenario_result: "ScenarioResult"
+    checksum: str = ""
 
 
 class ResultStore:
@@ -82,9 +117,11 @@ class ResultStore:
         """Open (creating if needed) a store rooted at ``root``."""
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
         self.index_path = self.root / "index.json"
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
+        self.corrupt_detected = 0
 
     # ----- paths ---------------------------------------------------------
 
@@ -113,27 +150,56 @@ class ResultStore:
     def get_record(self, hash_: str) -> "StoreRecord | None":
         """The full stored record under ``hash_``, or ``None`` on a miss.
 
-        A present-but-unreadable object (truncated write from a crashed
-        pre-atomic-rename writer cannot happen; genuine corruption can)
-        raises :class:`~repro.errors.ConfigurationError` rather than
-        masquerading as a miss.
+        Every read is integrity-checked: the object must parse, must
+        claim the hash it is filed under, and (when it carries a
+        :func:`result_checksum`) the payload must match it. A failing
+        object is moved to ``quarantine/`` and
+        :class:`StoreIntegrityError` raised -- corruption is never
+        silently served, and because the file is gone the hash reads
+        as a plain miss (recompute) from then on.
         """
         from .. import io
 
         path = self.object_path(hash_)
         if not path.is_file():
             return None
-        record = io.store_record_from_dict(io.load_json(path))
+        try:
+            data = io.load_json(path)
+            record = io.store_record_from_dict(data)
+        except ConfigurationError as exc:
+            moved = self._quarantine(path)
+            raise StoreIntegrityError(
+                f"store object {path} is unreadable ({exc}); "
+                f"quarantined to {moved}"
+            ) from exc
         if record.hash != hash_:
-            raise ConfigurationError(
+            moved = self._quarantine(path)
+            raise StoreIntegrityError(
                 f"store object {path} claims hash {record.hash[:12]}..., "
-                f"filed under {hash_[:12]}..."
+                f"filed under {hash_[:12]}...; quarantined to {moved}"
             )
+        if record.checksum:
+            recomputed = result_checksum(data["scenario_result"])
+            if recomputed != record.checksum:
+                moved = self._quarantine(path)
+                raise StoreIntegrityError(
+                    f"store object {path} fails its content checksum "
+                    f"({record.checksum} recorded, {recomputed} actual); "
+                    f"quarantined to {moved}"
+                )
         return record
 
     def get(self, hash_: str) -> "ScenarioResult | None":
-        """The stored scenario result under ``hash_``, or ``None``."""
-        record = self.get_record(hash_)
+        """The stored scenario result under ``hash_``, or ``None``.
+
+        The forgiving read: a corrupt object is quarantined (by
+        :meth:`get_record`) and reported as a miss, so store-backed
+        runs transparently recompute what corruption destroyed.
+        """
+        try:
+            record = self.get_record(hash_)
+        except StoreIntegrityError:
+            return None
         return None if record is None else record.scenario_result
 
     def put(
@@ -150,14 +216,21 @@ class ResultStore:
         """
         from .. import io
 
-        existing = self.get_record(hash_)
+        try:
+            existing = self.get_record(hash_)
+        except StoreIntegrityError:
+            # The previous object was corrupt and is quarantined now;
+            # fall through and write a fresh, valid one in its place.
+            existing = None
         if existing is not None:
             return existing
+        result_record = io.scenario_result_to_dict(scenario_result)
         record = StoreRecord(
             hash=hash_,
             code_version=code_version(),
             created_at=time.time(),
             scenario_result=scenario_result,
+            checksum=result_checksum(result_record),
         )
         path = self.object_path(hash_)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -247,13 +320,94 @@ class ResultStore:
                     pass  # not empty (or racing a writer): keep it
 
     def stats(self) -> "dict[str, Any]":
-        """Entry count and byte size of the stored objects."""
+        """Entry count, byte size, and integrity counters of the store."""
         paths = list(self.objects_dir.glob("*/*.json"))
+        quarantined = (
+            sum(1 for _ in self.quarantine_dir.glob("*.json"))
+            if self.quarantine_dir.is_dir()
+            else 0
+        )
         return {
             "entries": len(paths),
             "bytes": sum(p.stat().st_size for p in paths),
             "root": str(self.root),
+            "corrupt_objects": self.corrupt_detected,
+            "quarantined": quarantined,
         }
+
+    # ----- integrity (checksums, verify, quarantine) ----------------------
+
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt object out of ``objects/`` so it cannot serve."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / path.name
+        n = 1
+        while dest.exists():
+            dest = self.quarantine_dir / f"{path.stem}.{n}{path.suffix}"
+            n += 1
+        try:
+            os.replace(path, dest)
+        except FileNotFoundError:
+            pass  # racing reader already moved it
+        self.corrupt_detected += 1
+        return dest
+
+    def verify(self, *, repair: bool = False) -> "VerifyReport":
+        """Scan every object for truncation, mismatch, bad checksums.
+
+        The integrity sweep behind ``repro-service verify`` and
+        ``POST /admin/verify``: each ``objects/<hh>/<hash>.json`` must
+        parse, claim the hash its filename carries, and match its
+        recorded :func:`result_checksum`. With ``repair=True`` every
+        failing object is moved to ``quarantine/`` (and the index
+        rewritten); with the default ``repair=False`` the scan only
+        reports. Objects written before checksums existed are counted
+        as ``legacy`` -- readable and served, but unverifiable.
+        """
+        from .. import io
+
+        corrupt: "list[CorruptObject]" = []
+        quarantined: "list[str]" = []
+        scanned = 0
+        legacy = 0
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            scanned += 1
+            reason: "str | None" = None
+            try:
+                data = io.load_json(path)
+                record = io.store_record_from_dict(data)
+            except ConfigurationError as exc:
+                reason = f"unreadable: {exc}"
+            else:
+                if record.hash != path.stem:
+                    reason = (
+                        f"hash mismatch: object claims "
+                        f"{record.hash[:12]}..., filed as {path.stem[:12]}..."
+                    )
+                elif not record.checksum:
+                    legacy += 1
+                elif result_checksum(data["scenario_result"]) != (
+                    record.checksum
+                ):
+                    reason = "content checksum mismatch"
+            if reason is None:
+                continue
+            corrupt.append(
+                CorruptObject(name=path.stem, path=str(path), reason=reason)
+            )
+            if repair:
+                quarantined.append(str(self._quarantine(path)))
+        if quarantined:
+            with self._lock:
+                self._remove_empty_shards()
+                self._index_write(self._scan_index())
+        return VerifyReport(
+            scanned=scanned,
+            intact=scanned - len(corrupt),
+            legacy=legacy,
+            corrupt=tuple(corrupt),
+            quarantined=tuple(quarantined),
+        )
 
     # ----- the index (rebuildable acceleration layer) --------------------
 
@@ -346,6 +500,77 @@ class ResultStore:
             except OSError:
                 pass
             raise
+
+
+@dataclass(frozen=True)
+class CorruptObject:
+    """One object :meth:`ResultStore.verify` found damaged.
+
+    Attributes
+    ----------
+    name:
+        The hash the object was filed under (the file stem).
+    path:
+        Where the object lived when the scan found it.
+    reason:
+        What failed: unreadable, hash mismatch, or checksum mismatch.
+    """
+
+    name: str
+    path: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """The outcome of one :meth:`ResultStore.verify` integrity sweep.
+
+    Attributes
+    ----------
+    scanned, intact:
+        Objects examined, and how many passed every check.
+    legacy:
+        Readable objects without a recorded checksum (pre-checksum
+        writes): served, but unverifiable beyond their hash claim.
+    corrupt:
+        The failing objects, each with the reason it failed.
+    quarantined:
+        Destination paths of objects moved to ``quarantine/`` (only
+        populated when the sweep ran with ``repair=True``).
+    """
+
+    scanned: int
+    intact: int
+    legacy: int
+    corrupt: "tuple[CorruptObject, ...]"
+    quarantined: "tuple[str, ...]"
+
+    @property
+    def ok(self) -> bool:
+        """Whether the sweep found nothing wrong."""
+        return not self.corrupt
+
+    def as_dict(self) -> "dict[str, Any]":
+        """JSON-safe form (what ``POST /admin/verify`` returns)."""
+        return {
+            "scanned": self.scanned,
+            "intact": self.intact,
+            "legacy": self.legacy,
+            "ok": self.ok,
+            "corrupt": [
+                {"name": c.name, "path": c.path, "reason": c.reason}
+                for c in self.corrupt
+            ],
+            "quarantined": list(self.quarantined),
+        }
+
+    def summary(self) -> str:
+        """The one-line report the CLI prints to stderr-minded humans."""
+        return (
+            f"verify: {self.intact}/{self.scanned} intact, "
+            f"{len(self.corrupt)} corrupt, {len(self.quarantined)} "
+            f"quarantined, {self.legacy} legacy (no checksum)"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,238 @@
+"""Crash-restart chaos: SIGKILL the service, recover from the journal.
+
+The durability acceptance contracts, against a *real* ``repro-service
+serve`` subprocess (not an in-process app):
+
+* a service killed with ``SIGKILL`` after accepting a job answers
+  ``GET /jobs/{id}`` for it after a restart on the same store and
+  journal, re-queues it, and completes it **bit-identical** to a plain
+  serial run;
+* recovery recomputes only the scenarios the crash lost -- results
+  already in the store are served as hits, not recomputed;
+* a ``SIGTERM`` shutdown drains, journals the clean-shutdown marker,
+  and the next boot reports ``mode == "clean"`` with the finished job
+  restored as a full record;
+* ``repro-service verify`` passes over the store the crash left behind.
+
+Everything runs with tiny point counts; the suite forks real servers
+so it is slower than the unit tests by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunPlan, Scenario, SimulationSession, scenario_hash
+from repro.io import experiment_result_to_dict
+from repro.service import ResultStore, SimulationServiceClient
+
+SEED = 0
+PLAN = RunPlan(
+    name="restart-chaos",
+    scenarios=(
+        Scenario("fig6", overrides={"n_points": 6}),
+        Scenario("fig7", overrides={"n_points": 6}),
+    ),
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _canonical(result) -> str:
+    return json.dumps(experiment_result_to_dict(result), sort_keys=True)
+
+
+def _serve(store: Path, *extra: str) -> "tuple[subprocess.Popen, str, dict]":
+    """Launch ``repro-service serve`` on an ephemeral port.
+
+    Returns the process, its base URL, and the parsed recovery report
+    it printed on boot. ``-u`` keeps the child's stdout line-buffered
+    so the banner is readable through the pipe immediately.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.service.cli",
+            "serve",
+            "--store",
+            str(store),
+            "--port",
+            "0",
+            "--seed",
+            str(SEED),
+            "--executor",
+            "thread",
+            "--workers",
+            "1",
+            "--lease-ttl",
+            "2",
+            "--drain-timeout",
+            "10",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    # A plain reader thread: select() on a *buffered* text stream
+    # deadlocks once readline() slurps several lines in one chunk
+    # (the fd goes quiet while lines sit in the Python buffer).
+    lines: "queue.Queue[str]" = queue.Queue()
+    threading.Thread(
+        target=lambda: [lines.put(line) for line in proc.stdout],
+        daemon=True,
+    ).start()
+    url = ""
+    recovery: dict = {}
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        try:
+            line = lines.get(timeout=deadline - time.monotonic())
+        except (queue.Empty, ValueError):
+            break
+        if line.startswith("repro-service listening on "):
+            url = line.split(" on ", 1)[1].strip()
+        elif line.startswith("recovery: "):
+            recovery = json.loads(line.split(": ", 1)[1])
+            break
+    if not url or not recovery:
+        proc.kill()
+        proc.wait(timeout=10)
+        pytest.fail(f"service did not boot (url={url!r}, rec={recovery!r})")
+    return proc, url, recovery
+
+
+def _client(url: str) -> SimulationServiceClient:
+    return SimulationServiceClient(url, retries=5, backoff_s=0.1)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return SimulationSession(seed=SEED).run_plan(PLAN)
+
+
+class TestKillNineRecovery:
+    def test_sigkill_mid_job_recovers_requeues_and_matches_serial(
+        self, tmp_path, serial
+    ):
+        """The headline contract: kill -9 loses no accepted work."""
+        store_dir = tmp_path / "store"
+        # Pre-seed one of the two scenarios so recovery has something
+        # to serve from the store and something to recompute.
+        session = SimulationSession(seed=SEED)
+        seeded_hash = scenario_hash(
+            PLAN.scenarios[0], defaults=session.defaults
+        )
+        ResultStore(store_dir).put(seeded_hash, serial.scenario_results[0])
+
+        proc, url, recovery = _serve(store_dir)
+        try:
+            assert recovery["mode"] == "fresh"
+            accepted = _client(url).submit(PLAN)
+            assert accepted.id == "job-1"
+        finally:
+            # The accepted entry is fsynced before the 202, so the
+            # promise survives an immediate SIGKILL.
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        proc, url, recovery = _serve(store_dir)
+        try:
+            client = _client(url)
+            assert recovery["mode"] == "crash"
+            assert recovery["requeued"] + recovery["restored"] >= 1
+            # The restarted service still knows the job -- no 404.
+            record = client.wait(
+                "job-1", timeout_s=120, plan_hash=accepted.plan_hash
+            )
+            assert record.status == "done"
+            assert record.plan_hash == accepted.plan_hash
+            # Only the scenario the crash lost was recomputed; the
+            # pre-seeded one rode the store (unless the first life
+            # finished it before dying, in which case both are hits).
+            assert record.store_hits >= 1
+            assert record.store_hits + record.computed == 2
+            # Bit-identical to the serial reference, scenario by
+            # scenario, through the store round trip.
+            store = ResultStore(store_dir)
+            for hash_, ref in zip(
+                record.scenario_hashes, serial.scenario_results
+            ):
+                got = store.get(hash_)
+                assert got is not None
+                assert _canonical(got.result) == _canonical(ref.result)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+
+    def test_verify_cli_passes_over_the_crashed_store(self, tmp_path):
+        store_dir = tmp_path / "store"
+        proc, url, _ = _serve(store_dir)
+        try:
+            _client(url).run_plan(PLAN, timeout_s=120)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        done = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.service.cli",
+                "verify",
+                "--store",
+                str(store_dir),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert done.returncode == 0, done.stdout + done.stderr
+        report = json.loads(done.stdout)
+        assert report["ok"] is True
+        assert report["scanned"] == 2
+
+
+class TestCleanShutdown:
+    def test_sigterm_drains_and_next_boot_is_clean(self, tmp_path):
+        store_dir = tmp_path / "store"
+        proc, url, _ = _serve(store_dir)
+        try:
+            _, record = _client(url).run_plan(PLAN, timeout_s=120)
+            assert record.status == "done"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+
+        proc, url, recovery = _serve(store_dir)
+        try:
+            assert recovery["mode"] == "clean"
+            assert recovery["restored"] >= 1
+            # The finished job answers across the restart, as a full
+            # terminal record -- not a 404, not a recompute.
+            revived = _client(url).job(record.id)
+            assert revived.status == "done"
+            assert revived.scenario_hashes == record.scenario_hashes
+            stats = _client(url).stats()
+            assert stats["recovery"]["mode"] == "clean"
+            assert stats["jobs"]["jobs_restored"] >= 1
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0

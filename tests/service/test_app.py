@@ -69,9 +69,17 @@ class TestEndpoints:
 
     def test_stats_shape(self, service):
         stats = _client(service).stats()
-        assert set(stats) == {"jobs", "store", "rate_limit"}
+        assert set(stats) == {
+            "jobs",
+            "store",
+            "rate_limit",
+            "journal",
+            "recovery",
+        }
         assert stats["jobs"]["jobs_submitted"] == 0
         assert stats["store"]["entries"] == 0
+        assert stats["journal"]["jobs"] == 0
+        assert stats["recovery"]["mode"] == "fresh"
 
     def test_unknown_job_is_404(self, service):
         with pytest.raises(ServiceError) as err:
@@ -362,6 +370,71 @@ class TestCancelAndPruneEndpoints:
             assert orphan not in app.store  # unpinned: reaped
             for h in record.scenario_hashes:
                 assert client.result(h).hash == h  # pinned: served
+
+
+class TestAdminVerifyEndpoint:
+    def test_clean_store_verifies_ok_over_http(self, service):
+        client = _client(service)
+        _, record = client.run_plan(_plan())
+        report = client.verify()
+        assert report["ok"] is True
+        assert report["scanned"] == len(record.scenario_hashes)
+        assert report["corrupt"] == []
+        assert report["quarantined"] == []
+
+    def test_corrupt_object_is_reported_then_quarantined(self, tmp_path):
+        app = _app(tmp_path / "store")
+        with ServiceThread(app) as thread:
+            client = _client(thread)
+            _, record = client.run_plan(_plan())
+            victim = record.scenario_hashes[0]
+            path = app.store.object_path(victim)
+            data = json.loads(path.read_text())
+            data["scenario_result"]["elapsed_s"] = 1e9  # bit rot
+            path.write_text(json.dumps(data))
+            report = client.verify()  # report-only
+            assert report["ok"] is False
+            assert report["corrupt"][0]["name"] == victim
+            assert path.exists()
+            repaired = client.verify(repair=True)
+            assert len(repaired["quarantined"]) == 1
+            assert not path.exists()
+            # The quarantined hash now reads as a plain miss.
+            with pytest.raises(ServiceError) as err:
+                client.result(victim)
+            assert err.value.status == 404
+            # /stats surfaces the quarantine counters.
+            store_stats = client.stats()["store"]
+            assert store_stats["quarantined"] == 1
+
+    def test_corrupt_object_read_is_quarantined_not_served(self, tmp_path):
+        """GET /results/{hash} on a damaged object 404s -- never a 500
+        and never a corrupt payload."""
+        app = _app(tmp_path / "store")
+        with ServiceThread(app) as thread:
+            client = _client(thread)
+            _, record = client.run_plan(_plan())
+            victim = record.scenario_hashes[0]
+            path = app.store.object_path(victim)
+            path.write_text(path.read_text()[:30])  # torn write
+            with pytest.raises(ServiceError) as err:
+                client.result(victim)
+            assert err.value.status == 404
+            assert "quarantined" in str(err.value)
+            assert not path.exists()
+
+    def test_admin_verify_rejects_unknown_and_bad_bodies(self, service):
+        for body in (
+            b'{"scrub": true}',  # unknown option
+            b"[1]",  # not an object
+            b"{ not json",
+        ):
+            request = urllib.request.Request(
+                f"{service.url}/admin/verify", data=body, method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 400
 
 
 class TestLifecycleOverHttp:

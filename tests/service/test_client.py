@@ -13,7 +13,11 @@ import urllib.error
 
 import pytest
 
-from repro.service import ServiceError, SimulationServiceClient
+from repro.service import (
+    JobLostError,
+    ServiceError,
+    SimulationServiceClient,
+)
 from repro.service.client import RETRYABLE_STATUSES
 
 
@@ -375,3 +379,60 @@ class TestRequestShape:
         with pytest.raises(ServiceError) as err:
             client.wait("job-1", poll_s=0.0, timeout_s=0.0)
         assert "still" in str(err.value)
+
+    def test_verify_posts_repair_flag_to_admin_endpoint(
+        self, sleeps, monkeypatch
+    ):
+        report = {
+            "scanned": 3,
+            "intact": 3,
+            "legacy": 0,
+            "ok": True,
+            "corrupt": [],
+            "quarantined": [],
+        }
+        script = Script([report, dict(report)])
+        client = _client(script, sleeps, monkeypatch)
+        assert client.verify() == report
+        request = script.calls[0]
+        assert request.get_method() == "POST"
+        assert request.full_url.endswith("/admin/verify")
+        assert json.loads(request.data.decode()) == {"repair": False}
+        client.verify(repair=True)
+        assert json.loads(script.calls[1].data.decode()) == {"repair": True}
+
+
+class TestJobLost:
+    """404-after-accepted: a restarted, journal-less service forgot us."""
+
+    def test_wait_raises_typed_job_lost_on_404(self, sleeps, monkeypatch):
+        script = Script(
+            [
+                {"id": "job-1", "status": "running"},
+                _http_error(404, payload={"error": "no such job: job-1"}),
+            ]
+        )
+        client = _client(script, sleeps, monkeypatch)
+        with pytest.raises(JobLostError) as err:
+            client.wait("job-1", poll_s=0.0, plan_hash="ab" * 32)
+        assert err.value.job_id == "job-1"
+        assert err.value.plan_hash == "ab" * 32
+        assert err.value.status == 404
+        assert "resubmit" in str(err.value)
+
+    def test_job_lost_is_a_service_error(self):
+        # Callers catching the broad class keep working untyped.
+        assert issubclass(JobLostError, ServiceError)
+        err = JobLostError("job-9")
+        assert err.job_id == "job-9"
+        assert err.plan_hash == ""
+
+    def test_wait_non_404_errors_pass_through_untouched(
+        self, sleeps, monkeypatch
+    ):
+        script = Script([_http_error(500, payload={"error": "boom"})])
+        client = _client(script, sleeps, monkeypatch)
+        with pytest.raises(ServiceError) as err:
+            client.wait("job-1", poll_s=0.0)
+        assert err.value.status == 500
+        assert not isinstance(err.value, JobLostError)

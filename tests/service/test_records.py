@@ -29,6 +29,10 @@ from repro.api.plan import ShardFailure  # noqa: E402
 from repro.io import (  # noqa: E402
     job_record_from_dict,
     job_record_to_dict,
+    journal_entry_from_dict,
+    journal_entry_to_dict,
+    lease_record_from_dict,
+    lease_record_to_dict,
     shard_failure_from_dict,
     shard_failure_to_dict,
     store_record_from_dict,
@@ -42,6 +46,11 @@ from repro.service.jobs import (  # noqa: E402
     RESULT_SOURCES,
     JobRecord,
     expired_job_record,
+)
+from repro.service.journal import (  # noqa: E402
+    JOURNAL_KINDS,
+    JournalEntry,
+    LeaseRecord,
 )
 from repro.service.store import StoreRecord  # noqa: E402
 
@@ -105,6 +114,9 @@ def store_records(draw):
         code_version=draw(st.text(max_size=16)),
         created_at=draw(st.floats(min_value=0.0, max_value=4e9)),
         scenario_result=draw(scenario_results()),
+        checksum=draw(
+            st.one_of(st.just(""), st.just("sha256:" + "0" * 64))
+        ),
     )
 
 
@@ -273,3 +285,81 @@ class TestShardFailureRoundTrip:
             shard_failure_from_dict({"index": 0, "positions": [1]})
         with pytest.raises(ConfigurationError):
             shard_failure_from_dict({"cause": "error"})
+
+
+json_scalars = st.one_of(st.none(), st.booleans(), finite, names)
+
+
+@st.composite
+def journal_entries(draw):
+    """A JournalEntry with a JSON-faithful kind-specific payload."""
+    return JournalEntry(
+        kind=draw(st.sampled_from(JOURNAL_KINDS)),
+        at=draw(st.floats(min_value=0.0, max_value=4e9)),
+        job_id=draw(
+            st.one_of(
+                st.just(""),
+                st.integers(min_value=0, max_value=9999).map(
+                    lambda n: f"job-{n}"
+                ),
+            )
+        ),
+        data=draw(
+            st.dictionaries(names, json_scalars, max_size=4)
+        ),
+    )
+
+
+@st.composite
+def lease_records(draw):
+    """A LeaseRecord whose expiry never precedes its acquisition."""
+    acquired = draw(st.floats(min_value=0.0, max_value=4e9))
+    return LeaseRecord(
+        plan_hash=draw(hex_hashes),
+        owner_id=draw(names),
+        job_id=f"job-{draw(st.integers(min_value=0, max_value=9999))}",
+        acquired_at=acquired,
+        expires_at=acquired + draw(st.floats(min_value=0.0, max_value=1e6)),
+    )
+
+
+class TestJournalEntryRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(entry=journal_entries())
+    def test_json_round_trip_is_identity(self, entry):
+        """JournalEntry -> JSON line -> JournalEntry reproduces it."""
+        rebuilt = journal_entry_from_dict(
+            _through_json(journal_entry_to_dict(entry))
+        )
+        assert rebuilt == entry
+
+    def test_optional_fields_default(self):
+        rebuilt = journal_entry_from_dict({"kind": "boot"})
+        assert rebuilt.at == 0.0
+        assert rebuilt.job_id == ""
+        assert rebuilt.data == {}
+
+    def test_missing_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            journal_entry_from_dict({"at": 1.0, "job_id": "job-1"})
+
+    def test_non_object_data_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            journal_entry_from_dict({"kind": "accepted", "data": [1, 2]})
+
+
+class TestLeaseRecordRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(lease=lease_records())
+    def test_json_round_trip_is_identity(self, lease):
+        """LeaseRecord -> JSON text -> LeaseRecord reproduces it."""
+        rebuilt = lease_record_from_dict(
+            _through_json(lease_record_to_dict(lease))
+        )
+        assert rebuilt == lease
+
+    def test_missing_fields_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lease_record_from_dict({"plan_hash": "ab" * 32})
+        with pytest.raises(ConfigurationError):
+            lease_record_from_dict({"owner_id": "me"})

@@ -16,7 +16,11 @@ import pytest
 from repro.api import Scenario, SimulationSession, scenario_hash
 from repro.errors import ConfigurationError
 from repro.service import ResultStore
-from repro.service.store import run_plan_with_store
+from repro.service.store import (
+    StoreIntegrityError,
+    result_checksum,
+    run_plan_with_store,
+)
 
 
 def _hash_of(result):
@@ -77,7 +81,7 @@ class TestRoundTrip:
         with pytest.raises(ConfigurationError):
             store.object_path("ZZ")
 
-    def test_mismatched_object_hash_is_an_error(
+    def test_mismatched_object_hash_is_quarantined(
         self, tmp_path, make_scenario_result
     ):
         store = ResultStore(tmp_path)
@@ -89,8 +93,105 @@ class TestRoundTrip:
         target = store.object_path(other)
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(store.object_path(hash_).read_text())
-        with pytest.raises(ConfigurationError):
-            store.get(other)
+        # The typed read surface raises; the convenience read heals to
+        # a miss -- either way the lie is quarantined, never served.
+        with pytest.raises(StoreIntegrityError):
+            store.get_record(other)
+        assert not target.exists()
+        assert list(store.quarantine_dir.iterdir())
+        assert store.get(other) is None
+        assert store.corrupt_detected >= 1
+
+
+class TestVerify:
+    """The integrity sweep behind ``repro-service verify``."""
+
+    def _seed(self, tmp_path, make_scenario_result, n=2):
+        store = ResultStore(tmp_path)
+        hashes = []
+        for k in range(n):
+            result = make_scenario_result(overrides={"n_points": k + 4})
+            hashes.append(_hash_of(result))
+            store.put(hashes[-1], result)
+        return store, hashes
+
+    def test_intact_store_verifies_clean(
+        self, tmp_path, make_scenario_result
+    ):
+        store, hashes = self._seed(tmp_path, make_scenario_result)
+        report = store.verify()
+        assert report.ok
+        assert (report.scanned, report.intact) == (2, 2)
+        assert report.legacy == 0
+        assert report.corrupt == ()
+        assert report.quarantined == ()
+        assert report.as_dict()["ok"] is True
+
+    def test_bit_flip_fails_checksum_and_repair_quarantines(
+        self, tmp_path, make_scenario_result
+    ):
+        store, hashes = self._seed(tmp_path, make_scenario_result)
+        path = store.object_path(hashes[0])
+        data = json.loads(path.read_text())
+        data["scenario_result"]["elapsed_s"] = 999.0  # silent bit rot
+        path.write_text(json.dumps(data))
+        report = store.verify()  # report-only: nothing moves
+        assert not report.ok
+        assert len(report.corrupt) == 1
+        assert report.corrupt[0].name == hashes[0]
+        assert "checksum" in report.corrupt[0].reason
+        assert report.quarantined == ()
+        assert path.exists()
+        repaired = store.verify(repair=True)
+        assert len(repaired.quarantined) == 1
+        assert not path.exists()
+        assert hashes[0] not in store.index()  # index rebuilt
+        assert hashes[1] in store  # the intact neighbour survives
+        assert "1/2 intact" in repaired.summary()
+
+    def test_truncated_object_is_unreadable(
+        self, tmp_path, make_scenario_result
+    ):
+        store, hashes = self._seed(tmp_path, make_scenario_result, n=1)
+        path = store.object_path(hashes[0])
+        path.write_text(path.read_text()[:40])  # torn write
+        report = store.verify()
+        assert not report.ok
+        assert "unreadable" in report.corrupt[0].reason
+
+    def test_misfiled_object_is_a_hash_mismatch(
+        self, tmp_path, make_scenario_result
+    ):
+        store, hashes = self._seed(tmp_path, make_scenario_result, n=1)
+        other = "e" * 64
+        target = store.object_path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(store.object_path(hashes[0]).read_text())
+        report = store.verify()
+        assert not report.ok
+        assert report.corrupt[0].name == other
+        assert "hash mismatch" in report.corrupt[0].reason
+
+    def test_legacy_object_without_checksum_is_flagged_not_corrupt(
+        self, tmp_path, make_scenario_result
+    ):
+        store, hashes = self._seed(tmp_path, make_scenario_result, n=1)
+        path = store.object_path(hashes[0])
+        data = json.loads(path.read_text())
+        del data["checksum"]  # as written before checksums existed
+        path.write_text(json.dumps(data))
+        report = store.verify()
+        assert report.ok
+        assert report.legacy == 1
+        assert store.get(hashes[0]) is not None  # still served
+
+    def test_result_checksum_is_deterministic_and_content_bound(self):
+        record = {"scenario": {"experiment_id": "fig6"}, "elapsed_s": 1.0}
+        first = result_checksum(record)
+        assert first == result_checksum(dict(record))
+        assert first.startswith("sha256:")
+        changed = dict(record, elapsed_s=2.0)
+        assert result_checksum(changed) != first
 
 
 class TestIndex:
